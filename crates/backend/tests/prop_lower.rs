@@ -1,0 +1,145 @@
+//! Property test: lowering through the backend preserves the interpreter's
+//! semantics — the recompiled binary and the IR agree on every random
+//! program. This is the differential check that makes cycle comparisons
+//! between interpreter-measured and machine-measured worlds trustworthy.
+
+use proptest::prelude::*;
+use wyt_backend::lower_module;
+use wyt_emu::run_image;
+use wyt_ir::interp::{Interp, NoHooks};
+use wyt_ir::verify::verify_module;
+use wyt_ir::{BinOp, CmpOp, Function, InstKind, Module, Term, Ty, Val};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Bin(BinOp, u8, u8),
+    Cmp(CmpOp, u8, u8),
+    Ext(bool, u8),
+    Const(i32),
+    Store(u8, u8),
+    Load(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::And),
+                Just(BinOp::Or),
+                Just(BinOp::Xor),
+                Just(BinOp::Shl),
+                Just(BinOp::ShrL),
+                Just(BinOp::ShrA),
+            ],
+            any::<u8>(),
+            any::<u8>()
+        )
+            .prop_map(|(o, a, b)| Op::Bin(o, a, b)),
+        (
+            prop_oneof![
+                Just(CmpOp::Eq),
+                Just(CmpOp::Ne),
+                Just(CmpOp::SLt),
+                Just(CmpOp::SLe),
+                Just(CmpOp::UGt),
+            ],
+            any::<u8>(),
+            any::<u8>()
+        )
+            .prop_map(|(o, a, b)| Op::Cmp(o, a, b)),
+        (any::<bool>(), any::<u8>()).prop_map(|(s, v)| Op::Ext(s, v)),
+        any::<i32>().prop_map(Op::Const),
+        (0u8..3, any::<u8>()).prop_map(|(s, v)| Op::Store(s, v)),
+        (0u8..3).prop_map(Op::Load),
+    ]
+}
+
+fn build(ops: &[Op]) -> Module {
+    let mut m = Module::new();
+    let mut f = Function::new("main");
+    let slots: Vec<_> = (0..3)
+        .map(|i| {
+            f.push_inst(f.entry, InstKind::Alloca { size: 4, align: 4, name: format!("s{i}") })
+        })
+        .collect();
+    for s in &slots {
+        f.push_inst(
+            f.entry,
+            InstKind::Store { ty: Ty::I32, addr: Val::Inst(*s), val: Val::Const(11) },
+        );
+    }
+    let mut vals: Vec<Val> = vec![Val::Const(7), Val::Const(-3)];
+    let pick = |vals: &Vec<Val>, k: u8| vals[k as usize % vals.len()];
+    for op in ops {
+        match op {
+            Op::Bin(o, a, b) => {
+                let id = f.push_inst(
+                    f.entry,
+                    InstKind::Bin { op: *o, a: pick(&vals, *a), b: pick(&vals, *b) },
+                );
+                vals.push(Val::Inst(id));
+            }
+            Op::Cmp(o, a, b) => {
+                let id = f.push_inst(
+                    f.entry,
+                    InstKind::Cmp { op: *o, a: pick(&vals, *a), b: pick(&vals, *b) },
+                );
+                vals.push(Val::Inst(id));
+            }
+            Op::Ext(signed, v) => {
+                let id = f.push_inst(
+                    f.entry,
+                    InstKind::Ext { signed: *signed, from: Ty::I8, v: pick(&vals, *v) },
+                );
+                vals.push(Val::Inst(id));
+            }
+            Op::Const(c) => vals.push(Val::Const(*c)),
+            Op::Store(s, v) => {
+                let slot = slots[*s as usize % slots.len()];
+                f.push_inst(
+                    f.entry,
+                    InstKind::Store { ty: Ty::I32, addr: Val::Inst(slot), val: pick(&vals, *v) },
+                );
+            }
+            Op::Load(s) => {
+                let slot = slots[*s as usize % slots.len()];
+                let id =
+                    f.push_inst(f.entry, InstKind::Load { ty: Ty::I32, addr: Val::Inst(slot) });
+                vals.push(Val::Inst(id));
+            }
+        }
+    }
+    // Mix everything into the result so the whole dataflow matters.
+    let mut acc = Val::Const(0);
+    for (i, s) in slots.iter().enumerate() {
+        let l = f.push_inst(f.entry, InstKind::Load { ty: Ty::I32, addr: Val::Inst(*s) });
+        let op = if i % 2 == 0 { BinOp::Add } else { BinOp::Xor };
+        let id = f.push_inst(f.entry, InstKind::Bin { op, a: acc, b: Val::Inst(l) });
+        acc = Val::Inst(id);
+    }
+    let last = *vals.last().expect("values");
+    let id = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: acc, b: last });
+    f.blocks[f.entry.index()].term = Term::Ret(Some(Val::Inst(id)));
+    let fid = m.add_func(f);
+    m.entry = Some(fid);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn backend_matches_interpreter(ops in proptest::collection::vec(arb_op(), 1..48)) {
+        let m = build(&ops);
+        verify_module(&m).expect("generated module verifies");
+        let interp = Interp::new(&m, vec![], NoHooks).run();
+        prop_assert!(interp.ok());
+        let img = lower_module(&m).expect("lowering succeeds");
+        let machine = run_image(&img, vec![]);
+        prop_assert!(machine.ok(), "machine trapped: {:?}", machine.trap);
+        prop_assert_eq!(interp.exit_code, machine.exit_code);
+    }
+}

@@ -1,0 +1,88 @@
+//! Ablation study: separate what *recovery* buys from what the unlocked
+//! *optimizations* buy (a design-choice breakdown the paper motivates in
+//! §2.1/§2.2 but does not tabulate).
+//!
+//! Four pipelines per benchmark, all normalized to the native input
+//! binary:
+//!
+//! 1. `nosym+clean`  — lift, arithmetic cleanup only (no alias-based opt);
+//! 2. `nosym+full`   — lift + the full optimizer (the BinRec baseline:
+//!    everything the optimizer can do *without* symbols);
+//! 3. `wyt+clean`    — all WYTIWYG refinements and symbolization, but only
+//!    arithmetic cleanup afterwards (recovery without exploitation);
+//! 4. `wyt+full`     — the complete system.
+//!
+//! ```sh
+//! cargo run --release -p wyt-bench --bin ablation [profile]
+//! ```
+
+use wyt_bench::{build_input, geomean, native_cycles};
+use wyt_core::{recompile_with, validate, Mode};
+use wyt_emu::run_image;
+use wyt_minicc::Profile;
+use wyt_opt::OptLevel;
+
+fn main() {
+    let profile = match std::env::args().nth(1).as_deref() {
+        Some("gcc12") | None => Profile::gcc12_o0(),
+        Some("gcc44") => Profile::gcc44_o3(),
+        Some(other) => {
+            eprintln!("unknown profile `{other}` (use gcc12 | gcc44)");
+            std::process::exit(1);
+        }
+    };
+    println!("Ablation: contribution of recovery vs. unlocked optimization");
+    println!("(inputs: {}; ratios to native; lower is better)\n", profile.name);
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "benchmark", "nosym+clean", "nosym+full", "wyt+clean", "wyt+full"
+    );
+    println!("{}", "-".repeat(66));
+
+    let variants = [
+        (Mode::NoSymbolize, OptLevel::Clean),
+        (Mode::NoSymbolize, OptLevel::Full),
+        (Mode::Wytiwyg, OptLevel::Clean),
+        (Mode::Wytiwyg, OptLevel::Full),
+    ];
+    let mut geo = vec![Vec::new(); variants.len()];
+    for bench in wyt_spec::suite() {
+        let img = build_input(&bench, &profile);
+        let native = native_cycles(&img, &bench);
+        let mut cells = Vec::new();
+        for (k, (mode, opt)) in variants.iter().enumerate() {
+            let cell = (|| -> Result<f64, String> {
+                let stripped = img.stripped();
+                let inputs = bench.trace_inputs();
+                let out =
+                    recompile_with(&stripped, &inputs, *mode, *opt).map_err(|e| e.to_string())?;
+                validate(&stripped, &out.image, &inputs)?;
+                let r = run_image(&out.image, bench.ref_input());
+                if !r.ok() {
+                    return Err(format!("{:?}", r.trap));
+                }
+                Ok(r.cycles as f64 / native as f64)
+            })();
+            match cell {
+                Ok(x) => {
+                    geo[k].push(x);
+                    cells.push(format!("{x:.2}"));
+                }
+                Err(_) => cells.push("—".into()),
+            }
+        }
+        println!(
+            "{:<12} {:>12} {:>12} {:>12} {:>12}",
+            bench.name, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+    println!("{}", "-".repeat(66));
+    print!("{:<12}", "geomean");
+    for g in &geo {
+        print!(" {:>12.2}", geomean(g));
+    }
+    println!();
+    println!("\nReading: wyt+clean vs nosym+clean isolates symbolization's direct");
+    println!("effect (two-stack overhead removed); wyt+full vs wyt+clean is the");
+    println!("alias-analysis dividend the paper's §2 argues symbolization unlocks.");
+}

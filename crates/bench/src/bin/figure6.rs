@@ -1,0 +1,82 @@
+//! Regenerates the paper's **Figure 6**: runtimes of native input
+//! binaries (*), WYTIWYG-recompiled binaries (†) and SecondWrite-
+//! recompiled binaries (‡), all normalized to the native GCC 12.2 -O3
+//! build of each benchmark.
+//!
+//! ```sh
+//! cargo run --release -p wyt-bench --bin figure6
+//! ```
+
+use wyt_bench::{build_input, geomean, native_cycles, recompiled_cycles, secondwrite_cycles};
+use wyt_core::Mode;
+use wyt_minicc::Profile;
+
+fn main() {
+    let series: Vec<(String, Profile, Kind)> = vec![
+        ("GCC 12.2 -O3 *".into(), Profile::gcc12_o3(), Kind::Native),
+        ("GCC 12.2 -O3 †".into(), Profile::gcc12_o3(), Kind::Wytiwyg),
+        ("GCC 12.2 -O0 *".into(), Profile::gcc12_o0(), Kind::Native),
+        ("GCC 12.2 -O0 †".into(), Profile::gcc12_o0(), Kind::Wytiwyg),
+        ("Clang 16 -O3 *".into(), Profile::clang16_o3(), Kind::Native),
+        ("Clang 16 -O3 †".into(), Profile::clang16_o3(), Kind::Wytiwyg),
+        ("GCC 4.4 -O3 *".into(), Profile::gcc44_o3(), Kind::Native),
+        ("GCC 4.4 -O3 †".into(), Profile::gcc44_o3(), Kind::Wytiwyg),
+        ("GCC 4.4 -fno-pic *".into(), Profile::gcc44_o3_nopic(), Kind::Native),
+        ("GCC 4.4 -fno-pic ‡".into(), Profile::gcc44_o3_nopic(), Kind::SecondWrite),
+    ];
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Kind {
+        Native,
+        Wytiwyg,
+        SecondWrite,
+    }
+
+    println!("Figure 6: runtime normalized to native GCC 12.2 -O3 (lower is better)");
+    println!("(* native input binary, † WYTIWYG recompiled, ‡ SecondWrite recompiled)\n");
+
+    let suite = wyt_spec::suite();
+    print!("{:<20}", "series");
+    for b in &suite {
+        print!(" {:>7}", &b.name[..b.name.len().min(7)]);
+    }
+    println!(" {:>7}", "geomean");
+
+    // Baselines: native GCC 12.2 -O3 cycles per benchmark.
+    let baselines: Vec<u64> = suite
+        .iter()
+        .map(|b| {
+            let img = build_input(b, &Profile::gcc12_o3());
+            native_cycles(&img, b)
+        })
+        .collect();
+
+    for (label, profile, kind) in series {
+        let mut row: Vec<Option<f64>> = Vec::new();
+        for (b, &base) in suite.iter().zip(&baselines) {
+            let img = build_input(b, &profile);
+            let cycles = match kind {
+                Kind::Native => Ok(native_cycles(&img, b)),
+                Kind::Wytiwyg => recompiled_cycles(&img, b, Mode::Wytiwyg),
+                Kind::SecondWrite => secondwrite_cycles(&img, b),
+            };
+            row.push(cycles.ok().map(|c| c as f64 / base as f64));
+        }
+        print!("{label:<20}");
+        for v in &row {
+            match v {
+                Some(x) => print!(" {x:>7.2}"),
+                None => print!(" {:>7}", "—"),
+            }
+        }
+        let ok: Vec<f64> = row.iter().flatten().copied().collect();
+        if ok.is_empty() {
+            println!(" {:>7}", "—");
+        } else {
+            println!(" {:>7.2}", geomean(&ok));
+        }
+    }
+    println!("\nShapes to compare with the paper: every † series approaches the");
+    println!("GCC 12.2 baseline; -O0 native is far above; GCC 4.4 † dips below");
+    println!("GCC 4.4 *; ‡ exists only for the non-PIC legacy build and trails †.");
+}

@@ -1,0 +1,75 @@
+//! Regenerates the paper's **Figure 7**: per-benchmark ratios of
+//! ground-truth stack objects recovered as matched / oversized /
+//! undersized / missed, plus overall precision and recall (the paper
+//! reports 94.4% / 87.6%).
+//!
+//! Ground truth comes from the compiler's frame-layout sidecar (the
+//! analogue of LLVM 16's Stack Frame Layout analysis); the recompiler
+//! itself only ever sees stripped binaries.
+//!
+//! ```sh
+//! cargo run --release -p wyt-bench --bin figure7
+//! ```
+
+use wyt_core::{evaluate_accuracy, recompile, MatchKind, Mode};
+use wyt_minicc::{compile, Profile};
+
+fn main() {
+    let profile = Profile::gcc44_o3();
+    println!("Figure 7: stack-recovery accuracy per benchmark ({})\n", profile.name);
+    println!(
+        "{:<12} {:>8} {:>9} {:>10} {:>11} {:>8}",
+        "benchmark", "objects", "matched", "oversized", "undersized", "missed"
+    );
+    println!("{}", "-".repeat(64));
+
+    let mut total = 0usize;
+    let mut matched = 0usize;
+    let mut recovered = 0usize;
+    let mut recovered_matched = 0usize;
+
+    for bench in wyt_spec::suite() {
+        let full = compile(bench.source, &profile)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let out = recompile(&full.stripped(), &bench.trace_inputs(), Mode::Wytiwyg)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let report = evaluate_accuracy(
+            &full,
+            &out.lifted_meta,
+            out.layout.as_ref().unwrap(),
+            out.bounds.as_ref().unwrap(),
+            out.fold.as_ref().unwrap(),
+        );
+        let (m, o, u, x) = report.ratios();
+        println!(
+            "{:<12} {:>8} {:>8.1}% {:>9.1}% {:>10.1}% {:>7.1}%",
+            bench.name,
+            report.total(),
+            m * 100.0,
+            o * 100.0,
+            u * 100.0,
+            x * 100.0
+        );
+        total += report.total();
+        matched += report.count(MatchKind::Matched);
+        for f in &report.funcs {
+            recovered += f.recovered;
+            recovered_matched += f.recovered_matched;
+        }
+    }
+
+    println!("{}", "-".repeat(64));
+    let precision = if recovered == 0 {
+        1.0
+    } else {
+        recovered_matched as f64 / recovered as f64
+    };
+    let recall = if total == 0 { 1.0 } else { matched as f64 / total as f64 };
+    println!(
+        "overall: {} ground-truth objects, precision {:.1}%, recall {:.1}%",
+        total,
+        precision * 100.0,
+        recall * 100.0
+    );
+    println!("paper:   precision 94.4%, recall 87.6%");
+}

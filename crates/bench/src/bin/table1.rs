@@ -1,0 +1,86 @@
+//! Regenerates the paper's **Table 1**: normalized runtime of recompiled
+//! binaries relative to their respective input binaries, per benchmark ×
+//! compiler configuration × {no-symbolize, symbolize}, plus the
+//! SecondWrite baseline on GCC 4.4 (-fno-pic, as the paper's mcf note
+//! requires).
+//!
+//! ```sh
+//! cargo run --release -p wyt-bench --bin table1
+//! ```
+
+use wyt_bench::{build_input, cell, geomean, measure, native_cycles, secondwrite_cycles};
+use wyt_minicc::Profile;
+
+fn main() {
+    let configs = [
+        Profile::gcc12_o3(),
+        Profile::gcc12_o0(),
+        Profile::clang16_o3(),
+        Profile::gcc44_o3(),
+    ];
+    println!("Table 1: normalized runtime of recompiled binaries (lower is better)");
+    println!("(SW = SecondWrite-like baseline on GCC 4.4 -O3 -fno-pic)\n");
+    println!(
+        "{:<12} {:>12} | {:>9} {:>9} {:>9} {:>9} | {:>6}",
+        "benchmark", "symbolize", "GCC12-O3", "GCC12-O0", "Clang16", "GCC4.4", "SW"
+    );
+    println!("{}", "-".repeat(84));
+
+    let mut geo: Vec<Vec<f64>> = vec![Vec::new(); 8];
+    let mut sw_geo: Vec<f64> = Vec::new();
+
+    for bench in wyt_spec::suite() {
+        let rows: Vec<_> = configs.iter().map(|p| measure(&bench, p)).collect();
+        // SecondWrite on the non-PIC legacy build.
+        let sw_profile = Profile::gcc44_o3_nopic();
+        let sw_img = build_input(&bench, &sw_profile);
+        let sw_native = native_cycles(&sw_img, &bench);
+        let sw = secondwrite_cycles(&sw_img, &bench);
+
+        let mut no_cells = Vec::new();
+        let mut yes_cells = Vec::new();
+        for (i, r) in rows.iter().enumerate() {
+            no_cells.push(cell(&r.nosym, r.native));
+            yes_cells.push(cell(&r.wyt, r.native));
+            if let Some(x) = r.nosym_ratio() {
+                geo[i * 2].push(x);
+            }
+            if let Some(x) = r.wyt_ratio() {
+                geo[i * 2 + 1].push(x);
+            }
+        }
+        if let Ok(c) = &sw {
+            sw_geo.push(*c as f64 / sw_native as f64);
+        }
+        println!(
+            "{:<12} {:>12} | {:>9} {:>9} {:>9} {:>9} | {:>6}",
+            bench.name, "no", no_cells[0], no_cells[1], no_cells[2], no_cells[3], ""
+        );
+        println!(
+            "{:<12} {:>12} | {:>9} {:>9} {:>9} {:>9} | {:>6}",
+            "", "yes", yes_cells[0], yes_cells[1], yes_cells[2], yes_cells[3],
+            cell(&sw, sw_native)
+        );
+    }
+
+    println!("{}", "-".repeat(84));
+    let fmt = |v: &Vec<f64>| {
+        if v.is_empty() {
+            "   —".to_string()
+        } else {
+            format!("{:.2}", geomean(v))
+        }
+    };
+    println!(
+        "{:<12} {:>12} | {:>9} {:>9} {:>9} {:>9} | {:>6}",
+        "geomean", "no", fmt(&geo[0]), fmt(&geo[2]), fmt(&geo[4]), fmt(&geo[6]), ""
+    );
+    println!(
+        "{:<12} {:>12} | {:>9} {:>9} {:>9} {:>9} | {:>6}",
+        "", "yes", fmt(&geo[1]), fmt(&geo[3]), fmt(&geo[5]), fmt(&geo[7]), fmt(&sw_geo)
+    );
+    println!(
+        "\npaper's geomeans:      no: 1.24      0.76      1.31      1.05 |  (SW 1.14)"
+    );
+    println!("                      yes: 1.10      0.48      1.06      0.82 |");
+}

@@ -1,0 +1,133 @@
+//! # wyt-bench — regenerating the paper's evaluation
+//!
+//! Shared measurement harness for the report binaries:
+//!
+//! - `table1` — normalized runtime of recompiled binaries relative to
+//!   their input binaries, per benchmark × compiler configuration ×
+//!   {no-symbolize, symbolize}, plus the SecondWrite baseline (paper
+//!   Table 1);
+//! - `figure6` — runtimes normalized to the native GCC 12.2 -O3 build
+//!   (paper Fig. 6);
+//! - `figure7` — stack-recovery accuracy per benchmark (paper Fig. 7).
+//!
+//! "Runtime" is the deterministic cycle count of `wyt-emu` (see
+//! DESIGN.md §5): the paper uses wall-clock purely as an IR-quality
+//! proxy, and a deterministic cost model preserves the comparisons while
+//! making them exactly reproducible.
+
+use wyt_core::{recompile, validate, Mode};
+use wyt_emu::run_image;
+use wyt_isa::image::Image;
+use wyt_minicc::{compile, Profile};
+use wyt_spec::Benchmark;
+
+/// Cycle measurements for one benchmark under one compiler profile.
+#[derive(Debug, Clone)]
+pub struct ConfigMeasurement {
+    /// Profile name.
+    pub config: &'static str,
+    /// Native input-binary cycles on the ref input.
+    pub native: u64,
+    /// Recompiled without symbolization.
+    pub nosym: Result<u64, String>,
+    /// Recompiled with full WYTIWYG.
+    pub wyt: Result<u64, String>,
+}
+
+impl ConfigMeasurement {
+    /// nosym / native.
+    pub fn nosym_ratio(&self) -> Option<f64> {
+        self.nosym.as_ref().ok().map(|c| *c as f64 / self.native as f64)
+    }
+
+    /// wyt / native.
+    pub fn wyt_ratio(&self) -> Option<f64> {
+        self.wyt.as_ref().ok().map(|c| *c as f64 / self.native as f64)
+    }
+}
+
+/// Build the input binary for a benchmark under a profile.
+pub fn build_input(bench: &Benchmark, profile: &Profile) -> Image {
+    compile(bench.source, profile)
+        .unwrap_or_else(|e| panic!("{} under {}: {e}", bench.name, profile.name))
+}
+
+/// Run the ref input natively and return cycles (panics on trap).
+pub fn native_cycles(img: &Image, bench: &Benchmark) -> u64 {
+    let r = run_image(img, bench.ref_input());
+    assert!(r.ok(), "{}: native trap {:?}", bench.name, r.trap);
+    r.cycles
+}
+
+/// Recompile in `mode` and measure the ref input, validating behaviour on
+/// every traced input first.
+pub fn recompiled_cycles(img: &Image, bench: &Benchmark, mode: Mode) -> Result<u64, String> {
+    let stripped = img.stripped();
+    let inputs = bench.trace_inputs();
+    let out = recompile(&stripped, &inputs, mode).map_err(|e| e.to_string())?;
+    validate(&stripped, &out.image, &inputs)?;
+    let r = run_image(&out.image, bench.ref_input());
+    if !r.ok() {
+        return Err(format!("recompiled trap: {:?}", r.trap));
+    }
+    Ok(r.cycles)
+}
+
+/// SecondWrite-baseline cycles (errors reproduce the paper's "—" cells).
+pub fn secondwrite_cycles(img: &Image, bench: &Benchmark) -> Result<u64, String> {
+    let stripped = img.stripped();
+    let inputs = bench.trace_inputs();
+    let out = wyt_core::recompile_secondwrite(&stripped, &inputs).map_err(|e| e.to_string())?;
+    validate(&stripped, &out.image, &inputs)?;
+    let r = run_image(&out.image, bench.ref_input());
+    if !r.ok() {
+        return Err(format!("recompiled trap: {:?}", r.trap));
+    }
+    Ok(r.cycles)
+}
+
+/// Measure one benchmark under one profile in both modes.
+pub fn measure(bench: &Benchmark, profile: &Profile) -> ConfigMeasurement {
+    let img = build_input(bench, profile);
+    let native = native_cycles(&img, bench);
+    ConfigMeasurement {
+        config: profile.name,
+        native,
+        nosym: recompiled_cycles(&img, bench, Mode::NoSymbolize),
+        wyt: recompiled_cycles(&img, bench, Mode::Wytiwyg),
+    }
+}
+
+/// Geometric mean.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Format a ratio cell, using "—" for failures like the paper.
+pub fn cell(r: &Result<u64, String>, native: u64) -> String {
+    match r {
+        Ok(c) => format!("{:.2}", *c as f64 / native as f64),
+        Err(_) => "   —".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_behaves() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-9);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn cell_formats_failures_as_dash() {
+        assert_eq!(cell(&Ok(150), 100), "1.50");
+        assert_eq!(cell(&Err("x".into()), 100), "   —");
+    }
+}

@@ -1,0 +1,301 @@
+//! Splitting-accuracy evaluation (paper §6.3, Fig. 7).
+//!
+//! Compares the dynamically recovered stack layout against the compiler's
+//! ground truth (the [`wyt_isa::image::FrameLayout`] sidecar — the
+//! analogue of LLVM 16's Stack Frame Layout analysis). Each ground-truth
+//! allocation is classified:
+//!
+//! - **matched**: a recovered variable covers exactly the same interval;
+//! - **oversized**: a recovered variable strictly contains it (safe but
+//!   possibly optimization-inhibiting);
+//! - **undersized**: partial overlap (a valid untraced input could
+//!   overflow);
+//! - **missed**: no recovered variable overlaps it.
+//!
+//! Precision counts recovered variables that exactly match some
+//! ground-truth object; recall counts matched ground-truth objects. Only
+//! traced functions participate (untraced functions are not lifted), and
+//! recovered variables serving as outgoing-argument staging are excluded,
+//! mirroring the paper's treatment of arguments via signatures.
+
+use crate::layout::ModuleLayout;
+use crate::runtime::BoundsInfo;
+use crate::spfold::FoldInfo;
+use std::collections::HashMap;
+use wyt_isa::image::{FrameLayout, Image};
+use wyt_ir::FuncId;
+use wyt_lifter::LiftedMeta;
+
+/// Classification of one ground-truth stack object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatchKind {
+    /// Exact interval match.
+    Matched,
+    /// Fully contained in a larger recovered variable.
+    Oversized,
+    /// Partially covered only.
+    Undersized,
+    /// Not covered at all.
+    Missed,
+}
+
+/// Accuracy of one function.
+#[derive(Debug, Clone)]
+pub struct FuncAccuracy {
+    /// Function name (from ground truth).
+    pub name: String,
+    /// Per ground-truth object: `(name, classification)`.
+    pub objects: Vec<(String, MatchKind)>,
+    /// Recovered variables considered (after exclusions).
+    pub recovered: usize,
+    /// Recovered variables that exactly matched a ground-truth object.
+    pub recovered_matched: usize,
+}
+
+/// Whole-binary accuracy report.
+#[derive(Debug, Clone, Default)]
+pub struct AccuracyReport {
+    /// Per traced function.
+    pub funcs: Vec<FuncAccuracy>,
+}
+
+impl AccuracyReport {
+    /// Count of ground-truth objects with the given classification.
+    pub fn count(&self, kind: MatchKind) -> usize {
+        self.funcs
+            .iter()
+            .flat_map(|f| f.objects.iter())
+            .filter(|(_, k)| *k == kind)
+            .count()
+    }
+
+    /// Total ground-truth objects considered.
+    pub fn total(&self) -> usize {
+        self.funcs.iter().map(|f| f.objects.len()).sum()
+    }
+
+    /// matched / recovered.
+    pub fn precision(&self) -> f64 {
+        let rec: usize = self.funcs.iter().map(|f| f.recovered).sum();
+        let hit: usize = self.funcs.iter().map(|f| f.recovered_matched).sum();
+        if rec == 0 {
+            1.0
+        } else {
+            hit as f64 / rec as f64
+        }
+    }
+
+    /// matched / ground truth.
+    pub fn recall(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            self.count(MatchKind::Matched) as f64 / total as f64
+        }
+    }
+
+    /// Fractions per kind in Fig. 7's order
+    /// (matched, oversized, undersized, missed).
+    pub fn ratios(&self) -> (f64, f64, f64, f64) {
+        let t = self.total().max(1) as f64;
+        (
+            self.count(MatchKind::Matched) as f64 / t,
+            self.count(MatchKind::Oversized) as f64 / t,
+            self.count(MatchKind::Undersized) as f64 / t,
+            self.count(MatchKind::Missed) as f64 / t,
+        )
+    }
+}
+
+/// Evaluate recovered layouts against the image's ground truth.
+///
+/// `ground_truth` must be the *unstripped* image (the recompiler itself
+/// only ever sees the stripped copy).
+pub fn evaluate_accuracy(
+    ground_truth: &Image,
+    meta: &LiftedMeta,
+    layout: &ModuleLayout,
+    bounds: &BoundsInfo,
+    fold: &FoldInfo,
+) -> AccuracyReport {
+    let mut report = AccuracyReport::default();
+
+    // Outgoing-argument staging regions per function: for a call site at
+    // depth d whose callee accessed `hi` bytes of arguments, the caller's
+    // staging window is [d+4, d+4+hi) in sp0-relative coordinates.
+    let mut out_arg_regions: HashMap<FuncId, Vec<(i32, i32)>> = HashMap::new();
+    for (fid, folded) in &fold.funcs {
+        let mut regions = Vec::new();
+        for (inst, &d) in &folded.call_esp_off {
+            if let Some(args) = bounds.callsite_args.get(&(*fid, *inst)) {
+                if let Some(hi) = args.hi {
+                    regions.push((d + 4, d + 4 + hi));
+                }
+            }
+        }
+        out_arg_regions.insert(*fid, regions);
+    }
+
+    for frame in &ground_truth.frame_layouts {
+        let Some(&fid) = meta.func_by_addr.get(&frame.func) else {
+            continue; // untraced function: not lifted, not evaluated
+        };
+        if !bounds.entered.contains(&fid) {
+            continue;
+        }
+        let empty = crate::layout::FuncLayout::default();
+        let fl = layout.funcs.get(&fid).unwrap_or(&empty);
+
+        // Recovered variables with observed accesses, excluding
+        // outgoing-argument staging.
+        let regions = out_arg_regions.get(&fid).cloned().unwrap_or_default();
+        let defined_keys: Vec<(i32, i32)> = fl
+            .vars
+            .iter()
+            .filter(|v| {
+                // Only variables with at least one dereferenced member.
+                v.members.iter().any(|m| {
+                    bounds
+                        .vars
+                        .get(&(fid, *m))
+                        .map(|d| d.defined())
+                        .unwrap_or(false)
+                })
+            })
+            .map(|v| (v.lo, v.hi))
+            .filter(|(lo, hi)| {
+                !regions
+                    .iter()
+                    .any(|(rl, rh)| rl <= lo && hi <= rh)
+            })
+            .collect();
+
+        let mut fa = FuncAccuracy {
+            name: frame.func_name.clone(),
+            objects: Vec::new(),
+            recovered: defined_keys.len(),
+            recovered_matched: 0,
+        };
+        let mut used: Vec<bool> = vec![false; defined_keys.len()];
+        for gt in &frame.vars {
+            let glo = gt.sp0_offset;
+            let ghi = gt.sp0_offset + gt.size as i32;
+            let mut kind = MatchKind::Missed;
+            for (i, (lo, hi)) in defined_keys.iter().enumerate() {
+                let overlap = glo < *hi && *lo < ghi;
+                if !overlap {
+                    continue;
+                }
+                if *lo == glo && *hi == ghi {
+                    kind = MatchKind::Matched;
+                    if !used[i] {
+                        used[i] = true;
+                        fa.recovered_matched += 1;
+                    }
+                    break;
+                }
+                if *lo <= glo && ghi <= *hi {
+                    kind = MatchKind::Oversized;
+                } else if kind == MatchKind::Missed {
+                    kind = MatchKind::Undersized;
+                }
+            }
+            fa.objects.push((gt.name.clone(), kind));
+        }
+        report.funcs.push(fa);
+    }
+    report
+}
+
+/// Helper: classify `frame` against explicit recovered intervals
+/// (unit-test surface).
+pub fn classify_frame(frame: &FrameLayout, recovered: &[(i32, i32)]) -> Vec<MatchKind> {
+    frame
+        .vars
+        .iter()
+        .map(|gt| {
+            let glo = gt.sp0_offset;
+            let ghi = gt.sp0_offset + gt.size as i32;
+            let mut kind = MatchKind::Missed;
+            for (lo, hi) in recovered {
+                let overlap = glo < *hi && *lo < ghi;
+                if !overlap {
+                    continue;
+                }
+                if *lo == glo && *hi == ghi {
+                    return MatchKind::Matched;
+                }
+                if *lo <= glo && ghi <= *hi {
+                    kind = MatchKind::Oversized;
+                } else if kind == MatchKind::Missed {
+                    kind = MatchKind::Undersized;
+                }
+            }
+            kind
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wyt_isa::image::{GtVar, GtVarKind};
+
+    fn frame(vars: &[(i32, u32)]) -> FrameLayout {
+        FrameLayout {
+            func: 0,
+            func_name: "f".into(),
+            vars: vars
+                .iter()
+                .enumerate()
+                .map(|(i, (off, size))| GtVar {
+                    name: format!("v{i}"),
+                    sp0_offset: *off,
+                    size: *size,
+                    kind: GtVarKind::Named,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn classification_kinds() {
+        let fr = frame(&[(-8, 4), (-20, 8), (-40, 16), (-60, 4)]);
+        let recovered = vec![
+            (-8, -4),   // exact match for v0
+            (-24, -8),  // contains v1 (oversized)
+            (-40, -32), // half of v2 (undersized)
+                        // nothing near v3 (missed)
+        ];
+        let kinds = classify_frame(&fr, &recovered);
+        assert_eq!(
+            kinds,
+            vec![MatchKind::Matched, MatchKind::Oversized, MatchKind::Undersized, MatchKind::Missed]
+        );
+    }
+
+    #[test]
+    fn report_metrics() {
+        let mut report = AccuracyReport::default();
+        report.funcs.push(FuncAccuracy {
+            name: "a".into(),
+            objects: vec![
+                ("x".into(), MatchKind::Matched),
+                ("y".into(), MatchKind::Matched),
+                ("z".into(), MatchKind::Oversized),
+                ("w".into(), MatchKind::Missed),
+            ],
+            recovered: 3,
+            recovered_matched: 2,
+        });
+        assert_eq!(report.total(), 4);
+        assert!((report.recall() - 0.5).abs() < 1e-9);
+        assert!((report.precision() - 2.0 / 3.0).abs() < 1e-9);
+        let (m, o, u, x) = report.ratios();
+        assert!((m - 0.5).abs() < 1e-9);
+        assert!((o - 0.25).abs() < 1e-9);
+        assert!(u.abs() < 1e-9);
+        assert!((x - 0.25).abs() < 1e-9);
+    }
+}

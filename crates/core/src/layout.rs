@@ -1,0 +1,398 @@
+//! Stack-layout construction (paper §4.2.6): coalesce base pointers into
+//! variables by merging overlapping intervals and linked pairs, then build
+//! per-function signatures from call-site observations (super signatures).
+
+use crate::regsave::RegSaveInfo;
+use crate::runtime::{BoundsInfo, VarKey};
+use crate::spfold::FoldInfo;
+use std::collections::{BTreeMap, HashMap};
+use wyt_ir::{FuncId, InstId};
+
+/// One recovered stack variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackSlotVar {
+    /// Lowest sp0-relative byte.
+    pub lo: i32,
+    /// One past the highest sp0-relative byte.
+    pub hi: i32,
+    /// Alignment requirement (power of two).
+    pub align: u32,
+    /// Base pointers assigned to this variable.
+    pub members: Vec<InstId>,
+}
+
+impl StackSlotVar {
+    /// Size in bytes.
+    pub fn size(&self) -> u32 {
+        (self.hi - self.lo).max(1) as u32
+    }
+}
+
+/// Recovered layout of one function.
+#[derive(Debug, Clone, Default)]
+pub struct FuncLayout {
+    /// Variables, sorted by `lo`.
+    pub vars: Vec<StackSlotVar>,
+    /// Base pointer → (variable index, delta from the variable's `lo`).
+    pub assignment: BTreeMap<InstId, (usize, i32)>,
+    /// Recovered number of 32-bit stack arguments (super signature).
+    pub stack_args: u32,
+    /// Register cells recovered as arguments.
+    pub reg_args: Vec<usize>,
+}
+
+/// Layouts for the whole module.
+#[derive(Debug, Clone, Default)]
+pub struct ModuleLayout {
+    /// Per function.
+    pub funcs: HashMap<FuncId, FuncLayout>,
+    /// Super-signature: per callee, the max stack-arg words observed over
+    /// all of its call sites.
+    pub callee_stack_args: HashMap<FuncId, u32>,
+}
+
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Dsu {
+        Dsu { parent: (0..n).collect() }
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let r = self.find(self.parent[x]);
+            self.parent[x] = r;
+            r
+        } else {
+            x
+        }
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Build the per-function layouts and super signatures.
+///
+/// `call_targets` maps every call instruction to its possible callees
+/// (direct: one; indirect: the observed set), so callee argument
+/// observations can be attributed.
+pub fn build_layout(
+    bounds: &BoundsInfo,
+    fold: &FoldInfo,
+    regs: &RegSaveInfo,
+    call_targets: &HashMap<(FuncId, InstId), Vec<FuncId>>,
+) -> ModuleLayout {
+    let mut out = ModuleLayout::default();
+
+    // Super signatures: merge call-site argument observations per callee.
+    for ((caller, inst), args) in &bounds.callsite_args {
+        let Some(hi) = args.hi else { continue };
+        let words = ((hi + 3) / 4).max(0) as u32;
+        if let Some(callees) = call_targets.get(&(*caller, *inst)) {
+            for c in callees {
+                let e = out.callee_stack_args.entry(*c).or_insert(0);
+                *e = (*e).max(words);
+            }
+        }
+    }
+
+    // Group candidate variables per function.
+    let mut per_func: HashMap<FuncId, Vec<(VarKey, i32, Option<(i32, i32)>, Option<u32>)>> =
+        HashMap::new();
+    for (key, data) in &bounds.vars {
+        let interval = match (data.low, data.high) {
+            (Some(l), Some(h)) => Some((data.sp0_off + l, data.sp0_off + h)),
+            _ => None,
+        };
+        per_func
+            .entry(key.0)
+            .or_default()
+            .push((*key, data.sp0_off, interval, data.align));
+    }
+    // Every function with fold info gets a layout (possibly without vars).
+    for (fid, folded) in &fold.funcs {
+        per_func.entry(*fid).or_default();
+        let _ = folded;
+    }
+
+    for (fid, mut cands) in per_func {
+        cands.sort_by_key(|(key, ..)| key.1);
+        let index_of: HashMap<VarKey, usize> =
+            cands.iter().enumerate().map(|(i, (k, ..))| (*k, i)).collect();
+        let mut dsu = Dsu::new(cands.len());
+
+        // Merge linked pairs (both within this function).
+        for (a, b) in &bounds.links {
+            if a.0 == fid && b.0 == fid {
+                if let (Some(&ia), Some(&ib)) = (index_of.get(a), index_of.get(b)) {
+                    dsu.union(ia, ib);
+                }
+            }
+        }
+        // Merge overlapping defined intervals (sweep).
+        let mut defined: Vec<(i32, i32, usize)> = cands
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (_, _, iv, _))| iv.map(|(l, h)| (l, h, i)))
+            .collect();
+        defined.sort();
+        for w in defined.windows(2) {
+            let (l1, h1, i1) = w[0];
+            let (l2, _h2, i2) = w[1];
+            let _ = l1;
+            if l2 < h1 {
+                dsu.union(i1, i2);
+            }
+        }
+        // Transitive overlap needs a second pass since merging can extend
+        // ranges; iterate to fixpoint on group extents.
+        loop {
+            let mut extent: HashMap<usize, (i32, i32)> = HashMap::new();
+            for &(l, h, i) in &defined {
+                let r = dsu.find(i);
+                let e = extent.entry(r).or_insert((l, h));
+                e.0 = e.0.min(l);
+                e.1 = e.1.max(h);
+            }
+            let mut groups: Vec<(i32, i32, usize)> =
+                extent.into_iter().map(|(r, (l, h))| (l, h, r)).collect();
+            groups.sort();
+            let mut changed = false;
+            for w in groups.windows(2) {
+                let (_, h1, r1) = w[0];
+                let (l2, _, r2) = w[1];
+                if l2 < h1 && dsu.find(r1) != dsu.find(r2) {
+                    dsu.union(r1, r2);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Adopt intervals for undefined-but-linked members. Undefined and
+        // unlinked base pointers (never dereferenced — e.g. stack-pointer
+        // arithmetic values) must not create storage that overlaps a real
+        // variable, or two allocas would shadow the same original bytes:
+        // fold them into the defined variable containing their position
+        // when one exists, deduplicate the rest per offset, and give the
+        // survivors a minimal 4-byte placeholder.
+        let mut group_extent: HashMap<usize, (i32, i32, u32)> = HashMap::new();
+        let mut rep_of_root: HashMap<usize, usize> = HashMap::new();
+        for (i, (_, _sp0_off, iv, align)) in cands.iter().enumerate() {
+            let r = dsu.find(i);
+            if let Some((l, h)) = iv {
+                let e = group_extent.entry(r).or_insert((*l, *h, 4));
+                e.0 = e.0.min(*l);
+                e.1 = e.1.max(*h);
+                if let Some(a) = align {
+                    e.2 = e.2.max(*a);
+                }
+                rep_of_root.entry(r).or_insert(i);
+            }
+        }
+        // Fold phantoms into containing defined variables.
+        let defined_list: Vec<(usize, i32, i32)> = {
+            let mut v: Vec<_> = group_extent
+                .iter()
+                .map(|(r, (l, h, _))| (*r, *l, *h))
+                .collect();
+            v.sort_by_key(|(_, l, _)| *l);
+            v
+        };
+        let mut phantom_at: HashMap<i32, usize> = HashMap::new();
+        for (i, (_, sp0_off, iv, _)) in cands.iter().enumerate() {
+            if iv.is_some() {
+                continue;
+            }
+            let r = dsu.find(i);
+            if group_extent.contains_key(&r) {
+                continue; // linked into a defined group already
+            }
+            if let Some((dr, ..)) = defined_list
+                .iter()
+                .find(|(_, l, h)| *l <= *sp0_off && *sp0_off < *h)
+            {
+                let rep = rep_of_root[dr];
+                dsu.union(i, rep);
+                continue;
+            }
+            match phantom_at.get(&sp0_off) {
+                Some(&other) => dsu.union(i, other),
+                None => {
+                    phantom_at.insert(*sp0_off, i);
+                }
+            }
+        }
+        // Placeholder extents for the surviving phantom groups.
+        for (i, (_, sp0_off, iv, _)) in cands.iter().enumerate() {
+            let r = dsu.find(i);
+            if iv.is_none() && !group_extent.contains_key(&r) {
+                group_extent.insert(r, (*sp0_off, *sp0_off + 4, 4));
+            }
+        }
+        // Re-key extents to current roots (unions above may have moved
+        // members between roots).
+        let group_extent: HashMap<usize, (i32, i32, u32)> = {
+            let mut out: HashMap<usize, (i32, i32, u32)> = HashMap::new();
+            for (r, e) in group_extent {
+                let nr = dsu.find(r);
+                let slot = out.entry(nr).or_insert(e);
+                slot.0 = slot.0.min(e.0);
+                slot.1 = slot.1.max(e.1);
+                slot.2 = slot.2.max(e.2);
+            }
+            out
+        };
+
+        // Emit variables and assignments.
+        let mut var_of_root: HashMap<usize, usize> = HashMap::new();
+        let mut layout = FuncLayout::default();
+        let mut roots: Vec<(usize, (i32, i32, u32))> =
+            group_extent.iter().map(|(r, e)| (*r, *e)).collect();
+        roots.sort_by_key(|(r, (l, h, _))| (*l, *h, *r));
+        for (root, (lo, hi, align)) in roots {
+            let idx = layout.vars.len();
+            layout.vars.push(StackSlotVar { lo, hi, align, members: Vec::new() });
+            var_of_root.insert(root, idx);
+        }
+        for (i, (key, sp0_off, _, _)) in cands.iter().enumerate() {
+            let root = dsu.find(i);
+            let Some(&vi) = var_of_root.get(&root) else { continue };
+            let delta = sp0_off - layout.vars[vi].lo;
+            layout.vars[vi].members.push(key.1);
+            layout.assignment.insert(key.1, (vi, delta));
+        }
+
+        layout.reg_args = regs.arg_cells(fid);
+        layout.stack_args = out.callee_stack_args.get(&fid).copied().unwrap_or(0);
+        out.funcs.insert(fid, layout);
+    }
+
+    // Functions that appear as callees get their stack_args even if they
+    // had no candidate vars.
+    let with_args: Vec<(FuncId, u32)> =
+        out.callee_stack_args.iter().map(|(f, w)| (*f, *w)).collect();
+    for (f, w) in with_args {
+        out.funcs.entry(f).or_default().stack_args = w;
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::VarData;
+
+    fn key(f: u32, i: u32) -> VarKey {
+        (FuncId(f), InstId(i))
+    }
+
+    fn var(off: i32, low: i32, high: i32) -> VarData {
+        VarData { sp0_off: off, low: Some(low), high: Some(high), align: None }
+    }
+
+    #[test]
+    fn overlapping_intervals_merge() {
+        let mut bounds = BoundsInfo::default();
+        // b at sp0-44 accessed [0,24); a reference at sp0-36 accessed [0,4):
+        // the Fig. 2 example — one array variable.
+        bounds.vars.insert(key(0, 1), var(-44, 0, 24));
+        bounds.vars.insert(key(0, 2), var(-36, 0, 4));
+        // A distinct scalar at sp0-12.
+        bounds.vars.insert(key(0, 3), var(-12, 0, 4));
+        let fold = FoldInfo::default();
+        let regs = RegSaveInfo { class: HashMap::new(), indirect_targets: HashMap::new() };
+        let layout = build_layout(&bounds, &fold, &regs, &HashMap::new());
+        let fl = &layout.funcs[&FuncId(0)];
+        assert_eq!(fl.vars.len(), 2, "{:?}", fl.vars);
+        let big = fl.vars.iter().find(|v| v.size() == 24).expect("merged array");
+        assert_eq!(big.lo, -44);
+        // The sp0-36 pointer maps into the array at delta 8.
+        assert_eq!(fl.assignment[&InstId(2)], (0, 8));
+        assert_eq!(fl.assignment[&InstId(3)].0, 1);
+    }
+
+    #[test]
+    fn disjoint_accesses_stay_split() {
+        // The paper: if f3 returns 0 in every trace, the array splits.
+        let mut bounds = BoundsInfo::default();
+        bounds.vars.insert(key(0, 1), var(-44, 0, 8)); // b[0..2)
+        bounds.vars.insert(key(0, 2), var(-36, 0, 4)); // b[2]
+        let layout = build_layout(
+            &bounds,
+            &FoldInfo::default(),
+            &RegSaveInfo { class: HashMap::new(), indirect_targets: HashMap::new() },
+            &HashMap::new(),
+        );
+        let fl = &layout.funcs[&FuncId(0)];
+        assert_eq!(fl.vars.len(), 2, "split variables: {:?}", fl.vars);
+    }
+
+    #[test]
+    fn links_merge_disjoint_intervals() {
+        let mut bounds = BoundsInfo::default();
+        bounds.vars.insert(key(0, 1), var(-32, 0, 8));
+        bounds.vars.insert(key(0, 2), var(-16, 0, 4));
+        bounds.links.insert((key(0, 1), key(0, 2)));
+        let layout = build_layout(
+            &bounds,
+            &FoldInfo::default(),
+            &RegSaveInfo { class: HashMap::new(), indirect_targets: HashMap::new() },
+            &HashMap::new(),
+        );
+        let fl = &layout.funcs[&FuncId(0)];
+        assert_eq!(fl.vars.len(), 1);
+        assert_eq!(fl.vars[0].lo, -32);
+        assert_eq!(fl.vars[0].hi, -12);
+    }
+
+    #[test]
+    fn undefined_unlinked_pointer_gets_minimal_var() {
+        let mut bounds = BoundsInfo::default();
+        bounds.vars.insert(
+            key(0, 1),
+            VarData { sp0_off: -20, low: None, high: None, align: None },
+        );
+        let layout = build_layout(
+            &bounds,
+            &FoldInfo::default(),
+            &RegSaveInfo { class: HashMap::new(), indirect_targets: HashMap::new() },
+            &HashMap::new(),
+        );
+        let fl = &layout.funcs[&FuncId(0)];
+        assert_eq!(fl.vars.len(), 1);
+        assert_eq!(fl.vars[0].size(), 4);
+    }
+
+    #[test]
+    fn super_signature_takes_max_over_call_sites() {
+        let mut bounds = BoundsInfo::default();
+        let mut a1 = crate::runtime::CallSiteArgs::default();
+        a1.lo = Some(0);
+        a1.hi = Some(8); // 2 words at one site
+        bounds.callsite_args.insert((FuncId(1), InstId(5)), a1);
+        let mut a2 = crate::runtime::CallSiteArgs::default();
+        a2.lo = Some(0);
+        a2.hi = Some(12); // 3 words elsewhere
+        bounds.callsite_args.insert((FuncId(2), InstId(9)), a2);
+        let mut targets = HashMap::new();
+        targets.insert((FuncId(1), InstId(5)), vec![FuncId(0)]);
+        targets.insert((FuncId(2), InstId(9)), vec![FuncId(0)]);
+        let layout = build_layout(
+            &bounds,
+            &FoldInfo::default(),
+            &RegSaveInfo { class: HashMap::new(), indirect_targets: HashMap::new() },
+            &targets,
+        );
+        assert_eq!(layout.callee_stack_args[&FuncId(0)], 3);
+        assert_eq!(layout.funcs[&FuncId(0)].stack_args, 3);
+    }
+}

@@ -1,0 +1,50 @@
+//! # wyt-core — WYTIWYG: dynamic stack-layout recovery
+//!
+//! The paper's primary contribution, reproduced end to end:
+//!
+//! - [`vararg`] — refinement 1: exact signatures for external and
+//!   `printf`-style calls, recovered by inspecting format strings at
+//!   runtime (paper §5.2).
+//! - [`regsave`] — refinement 2a: the dynamic saved-register analysis with
+//!   symbolic register tokens and deferred forwarding constraints (§4.1).
+//! - [`spfold`] — refinement 2b: explicit save/restore insertion and
+//!   folding of every direct stack reference into canonical `sp0 + offset`
+//!   base pointers (§4.1).
+//! - [`runtime`] — refinement 3: the bounds-recovery tracing runtime with
+//!   `StackVar`s, `PointerInfo`s, the address map, linked sets, frame and
+//!   call-site descriptors, and external-function effects (§4.2, Fig. 5).
+//! - [`layout`] — interval/link coalescing into per-function stack layouts
+//!   and super signatures (§4.2.6).
+//! - [`symbolize`] — base-pointer replacement with allocas, signature
+//!   materialization, registers-to-SSA, emulated-stack removal (§4.2.6).
+//! - [`pipeline`] — the refinement-lifting driver (Fig. 4): [`recompile`]
+//!   runs trace → lift → refine → symbolize → re-optimize → lower.
+//! - [`accuracy`] — the §6.3 evaluation: recovered layouts vs ground
+//!   truth, classified matched / oversized / undersized / missed.
+//! - [`baseline`] — a SecondWrite-like conservative *static* symbolizer
+//!   used as the comparison point in Table 1 / Fig. 6.
+//!
+//! ```no_run
+//! use wyt_core::{recompile, Mode};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let image = wyt_minicc::compile("int main() { return 0; }",
+//!     &wyt_minicc::Profile::gcc12_o3())?.stripped();
+//! let out = wyt_core::recompile(&image, &[vec![]], Mode::Wytiwyg)?;
+//! assert_eq!(wyt_emu::run_image(&out.image, vec![]).exit_code, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod accuracy;
+pub mod baseline;
+pub mod layout;
+pub mod pipeline;
+pub mod regsave;
+pub mod runtime;
+pub mod spfold;
+pub mod symbolize;
+pub mod vararg;
+
+pub use accuracy::{evaluate_accuracy, AccuracyReport, MatchKind};
+pub use baseline::{recompile_secondwrite, SecondWriteError};
+pub use pipeline::{recompile, recompile_with, validate, Mode, Recompiled, RecompileError};

@@ -1,0 +1,219 @@
+//! The refinement-lifting driver (paper Fig. 4): trace → lift → refine →
+//! symbolize → re-optimize → lower.
+
+use crate::{layout, regsave, runtime, spfold, symbolize, vararg};
+use std::collections::HashMap;
+use std::fmt;
+use wyt_backend::lower_module;
+use wyt_emu::RunResult;
+use wyt_isa::image::Image;
+use wyt_ir::{FuncId, InstId, InstKind, Module};
+use wyt_lifter::{lift_image, Lifted, LiftPipelineError};
+use wyt_opt::{optimize, OptLevel};
+
+/// How to recompile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// BinRec baseline: lift (with function recovery), clean up, lower —
+    /// the emulated stack stays.
+    NoSymbolize,
+    /// Full WYTIWYG: all refinements, symbolization, full re-optimization.
+    Wytiwyg,
+}
+
+/// A recompilation failure.
+#[derive(Debug)]
+pub enum RecompileError {
+    /// Lifting failed.
+    Lift(LiftPipelineError),
+    /// A refinement execution failed.
+    Refine(String),
+    /// Symbolization failed.
+    Symbolize(symbolize::SymbolizeError),
+    /// Lowering failed.
+    Lower(wyt_backend::BackendError),
+    /// The produced IR failed verification (internal bug guard).
+    Verify(wyt_ir::verify::VerifyError),
+}
+
+impl fmt::Display for RecompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecompileError::Lift(e) => write!(f, "lift: {e}"),
+            RecompileError::Refine(e) => write!(f, "refinement: {e}"),
+            RecompileError::Symbolize(e) => write!(f, "symbolize: {e}"),
+            RecompileError::Lower(e) => write!(f, "lower: {e}"),
+            RecompileError::Verify(e) => write!(f, "verify: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecompileError {}
+
+/// Everything a recompilation produces.
+#[derive(Debug)]
+pub struct Recompiled {
+    /// The recompiled executable.
+    pub image: Image,
+    /// The final IR module.
+    pub module: Module,
+    /// Lifting artifacts (trace, CFG, function map).
+    pub lifted_meta: wyt_lifter::LiftedMeta,
+    /// Recovered layouts (WYTIWYG mode only).
+    pub layout: Option<layout::ModuleLayout>,
+    /// Bounds observations (WYTIWYG mode only).
+    pub bounds: Option<runtime::BoundsInfo>,
+    /// sp0 folding results (WYTIWYG mode only).
+    pub fold: Option<spfold::FoldInfo>,
+    /// Original-trace run results (reference behaviour).
+    pub baseline_runs: Vec<RunResult>,
+}
+
+fn verify(m: &Module) -> Result<(), RecompileError> {
+    wyt_ir::verify::verify_module(m).map_err(RecompileError::Verify)
+}
+
+/// Recompile `img`, tracing with `inputs`.
+///
+/// # Errors
+/// Returns a [`RecompileError`] if any stage fails.
+pub fn recompile(img: &Image, inputs: &[Vec<u8>], mode: Mode) -> Result<Recompiled, RecompileError> {
+    recompile_with(img, inputs, mode, OptLevel::Full)
+}
+
+/// [`recompile`] with an explicit re-optimization level — the ablation
+/// knob separating *recovery* (symbolization) from *exploitation* (the
+/// memory-optimization pipeline it unlocks).
+///
+/// # Errors
+/// Returns a [`RecompileError`] if any stage fails.
+pub fn recompile_with(
+    img: &Image,
+    inputs: &[Vec<u8>],
+    mode: Mode,
+    opt: OptLevel,
+) -> Result<Recompiled, RecompileError> {
+    let Lifted { mut module, meta, trace, cfg, funcs, baseline_runs } =
+        lift_image(img, inputs).map_err(RecompileError::Lift)?;
+    let _ = (&trace, &cfg, &funcs);
+    verify(&module)?;
+
+    match mode {
+        Mode::NoSymbolize => {
+            // BinRec hands the lifted module to the full LLVM pipeline; the
+            // optimizer simply cannot see through the emulated stack.
+            optimize(&mut module, opt);
+            verify(&module)?;
+            let image = lower_module(&module).map_err(RecompileError::Lower)?;
+            Ok(Recompiled {
+                image,
+                module,
+                lifted_meta: meta,
+                layout: None,
+                bounds: None,
+                fold: None,
+                baseline_runs,
+            })
+        }
+        Mode::Wytiwyg => {
+            // Refinement 1: variadic / external call recovery (§5.2).
+            let obs = vararg::observe(&module, inputs)
+                .map_err(|e| RecompileError::Refine(format!("vararg: {e}")))?;
+            vararg::apply(&mut module, &obs);
+            verify(&module)?;
+
+            // Refinement 2: saved registers + sp0 folding (§4.1).
+            let reginfo = regsave::analyze(&module, &meta, inputs)
+                .map_err(|e| RecompileError::Refine(format!("regsave: {e}")))?;
+            spfold::insert_save_restore(&mut module, &meta, &reginfo);
+            let fold = spfold::fold(&mut module, &meta, &reginfo)
+                .map_err(|e| RecompileError::Refine(e.to_string()))?;
+            verify(&module)?;
+
+            // Refinement 3: bounds recovery (§4.2).
+            let bounds = runtime::trace_bounds(&module, &fold, inputs)
+                .map_err(|e| RecompileError::Refine(format!("bounds: {e}")))?;
+
+            // Layout + symbolization (§4.2.6).
+            let call_targets = collect_call_targets(&module, &reginfo);
+            let mlayout = layout::build_layout(&bounds, &fold, &reginfo, &call_targets);
+            symbolize::symbolize(&mut module, &meta, &fold, &reginfo, &mlayout)
+                .map_err(RecompileError::Symbolize)?;
+            verify(&module)?;
+
+            // Re-optimize and lower. Optimization deletes unused after-call
+            // register reloads, which strands the matching exit stores in
+            // callees; sweep those and clean up once more.
+            optimize(&mut module, opt);
+            symbolize::dead_cell_stores(&mut module);
+            optimize(&mut module, opt);
+            verify(&module)?;
+            let image = lower_module(&module).map_err(RecompileError::Lower)?;
+            Ok(Recompiled {
+                image,
+                module,
+                lifted_meta: meta,
+                layout: Some(mlayout),
+                bounds: Some(bounds),
+                fold: Some(fold),
+                baseline_runs,
+            })
+        }
+    }
+}
+
+/// Possible callees of every call instruction (direct and indirect).
+fn collect_call_targets(
+    module: &Module,
+    regs: &regsave::RegSaveInfo,
+) -> HashMap<(FuncId, InstId), Vec<FuncId>> {
+    let mut out = HashMap::new();
+    for (fi, f) in module.funcs.iter().enumerate() {
+        let fid = FuncId(fi as u32);
+        for b in f.rpo() {
+            for &i in &f.blocks[b.index()].insts {
+                match f.inst(i) {
+                    InstKind::Call { f: c, .. } => {
+                        out.insert((fid, i), vec![*c]);
+                    }
+                    InstKind::CallInd { .. } => {
+                        let ts = regs
+                            .indirect_targets
+                            .get(&(fid, i))
+                            .map(|s| s.iter().copied().collect())
+                            .unwrap_or_default();
+                        out.insert((fid, i), ts);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Validate a recompiled image against the original on the given inputs:
+/// exit codes and outputs must match.
+pub fn validate(original: &Image, recompiled: &Image, inputs: &[Vec<u8>]) -> Result<(), String> {
+    for (i, input) in inputs.iter().enumerate() {
+        let a = wyt_emu::run_image(original, input.clone());
+        let b = wyt_emu::run_image(recompiled, input.clone());
+        if !a.ok() {
+            return Err(format!("input {i}: original trapped: {:?}", a.trap));
+        }
+        if !b.ok() {
+            return Err(format!("input {i}: recompiled trapped: {:?}", b.trap));
+        }
+        if a.exit_code != b.exit_code {
+            return Err(format!("input {i}: exit {} vs {}", a.exit_code, b.exit_code));
+        }
+        if a.output != b.output {
+            return Err(format!(
+                "input {i}: output mismatch ({} vs {} bytes)",
+                a.output.len(),
+                b.output.len()
+            ));
+        }
+    }
+    Ok(())
+}

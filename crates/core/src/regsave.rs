@@ -1,0 +1,538 @@
+//! Refinement 2a: dynamic saved-register analysis (paper §4.1).
+//!
+//! At every function entry each virtual register cell is assigned a fresh
+//! symbolic token. A register is *saved* by a function iff, in every traced
+//! invocation, (1) its token is only stored into the function's own stack
+//! frame and loaded back (never used in an operation or written anywhere
+//! else), and (2) the register cell again holds the token when the function
+//! returns. Registers whose token is passed untouched to a callee are
+//! *forwarded*: their classification is resolved after tracing with the
+//! constraint "if it is an argument anywhere downstream, it is an argument
+//! here" — exactly the paper's deferred constraint scheme.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use wyt_emu::{ExtId, Memory};
+use wyt_ir::interp::{ExtArgs, Hooks, Interp, InterpError, Shadow, Tagged};
+use wyt_ir::{BinOp, CmpOp, FuncId, InstId, Module, Ty};
+use wyt_lifter::{vcpu_reg_addr, vcpu_vreg_addr, LiftedMeta};
+
+/// Number of tracked register cells (8 GPRs + 2 vector halves).
+pub const NUM_CELLS: usize = 10;
+
+/// Index of the `esp` cell.
+pub const ESP_CELL: usize = 4;
+
+/// Cell index of a vcpu cell address, if it is one.
+pub fn cell_of_addr(addr: u32) -> Option<usize> {
+    for r in wyt_isa::Reg::ALL {
+        if addr == vcpu_reg_addr(r) {
+            return Some(r.index());
+        }
+    }
+    if addr == vcpu_vreg_addr(0) {
+        return Some(8);
+    }
+    if addr == vcpu_vreg_addr(1) {
+        return Some(9);
+    }
+    None
+}
+
+/// Final classification of a register with respect to one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegClass {
+    /// Preserved: the caller's value is intact after the call.
+    Saved,
+    /// Consumed as an input to the function.
+    Argument,
+    /// Overwritten without reading the caller's value (includes the return
+    /// value register).
+    Clobbered,
+}
+
+/// Aggregated per-(function, cell) facts across all traced invocations.
+#[derive(Debug, Default, Clone)]
+struct CellFacts {
+    entered: bool,
+    used_in_op: bool,
+    stored_outside: bool,
+    not_restored: bool,
+    forwarded_to: BTreeSet<(FuncId, usize)>,
+}
+
+/// Result of the analysis.
+#[derive(Debug, Clone)]
+pub struct RegSaveInfo {
+    /// Classification per function per cell.
+    pub class: HashMap<FuncId, [RegClass; NUM_CELLS]>,
+    /// Observed callees per indirect call site.
+    pub indirect_targets: HashMap<(FuncId, InstId), BTreeSet<FuncId>>,
+}
+
+impl RegSaveInfo {
+    /// Cells classified [`RegClass::Saved`] for `f`.
+    pub fn saved_cells(&self, f: FuncId) -> Vec<usize> {
+        match self.class.get(&f) {
+            Some(cs) => (0..NUM_CELLS).filter(|&i| cs[i] == RegClass::Saved).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Cells classified [`RegClass::Argument`] for `f` (the register part
+    /// of its recovered signature).
+    pub fn arg_cells(&self, f: FuncId) -> Vec<usize> {
+        match self.class.get(&f) {
+            Some(cs) => (0..NUM_CELLS).filter(|&i| cs[i] == RegClass::Argument).collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Token {
+    func: FuncId,
+    cell: usize,
+    serial: u32,
+}
+
+struct Frame {
+    func: FuncId,
+    serial: u32,
+    sp0: u32,
+    entry_tokens: [Shadow; NUM_CELLS],
+    caller_shadows: [Option<Shadow>; NUM_CELLS],
+}
+
+/// The analysis hook.
+pub struct RegSaveHook {
+    tokens: Vec<Token>,
+    facts: HashMap<(FuncId, usize), CellFacts>,
+    frames: Vec<Frame>,
+    active_serials: BTreeSet<u32>,
+    next_serial: u32,
+    /// Shadow currently stored in each vcpu cell.
+    cell_shadows: [Option<Shadow>; NUM_CELLS],
+    /// Address → shadow for spilled tokens (4-byte entries).
+    addr_map: HashMap<u32, Shadow>,
+    cur_esp: u32,
+    indirect_targets: HashMap<(FuncId, InstId), BTreeSet<FuncId>>,
+}
+
+impl RegSaveHook {
+    fn new() -> RegSaveHook {
+        RegSaveHook {
+            tokens: Vec::new(),
+            facts: HashMap::new(),
+            frames: Vec::new(),
+            active_serials: BTreeSet::new(),
+            next_serial: 0,
+            cell_shadows: [None; NUM_CELLS],
+            addr_map: HashMap::new(),
+            cur_esp: 0,
+            indirect_targets: HashMap::new(),
+        }
+    }
+
+    fn token(&self, s: Shadow) -> Token {
+        self.tokens[s as usize]
+    }
+
+    /// A shadow is meaningful only while its owning frame is live.
+    fn live(&self, s: Shadow) -> bool {
+        self.active_serials.contains(&self.token(s).serial)
+    }
+
+    fn fact(&mut self, s: Shadow) -> &mut CellFacts {
+        let t = self.token(s);
+        self.facts.entry((t.func, t.cell)).or_default()
+    }
+
+    fn mark_op_use(&mut self, s: Option<Shadow>) {
+        if let Some(s) = s {
+            if self.live(s) {
+                self.fact(s).used_in_op = true;
+            }
+        }
+    }
+
+    fn invalidate_range(&mut self, addr: u32, size: u32) {
+        // Entries are 4 bytes wide starting at their key.
+        for k in addr.saturating_sub(3)..addr.wrapping_add(size) {
+            self.addr_map.remove(&k);
+        }
+    }
+}
+
+impl Hooks for RegSaveHook {
+    fn fn_enter(&mut self, f: FuncId, _callsite: Option<(FuncId, InstId)>, _args: &[Tagged], mem: &Memory) {
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        self.active_serials.insert(serial);
+        let sp0 = mem.read_u32(vcpu_reg_addr(wyt_isa::Reg::Esp));
+        self.cur_esp = sp0;
+        let mut entry_tokens = [0; NUM_CELLS];
+        let mut caller_shadows = [None; NUM_CELLS];
+        for cell in 0..NUM_CELLS {
+            let tok = self.tokens.len() as Shadow;
+            self.tokens.push(Token { func: f, cell, serial });
+            caller_shadows[cell] = self.cell_shadows[cell];
+            self.cell_shadows[cell] = Some(tok);
+            entry_tokens[cell] = tok;
+            self.facts.entry((f, cell)).or_default().entered = true;
+        }
+        self.frames.push(Frame { func: f, serial, sp0, entry_tokens, caller_shadows });
+    }
+
+    fn fn_exit(&mut self, f: FuncId, _ret: Option<Tagged>, _mem: &Memory) {
+        let Some(frame) = self.frames.pop() else { return };
+        debug_assert_eq!(frame.func, f);
+        self.active_serials.remove(&frame.serial);
+        for cell in 0..NUM_CELLS {
+            let restored = self.cell_shadows[cell] == Some(frame.entry_tokens[cell]);
+            if restored {
+                // The caller's tracking resumes seamlessly.
+                self.cell_shadows[cell] = frame.caller_shadows[cell];
+            } else {
+                self.facts.entry((f, cell)).or_default().not_restored = true;
+                self.cell_shadows[cell] = None;
+            }
+        }
+        // Restore the caller's stack-pointer view.
+        if let Some(parent) = self.frames.last() {
+            self.cur_esp = parent.sp0;
+        }
+    }
+
+    fn call_pre(&mut self, caller: FuncId, inst: InstId, callee: FuncId, _mem: &Memory) {
+        // Record observed targets per call site (used for indirect calls).
+        self.indirect_targets.entry((caller, inst)).or_default().insert(callee);
+        // Forwarding edges (cells still holding the caller's entry token)
+        // are recorded by the wrapper hook at fn_enter, where the callee's
+        // identity and the parent frame are both at hand.
+    }
+
+    fn bin(&mut self, _f: FuncId, _i: InstId, _op: BinOp, a: Tagged, b: Tagged, _res: u32) -> Option<Shadow> {
+        self.mark_op_use(a.1);
+        self.mark_op_use(b.1);
+        None
+    }
+
+    fn cmp(&mut self, _f: FuncId, _i: InstId, _op: CmpOp, a: Tagged, b: Tagged) {
+        self.mark_op_use(a.1);
+        self.mark_op_use(b.1);
+    }
+
+    fn load(&mut self, _f: FuncId, _i: InstId, ty: Ty, addr: Tagged, _val: u32) -> Option<Shadow> {
+        self.mark_op_use(addr.1);
+        if let Some(cell) = cell_of_addr(addr.0) {
+            return self.cell_shadows[cell].filter(|s| self.live(*s));
+        }
+        if ty == Ty::I32 {
+            return self.addr_map.get(&addr.0).copied().filter(|s| self.live(*s));
+        }
+        None
+    }
+
+    fn store(&mut self, _f: FuncId, _i: InstId, ty: Ty, addr: Tagged, val: Tagged) {
+        self.mark_op_use(addr.1);
+        if let Some(cell) = cell_of_addr(addr.0) {
+            if cell == ESP_CELL {
+                self.cur_esp = val.0;
+            }
+            self.cell_shadows[cell] = val.1.filter(|s| self.live(*s));
+            return;
+        }
+        self.invalidate_range(addr.0, ty.bytes());
+        let Some(s) = val.1.filter(|s| self.live(*s)) else { return };
+        // Is the destination inside the current frame?
+        let in_frame = self
+            .frames
+            .last()
+            .map(|fr| addr.0 < fr.sp0 && addr.0 >= self.cur_esp.min(fr.sp0.saturating_sub(1 << 20)))
+            .unwrap_or(false);
+        if in_frame && ty == Ty::I32 {
+            self.addr_map.insert(addr.0, s);
+        } else {
+            self.fact(s).stored_outside = true;
+        }
+    }
+
+    fn transparent(&mut self, s: Option<Shadow>) -> Option<Shadow> {
+        s.filter(|s| self.live(*s))
+    }
+
+    fn ext_call(&mut self, _f: FuncId, _i: InstId, _e: ExtId, args: &ExtArgs<'_>, _mem: &Memory) {
+        // Explicit argument values carrying tokens are operand uses.
+        if let ExtArgs::Explicit(vals) = args {
+            for (_, s) in vals.iter() {
+                self.mark_op_use(*s);
+            }
+        }
+    }
+}
+
+/// Complete the forwarding bookkeeping that `call_pre`/`fn_enter` split:
+/// executed as part of [`analyze`] by re-walking with a second composite
+/// hook is unnecessary — instead forwarding edges are recorded here at
+/// `fn_enter` time via the parent frame.
+struct ForwardingHook {
+    inner: RegSaveHook,
+}
+
+impl Hooks for ForwardingHook {
+    fn fn_enter(&mut self, f: FuncId, callsite: Option<(FuncId, InstId)>, args: &[Tagged], mem: &Memory) {
+        // Record forwarding edges from the (still current) parent frame.
+        if callsite.is_some() {
+            if let Some(parent) = self.inner.frames.last() {
+                let pf = parent.func;
+                let mut fw = Vec::new();
+                for cell in 0..NUM_CELLS {
+                    if self.inner.cell_shadows[cell] == Some(parent.entry_tokens[cell]) {
+                        fw.push(cell);
+                    }
+                }
+                for cell in fw {
+                    self.inner
+                        .facts
+                        .entry((pf, cell))
+                        .or_default()
+                        .forwarded_to
+                        .insert((f, cell));
+                }
+            }
+        }
+        self.inner.fn_enter(f, callsite, args, mem);
+    }
+
+    fn fn_exit(&mut self, f: FuncId, ret: Option<Tagged>, mem: &Memory) {
+        self.inner.fn_exit(f, ret, mem);
+    }
+
+    fn call_pre(&mut self, caller: FuncId, inst: InstId, callee: FuncId, mem: &Memory) {
+        self.inner.call_pre(caller, inst, callee, mem);
+    }
+
+    fn bin(&mut self, f: FuncId, i: InstId, op: BinOp, a: Tagged, b: Tagged, r: u32) -> Option<Shadow> {
+        self.inner.bin(f, i, op, a, b, r)
+    }
+
+    fn cmp(&mut self, f: FuncId, i: InstId, op: CmpOp, a: Tagged, b: Tagged) {
+        self.inner.cmp(f, i, op, a, b)
+    }
+
+    fn load(&mut self, f: FuncId, i: InstId, ty: Ty, addr: Tagged, val: u32) -> Option<Shadow> {
+        self.inner.load(f, i, ty, addr, val)
+    }
+
+    fn store(&mut self, f: FuncId, i: InstId, ty: Ty, addr: Tagged, val: Tagged) {
+        self.inner.store(f, i, ty, addr, val)
+    }
+
+    fn transparent(&mut self, s: Option<Shadow>) -> Option<Shadow> {
+        self.inner.transparent(s)
+    }
+
+    fn ext_call(&mut self, f: FuncId, i: InstId, e: ExtId, args: &ExtArgs<'_>, mem: &Memory) {
+        self.inner.ext_call(f, i, e, args, mem)
+    }
+}
+
+/// Run the saved-register analysis over all inputs and classify.
+///
+/// # Errors
+/// Returns the interpreter error if a traced input fails to execute.
+pub fn analyze(
+    module: &Module,
+    meta: &LiftedMeta,
+    inputs: &[Vec<u8>],
+) -> Result<RegSaveInfo, InterpError> {
+    let mut facts: HashMap<(FuncId, usize), CellFacts> = HashMap::new();
+    let mut indirect: HashMap<(FuncId, InstId), BTreeSet<FuncId>> = HashMap::new();
+    for input in inputs {
+        let mut interp = Interp::new(module, input.clone(), ForwardingHook { inner: RegSaveHook::new() });
+        let out = interp.run();
+        if let Some(e) = out.error {
+            return Err(e);
+        }
+        let hook = interp.hooks.inner;
+        for (k, v) in hook.facts {
+            let e = facts.entry(k).or_default();
+            e.entered |= v.entered;
+            e.used_in_op |= v.used_in_op;
+            e.stored_outside |= v.stored_outside;
+            e.not_restored |= v.not_restored;
+            e.forwarded_to.extend(v.forwarded_to);
+        }
+        for (k, v) in hook.indirect_targets {
+            indirect.entry(k).or_default().extend(v);
+        }
+    }
+
+    // Fixpoint: argument-ness propagates backwards along forwarding edges.
+    let mut argument: BTreeMap<(FuncId, usize), bool> = BTreeMap::new();
+    for (k, f) in &facts {
+        argument.insert(*k, f.used_in_op || f.stored_outside);
+    }
+    loop {
+        let mut changed = false;
+        for (k, f) in &facts {
+            if argument.get(k).copied().unwrap_or(false) {
+                continue;
+            }
+            let any = f
+                .forwarded_to
+                .iter()
+                .any(|t| argument.get(t).copied().unwrap_or(false));
+            if any {
+                argument.insert(*k, true);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut class: HashMap<FuncId, [RegClass; NUM_CELLS]> = HashMap::new();
+    for (fid, _) in meta.func_by_addr.iter().map(|(a, f)| (*f, a)) {
+        let mut cs = [RegClass::Clobbered; NUM_CELLS];
+        for (cell, c) in cs.iter_mut().enumerate() {
+            let fact = facts.get(&(fid, cell)).cloned().unwrap_or_default();
+            let is_arg = argument.get(&(fid, cell)).copied().unwrap_or(false);
+            *c = if is_arg {
+                RegClass::Argument
+            } else if fact.entered && !fact.not_restored {
+                RegClass::Saved
+            } else {
+                RegClass::Clobbered
+            };
+        }
+        // The stack pointer is handled structurally by sp0 folding, never
+        // as data.
+        cs[ESP_CELL] = RegClass::Saved;
+        class.insert(fid, cs);
+    }
+    // The entry wrapper.
+    class.entry(meta.start).or_insert([RegClass::Clobbered; NUM_CELLS]);
+
+    Ok(RegSaveInfo { class, indirect_targets: indirect })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wyt_lifter::lift_image;
+    use wyt_minicc::{compile, Profile};
+
+    fn analyze_src(src: &str, profile: &Profile, inputs: &[&[u8]]) -> (RegSaveInfo, wyt_lifter::Lifted, wyt_isa::image::Image) {
+        let img = compile(src, profile).unwrap();
+        let stripped = img.stripped();
+        let inputs: Vec<Vec<u8>> = inputs.iter().map(|i| i.to_vec()).collect();
+        let lifted = lift_image(&stripped, &inputs).unwrap();
+        let info = analyze(&lifted.module, &lifted.meta, &inputs).unwrap();
+        (info, lifted, img)
+    }
+
+    #[test]
+    fn frame_pointer_is_saved_not_argument() {
+        // GCC 4.4 profile uses ebp as a frame pointer with push/pop.
+        let src = r#"
+            int leaf(int a, int b) {
+                int arr[4];
+                arr[0] = a;
+                arr[1] = b;
+                return arr[0] * arr[1];
+            }
+            int main() { return leaf(6, 7); }
+        "#;
+        let (info, lifted, img) = analyze_src(src, &Profile::gcc44_o3(), &[b""]);
+        let leaf = lifted.meta.func_by_addr[&img.symbol("leaf").unwrap()];
+        let cs = &info.class[&leaf];
+        assert_eq!(cs[wyt_isa::Reg::Ebp.index()], RegClass::Saved, "ebp saved");
+        assert_eq!(cs[wyt_isa::Reg::Eax.index()], RegClass::Clobbered, "eax is the return");
+    }
+
+    #[test]
+    fn callee_saved_register_locals_are_saved() {
+        // GCC 12 allocates hot locals into ebx/esi/edi and saves them.
+        let src = r#"
+            int work(int n) {
+                int acc = 0;
+                int i;
+                for (i = 0; i < n; i++) acc += i * 3;
+                return acc;
+            }
+            int main() { return work(9) & 0xff; }
+        "#;
+        let (info, lifted, img) = analyze_src(src, &Profile::gcc12_o3(), &[b""]);
+        let work = lifted.meta.func_by_addr[&img.symbol("work").unwrap()];
+        let cs = &info.class[&work];
+        let saved_count = [wyt_isa::Reg::Ebx, wyt_isa::Reg::Esi, wyt_isa::Reg::Edi]
+            .iter()
+            .filter(|r| cs[r.index()] == RegClass::Saved)
+            .count();
+        assert!(saved_count >= 1, "register locals imply saved callee regs: {cs:?}");
+    }
+
+    #[test]
+    fn regparm_arguments_are_classified_as_arguments() {
+        // Custom convention: static functions take args in ecx/edx under
+        // GCC 12 -O3 — the heuristic-defeating case of §4.1.
+        let src = r#"
+            static int mix(int a, int b) {
+                int i;
+                int acc = b;
+                for (i = 0; i < a; i++) acc += i * 10;
+                return acc;
+            }
+            int main() { return mix(4, 2); }
+        "#;
+        let (info, lifted, img) = analyze_src(src, &Profile::gcc12_o3(), &[b""]);
+        let mix = lifted.meta.func_by_addr[&img.symbol("mix").unwrap()];
+        let cs = &info.class[&mix];
+        assert_eq!(cs[wyt_isa::Reg::Ecx.index()], RegClass::Argument, "{cs:?}");
+        assert_eq!(cs[wyt_isa::Reg::Edx.index()], RegClass::Argument, "{cs:?}");
+    }
+
+    #[test]
+    fn forwarded_registers_resolve_through_the_chain() {
+        // `outer` forwards its regparm args untouched to `inner`, which
+        // uses them: both must classify as arguments (the edx example of
+        // §4.1).
+        let src = r#"
+            static int inner(int a, int b) {
+                int i;
+                int acc = 0;
+                for (i = 0; i < a; i++) acc += b + i;
+                return acc;
+            }
+            static int outer(int a, int b) { return inner(a, b); }
+            int main() { return outer(9, 4); }
+        "#;
+        let (info, lifted, img) = analyze_src(src, &Profile::gcc12_o3(), &[b""]);
+        let outer = lifted.meta.func_by_addr[&img.symbol("outer").unwrap()];
+        let cs = &info.class[&outer];
+        // outer loads its args to re-pass them, so they are used in ops or
+        // at least forwarded-to-argument.
+        assert_eq!(cs[wyt_isa::Reg::Ecx.index()], RegClass::Argument, "{cs:?}");
+    }
+
+    #[test]
+    fn indirect_call_targets_recorded() {
+        let src = r#"
+            int one() { return 1; }
+            int two() { return 2; }
+            int main() {
+                int t = getchar() == '1' ? (int)&one : (int)&two;
+                return __icall(t);
+            }
+        "#;
+        let (info, _lifted, _img) = analyze_src(src, &Profile::gcc44_o3(), &[b"1", b"2"]);
+        let all: BTreeSet<FuncId> = info
+            .indirect_targets
+            .values()
+            .flat_map(|s| s.iter().copied())
+            .collect();
+        assert!(all.len() >= 2, "both indirect targets observed");
+    }
+}

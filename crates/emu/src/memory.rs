@@ -1,0 +1,202 @@
+//! Sparse paged memory for the emulated 32-bit address space.
+
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+/// Page size in bytes.
+pub const PAGE_SIZE: u32 = 1 << PAGE_BITS;
+
+/// A sparse, zero-initialized 32-bit address space.
+///
+/// Pages are allocated on first touch; untouched memory reads as zero.
+/// Both the machine emulator and the IR interpreter execute against this
+/// type, so a lifted program literally shares the address-space model of
+/// the binary it was lifted from (the paper's Fig. 1 process image).
+#[derive(Debug, Default, Clone)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl Memory {
+    /// An empty (all-zero) address space.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE as usize]> {
+        self.pages.get(&(addr >> PAGE_BITS)).map(|b| &**b)
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE as usize] {
+        self.pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+    }
+
+    /// Read one byte.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.page(addr) {
+            Some(p) => p[(addr & (PAGE_SIZE - 1)) as usize],
+            None => 0,
+        }
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, addr: u32, v: u8) {
+        self.page_mut(addr)[(addr & (PAGE_SIZE - 1)) as usize] = v;
+    }
+
+    /// Read a little-endian 16-bit value.
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+    }
+
+    /// Write a little-endian 16-bit value.
+    pub fn write_u16(&mut self, addr: u32, v: u16) {
+        let b = v.to_le_bytes();
+        self.write_u8(addr, b[0]);
+        self.write_u8(addr.wrapping_add(1), b[1]);
+    }
+
+    /// Read a little-endian 32-bit value.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let off = (addr & (PAGE_SIZE - 1)) as usize;
+        if off + 4 <= PAGE_SIZE as usize {
+            match self.page(addr) {
+                Some(p) => u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]]),
+                None => 0,
+            }
+        } else {
+            u32::from_le_bytes([
+                self.read_u8(addr),
+                self.read_u8(addr.wrapping_add(1)),
+                self.read_u8(addr.wrapping_add(2)),
+                self.read_u8(addr.wrapping_add(3)),
+            ])
+        }
+    }
+
+    /// Write a little-endian 32-bit value.
+    pub fn write_u32(&mut self, addr: u32, v: u32) {
+        let off = (addr & (PAGE_SIZE - 1)) as usize;
+        let b = v.to_le_bytes();
+        if off + 4 <= PAGE_SIZE as usize {
+            let p = self.page_mut(addr);
+            p[off..off + 4].copy_from_slice(&b);
+        } else {
+            for (i, byte) in b.iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), *byte);
+            }
+        }
+    }
+
+    /// Read a little-endian 64-bit value (the `vmov` register width).
+    pub fn read_u64(&self, addr: u32) -> u64 {
+        (self.read_u32(addr) as u64) | ((self.read_u32(addr.wrapping_add(4)) as u64) << 32)
+    }
+
+    /// Write a little-endian 64-bit value.
+    pub fn write_u64(&mut self, addr: u32, v: u64) {
+        self.write_u32(addr, v as u32);
+        self.write_u32(addr.wrapping_add(4), (v >> 32) as u32);
+    }
+
+    /// Read a sized value (1, 2 or 4 bytes), zero-extended.
+    pub fn read_sized(&self, addr: u32, size: wyt_isa::Size) -> u32 {
+        match size {
+            wyt_isa::Size::B => self.read_u8(addr) as u32,
+            wyt_isa::Size::W => self.read_u16(addr) as u32,
+            wyt_isa::Size::D => self.read_u32(addr),
+        }
+    }
+
+    /// Write the low `size` bytes of `v`.
+    pub fn write_sized(&mut self, addr: u32, v: u32, size: wyt_isa::Size) {
+        match size {
+            wyt_isa::Size::B => self.write_u8(addr, v as u8),
+            wyt_isa::Size::W => self.write_u16(addr, v as u16),
+            wyt_isa::Size::D => self.write_u32(addr, v),
+        }
+    }
+
+    /// Copy `bytes` into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b);
+        }
+    }
+
+    /// Read `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr.wrapping_add(i))).collect()
+    }
+
+    /// Read a NUL-terminated C string (capped at 1 MiB to bound runaway
+    /// reads of unterminated data).
+    pub fn read_cstr(&self, addr: u32) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut a = addr;
+        while out.len() < (1 << 20) {
+            let b = self.read_u8(a);
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+            a = a.wrapping_add(1);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wyt_isa::Size;
+
+    #[test]
+    fn zero_initialized() {
+        let m = Memory::new();
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_u32(0xdead_beef), 0);
+    }
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut m = Memory::new();
+        m.write_u8(10, 0xab);
+        m.write_u16(20, 0xbeef);
+        m.write_u32(30, 0xdead_beef);
+        m.write_u64(40, 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u8(10), 0xab);
+        assert_eq!(m.read_u16(20), 0xbeef);
+        assert_eq!(m.read_u32(30), 0xdead_beef);
+        assert_eq!(m.read_u64(40), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn page_boundary_crossing() {
+        let mut m = Memory::new();
+        let addr = PAGE_SIZE - 2;
+        m.write_u32(addr, 0x1122_3344);
+        assert_eq!(m.read_u32(addr), 0x1122_3344);
+        assert_eq!(m.read_u16(addr), 0x3344);
+        assert_eq!(m.read_u16(addr + 2), 0x1122);
+    }
+
+    #[test]
+    fn sized_access_masks() {
+        let mut m = Memory::new();
+        m.write_u32(0x100, 0xffff_ffff);
+        m.write_sized(0x100, 0x12, Size::B);
+        assert_eq!(m.read_u32(0x100), 0xffff_ff12);
+        assert_eq!(m.read_sized(0x100, Size::W), 0xff12);
+    }
+
+    #[test]
+    fn cstr_reads_until_nul() {
+        let mut m = Memory::new();
+        m.write_bytes(0x200, b"hello\0world");
+        assert_eq!(m.read_cstr(0x200), b"hello");
+        assert_eq!(m.read_cstr(0x206), b"world");
+    }
+}

@@ -1,0 +1,136 @@
+//! Textual IR printer (for debugging, test assertions and documentation).
+
+use crate::module::{Function, InstKind, Module, Term};
+use crate::types::{InstId, Val};
+use std::fmt::Write;
+
+fn fmt_args(args: &[Val]) -> String {
+    args.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(", ")
+}
+
+/// Render one instruction as text.
+pub fn inst_to_string(f: &Function, id: InstId) -> String {
+    let k = f.inst(id);
+    let lhs = if k.has_result() { format!("{id} = ") } else { String::new() };
+    let rhs = match k {
+        InstKind::Bin { op, a, b } => format!("{op} {a}, {b}"),
+        InstKind::Cmp { op, a, b } => format!("icmp {op} {a}, {b}"),
+        InstKind::Ext { signed, from, v } => {
+            format!("{} {from} {v}", if *signed { "sext" } else { "zext" })
+        }
+        InstKind::Load { ty, addr } => format!("load {ty}, {addr}"),
+        InstKind::Store { ty, addr, val } => format!("store {ty} {val}, {addr}"),
+        InstKind::Alloca { size, align, name } => {
+            format!("alloca {size}, align {align} ; \"{name}\"")
+        }
+        InstKind::GlobalAddr { g } => format!("globaladdr {g}"),
+        InstKind::FuncAddr { f } => format!("funcaddr {f}"),
+        InstKind::Call { f, args } => format!("call {f}({})", fmt_args(args)),
+        InstKind::CallInd { target, args } => {
+            format!("call_ind {target}({})", fmt_args(args))
+        }
+        InstKind::CallExtRaw { ext, sp } => format!("callext_raw #{ext} sp={sp}"),
+        InstKind::CallExt { ext, args } => format!("callext #{ext}({})", fmt_args(args)),
+        InstKind::Select { c, a, b } => format!("select {c}, {a}, {b}"),
+        InstKind::Phi { incomings } => {
+            let parts: Vec<String> =
+                incomings.iter().map(|(b, v)| format!("[{b}: {v}]")).collect();
+            format!("phi {}", parts.join(", "))
+        }
+        InstKind::Copy { v } => format!("copy {v}"),
+    };
+    format!("{lhs}{rhs}")
+}
+
+fn term_to_string(t: &Term) -> String {
+    match t {
+        Term::Br(b) => format!("br {b}"),
+        Term::CondBr { c, t, f } => format!("condbr {c}, {t}, {f}"),
+        Term::Switch { v, cases, default } => {
+            let parts: Vec<String> = cases.iter().map(|(c, b)| format!("{c}: {b}")).collect();
+            format!("switch {v} [{}] default {default}", parts.join(", "))
+        }
+        Term::Ret(Some(v)) => format!("ret {v}"),
+        Term::Ret(None) => "ret".to_string(),
+        Term::Trap(c) => format!("trap {c}"),
+        Term::Unreachable => "unreachable".to_string(),
+    }
+}
+
+/// Render one function as text, reachable blocks only, in RPO.
+pub fn function_to_string(f: &Function) -> String {
+    let mut out = String::new();
+    let addr = f
+        .orig_addr
+        .map(|a| format!(" @ {a:#x}"))
+        .unwrap_or_default();
+    let _ = writeln!(out, "fn {}({} params){addr} {{", f.name, f.num_params);
+    for b in f.rpo() {
+        let block = &f.blocks[b.index()];
+        let tag = block
+            .orig_addr
+            .map(|a| format!(" ; {a:#x}"))
+            .unwrap_or_default();
+        let _ = writeln!(out, "{b}:{tag}");
+        for &i in &block.insts {
+            let _ = writeln!(out, "  {}", inst_to_string(f, i));
+        }
+        let _ = writeln!(out, "  {}", term_to_string(&block.term));
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render a whole module as text.
+pub fn module_to_string(m: &Module) -> String {
+    let mut out = String::new();
+    for (i, g) in m.globals.iter().enumerate() {
+        let fixed = g
+            .fixed_addr
+            .map(|a| format!(" @ {a:#x}"))
+            .unwrap_or_default();
+        let _ = writeln!(out, "global @g{i} \"{}\" size={}{fixed}", g.name, g.size);
+    }
+    for (i, e) in m.externs.iter().enumerate() {
+        let _ = writeln!(out, "extern #{i} = {e}");
+    }
+    for f in &m.funcs {
+        out.push('\n');
+        out.push_str(&function_to_string(f));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{Global, GlobalKind};
+    use crate::types::{BinOp, Ty};
+
+    #[test]
+    fn prints_module() {
+        let mut m = Module::new();
+        m.add_global(Global {
+            name: "data".into(),
+            size: 16,
+            init: vec![],
+            fixed_addr: Some(0x400000),
+            kind: GlobalKind::Data,
+        });
+        m.extern_index("printf");
+        let mut f = Function::new("main");
+        let a = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Const(1), b: Val::Const(2) });
+        let _s = f.push_inst(
+            f.entry,
+            InstKind::Store { ty: Ty::I32, addr: Val::Const(0x400000), val: Val::Inst(a) },
+        );
+        f.blocks[0].term = Term::Ret(Some(Val::Inst(a)));
+        m.add_func(f);
+        let text = module_to_string(&m);
+        assert!(text.contains("global @g0 \"data\" size=16 @ 0x400000"));
+        assert!(text.contains("extern #0 = printf"));
+        assert!(text.contains("%0 = add 1, 2"));
+        assert!(text.contains("store i32 %0, 4194304"));
+        assert!(text.contains("ret %0"));
+    }
+}

@@ -1,0 +1,415 @@
+//! IR verifier: structural and SSA dominance checks.
+//!
+//! Run after every transform in tests; a transform that silently produces
+//! uses that are not dominated by their definitions is the classic source
+//! of miscompiles in this kind of pipeline.
+
+use crate::module::{Function, InstKind, Module};
+use crate::types::{BlockId, Val};
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function where the failure occurred.
+    pub func: String,
+    /// Description of the failure.
+    pub what: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in {}: {}", self.func, self.what)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Compute immediate dominators over the reachable blocks using the simple
+/// iterative algorithm (Cooper–Harvey–Kennedy). Returns `idom[b]`, with the
+/// entry its own idom; unreachable blocks map to `None`.
+pub fn dominators(f: &Function) -> Vec<Option<BlockId>> {
+    let rpo = f.rpo();
+    let mut order = vec![usize::MAX; f.blocks.len()];
+    for (i, b) in rpo.iter().enumerate() {
+        order[b.index()] = i;
+    }
+    let preds = f.preds();
+    let mut idom: Vec<Option<BlockId>> = vec![None; f.blocks.len()];
+    idom[f.entry.index()] = Some(f.entry);
+
+    let intersect = |idom: &Vec<Option<BlockId>>, order: &Vec<usize>, mut a: BlockId, mut b: BlockId| {
+        while a != b {
+            while order[a.index()] > order[b.index()] {
+                a = idom[a.index()].expect("processed");
+            }
+            while order[b.index()] > order[a.index()] {
+                b = idom[b.index()].expect("processed");
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[b.index()] {
+                if idom[p.index()].is_none() {
+                    continue; // unreachable or not yet processed
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &order, cur, p),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b.index()] != Some(ni) {
+                    idom[b.index()] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+/// `true` if block `a` dominates block `b`.
+fn dominates(idom: &[Option<BlockId>], entry: BlockId, a: BlockId, mut b: BlockId) -> bool {
+    loop {
+        if a == b {
+            return true;
+        }
+        if b == entry {
+            return false;
+        }
+        match idom[b.index()] {
+            Some(p) if p != b => b = p,
+            _ => return false,
+        }
+    }
+}
+
+/// Verify one function.
+///
+/// # Errors
+/// Returns the first structural or dominance violation found.
+pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
+    let err = |what: String| VerifyError { func: f.name.clone(), what };
+
+    // Structural checks.
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let mut bad = None;
+        b.term.for_each_succ(|s| {
+            if s.index() >= f.blocks.len() {
+                bad = Some(s);
+            }
+        });
+        if let Some(s) = bad {
+            return Err(err(format!("bb{bi} branches to nonexistent {s}")));
+        }
+        for &i in &b.insts {
+            if i.index() >= f.insts.len() {
+                return Err(err(format!("bb{bi} references nonexistent inst {i}")));
+            }
+        }
+    }
+
+    // Every instruction appears in at most one block, once.
+    let mut placed = vec![false; f.insts.len()];
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for &i in &b.insts {
+            if placed[i.index()] {
+                return Err(err(format!("{i} placed twice (second in bb{bi})")));
+            }
+            placed[i.index()] = true;
+        }
+    }
+
+    // Operand references are to valid entities.
+    let check_val = |v: Val| -> Result<(), VerifyError> {
+        match v {
+            Val::Inst(i) if i.index() >= f.insts.len() => {
+                Err(err(format!("use of nonexistent {i}")))
+            }
+            Val::Param(p) if p >= f.num_params => {
+                Err(err(format!("use of nonexistent param {p} (have {})", f.num_params)))
+            }
+            _ => Ok(()),
+        }
+    };
+    for b in &f.blocks {
+        for &i in &b.insts {
+            let mut res = Ok(());
+            f.inst(i).for_each_operand(|v| {
+                if res.is_ok() {
+                    res = check_val(v);
+                }
+            });
+            res?;
+            match f.inst(i) {
+                InstKind::Call { f: callee, .. } if callee.index() >= m.funcs.len() => {
+                    return Err(err(format!("call to nonexistent {callee}")));
+                }
+                InstKind::GlobalAddr { g } if g.index() >= m.globals.len() => {
+                    return Err(err(format!("address of nonexistent {g}")));
+                }
+                InstKind::FuncAddr { f: callee } if callee.index() >= m.funcs.len() => {
+                    return Err(err(format!("address of nonexistent {callee}")));
+                }
+                InstKind::CallExt { ext, .. } | InstKind::CallExtRaw { ext, .. }
+                    if *ext as usize >= m.externs.len() =>
+                {
+                    return Err(err(format!("call to nonexistent extern #{ext}")));
+                }
+                _ => {}
+            }
+        }
+        let mut res = Ok(());
+        b.term.for_each_operand(|v| {
+            if res.is_ok() {
+                res = check_val(v);
+            }
+        });
+        res?;
+    }
+
+    // Phi nodes: must be at the head of their block, with exactly one
+    // incoming per predecessor.
+    let preds = f.preds();
+    let rpo = f.rpo();
+    let reachable: Vec<bool> = {
+        let mut r = vec![false; f.blocks.len()];
+        for &b in &rpo {
+            r[b.index()] = true;
+        }
+        r
+    };
+    for &b in &rpo {
+        let block = &f.blocks[b.index()];
+        let mut past_phis = false;
+        for &i in &block.insts {
+            match f.inst(i) {
+                InstKind::Phi { incomings } => {
+                    if past_phis {
+                        return Err(err(format!("{i}: phi not at block head in {b}")));
+                    }
+                    let mut ps: Vec<BlockId> = preds[b.index()]
+                        .iter()
+                        .copied()
+                        .filter(|p| reachable[p.index()])
+                        .collect();
+                    ps.sort();
+                    ps.dedup();
+                    let mut inc: Vec<BlockId> = incomings
+                        .iter()
+                        .map(|(p, _)| *p)
+                        .filter(|p| reachable[p.index()])
+                        .collect();
+                    inc.sort();
+                    inc.dedup();
+                    if ps != inc {
+                        return Err(err(format!(
+                            "{i} in {b}: phi incomings {inc:?} do not match predecessors {ps:?}"
+                        )));
+                    }
+                }
+                _ => past_phis = true,
+            }
+        }
+    }
+
+    // Dominance: defs dominate uses.
+    let idom = dominators(f);
+    let mut def_block: Vec<Option<BlockId>> = vec![None; f.insts.len()];
+    let mut def_pos: Vec<usize> = vec![0; f.insts.len()];
+    for &b in &rpo {
+        for (pos, &i) in f.blocks[b.index()].insts.iter().enumerate() {
+            def_block[i.index()] = Some(b);
+            def_pos[i.index()] = pos;
+        }
+    }
+    let check_dom = |use_block: BlockId, use_pos: usize, v: Val, is_phi_from: Option<BlockId>| -> Result<(), VerifyError> {
+        let Val::Inst(d) = v else { return Ok(()) };
+        let Some(db) = def_block[d.index()] else {
+            return Err(err(format!("use of unplaced {d}")));
+        };
+        match is_phi_from {
+            Some(pred) => {
+                // Incoming value must dominate the predecessor's terminator.
+                if !dominates(&idom, f.entry, db, pred) {
+                    return Err(err(format!(
+                        "{d} (def in {db}) does not dominate phi edge from {pred}"
+                    )));
+                }
+            }
+            None => {
+                if db == use_block {
+                    if def_pos[d.index()] >= use_pos {
+                        return Err(err(format!("{d} used before definition in {db}")));
+                    }
+                } else if !dominates(&idom, f.entry, db, use_block) {
+                    return Err(err(format!(
+                        "{d} (def in {db}) does not dominate use in {use_block}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    };
+    for &b in &rpo {
+        let block = &f.blocks[b.index()];
+        for (pos, &i) in block.insts.iter().enumerate() {
+            let mut res = Ok(());
+            match f.inst(i) {
+                InstKind::Phi { incomings } => {
+                    for (p, v) in incomings {
+                        if reachable[p.index()] && res.is_ok() {
+                            res = check_dom(b, pos, *v, Some(*p));
+                        }
+                    }
+                }
+                k => k.for_each_operand(|v| {
+                    if res.is_ok() {
+                        res = check_dom(b, pos, v, None);
+                    }
+                }),
+            }
+            res?;
+        }
+        let mut res = Ok(());
+        let term_pos = block.insts.len();
+        block.term.for_each_operand(|v| {
+            if res.is_ok() {
+                res = check_dom(b, term_pos, v, None);
+            }
+        });
+        res?;
+    }
+
+    Ok(())
+}
+
+/// Verify every function of a module.
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    for f in &m.funcs {
+        verify_function(m, f)?;
+    }
+    Ok(())
+}
+
+/// The id returned by [`dominators`] for convenient external use.
+pub type IdomMap = Vec<Option<BlockId>>;
+
+/// Re-exported helper: does block `a` dominate block `b` under `idom`?
+pub fn block_dominates(idom: &IdomMap, entry: BlockId, a: BlockId, b: BlockId) -> bool {
+    dominates(idom, entry, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{Block, Term};
+    use crate::types::{BinOp, CmpOp, FuncId, InstId};
+
+    fn linear() -> (Module, FuncId) {
+        let mut m = Module::new();
+        let mut f = Function::new("f");
+        let a = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Const(1), b: Val::Const(2) });
+        f.blocks[0].term = Term::Ret(Some(Val::Inst(a)));
+        let id = m.add_func(f);
+        (m, id)
+    }
+
+    #[test]
+    fn valid_function_passes() {
+        let (m, id) = linear();
+        verify_function(&m, &m.funcs[id.index()]).unwrap();
+    }
+
+    #[test]
+    fn use_before_def_fails() {
+        let mut m = Module::new();
+        let mut f = Function::new("f");
+        // %0 uses %1 which is defined after it.
+        let a = f.add_inst(InstKind::Bin { op: BinOp::Add, a: Val::Inst(InstId(1)), b: Val::Const(1) });
+        let b = f.add_inst(InstKind::Bin { op: BinOp::Add, a: Val::Const(1), b: Val::Const(1) });
+        f.blocks[0].insts = vec![a, b];
+        f.blocks[0].term = Term::Ret(None);
+        m.add_func(f);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn def_must_dominate_use_across_blocks() {
+        let mut m = Module::new();
+        let mut f = Function::new("f");
+        let side = f.add_block();
+        let join = f.add_block();
+        let c = f.push_inst(f.entry, InstKind::Cmp { op: CmpOp::Eq, a: Val::Param(0), b: Val::Const(0) });
+        f.num_params = 1;
+        f.blocks[f.entry.index()].term = Term::CondBr { c: Val::Inst(c), t: side, f: join };
+        let d = f.push_inst(side, InstKind::Bin { op: BinOp::Add, a: Val::Const(1), b: Val::Const(1) });
+        f.blocks[side.index()].term = Term::Br(join);
+        // join uses %d but entry can reach join directly — not dominated.
+        f.blocks[join.index()].term = Term::Ret(Some(Val::Inst(d)));
+        m.add_func(f);
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.what.contains("dominate"), "{e}");
+    }
+
+    #[test]
+    fn phi_incomings_must_match_preds() {
+        let mut m = Module::new();
+        let mut f = Function::new("f");
+        let next = f.add_block();
+        f.blocks[f.entry.index()].term = Term::Br(next);
+        let phi = f.push_inst(
+            next,
+            InstKind::Phi { incomings: vec![(BlockId(1), Val::Const(0))] }, // wrong pred
+        );
+        f.blocks[next.index()].term = Term::Ret(Some(Val::Inst(phi)));
+        m.add_func(f);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn branch_to_nonexistent_block_fails() {
+        let mut m = Module::new();
+        let mut f = Function::new("f");
+        f.blocks[0].term = Term::Br(BlockId(9));
+        m.add_func(f);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let mut f = Function::new("d");
+        let t = f.add_block();
+        let e = f.add_block();
+        let j = f.add_block();
+        f.blocks[0].term = Term::CondBr { c: Val::Const(1), t, f: e };
+        f.blocks[t.index()].term = Term::Br(j);
+        f.blocks[e.index()].term = Term::Br(j);
+        f.blocks[j.index()].term = Term::Ret(None);
+        let idom = dominators(&f);
+        assert_eq!(idom[j.index()], Some(f.entry));
+        assert_eq!(idom[t.index()], Some(f.entry));
+        assert!(block_dominates(&idom, f.entry, f.entry, j));
+        assert!(!block_dominates(&idom, f.entry, t, j));
+    }
+
+    #[test]
+    fn placed_twice_fails() {
+        let (mut m, id) = linear();
+        let f = &mut m.funcs[id.index()];
+        let i = f.blocks[0].insts[0];
+        f.blocks.push(Block { insts: vec![i], term: Term::Ret(None), orig_addr: None });
+        // Unreachable block, but double placement is still structural error.
+        assert!(verify_module(&m).is_err());
+    }
+}

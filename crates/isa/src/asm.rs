@@ -1,0 +1,284 @@
+//! A small two-pass assembler with labels.
+//!
+//! Direct control transfers in this ISA carry absolute 32-bit targets, so
+//! instruction lengths never depend on label values: the assembler lays out
+//! all instructions once, then patches targets.
+//!
+//! ```
+//! use wyt_isa::asm::Asm;
+//! use wyt_isa::{Inst, Operand, Reg, Size};
+//!
+//! let mut a = Asm::new();
+//! let loop_top = a.fresh_label();
+//! a.emit(Inst::Mov { size: Size::D, dst: Operand::Reg(Reg::Ecx), src: Operand::Imm(3) });
+//! a.bind(loop_top);
+//! a.emit(Inst::Alu { op: wyt_isa::AluOp::Sub, size: Size::D,
+//!                    dst: Operand::Reg(Reg::Ecx), src: Operand::Imm(1) });
+//! a.jcc(wyt_isa::Cc::Ne, loop_top);
+//! a.emit(Inst::Halt);
+//! let out = a.finish(0x1000);
+//! assert!(!out.bytes.is_empty());
+//! ```
+
+use crate::encode::{encode, encoded_len};
+use crate::inst::{Cc, Inst};
+
+/// An unresolved code position. Create with [`Asm::fresh_label`], place with
+/// [`Asm::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(u32);
+
+#[derive(Debug, Clone)]
+enum Item {
+    Fixed(Inst),
+    Jmp(Label),
+    Jcc(Cc, Label),
+    Call(Label),
+    /// `push` of a label address (used for computed jump tables in tests).
+    PushAddr(Label),
+    /// `mov reg, imm(label address)` (function-address materialization).
+    MovRegLabel(crate::Reg, Label),
+}
+
+/// Result of assembling: the encoded bytes plus resolved addresses.
+#[derive(Debug, Clone)]
+pub struct Assembled {
+    /// The encoded text bytes.
+    pub bytes: Vec<u8>,
+    /// Absolute address of each label, indexed by label id.
+    pub label_addrs: Vec<u32>,
+}
+
+impl Assembled {
+    /// Absolute address of `label`.
+    pub fn addr_of(&self, label: Label) -> u32 {
+        self.label_addrs[label.0 as usize]
+    }
+}
+
+/// The assembler. See the [module documentation](self) for an example.
+#[derive(Debug, Default)]
+pub struct Asm {
+    items: Vec<Item>,
+    /// label id -> item index it is bound before
+    bindings: Vec<Option<usize>>,
+}
+
+impl Asm {
+    /// An empty assembler.
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Allocate a new, unbound label.
+    pub fn fresh_label(&mut self) -> Label {
+        self.bindings.push(None);
+        Label(self.bindings.len() as u32 - 1)
+    }
+
+    /// Bind `label` to the current position.
+    ///
+    /// # Panics
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.bindings[label.0 as usize];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.items.len());
+    }
+
+    /// Allocate and immediately bind a label at the current position.
+    pub fn here(&mut self) -> Label {
+        let l = self.fresh_label();
+        self.bind(l);
+        l
+    }
+
+    /// Emit a fixed instruction.
+    pub fn emit(&mut self, inst: Inst) {
+        self.items.push(Item::Fixed(inst));
+    }
+
+    /// Emit an unconditional jump to `label`.
+    pub fn jmp(&mut self, label: Label) {
+        self.items.push(Item::Jmp(label));
+    }
+
+    /// Emit a conditional jump to `label`.
+    pub fn jcc(&mut self, cc: Cc, label: Label) {
+        self.items.push(Item::Jcc(cc, label));
+    }
+
+    /// Emit a direct call to `label`.
+    pub fn call(&mut self, label: Label) {
+        self.items.push(Item::Call(label));
+    }
+
+    /// Emit a `push` of the absolute address of `label`.
+    pub fn push_addr(&mut self, label: Label) {
+        self.items.push(Item::PushAddr(label));
+    }
+
+    /// Emit `mov reg, <address of label>`.
+    pub fn mov_label(&mut self, reg: crate::Reg, label: Label) {
+        self.items.push(Item::MovRegLabel(reg, label));
+    }
+
+    /// Number of items emitted so far (monotonic position marker).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Lay out and encode everything at `base`.
+    ///
+    /// # Panics
+    /// Panics if any referenced label was never bound.
+    pub fn finish(self, base: u32) -> Assembled {
+        // Pass 1: compute the offset of every item. Lengths of label-using
+        // items equal the length with a zero target.
+        let mut offsets = Vec::with_capacity(self.items.len() + 1);
+        let mut off = 0usize;
+        for item in &self.items {
+            offsets.push(off);
+            off += match item {
+                Item::Fixed(i) => encoded_len(i),
+                Item::Jmp(_) => encoded_len(&Inst::Jmp { target: 0 }),
+                Item::Jcc(cc, _) => encoded_len(&Inst::Jcc { cc: *cc, target: 0 }),
+                Item::Call(_) => encoded_len(&Inst::Call { target: 0 }),
+                Item::PushAddr(_) => {
+                    encoded_len(&Inst::Push { src: crate::Operand::Imm(0) })
+                }
+                Item::MovRegLabel(r, _) => encoded_len(&Inst::Mov {
+                    size: crate::Size::D,
+                    dst: crate::Operand::Reg(*r),
+                    src: crate::Operand::Imm(0),
+                }),
+            };
+        }
+        offsets.push(off);
+
+        let label_addrs: Vec<u32> = self
+            .bindings
+            .iter()
+            .map(|b| match b {
+                Some(idx) => base + offsets[*idx] as u32,
+                None => u32::MAX, // unbound; only an error if referenced
+            })
+            .collect();
+
+        let resolve = |l: &Label| {
+            let a = label_addrs[l.0 as usize];
+            assert_ne!(a, u32::MAX, "referenced label was never bound");
+            a
+        };
+
+        // Pass 2: encode with resolved targets.
+        let mut bytes = Vec::with_capacity(off);
+        for item in &self.items {
+            let inst = match item {
+                Item::Fixed(i) => *i,
+                Item::Jmp(l) => Inst::Jmp { target: resolve(l) },
+                Item::Jcc(cc, l) => Inst::Jcc { cc: *cc, target: resolve(l) },
+                Item::Call(l) => Inst::Call { target: resolve(l) },
+                Item::PushAddr(l) => Inst::Push { src: crate::Operand::Imm(resolve(l) as i32) },
+                Item::MovRegLabel(r, l) => Inst::Mov {
+                    size: crate::Size::D,
+                    dst: crate::Operand::Reg(*r),
+                    src: crate::Operand::Imm(resolve(l) as i32),
+                },
+            };
+            encode(&inst, &mut bytes);
+        }
+        debug_assert_eq!(bytes.len(), off);
+        Assembled { bytes, label_addrs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode, Operand, Reg, Size};
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        let fwd = a.fresh_label();
+        let back = a.here();
+        a.emit(Inst::Nop);
+        a.jmp(fwd);
+        a.jcc(Cc::E, back);
+        a.bind(fwd);
+        a.emit(Inst::Halt);
+        let out = a.finish(0x1000);
+
+        assert_eq!(out.addr_of(back), 0x1000);
+        // Walk and find the jmp target equals the halt address.
+        let mut pos = 0;
+        let mut insts = Vec::new();
+        while pos < out.bytes.len() {
+            let (i, l) = decode(&out.bytes[pos..]).unwrap();
+            insts.push((0x1000 + pos as u32, i));
+            pos += l;
+        }
+        let halt_addr = insts.iter().find(|(_, i)| *i == Inst::Halt).unwrap().0;
+        assert!(insts
+            .iter()
+            .any(|(_, i)| matches!(i, Inst::Jmp { target } if *target == halt_addr)));
+        assert!(insts
+            .iter()
+            .any(|(_, i)| matches!(i, Inst::Jcc { cc: Cc::E, target } if *target == 0x1000)));
+        assert_eq!(out.addr_of(fwd), halt_addr);
+    }
+
+    #[test]
+    fn call_and_push_addr() {
+        let mut a = Asm::new();
+        let f = a.fresh_label();
+        a.push_addr(f);
+        a.call(f);
+        a.emit(Inst::Halt);
+        a.bind(f);
+        a.emit(Inst::Ret { pop: 0 });
+        let out = a.finish(0x2000);
+        let target = out.addr_of(f);
+
+        let (push, l0) = decode(&out.bytes).unwrap();
+        assert_eq!(push, Inst::Push { src: Operand::Imm(target as i32) });
+        let (call, _) = decode(&out.bytes[l0..]).unwrap();
+        assert_eq!(call, Inst::Call { target });
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_referenced_label_panics() {
+        let mut a = Asm::new();
+        let l = a.fresh_label();
+        a.jmp(l);
+        let _ = a.finish(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut a = Asm::new();
+        let l = a.fresh_label();
+        a.bind(l);
+        a.bind(l);
+    }
+
+    #[test]
+    fn emit_positions_are_stable() {
+        let mut a = Asm::new();
+        a.emit(Inst::Mov {
+            size: Size::D,
+            dst: Operand::Reg(Reg::Eax),
+            src: Operand::Imm(7),
+        });
+        assert_eq!(a.len(), 1);
+        assert!(!a.is_empty());
+    }
+}

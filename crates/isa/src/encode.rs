@@ -1,0 +1,625 @@
+//! Binary encoding and decoding of instructions.
+//!
+//! The encoding is compact and total: one opcode byte, followed by operand
+//! bytes. It is *not* x86 machine code — the paper's algorithms are
+//! independent of encoding details — but it is a real variable-length
+//! encoding that must be decoded at arbitrary program counters, which is all
+//! a lifter cares about.
+
+use crate::inst::{AluOp, Cc, Inst, Mem, Operand, Reg, ShiftAmount, ShiftOp, Size};
+use std::fmt;
+
+/// Error produced by [`decode`] on malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended in the middle of an instruction.
+    Truncated,
+    /// An unknown opcode byte.
+    BadOpcode(u8),
+    /// A field had an out-of-range value.
+    BadField(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated instruction"),
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::BadField(what) => write!(f, "malformed {what} field"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+mod op {
+    pub const NOP: u8 = 0x00;
+    pub const HALT: u8 = 0x01;
+    pub const MOV: u8 = 0x02;
+    pub const MOVZX: u8 = 0x03;
+    pub const MOVSX: u8 = 0x04;
+    pub const LEA: u8 = 0x05;
+    pub const ALU: u8 = 0x06;
+    pub const CMP: u8 = 0x07;
+    pub const TEST: u8 = 0x08;
+    pub const IMUL: u8 = 0x09;
+    pub const IMULI: u8 = 0x0a;
+    pub const IDIV: u8 = 0x0b;
+    pub const NEG: u8 = 0x0c;
+    pub const NOT: u8 = 0x0d;
+    pub const SHIFT: u8 = 0x0e;
+    pub const PUSH: u8 = 0x0f;
+    pub const POP: u8 = 0x10;
+    pub const CALL: u8 = 0x11;
+    pub const CALLIND: u8 = 0x12;
+    pub const CALLEXT: u8 = 0x13;
+    pub const RET: u8 = 0x14;
+    pub const JMP: u8 = 0x15;
+    pub const JMPIND: u8 = 0x16;
+    pub const JCC: u8 = 0x17;
+    pub const SETCC: u8 = 0x18;
+    pub const LEAVE: u8 = 0x19;
+    pub const VMOVLD: u8 = 0x1a;
+    pub const VMOVST: u8 = 0x1b;
+    pub const TRAP: u8 = 0x1c;
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i32(buf: &mut Vec<u8>, v: i32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_mem(buf: &mut Vec<u8>, m: &Mem) {
+    let mut flags = 0u8;
+    if let Some(b) = m.base {
+        flags |= 0x08 | b.index() as u8;
+    }
+    if let Some((i, _)) = m.index {
+        flags |= 0x80 | ((i.index() as u8) << 4);
+    }
+    buf.push(flags);
+    if let Some((_, scale)) = m.index {
+        buf.push(scale);
+    }
+    put_i32(buf, m.disp);
+}
+
+fn put_operand(buf: &mut Vec<u8>, o: &Operand) {
+    match o {
+        Operand::Reg(r) => {
+            buf.push(0);
+            buf.push(r.index() as u8);
+        }
+        Operand::Imm(i) => {
+            buf.push(1);
+            put_i32(buf, *i);
+        }
+        Operand::Mem(m) => {
+            buf.push(2);
+            put_mem(buf, m);
+        }
+    }
+}
+
+/// Append the encoding of `inst` to `buf`.
+pub fn encode(inst: &Inst, buf: &mut Vec<u8>) {
+    match inst {
+        Inst::Nop => buf.push(op::NOP),
+        Inst::Halt => buf.push(op::HALT),
+        Inst::Mov { size, dst, src } => {
+            buf.push(op::MOV);
+            buf.push(*size as u8);
+            put_operand(buf, dst);
+            put_operand(buf, src);
+        }
+        Inst::Movzx { from, dst, src } => {
+            buf.push(op::MOVZX);
+            buf.push(*from as u8);
+            buf.push(dst.index() as u8);
+            put_operand(buf, src);
+        }
+        Inst::Movsx { from, dst, src } => {
+            buf.push(op::MOVSX);
+            buf.push(*from as u8);
+            buf.push(dst.index() as u8);
+            put_operand(buf, src);
+        }
+        Inst::Lea { dst, mem } => {
+            buf.push(op::LEA);
+            buf.push(dst.index() as u8);
+            put_mem(buf, mem);
+        }
+        Inst::Alu { op: a, size, dst, src } => {
+            buf.push(op::ALU);
+            buf.push(*a as u8);
+            buf.push(*size as u8);
+            put_operand(buf, dst);
+            put_operand(buf, src);
+        }
+        Inst::Cmp { size, a, b } => {
+            buf.push(op::CMP);
+            buf.push(*size as u8);
+            put_operand(buf, a);
+            put_operand(buf, b);
+        }
+        Inst::Test { size, a, b } => {
+            buf.push(op::TEST);
+            buf.push(*size as u8);
+            put_operand(buf, a);
+            put_operand(buf, b);
+        }
+        Inst::Imul { dst, src } => {
+            buf.push(op::IMUL);
+            buf.push(dst.index() as u8);
+            put_operand(buf, src);
+        }
+        Inst::ImulI { dst, src, imm } => {
+            buf.push(op::IMULI);
+            buf.push(dst.index() as u8);
+            put_operand(buf, src);
+            put_i32(buf, *imm);
+        }
+        Inst::Idiv { src } => {
+            buf.push(op::IDIV);
+            put_operand(buf, src);
+        }
+        Inst::Neg { size, dst } => {
+            buf.push(op::NEG);
+            buf.push(*size as u8);
+            put_operand(buf, dst);
+        }
+        Inst::Not { size, dst } => {
+            buf.push(op::NOT);
+            buf.push(*size as u8);
+            put_operand(buf, dst);
+        }
+        Inst::Shift { op: s, size, dst, amount } => {
+            buf.push(op::SHIFT);
+            buf.push(*s as u8);
+            buf.push(*size as u8);
+            put_operand(buf, dst);
+            match amount {
+                ShiftAmount::Imm(i) => {
+                    buf.push(0);
+                    buf.push(*i);
+                }
+                ShiftAmount::Cl => buf.push(1),
+            }
+        }
+        Inst::Push { src } => {
+            buf.push(op::PUSH);
+            put_operand(buf, src);
+        }
+        Inst::Pop { dst } => {
+            buf.push(op::POP);
+            put_operand(buf, dst);
+        }
+        Inst::Call { target } => {
+            buf.push(op::CALL);
+            put_u32(buf, *target);
+        }
+        Inst::CallInd { target } => {
+            buf.push(op::CALLIND);
+            put_operand(buf, target);
+        }
+        Inst::CallExt { idx } => {
+            buf.push(op::CALLEXT);
+            put_u16(buf, *idx);
+        }
+        Inst::Ret { pop } => {
+            buf.push(op::RET);
+            put_u16(buf, *pop);
+        }
+        Inst::Jmp { target } => {
+            buf.push(op::JMP);
+            put_u32(buf, *target);
+        }
+        Inst::JmpInd { target } => {
+            buf.push(op::JMPIND);
+            put_operand(buf, target);
+        }
+        Inst::Jcc { cc, target } => {
+            buf.push(op::JCC);
+            buf.push(*cc as u8);
+            put_u32(buf, *target);
+        }
+        Inst::Setcc { cc, dst } => {
+            buf.push(op::SETCC);
+            buf.push(*cc as u8);
+            buf.push(dst.index() as u8);
+        }
+        Inst::Leave => buf.push(op::LEAVE),
+        Inst::VmovLd { mem } => {
+            buf.push(op::VMOVLD);
+            put_mem(buf, mem);
+        }
+        Inst::VmovSt { mem } => {
+            buf.push(op::VMOVST);
+            put_mem(buf, mem);
+        }
+        Inst::Trap { code } => {
+            buf.push(op::TRAP);
+            buf.push(*code);
+        }
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        let lo = self.u8()? as u16;
+        let hi = self.u8()? as u16;
+        Ok(lo | (hi << 8))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let lo = self.u16()? as u32;
+        let hi = self.u16()? as u32;
+        Ok(lo | (hi << 16))
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        Ok(self.u32()? as i32)
+    }
+
+    fn reg(&mut self) -> Result<Reg, DecodeError> {
+        let b = self.u8()?;
+        if b >= 8 {
+            return Err(DecodeError::BadField("register"));
+        }
+        Ok(Reg::from_index(b))
+    }
+
+    fn size(&mut self) -> Result<Size, DecodeError> {
+        match self.u8()? {
+            0 => Ok(Size::B),
+            1 => Ok(Size::W),
+            2 => Ok(Size::D),
+            _ => Err(DecodeError::BadField("size")),
+        }
+    }
+
+    fn mem(&mut self) -> Result<Mem, DecodeError> {
+        let flags = self.u8()?;
+        let base = if flags & 0x08 != 0 {
+            Some(Reg::from_index(flags & 0x07))
+        } else {
+            None
+        };
+        let index = if flags & 0x80 != 0 {
+            let reg = Reg::from_index((flags >> 4) & 0x07);
+            let scale = self.u8()?;
+            if !matches!(scale, 1 | 2 | 4 | 8) {
+                return Err(DecodeError::BadField("scale"));
+            }
+            Some((reg, scale))
+        } else {
+            None
+        };
+        let disp = self.i32()?;
+        Ok(Mem { base, index, disp })
+    }
+
+    fn operand(&mut self) -> Result<Operand, DecodeError> {
+        match self.u8()? {
+            0 => Ok(Operand::Reg(self.reg()?)),
+            1 => Ok(Operand::Imm(self.i32()?)),
+            2 => Ok(Operand::Mem(self.mem()?)),
+            _ => Err(DecodeError::BadField("operand tag")),
+        }
+    }
+
+    fn cc(&mut self) -> Result<Cc, DecodeError> {
+        let b = self.u8()?;
+        Cc::ALL
+            .get(b as usize)
+            .copied()
+            .ok_or(DecodeError::BadField("condition code"))
+    }
+}
+
+/// Decode one instruction from the start of `buf`.
+///
+/// Returns the instruction and the number of bytes consumed.
+///
+/// # Errors
+/// Returns a [`DecodeError`] if the bytes are truncated or malformed.
+pub fn decode(buf: &[u8]) -> Result<(Inst, usize), DecodeError> {
+    let mut c = Cursor { buf, pos: 0 };
+    let opcode = c.u8()?;
+    let inst = match opcode {
+        op::NOP => Inst::Nop,
+        op::HALT => Inst::Halt,
+        op::MOV => {
+            let size = c.size()?;
+            let dst = c.operand()?;
+            let src = c.operand()?;
+            Inst::Mov { size, dst, src }
+        }
+        op::MOVZX => {
+            let from = c.size()?;
+            let dst = c.reg()?;
+            let src = c.operand()?;
+            Inst::Movzx { from, dst, src }
+        }
+        op::MOVSX => {
+            let from = c.size()?;
+            let dst = c.reg()?;
+            let src = c.operand()?;
+            Inst::Movsx { from, dst, src }
+        }
+        op::LEA => {
+            let dst = c.reg()?;
+            let mem = c.mem()?;
+            Inst::Lea { dst, mem }
+        }
+        op::ALU => {
+            let a = match c.u8()? {
+                0 => AluOp::Add,
+                1 => AluOp::Sub,
+                2 => AluOp::And,
+                3 => AluOp::Or,
+                4 => AluOp::Xor,
+                _ => return Err(DecodeError::BadField("alu op")),
+            };
+            let size = c.size()?;
+            let dst = c.operand()?;
+            let src = c.operand()?;
+            Inst::Alu { op: a, size, dst, src }
+        }
+        op::CMP => {
+            let size = c.size()?;
+            let a = c.operand()?;
+            let b = c.operand()?;
+            Inst::Cmp { size, a, b }
+        }
+        op::TEST => {
+            let size = c.size()?;
+            let a = c.operand()?;
+            let b = c.operand()?;
+            Inst::Test { size, a, b }
+        }
+        op::IMUL => {
+            let dst = c.reg()?;
+            let src = c.operand()?;
+            Inst::Imul { dst, src }
+        }
+        op::IMULI => {
+            let dst = c.reg()?;
+            let src = c.operand()?;
+            let imm = c.i32()?;
+            Inst::ImulI { dst, src, imm }
+        }
+        op::IDIV => Inst::Idiv { src: c.operand()? },
+        op::NEG => {
+            let size = c.size()?;
+            let dst = c.operand()?;
+            Inst::Neg { size, dst }
+        }
+        op::NOT => {
+            let size = c.size()?;
+            let dst = c.operand()?;
+            Inst::Not { size, dst }
+        }
+        op::SHIFT => {
+            let s = match c.u8()? {
+                0 => ShiftOp::Shl,
+                1 => ShiftOp::Shr,
+                2 => ShiftOp::Sar,
+                _ => return Err(DecodeError::BadField("shift op")),
+            };
+            let size = c.size()?;
+            let dst = c.operand()?;
+            let amount = match c.u8()? {
+                0 => ShiftAmount::Imm(c.u8()?),
+                1 => ShiftAmount::Cl,
+                _ => return Err(DecodeError::BadField("shift amount")),
+            };
+            Inst::Shift { op: s, size, dst, amount }
+        }
+        op::PUSH => Inst::Push { src: c.operand()? },
+        op::POP => Inst::Pop { dst: c.operand()? },
+        op::CALL => Inst::Call { target: c.u32()? },
+        op::CALLIND => Inst::CallInd { target: c.operand()? },
+        op::CALLEXT => Inst::CallExt { idx: c.u16()? },
+        op::RET => Inst::Ret { pop: c.u16()? },
+        op::JMP => Inst::Jmp { target: c.u32()? },
+        op::JMPIND => Inst::JmpInd { target: c.operand()? },
+        op::JCC => {
+            let cc = c.cc()?;
+            let target = c.u32()?;
+            Inst::Jcc { cc, target }
+        }
+        op::SETCC => {
+            let cc = c.cc()?;
+            let dst = c.reg()?;
+            Inst::Setcc { cc, dst }
+        }
+        op::LEAVE => Inst::Leave,
+        op::VMOVLD => Inst::VmovLd { mem: c.mem()? },
+        op::VMOVST => Inst::VmovSt { mem: c.mem()? },
+        op::TRAP => Inst::Trap { code: c.u8()? },
+        other => return Err(DecodeError::BadOpcode(other)),
+    };
+    Ok((inst, c.pos))
+}
+
+/// Encoded length of an instruction without materializing the bytes twice.
+pub fn encoded_len(inst: &Inst) -> usize {
+    let mut buf = Vec::with_capacity(16);
+    encode(inst, &mut buf);
+    buf.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(i: Inst) {
+        let mut buf = Vec::new();
+        encode(&i, &mut buf);
+        let (back, len) = decode(&buf).unwrap_or_else(|e| panic!("decode {i}: {e}"));
+        assert_eq!(back, i);
+        assert_eq!(len, buf.len());
+    }
+
+    #[test]
+    fn simple_roundtrips() {
+        roundtrip(Inst::Nop);
+        roundtrip(Inst::Halt);
+        roundtrip(Inst::Leave);
+        roundtrip(Inst::Ret { pop: 8 });
+        roundtrip(Inst::Call { target: 0xdead_beef });
+        roundtrip(Inst::CallExt { idx: 7 });
+        roundtrip(Inst::Trap { code: 3 });
+        roundtrip(Inst::Jcc { cc: Cc::Ae, target: 0x1234 });
+        roundtrip(Inst::Setcc { cc: Cc::Ns, dst: Reg::Edx });
+        roundtrip(Inst::Lea {
+            dst: Reg::Eax,
+            mem: Mem::base_index(Reg::Ebp, Reg::Ecx, 8, -44),
+        });
+        roundtrip(Inst::VmovLd { mem: Mem::base_disp(Reg::Esi, 16) });
+        roundtrip(Inst::VmovSt { mem: Mem::abs(0x4000) });
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[0xff]), Err(DecodeError::BadOpcode(0xff)));
+        // Truncated mov.
+        assert_eq!(decode(&[super::op::MOV, 2, 0]), Err(DecodeError::Truncated));
+        // Bad register index.
+        assert_eq!(
+            decode(&[super::op::MOV, 2, 0, 9, 0, 0]),
+            Err(DecodeError::BadField("register"))
+        );
+        // Bad scale.
+        let mut buf = vec![super::op::LEA, 0, 0x80 | 0x08, 3];
+        buf.extend_from_slice(&0i32.to_le_bytes());
+        assert_eq!(decode(&buf), Err(DecodeError::BadField("scale")));
+    }
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        (0u8..8).prop_map(Reg::from_index)
+    }
+
+    fn arb_size() -> impl Strategy<Value = Size> {
+        prop_oneof![Just(Size::B), Just(Size::W), Just(Size::D)]
+    }
+
+    fn arb_mem() -> impl Strategy<Value = Mem> {
+        (
+            proptest::option::of(arb_reg()),
+            proptest::option::of((arb_reg(), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)])),
+            any::<i32>(),
+        )
+            .prop_map(|(base, index, disp)| Mem { base, index, disp })
+    }
+
+    fn arb_operand() -> impl Strategy<Value = Operand> {
+        prop_oneof![
+            arb_reg().prop_map(Operand::Reg),
+            any::<i32>().prop_map(Operand::Imm),
+            arb_mem().prop_map(Operand::Mem),
+        ]
+    }
+
+    fn arb_cc() -> impl Strategy<Value = Cc> {
+        (0usize..Cc::ALL.len()).prop_map(|i| Cc::ALL[i])
+    }
+
+    fn arb_inst() -> impl Strategy<Value = Inst> {
+        prop_oneof![
+            Just(Inst::Nop),
+            Just(Inst::Halt),
+            Just(Inst::Leave),
+            (arb_size(), arb_operand(), arb_operand())
+                .prop_map(|(size, dst, src)| Inst::Mov { size, dst, src }),
+            (arb_size(), arb_reg(), arb_operand())
+                .prop_map(|(from, dst, src)| Inst::Movzx { from, dst, src }),
+            (arb_size(), arb_reg(), arb_operand())
+                .prop_map(|(from, dst, src)| Inst::Movsx { from, dst, src }),
+            (arb_reg(), arb_mem()).prop_map(|(dst, mem)| Inst::Lea { dst, mem }),
+            (
+                prop_oneof![
+                    Just(AluOp::Add),
+                    Just(AluOp::Sub),
+                    Just(AluOp::And),
+                    Just(AluOp::Or),
+                    Just(AluOp::Xor)
+                ],
+                arb_size(),
+                arb_operand(),
+                arb_operand()
+            )
+                .prop_map(|(op, size, dst, src)| Inst::Alu { op, size, dst, src }),
+            (arb_size(), arb_operand(), arb_operand())
+                .prop_map(|(size, a, b)| Inst::Cmp { size, a, b }),
+            (arb_size(), arb_operand(), arb_operand())
+                .prop_map(|(size, a, b)| Inst::Test { size, a, b }),
+            (arb_reg(), arb_operand()).prop_map(|(dst, src)| Inst::Imul { dst, src }),
+            (arb_reg(), arb_operand(), any::<i32>())
+                .prop_map(|(dst, src, imm)| Inst::ImulI { dst, src, imm }),
+            arb_operand().prop_map(|src| Inst::Idiv { src }),
+            (arb_size(), arb_operand()).prop_map(|(size, dst)| Inst::Neg { size, dst }),
+            (arb_size(), arb_operand()).prop_map(|(size, dst)| Inst::Not { size, dst }),
+            (
+                prop_oneof![Just(ShiftOp::Shl), Just(ShiftOp::Shr), Just(ShiftOp::Sar)],
+                arb_size(),
+                arb_operand(),
+                prop_oneof![any::<u8>().prop_map(ShiftAmount::Imm), Just(ShiftAmount::Cl)]
+            )
+                .prop_map(|(op, size, dst, amount)| Inst::Shift { op, size, dst, amount }),
+            arb_operand().prop_map(|src| Inst::Push { src }),
+            arb_operand().prop_map(|dst| Inst::Pop { dst }),
+            any::<u32>().prop_map(|target| Inst::Call { target }),
+            arb_operand().prop_map(|target| Inst::CallInd { target }),
+            any::<u16>().prop_map(|idx| Inst::CallExt { idx }),
+            any::<u16>().prop_map(|pop| Inst::Ret { pop }),
+            any::<u32>().prop_map(|target| Inst::Jmp { target }),
+            arb_operand().prop_map(|target| Inst::JmpInd { target }),
+            (arb_cc(), any::<u32>()).prop_map(|(cc, target)| Inst::Jcc { cc, target }),
+            (arb_cc(), arb_reg()).prop_map(|(cc, dst)| Inst::Setcc { cc, dst }),
+            arb_mem().prop_map(|mem| Inst::VmovLd { mem }),
+            arb_mem().prop_map(|mem| Inst::VmovSt { mem }),
+            any::<u8>().prop_map(|code| Inst::Trap { code }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encode_decode_roundtrip(inst in arb_inst()) {
+            roundtrip(inst);
+        }
+
+        #[test]
+        fn prop_encoded_len_matches(inst in arb_inst()) {
+            let mut buf = Vec::new();
+            encode(&inst, &mut buf);
+            prop_assert_eq!(encoded_len(&inst), buf.len());
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..24)) {
+            let _ = decode(&bytes);
+        }
+    }
+}

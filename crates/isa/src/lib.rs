@@ -1,0 +1,40 @@
+//! # wyt-isa — the machine layer of the WYTIWYG reproduction
+//!
+//! This crate defines a 32-bit, x86-*shaped* instruction set: eight general
+//! purpose registers (with stale-upper-bits sub-register writes, as on x86),
+//! `[base + index*scale + disp]` addressing, push/pop/call/ret stack
+//! discipline, condition codes, and a small vector move (`vmov`) standing in
+//! for SSE block moves. It deliberately reproduces every machine-level
+//! behaviour the WYTIWYG paper reasons about — sp0-relative stack
+//! references, register spills, tail calls, sub-register false dependencies,
+//! out-of-bounds end pointers, jump tables — without the encoding baggage of
+//! real x86.
+//!
+//! It also provides:
+//! - a compact, total binary [`encode`]/[`decode`] pair,
+//! - a two-pass [`asm::Asm`] assembler with labels,
+//! - the [`image::Image`] executable format (text/data/imports/symbols),
+//!   including the ground-truth [`image::FrameLayout`] sidecar used *only*
+//!   by the accuracy evaluation (the analogue of LLVM's Stack Frame Layout
+//!   analysis in the paper's §6.3).
+//!
+//! ```
+//! use wyt_isa::{Inst, Operand, Reg, Size, encode, decode};
+//! let inst = Inst::Mov { size: Size::D, dst: Operand::Reg(Reg::Eax), src: Operand::Imm(42) };
+//! let mut buf = Vec::new();
+//! encode(&inst, &mut buf);
+//! let (back, len) = decode(&buf).unwrap();
+//! assert_eq!(back, inst);
+//! assert_eq!(len, buf.len());
+//! ```
+
+pub mod asm;
+mod encode;
+pub mod image;
+mod inst;
+
+pub use encode::{decode, encode, encoded_len, DecodeError};
+pub use inst::{AluOp, Cc, Inst, Mem, Operand, Reg, ShiftAmount, ShiftOp, Size};
+
+/// Number of general purpose registers.
+pub const NUM_REGS: usize = 8;

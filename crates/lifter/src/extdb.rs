@@ -1,0 +1,149 @@
+//! External-function database (paper §5.3).
+//!
+//! For every dynamically linked ("libc") function the lifter knows its
+//! fixed-arity signature and the *pointer effects* the bounds-recovery
+//! runtime must model. The effect vocabulary is exactly the paper's:
+//! `ObjectSize`, `ZeroTerminated`, `Derive`, `Clear`, `Copy`, `FormatStr`.
+
+use wyt_emu::ExtId;
+
+/// A size operand of an effect: a constant or the value of an argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeSpec {
+    /// A constant number of bytes.
+    Const(u32),
+    /// The runtime value of the i-th argument.
+    Arg(usize),
+    /// The product of two arguments' values (e.g. `calloc(n, sz)`).
+    ArgProduct(usize, usize),
+}
+
+/// A pointer effect of an external function (paper §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtEffect {
+    /// The object at pointer-argument `ptr` is at least `size` bytes.
+    ObjectSize {
+        /// Pointer argument index.
+        ptr: usize,
+        /// Guaranteed size.
+        size: SizeSpec,
+    },
+    /// The data at pointer-argument `ptr` is NUL-terminated; its extent at
+    /// runtime is `strlen + 1`.
+    ZeroTerminated {
+        /// Pointer argument index.
+        ptr: usize,
+    },
+    /// The return value points into the same object as pointer-argument
+    /// `base`.
+    DeriveRet {
+        /// Pointer argument index the result derives from.
+        base: usize,
+    },
+    /// The function overwrites `size` bytes at `ptr`, clearing any stack
+    /// references stored there.
+    Clear {
+        /// Pointer argument index.
+        ptr: usize,
+        /// Bytes cleared.
+        size: SizeSpec,
+    },
+    /// The function copies `size` bytes from `src` to `dst`, carrying any
+    /// stored stack references along.
+    Copy {
+        /// Destination pointer argument index.
+        dst: usize,
+        /// Source pointer argument index.
+        src: usize,
+        /// Bytes copied.
+        size: SizeSpec,
+    },
+    /// Argument `fmt` is a printf-style format string describing the
+    /// variadic tail.
+    FormatStr {
+        /// Format-string argument index.
+        fmt: usize,
+    },
+}
+
+/// Signature and effects of one external function.
+#[derive(Debug, Clone)]
+pub struct ExtSig {
+    /// The external.
+    pub ext: ExtId,
+    /// Number of fixed arguments.
+    pub fixed_args: usize,
+    /// Variadic tail described by a format string.
+    pub variadic: bool,
+    /// Pointer effects.
+    pub effects: Vec<ExtEffect>,
+}
+
+/// Look up the database entry for an external.
+pub fn ext_sig(ext: ExtId) -> ExtSig {
+    use ExtEffect::*;
+    let effects: Vec<ExtEffect> = match ext {
+        ExtId::Printf => vec![ZeroTerminated { ptr: 0 }, FormatStr { fmt: 0 }],
+        ExtId::Puts => vec![ZeroTerminated { ptr: 0 }],
+        ExtId::Putchar | ExtId::Getchar | ExtId::Exit | ExtId::Abort | ExtId::Free => vec![],
+        ExtId::ReadBytes => vec![
+            ObjectSize { ptr: 0, size: SizeSpec::Arg(1) },
+            Clear { ptr: 0, size: SizeSpec::Arg(1) },
+        ],
+        ExtId::Malloc => vec![],
+        ExtId::Calloc => vec![],
+        ExtId::Realloc => vec![],
+        ExtId::Memcpy | ExtId::Memmove => vec![
+            ObjectSize { ptr: 0, size: SizeSpec::Arg(2) },
+            ObjectSize { ptr: 1, size: SizeSpec::Arg(2) },
+            Copy { dst: 0, src: 1, size: SizeSpec::Arg(2) },
+            DeriveRet { base: 0 },
+        ],
+        ExtId::Memset => vec![
+            ObjectSize { ptr: 0, size: SizeSpec::Arg(2) },
+            Clear { ptr: 0, size: SizeSpec::Arg(2) },
+            DeriveRet { base: 0 },
+        ],
+        ExtId::Strlen => vec![ZeroTerminated { ptr: 0 }],
+        ExtId::Strcpy => vec![
+            ZeroTerminated { ptr: 1 },
+            DeriveRet { base: 0 },
+        ],
+        ExtId::Strcmp => vec![ZeroTerminated { ptr: 0 }, ZeroTerminated { ptr: 1 }],
+        ExtId::Strchr => vec![ZeroTerminated { ptr: 0 }, DeriveRet { base: 0 }],
+    };
+    ExtSig {
+        ext,
+        fixed_args: ext.fixed_args(),
+        variadic: ext.is_variadic(),
+        effects,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_external_has_an_entry() {
+        for e in ExtId::ALL {
+            let sig = ext_sig(e);
+            assert_eq!(sig.fixed_args, e.fixed_args());
+            assert_eq!(sig.variadic, e.is_variadic());
+        }
+    }
+
+    #[test]
+    fn effect_classes_match_the_paper() {
+        let memcpy = ext_sig(ExtId::Memcpy);
+        assert!(memcpy.effects.iter().any(|e| matches!(e, ExtEffect::Copy { .. })));
+        let memset = ext_sig(ExtId::Memset);
+        assert!(memset.effects.iter().any(|e| matches!(e, ExtEffect::Clear { .. })));
+        let strchr = ext_sig(ExtId::Strchr);
+        assert!(strchr.effects.iter().any(|e| matches!(e, ExtEffect::DeriveRet { .. })));
+        let printf = ext_sig(ExtId::Printf);
+        assert!(printf.effects.iter().any(|e| matches!(e, ExtEffect::FormatStr { .. })));
+        let read = ext_sig(ExtId::ReadBytes);
+        assert!(read.effects.iter().any(|e| matches!(e, ExtEffect::ObjectSize { .. })));
+    }
+}

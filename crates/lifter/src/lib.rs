@@ -1,0 +1,91 @@
+//! # wyt-lifter — the BinRec analogue
+//!
+//! Dynamic lifting of machine binaries to [`wyt_ir`] modules, following
+//! the paper's pipeline (Fig. 4):
+//!
+//! 1. [`trace::trace_image`] executes the binary on the emulator for each
+//!    user-provided input and merges the observed control transfers.
+//! 2. [`cfg::build_cfg`] reconstructs the machine-level CFG from traced
+//!    targets only — *what you trace is what you get*.
+//! 3. [`funcrec::recover_functions`] recovers single-entry functions,
+//!    identifying tail calls (paper §5.1, Nucleus-style).
+//! 4. [`translate::translate`] lifts each function to IR with the
+//!    instruction-emulation approach of §2.1: virtual CPU register cells,
+//!    an emulated-stack global, and stack-switching external calls.
+//!
+//! [`lift_image`] runs all four stages. The result is a runnable module
+//! (via [`wyt_ir::interp`]) that still knows nothing about local
+//! variables — precisely the input WYTIWYG's refinements operate on.
+
+pub mod cfg;
+pub mod extdb;
+pub mod funcrec;
+pub mod trace;
+pub mod translate;
+
+pub use cfg::{BlockEnd, CfgError, MachBlock, MachCfg};
+pub use extdb::{ext_sig, ExtEffect, ExtSig, SizeSpec};
+pub use funcrec::{FuncMap, FuncRecError, MachFunc};
+pub use trace::{trace_image, Trace};
+pub use translate::{
+    is_emustack_addr, is_vcpu_addr, translate, vcpu_reg_addr, vcpu_vreg_addr, LiftError,
+    LiftedMeta, EMU_STACK_BASE, EMU_STACK_SIZE, EMU_STACK_TOP, VCPU_BASE,
+};
+
+use std::fmt;
+use wyt_emu::RunResult;
+use wyt_isa::image::Image;
+use wyt_ir::Module;
+
+/// Any lifting-stage failure.
+#[derive(Debug, Clone)]
+pub enum LiftPipelineError {
+    /// CFG reconstruction failed.
+    Cfg(CfgError),
+    /// Function recovery failed.
+    FuncRec(FuncRecError),
+    /// Translation failed.
+    Translate(LiftError),
+}
+
+impl fmt::Display for LiftPipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiftPipelineError::Cfg(e) => write!(f, "cfg: {e}"),
+            LiftPipelineError::FuncRec(e) => write!(f, "function recovery: {e}"),
+            LiftPipelineError::Translate(e) => write!(f, "translate: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LiftPipelineError {}
+
+/// A fully lifted program.
+#[derive(Debug)]
+pub struct Lifted {
+    /// The lifted IR module.
+    pub module: Module,
+    /// Lifting metadata used by the refinement passes.
+    pub meta: LiftedMeta,
+    /// The merged trace.
+    pub trace: Trace,
+    /// The machine CFG.
+    pub cfg: MachCfg,
+    /// Recovered function map.
+    pub funcs: FuncMap,
+    /// Reference results of the traced runs (for validation).
+    pub baseline_runs: Vec<RunResult>,
+}
+
+/// Trace, reconstruct, recover and translate `img` using `inputs`.
+///
+/// # Errors
+/// Returns a [`LiftPipelineError`] if any stage fails.
+pub fn lift_image(img: &Image, inputs: &[Vec<u8>]) -> Result<Lifted, LiftPipelineError> {
+    let (trace, baseline_runs) = trace_image(img, inputs);
+    let cfg = cfg::build_cfg(img, &trace).map_err(LiftPipelineError::Cfg)?;
+    let funcs = funcrec::recover_functions(&cfg).map_err(LiftPipelineError::FuncRec)?;
+    let (module, meta) =
+        translate::translate(img, &cfg, &funcs).map_err(LiftPipelineError::Translate)?;
+    Ok(Lifted { module, meta, trace, cfg, funcs, baseline_runs })
+}

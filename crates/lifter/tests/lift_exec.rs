@@ -1,0 +1,252 @@
+//! Differential test: the lifted IR, executed by the interpreter, must
+//! behave exactly like the original binary on the emulator — output, exit
+//! code, everything. This is the BinRec functionality guarantee the rest
+//! of the system builds on.
+
+use wyt_emu::run_image;
+use wyt_ir::interp::{Interp, NoHooks};
+use wyt_ir::verify::verify_module;
+use wyt_lifter::lift_image;
+use wyt_minicc::{compile, Profile};
+
+fn profiles() -> Vec<Profile> {
+    vec![
+        Profile::gcc12_o3(),
+        Profile::gcc12_o0(),
+        Profile::clang16_o3(),
+        Profile::gcc44_o3(),
+    ]
+}
+
+/// Lift with `train` inputs, then run the lifted module on each `check`
+/// input and compare against the native run.
+fn differential(src: &str, train: &[&[u8]], check: &[&[u8]]) {
+    for p in profiles() {
+        let img = compile(src, &p).unwrap().stripped();
+        let train_inputs: Vec<Vec<u8>> = train.iter().map(|i| i.to_vec()).collect();
+        let lifted = lift_image(&img, &train_inputs)
+            .unwrap_or_else(|e| panic!("{}: lift failed: {e}", p.name));
+        verify_module(&lifted.module).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        for input in check {
+            let native = run_image(&img, input.to_vec());
+            assert!(native.ok(), "{}: native trap {:?}", p.name, native.trap);
+            let mut interp = Interp::new(&lifted.module, input.to_vec(), NoHooks);
+            let out = interp.run();
+            assert!(
+                out.ok(),
+                "{}: lifted execution failed: {:?}",
+                p.name,
+                out.error
+            );
+            assert_eq!(out.exit_code, native.exit_code, "{}: exit code", p.name);
+            assert_eq!(out.output, native.output, "{}: output", p.name);
+        }
+    }
+}
+
+#[test]
+fn lifts_loops_and_calls() {
+    differential(
+        r#"
+        int addmul(int a, int b) { return a * b + a; }
+        int main() {
+            int i;
+            int acc = 0;
+            for (i = 0; i < 10; i++) acc += addmul(i, 3);
+            return acc;
+        }
+        "#,
+        &[b""],
+        &[b""],
+    );
+}
+
+#[test]
+fn lifts_recursion_and_locals() {
+    differential(
+        r#"
+        int fact(int n) {
+            int local = n;
+            if (local < 2) return 1;
+            return local * fact(local - 1);
+        }
+        int main() { return fact(7) % 251; }
+        "#,
+        &[b""],
+        &[b""],
+    );
+}
+
+#[test]
+fn lifts_arrays_structs_and_pointers() {
+    differential(
+        r#"
+        struct pair { int a; int b; };
+        int sum(struct pair *p, int n) {
+            int i;
+            int acc = 0;
+            for (i = 0; i < n; i++) acc += p[i].a - p[i].b;
+            return acc;
+        }
+        int main() {
+            struct pair ps[5];
+            int i;
+            for (i = 0; i < 5; i++) {
+                ps[i].a = i * 7;
+                ps[i].b = i;
+            }
+            return sum(ps, 5);
+        }
+        "#,
+        &[b""],
+        &[b""],
+    );
+}
+
+#[test]
+fn lifts_externals_and_io() {
+    differential(
+        r#"
+        int main() {
+            int c;
+            int total = 0;
+            char buf[32];
+            int n = read_bytes(buf, 32);
+            for (c = 0; c < n; c++) total += buf[c];
+            printf("n=%d total=%d\n", n, total);
+            return total & 0x7f;
+        }
+        "#,
+        &[b"abc"],
+        &[b"abc"],
+    );
+}
+
+#[test]
+fn lifts_switch_jump_tables() {
+    let src = r#"
+        int main() {
+            int c = getchar() - '0';
+            switch (c) {
+                case 0: return 10;
+                case 1: return 21;
+                case 2: return 32;
+                case 3: return 43;
+                case 4: return 54;
+                default: return 1;
+            }
+        }
+    "#;
+    differential(src, &[b"0", b"1", b"2", b"3", b"4", b"9"], &[b"2", b"4", b"9"]);
+}
+
+#[test]
+fn lifts_indirect_calls() {
+    differential(
+        r#"
+        int inc(int x) { return x + 1; }
+        int dec(int x) { return x - 1; }
+        int main() {
+            int t = getchar() == '+' ? (int)&inc : (int)&dec;
+            return __icall(t, 10);
+        }
+        "#,
+        &[b"+", b"-"],
+        &[b"+", b"-"],
+    );
+}
+
+#[test]
+fn lifts_char_short_subregister_writes() {
+    differential(
+        r#"
+        int main() {
+            char c = 200;
+            short s = -2;
+            char arr[3];
+            arr[0] = c + 1;
+            arr[1] = s;
+            arr[2] = arr[0] * 2;
+            return arr[0] + arr[1] + arr[2] + c + s;
+        }
+        "#,
+        &[b""],
+        &[b""],
+    );
+}
+
+#[test]
+fn lifts_tail_calls() {
+    differential(
+        r#"
+        int count(int n, int acc) {
+            if (n == 0) return acc;
+            return count(n - 1, acc + n);
+        }
+        int main() { return count(30, 0) & 0xff; }
+        "#,
+        &[b""],
+        &[b""],
+    );
+}
+
+#[test]
+fn lifts_vmov_block_copies() {
+    differential(
+        r#"
+        struct blob { int w[6]; };
+        int main() {
+            struct blob a;
+            struct blob b;
+            int i;
+            for (i = 0; i < 6; i++) a.w[i] = i * i;
+            b = a;
+            return b.w[5] + b.w[1];
+        }
+        "#,
+        &[b""],
+        &[b""],
+    );
+}
+
+#[test]
+fn untraced_path_traps_and_incremental_lifting_fixes_it() {
+    let src = r#"
+        int main() {
+            int c = getchar();
+            if (c == 'x') return 77;
+            return 1;
+        }
+    "#;
+    let img = compile(src, &Profile::gcc44_o3()).unwrap().stripped();
+    // Trace only the common path.
+    let lifted = lift_image(&img, &[b"q".to_vec()]).unwrap();
+    let mut i = Interp::new(&lifted.module, b"x".to_vec(), NoHooks);
+    let out = i.run();
+    assert!(!out.ok(), "untraced path must trap, not misbehave");
+
+    // Incremental (re)lifting with the new input fixes it (paper §7.2).
+    let relifted = lift_image(&img, &[b"q".to_vec(), b"x".to_vec()]).unwrap();
+    let mut i2 = Interp::new(&relifted.module, b"x".to_vec(), NoHooks);
+    let out2 = i2.run();
+    assert!(out2.ok());
+    assert_eq!(out2.exit_code, 77);
+}
+
+#[test]
+fn lifted_module_shape_matches_fig1() {
+    let img = compile("int main() { return 3; }", &Profile::gcc44_o3())
+        .unwrap()
+        .stripped();
+    let lifted = lift_image(&img, &[vec![]]).unwrap();
+    let m = &lifted.module;
+    // vCPU cells, vector halves, emulated stack, original data.
+    assert!(m.globals.iter().any(|g| matches!(g.kind, wyt_ir::GlobalKind::EmuStack)));
+    assert_eq!(
+        m.globals.iter().filter(|g| matches!(g.kind, wyt_ir::GlobalKind::VcpuReg(_))).count(),
+        10
+    );
+    // One lifted function plus the start wrapper.
+    assert_eq!(m.funcs.len(), 2);
+    assert!(m.funcs.iter().any(|f| f.name == "_lifted_start"));
+}

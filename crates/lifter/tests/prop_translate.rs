@@ -1,0 +1,223 @@
+//! Differential property test: for random straight-line machine programs,
+//! the lifted IR (run under the interpreter) must compute exactly what the
+//! machine computes — including condition-code materialization via
+//! `setcc`, sub-register merges, sign/zero extension and memory traffic.
+
+use proptest::prelude::*;
+use wyt_emu::run_image;
+use wyt_ir::interp::{Interp, NoHooks};
+use wyt_isa::asm::Asm;
+use wyt_isa::image::{Image, DATA_BASE};
+use wyt_isa::{AluOp, Cc, Inst, Mem, Operand, Reg, ShiftAmount, ShiftOp, Size};
+use wyt_lifter::lift_image;
+
+/// Registers safe for random clobbering (esp/ebp excluded to keep the
+/// stack discipline lifters assume).
+const GPRS: [Reg; 6] = [Reg::Eax, Reg::Ecx, Reg::Edx, Reg::Ebx, Reg::Esi, Reg::Edi];
+
+#[derive(Debug, Clone)]
+enum Op {
+    MovRI(u8, i32),
+    MovRR(u8, u8),
+    Alu(u8, u8, u8, i32, bool), // op, dst, src, imm, use_imm
+    SubRegWrite(u8, i32, bool), // dst, imm, byte-sized (vs word)
+    MovzxB(u8, u8),
+    MovsxB(u8, u8),
+    Shift(u8, u8, u8), // op, dst, amount
+    Neg(u8),
+    Not(u8),
+    StoreMem(u8, u8),  // slot, src
+    LoadMem(u8, u8),   // dst, slot
+    StoreByte(u8, u8), // slot, src
+    LoadByteSx(u8, u8),
+    CmpSet(u8, u8, u8, u8), // a, b, cc, dst
+    TestSet(u8, u8, u8, u8),
+    Lea(u8, u8, u8, i32), // dst, base, index, disp
+    ImulI(u8, u8, i32),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<i32>()).prop_map(|(r, i)| Op::MovRI(r, i)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::MovRR(a, b)),
+        (0u8..5, any::<u8>(), any::<u8>(), any::<i32>(), any::<bool>())
+            .prop_map(|(o, d, s, i, ui)| Op::Alu(o, d, s, i, ui)),
+        (any::<u8>(), any::<i32>(), any::<bool>())
+            .prop_map(|(d, i, b)| Op::SubRegWrite(d, i, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::MovzxB(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::MovsxB(a, b)),
+        (0u8..3, any::<u8>(), any::<u8>()).prop_map(|(o, d, k)| Op::Shift(o, d, k)),
+        any::<u8>().prop_map(Op::Neg),
+        any::<u8>().prop_map(Op::Not),
+        (0u8..8, any::<u8>()).prop_map(|(s, r)| Op::StoreMem(s, r)),
+        (any::<u8>(), 0u8..8).prop_map(|(r, s)| Op::LoadMem(r, s)),
+        (0u8..8, any::<u8>()).prop_map(|(s, r)| Op::StoreByte(s, r)),
+        (any::<u8>(), 0u8..8).prop_map(|(r, s)| Op::LoadByteSx(r, s)),
+        (any::<u8>(), any::<u8>(), 0u8..10, any::<u8>())
+            .prop_map(|(a, b, cc, d)| Op::CmpSet(a, b, cc, d)),
+        (any::<u8>(), any::<u8>(), 0u8..2, any::<u8>())
+            .prop_map(|(a, b, cc, d)| Op::TestSet(a, b, cc, d)),
+        (any::<u8>(), any::<u8>(), any::<u8>(), -64i32..64)
+            .prop_map(|(d, b, i, disp)| Op::Lea(d, b, i, disp)),
+        (any::<u8>(), any::<u8>(), -1000i32..1000).prop_map(|(d, s, i)| Op::ImulI(d, s, i)),
+    ]
+}
+
+fn reg(k: u8) -> Reg {
+    GPRS[k as usize % GPRS.len()]
+}
+
+fn slot(s: u8) -> Mem {
+    Mem::abs((DATA_BASE + 64 + 4 * (s as u32 % 8)) as i32)
+}
+
+fn build(ops: &[Op]) -> Image {
+    let mut a = Asm::new();
+    // Deterministic initial register state.
+    for (i, r) in GPRS.iter().enumerate() {
+        a.emit(Inst::Mov {
+            size: Size::D,
+            dst: Operand::Reg(*r),
+            src: Operand::Imm(0x1111 * (i as i32 + 1)),
+        });
+    }
+    for op in ops {
+        match op {
+            Op::MovRI(r, i) => a.emit(Inst::Mov {
+                size: Size::D,
+                dst: Operand::Reg(reg(*r)),
+                src: Operand::Imm(*i),
+            }),
+            Op::MovRR(d, s) => a.emit(Inst::Mov {
+                size: Size::D,
+                dst: Operand::Reg(reg(*d)),
+                src: Operand::Reg(reg(*s)),
+            }),
+            Op::Alu(o, d, s, imm, use_imm) => {
+                let op = [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor]
+                    [*o as usize % 5];
+                let src = if *use_imm { Operand::Imm(*imm) } else { Operand::Reg(reg(*s)) };
+                a.emit(Inst::Alu { op, size: Size::D, dst: Operand::Reg(reg(*d)), src });
+            }
+            Op::SubRegWrite(d, imm, byte) => a.emit(Inst::Mov {
+                size: if *byte { Size::B } else { Size::W },
+                dst: Operand::Reg(reg(*d)),
+                src: Operand::Imm(*imm),
+            }),
+            Op::MovzxB(d, s) => a.emit(Inst::Movzx {
+                from: Size::B,
+                dst: reg(*d),
+                src: Operand::Reg(reg(*s)),
+            }),
+            Op::MovsxB(d, s) => a.emit(Inst::Movsx {
+                from: Size::B,
+                dst: reg(*d),
+                src: Operand::Reg(reg(*s)),
+            }),
+            Op::Shift(o, d, k) => {
+                let op = [ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar][*o as usize % 3];
+                a.emit(Inst::Shift {
+                    op,
+                    size: Size::D,
+                    dst: Operand::Reg(reg(*d)),
+                    // Nonzero amounts only: a zero-count shift preserves
+                    // flags on real hardware, which straight-line lifting
+                    // does not model (and compilers never emit).
+                    amount: ShiftAmount::Imm(1 + (*k % 31)),
+                });
+            }
+            Op::Neg(d) => a.emit(Inst::Neg { size: Size::D, dst: Operand::Reg(reg(*d)) }),
+            Op::Not(d) => a.emit(Inst::Not { size: Size::D, dst: Operand::Reg(reg(*d)) }),
+            Op::StoreMem(s, r) => a.emit(Inst::Mov {
+                size: Size::D,
+                dst: Operand::Mem(slot(*s)),
+                src: Operand::Reg(reg(*r)),
+            }),
+            Op::LoadMem(r, s) => a.emit(Inst::Mov {
+                size: Size::D,
+                dst: Operand::Reg(reg(*r)),
+                src: Operand::Mem(slot(*s)),
+            }),
+            Op::StoreByte(s, r) => a.emit(Inst::Mov {
+                size: Size::B,
+                dst: Operand::Mem(slot(*s)),
+                src: Operand::Reg(reg(*r)),
+            }),
+            Op::LoadByteSx(r, s) => a.emit(Inst::Movsx {
+                from: Size::B,
+                dst: reg(*r),
+                src: Operand::Mem(slot(*s)),
+            }),
+            Op::CmpSet(x, y, cc, d) => {
+                let cc = [
+                    Cc::E,
+                    Cc::Ne,
+                    Cc::L,
+                    Cc::Le,
+                    Cc::G,
+                    Cc::Ge,
+                    Cc::B,
+                    Cc::Be,
+                    Cc::A,
+                    Cc::Ae,
+                ][*cc as usize % 10];
+                a.emit(Inst::Cmp {
+                    size: Size::D,
+                    a: Operand::Reg(reg(*x)),
+                    b: Operand::Reg(reg(*y)),
+                });
+                a.emit(Inst::Setcc { cc, dst: reg(*d) });
+            }
+            Op::TestSet(x, y, cc, d) => {
+                let cc = [Cc::E, Cc::Ne][*cc as usize % 2];
+                a.emit(Inst::Test {
+                    size: Size::D,
+                    a: Operand::Reg(reg(*x)),
+                    b: Operand::Reg(reg(*y)),
+                });
+                a.emit(Inst::Setcc { cc, dst: reg(*d) });
+            }
+            Op::Lea(d, b, i, disp) => a.emit(Inst::Lea {
+                dst: reg(*d),
+                mem: Mem::base_index(reg(*b), reg(*i), 4, *disp),
+            }),
+            Op::ImulI(d, s, imm) => a.emit(Inst::ImulI {
+                dst: reg(*d),
+                src: Operand::Reg(reg(*s)),
+                imm: *imm,
+            }),
+        }
+    }
+    // Fold every register into eax so the whole state is observable.
+    for r in &GPRS[1..] {
+        a.emit(Inst::Alu {
+            op: AluOp::Xor,
+            size: Size::D,
+            dst: Operand::Reg(Reg::Eax),
+            src: Operand::Reg(*r),
+        });
+    }
+    a.emit(Inst::Halt);
+    let mut img = Image::new();
+    img.data = vec![0u8; 128];
+    let out = a.finish(img.text_base);
+    img.text = out.bytes;
+    img.entry = img.text_base;
+    img
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lifted_ir_matches_machine(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        let img = build(&ops);
+        let native = run_image(&img, vec![]);
+        prop_assert!(native.ok(), "native trap: {:?}", native.trap);
+        let lifted = lift_image(&img, &[vec![]]).expect("lift");
+        wyt_ir::verify::verify_module(&lifted.module).expect("verify");
+        let out = Interp::new(&lifted.module, vec![], NoHooks).run();
+        prop_assert!(out.ok(), "lifted error: {:?}", out.error);
+        prop_assert_eq!(out.exit_code, native.exit_code, "state checksum differs");
+    }
+}

@@ -1,0 +1,161 @@
+//! Untyped syntax tree produced by the parser.
+
+/// A syntactic type name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeName {
+    /// `int`.
+    Int,
+    /// `char`.
+    Char,
+    /// `short`.
+    Short,
+    /// `void` (function returns only).
+    Void,
+    /// `struct name`.
+    Struct(String),
+    /// Pointer to a type.
+    Ptr(Box<TypeName>),
+}
+
+/// A struct definition.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Struct tag.
+    pub name: String,
+    /// Fields: `(type, name, optional array length)`.
+    pub fields: Vec<(TypeName, String, Option<u32>)>,
+}
+
+/// A global variable initializer.
+#[derive(Debug, Clone)]
+pub enum Init {
+    /// Scalar initializer.
+    Num(i32),
+    /// String initializer for `char` arrays / pointers.
+    Str(Vec<u8>),
+    /// Brace-enclosed list of integers.
+    List(Vec<i32>),
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone)]
+pub struct GlobalDef {
+    /// Element type.
+    pub ty: TypeName,
+    /// Name.
+    pub name: String,
+    /// Array length, if declared as an array.
+    pub array: Option<u32>,
+    /// Initializer.
+    pub init: Option<Init>,
+}
+
+/// A function definition.
+#[derive(Debug, Clone)]
+pub struct FuncDef {
+    /// Return type.
+    pub ret: TypeName,
+    /// Name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(TypeName, String)>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Declared `static` (internal linkage; optimizers may use custom
+    /// calling conventions, which is exactly the ABI deviation the paper's
+    /// §4.1 warns heuristic lifters about).
+    pub is_static: bool,
+    /// Source line of the definition.
+    pub line: u32,
+}
+
+/// A statement.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// Local declaration.
+    Decl {
+        /// Element type.
+        ty: TypeName,
+        /// Name.
+        name: String,
+        /// Array length, if any.
+        array: Option<u32>,
+        /// Initializer expression.
+        init: Option<Expr>,
+    },
+    /// `if` / `else`.
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while` loop.
+    While(Expr, Box<Stmt>),
+    /// `do ... while` loop.
+    DoWhile(Box<Stmt>, Expr),
+    /// `for` loop; the init clause may be a declaration.
+    For(Option<Box<Stmt>>, Option<Expr>, Option<Expr>, Box<Stmt>),
+    /// `switch` with `(case value, body)` arms; `None` is `default`.
+    Switch(Expr, Vec<(Option<i32>, Vec<Stmt>)>),
+    /// `return`.
+    Return(Option<Expr>),
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// Braced block.
+    Block(Vec<Stmt>),
+    /// Empty statement.
+    Empty,
+}
+
+/// An expression.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i32),
+    /// String literal.
+    Str(Vec<u8>),
+    /// Name reference.
+    Ident(String),
+    /// Binary operator (`"+"`, `"<"`, `"&&"`, ...).
+    Bin(&'static str, Box<Expr>, Box<Expr>),
+    /// Assignment; `op` is `Some` for compound assignment.
+    Assign(Option<&'static str>, Box<Expr>, Box<Expr>),
+    /// Unary operator (`"-"`, `"!"`, `"~"`, `"*"`, `"&"`).
+    Un(&'static str, Box<Expr>),
+    /// `++`/`--`.
+    IncDec {
+        /// Prefix form.
+        pre: bool,
+        /// Increment (vs decrement).
+        inc: bool,
+        /// The lvalue.
+        lv: Box<Expr>,
+    },
+    /// Direct call by name (user function or external).
+    Call(String, Vec<Expr>),
+    /// `__icall(fnptr, args...)` — indirect call through a code address.
+    ICall(Box<Expr>, Vec<Expr>),
+    /// Array indexing.
+    Index(Box<Expr>, Box<Expr>),
+    /// Member access; `arrow` selects `->`.
+    Member(Box<Expr>, String, bool),
+    /// `c ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Type cast.
+    Cast(TypeName, Box<Expr>),
+    /// `sizeof(type)` or `sizeof(type[n])`.
+    SizeofType(TypeName, Option<u32>),
+    /// `sizeof expr`.
+    SizeofExpr(Box<Expr>),
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, Default)]
+pub struct Unit {
+    /// Struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Global variables.
+    pub globals: Vec<GlobalDef>,
+    /// Functions.
+    pub funcs: Vec<FuncDef>,
+}

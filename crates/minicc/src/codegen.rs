@@ -1,0 +1,1673 @@
+//! Machine-code generation from the typed HIR, parameterized by a
+//! [`Profile`].
+//!
+//! The generator produces exactly the machine idioms WYTIWYG must cope
+//! with: `sp0`-relative frames with or without a frame pointer, caller
+//! argument pushes, callee-saved register spills, register-allocated locals
+//! in callee-saved registers, custom `regparm` conventions for `static`
+//! functions, tail calls, jump tables (absolute or PIC-relative), `vmov`
+//! block copies, and sub-register writes for `char`/`short`.
+//!
+//! It also emits the ground-truth [`FrameLayout`] sidecar for every
+//! function (the analogue of LLVM's Stack Frame Layout analysis).
+
+use crate::profile::Profile;
+use crate::sema::{Callee, Program, TExpr, TStmt, Target, Ty, BK, CK, TK};
+use std::fmt;
+use wyt_isa::asm::{Asm, Label};
+use wyt_isa::image::{CodeReloc, FrameLayout, GtVar, GtVarKind, Image, Symbol, DATA_BASE};
+use wyt_isa::{AluOp, Cc, Inst, Mem, Operand, Reg, ShiftAmount, ShiftOp, Size};
+
+/// A code generation failure.
+#[derive(Debug, Clone)]
+pub struct CodegenError {
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+type CResult<T> = Result<T, CodegenError>;
+
+fn cerr<T>(msg: impl Into<String>) -> CResult<T> {
+    Err(CodegenError { msg: msg.into() })
+}
+
+/// Where a local or parameter lives at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Home {
+    /// A callee-saved register.
+    Reg(Reg),
+    /// Byte offset within the locals region (lowest address = 0).
+    Slot(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ParamHome {
+    /// `sp0 + 4 + 4*index` — the caller-pushed slot.
+    Stack(u32),
+    /// Register-allocated (promoted or regparm).
+    Reg(Reg),
+    /// Spilled regparm argument living in the locals region.
+    Slot(u32),
+}
+
+struct JumpTable {
+    data_off: u32,
+    labels: Vec<Label>,
+    relative: bool,
+}
+
+struct Codegen<'p> {
+    prog: &'p Program,
+    profile: &'p Profile,
+    asm: Asm,
+    func_labels: Vec<Label>,
+    imports: Vec<String>,
+    data: Vec<u8>,
+    jump_tables: Vec<JumpTable>,
+    frames: Vec<FrameLayout>,
+    // Current function state.
+    cur: usize,
+    local_home: Vec<Home>,
+    param_home: Vec<ParamHome>,
+    locals_size: u32,
+    saved: Vec<Reg>,
+    has_frame_ptr: bool,
+    depth: u32,
+    epilogue: Option<Label>,
+    break_stack: Vec<Label>,
+    continue_stack: Vec<Label>,
+    stack_param_count: u32,
+    regparm_count: u32,
+}
+
+const EAX: Operand = Operand::Reg(Reg::Eax);
+const ECX: Operand = Operand::Reg(Reg::Ecx);
+const EDX: Operand = Operand::Reg(Reg::Edx);
+
+fn movd(dst: Operand, src: Operand) -> Inst {
+    Inst::Mov { size: Size::D, dst, src }
+}
+
+fn alu(op: AluOp, dst: Operand, src: Operand) -> Inst {
+    Inst::Alu { op, size: Size::D, dst, src }
+}
+
+fn access_size(ty: &Ty) -> Size {
+    match ty {
+        Ty::Char => Size::B,
+        Ty::Short => Size::W,
+        _ => Size::D,
+    }
+}
+
+fn is_narrow(ty: &Ty) -> bool {
+    matches!(ty, Ty::Char | Ty::Short)
+}
+
+impl<'p> Codegen<'p> {
+    fn import(&mut self, name: &str) -> u16 {
+        if let Some(i) = self.imports.iter().position(|n| n == name) {
+            return i as u16;
+        }
+        self.imports.push(name.to_string());
+        self.imports.len() as u16 - 1
+    }
+
+    // ---- frame addressing ----
+
+    fn nsaved(&self) -> u32 {
+        self.saved.len() as u32
+    }
+
+    /// Memory operand for locals-region offset `k`.
+    fn slot_mem(&self, k: u32) -> Mem {
+        if self.has_frame_ptr {
+            Mem::base_disp(Reg::Ebp, k as i32 - (4 * self.nsaved() as i32) - self.locals_size as i32)
+        } else {
+            Mem::base_disp(Reg::Esp, (k + self.depth) as i32)
+        }
+    }
+
+    /// Memory operand for stack parameter `si`.
+    fn param_mem(&self, si: u32) -> Mem {
+        if self.has_frame_ptr {
+            Mem::base_disp(Reg::Ebp, 8 + 4 * si as i32)
+        } else {
+            Mem::base_disp(
+                Reg::Esp,
+                (self.depth + 4 * self.nsaved() + self.locals_size + 4 + 4 * si) as i32,
+            )
+        }
+    }
+
+    fn push_op(&mut self, src: Operand) {
+        self.asm.emit(Inst::Push { src });
+        self.depth += 4;
+    }
+
+    fn pop_reg(&mut self, r: Reg) {
+        self.asm.emit(Inst::Pop { dst: Operand::Reg(r) });
+        self.depth -= 4;
+    }
+
+    fn add_esp(&mut self, bytes: u32) {
+        if bytes > 0 {
+            self.asm.emit(alu(AluOp::Add, Operand::Reg(Reg::Esp), Operand::Imm(bytes as i32)));
+            self.depth -= bytes;
+        }
+    }
+
+    // ---- operand helpers ----
+
+    /// Express `e` as a direct ALU operand without code, if possible.
+    fn as_simple(&self, e: &TExpr) -> Option<Operand> {
+        if !self.profile.fuse_simple_operands {
+            if let TK::Const(c) = e.kind {
+                return Some(Operand::Imm(c));
+            }
+            return None;
+        }
+        match &e.kind {
+            TK::Const(c) => Some(Operand::Imm(*c)),
+            TK::DataAddr(off) => Some(Operand::Imm((DATA_BASE + off) as i32)),
+            TK::GlobalAddr(g) => {
+                Some(Operand::Imm((DATA_BASE + self.prog.globals[*g].data_off) as i32))
+            }
+            TK::ReadLocal(v) => match self.local_home[*v] {
+                Home::Reg(r) => Some(Operand::Reg(r)),
+                Home::Slot(k) if !is_narrow(&self.prog.funcs[self.cur].locals[*v].ty) => {
+                    Some(Operand::Mem(self.slot_mem(k)))
+                }
+                _ => None,
+            },
+            TK::ReadParam(i) => match self.param_home[*i] {
+                ParamHome::Reg(r) => Some(Operand::Reg(r)),
+                ParamHome::Stack(si)
+                    if !is_narrow(&self.prog.funcs[self.cur].params[*i].ty) =>
+                {
+                    Some(Operand::Mem(self.param_mem(si)))
+                }
+                ParamHome::Slot(k)
+                    if !is_narrow(&self.prog.funcs[self.cur].params[*i].ty) =>
+                {
+                    Some(Operand::Mem(self.slot_mem(k)))
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Express an address expression as a `Mem` operand using only frame
+    /// registers, register-homed values and constants (no scratch code).
+    fn addr_static(&self, e: &TExpr) -> Option<Mem> {
+        fn merge_disp(m: Mem, d: i32) -> Mem {
+            Mem { disp: m.disp.wrapping_add(d), ..m }
+        }
+        match &e.kind {
+            TK::Const(c) => Some(Mem::abs(*c)),
+            TK::DataAddr(off) => Some(Mem::abs((DATA_BASE + off) as i32)),
+            TK::GlobalAddr(g) => {
+                Some(Mem::abs((DATA_BASE + self.prog.globals[*g].data_off) as i32))
+            }
+            TK::LocalAddr(v) => match self.local_home[*v] {
+                Home::Slot(k) => Some(self.slot_mem(k)),
+                Home::Reg(_) => None,
+            },
+            TK::ParamAddr(i) => match self.param_home[*i] {
+                ParamHome::Stack(si) => Some(self.param_mem(si)),
+                ParamHome::Slot(k) => Some(self.slot_mem(k)),
+                ParamHome::Reg(_) => None,
+            },
+            TK::ReadLocal(v) if self.profile.opt => match self.local_home[*v] {
+                Home::Reg(r) => Some(Mem::base_disp(r, 0)),
+                Home::Slot(_) => None,
+            },
+            TK::ReadParam(i) if self.profile.opt => match self.param_home[*i] {
+                ParamHome::Reg(r) => Some(Mem::base_disp(r, 0)),
+                _ => None,
+            },
+            TK::Bin(BK::Add, a, b) if self.profile.opt => {
+                if let TK::Const(c) = b.kind {
+                    return self.addr_static(a).map(|m| merge_disp(m, c));
+                }
+                if let TK::Const(c) = a.kind {
+                    return self.addr_static(b).map(|m| merge_disp(m, c));
+                }
+                // base + reg-homed index (* const scale)
+                let base = self.addr_static(a)?;
+                if base.index.is_some() {
+                    return None;
+                }
+                let (idx_e, scale) = match &b.kind {
+                    TK::Bin(BK::Mul, x, s) => match s.kind {
+                        TK::Const(c @ (1 | 2 | 4 | 8)) => (x.as_ref(), c as u8),
+                        _ => return None,
+                    },
+                    TK::Bin(BK::Shl, x, s) => match s.kind {
+                        TK::Const(c @ (0 | 1 | 2 | 3)) => (x.as_ref(), 1u8 << c),
+                        _ => return None,
+                    },
+                    _ => (b.as_ref(), 1u8),
+                };
+                let idx_reg = match &idx_e.kind {
+                    TK::ReadLocal(v) => match self.local_home[*v] {
+                        Home::Reg(r) => r,
+                        _ => return None,
+                    },
+                    TK::ReadParam(i) => match self.param_home[*i] {
+                        ParamHome::Reg(r) => r,
+                        _ => return None,
+                    },
+                    _ => return None,
+                };
+                Some(Mem { index: Some((idx_reg, scale)), ..base })
+            }
+            TK::Bin(BK::Sub, a, b) if self.profile.opt => {
+                if let TK::Const(c) = b.kind {
+                    return self.addr_static(a).map(|m| merge_disp(m, -c));
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+
+    // ---- expressions ----
+
+    /// Generate code; if `used`, the value ends in `eax`.
+    fn gen_expr(&mut self, e: &TExpr, used: bool) -> CResult<()> {
+        match &e.kind {
+            TK::Const(c) => {
+                if used {
+                    self.asm.emit(movd(EAX, Operand::Imm(*c)));
+                }
+            }
+            TK::DataAddr(off) => {
+                if used {
+                    self.asm.emit(movd(EAX, Operand::Imm((DATA_BASE + off) as i32)));
+                }
+            }
+            TK::GlobalAddr(g) => {
+                if used {
+                    let a = DATA_BASE + self.prog.globals[*g].data_off;
+                    self.asm.emit(movd(EAX, Operand::Imm(a as i32)));
+                }
+            }
+            TK::LocalAddr(v) => {
+                if used {
+                    let Home::Slot(k) = self.local_home[*v] else {
+                        return cerr("address of register-allocated local");
+                    };
+                    let m = self.slot_mem(k);
+                    self.asm.emit(Inst::Lea { dst: Reg::Eax, mem: m });
+                }
+            }
+            TK::ParamAddr(i) => {
+                if used {
+                    let m = match self.param_home[*i] {
+                        ParamHome::Stack(si) => self.param_mem(si),
+                        ParamHome::Slot(k) => self.slot_mem(k),
+                        ParamHome::Reg(_) => {
+                            return cerr("address of register-allocated parameter")
+                        }
+                    };
+                    self.asm.emit(Inst::Lea { dst: Reg::Eax, mem: m });
+                }
+            }
+            TK::FuncAddr(fi) => {
+                if used {
+                    let l = self.func_labels[*fi];
+                    self.asm.mov_label(Reg::Eax, l);
+                }
+            }
+            TK::ReadLocal(v) => {
+                if used {
+                    let ty = self.prog.funcs[self.cur].locals[*v].ty.clone();
+                    match self.local_home[*v] {
+                        Home::Reg(r) => self.asm.emit(movd(EAX, Operand::Reg(r))),
+                        Home::Slot(k) => {
+                            let m = self.slot_mem(k);
+                            self.load_extended(m, &ty);
+                        }
+                    }
+                }
+            }
+            TK::ReadParam(i) => {
+                if used {
+                    let ty = self.prog.funcs[self.cur].params[*i].ty.clone();
+                    match self.param_home[*i] {
+                        ParamHome::Reg(r) => self.asm.emit(movd(EAX, Operand::Reg(r))),
+                        ParamHome::Stack(si) => {
+                            let m = self.param_mem(si);
+                            self.load_extended(m, &ty);
+                        }
+                        ParamHome::Slot(k) => {
+                            let m = self.slot_mem(k);
+                            self.load_extended(m, &ty);
+                        }
+                    }
+                }
+            }
+            TK::Load(addr, ty) => {
+                match self.addr_static(addr) {
+                    Some(m) => {
+                        if used {
+                            self.load_extended(m, ty);
+                        } else {
+                            // Dead load: still evaluate nothing (no effects
+                            // in a static address).
+                        }
+                    }
+                    None => {
+                        self.gen_expr(addr, true)?;
+                        if used {
+                            self.load_extended(Mem::base_disp(Reg::Eax, 0), ty);
+                        }
+                    }
+                }
+            }
+            TK::Bin(op, a, b) => {
+                self.gen_bin(*op, a, b, used)?;
+            }
+            TK::Cmp(ck, a, b) => {
+                self.gen_cmp_flags(a, b)?;
+                if used {
+                    self.asm.emit(Inst::Setcc { cc: ck_to_cc(*ck), dst: Reg::Eax });
+                    self.asm.emit(Inst::Movzx { from: Size::B, dst: Reg::Eax, src: EAX });
+                }
+            }
+            TK::LogAnd(..) | TK::LogOr(..) => {
+                let lfalse = self.asm.fresh_label();
+                let lend = self.asm.fresh_label();
+                self.gen_cond(e, lfalse, false)?;
+                self.asm.emit(movd(EAX, Operand::Imm(1)));
+                self.asm.jmp(lend);
+                self.asm.bind(lfalse);
+                self.asm.emit(movd(EAX, Operand::Imm(0)));
+                self.asm.bind(lend);
+                if !used {
+                    // Side effects only; value discarded.
+                }
+            }
+            TK::LogNot(a) => {
+                self.gen_expr(a, true)?;
+                if used {
+                    self.asm.emit(Inst::Test { size: Size::D, a: EAX, b: EAX });
+                    self.asm.emit(Inst::Setcc { cc: Cc::E, dst: Reg::Eax });
+                    self.asm.emit(Inst::Movzx { from: Size::B, dst: Reg::Eax, src: EAX });
+                }
+            }
+            TK::Neg(a) => {
+                self.gen_expr(a, used)?;
+                if used {
+                    self.asm.emit(Inst::Neg { size: Size::D, dst: EAX });
+                }
+            }
+            TK::BitNot(a) => {
+                self.gen_expr(a, used)?;
+                if used {
+                    self.asm.emit(Inst::Not { size: Size::D, dst: EAX });
+                }
+            }
+            TK::Cond(c, a, b) => {
+                let lelse = self.asm.fresh_label();
+                let lend = self.asm.fresh_label();
+                self.gen_cond(c, lelse, false)?;
+                self.gen_expr(a, used)?;
+                self.asm.jmp(lend);
+                self.asm.bind(lelse);
+                self.gen_expr(b, used)?;
+                self.asm.bind(lend);
+            }
+            TK::Conv { to, e: inner } => {
+                self.gen_expr(inner, used)?;
+                if used {
+                    let from = access_size(to);
+                    if from != Size::D {
+                        self.asm.emit(Inst::Movsx { from, dst: Reg::Eax, src: EAX });
+                    }
+                }
+            }
+            TK::Seq(effects, last) => {
+                for eff in effects {
+                    self.gen_expr(eff, false)?;
+                }
+                self.gen_expr(last, used)?;
+            }
+            TK::Assign { target, op, rhs } => {
+                self.gen_assign(target, *op, rhs, used)?;
+            }
+            TK::IncDec { target, inc, pre, delta } => {
+                self.gen_incdec(target, *inc, *pre, *delta, used)?;
+            }
+            TK::Call { callee, args } => {
+                self.gen_call(callee, args)?;
+                let _ = used; // result already in eax
+            }
+            TK::StructCopy { dst, src, size } => {
+                self.gen_struct_copy(dst, src, *size)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn load_extended(&mut self, m: Mem, ty: &Ty) {
+        match access_size(ty) {
+            Size::D => self.asm.emit(movd(EAX, Operand::Mem(m))),
+            s => self.asm.emit(Inst::Movsx { from: s, dst: Reg::Eax, src: Operand::Mem(m) }),
+        }
+    }
+
+    /// Emit `cmp` setting flags for `a ? b`.
+    fn gen_cmp_flags(&mut self, a: &TExpr, b: &TExpr) -> CResult<()> {
+        if let Some(sb) = self.as_simple(b) {
+            self.gen_expr(a, true)?;
+            self.asm.emit(Inst::Cmp { size: Size::D, a: EAX, b: sb });
+            return Ok(());
+        }
+        self.gen_expr(a, true)?;
+        self.push_op(EAX);
+        self.gen_expr(b, true)?;
+        self.asm.emit(movd(ECX, EAX));
+        self.pop_reg(Reg::Eax);
+        self.asm.emit(Inst::Cmp { size: Size::D, a: EAX, b: ECX });
+        Ok(())
+    }
+
+    /// Branch to `target` when `e`'s truth equals `jump_if`.
+    fn gen_cond(&mut self, e: &TExpr, target: Label, jump_if: bool) -> CResult<()> {
+        match &e.kind {
+            TK::Const(c) => {
+                if (*c != 0) == jump_if {
+                    self.asm.jmp(target);
+                }
+            }
+            TK::Cmp(ck, a, b) => {
+                self.gen_cmp_flags(a, b)?;
+                let cc = ck_to_cc(*ck);
+                let cc = if jump_if { cc } else { cc.negate() };
+                self.asm.jcc(cc, target);
+            }
+            TK::LogNot(a) => self.gen_cond(a, target, !jump_if)?,
+            TK::LogAnd(a, b) => {
+                if jump_if {
+                    let skip = self.asm.fresh_label();
+                    self.gen_cond(a, skip, false)?;
+                    self.gen_cond(b, target, true)?;
+                    self.asm.bind(skip);
+                } else {
+                    self.gen_cond(a, target, false)?;
+                    self.gen_cond(b, target, false)?;
+                }
+            }
+            TK::LogOr(a, b) => {
+                if jump_if {
+                    self.gen_cond(a, target, true)?;
+                    self.gen_cond(b, target, true)?;
+                } else {
+                    let skip = self.asm.fresh_label();
+                    self.gen_cond(a, skip, true)?;
+                    self.gen_cond(b, target, false)?;
+                    self.asm.bind(skip);
+                }
+            }
+            _ => {
+                self.gen_expr(e, true)?;
+                self.asm.emit(Inst::Test { size: Size::D, a: EAX, b: EAX });
+                self.asm.jcc(if jump_if { Cc::Ne } else { Cc::E }, target);
+            }
+        }
+        Ok(())
+    }
+
+    fn gen_bin(&mut self, op: BK, a: &TExpr, b: &TExpr, used: bool) -> CResult<()> {
+        if !used {
+            // Evaluate for effects only.
+            self.gen_expr(a, false)?;
+            self.gen_expr(b, false)?;
+            return Ok(());
+        }
+        match op {
+            BK::Add | BK::Sub | BK::And | BK::Or | BK::Xor => {
+                let aluop = match op {
+                    BK::Add => AluOp::Add,
+                    BK::Sub => AluOp::Sub,
+                    BK::And => AluOp::And,
+                    BK::Or => AluOp::Or,
+                    _ => AluOp::Xor,
+                };
+                if let Some(sb) = self.as_simple(b) {
+                    self.gen_expr(a, true)?;
+                    self.asm.emit(alu(aluop, EAX, sb));
+                    return Ok(());
+                }
+                if op == BK::Add {
+                    if let Some(sa) = self.as_simple(a) {
+                        self.gen_expr(b, true)?;
+                        self.asm.emit(alu(aluop, EAX, sa));
+                        return Ok(());
+                    }
+                }
+                self.gen_expr(a, true)?;
+                self.push_op(EAX);
+                self.gen_expr(b, true)?;
+                self.asm.emit(movd(ECX, EAX));
+                self.pop_reg(Reg::Eax);
+                self.asm.emit(alu(aluop, EAX, ECX));
+            }
+            BK::Mul => {
+                if let Some(sb @ (Operand::Imm(_) | Operand::Reg(_) | Operand::Mem(_))) =
+                    self.as_simple(b)
+                {
+                    self.gen_expr(a, true)?;
+                    match sb {
+                        Operand::Imm(c) => {
+                            self.asm.emit(Inst::ImulI { dst: Reg::Eax, src: EAX, imm: c })
+                        }
+                        other => self.asm.emit(Inst::Imul { dst: Reg::Eax, src: other }),
+                    }
+                    return Ok(());
+                }
+                self.gen_expr(a, true)?;
+                self.push_op(EAX);
+                self.gen_expr(b, true)?;
+                self.asm.emit(movd(ECX, EAX));
+                self.pop_reg(Reg::Eax);
+                self.asm.emit(Inst::Imul { dst: Reg::Eax, src: ECX });
+            }
+            BK::Div | BK::Rem => {
+                // eax = dividend, ecx = divisor.
+                self.gen_expr(a, true)?;
+                self.push_op(EAX);
+                self.gen_expr(b, true)?;
+                self.asm.emit(movd(ECX, EAX));
+                self.pop_reg(Reg::Eax);
+                self.asm.emit(Inst::Idiv { src: ECX });
+                if op == BK::Rem {
+                    self.asm.emit(movd(EAX, EDX));
+                }
+            }
+            BK::Shl | BK::Shr => {
+                let sop = if op == BK::Shl { ShiftOp::Shl } else { ShiftOp::Sar };
+                if let TK::Const(c) = b.kind {
+                    self.gen_expr(a, true)?;
+                    self.asm.emit(Inst::Shift {
+                        op: sop,
+                        size: Size::D,
+                        dst: EAX,
+                        amount: ShiftAmount::Imm((c & 31) as u8),
+                    });
+                    return Ok(());
+                }
+                self.gen_expr(a, true)?;
+                self.push_op(EAX);
+                self.gen_expr(b, true)?;
+                self.asm.emit(movd(ECX, EAX));
+                self.pop_reg(Reg::Eax);
+                self.asm.emit(Inst::Shift {
+                    op: sop,
+                    size: Size::D,
+                    dst: EAX,
+                    amount: ShiftAmount::Cl,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Narrow the value in `eax` per assignment-result semantics.
+    fn narrow_result(&mut self, ty: &Ty) {
+        let s = access_size(ty);
+        if s != Size::D {
+            self.asm.emit(Inst::Movsx { from: s, dst: Reg::Eax, src: EAX });
+        }
+    }
+
+    fn target_reg(&self, t: &Target) -> Option<(Reg, Ty)> {
+        match t {
+            Target::Local(v) => match self.local_home[*v] {
+                Home::Reg(r) => Some((r, self.prog.funcs[self.cur].locals[*v].ty.clone())),
+                _ => None,
+            },
+            Target::Param(i) => match self.param_home[*i] {
+                ParamHome::Reg(r) => Some((r, self.prog.funcs[self.cur].params[*i].ty.clone())),
+                _ => None,
+            },
+            Target::Mem(..) => None,
+        }
+    }
+
+    /// Static memory destination of a target, if addressable without
+    /// scratch registers. Returns the access type too.
+    fn target_static_mem(&self, t: &Target) -> Option<(Mem, Ty)> {
+        match t {
+            Target::Local(v) => match self.local_home[*v] {
+                Home::Slot(k) => {
+                    Some((self.slot_mem(k), self.prog.funcs[self.cur].locals[*v].ty.clone()))
+                }
+                _ => None,
+            },
+            Target::Param(i) => match self.param_home[*i] {
+                ParamHome::Stack(si) => {
+                    Some((self.param_mem(si), self.prog.funcs[self.cur].params[*i].ty.clone()))
+                }
+                ParamHome::Slot(k) => {
+                    Some((self.slot_mem(k), self.prog.funcs[self.cur].params[*i].ty.clone()))
+                }
+                _ => None,
+            },
+            Target::Mem(addr, ty) => self.addr_static(addr).map(|m| (m, ty.clone())),
+        }
+    }
+
+    fn gen_assign(&mut self, target: &Target, op: Option<BK>, rhs: &TExpr, used: bool) -> CResult<()> {
+        // Register destination.
+        if let Some((r, ty)) = self.target_reg(target) {
+            match op {
+                None => {
+                    self.gen_expr(rhs, true)?;
+                    self.asm.emit(movd(Operand::Reg(r), EAX));
+                }
+                Some(bk) => {
+                    self.gen_expr(rhs, true)?;
+                    match bk {
+                        BK::Add | BK::Sub | BK::And | BK::Or | BK::Xor => {
+                            let aluop = match bk {
+                                BK::Add => AluOp::Add,
+                                BK::Sub => AluOp::Sub,
+                                BK::And => AluOp::And,
+                                BK::Or => AluOp::Or,
+                                _ => AluOp::Xor,
+                            };
+                            self.asm.emit(alu(aluop, Operand::Reg(r), EAX));
+                        }
+                        BK::Mul => self.asm.emit(Inst::Imul { dst: r, src: EAX }),
+                        BK::Shl | BK::Shr => {
+                            self.asm.emit(movd(ECX, EAX));
+                            self.asm.emit(Inst::Shift {
+                                op: if bk == BK::Shl { ShiftOp::Shl } else { ShiftOp::Sar },
+                                size: Size::D,
+                                dst: Operand::Reg(r),
+                                amount: ShiftAmount::Cl,
+                            });
+                        }
+                        BK::Div | BK::Rem => {
+                            self.asm.emit(movd(ECX, EAX));
+                            self.asm.emit(movd(EAX, Operand::Reg(r)));
+                            self.asm.emit(Inst::Idiv { src: ECX });
+                            if bk == BK::Rem {
+                                self.asm.emit(movd(EAX, EDX));
+                            }
+                            self.asm.emit(movd(Operand::Reg(r), EAX));
+                        }
+                    }
+                    // Narrow register-homed char/short after compound ops.
+                    if is_narrow(&ty) {
+                        self.asm.emit(Inst::Movsx {
+                            from: access_size(&ty),
+                            dst: r,
+                            src: Operand::Reg(r),
+                        });
+                    }
+                }
+            }
+            if used && op.is_some() {
+                self.asm.emit(movd(EAX, Operand::Reg(r)));
+            } else if used {
+                // value already in eax from the plain store path
+                if is_narrow(&ty) {
+                    self.narrow_result(&ty);
+                }
+            }
+            return Ok(());
+        }
+
+        // Memory destination with a statically addressable location.
+        if let Some((m, ty)) = self.target_static_mem(target) {
+            let size = access_size(&ty);
+            match op {
+                None => {
+                    if let TK::Const(c) = rhs.kind {
+                        if self.profile.opt {
+                            self.asm.emit(Inst::Mov {
+                                size,
+                                dst: Operand::Mem(m),
+                                src: Operand::Imm(c),
+                            });
+                            if used {
+                                self.asm.emit(movd(EAX, Operand::Imm(c)));
+                            }
+                            return Ok(());
+                        }
+                    }
+                    self.gen_expr(rhs, true)?;
+                    self.asm.emit(Inst::Mov { size, dst: Operand::Mem(m), src: EAX });
+                    if used && is_narrow(&ty) {
+                        self.narrow_result(&ty);
+                    }
+                }
+                Some(bk) => {
+                    let mem_alu_ok = !is_narrow(&ty)
+                        && matches!(bk, BK::Add | BK::Sub | BK::And | BK::Or | BK::Xor)
+                        && self.profile.opt;
+                    if mem_alu_ok {
+                        let aluop = match bk {
+                            BK::Add => AluOp::Add,
+                            BK::Sub => AluOp::Sub,
+                            BK::And => AluOp::And,
+                            BK::Or => AluOp::Or,
+                            _ => AluOp::Xor,
+                        };
+                        if let Some(s) = self.as_simple(rhs) {
+                            self.asm.emit(alu(aluop, Operand::Mem(m), s));
+                            if used {
+                                self.load_extended(m, &ty);
+                            }
+                            return Ok(());
+                        }
+                        self.gen_expr(rhs, true)?;
+                        self.asm.emit(alu(aluop, Operand::Mem(m), EAX));
+                        if used {
+                            self.load_extended(m, &ty);
+                        }
+                        return Ok(());
+                    }
+                    // Load-modify-store.
+                    self.gen_expr(rhs, true)?;
+                    self.asm.emit(movd(ECX, EAX));
+                    self.load_extended(m, &ty);
+                    self.apply_bin_eax_ecx(bk);
+                    self.asm.emit(Inst::Mov { size, dst: Operand::Mem(m), src: EAX });
+                    if used && is_narrow(&ty) {
+                        self.narrow_result(&ty);
+                    }
+                }
+            }
+            return Ok(());
+        }
+
+        // Fully dynamic address: compute it, stash it, evaluate rhs.
+        let Target::Mem(addr, ty) = target else {
+            return cerr("unsupported assignment target");
+        };
+        let ty = ty.clone();
+        let size = access_size(&ty);
+        self.gen_expr(addr, true)?;
+        self.push_op(EAX);
+        match op {
+            None => {
+                self.gen_expr(rhs, true)?;
+                self.pop_reg(Reg::Ecx);
+                self.asm.emit(Inst::Mov {
+                    size,
+                    dst: Operand::Mem(Mem::base_disp(Reg::Ecx, 0)),
+                    src: EAX,
+                });
+                if used && is_narrow(&ty) {
+                    self.narrow_result(&ty);
+                }
+            }
+            Some(bk) => {
+                self.gen_expr(rhs, true)?;
+                self.pop_reg(Reg::Ecx);
+                // edx := rhs, eax := old value
+                self.asm.emit(movd(EDX, EAX));
+                let m = Mem::base_disp(Reg::Ecx, 0);
+                match size {
+                    Size::D => self.asm.emit(movd(EAX, Operand::Mem(m))),
+                    s => self.asm.emit(Inst::Movsx { from: s, dst: Reg::Eax, src: Operand::Mem(m) }),
+                }
+                self.apply_bin_eax_edx(bk)?;
+                self.asm.emit(Inst::Mov { size, dst: Operand::Mem(m), src: EAX });
+                if used && is_narrow(&ty) {
+                    self.narrow_result(&ty);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `eax = eax <bk> ecx`.
+    fn apply_bin_eax_ecx(&mut self, bk: BK) {
+        match bk {
+            BK::Add => self.asm.emit(alu(AluOp::Add, EAX, ECX)),
+            BK::Sub => self.asm.emit(alu(AluOp::Sub, EAX, ECX)),
+            BK::And => self.asm.emit(alu(AluOp::And, EAX, ECX)),
+            BK::Or => self.asm.emit(alu(AluOp::Or, EAX, ECX)),
+            BK::Xor => self.asm.emit(alu(AluOp::Xor, EAX, ECX)),
+            BK::Mul => self.asm.emit(Inst::Imul { dst: Reg::Eax, src: ECX }),
+            BK::Div => self.asm.emit(Inst::Idiv { src: ECX }),
+            BK::Rem => {
+                self.asm.emit(Inst::Idiv { src: ECX });
+                self.asm.emit(movd(EAX, EDX));
+            }
+            BK::Shl => self.asm.emit(Inst::Shift {
+                op: ShiftOp::Shl,
+                size: Size::D,
+                dst: EAX,
+                amount: ShiftAmount::Cl,
+            }),
+            BK::Shr => self.asm.emit(Inst::Shift {
+                op: ShiftOp::Sar,
+                size: Size::D,
+                dst: EAX,
+                amount: ShiftAmount::Cl,
+            }),
+        }
+    }
+
+    /// `eax = eax <bk> edx` (divisor/count staged through edx; shifts and
+    /// division move it to ecx first).
+    fn apply_bin_eax_edx(&mut self, bk: BK) -> CResult<()> {
+        match bk {
+            BK::Shl | BK::Shr | BK::Div | BK::Rem => {
+                self.asm.emit(movd(ECX, EDX));
+                self.apply_bin_eax_ecx(bk);
+            }
+            BK::Add => self.asm.emit(alu(AluOp::Add, EAX, EDX)),
+            BK::Sub => self.asm.emit(alu(AluOp::Sub, EAX, EDX)),
+            BK::And => self.asm.emit(alu(AluOp::And, EAX, EDX)),
+            BK::Or => self.asm.emit(alu(AluOp::Or, EAX, EDX)),
+            BK::Xor => self.asm.emit(alu(AluOp::Xor, EAX, EDX)),
+            BK::Mul => self.asm.emit(Inst::Imul { dst: Reg::Eax, src: EDX }),
+        }
+        Ok(())
+    }
+
+    fn gen_incdec(&mut self, target: &Target, inc: bool, pre: bool, delta: i32, used: bool) -> CResult<()> {
+        let step = if inc { delta } else { -delta };
+        if let Some((r, ty)) = self.target_reg(target) {
+            if used && !pre {
+                self.asm.emit(movd(EAX, Operand::Reg(r)));
+            }
+            self.asm.emit(alu(AluOp::Add, Operand::Reg(r), Operand::Imm(step)));
+            if is_narrow(&ty) {
+                self.asm.emit(Inst::Movsx { from: access_size(&ty), dst: r, src: Operand::Reg(r) });
+            }
+            if used && pre {
+                self.asm.emit(movd(EAX, Operand::Reg(r)));
+            }
+            return Ok(());
+        }
+        if let Some((m, ty)) = self.target_static_mem(target) {
+            if !is_narrow(&ty) && (!used || self.profile.opt) {
+                if used && !pre {
+                    self.asm.emit(movd(EAX, Operand::Mem(m)));
+                }
+                self.asm.emit(alu(AluOp::Add, Operand::Mem(m), Operand::Imm(step)));
+                if used && pre {
+                    self.asm.emit(movd(EAX, Operand::Mem(m)));
+                }
+                return Ok(());
+            }
+            // Narrow or unoptimized: load-extend, bump, store.
+            self.load_extended(m, &ty);
+            if used && !pre {
+                self.asm.emit(movd(ECX, EAX));
+                self.asm.emit(alu(AluOp::Add, ECX, Operand::Imm(step)));
+                self.asm.emit(Inst::Mov { size: access_size(&ty), dst: Operand::Mem(m), src: ECX });
+            } else {
+                self.asm.emit(alu(AluOp::Add, EAX, Operand::Imm(step)));
+                self.asm.emit(Inst::Mov { size: access_size(&ty), dst: Operand::Mem(m), src: EAX });
+                if used && is_narrow(&ty) {
+                    self.narrow_result(&ty);
+                }
+            }
+            return Ok(());
+        }
+        let Target::Mem(addr, ty) = target else {
+            return cerr("unsupported incdec target");
+        };
+        let ty = ty.clone();
+        self.gen_expr(addr, true)?;
+        self.asm.emit(movd(ECX, EAX));
+        let m = Mem::base_disp(Reg::Ecx, 0);
+        self.load_extended(m, &ty);
+        if used && !pre {
+            self.asm.emit(movd(EDX, EAX));
+        }
+        self.asm.emit(alu(AluOp::Add, EAX, Operand::Imm(step)));
+        self.asm.emit(Inst::Mov { size: access_size(&ty), dst: Operand::Mem(m), src: EAX });
+        if used {
+            if pre {
+                if is_narrow(&ty) {
+                    self.narrow_result(&ty);
+                }
+            } else {
+                self.asm.emit(movd(EAX, EDX));
+            }
+        }
+        Ok(())
+    }
+
+    fn gen_call(&mut self, callee: &Callee, args: &[TExpr]) -> CResult<()> {
+        match callee {
+            Callee::Ext(name) => {
+                let idx = self.import(name);
+                let n = args.len() as u32;
+                for a in args.iter().rev() {
+                    self.gen_push_arg(a)?;
+                }
+                self.asm.emit(Inst::CallExt { idx });
+                self.add_esp(4 * n);
+            }
+            Callee::Func(fi) => {
+                let callee_f = &self.prog.funcs[*fi];
+                let regparm = self.profile.regparm_static && callee_f.is_static && !callee_f.params.is_empty();
+                if regparm {
+                    let nreg = args.len().min(2);
+                    let stack_args = &args[nreg..];
+                    for a in stack_args.iter().rev() {
+                        self.gen_push_arg(a)?;
+                    }
+                    if nreg == 2 {
+                        self.gen_expr(&args[1], true)?;
+                        self.push_op(EAX);
+                        self.gen_expr(&args[0], true)?;
+                        self.asm.emit(movd(ECX, EAX));
+                        self.pop_reg(Reg::Edx);
+                    } else {
+                        self.gen_expr(&args[0], true)?;
+                        self.asm.emit(movd(ECX, EAX));
+                    }
+                    let l = self.func_labels[*fi];
+                    self.asm.call(l);
+                    self.add_esp(4 * stack_args.len() as u32);
+                } else {
+                    for a in args.iter().rev() {
+                        self.gen_push_arg(a)?;
+                    }
+                    let l = self.func_labels[*fi];
+                    self.asm.call(l);
+                    self.add_esp(4 * args.len() as u32);
+                }
+            }
+            Callee::Ind(t) => {
+                for a in args.iter().rev() {
+                    self.gen_push_arg(a)?;
+                }
+                self.gen_expr(t, true)?;
+                self.asm.emit(Inst::CallInd { target: EAX });
+                self.add_esp(4 * args.len() as u32);
+            }
+        }
+        Ok(())
+    }
+
+    fn gen_push_arg(&mut self, a: &TExpr) -> CResult<()> {
+        if let Some(s) = self.as_simple(a) {
+            self.push_op(s);
+            return Ok(());
+        }
+        self.gen_expr(a, true)?;
+        self.push_op(EAX);
+        Ok(())
+    }
+
+    fn gen_struct_copy(&mut self, dst: &TExpr, src: &TExpr, size: u32) -> CResult<()> {
+        self.gen_expr(src, true)?;
+        self.push_op(EAX);
+        self.gen_expr(dst, true)?;
+        self.pop_reg(Reg::Ecx);
+        // dst in eax, src in ecx.
+        if size > 64 {
+            // Call memcpy(dst, src, size).
+            let idx = self.import("memcpy");
+            self.push_op(Operand::Imm(size as i32));
+            self.push_op(ECX);
+            self.push_op(EAX);
+            self.asm.emit(Inst::CallExt { idx });
+            self.add_esp(12);
+            return Ok(());
+        }
+        let mut off = 0u32;
+        if self.profile.vmov_copy {
+            while off + 8 <= size {
+                self.asm.emit(Inst::VmovLd { mem: Mem::base_disp(Reg::Ecx, off as i32) });
+                self.asm.emit(Inst::VmovSt { mem: Mem::base_disp(Reg::Eax, off as i32) });
+                off += 8;
+            }
+        }
+        while off + 4 <= size {
+            self.asm.emit(movd(EDX, Operand::Mem(Mem::base_disp(Reg::Ecx, off as i32))));
+            self.asm.emit(movd(
+                Operand::Mem(Mem::base_disp(Reg::Eax, off as i32)),
+                EDX,
+            ));
+            off += 4;
+        }
+        while off < size {
+            self.asm.emit(Inst::Mov {
+                size: Size::B,
+                dst: EDX,
+                src: Operand::Mem(Mem::base_disp(Reg::Ecx, off as i32)),
+            });
+            self.asm.emit(Inst::Mov {
+                size: Size::B,
+                dst: Operand::Mem(Mem::base_disp(Reg::Eax, off as i32)),
+                src: EDX,
+            });
+            off += 1;
+        }
+        Ok(())
+    }
+
+    // ---- statements ----
+
+    fn gen_stmts(&mut self, stmts: &[TStmt]) -> CResult<()> {
+        for s in stmts {
+            self.gen_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn gen_stmt(&mut self, s: &TStmt) -> CResult<()> {
+        match s {
+            TStmt::Nop => {}
+            TStmt::Expr(e) => self.gen_expr(e, false)?,
+            TStmt::Block(b) => self.gen_stmts(b)?,
+            TStmt::If(c, t, e) => {
+                let lelse = self.asm.fresh_label();
+                self.gen_cond(c, lelse, false)?;
+                self.gen_stmts(t)?;
+                if e.is_empty() {
+                    self.asm.bind(lelse);
+                } else {
+                    let lend = self.asm.fresh_label();
+                    self.asm.jmp(lend);
+                    self.asm.bind(lelse);
+                    self.gen_stmts(e)?;
+                    self.asm.bind(lend);
+                }
+            }
+            TStmt::While(c, b) => {
+                let ltop = self.asm.here();
+                let lend = self.asm.fresh_label();
+                self.gen_cond(c, lend, false)?;
+                self.break_stack.push(lend);
+                self.continue_stack.push(ltop);
+                self.gen_stmts(b)?;
+                self.continue_stack.pop();
+                self.break_stack.pop();
+                self.asm.jmp(ltop);
+                self.asm.bind(lend);
+            }
+            TStmt::DoWhile(b, c) => {
+                let ltop = self.asm.here();
+                let lcont = self.asm.fresh_label();
+                let lend = self.asm.fresh_label();
+                self.break_stack.push(lend);
+                self.continue_stack.push(lcont);
+                self.gen_stmts(b)?;
+                self.continue_stack.pop();
+                self.break_stack.pop();
+                self.asm.bind(lcont);
+                self.gen_cond(c, ltop, true)?;
+                self.asm.bind(lend);
+            }
+            TStmt::For(init, cond, step, b) => {
+                if let Some(init) = init {
+                    self.gen_stmt(init)?;
+                }
+                let ltop = self.asm.here();
+                let lend = self.asm.fresh_label();
+                let lcont = self.asm.fresh_label();
+                if let Some(c) = cond {
+                    self.gen_cond(c, lend, false)?;
+                }
+                self.break_stack.push(lend);
+                self.continue_stack.push(lcont);
+                self.gen_stmts(b)?;
+                self.continue_stack.pop();
+                self.break_stack.pop();
+                self.asm.bind(lcont);
+                if let Some(st) = step {
+                    self.gen_expr(st, false)?;
+                }
+                self.asm.jmp(ltop);
+                self.asm.bind(lend);
+            }
+            TStmt::Switch(scrut, arms) => self.gen_switch(scrut, arms)?,
+            TStmt::Break => {
+                let Some(&l) = self.break_stack.last() else {
+                    return cerr("break outside loop/switch");
+                };
+                self.asm.jmp(l);
+            }
+            TStmt::Continue => {
+                let Some(&l) = self.continue_stack.last() else {
+                    return cerr("continue outside loop");
+                };
+                self.asm.jmp(l);
+            }
+            TStmt::Return(v) => {
+                if self.profile.tail_calls {
+                    if let Some(TExpr { kind: TK::Call { callee: Callee::Func(fi), args }, .. }) = v {
+                        if self.try_tail_call(*fi, args)? {
+                            return Ok(());
+                        }
+                    }
+                }
+                if let Some(e) = v {
+                    self.gen_expr(e, true)?;
+                }
+                let epi = self.epilogue.expect("epilogue label");
+                self.asm.jmp(epi);
+            }
+        }
+        Ok(())
+    }
+
+    /// Emit a tail call if frames are compatible; returns whether it did.
+    fn try_tail_call(&mut self, fi: usize, args: &[TExpr]) -> CResult<bool> {
+        let callee = &self.prog.funcs[fi];
+        let caller = &self.prog.funcs[self.cur];
+        let callee_regparm =
+            self.profile.regparm_static && callee.is_static && !callee.params.is_empty();
+        let caller_regparm = self.regparm_count > 0;
+        if callee_regparm || caller_regparm {
+            return Ok(false);
+        }
+        // The callee's arguments must fit in the caller's incoming area.
+        if args.len() > caller.params.len() {
+            return Ok(false);
+        }
+        // With a frame pointer the parameter slots stay addressable during
+        // the rewrite; without one the bookkeeping is identical via depth.
+        // Evaluate all arguments first (they may read the current params).
+        for a in args {
+            self.gen_expr(a, true)?;
+            self.push_op(EAX);
+        }
+        for i in (0..args.len()).rev() {
+            self.pop_reg(Reg::Ecx);
+            let m = self.param_mem(i as u32);
+            self.asm.emit(movd(Operand::Mem(m), ECX));
+        }
+        // Epilogue without ret, then jump.
+        self.emit_frame_teardown();
+        let l = self.func_labels[fi];
+        self.asm.jmp(l);
+        Ok(true)
+    }
+
+    fn gen_switch(&mut self, scrut: &TExpr, arms: &[(Option<i32>, Vec<TStmt>)]) -> CResult<()> {
+        self.gen_expr(scrut, true)?;
+        let lend = self.asm.fresh_label();
+        let arm_labels: Vec<Label> = arms.iter().map(|_| self.asm.fresh_label()).collect();
+        let default_label = arms
+            .iter()
+            .position(|(c, _)| c.is_none())
+            .map(|i| arm_labels[i])
+            .unwrap_or(lend);
+        let cases: Vec<(i32, Label)> = arms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (c, _))| c.map(|v| (v, arm_labels[i])))
+            .collect();
+
+        let use_table = self.profile.jump_tables && cases.len() >= 4 && {
+            let lo = cases.iter().map(|(v, _)| *v).min().unwrap();
+            let hi = cases.iter().map(|(v, _)| *v).max().unwrap();
+            let span = (hi as i64 - lo as i64) + 1;
+            span <= 3 * cases.len() as i64 + 8
+        };
+
+        if use_table {
+            let lo = cases.iter().map(|(v, _)| *v).min().unwrap();
+            let hi = cases.iter().map(|(v, _)| *v).max().unwrap();
+            let span = (hi - lo + 1) as u32;
+            if lo != 0 {
+                self.asm.emit(alu(AluOp::Sub, EAX, Operand::Imm(lo)));
+            }
+            self.asm.emit(Inst::Cmp { size: Size::D, a: EAX, b: Operand::Imm((hi - lo) as i32) });
+            self.asm.jcc(Cc::A, default_label);
+            // Reserve the table in the data segment.
+            while self.data.len() % 4 != 0 {
+                self.data.push(0);
+            }
+            let data_off = self.data.len() as u32;
+            let mut labels = Vec::with_capacity(span as usize);
+            for v in 0..span {
+                let target = cases
+                    .iter()
+                    .find(|(c, _)| (*c - lo) as u32 == v)
+                    .map(|(_, l)| *l)
+                    .unwrap_or(default_label);
+                labels.push(target);
+                self.data.extend_from_slice(&0u32.to_le_bytes());
+            }
+            let table_addr = DATA_BASE + data_off;
+            if self.profile.pic {
+                // Entries are relative to the table base.
+                self.asm.emit(movd(
+                    ECX,
+                    Operand::Mem(Mem { base: None, index: Some((Reg::Eax, 4)), disp: table_addr as i32 }),
+                ));
+                self.asm.emit(alu(AluOp::Add, ECX, Operand::Imm(table_addr as i32)));
+                self.asm.emit(Inst::JmpInd { target: ECX });
+            } else {
+                self.asm.emit(Inst::JmpInd {
+                    target: Operand::Mem(Mem {
+                        base: None,
+                        index: Some((Reg::Eax, 4)),
+                        disp: table_addr as i32,
+                    }),
+                });
+            }
+            self.jump_tables.push(JumpTable { data_off, labels, relative: self.profile.pic });
+        } else {
+            for (v, l) in &cases {
+                self.asm.emit(Inst::Cmp { size: Size::D, a: EAX, b: Operand::Imm(*v) });
+                self.asm.jcc(Cc::E, *l);
+            }
+            self.asm.jmp(default_label);
+        }
+
+        self.break_stack.push(lend);
+        for (i, (_, body)) in arms.iter().enumerate() {
+            self.asm.bind(arm_labels[i]);
+            self.gen_stmts(body)?;
+        }
+        self.break_stack.pop();
+        self.asm.bind(lend);
+        Ok(())
+    }
+
+    // ---- function scaffolding ----
+
+    fn begin_func(&mut self, fi: usize) -> CResult<()> {
+        self.cur = fi;
+        let f = &self.prog.funcs[fi];
+        let structs = self.prog.structs.clone();
+
+        let regparm = self.profile.regparm_static && f.is_static && !f.params.is_empty();
+        self.regparm_count = if regparm { f.params.len().min(2) as u32 } else { 0 };
+        self.stack_param_count = f.params.len() as u32 - self.regparm_count;
+
+        // Weighted use counts for register allocation.
+        let weights = use_weights(f);
+
+        // Candidates: scalar, not address-taken.
+        #[derive(Clone, Copy)]
+        enum Cand {
+            Local(usize),
+            Param(usize),
+        }
+        let mut cands: Vec<(Cand, u32)> = Vec::new();
+        for (i, l) in f.locals.iter().enumerate() {
+            if l.ty.is_scalar() && !l.addr_taken {
+                cands.push((Cand::Local(i), weights.locals[i]));
+            }
+        }
+        if self.profile.opt {
+            for (i, p) in f.params.iter().enumerate() {
+                if p.ty.is_scalar() && !p.addr_taken {
+                    cands.push((Cand::Param(i), weights.params[i] + 1));
+                }
+            }
+        }
+        cands.sort_by(|a, b| b.1.cmp(&a.1));
+        let regs = [Reg::Ebx, Reg::Esi, Reg::Edi];
+        let take = (self.profile.reg_locals as usize).min(regs.len());
+        let mut assigned: Vec<(Cand, Reg)> = Vec::new();
+        for (c, w) in cands.into_iter() {
+            if assigned.len() >= take {
+                break;
+            }
+            if w == 0 {
+                continue;
+            }
+            assigned.push((c, regs[assigned.len()]));
+        }
+
+        // Homes.
+        self.local_home = vec![Home::Slot(0); f.locals.len()];
+        self.param_home = (0..f.params.len())
+            .map(|i| {
+                if (i as u32) < self.regparm_count {
+                    ParamHome::Slot(0) // placeholder; may become Reg below
+                } else {
+                    ParamHome::Stack(i as u32 - self.regparm_count)
+                }
+            })
+            .collect();
+        let mut reg_promoted_params: Vec<usize> = Vec::new();
+        for (c, r) in &assigned {
+            match c {
+                Cand::Local(i) => self.local_home[*i] = Home::Reg(*r),
+                Cand::Param(i) => {
+                    self.param_home[*i] = ParamHome::Reg(*r);
+                    reg_promoted_params.push(*i);
+                }
+            }
+        }
+
+        // Locals region layout: memory locals plus spill slots for regparm
+        // params that did not get a register.
+        let mut off = 0u32;
+        let mut gt_vars: Vec<(String, u32, u32)> = Vec::new(); // (name, slot off, size)
+        for (i, l) in f.locals.iter().enumerate() {
+            if matches!(self.local_home[i], Home::Reg(_)) {
+                continue;
+            }
+            let size = l.ty.size(&structs).max(1);
+            let align = l.ty.align(&structs).max(if l.ty.is_scalar() { 4 } else { 4 });
+            off = (off + align - 1) & !(align - 1);
+            self.local_home[i] = Home::Slot(off);
+            gt_vars.push((l.name.clone(), off, size));
+            off += size;
+        }
+        for i in 0..f.params.len() {
+            if (i as u32) < self.regparm_count && !matches!(self.param_home[i], ParamHome::Reg(_)) {
+                off = (off + 3) & !3;
+                self.param_home[i] = ParamHome::Slot(off);
+                gt_vars.push((f.params[i].name.clone(), off, 4));
+                off += 4;
+            }
+        }
+        self.locals_size = (off + 3) & !3;
+
+        // Saved registers: every callee-saved register we allocated.
+        self.saved = assigned.iter().map(|(_, r)| *r).collect();
+        self.saved.sort_by_key(|r| r.index());
+        self.saved.dedup();
+        self.has_frame_ptr = self.profile.frame_pointer;
+        self.depth = 0;
+
+        // Prologue.
+        let label = self.func_labels[fi];
+        self.asm.bind(label);
+        if self.has_frame_ptr {
+            self.asm.emit(Inst::Push { src: Operand::Reg(Reg::Ebp) });
+            self.asm.emit(movd(Operand::Reg(Reg::Ebp), Operand::Reg(Reg::Esp)));
+        }
+        let saved = self.saved.clone();
+        for r in &saved {
+            self.asm.emit(Inst::Push { src: Operand::Reg(*r) });
+        }
+        if self.locals_size > 0 {
+            self.asm.emit(alu(AluOp::Sub, Operand::Reg(Reg::Esp), Operand::Imm(self.locals_size as i32)));
+        }
+
+        // Move incoming arguments to their homes.
+        for i in 0..f.params.len() {
+            if (i as u32) < self.regparm_count {
+                let src = if i == 0 { ECX } else { EDX };
+                match self.param_home[i] {
+                    ParamHome::Reg(r) => self.asm.emit(movd(Operand::Reg(r), src)),
+                    ParamHome::Slot(k) => {
+                        let m = self.slot_mem(k);
+                        self.asm.emit(movd(Operand::Mem(m), src));
+                    }
+                    ParamHome::Stack(_) => unreachable!(),
+                }
+            } else if let ParamHome::Reg(r) = self.param_home[i] {
+                let si = i as u32 - self.regparm_count;
+                let m = self.param_mem(si);
+                self.asm.emit(movd(Operand::Reg(r), Operand::Mem(m)));
+            }
+        }
+        let _ = reg_promoted_params;
+
+        // Ground truth: named locals plus register-save spill slots (the
+        // compiler's real frame layout lists both, like LLVM's analysis).
+        let sp0_base = -(self.locals_size as i32)
+            - 4 * self.nsaved() as i32
+            - if self.has_frame_ptr { 4 } else { 0 };
+        let mut vars: Vec<GtVar> = gt_vars
+            .into_iter()
+            .map(|(name, k, size)| GtVar {
+                name,
+                sp0_offset: sp0_base + k as i32,
+                size,
+                kind: GtVarKind::Named,
+            })
+            .collect();
+        let mut save_off = -4;
+        if self.has_frame_ptr {
+            vars.push(GtVar {
+                name: "__saved_ebp".into(),
+                sp0_offset: save_off,
+                size: 4,
+                kind: GtVarKind::Spill,
+            });
+            save_off -= 4;
+        }
+        for r in &self.saved {
+            vars.push(GtVar {
+                name: format!("__saved_{r}"),
+                sp0_offset: save_off,
+                size: 4,
+                kind: GtVarKind::Spill,
+            });
+            save_off -= 4;
+        }
+        self.frames.push(FrameLayout { func: 0, func_name: f.name.clone(), vars });
+
+        self.epilogue = Some(self.asm.fresh_label());
+        Ok(())
+    }
+
+    fn emit_frame_teardown(&mut self) {
+        if self.has_frame_ptr && self.saved.is_empty() {
+            self.asm.emit(Inst::Leave);
+            return;
+        }
+        if self.locals_size > 0 {
+            self.asm.emit(alu(AluOp::Add, Operand::Reg(Reg::Esp), Operand::Imm(self.locals_size as i32)));
+        }
+        let saved = self.saved.clone();
+        for r in saved.iter().rev() {
+            self.asm.emit(Inst::Pop { dst: Operand::Reg(*r) });
+        }
+        if self.has_frame_ptr {
+            self.asm.emit(Inst::Pop { dst: Operand::Reg(Reg::Ebp) });
+        }
+    }
+
+    fn end_func(&mut self) {
+        let epi = self.epilogue.take().expect("epilogue");
+        self.asm.bind(epi);
+        self.emit_frame_teardown();
+        self.asm.emit(Inst::Ret { pop: 0 });
+    }
+}
+
+struct Weights {
+    locals: Vec<u32>,
+    params: Vec<u32>,
+}
+
+fn use_weights(f: &crate::sema::Func) -> Weights {
+    let mut w = Weights { locals: vec![0; f.locals.len()], params: vec![0; f.params.len()] };
+    fn expr(e: &TExpr, d: u32, w: &mut Weights) {
+        let bump = 1u32 << (2 * d.min(4));
+        match &e.kind {
+            TK::ReadLocal(v) => w.locals[*v] += bump,
+            TK::ReadParam(i) => w.params[*i] += bump,
+            TK::Bin(_, a, b) | TK::Cmp(_, a, b) | TK::LogAnd(a, b) | TK::LogOr(a, b) => {
+                expr(a, d, w);
+                expr(b, d, w);
+            }
+            TK::LogNot(a) | TK::Neg(a) | TK::BitNot(a) | TK::Load(a, _) | TK::Conv { e: a, .. } => {
+                expr(a, d, w)
+            }
+            TK::Cond(c, a, b) => {
+                expr(c, d, w);
+                expr(a, d, w);
+                expr(b, d, w);
+            }
+            TK::Assign { target, rhs, .. } => {
+                match target {
+                    Target::Local(v) => w.locals[*v] += bump,
+                    Target::Param(i) => w.params[*i] += bump,
+                    Target::Mem(addr, _) => expr(addr, d, w),
+                }
+                expr(rhs, d, w);
+            }
+            TK::IncDec { target, .. } => match target {
+                Target::Local(v) => w.locals[*v] += bump,
+                Target::Param(i) => w.params[*i] += bump,
+                Target::Mem(addr, _) => expr(addr, d, w),
+            },
+            TK::Call { callee, args } => {
+                if let Callee::Ind(t) = callee {
+                    expr(t, d, w);
+                }
+                for a in args {
+                    expr(a, d, w);
+                }
+            }
+            TK::StructCopy { dst, src, .. } => {
+                expr(dst, d, w);
+                expr(src, d, w);
+            }
+            TK::Seq(effects, last) => {
+                for x in effects {
+                    expr(x, d, w);
+                }
+                expr(last, d, w);
+            }
+            _ => {}
+        }
+    }
+    fn stmt(s: &TStmt, d: u32, w: &mut Weights) {
+        match s {
+            TStmt::Expr(e) | TStmt::Return(Some(e)) => expr(e, d, w),
+            TStmt::If(c, t, e) => {
+                expr(c, d, w);
+                t.iter().for_each(|s| stmt(s, d, w));
+                e.iter().for_each(|s| stmt(s, d, w));
+            }
+            TStmt::While(c, b) => {
+                expr(c, d + 1, w);
+                b.iter().for_each(|s| stmt(s, d + 1, w));
+            }
+            TStmt::DoWhile(b, c) => {
+                b.iter().for_each(|s| stmt(s, d + 1, w));
+                expr(c, d + 1, w);
+            }
+            TStmt::For(i, c, st, b) => {
+                if let Some(i) = i {
+                    stmt(i, d, w);
+                }
+                if let Some(c) = c {
+                    expr(c, d + 1, w);
+                }
+                if let Some(st) = st {
+                    expr(st, d + 1, w);
+                }
+                b.iter().for_each(|s| stmt(s, d + 1, w));
+            }
+            TStmt::Switch(e, arms) => {
+                expr(e, d, w);
+                for (_, b) in arms {
+                    b.iter().for_each(|s| stmt(s, d, w));
+                }
+            }
+            TStmt::Block(b) => b.iter().for_each(|s| stmt(s, d, w)),
+            _ => {}
+        }
+    }
+    for s in &f.body {
+        stmt(s, 0, &mut w);
+    }
+    w
+}
+
+fn ck_to_cc(ck: CK) -> Cc {
+    match ck {
+        CK::Eq => Cc::E,
+        CK::Ne => Cc::Ne,
+        CK::Lt => Cc::L,
+        CK::Le => Cc::Le,
+        CK::Gt => Cc::G,
+        CK::Ge => Cc::Ge,
+    }
+}
+
+/// Generate an [`Image`] for an analyzed program under `profile`.
+///
+/// # Errors
+/// Returns a [`CodegenError`] if the program has no `main` or uses an
+/// unsupported construct.
+pub fn generate(prog: &Program, profile: &Profile) -> Result<Image, CodegenError> {
+    let Some(main_idx) = prog.func_index("main") else {
+        return cerr("program has no `main`");
+    };
+    let mut cg = Codegen {
+        prog,
+        profile,
+        asm: Asm::new(),
+        func_labels: Vec::new(),
+        imports: Vec::new(),
+        data: prog.global_data.clone(),
+        jump_tables: Vec::new(),
+        frames: Vec::new(),
+        cur: 0,
+        local_home: Vec::new(),
+        param_home: Vec::new(),
+        locals_size: 0,
+        saved: Vec::new(),
+        has_frame_ptr: false,
+        depth: 0,
+        epilogue: None,
+        break_stack: Vec::new(),
+        continue_stack: Vec::new(),
+        stack_param_count: 0,
+        regparm_count: 0,
+    };
+    cg.func_labels = prog.funcs.iter().map(|_| cg.asm.fresh_label()).collect();
+
+    for fi in 0..prog.funcs.len() {
+        cg.begin_func(fi)?;
+        let body = &prog.funcs[fi].body;
+        cg.gen_stmts(body)?;
+        cg.end_func();
+        debug_assert_eq!(cg.depth, 0, "push depth imbalance in {}", prog.funcs[fi].name);
+    }
+
+    let mut image = Image::new();
+    let assembled = cg.asm.finish(image.text_base);
+    image.entry = assembled.addr_of(cg.func_labels[main_idx]);
+    image.text = assembled.bytes.clone();
+    image.imports = cg.imports;
+    image.pic = profile.pic;
+
+    // Patch jump tables and record relocations.
+    let mut relocs = Vec::new();
+    for jt in &cg.jump_tables {
+        for (i, l) in jt.labels.iter().enumerate() {
+            let addr = assembled.addr_of(*l);
+            let off = jt.data_off as usize + 4 * i;
+            let value = if jt.relative {
+                addr.wrapping_sub(DATA_BASE + jt.data_off)
+            } else {
+                relocs.push(CodeReloc { data_offset: off as u32 });
+                addr
+            };
+            cg.data[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        }
+    }
+    image.data = cg.data;
+    image.code_relocs = relocs;
+
+    // Symbols + ground truth with resolved addresses.
+    for (fi, f) in prog.funcs.iter().enumerate() {
+        let addr = assembled.addr_of(cg.func_labels[fi]);
+        image.symbols.push(Symbol { name: f.name.clone(), addr });
+        cg.frames[fi].func = addr;
+    }
+    image.frame_layouts = cg.frames;
+    Ok(image)
+}

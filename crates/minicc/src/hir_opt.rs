@@ -1,0 +1,982 @@
+//! HIR-level optimizations applied before code generation, gated by the
+//! compiler profile: constant folding / strength reduction, inlining of
+//! expression functions, and the index→pointer loop rewrite of the paper's
+//! Figure 3.
+
+use crate::profile::Profile;
+use crate::sema::{Callee, Local, Program, TExpr, TStmt, Target, Ty, BK, CK, TK};
+
+/// Run all profile-enabled HIR optimizations in place.
+pub fn optimize(p: &mut Program, profile: &Profile) {
+    if profile.inline_threshold > 0 {
+        inline_expr_functions(p, profile.inline_threshold);
+    }
+    if profile.const_fold {
+        for f in &mut p.funcs {
+            for s in &mut f.body {
+                fold_stmt(s);
+            }
+        }
+    }
+    if profile.ptr_loops {
+        for fi in 0..p.funcs.len() {
+            ptr_loops_in_func(p, fi);
+        }
+    }
+}
+
+// ---------- constant folding ----------
+
+fn fold_stmt(s: &mut TStmt) {
+    match s {
+        TStmt::Expr(e) => fold_expr(e),
+        TStmt::If(c, t, e) => {
+            fold_expr(c);
+            t.iter_mut().for_each(fold_stmt);
+            e.iter_mut().for_each(fold_stmt);
+        }
+        TStmt::While(c, b) => {
+            fold_expr(c);
+            b.iter_mut().for_each(fold_stmt);
+        }
+        TStmt::DoWhile(b, c) => {
+            b.iter_mut().for_each(fold_stmt);
+            fold_expr(c);
+        }
+        TStmt::For(i, c, st, b) => {
+            if let Some(i) = i {
+                fold_stmt(i);
+            }
+            if let Some(c) = c {
+                fold_expr(c);
+            }
+            if let Some(st) = st {
+                fold_expr(st);
+            }
+            b.iter_mut().for_each(fold_stmt);
+        }
+        TStmt::Switch(e, arms) => {
+            fold_expr(e);
+            for (_, b) in arms {
+                b.iter_mut().for_each(fold_stmt);
+            }
+        }
+        TStmt::Return(Some(e)) => fold_expr(e),
+        TStmt::Block(b) => b.iter_mut().for_each(fold_stmt),
+        _ => {}
+    }
+}
+
+fn fold_expr(e: &mut TExpr) {
+    // Fold children first.
+    match &mut e.kind {
+        TK::Bin(_, a, b) | TK::Cmp(_, a, b) | TK::LogAnd(a, b) | TK::LogOr(a, b) => {
+            fold_expr(a);
+            fold_expr(b);
+        }
+        TK::LogNot(a) | TK::Neg(a) | TK::BitNot(a) | TK::Load(a, _) | TK::Conv { e: a, .. } => {
+            fold_expr(a)
+        }
+        TK::Cond(c, a, b) => {
+            fold_expr(c);
+            fold_expr(a);
+            fold_expr(b);
+        }
+        TK::Assign { target, rhs, .. } => {
+            if let Target::Mem(addr, _) = target {
+                fold_expr(addr);
+            }
+            fold_expr(rhs);
+        }
+        TK::IncDec { target: Target::Mem(addr, _), .. } => fold_expr(addr),
+        TK::Call { callee, args } => {
+            if let Callee::Ind(t) = callee {
+                fold_expr(t);
+            }
+            args.iter_mut().for_each(fold_expr);
+        }
+        TK::StructCopy { dst, src, .. } => {
+            fold_expr(dst);
+            fold_expr(src);
+        }
+        TK::Seq(effects, last) => {
+            effects.iter_mut().for_each(fold_expr);
+            fold_expr(last);
+        }
+        _ => {}
+    }
+
+    let new_kind = match &e.kind {
+        TK::Bin(op, a, b) => match (&a.kind, &b.kind) {
+            (TK::Const(x), TK::Const(y)) => eval_bin(*op, *x, *y).map(TK::Const),
+            (_, TK::Const(0)) if matches!(op, BK::Add | BK::Sub | BK::Or | BK::Xor | BK::Shl | BK::Shr) => {
+                Some(a.kind.clone())
+            }
+            (TK::Const(0), _) if matches!(op, BK::Add | BK::Or | BK::Xor) => Some(b.kind.clone()),
+            (_, TK::Const(1)) if matches!(op, BK::Mul | BK::Div) => Some(a.kind.clone()),
+            (TK::Const(1), _) if *op == BK::Mul => Some(b.kind.clone()),
+            (_, TK::Const(c)) if *op == BK::Mul && (*c as u32).is_power_of_two() && *c > 1 => {
+                Some(TK::Bin(
+                    BK::Shl,
+                    a.clone(),
+                    Box::new(TExpr { ty: Ty::Int, kind: TK::Const((*c as u32).trailing_zeros() as i32) }),
+                ))
+            }
+            _ => None,
+        },
+        TK::Cmp(op, a, b) => match (&a.kind, &b.kind) {
+            (TK::Const(x), TK::Const(y)) => Some(TK::Const(eval_cmp(*op, *x, *y) as i32)),
+            _ => None,
+        },
+        TK::Neg(a) => match &a.kind {
+            TK::Const(x) => Some(TK::Const(x.wrapping_neg())),
+            _ => None,
+        },
+        TK::BitNot(a) => match &a.kind {
+            TK::Const(x) => Some(TK::Const(!x)),
+            _ => None,
+        },
+        TK::LogNot(a) => match &a.kind {
+            TK::Const(x) => Some(TK::Const((*x == 0) as i32)),
+            _ => None,
+        },
+        TK::Cond(c, a, b) => match &c.kind {
+            TK::Const(x) => Some(if *x != 0 { a.kind.clone() } else { b.kind.clone() }),
+            _ => None,
+        },
+        TK::Conv { to, e: inner } => match (&inner.kind, to) {
+            (TK::Const(x), Ty::Char) => Some(TK::Const(*x as i8 as i32)),
+            (TK::Const(x), Ty::Short) => Some(TK::Const(*x as i16 as i32)),
+            _ => None,
+        },
+        _ => None,
+    };
+    if let Some(k) = new_kind {
+        e.kind = k;
+    }
+}
+
+fn eval_bin(op: BK, a: i32, b: i32) -> Option<i32> {
+    Some(match op {
+        BK::Add => a.wrapping_add(b),
+        BK::Sub => a.wrapping_sub(b),
+        BK::Mul => a.wrapping_mul(b),
+        BK::Div => {
+            if b == 0 || (a == i32::MIN && b == -1) {
+                return None;
+            }
+            a / b
+        }
+        BK::Rem => {
+            if b == 0 || (a == i32::MIN && b == -1) {
+                return None;
+            }
+            a % b
+        }
+        BK::And => a & b,
+        BK::Or => a | b,
+        BK::Xor => a ^ b,
+        BK::Shl => a.wrapping_shl(b as u32 & 31),
+        BK::Shr => a.wrapping_shr(b as u32 & 31),
+    })
+}
+
+fn eval_cmp(op: CK, a: i32, b: i32) -> bool {
+    match op {
+        CK::Eq => a == b,
+        CK::Ne => a != b,
+        CK::Lt => a < b,
+        CK::Le => a <= b,
+        CK::Gt => a > b,
+        CK::Ge => a >= b,
+    }
+}
+
+// ---------- inlining of expression functions ----------
+
+fn expr_cost(e: &TExpr) -> u32 {
+    let mut n = 1;
+    visit(e, &mut |_| n += 1);
+    n
+}
+
+fn visit(e: &TExpr, f: &mut impl FnMut(&TExpr)) {
+    f(e);
+    match &e.kind {
+        TK::Bin(_, a, b) | TK::Cmp(_, a, b) | TK::LogAnd(a, b) | TK::LogOr(a, b) => {
+            visit(a, f);
+            visit(b, f);
+        }
+        TK::LogNot(a) | TK::Neg(a) | TK::BitNot(a) | TK::Load(a, _) | TK::Conv { e: a, .. } => {
+            visit(a, f)
+        }
+        TK::Cond(c, a, b) => {
+            visit(c, f);
+            visit(a, f);
+            visit(b, f);
+        }
+        TK::Assign { target, rhs, .. } => {
+            if let Target::Mem(addr, _) = target {
+                visit(addr, f);
+            }
+            visit(rhs, f);
+        }
+        TK::IncDec { target: Target::Mem(addr, _), .. } => visit(addr, f),
+        TK::Call { callee, args } => {
+            if let Callee::Ind(t) = callee {
+                visit(t, f);
+            }
+            for a in args {
+                visit(a, f);
+            }
+        }
+        TK::StructCopy { dst, src, .. } => {
+            visit(dst, f);
+            visit(src, f);
+        }
+        TK::Seq(effects, last) => {
+            for x in effects {
+                visit(x, f);
+            }
+            visit(last, f);
+        }
+        _ => {}
+    }
+}
+
+/// `Some(body)` if `f` is inlinable: a single `return expr;` with no calls,
+/// no local declarations, and no address-taken parameters.
+fn inlinable_body(p: &Program, fi: usize, threshold: u32) -> Option<TExpr> {
+    let f = &p.funcs[fi];
+    if !f.locals.is_empty() || f.params.iter().any(|l| l.addr_taken) {
+        return None;
+    }
+    let [TStmt::Return(Some(body))] = f.body.as_slice() else {
+        return None;
+    };
+    if expr_cost(body) > threshold {
+        return None;
+    }
+    let mut has_call = false;
+    let mut writes_param = false;
+    visit(body, &mut |e| match &e.kind {
+        TK::Call { .. } => has_call = true,
+        TK::Assign { target: Target::Param(_), .. }
+        | TK::IncDec { target: Target::Param(_), .. } => writes_param = true,
+        _ => {}
+    });
+    if has_call || writes_param {
+        return None;
+    }
+    Some(body.clone())
+}
+
+fn substitute_params(e: &mut TExpr, temp_base: usize) {
+    match &mut e.kind {
+        TK::ReadParam(i) => e.kind = TK::ReadLocal(temp_base + *i),
+        TK::Bin(_, a, b) | TK::Cmp(_, a, b) | TK::LogAnd(a, b) | TK::LogOr(a, b) => {
+            substitute_params(a, temp_base);
+            substitute_params(b, temp_base);
+        }
+        TK::LogNot(a) | TK::Neg(a) | TK::BitNot(a) | TK::Load(a, _) | TK::Conv { e: a, .. } => {
+            substitute_params(a, temp_base)
+        }
+        TK::Cond(c, a, b) => {
+            substitute_params(c, temp_base);
+            substitute_params(a, temp_base);
+            substitute_params(b, temp_base);
+        }
+        TK::Seq(effects, last) => {
+            for x in effects {
+                substitute_params(x, temp_base);
+            }
+            substitute_params(last, temp_base);
+        }
+        _ => {}
+    }
+}
+
+fn inline_in_expr(e: &mut TExpr, bodies: &[Option<TExpr>], locals: &mut Vec<Local>) {
+    // Children first (so nested calls get inlined too).
+    match &mut e.kind {
+        TK::Bin(_, a, b) | TK::Cmp(_, a, b) | TK::LogAnd(a, b) | TK::LogOr(a, b) => {
+            inline_in_expr(a, bodies, locals);
+            inline_in_expr(b, bodies, locals);
+        }
+        TK::LogNot(a) | TK::Neg(a) | TK::BitNot(a) | TK::Load(a, _) | TK::Conv { e: a, .. } => {
+            inline_in_expr(a, bodies, locals)
+        }
+        TK::Cond(c, a, b) => {
+            inline_in_expr(c, bodies, locals);
+            inline_in_expr(a, bodies, locals);
+            inline_in_expr(b, bodies, locals);
+        }
+        TK::Assign { target, rhs, .. } => {
+            if let Target::Mem(addr, _) = target {
+                inline_in_expr(addr, bodies, locals);
+            }
+            inline_in_expr(rhs, bodies, locals);
+        }
+        TK::IncDec { target: Target::Mem(addr, _), .. } => inline_in_expr(addr, bodies, locals),
+        TK::Call { callee, args } => {
+            if let Callee::Ind(t) = callee {
+                inline_in_expr(t, bodies, locals);
+            }
+            for a in args.iter_mut() {
+                inline_in_expr(a, bodies, locals);
+            }
+        }
+        TK::StructCopy { dst, src, .. } => {
+            inline_in_expr(dst, bodies, locals);
+            inline_in_expr(src, bodies, locals);
+        }
+        TK::Seq(effects, last) => {
+            for x in effects {
+                inline_in_expr(x, bodies, locals);
+            }
+            inline_in_expr(last, bodies, locals);
+        }
+        _ => {}
+    }
+
+    let TK::Call { callee: Callee::Func(fi), args } = &e.kind else {
+        return;
+    };
+    let Some(Some(body)) = bodies.get(*fi) else {
+        return;
+    };
+    // Bind arguments to fresh temps (evaluation order and once-only), then
+    // splice the body with parameters substituted.
+    let temp_base = locals.len();
+    let mut effects = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        locals.push(Local {
+            name: format!("__inl{}_{}", temp_base, i),
+            ty: a.ty.decayed(),
+            addr_taken: false,
+        });
+        effects.push(TExpr {
+            ty: a.ty.decayed(),
+            kind: TK::Assign {
+                target: Target::Local(temp_base + i),
+                op: None,
+                rhs: Box::new(a.clone()),
+            },
+        });
+    }
+    let mut new_body = body.clone();
+    substitute_params(&mut new_body, temp_base);
+    e.kind = if effects.is_empty() {
+        new_body.kind
+    } else {
+        TK::Seq(effects, Box::new(new_body))
+    };
+}
+
+fn inline_expr_functions(p: &mut Program, threshold: u32) {
+    let bodies: Vec<Option<TExpr>> =
+        (0..p.funcs.len()).map(|fi| inlinable_body(p, fi, threshold)).collect();
+    for f in &mut p.funcs {
+        let mut locals = std::mem::take(&mut f.locals);
+        let mut body = std::mem::take(&mut f.body);
+        for s in &mut body {
+            inline_in_stmt(s, &bodies, &mut locals);
+        }
+        f.locals = locals;
+        f.body = body;
+    }
+}
+
+fn inline_in_stmt(s: &mut TStmt, bodies: &[Option<TExpr>], locals: &mut Vec<Local>) {
+    match s {
+        TStmt::Expr(e) => inline_in_expr(e, bodies, locals),
+        TStmt::If(c, t, e) => {
+            inline_in_expr(c, bodies, locals);
+            t.iter_mut().for_each(|s| inline_in_stmt(s, bodies, locals));
+            e.iter_mut().for_each(|s| inline_in_stmt(s, bodies, locals));
+        }
+        TStmt::While(c, b) => {
+            inline_in_expr(c, bodies, locals);
+            b.iter_mut().for_each(|s| inline_in_stmt(s, bodies, locals));
+        }
+        TStmt::DoWhile(b, c) => {
+            b.iter_mut().for_each(|s| inline_in_stmt(s, bodies, locals));
+            inline_in_expr(c, bodies, locals);
+        }
+        TStmt::For(i, c, st, b) => {
+            if let Some(i) = i {
+                inline_in_stmt(i, bodies, locals);
+            }
+            if let Some(c) = c {
+                inline_in_expr(c, bodies, locals);
+            }
+            if let Some(st) = st {
+                inline_in_expr(st, bodies, locals);
+            }
+            b.iter_mut().for_each(|s| inline_in_stmt(s, bodies, locals));
+        }
+        TStmt::Switch(e, arms) => {
+            inline_in_expr(e, bodies, locals);
+            for (_, b) in arms {
+                b.iter_mut().for_each(|s| inline_in_stmt(s, bodies, locals));
+            }
+        }
+        TStmt::Return(Some(e)) => inline_in_expr(e, bodies, locals),
+        TStmt::Block(b) => b.iter_mut().for_each(|s| inline_in_stmt(s, bodies, locals)),
+        _ => {}
+    }
+}
+
+// ---------- index→pointer loop rewriting (paper Fig. 3) ----------
+
+/// Count uses of local `i` in an expression, distinguishing "index into
+/// `base`" uses from all others.
+fn classify_index_uses(e: &TExpr, ivar: usize, base: &mut Option<TK>, ok: &mut bool, other: &mut u32) {
+    // An index use is Bin(Add, <base-addr>, ReadLocal(i)) or
+    // Bin(Add, <base-addr>, Bin(Mul, ReadLocal(i), Const(_))).
+    if let TK::Bin(BK::Add, a, b) = &e.kind {
+        let is_base = matches!(a.kind, TK::LocalAddr(_) | TK::GlobalAddr(_));
+        let idx_is_i = match &b.kind {
+            TK::ReadLocal(v) => *v == ivar,
+            TK::Bin(BK::Mul | BK::Shl, x, s) => {
+                matches!(x.kind, TK::ReadLocal(v) if v == ivar) && matches!(s.kind, TK::Const(_))
+            }
+            _ => false,
+        };
+        if is_base && idx_is_i {
+            match base {
+                None => *base = Some(a.kind.clone()),
+                Some(prev) => {
+                    // All index uses must target the same array.
+                    let same = match (prev, &a.kind) {
+                        (TK::LocalAddr(x), TK::LocalAddr(y)) => x == y,
+                        (TK::GlobalAddr(x), TK::GlobalAddr(y)) => x == y,
+                        _ => false,
+                    };
+                    if !same {
+                        *ok = false;
+                    }
+                }
+            }
+            // Don't descend into the matched index expression.
+            visit(a, &mut |_| {});
+            return;
+        }
+    }
+    match &e.kind {
+        TK::ReadLocal(v) if *v == ivar => *other += 1,
+        TK::Bin(_, a, b) | TK::Cmp(_, a, b) | TK::LogAnd(a, b) | TK::LogOr(a, b) => {
+            classify_index_uses(a, ivar, base, ok, other);
+            classify_index_uses(b, ivar, base, ok, other);
+        }
+        TK::LogNot(a) | TK::Neg(a) | TK::BitNot(a) | TK::Load(a, _) | TK::Conv { e: a, .. } => {
+            classify_index_uses(a, ivar, base, ok, other)
+        }
+        TK::Cond(c, a, b) => {
+            classify_index_uses(c, ivar, base, ok, other);
+            classify_index_uses(a, ivar, base, ok, other);
+            classify_index_uses(b, ivar, base, ok, other);
+        }
+        TK::Assign { target, rhs, .. } => {
+            if let Target::Local(v) = target {
+                if *v == ivar {
+                    *ok = false;
+                }
+            }
+            if let Target::Mem(addr, _) = target {
+                classify_index_uses(addr, ivar, base, ok, other);
+            }
+            classify_index_uses(rhs, ivar, base, ok, other);
+        }
+        TK::IncDec { target, .. } => {
+            if let Target::Local(v) = target {
+                if *v == ivar {
+                    *ok = false;
+                }
+            }
+            if let Target::Mem(addr, _) = target {
+                classify_index_uses(addr, ivar, base, ok, other);
+            }
+        }
+        TK::Call { callee, args } => {
+            if let Callee::Ind(t) = callee {
+                classify_index_uses(t, ivar, base, ok, other);
+            }
+            for a in args {
+                classify_index_uses(a, ivar, base, ok, other);
+            }
+        }
+        TK::StructCopy { dst, src, .. } => {
+            classify_index_uses(dst, ivar, base, ok, other);
+            classify_index_uses(src, ivar, base, ok, other);
+        }
+        TK::Seq(effects, last) => {
+            for x in effects {
+                classify_index_uses(x, ivar, base, ok, other);
+            }
+            classify_index_uses(last, ivar, base, ok, other);
+        }
+        _ => {}
+    }
+}
+
+fn rewrite_index_to_ptr(e: &mut TExpr, ivar: usize, pvar: usize) {
+    if let TK::Bin(BK::Add, a, b) = &e.kind {
+        let is_base = matches!(a.kind, TK::LocalAddr(_) | TK::GlobalAddr(_));
+        let idx_is_i = match &b.kind {
+            TK::ReadLocal(v) => *v == ivar,
+            TK::Bin(BK::Mul | BK::Shl, x, s) => {
+                matches!(x.kind, TK::ReadLocal(v) if v == ivar) && matches!(s.kind, TK::Const(_))
+            }
+            _ => false,
+        };
+        if is_base && idx_is_i {
+            e.kind = TK::ReadLocal(pvar);
+            return;
+        }
+    }
+    match &mut e.kind {
+        TK::Bin(_, a, b) | TK::Cmp(_, a, b) | TK::LogAnd(a, b) | TK::LogOr(a, b) => {
+            rewrite_index_to_ptr(a, ivar, pvar);
+            rewrite_index_to_ptr(b, ivar, pvar);
+        }
+        TK::LogNot(a) | TK::Neg(a) | TK::BitNot(a) | TK::Load(a, _) | TK::Conv { e: a, .. } => {
+            rewrite_index_to_ptr(a, ivar, pvar)
+        }
+        TK::Cond(c, a, b) => {
+            rewrite_index_to_ptr(c, ivar, pvar);
+            rewrite_index_to_ptr(a, ivar, pvar);
+            rewrite_index_to_ptr(b, ivar, pvar);
+        }
+        TK::Assign { target, rhs, .. } => {
+            if let Target::Mem(addr, _) = target {
+                rewrite_index_to_ptr(addr, ivar, pvar);
+            }
+            rewrite_index_to_ptr(rhs, ivar, pvar);
+        }
+        TK::IncDec { target: Target::Mem(addr, _), .. } => rewrite_index_to_ptr(addr, ivar, pvar),
+        TK::Call { callee, args } => {
+            if let Callee::Ind(t) = callee {
+                rewrite_index_to_ptr(t, ivar, pvar);
+            }
+            for a in args {
+                rewrite_index_to_ptr(a, ivar, pvar);
+            }
+        }
+        TK::StructCopy { dst, src, .. } => {
+            rewrite_index_to_ptr(dst, ivar, pvar);
+            rewrite_index_to_ptr(src, ivar, pvar);
+        }
+        TK::Seq(effects, last) => {
+            for x in effects {
+                rewrite_index_to_ptr(x, ivar, pvar);
+            }
+            rewrite_index_to_ptr(last, ivar, pvar);
+        }
+        _ => {}
+    }
+}
+
+fn count_local_uses_expr(e: &TExpr, ivar: usize, n: &mut u32) {
+    let mut hits = 0u32;
+    visit(e, &mut |x| {
+        if matches!(x.kind, TK::ReadLocal(v) | TK::LocalAddr(v) if v == ivar) {
+            hits += 1;
+        }
+        match &x.kind {
+            TK::Assign { target: Target::Local(v), .. }
+            | TK::IncDec { target: Target::Local(v), .. }
+                if *v == ivar =>
+            {
+                hits += 1;
+            }
+            _ => {}
+        }
+    });
+    *n += hits;
+}
+
+fn count_local_uses_stmt(s: &TStmt, ivar: usize, n: &mut u32) {
+    fn ce_inner(e: &TExpr, ivar: usize, n: &mut u32) {
+        count_local_uses_expr(e, ivar, n);
+    }
+    macro_rules! ce {
+        ($e:expr) => {
+            ce_inner($e, ivar, n)
+        };
+    }
+    match s {
+        TStmt::Expr(e) => ce!(e),
+        TStmt::If(c, t, el) => {
+            ce!(c);
+            t.iter().for_each(|s| count_local_uses_stmt(s, ivar, n));
+            el.iter().for_each(|s| count_local_uses_stmt(s, ivar, n));
+        }
+        TStmt::While(c, b) => {
+            ce!(c);
+            b.iter().for_each(|s| count_local_uses_stmt(s, ivar, n));
+        }
+        TStmt::DoWhile(b, c) => {
+            b.iter().for_each(|s| count_local_uses_stmt(s, ivar, n));
+            ce!(c);
+        }
+        TStmt::For(i, c, st, b) => {
+            if let Some(i) = i {
+                count_local_uses_stmt(i, ivar, n);
+            }
+            if let Some(c) = c {
+                ce!(c);
+            }
+            if let Some(st) = st {
+                ce!(st);
+            }
+            b.iter().for_each(|s| count_local_uses_stmt(s, ivar, n));
+        }
+        TStmt::Switch(e, arms) => {
+            ce!(e);
+            for (_, b) in arms {
+                b.iter().for_each(|s| count_local_uses_stmt(s, ivar, n));
+            }
+        }
+        TStmt::Return(Some(e)) => ce!(e),
+        TStmt::Block(b) => b.iter().for_each(|s| count_local_uses_stmt(s, ivar, n)),
+        _ => {}
+    }
+}
+
+fn ptr_loops_in_func(p: &mut Program, fi: usize) {
+    // Take the function body out to satisfy the borrow checker; we need
+    // &mut locals alongside.
+    let mut body = std::mem::take(&mut p.funcs[fi].body);
+    let mut locals = std::mem::take(&mut p.funcs[fi].locals);
+    let structs = p.structs.clone();
+    rewrite_stmts(&mut body, &mut locals, &structs);
+    p.funcs[fi].body = body;
+    p.funcs[fi].locals = locals;
+}
+
+fn rewrite_stmts(stmts: &mut Vec<TStmt>, locals: &mut Vec<Local>, structs: &[crate::sema::StructTy]) {
+    for idx in 0..stmts.len() {
+        // Recurse first.
+        match &mut stmts[idx] {
+            TStmt::If(_, t, e) => {
+                rewrite_stmts(t, locals, structs);
+                rewrite_stmts(e, locals, structs);
+            }
+            TStmt::While(_, b) | TStmt::DoWhile(b, _) => rewrite_stmts(b, locals, structs),
+            TStmt::For(_, _, _, b) => rewrite_stmts(b, locals, structs),
+            TStmt::Switch(_, arms) => {
+                for (_, b) in arms {
+                    rewrite_stmts(b, locals, structs);
+                }
+            }
+            TStmt::Block(b) => rewrite_stmts(b, locals, structs),
+            _ => {}
+        }
+        if let Some(new_stmt) = try_rewrite_for(&stmts[idx], stmts, idx, locals, structs) {
+            stmts[idx] = new_stmt;
+        }
+    }
+}
+
+/// Match `for (i = 0; i < N; i++) body` where `i` is used only as an index
+/// into one array, and rewrite to a pointer walk with an end pointer.
+fn try_rewrite_for(
+    s: &TStmt,
+    all: &[TStmt],
+    self_idx: usize,
+    locals: &mut Vec<Local>,
+    structs: &[crate::sema::StructTy],
+) -> Option<TStmt> {
+    let TStmt::For(init, Some(cond), Some(step), body) = s else {
+        return None;
+    };
+    // init: i = 0 (as statement or decl-assign).
+    let ivar = match init.as_deref() {
+        Some(TStmt::Expr(TExpr {
+            kind: TK::Assign { target: Target::Local(v), op: None, rhs },
+            ..
+        })) if matches!(rhs.kind, TK::Const(0)) => *v,
+        _ => return None,
+    };
+    if locals[ivar].addr_taken || locals[ivar].ty != Ty::Int {
+        return None;
+    }
+    // cond: i < Const(n).
+    let TK::Cmp(CK::Lt, ci, cn) = &cond.kind else {
+        return None;
+    };
+    if !matches!(ci.kind, TK::ReadLocal(v) if v == ivar) {
+        return None;
+    }
+    let TK::Const(n) = cn.kind else {
+        return None;
+    };
+    if n <= 0 {
+        return None;
+    }
+    // step: i++ / ++i / i += 1.
+    let step_ok = match &step.kind {
+        TK::IncDec { target: Target::Local(v), inc: true, delta: 1, .. } => *v == ivar,
+        TK::Assign { target: Target::Local(v), op: Some(BK::Add), rhs } => {
+            *v == ivar && matches!(rhs.kind, TK::Const(1))
+        }
+        _ => false,
+    };
+    if !step_ok {
+        return None;
+    }
+    // Body: all uses of i are indexes into one array.
+    let mut base = None;
+    let mut ok = true;
+    let mut other = 0u32;
+    for st in body {
+        stmt_classify(st, ivar, &mut base, &mut ok, &mut other);
+    }
+    let Some(base_kind) = base else { return None };
+    if !ok || other > 0 {
+        return None;
+    }
+    // `i` must not be used outside this loop.
+    let mut outside = 0u32;
+    for (j, st) in all.iter().enumerate() {
+        if j != self_idx {
+            count_local_uses_stmt(st, ivar, &mut outside);
+        }
+    }
+    if outside > 0 {
+        return None;
+    }
+    // Element type.
+    let (elem_ty, base_ty) = match &base_kind {
+        TK::LocalAddr(a) => (locals[*a].ty.clone(), locals[*a].ty.clone()),
+        TK::GlobalAddr(_) => return None, // keep it to locals for clarity
+        _ => return None,
+    };
+    let Ty::Array(elem, len) = &base_ty else { return None };
+    if (n as u32) > *len {
+        return None;
+    }
+    let es = elem.size(structs);
+    let _ = elem_ty;
+
+    // New locals: p (walking pointer) and end.
+    let pvar = locals.len();
+    locals.push(Local {
+        name: format!("__p{pvar}"),
+        ty: Ty::Ptr(elem.clone()),
+        addr_taken: false,
+    });
+    let evar = locals.len();
+    locals.push(Local {
+        name: format!("__end{evar}"),
+        ty: Ty::Ptr(elem.clone()),
+        addr_taken: false,
+    });
+
+    let base_expr = |kind: TK| TExpr { ty: Ty::Ptr(elem.clone()), kind };
+    let assign_local = |v: usize, rhs: TExpr| {
+        TStmt::Expr(TExpr {
+            ty: rhs.ty.clone(),
+            kind: TK::Assign { target: Target::Local(v), op: None, rhs: Box::new(rhs) },
+        })
+    };
+
+    // p = &arr[0]; end = p + n (one-past — outside the object, per Fig. 3).
+    let init_p = assign_local(pvar, base_expr(base_kind.clone()));
+    let end_rhs = TExpr {
+        ty: Ty::Ptr(elem.clone()),
+        kind: TK::Bin(
+            BK::Add,
+            Box::new(base_expr(base_kind)),
+            Box::new(TExpr { ty: Ty::Int, kind: TK::Const(n.wrapping_mul(es as i32)) }),
+        ),
+    };
+    let init_end = assign_local(evar, end_rhs);
+
+    let mut new_body = body.clone();
+    for st in &mut new_body {
+        rewrite_stmt_index(st, ivar, pvar);
+    }
+    let new_cond = TExpr {
+        ty: Ty::Int,
+        kind: TK::Cmp(
+            CK::Ne,
+            Box::new(TExpr { ty: Ty::Ptr(elem.clone()), kind: TK::ReadLocal(pvar) }),
+            Box::new(TExpr { ty: Ty::Ptr(elem.clone()), kind: TK::ReadLocal(evar) }),
+        ),
+    };
+    let new_step = TExpr {
+        ty: Ty::Ptr(elem.clone()),
+        kind: TK::IncDec { target: Target::Local(pvar), inc: true, pre: false, delta: es as i32 },
+    };
+    Some(TStmt::Block(vec![
+        init_p,
+        init_end,
+        TStmt::For(None, Some(new_cond), Some(new_step), new_body),
+    ]))
+}
+
+fn stmt_classify(s: &TStmt, ivar: usize, base: &mut Option<TK>, ok: &mut bool, other: &mut u32) {
+    match s {
+        TStmt::Expr(e) | TStmt::Return(Some(e)) => classify_index_uses(e, ivar, base, ok, other),
+        TStmt::If(c, t, e) => {
+            classify_index_uses(c, ivar, base, ok, other);
+            t.iter().for_each(|s| stmt_classify(s, ivar, base, ok, other));
+            e.iter().for_each(|s| stmt_classify(s, ivar, base, ok, other));
+        }
+        TStmt::While(c, b) => {
+            classify_index_uses(c, ivar, base, ok, other);
+            b.iter().for_each(|s| stmt_classify(s, ivar, base, ok, other));
+        }
+        TStmt::DoWhile(b, c) => {
+            b.iter().for_each(|s| stmt_classify(s, ivar, base, ok, other));
+            classify_index_uses(c, ivar, base, ok, other);
+        }
+        TStmt::For(i, c, st, b) => {
+            if let Some(i) = i {
+                stmt_classify(i, ivar, base, ok, other);
+            }
+            if let Some(c) = c {
+                classify_index_uses(c, ivar, base, ok, other);
+            }
+            if let Some(st) = st {
+                classify_index_uses(st, ivar, base, ok, other);
+            }
+            b.iter().for_each(|s| stmt_classify(s, ivar, base, ok, other));
+        }
+        TStmt::Switch(e, arms) => {
+            classify_index_uses(e, ivar, base, ok, other);
+            for (_, b) in arms {
+                b.iter().for_each(|s| stmt_classify(s, ivar, base, ok, other));
+            }
+        }
+        TStmt::Block(b) => b.iter().for_each(|s| stmt_classify(s, ivar, base, ok, other)),
+        TStmt::Break | TStmt::Continue => *ok = false, // early exits keep i live
+        _ => {}
+    }
+}
+
+fn rewrite_stmt_index(s: &mut TStmt, ivar: usize, pvar: usize) {
+    match s {
+        TStmt::Expr(e) | TStmt::Return(Some(e)) => rewrite_index_to_ptr(e, ivar, pvar),
+        TStmt::If(c, t, el) => {
+            rewrite_index_to_ptr(c, ivar, pvar);
+            t.iter_mut().for_each(|s| rewrite_stmt_index(s, ivar, pvar));
+            el.iter_mut().for_each(|s| rewrite_stmt_index(s, ivar, pvar));
+        }
+        TStmt::While(c, b) => {
+            rewrite_index_to_ptr(c, ivar, pvar);
+            b.iter_mut().for_each(|s| rewrite_stmt_index(s, ivar, pvar));
+        }
+        TStmt::DoWhile(b, c) => {
+            b.iter_mut().for_each(|s| rewrite_stmt_index(s, ivar, pvar));
+            rewrite_index_to_ptr(c, ivar, pvar);
+        }
+        TStmt::For(i, c, st, b) => {
+            if let Some(i) = i {
+                rewrite_stmt_index(i, ivar, pvar);
+            }
+            if let Some(c) = c {
+                rewrite_index_to_ptr(c, ivar, pvar);
+            }
+            if let Some(st) = st {
+                rewrite_index_to_ptr(st, ivar, pvar);
+            }
+            b.iter_mut().for_each(|s| rewrite_stmt_index(s, ivar, pvar));
+        }
+        TStmt::Switch(e, arms) => {
+            rewrite_index_to_ptr(e, ivar, pvar);
+            for (_, b) in arms {
+                b.iter_mut().for_each(|s| rewrite_stmt_index(s, ivar, pvar));
+            }
+        }
+        TStmt::Block(b) => b.iter_mut().for_each(|s| rewrite_stmt_index(s, ivar, pvar)),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use crate::sema::analyze;
+
+    fn prog(src: &str) -> Program {
+        analyze(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn folds_constants_and_strength_reduces() {
+        let mut p = prog("int f(int x) { return 2 * 3 + x * 8; }");
+        optimize(&mut p, &Profile::gcc12_o3());
+        let TStmt::Return(Some(e)) = &p.funcs[0].body[0] else { panic!() };
+        let TK::Bin(BK::Add, a, b) = &e.kind else { panic!("{:?}", e.kind) };
+        assert!(matches!(a.kind, TK::Const(6)));
+        assert!(matches!(&b.kind, TK::Bin(BK::Shl, _, s) if matches!(s.kind, TK::Const(3))));
+    }
+
+    #[test]
+    fn inlines_expression_functions() {
+        let mut p = prog(
+            r#"
+            static int square(int v) { return v * v; }
+            int main() { return square(7); }
+            "#,
+        );
+        optimize(&mut p, &Profile::gcc12_o3());
+        let main = p.func_index("main").unwrap();
+        let TStmt::Return(Some(e)) = &p.funcs[main].body[0] else { panic!() };
+        assert!(
+            !matches!(e.kind, TK::Call { .. }),
+            "call should be inlined: {:?}",
+            e.kind
+        );
+        // GCC 4.4 profile does not inline.
+        let mut p2 = prog(
+            r#"
+            static int square(int v) { return v * v; }
+            int main() { return square(7); }
+            "#,
+        );
+        optimize(&mut p2, &Profile::gcc44_o3());
+        let TStmt::Return(Some(e2)) = &p2.funcs[main].body[0] else { panic!() };
+        assert!(matches!(e2.kind, TK::Call { .. }));
+    }
+
+    #[test]
+    fn rewrites_counted_loop_to_pointer_walk() {
+        let src = r#"
+            int main() {
+                int arr[8];
+                int i;
+                int acc = 0;
+                for (i = 0; i < 8; i++) arr[i] = i + 1;
+                return acc;
+            }
+        "#;
+        let mut p = prog(src);
+        let before = p.funcs[0].locals.len();
+        optimize(&mut p, &Profile::gcc12_o3());
+        // The rewrite should *not* fire: `arr[i] = i + 1` uses i outside the
+        // index too.
+        assert_eq!(p.funcs[0].locals.len(), before);
+
+        let src2 = r#"
+            int main() {
+                int arr[8];
+                int i;
+                for (i = 0; i < 8; i++) arr[i] = 5;
+                return arr[3];
+            }
+        "#;
+        let mut p2 = prog(src2);
+        let before2 = p2.funcs[0].locals.len();
+        optimize(&mut p2, &Profile::gcc12_o3());
+        assert_eq!(p2.funcs[0].locals.len(), before2 + 2, "p and end added");
+        // GCC 4.4 keeps the index loop.
+        let mut p3 = prog(src2);
+        optimize(&mut p3, &Profile::gcc44_o3());
+        assert_eq!(p3.funcs[0].locals.len(), before2);
+    }
+}

@@ -1,0 +1,315 @@
+//! Lexer for the mini-C source language.
+
+use std::fmt;
+
+/// A token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Num(i32),
+    /// String literal (unescaped bytes, without quotes).
+    Str(Vec<u8>),
+    /// Character literal value.
+    Char(i32),
+    /// Punctuation or operator, e.g. `"+="`.
+    Punct(&'static str),
+    /// Keyword.
+    Kw(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Num(n) => write!(f, "number `{n}`"),
+            Tok::Str(_) => write!(f, "string literal"),
+            Tok::Char(c) => write!(f, "char literal `{c}`"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Kw(k) => write!(f, "keyword `{k}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source line (for diagnostics).
+#[derive(Debug, Clone)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const KEYWORDS: &[&str] = &[
+    "int", "char", "short", "void", "struct", "if", "else", "while", "for", "do", "switch",
+    "case", "default", "return", "break", "continue", "sizeof", "static",
+];
+
+/// Multi-character operators, longest first.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "+", "-", "*", "/", "%", "&", "|", "^",
+    "~", "!", "<", ">", "=", "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+];
+
+fn unescape(c: u8) -> u8 {
+    match c {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        b'\\' => b'\\',
+        b'\'' => b'\'',
+        b'"' => b'"',
+        other => other,
+    }
+}
+
+/// Tokenize `src`.
+///
+/// # Errors
+/// Returns a [`LexError`] on unterminated literals or unknown characters.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1u32;
+    let mut out = Vec::new();
+    'outer: while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < b.len() {
+            if b[i + 1] == b'/' {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if b[i + 1] == b'*' {
+                i += 2;
+                while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= b.len() {
+                    return Err(LexError { msg: "unterminated block comment".into(), line });
+                }
+                i += 2;
+                continue;
+            }
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            let word = &src[start..i];
+            let tok = match KEYWORDS.iter().find(|k| **k == word) {
+                Some(k) => Tok::Kw(k),
+                None => Tok::Ident(word.to_string()),
+            };
+            out.push(SpannedTok { tok, line });
+            continue;
+        }
+        // Numbers (decimal and 0x hex).
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut value: i64;
+            if c == b'0' && i + 1 < b.len() && (b[i + 1] | 0x20) == b'x' {
+                i += 2;
+                let hstart = i;
+                while i < b.len() && b[i].is_ascii_hexdigit() {
+                    i += 1;
+                }
+                if i == hstart {
+                    return Err(LexError { msg: "empty hex literal".into(), line });
+                }
+                value = i64::from_str_radix(&src[hstart..i], 16).map_err(|_| LexError {
+                    msg: format!("hex literal too large: {}", &src[start..i]),
+                    line,
+                })?;
+            } else {
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                value = src[start..i].parse::<i64>().map_err(|_| LexError {
+                    msg: format!("number too large: {}", &src[start..i]),
+                    line,
+                })?;
+            }
+            if value > u32::MAX as i64 {
+                return Err(LexError { msg: "integer literal out of range".into(), line });
+            }
+            if value > i32::MAX as i64 {
+                value -= 1i64 << 32;
+            }
+            out.push(SpannedTok { tok: Tok::Num(value as i32), line });
+            continue;
+        }
+        // String literals.
+        if c == b'"' {
+            i += 1;
+            let mut s = Vec::new();
+            while i < b.len() && b[i] != b'"' {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    s.push(unescape(b[i + 1]));
+                    i += 2;
+                } else {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    s.push(b[i]);
+                    i += 1;
+                }
+            }
+            if i >= b.len() {
+                return Err(LexError { msg: "unterminated string".into(), line });
+            }
+            i += 1;
+            out.push(SpannedTok { tok: Tok::Str(s), line });
+            continue;
+        }
+        // Character literals.
+        if c == b'\'' {
+            i += 1;
+            let v = if i < b.len() && b[i] == b'\\' {
+                let v = unescape(*b.get(i + 1).ok_or(LexError {
+                    msg: "unterminated char literal".into(),
+                    line,
+                })?);
+                i += 2;
+                v
+            } else if i < b.len() {
+                let v = b[i];
+                i += 1;
+                v
+            } else {
+                return Err(LexError { msg: "unterminated char literal".into(), line });
+            };
+            if i >= b.len() || b[i] != b'\'' {
+                return Err(LexError { msg: "unterminated char literal".into(), line });
+            }
+            i += 1;
+            out.push(SpannedTok { tok: Tok::Char(v as i32), line });
+            continue;
+        }
+        // Punctuation.
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                out.push(SpannedTok { tok: Tok::Punct(p), line });
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(LexError { msg: format!("unexpected character `{}`", c as char), line });
+    }
+    out.push(SpannedTok { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("int x = 42;"),
+            vec![
+                Tok::Kw("int"),
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Num(42),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            toks("a <<= b >> c <= d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<<="),
+                Tok::Ident("b".into()),
+                Tok::Punct(">>"),
+                Tok::Ident("c".into()),
+                Tok::Punct("<="),
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(toks("0x10"), vec![Tok::Num(16), Tok::Eof]);
+        assert_eq!(toks("'a'"), vec![Tok::Char(97), Tok::Eof]);
+        assert_eq!(toks("'\\n'"), vec![Tok::Char(10), Tok::Eof]);
+        assert_eq!(
+            toks("\"hi\\n\""),
+            vec![Tok::Str(b"hi\n".to_vec()), Tok::Eof]
+        );
+        // 0x8899aabb wraps to a negative i32 like a C literal would.
+        assert_eq!(toks("0xffffffff"), vec![Tok::Num(-1), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let ts = lex("a // comment\nb /* block\nstill */ c").unwrap();
+        let idents: Vec<(String, u32)> = ts
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some((s.clone(), t.line)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec![("a".into(), 1), ("b".into(), 2), ("c".into(), 3)]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("'x").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("99999999999").is_err());
+    }
+}

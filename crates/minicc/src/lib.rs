@@ -1,0 +1,91 @@
+//! # wyt-minicc — the workload compiler
+//!
+//! A mini-C compiler producing [`wyt_isa::image::Image`] binaries. Its
+//! purpose in the WYTIWYG reproduction is to stand in for the real-world
+//! toolchains the paper evaluates against: the same source compiles under
+//! four [`Profile`]s — GCC 12.2 -O3 / -O0, Clang 16 -O3, GCC 4.4 -O3 —
+//! that differ exactly where stack-layout recovery cares (frame pointers,
+//! register allocation, pointer loops, tail calls, custom conventions,
+//! vectorized copies, PIC jump tables).
+//!
+//! Every produced image carries a ground-truth
+//! [`wyt_isa::image::FrameLayout`] sidecar, the analogue of LLVM's Stack
+//! Frame Layout analysis used by the paper's §6.3 accuracy evaluation. The
+//! recompiler consumes [`Image::stripped`](wyt_isa::image::Image::stripped)
+//! copies; only the evaluation reads the sidecar.
+//!
+//! ```
+//! use wyt_minicc::{compile, Profile};
+//! let image = compile("int main() { return 41 + 1; }", &Profile::gcc12_o3())?;
+//! let result = wyt_emu::run_image(&image, Vec::new());
+//! assert_eq!(result.exit_code, 42);
+//! # Ok::<(), wyt_minicc::CompileError>(())
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod hir_opt;
+pub mod lex;
+pub mod parse;
+pub mod profile;
+pub mod sema;
+
+pub use codegen::CodegenError;
+pub use parse::ParseError;
+pub use profile::Profile;
+pub use sema::SemaError;
+
+use std::fmt;
+use wyt_isa::image::Image;
+
+/// Any front-to-back compilation failure.
+#[derive(Debug, Clone)]
+pub enum CompileError {
+    /// Lexing/parsing failed.
+    Parse(ParseError),
+    /// Semantic analysis failed.
+    Sema(SemaError),
+    /// Code generation failed.
+    Codegen(CodegenError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "parse error: {e}"),
+            CompileError::Sema(e) => write!(f, "semantic error: {e}"),
+            CompileError::Codegen(e) => write!(f, "codegen error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> CompileError {
+        CompileError::Parse(e)
+    }
+}
+
+impl From<SemaError> for CompileError {
+    fn from(e: SemaError) -> CompileError {
+        CompileError::Sema(e)
+    }
+}
+
+impl From<CodegenError> for CompileError {
+    fn from(e: CodegenError) -> CompileError {
+        CompileError::Codegen(e)
+    }
+}
+
+/// Compile mini-C source to an executable image under `profile`.
+///
+/// # Errors
+/// Returns a [`CompileError`] describing the first failure in any stage.
+pub fn compile(src: &str, profile: &Profile) -> Result<Image, CompileError> {
+    let unit = parse::parse(src)?;
+    let mut program = sema::analyze(&unit)?;
+    hir_opt::optimize(&mut program, profile);
+    Ok(codegen::generate(&program, profile)?)
+}

@@ -1,0 +1,694 @@
+//! Recursive-descent parser for the mini-C language.
+
+use crate::ast::*;
+use crate::lex::{lex, LexError, SpannedTok, Tok};
+use std::fmt;
+
+/// A parse failure.
+#[derive(Debug, Clone)]
+pub struct ParseError {
+    /// Description.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError { msg: e.msg, line: e.line }
+    }
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        Err(ParseError { msg: msg.into(), line: self.line() })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> PResult<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found {}", self.peek()))
+        }
+    }
+
+    fn eat_kw(&mut self, k: &str) -> bool {
+        if matches!(self.peek(), Tok::Kw(q) if *q == k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> PResult<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn expect_num(&mut self) -> PResult<i32> {
+        match self.bump() {
+            Tok::Num(n) => Ok(n),
+            Tok::Char(n) => Ok(n),
+            Tok::Punct("-") => Ok(-self.expect_num()?),
+            other => self.err(format!("expected number, found {other}")),
+        }
+    }
+
+    fn is_type_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::Kw("int") | Tok::Kw("char") | Tok::Kw("short") | Tok::Kw("void") | Tok::Kw("struct")
+        )
+    }
+
+    fn parse_base_type(&mut self) -> PResult<TypeName> {
+        let base = match self.bump() {
+            Tok::Kw("int") => TypeName::Int,
+            Tok::Kw("char") => TypeName::Char,
+            Tok::Kw("short") => TypeName::Short,
+            Tok::Kw("void") => TypeName::Void,
+            Tok::Kw("struct") => TypeName::Struct(self.expect_ident()?),
+            other => return self.err(format!("expected type, found {other}")),
+        };
+        Ok(base)
+    }
+
+    fn parse_type(&mut self) -> PResult<TypeName> {
+        let mut t = self.parse_base_type()?;
+        while self.eat_punct("*") {
+            t = TypeName::Ptr(Box::new(t));
+        }
+        Ok(t)
+    }
+
+    fn parse_unit(&mut self) -> PResult<Unit> {
+        let mut unit = Unit::default();
+        while *self.peek() != Tok::Eof {
+            let is_static = self.eat_kw("static");
+            // struct definition: `struct Name { ... };`
+            if !is_static && *self.peek() == Tok::Kw("struct") && matches!(self.peek2(), Tok::Ident(_)) {
+                let save = self.pos;
+                self.bump();
+                let name = self.expect_ident()?;
+                if self.eat_punct("{") {
+                    let mut fields = Vec::new();
+                    while !self.eat_punct("}") {
+                        let ty = self.parse_type()?;
+                        let fname = self.expect_ident()?;
+                        let array = if self.eat_punct("[") {
+                            let n = self.expect_num()?;
+                            self.expect_punct("]")?;
+                            Some(n as u32)
+                        } else {
+                            None
+                        };
+                        self.expect_punct(";")?;
+                        fields.push((ty, fname, array));
+                    }
+                    self.expect_punct(";")?;
+                    unit.structs.push(StructDef { name, fields });
+                    continue;
+                }
+                self.pos = save;
+            }
+            let line = self.line();
+            let ty = self.parse_type()?;
+            let name = self.expect_ident()?;
+            if *self.peek() == Tok::Punct("(") {
+                unit.funcs.push(self.parse_func(ty, name, is_static, line)?);
+            } else {
+                if is_static {
+                    // `static` globals behave like ordinary globals here.
+                }
+                let array = if self.eat_punct("[") {
+                    let n = self.expect_num()?;
+                    self.expect_punct("]")?;
+                    Some(n as u32)
+                } else {
+                    None
+                };
+                let init = if self.eat_punct("=") {
+                    Some(self.parse_init()?)
+                } else {
+                    None
+                };
+                self.expect_punct(";")?;
+                unit.globals.push(GlobalDef { ty, name, array, init });
+            }
+        }
+        Ok(unit)
+    }
+
+    fn parse_init(&mut self) -> PResult<Init> {
+        match self.peek().clone() {
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Init::Str(s))
+            }
+            Tok::Punct("{") => {
+                self.bump();
+                let mut list = Vec::new();
+                if !self.eat_punct("}") {
+                    loop {
+                        list.push(self.expect_num()?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    self.expect_punct("}")?;
+                }
+                Ok(Init::List(list))
+            }
+            _ => Ok(Init::Num(self.expect_num()?)),
+        }
+    }
+
+    fn parse_func(&mut self, ret: TypeName, name: String, is_static: bool, line: u32) -> PResult<FuncDef> {
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            if self.eat_kw("void") && *self.peek() == Tok::Punct(")") {
+                self.bump();
+            } else {
+                loop {
+                    let ty = self.parse_type()?;
+                    let pname = self.expect_ident()?;
+                    params.push((ty, pname));
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct(")")?;
+            }
+        }
+        self.expect_punct("{")?;
+        let mut body = Vec::new();
+        while !self.eat_punct("}") {
+            body.push(self.parse_stmt()?);
+        }
+        Ok(FuncDef { ret, name, params, body, is_static, line })
+    }
+
+    fn parse_stmt(&mut self) -> PResult<Stmt> {
+        if self.eat_punct(";") {
+            return Ok(Stmt::Empty);
+        }
+        if self.eat_punct("{") {
+            let mut body = Vec::new();
+            while !self.eat_punct("}") {
+                body.push(self.parse_stmt()?);
+            }
+            return Ok(Stmt::Block(body));
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let c = self.parse_expr()?;
+            self.expect_punct(")")?;
+            let then = Box::new(self.parse_stmt()?);
+            let els = if self.eat_kw("else") {
+                Some(Box::new(self.parse_stmt()?))
+            } else {
+                None
+            };
+            return Ok(Stmt::If(c, then, els));
+        }
+        if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let c = self.parse_expr()?;
+            self.expect_punct(")")?;
+            let body = Box::new(self.parse_stmt()?);
+            return Ok(Stmt::While(c, body));
+        }
+        if self.eat_kw("do") {
+            let body = Box::new(self.parse_stmt()?);
+            if !self.eat_kw("while") {
+                return self.err("expected `while` after do-body");
+            }
+            self.expect_punct("(")?;
+            let c = self.parse_expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::DoWhile(body, c));
+        }
+        if self.eat_kw("for") {
+            self.expect_punct("(")?;
+            let init = if self.eat_punct(";") {
+                None
+            } else if self.is_type_start() {
+                let d = self.parse_decl()?;
+                Some(Box::new(d))
+            } else {
+                let e = self.parse_expr()?;
+                self.expect_punct(";")?;
+                Some(Box::new(Stmt::Expr(e)))
+            };
+            let cond = if *self.peek() == Tok::Punct(";") {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
+            self.expect_punct(";")?;
+            let step = if *self.peek() == Tok::Punct(")") {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
+            self.expect_punct(")")?;
+            let body = Box::new(self.parse_stmt()?);
+            return Ok(Stmt::For(init, cond, step, body));
+        }
+        if self.eat_kw("switch") {
+            self.expect_punct("(")?;
+            let scrut = self.parse_expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct("{")?;
+            let mut arms: Vec<(Option<i32>, Vec<Stmt>)> = Vec::new();
+            while !self.eat_punct("}") {
+                let label = if self.eat_kw("case") {
+                    let v = self.expect_num()?;
+                    self.expect_punct(":")?;
+                    Some(v)
+                } else if self.eat_kw("default") {
+                    self.expect_punct(":")?;
+                    None
+                } else {
+                    return self.err("expected `case` or `default` in switch");
+                };
+                let mut body = Vec::new();
+                while !matches!(self.peek(), Tok::Kw("case") | Tok::Kw("default") | Tok::Punct("}")) {
+                    body.push(self.parse_stmt()?);
+                }
+                arms.push((label, body));
+            }
+            return Ok(Stmt::Switch(scrut, arms));
+        }
+        if self.eat_kw("return") {
+            let v = if *self.peek() == Tok::Punct(";") {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(v));
+        }
+        if self.eat_kw("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.eat_kw("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue);
+        }
+        if self.is_type_start() {
+            return self.parse_decl();
+        }
+        let e = self.parse_expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    /// Parse a declaration statement, consuming the trailing `;`.
+    fn parse_decl(&mut self) -> PResult<Stmt> {
+        let ty = self.parse_type()?;
+        let name = self.expect_ident()?;
+        let array = if self.eat_punct("[") {
+            let n = self.expect_num()?;
+            self.expect_punct("]")?;
+            Some(n as u32)
+        } else {
+            None
+        };
+        let init = if self.eat_punct("=") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        self.expect_punct(";")?;
+        Ok(Stmt::Decl { ty, name, array, init })
+    }
+
+    fn parse_expr(&mut self) -> PResult<Expr> {
+        self.parse_assign()
+    }
+
+    fn parse_assign(&mut self) -> PResult<Expr> {
+        let lhs = self.parse_ternary()?;
+        for (tok, op) in [
+            ("=", None),
+            ("+=", Some("+")),
+            ("-=", Some("-")),
+            ("*=", Some("*")),
+            ("/=", Some("/")),
+            ("%=", Some("%")),
+            ("&=", Some("&")),
+            ("|=", Some("|")),
+            ("^=", Some("^")),
+            ("<<=", Some("<<")),
+            (">>=", Some(">>")),
+        ] {
+            if self.eat_punct(tok) {
+                let rhs = self.parse_assign()?;
+                return Ok(Expr::Assign(op, Box::new(lhs), Box::new(rhs)));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn parse_ternary(&mut self) -> PResult<Expr> {
+        let c = self.parse_bin(0)?;
+        if self.eat_punct("?") {
+            let a = self.parse_expr()?;
+            self.expect_punct(":")?;
+            let b = self.parse_ternary()?;
+            return Ok(Expr::Ternary(Box::new(c), Box::new(a), Box::new(b)));
+        }
+        Ok(c)
+    }
+
+    fn parse_bin(&mut self, min_prec: u8) -> PResult<Expr> {
+        const LEVELS: &[&[&str]] = &[
+            &["||"],
+            &["&&"],
+            &["|"],
+            &["^"],
+            &["&"],
+            &["==", "!="],
+            &["<", "<=", ">", ">="],
+            &["<<", ">>"],
+            &["+", "-"],
+            &["*", "/", "%"],
+        ];
+        if min_prec as usize >= LEVELS.len() {
+            return self.parse_unary();
+        }
+        let mut lhs = self.parse_bin(min_prec + 1)?;
+        loop {
+            let mut matched = None;
+            for op in LEVELS[min_prec as usize] {
+                if *self.peek() == Tok::Punct(op) {
+                    matched = Some(*op);
+                    break;
+                }
+            }
+            let Some(op) = matched else { break };
+            self.bump();
+            let rhs = self.parse_bin(min_prec + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> PResult<Expr> {
+        for op in ["-", "!", "~", "*", "&"] {
+            if *self.peek() == Tok::Punct(op) {
+                self.bump();
+                let e = self.parse_unary()?;
+                return Ok(Expr::Un(op, Box::new(e)));
+            }
+        }
+        if self.eat_punct("++") {
+            let lv = self.parse_unary()?;
+            return Ok(Expr::IncDec { pre: true, inc: true, lv: Box::new(lv) });
+        }
+        if self.eat_punct("--") {
+            let lv = self.parse_unary()?;
+            return Ok(Expr::IncDec { pre: true, inc: false, lv: Box::new(lv) });
+        }
+        if *self.peek() == Tok::Kw("sizeof") {
+            self.bump();
+            if *self.peek() == Tok::Punct("(") {
+                // Could be sizeof(type) or sizeof(expr).
+                let save = self.pos;
+                self.bump();
+                if self.is_type_start() {
+                    let ty = self.parse_type()?;
+                    let array = if self.eat_punct("[") {
+                        let n = self.expect_num()?;
+                        self.expect_punct("]")?;
+                        Some(n as u32)
+                    } else {
+                        None
+                    };
+                    self.expect_punct(")")?;
+                    return Ok(Expr::SizeofType(ty, array));
+                }
+                self.pos = save;
+            }
+            let e = self.parse_unary()?;
+            return Ok(Expr::SizeofExpr(Box::new(e)));
+        }
+        // Cast: `(type) expr`.
+        if *self.peek() == Tok::Punct("(") {
+            let save = self.pos;
+            self.bump();
+            if self.is_type_start() {
+                let ty = self.parse_type()?;
+                if self.eat_punct(")") {
+                    let e = self.parse_unary()?;
+                    return Ok(Expr::Cast(ty, Box::new(e)));
+                }
+            }
+            self.pos = save;
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> PResult<Expr> {
+        let mut e = self.parse_primary()?;
+        loop {
+            if self.eat_punct("[") {
+                let i = self.parse_expr()?;
+                self.expect_punct("]")?;
+                e = Expr::Index(Box::new(e), Box::new(i));
+            } else if self.eat_punct(".") {
+                let f = self.expect_ident()?;
+                e = Expr::Member(Box::new(e), f, false);
+            } else if self.eat_punct("->") {
+                let f = self.expect_ident()?;
+                e = Expr::Member(Box::new(e), f, true);
+            } else if self.eat_punct("++") {
+                e = Expr::IncDec { pre: false, inc: true, lv: Box::new(e) };
+            } else if self.eat_punct("--") {
+                e = Expr::IncDec { pre: false, inc: false, lv: Box::new(e) };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_args(&mut self) -> PResult<Vec<Expr>> {
+        let mut args = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                args.push(self.parse_expr()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+        }
+        Ok(args)
+    }
+
+    fn parse_primary(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Num(n) => Ok(Expr::Num(n)),
+            Tok::Char(c) => Ok(Expr::Num(c)),
+            Tok::Str(s) => Ok(Expr::Str(s)),
+            Tok::Ident(name) => {
+                if self.eat_punct("(") {
+                    if name == "__icall" {
+                        let mut args = self.parse_args()?;
+                        if args.is_empty() {
+                            return self.err("__icall needs a target");
+                        }
+                        let target = args.remove(0);
+                        return Ok(Expr::ICall(Box::new(target), args));
+                    }
+                    let args = self.parse_args()?;
+                    return Ok(Expr::Call(name, args));
+                }
+                Ok(Expr::Ident(name))
+            }
+            Tok::Punct("(") => {
+                let e = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => Err(ParseError { msg: format!("expected expression, found {other}"), line }),
+        }
+    }
+}
+
+/// Parse a full translation unit.
+///
+/// # Errors
+/// Returns a [`ParseError`] describing the first syntax error.
+pub fn parse(src: &str) -> Result<Unit, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.parse_unit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_with_control_flow() {
+        let unit = parse(
+            r#"
+            int fib(int n) {
+                if (n < 2) return n;
+                return fib(n - 1) + fib(n - 2);
+            }
+            int main() {
+                int i;
+                int acc = 0;
+                for (i = 0; i < 10; i++) acc += fib(i);
+                while (acc > 100) acc -= 3;
+                return acc;
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(unit.funcs.len(), 2);
+        assert_eq!(unit.funcs[0].name, "fib");
+        assert_eq!(unit.funcs[1].params.len(), 0);
+    }
+
+    #[test]
+    fn parses_structs_globals_and_arrays() {
+        let unit = parse(
+            r#"
+            struct point { int x; int y; int tags[4]; };
+            int table[16];
+            char msg[8] = "hi";
+            int seed = 0x1234;
+            int weights[3] = { 1, -2, 3 };
+            int use(struct point *p) { return p->x + p->tags[1]; }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(unit.structs.len(), 1);
+        assert_eq!(unit.structs[0].fields.len(), 3);
+        assert_eq!(unit.globals.len(), 4);
+        assert!(matches!(unit.globals[3].init, Some(Init::List(ref l)) if l.len() == 3));
+    }
+
+    #[test]
+    fn parses_switch_and_sizeof() {
+        let unit = parse(
+            r#"
+            int classify(int c) {
+                switch (c) {
+                    case 0: return 10;
+                    case 1:
+                    case 2: return 20;
+                    default: return sizeof(int[4]);
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let Stmt::Switch(_, arms) = &unit.funcs[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(arms.len(), 4);
+        assert_eq!(arms[3].0, None);
+    }
+
+    #[test]
+    fn parses_pointers_casts_and_icall() {
+        let unit = parse(
+            r#"
+            int add(int a, int b) { return a + b; }
+            int main() {
+                int fp = (int)&add;
+                int *p;
+                char c = (char)300;
+                return __icall(fp, 1, 2) + c + *p;
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(unit.funcs.len(), 2);
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        // 1 + 2 * 3 == 7 shape: Bin("+", 1, Bin("*", 2, 3))
+        let unit = parse("int f() { return 1 + 2 * 3; }").unwrap();
+        let Stmt::Return(Some(Expr::Bin("+", _, rhs))) = &unit.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(**rhs, Expr::Bin("*", _, _)));
+    }
+
+    #[test]
+    fn ternary_and_logical() {
+        parse("int f(int x) { return x > 0 && x < 10 ? x : -x; }").unwrap();
+        parse("int g(int x) { return x || x && x; }").unwrap();
+    }
+
+    #[test]
+    fn do_while_and_incdec() {
+        let unit = parse("int f() { int i = 0; do { i++; } while (i < 3); return --i; }").unwrap();
+        assert!(matches!(unit.funcs[0].body[1], Stmt::DoWhile(..)));
+    }
+
+    #[test]
+    fn error_reporting_has_lines() {
+        let e = parse("int f() {\n  return 1 +;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

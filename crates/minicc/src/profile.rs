@@ -1,0 +1,162 @@
+//! Compiler profiles: the knobs that make one binary look like GCC 4.4
+//! output and another like Clang 16 output.
+//!
+//! The paper evaluates WYTIWYG on SPECint binaries built by GCC 12.2 -O3,
+//! GCC 12.2 -O0, Clang 16 -O3 and GCC 4.4 -O3. Each profile below enables
+//! the code-generation behaviours that distinguish those vintages *as far
+//! as stack-layout recovery is concerned*: frame-pointer omission, register
+//! allocation quality, operand fusion, pointer-based loop rewriting (the
+//! paper's Fig. 3 hazard), tail calls, custom conventions for internal
+//! functions, vectorized copies, and PIC jump tables.
+
+/// Code generation configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// Human-readable name used in reports (e.g. `"GCC 12.2 -O3"`).
+    pub name: &'static str,
+    /// Master optimization switch.
+    pub opt: bool,
+    /// Maintain `ebp` as a frame pointer.
+    pub frame_pointer: bool,
+    /// Number of callee-saved registers available for register-allocated
+    /// locals (0–3: `ebx`, `esi`, `edi`).
+    pub reg_locals: u8,
+    /// Fuse simple operands into ALU instructions instead of push/pop
+    /// temporaries.
+    pub fuse_simple_operands: bool,
+    /// Fold constants and apply simple strength reduction in the HIR.
+    pub const_fold: bool,
+    /// Inline single-`return` functions whose body costs at most this many
+    /// HIR nodes (0 disables inlining).
+    pub inline_threshold: u32,
+    /// Rewrite counted `for` loops over local arrays into pointer-increment
+    /// loops with an end pointer (paper Fig. 3).
+    pub ptr_loops: bool,
+    /// Emit tail calls (`jmp` in place of `call`+`ret`) when frames allow.
+    pub tail_calls: bool,
+    /// Copy structs with the 8-byte `vmov` (stands in for SSE block moves).
+    pub vmov_copy: bool,
+    /// Pass the first two arguments of `static` functions in `ecx`/`edx`
+    /// (a custom internal convention — the ABI deviation of §4.1).
+    pub regparm_static: bool,
+    /// Lower dense switches through jump tables.
+    pub jump_tables: bool,
+    /// Position independent code: jump tables hold relative entries and no
+    /// absolute-address relocations are recorded.
+    pub pic: bool,
+}
+
+impl Profile {
+    /// GCC 12.2 `-O3`: modern, aggressive.
+    pub fn gcc12_o3() -> Profile {
+        Profile {
+            name: "GCC 12.2 -O3",
+            opt: true,
+            frame_pointer: false,
+            reg_locals: 3,
+            fuse_simple_operands: true,
+            const_fold: true,
+            inline_threshold: 16,
+            ptr_loops: true,
+            tail_calls: true,
+            vmov_copy: true,
+            regparm_static: true,
+            jump_tables: true,
+            pic: true,
+        }
+    }
+
+    /// GCC 12.2 `-O0`: everything through memory.
+    pub fn gcc12_o0() -> Profile {
+        Profile {
+            name: "GCC 12.2 -O0",
+            opt: false,
+            frame_pointer: true,
+            reg_locals: 0,
+            fuse_simple_operands: false,
+            const_fold: false,
+            inline_threshold: 0,
+            ptr_loops: false,
+            tail_calls: false,
+            vmov_copy: false,
+            regparm_static: false,
+            jump_tables: false,
+            pic: true,
+        }
+    }
+
+    /// Clang 16 `-O3`: modern with different tie-breaking than GCC 12.
+    pub fn clang16_o3() -> Profile {
+        Profile {
+            name: "Clang 16 -O3",
+            opt: true,
+            frame_pointer: true, // keeps a frame pointer where GCC drops it
+            reg_locals: 3,
+            fuse_simple_operands: true,
+            const_fold: true,
+            inline_threshold: 24,
+            ptr_loops: true,
+            tail_calls: true,
+            vmov_copy: true,
+            regparm_static: false,
+            jump_tables: true,
+            pic: true,
+        }
+    }
+
+    /// GCC 4.4 `-O3`: a 2009-era optimizer — frame pointers, a single
+    /// register-allocated local, no operand fusion, index-based loops, no
+    /// SSE-style copies. The paper shows WYTIWYG re-optimizes such legacy
+    /// binaries by 1.22x on average.
+    pub fn gcc44_o3() -> Profile {
+        Profile {
+            name: "GCC 4.4 -O3",
+            opt: true,
+            frame_pointer: true,
+            reg_locals: 1,
+            fuse_simple_operands: false,
+            const_fold: true,
+            inline_threshold: 0,
+            ptr_loops: false,
+            tail_calls: false,
+            vmov_copy: false,
+            regparm_static: false,
+            jump_tables: true,
+            pic: true,
+        }
+    }
+
+    /// GCC 4.4 `-O3 -fno-pic`: as above with absolute jump tables (the
+    /// only configuration SecondWrite-style static lifters handle).
+    pub fn gcc44_o3_nopic() -> Profile {
+        Profile { name: "GCC 4.4 -O3 -fno-pic", pic: false, ..Profile::gcc44_o3() }
+    }
+
+    /// All evaluation profiles in the paper's Table 1 order.
+    pub fn table1() -> Vec<Profile> {
+        vec![
+            Profile::gcc12_o3(),
+            Profile::gcc12_o0(),
+            Profile::clang16_o3(),
+            Profile::gcc44_o3(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_differ_where_it_matters() {
+        let modern = Profile::gcc12_o3();
+        let legacy = Profile::gcc44_o3();
+        let debug = Profile::gcc12_o0();
+        assert!(!modern.frame_pointer && legacy.frame_pointer);
+        assert!(modern.vmov_copy && !legacy.vmov_copy);
+        assert!(modern.reg_locals > legacy.reg_locals);
+        assert!(!debug.opt);
+        assert!(!Profile::gcc44_o3_nopic().pic);
+        assert_eq!(Profile::table1().len(), 4);
+    }
+}

@@ -1,0 +1,1369 @@
+//! Semantic analysis: name resolution, struct layout, typing, and
+//! desugaring into a typed HIR that the code generator consumes.
+//!
+//! The HIR makes every memory access explicit (`Load`, `Target::Mem`),
+//! scales pointer arithmetic, decays arrays, and resolves calls to user
+//! functions, externals, or indirect targets.
+
+use crate::ast::{self, Expr, Init, Stmt, TypeName, Unit};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A semantic error.
+#[derive(Debug, Clone)]
+pub struct SemaError {
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+type SResult<T> = Result<T, SemaError>;
+
+fn err<T>(msg: impl Into<String>) -> SResult<T> {
+    Err(SemaError { msg: msg.into() })
+}
+
+/// A resolved type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// 32-bit signed integer.
+    Int,
+    /// 8-bit signed integer.
+    Char,
+    /// 16-bit signed integer.
+    Short,
+    /// No value.
+    Void,
+    /// Pointer.
+    Ptr(Box<Ty>),
+    /// Fixed-size array.
+    Array(Box<Ty>, u32),
+    /// Struct by index into [`Program::structs`].
+    Struct(usize),
+}
+
+impl Ty {
+    /// Size in bytes (structs resolved through `structs`).
+    pub fn size(&self, structs: &[StructTy]) -> u32 {
+        match self {
+            Ty::Int | Ty::Ptr(_) => 4,
+            Ty::Char => 1,
+            Ty::Short => 2,
+            Ty::Void => 0,
+            Ty::Array(t, n) => t.size(structs) * n,
+            Ty::Struct(i) => structs[*i].size,
+        }
+    }
+
+    /// Alignment in bytes.
+    pub fn align(&self, structs: &[StructTy]) -> u32 {
+        match self {
+            Ty::Int | Ty::Ptr(_) => 4,
+            Ty::Char => 1,
+            Ty::Short => 2,
+            Ty::Void => 1,
+            Ty::Array(t, _) => t.align(structs),
+            Ty::Struct(i) => structs[*i].align,
+        }
+    }
+
+    /// `true` for pointer or array types.
+    pub fn is_ptr_like(&self) -> bool {
+        matches!(self, Ty::Ptr(_) | Ty::Array(..))
+    }
+
+    /// Element type of a pointer or array.
+    pub fn elem(&self) -> Option<&Ty> {
+        match self {
+            Ty::Ptr(t) => Some(t),
+            Ty::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Array-to-pointer decay (identity for other types).
+    pub fn decayed(&self) -> Ty {
+        match self {
+            Ty::Array(t, _) => Ty::Ptr(t.clone()),
+            other => other.clone(),
+        }
+    }
+
+    /// `true` for scalar value types (fits a register).
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Ty::Int | Ty::Char | Ty::Short | Ty::Ptr(_))
+    }
+}
+
+/// A laid-out struct field.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: Ty,
+    /// Byte offset within the struct.
+    pub offset: u32,
+}
+
+/// A laid-out struct type.
+#[derive(Debug, Clone)]
+pub struct StructTy {
+    /// Struct tag.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<Field>,
+    /// Total size (padded to alignment).
+    pub size: u32,
+    /// Alignment.
+    pub align: u32,
+}
+
+/// A global variable, laid out in the data segment.
+#[derive(Debug, Clone)]
+pub struct GlobalVar {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Ty,
+    /// Byte offset within [`Program::global_data`].
+    pub data_off: u32,
+}
+
+/// A local variable or parameter.
+#[derive(Debug, Clone)]
+pub struct Local {
+    /// Source name.
+    pub name: String,
+    /// Type.
+    pub ty: Ty,
+    /// Whether the variable's address escapes into a pointer (`&x`, arrays,
+    /// structs). Address-taken locals must live in memory.
+    pub addr_taken: bool,
+}
+
+/// Binary operator in the HIR (all 32-bit, signed where it matters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BK {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (signed)
+    Div,
+    /// `%` (signed)
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic)
+    Shr,
+}
+
+/// Comparison operator (signed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CK {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Assignment / read target.
+#[derive(Debug, Clone)]
+pub enum Target {
+    /// A local by index.
+    Local(usize),
+    /// A parameter by index.
+    Param(usize),
+    /// Memory at a computed address with the given access type.
+    Mem(Box<TExpr>, Ty),
+}
+
+/// Call target.
+#[derive(Debug, Clone)]
+pub enum Callee {
+    /// User function by index.
+    Func(usize),
+    /// External (emulated libc) function by name.
+    Ext(String),
+    /// Indirect call through a code-address value.
+    Ind(Box<TExpr>),
+}
+
+/// A typed expression.
+#[derive(Debug, Clone)]
+pub struct TExpr {
+    /// Result type. Array- and struct-typed expressions evaluate to their
+    /// *address* (aggregates are address-valued by convention).
+    pub ty: Ty,
+    /// Node kind.
+    pub kind: TK,
+}
+
+/// Typed expression kinds.
+#[derive(Debug, Clone)]
+pub enum TK {
+    /// Integer constant.
+    Const(i32),
+    /// Address of a byte offset in the data segment (string literals).
+    DataAddr(u32),
+    /// Address of a global.
+    GlobalAddr(usize),
+    /// Address of a local slot.
+    LocalAddr(usize),
+    /// Address of a parameter slot.
+    ParamAddr(usize),
+    /// Code address of a user function.
+    FuncAddr(usize),
+    /// Read a scalar local.
+    ReadLocal(usize),
+    /// Read a scalar parameter.
+    ReadParam(usize),
+    /// Binary arithmetic (pointer scaling already applied).
+    Bin(BK, Box<TExpr>, Box<TExpr>),
+    /// Comparison producing 0/1.
+    Cmp(CK, Box<TExpr>, Box<TExpr>),
+    /// Short-circuit `&&`.
+    LogAnd(Box<TExpr>, Box<TExpr>),
+    /// Short-circuit `||`.
+    LogOr(Box<TExpr>, Box<TExpr>),
+    /// `!e`.
+    LogNot(Box<TExpr>),
+    /// `-e`.
+    Neg(Box<TExpr>),
+    /// `~e`.
+    BitNot(Box<TExpr>),
+    /// `c ? a : b`.
+    Cond(Box<TExpr>, Box<TExpr>, Box<TExpr>),
+    /// Load a scalar of the given access type from an address.
+    Load(Box<TExpr>, Ty),
+    /// Assignment; evaluates to the stored value. `op` marks compound
+    /// assignment.
+    Assign {
+        /// Where to store.
+        target: Target,
+        /// Compound operator, if any.
+        op: Option<BK>,
+        /// Right-hand side.
+        rhs: Box<TExpr>,
+    },
+    /// `++`/`--` on a target; `delta` is 1 or the pointee size.
+    IncDec {
+        /// Where to bump.
+        target: Target,
+        /// Increment (vs decrement).
+        inc: bool,
+        /// Prefix form (result is new value).
+        pre: bool,
+        /// Step magnitude.
+        delta: i32,
+    },
+    /// Function call.
+    Call {
+        /// Callee.
+        callee: Callee,
+        /// Arguments (scalars; aggregates are passed by pointer in this
+        /// language).
+        args: Vec<TExpr>,
+    },
+    /// Copy `size` bytes from `src` to `dst` (struct assignment).
+    StructCopy {
+        /// Destination address.
+        dst: Box<TExpr>,
+        /// Source address.
+        src: Box<TExpr>,
+        /// Byte count.
+        size: u32,
+    },
+    /// Evaluate `effects` left to right for their side effects, then yield
+    /// the last expression (introduced by the inliner; like C's comma).
+    Seq(Vec<TExpr>, Box<TExpr>),
+    /// Narrowing conversion (sign-extend the low bytes of the operand).
+    Conv {
+        /// Target scalar type.
+        to: Ty,
+        /// Operand.
+        e: Box<TExpr>,
+    },
+}
+
+/// A typed statement.
+#[derive(Debug, Clone)]
+pub enum TStmt {
+    /// Evaluate for side effects.
+    Expr(TExpr),
+    /// `if`.
+    If(TExpr, Vec<TStmt>, Vec<TStmt>),
+    /// `while`.
+    While(TExpr, Vec<TStmt>),
+    /// `do..while`.
+    DoWhile(Vec<TStmt>, TExpr),
+    /// `for`.
+    For(Option<Box<TStmt>>, Option<TExpr>, Option<TExpr>, Vec<TStmt>),
+    /// `switch`.
+    Switch(TExpr, Vec<(Option<i32>, Vec<TStmt>)>),
+    /// `return`.
+    Return(Option<TExpr>),
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// Nested scope (already flattened for locals).
+    Block(Vec<TStmt>),
+    /// Nothing.
+    Nop,
+}
+
+/// A typed function.
+#[derive(Debug, Clone)]
+pub struct Func {
+    /// Name.
+    pub name: String,
+    /// Internal linkage.
+    pub is_static: bool,
+    /// Return type.
+    pub ret: Ty,
+    /// Parameters.
+    pub params: Vec<Local>,
+    /// Locals (flattened across scopes; unique per declaration).
+    pub locals: Vec<Local>,
+    /// Body.
+    pub body: Vec<TStmt>,
+}
+
+/// A fully analyzed program.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Struct types.
+    pub structs: Vec<StructTy>,
+    /// Globals.
+    pub globals: Vec<GlobalVar>,
+    /// Initial data segment contents (globals + string literals).
+    pub global_data: Vec<u8>,
+    /// Functions.
+    pub funcs: Vec<Func>,
+}
+
+impl Program {
+    /// Size of `ty` in this program.
+    pub fn size_of(&self, ty: &Ty) -> u32 {
+        ty.size(&self.structs)
+    }
+
+    /// Function index by name.
+    pub fn func_index(&self, name: &str) -> Option<usize> {
+        self.funcs.iter().position(|f| f.name == name)
+    }
+}
+
+struct FuncSig {
+    ret: Ty,
+    params: Vec<Ty>,
+}
+
+struct Checker {
+    structs: Vec<StructTy>,
+    struct_idx: HashMap<String, usize>,
+    globals: Vec<GlobalVar>,
+    global_idx: HashMap<String, usize>,
+    data: Vec<u8>,
+    sigs: HashMap<String, (usize, FuncSig)>,
+    // Current function state.
+    locals: Vec<Local>,
+    params: Vec<Local>,
+    scopes: Vec<HashMap<String, ScopeEntry>>,
+}
+
+#[derive(Clone, Copy)]
+enum ScopeEntry {
+    Local(usize),
+    Param(usize),
+}
+
+const EXTERNALS: &[&str] = &[
+    "printf", "putchar", "puts", "getchar", "read_bytes", "malloc", "calloc", "free", "realloc",
+    "memcpy", "memset", "memmove", "strlen", "strcpy", "strcmp", "strchr", "exit", "abort",
+];
+
+impl Checker {
+    fn resolve_type(&mut self, t: &TypeName) -> SResult<Ty> {
+        Ok(match t {
+            TypeName::Int => Ty::Int,
+            TypeName::Char => Ty::Char,
+            TypeName::Short => Ty::Short,
+            TypeName::Void => Ty::Void,
+            TypeName::Struct(name) => match self.struct_idx.get(name) {
+                Some(&i) => Ty::Struct(i),
+                None => return err(format!("unknown struct `{name}`")),
+            },
+            TypeName::Ptr(inner) => {
+                // Allow pointers to not-yet-complete structs.
+                if let TypeName::Struct(name) = &**inner {
+                    if !self.struct_idx.contains_key(name) {
+                        let idx = self.structs.len();
+                        self.struct_idx.insert(name.clone(), idx);
+                        self.structs.push(StructTy {
+                            name: name.clone(),
+                            fields: Vec::new(),
+                            size: 0,
+                            align: 1,
+                        });
+                    }
+                }
+                Ty::Ptr(Box::new(self.resolve_type(inner)?))
+            }
+        })
+    }
+
+    fn layout_struct(&mut self, def: &ast::StructDef) -> SResult<()> {
+        let idx = match self.struct_idx.get(&def.name) {
+            Some(&i) => i,
+            None => {
+                let i = self.structs.len();
+                self.struct_idx.insert(def.name.clone(), i);
+                self.structs.push(StructTy {
+                    name: def.name.clone(),
+                    fields: Vec::new(),
+                    size: 0,
+                    align: 1,
+                });
+                i
+            }
+        };
+        let mut fields = Vec::new();
+        let mut off = 0u32;
+        let mut align = 1u32;
+        for (tname, fname, arr) in &def.fields {
+            let mut ty = self.resolve_type(tname)?;
+            if let Some(n) = arr {
+                ty = Ty::Array(Box::new(ty), *n);
+            }
+            let fa = ty.align(&self.structs);
+            let fs = ty.size(&self.structs);
+            off = (off + fa - 1) & !(fa - 1);
+            fields.push(Field { name: fname.clone(), ty, offset: off });
+            off += fs;
+            align = align.max(fa);
+        }
+        let size = (off + align - 1) & !(align - 1);
+        let s = &mut self.structs[idx];
+        if !s.fields.is_empty() {
+            return err(format!("struct `{}` defined twice", def.name));
+        }
+        s.fields = fields;
+        s.size = size.max(1);
+        s.align = align;
+        Ok(())
+    }
+
+    fn add_string(&mut self, s: &[u8]) -> u32 {
+        let off = self.data.len() as u32;
+        self.data.extend_from_slice(s);
+        self.data.push(0);
+        off
+    }
+
+    fn layout_global(&mut self, g: &ast::GlobalDef) -> SResult<()> {
+        let mut ty = self.resolve_type(&g.ty)?;
+        if let Some(n) = g.array {
+            ty = Ty::Array(Box::new(ty), n);
+        }
+        let align = ty.align(&self.structs).max(4);
+        while self.data.len() as u32 % align != 0 {
+            self.data.push(0);
+        }
+        let data_off = self.data.len() as u32;
+        let size = ty.size(&self.structs);
+        let mut bytes = vec![0u8; size as usize];
+        match &g.init {
+            None => {}
+            Some(Init::Num(n)) => {
+                let elem = ty.clone();
+                write_scalar(&mut bytes, 0, *n, &elem, &self.structs)?;
+            }
+            Some(Init::List(list)) => {
+                let elem = match &ty {
+                    Ty::Array(e, n) => {
+                        if list.len() as u32 > *n {
+                            return err(format!("too many initializers for `{}`", g.name));
+                        }
+                        (**e).clone()
+                    }
+                    _ => return err(format!("list initializer for non-array `{}`", g.name)),
+                };
+                let es = elem.size(&self.structs);
+                for (i, v) in list.iter().enumerate() {
+                    write_scalar(&mut bytes, i as u32 * es, *v, &elem, &self.structs)?;
+                }
+            }
+            Some(Init::Str(s)) => match &ty {
+                Ty::Array(e, n) if **e == Ty::Char => {
+                    if s.len() as u32 + 1 > *n {
+                        return err(format!("string too long for `{}`", g.name));
+                    }
+                    bytes[..s.len()].copy_from_slice(s);
+                }
+                Ty::Ptr(e) if **e == Ty::Char => {
+                    // Pointer to a string literal: emit the literal first,
+                    // then point at it. The literal lands *before* this
+                    // global's slot, so pre-reserve.
+                    let lit = self.add_string(s);
+                    // data grew; recompute our slot at the (new) end.
+                    let align2 = 4;
+                    while self.data.len() as u32 % align2 != 0 {
+                        self.data.push(0);
+                    }
+                    let slot = self.data.len() as u32;
+                    let addr = wyt_isa::image::DATA_BASE + lit;
+                    self.data.extend_from_slice(&addr.to_le_bytes());
+                    self.globals.push(GlobalVar { name: g.name.clone(), ty, data_off: slot });
+                    self.global_idx.insert(g.name.clone(), self.globals.len() - 1);
+                    return Ok(());
+                }
+                _ => return err(format!("string initializer for non-char `{}`", g.name)),
+            },
+        }
+        self.data.extend_from_slice(&bytes);
+        self.globals.push(GlobalVar { name: g.name.clone(), ty, data_off });
+        self.global_idx.insert(g.name.clone(), self.globals.len() - 1);
+        Ok(())
+    }
+
+    // ---- function bodies ----
+
+    fn lookup(&self, name: &str) -> Option<ScopeEntry> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(e) = scope.get(name) {
+                return Some(*e);
+            }
+        }
+        None
+    }
+
+    fn declare_local(&mut self, name: &str, ty: Ty) -> usize {
+        let idx = self.locals.len();
+        let aggregate = !ty.is_scalar();
+        self.locals.push(Local { name: name.to_string(), ty, addr_taken: aggregate });
+        self.scopes.last_mut().expect("scope").insert(name.to_string(), ScopeEntry::Local(idx));
+        idx
+    }
+
+    fn check_stmts(&mut self, stmts: &[Stmt]) -> SResult<Vec<TStmt>> {
+        stmts.iter().map(|s| self.check_stmt(s)).collect()
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) -> SResult<TStmt> {
+        Ok(match s {
+            Stmt::Empty => TStmt::Nop,
+            Stmt::Expr(e) => TStmt::Expr(self.check_expr(e)?),
+            Stmt::Decl { ty, name, array, init } => {
+                let mut t = self.resolve_type(ty)?;
+                if let Some(n) = array {
+                    t = Ty::Array(Box::new(t), *n);
+                }
+                let idx = self.declare_local(name, t.clone());
+                match init {
+                    None => TStmt::Nop,
+                    Some(e) => {
+                        let rhs = self.check_expr(e)?;
+                        if t.is_scalar() {
+                            let rhs = self.coerce_store(rhs, &t);
+                            TStmt::Expr(TExpr {
+                                ty: t,
+                                kind: TK::Assign {
+                                    target: Target::Local(idx),
+                                    op: None,
+                                    rhs: Box::new(rhs),
+                                },
+                            })
+                        } else {
+                            return err(format!("aggregate initializer for local `{name}` unsupported"));
+                        }
+                    }
+                }
+            }
+            Stmt::If(c, t, e) => {
+                let c = self.check_expr(c)?;
+                self.scopes.push(HashMap::new());
+                let t = vec![self.check_stmt(t)?];
+                self.scopes.pop();
+                let e = match e {
+                    Some(e) => {
+                        self.scopes.push(HashMap::new());
+                        let r = vec![self.check_stmt(e)?];
+                        self.scopes.pop();
+                        r
+                    }
+                    None => Vec::new(),
+                };
+                TStmt::If(c, t, e)
+            }
+            Stmt::While(c, body) => {
+                let c = self.check_expr(c)?;
+                self.scopes.push(HashMap::new());
+                let body = vec![self.check_stmt(body)?];
+                self.scopes.pop();
+                TStmt::While(c, body)
+            }
+            Stmt::DoWhile(body, c) => {
+                self.scopes.push(HashMap::new());
+                let body = vec![self.check_stmt(body)?];
+                self.scopes.pop();
+                TStmt::DoWhile(body, self.check_expr(c)?)
+            }
+            Stmt::For(init, cond, step, body) => {
+                self.scopes.push(HashMap::new());
+                let init = match init {
+                    Some(s) => Some(Box::new(self.check_stmt(s)?)),
+                    None => None,
+                };
+                let cond = cond.as_ref().map(|c| self.check_expr(c)).transpose()?;
+                let step = step.as_ref().map(|c| self.check_expr(c)).transpose()?;
+                let body = vec![self.check_stmt(body)?];
+                self.scopes.pop();
+                TStmt::For(init, cond, step, body)
+            }
+            Stmt::Switch(scrut, arms) => {
+                let scrut = self.check_expr(scrut)?;
+                let mut tarms = Vec::new();
+                for (label, body) in arms {
+                    self.scopes.push(HashMap::new());
+                    let b = self.check_stmts(body)?;
+                    self.scopes.pop();
+                    tarms.push((*label, b));
+                }
+                TStmt::Switch(scrut, tarms)
+            }
+            Stmt::Return(v) => TStmt::Return(v.as_ref().map(|e| self.check_expr(e)).transpose()?),
+            Stmt::Break => TStmt::Break,
+            Stmt::Continue => TStmt::Continue,
+            Stmt::Block(body) => {
+                self.scopes.push(HashMap::new());
+                let b = self.check_stmts(body)?;
+                self.scopes.pop();
+                TStmt::Block(b)
+            }
+        })
+    }
+
+    /// Apply C assignment semantics for narrow types: storing to char/short
+    /// truncates; reading back sign-extends. For register-allocated locals
+    /// the code generator relies on the `Conv` node emitted here.
+    fn coerce_store(&self, rhs: TExpr, to: &Ty) -> TExpr {
+        match to {
+            Ty::Char | Ty::Short => TExpr {
+                ty: to.clone(),
+                kind: TK::Conv { to: to.clone(), e: Box::new(rhs) },
+            },
+            _ => rhs,
+        }
+    }
+
+    /// Compute the lvalue target of an expression.
+    fn check_target(&mut self, e: &Expr) -> SResult<(Target, Ty)> {
+        match e {
+            Expr::Ident(name) => match self.lookup(name) {
+                Some(ScopeEntry::Local(i)) => {
+                    let ty = self.locals[i].ty.clone();
+                    if ty.is_scalar() {
+                        Ok((Target::Local(i), ty))
+                    } else {
+                        err(format!("cannot assign aggregate `{name}` directly"))
+                    }
+                }
+                Some(ScopeEntry::Param(i)) => {
+                    let ty = self.params[i].ty.clone();
+                    Ok((Target::Param(i), ty))
+                }
+                None => match self.global_idx.get(name) {
+                    Some(&gi) => {
+                        let ty = self.globals[gi].ty.clone();
+                        if !ty.is_scalar() {
+                            return err(format!("cannot assign aggregate global `{name}`"));
+                        }
+                        let addr = TExpr { ty: Ty::Ptr(Box::new(ty.clone())), kind: TK::GlobalAddr(gi) };
+                        Ok((Target::Mem(Box::new(addr), ty.clone()), ty))
+                    }
+                    None => err(format!("unknown variable `{name}`")),
+                },
+            },
+            _ => {
+                // General lvalue: compute its address.
+                let (addr, ty) = self.lvalue_addr(e)?;
+                if !ty.is_scalar() {
+                    return err("cannot assign to aggregate lvalue".to_string());
+                }
+                Ok((Target::Mem(Box::new(addr), ty.clone()), ty))
+            }
+        }
+    }
+
+    /// Compute the address of an lvalue expression, marking locals as
+    /// address-taken.
+    fn lvalue_addr(&mut self, e: &Expr) -> SResult<(TExpr, Ty)> {
+        match e {
+            Expr::Ident(name) => match self.lookup(name) {
+                Some(ScopeEntry::Local(i)) => {
+                    self.locals[i].addr_taken = true;
+                    let ty = self.locals[i].ty.clone();
+                    Ok((
+                        TExpr { ty: Ty::Ptr(Box::new(ty.clone())), kind: TK::LocalAddr(i) },
+                        ty,
+                    ))
+                }
+                Some(ScopeEntry::Param(i)) => {
+                    self.params[i].addr_taken = true;
+                    let ty = self.params[i].ty.clone();
+                    Ok((
+                        TExpr { ty: Ty::Ptr(Box::new(ty.clone())), kind: TK::ParamAddr(i) },
+                        ty,
+                    ))
+                }
+                None => match self.global_idx.get(name) {
+                    Some(&gi) => {
+                        let ty = self.globals[gi].ty.clone();
+                        Ok((
+                            TExpr { ty: Ty::Ptr(Box::new(ty.clone())), kind: TK::GlobalAddr(gi) },
+                            ty,
+                        ))
+                    }
+                    None => match self.sigs.get(name) {
+                        // `&f` — address of a function.
+                        Some((fi, _)) => {
+                            Ok((TExpr { ty: Ty::Int, kind: TK::FuncAddr(*fi) }, Ty::Int))
+                        }
+                        None => err(format!("unknown variable `{name}`")),
+                    },
+                },
+            },
+            Expr::Un("*", inner) => {
+                let p = self.check_expr(inner)?;
+                let ty = match p.ty.elem() {
+                    Some(t) => t.clone(),
+                    None => return err("dereference of non-pointer"),
+                };
+                Ok((p, ty))
+            }
+            Expr::Index(a, i) => {
+                let base = self.check_expr(a)?;
+                let idx = self.check_expr(i)?;
+                let elem = match base.ty.elem() {
+                    Some(t) => t.clone(),
+                    None => return err("indexing non-pointer"),
+                };
+                let es = elem.size(&self.structs);
+                let scaled = scale(idx, es);
+                let addr = TExpr {
+                    ty: Ty::Ptr(Box::new(elem.clone())),
+                    kind: TK::Bin(BK::Add, Box::new(base), Box::new(scaled)),
+                };
+                Ok((addr, elem))
+            }
+            Expr::Member(base, fname, arrow) => {
+                let (base_addr, sty) = if *arrow {
+                    let p = self.check_expr(base)?;
+                    let Some(Ty::Struct(si)) = p.ty.elem().cloned().map(|t| t) else {
+                        return err(format!("`->{fname}` on non-struct-pointer"));
+                    };
+                    (p, si)
+                } else {
+                    let (addr, ty) = self.lvalue_addr(base)?;
+                    let Ty::Struct(si) = ty else {
+                        return err(format!("`.{fname}` on non-struct"));
+                    };
+                    (addr, si)
+                };
+                let field = self.structs[sty]
+                    .fields
+                    .iter()
+                    .find(|f| f.name == *fname)
+                    .cloned()
+                    .ok_or_else(|| SemaError {
+                        msg: format!("no field `{fname}` in struct `{}`", self.structs[sty].name),
+                    })?;
+                let addr = TExpr {
+                    ty: Ty::Ptr(Box::new(field.ty.clone())),
+                    kind: TK::Bin(
+                        BK::Add,
+                        Box::new(base_addr),
+                        Box::new(TExpr { ty: Ty::Int, kind: TK::Const(field.offset as i32) }),
+                    ),
+                };
+                Ok((addr, field.ty))
+            }
+            other => err(format!("expression is not an lvalue: {other:?}")),
+        }
+    }
+
+    fn check_expr(&mut self, e: &Expr) -> SResult<TExpr> {
+        match e {
+            Expr::Num(n) => Ok(TExpr { ty: Ty::Int, kind: TK::Const(*n) }),
+            Expr::Str(s) => {
+                let off = self.add_string(s);
+                Ok(TExpr { ty: Ty::Ptr(Box::new(Ty::Char)), kind: TK::DataAddr(off) })
+            }
+            Expr::Ident(name) => {
+                if let Some(entry) = self.lookup(name) {
+                    return Ok(match entry {
+                        ScopeEntry::Local(i) => {
+                            let ty = self.locals[i].ty.clone();
+                            match &ty {
+                                Ty::Array(..) | Ty::Struct(_) => {
+                                    self.locals[i].addr_taken = true;
+                                    TExpr { ty: ty.clone(), kind: TK::LocalAddr(i) }
+                                }
+                                _ => TExpr { ty, kind: TK::ReadLocal(i) },
+                            }
+                        }
+                        ScopeEntry::Param(i) => {
+                            let ty = self.params[i].ty.clone();
+                            TExpr { ty, kind: TK::ReadParam(i) }
+                        }
+                    });
+                }
+                if let Some(&gi) = self.global_idx.get(name) {
+                    let ty = self.globals[gi].ty.clone();
+                    return Ok(match &ty {
+                        Ty::Array(..) | Ty::Struct(_) => TExpr { ty, kind: TK::GlobalAddr(gi) },
+                        _ => {
+                            let addr =
+                                TExpr { ty: Ty::Ptr(Box::new(ty.clone())), kind: TK::GlobalAddr(gi) };
+                            TExpr { ty: ty.clone(), kind: TK::Load(Box::new(addr), ty) }
+                        }
+                    });
+                }
+                if let Some((fi, _)) = self.sigs.get(name) {
+                    return Ok(TExpr { ty: Ty::Int, kind: TK::FuncAddr(*fi) });
+                }
+                err(format!("unknown identifier `{name}`"))
+            }
+            Expr::Bin(op, a, b) => self.check_bin(op, a, b),
+            Expr::Assign(op, lhs, rhs) => {
+                // Struct assignment? Probe without leaking address-taken
+                // marks if the probe turns out not to be a struct copy.
+                if op.is_none() {
+                    let saved_locals: Vec<bool> = self.locals.iter().map(|l| l.addr_taken).collect();
+                    let saved_params: Vec<bool> = self.params.iter().map(|l| l.addr_taken).collect();
+                    let probe = self.try_aggregate_addr(lhs);
+                    match probe {
+                        Ok((dst, ty @ Ty::Struct(_))) => {
+                            let (src, sty) = self.try_aggregate_addr(rhs)?;
+                            if sty != ty {
+                                return err("struct assignment type mismatch");
+                            }
+                            let size = ty.size(&self.structs);
+                            return Ok(TExpr {
+                                ty: Ty::Void,
+                                kind: TK::StructCopy { dst: Box::new(dst), src: Box::new(src), size },
+                            });
+                        }
+                        _ => {
+                            for (l, s) in self.locals.iter_mut().zip(saved_locals) {
+                                l.addr_taken = s;
+                            }
+                            for (p, s) in self.params.iter_mut().zip(saved_params) {
+                                p.addr_taken = s;
+                            }
+                        }
+                    }
+                }
+                let (target, ty) = self.check_target(lhs)?;
+                let rhs_t = self.check_expr(rhs)?;
+                let bk = op.map(str_to_bk).transpose()?;
+                // Pointer compound += / -= scale.
+                let rhs_t = match (bk, ty.is_ptr_like()) {
+                    (Some(BK::Add) | Some(BK::Sub), true) => {
+                        let es = ty.elem().map(|t| t.size(&self.structs)).unwrap_or(1);
+                        scale(rhs_t, es)
+                    }
+                    _ => rhs_t,
+                };
+                let rhs_t = if bk.is_none() { self.coerce_store(rhs_t, &ty) } else { rhs_t };
+                Ok(TExpr { ty, kind: TK::Assign { target, op: bk, rhs: Box::new(rhs_t) } })
+            }
+            Expr::Un("-", e) => {
+                let t = self.check_expr(e)?;
+                Ok(TExpr { ty: Ty::Int, kind: TK::Neg(Box::new(t)) })
+            }
+            Expr::Un("!", e) => {
+                let t = self.check_expr(e)?;
+                Ok(TExpr { ty: Ty::Int, kind: TK::LogNot(Box::new(t)) })
+            }
+            Expr::Un("~", e) => {
+                let t = self.check_expr(e)?;
+                Ok(TExpr { ty: Ty::Int, kind: TK::BitNot(Box::new(t)) })
+            }
+            Expr::Un("*", inner) => {
+                let (addr, ty) = self.lvalue_addr(e)?;
+                let _ = inner;
+                Ok(self.load_or_aggregate(addr, ty))
+            }
+            Expr::Un("&", inner) => {
+                let (addr, ty) = self.lvalue_addr(inner)?;
+                Ok(TExpr { ty: Ty::Ptr(Box::new(ty)), kind: addr.kind })
+            }
+            Expr::Un(op, _) => err(format!("unknown unary `{op}`")),
+            Expr::IncDec { pre, inc, lv } => {
+                let (target, ty) = self.check_target(lv)?;
+                let delta = if ty.is_ptr_like() {
+                    ty.elem().map(|t| t.size(&self.structs)).unwrap_or(1) as i32
+                } else {
+                    1
+                };
+                Ok(TExpr {
+                    ty,
+                    kind: TK::IncDec { target, inc: *inc, pre: *pre, delta },
+                })
+            }
+            Expr::Call(name, args) => {
+                let targs: Vec<TExpr> =
+                    args.iter().map(|a| self.check_expr(a)).collect::<SResult<_>>()?;
+                if let Some((fi, sig)) = self.sigs.get(name) {
+                    if targs.len() != sig.params.len() {
+                        return err(format!(
+                            "call to `{name}`: expected {} args, got {}",
+                            sig.params.len(),
+                            targs.len()
+                        ));
+                    }
+                    return Ok(TExpr {
+                        ty: sig.ret.clone(),
+                        kind: TK::Call { callee: Callee::Func(*fi), args: targs },
+                    });
+                }
+                if EXTERNALS.contains(&name.as_str()) {
+                    return Ok(TExpr {
+                        ty: Ty::Int,
+                        kind: TK::Call { callee: Callee::Ext(name.clone()), args: targs },
+                    });
+                }
+                err(format!("unknown function `{name}`"))
+            }
+            Expr::ICall(f, args) => {
+                let ft = self.check_expr(f)?;
+                let targs: Vec<TExpr> =
+                    args.iter().map(|a| self.check_expr(a)).collect::<SResult<_>>()?;
+                Ok(TExpr {
+                    ty: Ty::Int,
+                    kind: TK::Call { callee: Callee::Ind(Box::new(ft)), args: targs },
+                })
+            }
+            Expr::Index(..) | Expr::Member(..) => {
+                let (addr, ty) = self.lvalue_addr(e)?;
+                Ok(self.load_or_aggregate(addr, ty))
+            }
+            Expr::Ternary(c, a, b) => {
+                let c = self.check_expr(c)?;
+                let a = self.check_expr(a)?;
+                let b = self.check_expr(b)?;
+                let ty = a.ty.decayed();
+                Ok(TExpr { ty, kind: TK::Cond(Box::new(c), Box::new(a), Box::new(b)) })
+            }
+            Expr::Cast(tname, e) => {
+                let to = self.resolve_type(tname)?;
+                let inner = self.check_expr(e)?;
+                Ok(match to {
+                    Ty::Char | Ty::Short => TExpr {
+                        ty: to.clone(),
+                        kind: TK::Conv { to, e: Box::new(inner) },
+                    },
+                    other => TExpr { ty: other, kind: inner.kind },
+                })
+            }
+            Expr::SizeofType(tname, arr) => {
+                let mut ty = self.resolve_type(tname)?;
+                if let Some(n) = arr {
+                    ty = Ty::Array(Box::new(ty), *n);
+                }
+                Ok(TExpr { ty: Ty::Int, kind: TK::Const(ty.size(&self.structs) as i32) })
+            }
+            Expr::SizeofExpr(e) => {
+                let t = self.check_expr(e)?;
+                Ok(TExpr { ty: Ty::Int, kind: TK::Const(t.ty.size(&self.structs) as i32) })
+            }
+        }
+    }
+
+    /// Address of an aggregate-valued expression (for struct copies).
+    fn try_aggregate_addr(&mut self, e: &Expr) -> SResult<(TExpr, Ty)> {
+        let (addr, ty) = self.lvalue_addr(e)?;
+        Ok((addr, ty))
+    }
+
+    fn load_or_aggregate(&self, addr: TExpr, ty: Ty) -> TExpr {
+        match &ty {
+            Ty::Array(..) | Ty::Struct(_) => TExpr { ty, kind: addr.kind },
+            _ => TExpr { ty: ty.clone(), kind: TK::Load(Box::new(addr), ty) },
+        }
+    }
+
+    fn check_bin(&mut self, op: &str, a: &Expr, b: &Expr) -> SResult<TExpr> {
+        match op {
+            "&&" => {
+                let a = self.check_expr(a)?;
+                let b = self.check_expr(b)?;
+                return Ok(TExpr { ty: Ty::Int, kind: TK::LogAnd(Box::new(a), Box::new(b)) });
+            }
+            "||" => {
+                let a = self.check_expr(a)?;
+                let b = self.check_expr(b)?;
+                return Ok(TExpr { ty: Ty::Int, kind: TK::LogOr(Box::new(a), Box::new(b)) });
+            }
+            "==" | "!=" | "<" | "<=" | ">" | ">=" => {
+                let a = self.check_expr(a)?;
+                let b = self.check_expr(b)?;
+                let ck = match op {
+                    "==" => CK::Eq,
+                    "!=" => CK::Ne,
+                    "<" => CK::Lt,
+                    "<=" => CK::Le,
+                    ">" => CK::Gt,
+                    _ => CK::Ge,
+                };
+                return Ok(TExpr { ty: Ty::Int, kind: TK::Cmp(ck, Box::new(a), Box::new(b)) });
+            }
+            _ => {}
+        }
+        let ta = self.check_expr(a)?;
+        let tb = self.check_expr(b)?;
+        let bk = str_to_bk(op)?;
+        // Pointer arithmetic.
+        if bk == BK::Add || bk == BK::Sub {
+            let pa = ta.ty.is_ptr_like();
+            let pb = tb.ty.is_ptr_like();
+            if pa && !pb {
+                let es = ta.ty.elem().map(|t| t.size(&self.structs)).unwrap_or(1);
+                let ty = ta.ty.decayed();
+                return Ok(TExpr {
+                    ty,
+                    kind: TK::Bin(bk, Box::new(ta), Box::new(scale(tb, es))),
+                });
+            }
+            if pb && !pa && bk == BK::Add {
+                let es = tb.ty.elem().map(|t| t.size(&self.structs)).unwrap_or(1);
+                let ty = tb.ty.decayed();
+                return Ok(TExpr {
+                    ty,
+                    kind: TK::Bin(bk, Box::new(tb), Box::new(scale(ta, es))),
+                });
+            }
+            if pa && pb && bk == BK::Sub {
+                let es = ta.ty.elem().map(|t| t.size(&self.structs)).unwrap_or(1).max(1);
+                let diff = TExpr { ty: Ty::Int, kind: TK::Bin(BK::Sub, Box::new(ta), Box::new(tb)) };
+                let out = if es == 1 {
+                    diff
+                } else {
+                    TExpr {
+                        ty: Ty::Int,
+                        kind: TK::Bin(
+                            BK::Div,
+                            Box::new(diff),
+                            Box::new(TExpr { ty: Ty::Int, kind: TK::Const(es as i32) }),
+                        ),
+                    }
+                };
+                return Ok(out);
+            }
+        }
+        let ty = if ta.ty.is_ptr_like() { ta.ty.decayed() } else { Ty::Int };
+        Ok(TExpr { ty, kind: TK::Bin(bk, Box::new(ta), Box::new(tb)) })
+    }
+}
+
+fn scale(e: TExpr, size: u32) -> TExpr {
+    if size == 1 {
+        return e;
+    }
+    if let TK::Const(c) = e.kind {
+        return TExpr { ty: Ty::Int, kind: TK::Const(c.wrapping_mul(size as i32)) };
+    }
+    TExpr {
+        ty: Ty::Int,
+        kind: TK::Bin(
+            BK::Mul,
+            Box::new(e),
+            Box::new(TExpr { ty: Ty::Int, kind: TK::Const(size as i32) }),
+        ),
+    }
+}
+
+fn str_to_bk(op: &str) -> SResult<BK> {
+    Ok(match op {
+        "+" => BK::Add,
+        "-" => BK::Sub,
+        "*" => BK::Mul,
+        "/" => BK::Div,
+        "%" => BK::Rem,
+        "&" => BK::And,
+        "|" => BK::Or,
+        "^" => BK::Xor,
+        "<<" => BK::Shl,
+        ">>" => BK::Shr,
+        other => return err(format!("unknown operator `{other}`")),
+    })
+}
+
+fn write_scalar(bytes: &mut [u8], off: u32, v: i32, ty: &Ty, structs: &[StructTy]) -> SResult<()> {
+    let size = ty.size(structs);
+    let off = off as usize;
+    match size {
+        1 => bytes[off] = v as u8,
+        2 => bytes[off..off + 2].copy_from_slice(&(v as u16).to_le_bytes()),
+        4 => bytes[off..off + 4].copy_from_slice(&v.to_le_bytes()),
+        _ => return err("unsupported initializer element"),
+    }
+    Ok(())
+}
+
+/// Analyze a parsed unit into a typed [`Program`].
+///
+/// # Errors
+/// Returns a [`SemaError`] for unknown names, type misuse, or unsupported
+/// constructs.
+pub fn analyze(unit: &Unit) -> Result<Program, SemaError> {
+    let mut c = Checker {
+        structs: Vec::new(),
+        struct_idx: HashMap::new(),
+        globals: Vec::new(),
+        global_idx: HashMap::new(),
+        data: Vec::new(),
+        sigs: HashMap::new(),
+        locals: Vec::new(),
+        params: Vec::new(),
+        scopes: Vec::new(),
+    };
+    for s in &unit.structs {
+        c.layout_struct(s)?;
+    }
+    for g in &unit.globals {
+        c.layout_global(g)?;
+    }
+    // Collect signatures first so forward calls work.
+    for (i, f) in unit.funcs.iter().enumerate() {
+        let ret = c.resolve_type(&f.ret)?;
+        let params: Vec<Ty> = f
+            .params
+            .iter()
+            .map(|(t, _)| c.resolve_type(t))
+            .collect::<SResult<_>>()?;
+        if c.sigs.insert(f.name.clone(), (i, FuncSig { ret, params })).is_some() {
+            return err(format!("function `{}` defined twice", f.name));
+        }
+    }
+    let mut funcs = Vec::new();
+    for f in &unit.funcs {
+        c.locals = Vec::new();
+        c.params = f
+            .params
+            .iter()
+            .map(|(t, n)| {
+                Ok(Local { name: n.clone(), ty: c.resolve_type(t)?, addr_taken: false })
+            })
+            .collect::<SResult<_>>()?;
+        c.scopes = vec![HashMap::new()];
+        for (i, p) in f.params.iter().enumerate() {
+            c.scopes[0].insert(p.1.clone(), ScopeEntry::Param(i));
+        }
+        c.scopes.push(HashMap::new());
+        let body = c.check_stmts(&f.body)?;
+        funcs.push(Func {
+            name: f.name.clone(),
+            is_static: f.is_static,
+            ret: c.resolve_type(&f.ret)?,
+            params: std::mem::take(&mut c.params),
+            locals: std::mem::take(&mut c.locals),
+            body,
+        });
+    }
+    Ok(Program {
+        structs: c.structs,
+        globals: c.globals,
+        global_data: c.data,
+        funcs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn check(src: &str) -> Program {
+        analyze(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn struct_layout_and_member_offsets() {
+        let p = check(
+            r#"
+            struct p { char tag; int x; short s; int arr[3]; };
+            int f(struct p *q) { return q->x + q->arr[2]; }
+            "#,
+        );
+        let s = &p.structs[0];
+        assert_eq!(s.fields[0].offset, 0); // tag
+        assert_eq!(s.fields[1].offset, 4); // x (aligned)
+        assert_eq!(s.fields[2].offset, 8); // s
+        assert_eq!(s.fields[3].offset, 12); // arr
+        assert_eq!(s.size, 24);
+        assert_eq!(s.align, 4);
+    }
+
+    #[test]
+    fn globals_are_laid_out_with_inits() {
+        let p = check(
+            r#"
+            int a = 7;
+            int arr[4] = { 1, 2, 3 };
+            char msg[6] = "hey";
+            "#,
+        );
+        assert_eq!(p.globals.len(), 3);
+        let a = &p.globals[0];
+        assert_eq!(&p.global_data[a.data_off as usize..a.data_off as usize + 4], &7i32.to_le_bytes());
+        let arr = &p.globals[1];
+        let off = arr.data_off as usize;
+        assert_eq!(&p.global_data[off..off + 4], &1i32.to_le_bytes());
+        assert_eq!(&p.global_data[off + 8..off + 12], &3i32.to_le_bytes());
+        let msg = &p.globals[2];
+        assert_eq!(&p.global_data[msg.data_off as usize..msg.data_off as usize + 4], b"hey\0");
+    }
+
+    #[test]
+    fn pointer_arithmetic_is_scaled() {
+        let p = check("int f(int *p) { return *(p + 3); }");
+        let TStmt::Return(Some(e)) = &p.funcs[0].body[0] else { panic!() };
+        let TK::Load(addr, _) = &e.kind else { panic!() };
+        let TK::Bin(BK::Add, _, rhs) = &addr.kind else { panic!() };
+        assert!(matches!(rhs.kind, TK::Const(12)));
+    }
+
+    #[test]
+    fn pointer_difference_divides() {
+        let p = check("int f(int *a, int *b) { return a - b; }");
+        let TStmt::Return(Some(e)) = &p.funcs[0].body[0] else { panic!() };
+        assert!(matches!(&e.kind, TK::Bin(BK::Div, _, _)));
+    }
+
+    #[test]
+    fn address_taken_tracking() {
+        let p = check(
+            r#"
+            int f() {
+                int x;
+                int y;
+                int *p = &x;
+                int arr[4];
+                y = 3;
+                return *p + y + arr[0];
+            }
+            "#,
+        );
+        let f = &p.funcs[0];
+        let find = |name: &str| f.locals.iter().find(|l| l.name == name).unwrap();
+        assert!(find("x").addr_taken);
+        assert!(!find("y").addr_taken);
+        assert!(find("arr").addr_taken, "arrays are always memory");
+        assert!(!find("p").addr_taken);
+    }
+
+    #[test]
+    fn calls_resolve_to_user_ext_and_indirect() {
+        let p = check(
+            r#"
+            int helper(int a) { return a; }
+            int main() {
+                int fp = (int)&helper;
+                printf("%d", helper(1));
+                return __icall(fp, 2);
+            }
+            "#,
+        );
+        let main = &p.funcs[1];
+        // Find the call kinds in the body.
+        let mut saw_ext = false;
+        let mut saw_ind = false;
+        fn walk(e: &TExpr, ext: &mut bool, ind: &mut bool) {
+            match &e.kind {
+                TK::Call { callee: Callee::Ext(_), args } => {
+                    *ext = true;
+                    args.iter().for_each(|a| walk(a, ext, ind));
+                }
+                TK::Call { callee: Callee::Ind(_), .. } => *ind = true,
+                TK::Call { args, .. } => args.iter().for_each(|a| walk(a, ext, ind)),
+                TK::Assign { rhs, .. } => walk(rhs, ext, ind),
+                _ => {}
+            }
+        }
+        for s in &main.body {
+            match s {
+                TStmt::Expr(e) => walk(e, &mut saw_ext, &mut saw_ind),
+                TStmt::Return(Some(e)) => walk(e, &mut saw_ext, &mut saw_ind),
+                _ => {}
+            }
+        }
+        assert!(saw_ext && saw_ind);
+    }
+
+    #[test]
+    fn errors_on_unknowns() {
+        assert!(analyze(&parse("int f() { return g(); }").unwrap()).is_err());
+        assert!(analyze(&parse("int f() { return x; }").unwrap()).is_err());
+        // Pointers to incomplete structs are legal (C semantics); using an
+        // incomplete struct by value is not.
+        assert!(analyze(&parse("int f(struct b p) { return 0; }").unwrap()).is_err());
+        assert!(analyze(&parse("int f(int a) { return a(); }").unwrap()).is_err());
+    }
+
+    #[test]
+    fn sizeof_resolves_to_constants() {
+        let p = check(
+            r#"
+            struct s { int a; char b; };
+            int f() { int arr[5]; return sizeof(arr) + sizeof(struct s) + sizeof(int[2]); }
+            "#,
+        );
+        let TStmt::Return(Some(e)) = &p.funcs[0].body[1] else { panic!() };
+        // 20 + 8 + 8 built from constants.
+        fn fold(e: &TExpr) -> i32 {
+            match &e.kind {
+                TK::Const(c) => *c,
+                TK::Bin(BK::Add, a, b) => fold(a) + fold(b),
+                _ => panic!("not constant"),
+            }
+        }
+        assert_eq!(fold(e), 20 + 8 + 8);
+    }
+
+    #[test]
+    fn char_semantics_conv_nodes() {
+        let p = check("int f() { char c; c = 300; return c; }");
+        let f = &p.funcs[0];
+        let TStmt::Expr(e) = &f.body[1] else { panic!() };
+        let TK::Assign { rhs, .. } = &e.kind else { panic!() };
+        assert!(matches!(rhs.kind, TK::Conv { .. }));
+    }
+}

@@ -1,0 +1,469 @@
+//! Differential execution tests: every compiler profile must produce a
+//! binary with identical observable behaviour (exit code and output) when
+//! run on the machine emulator. This is the property the whole evaluation
+//! stands on — profile differences must be *performance* differences only.
+
+use wyt_emu::run_image;
+use wyt_minicc::{compile, Profile};
+
+fn profiles() -> Vec<Profile> {
+    vec![
+        Profile::gcc12_o3(),
+        Profile::gcc12_o0(),
+        Profile::clang16_o3(),
+        Profile::gcc44_o3(),
+        Profile::gcc44_o3_nopic(),
+    ]
+}
+
+/// Compile and run under every profile; assert identical results and
+/// return `(exit_code, output)`.
+fn run_all(src: &str, input: &[u8]) -> (i32, Vec<u8>) {
+    let mut results = Vec::new();
+    for p in profiles() {
+        let img = compile(src, &p).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        let r = run_image(&img, input.to_vec());
+        assert!(r.ok(), "{}: trap {:?}", p.name, r.trap);
+        results.push((p.name, r.exit_code, r.output, r.cycles));
+    }
+    let (name0, code0, out0, _) = results[0].clone();
+    for (name, code, out, _) in &results[1..] {
+        assert_eq!(*code, code0, "{name} vs {name0}: exit code differs");
+        assert_eq!(out, &out0, "{name} vs {name0}: output differs");
+    }
+    (code0, out0)
+}
+
+#[test]
+fn arithmetic_and_control_flow() {
+    let (code, _) = run_all(
+        r#"
+        int main() {
+            int acc = 0;
+            int i;
+            for (i = 1; i <= 10; i++) {
+                if (i % 2 == 0) acc += i * i;
+                else acc -= i;
+            }
+            while (acc > 100) acc -= 7;
+            return acc;
+        }
+        "#,
+        b"",
+    );
+    // sum of even squares 4+16+36+64+100=220 minus odds 1+3+5+7+9=25 -> 195; then -7 until <=100 -> 97
+    assert_eq!(code, 97);
+}
+
+#[test]
+fn recursion_fib() {
+    let (code, _) = run_all(
+        r#"
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { return fib(15); }
+        "#,
+        b"",
+    );
+    assert_eq!(code, 610);
+}
+
+#[test]
+fn arrays_pointers_and_struct_members() {
+    let (code, _) = run_all(
+        r#"
+        struct point { int x; int y; };
+        int main() {
+            struct point pts[4];
+            int i;
+            int *ip;
+            int acc;
+            for (i = 0; i < 4; i++) {
+                pts[i].x = i * 10;
+                pts[i].y = i + 1;
+            }
+            ip = &pts[2].x;
+            *ip += 5;
+            acc = 0;
+            for (i = 0; i < 4; i++) acc += pts[i].x + pts[i].y;
+            return acc;
+        }
+        "#,
+        b"",
+    );
+    // x: 0,10,25,30 = 65; y: 1,2,3,4 = 10 -> 75
+    assert_eq!(code, 75);
+}
+
+#[test]
+fn struct_copies_including_vmov_path() {
+    let (code, _) = run_all(
+        r#"
+        struct big { int a; int b; int c; int d; int e; int f; };
+        int main() {
+            struct big x;
+            struct big y;
+            x.a = 1; x.b = 2; x.c = 3; x.d = 4; x.e = 5; x.f = 6;
+            y = x;
+            y.f += 10;
+            return y.a + y.b + y.c + y.d + y.e + y.f;
+        }
+        "#,
+        b"",
+    );
+    assert_eq!(code, 31);
+}
+
+#[test]
+fn char_short_semantics() {
+    let (code, _) = run_all(
+        r#"
+        int main() {
+            char c = 200;     /* wraps to -56 */
+            short s = 40000;  /* wraps to -25536 */
+            char buf[4];
+            buf[0] = 250;
+            return (c + s + buf[0] == -56 - 25536 - 6) ? 42 : 0;
+        }
+        "#,
+        b"",
+    );
+    assert_eq!(code, 42);
+}
+
+#[test]
+fn switch_dense_and_sparse() {
+    let src = r#"
+        int classify(int c) {
+            switch (c) {
+                case 3: return 30;
+                case 4: return 40;
+                case 5: return 50;
+                case 6: return 60;
+                case 7: return 70;
+                default: return -1;
+            }
+        }
+        int sparse(int c) {
+            switch (c) {
+                case 1: return 5;
+                case 100: return 6;
+                default: return 7;
+            }
+        }
+        int main() {
+            return classify(5) + classify(99) + sparse(100);
+        }
+    "#;
+    let (code, _) = run_all(src, b"");
+    assert_eq!(code, 50 - 1 + 6);
+}
+
+#[test]
+fn globals_strings_and_printf() {
+    let (code, out) = run_all(
+        r#"
+        int counter = 5;
+        int table[4] = { 10, 20, 30, 40 };
+        char greeting[8] = "hi";
+        int main() {
+            counter += table[2];
+            printf("%s %d %04x|", greeting, counter, 255);
+            printf("neg=%d c=%c u=%u\n", -7, 'A', 3);
+            return counter;
+        }
+        "#,
+        b"",
+    );
+    assert_eq!(code, 35);
+    assert_eq!(out, b"hi 35 00ff|neg=-7 c=A u=3\n");
+}
+
+#[test]
+fn reads_input_via_getchar() {
+    let (code, out) = run_all(
+        r#"
+        int main() {
+            int c;
+            int sum = 0;
+            while ((c = getchar()) >= 0) {
+                sum += c - '0';
+                putchar(c);
+            }
+            return sum;
+        }
+        "#,
+        b"123",
+    );
+    assert_eq!(code, 6);
+    assert_eq!(out, b"123");
+}
+
+#[test]
+fn malloc_memcpy_strlen() {
+    let (code, _) = run_all(
+        r#"
+        int main() {
+            char *p = (char*)malloc(16);
+            int n;
+            strcpy(p, "hello");
+            n = strlen(p);
+            memcpy(p + 8, p, 5);
+            p[13] = 0;
+            return n + strlen(p + 8) + (strcmp(p, p + 8) == 0 ? 100 : 0);
+        }
+        "#,
+        b"",
+    );
+    assert_eq!(code, 5 + 5 + 100);
+}
+
+#[test]
+fn indirect_calls_through_function_table() {
+    let (code, _) = run_all(
+        r#"
+        int add(int a, int b) { return a + b; }
+        int sub(int a, int b) { return a - b; }
+        int mul(int a, int b) { return a * b; }
+        int ops[3];
+        int main() {
+            int i;
+            int acc = 0;
+            ops[0] = (int)&add;
+            ops[1] = (int)&sub;
+            ops[2] = (int)&mul;
+            for (i = 0; i < 3; i++) acc += __icall(ops[i], 10, 3);
+            return acc;
+        }
+        "#,
+        b"",
+    );
+    assert_eq!(code, 13 + 7 + 30);
+}
+
+#[test]
+fn static_functions_and_regparm() {
+    let (code, _) = run_all(
+        r#"
+        static int clamp(int v, int hi) {
+            return v > hi ? hi : v;
+        }
+        static int mix(int a, int b, int c) {
+            return a * 100 + b * 10 + c;
+        }
+        int main() {
+            return clamp(50, 9) + mix(1, 2, 3);
+        }
+        "#,
+        b"",
+    );
+    assert_eq!(code, 9 + 123);
+}
+
+#[test]
+fn tail_call_shaped_recursion() {
+    let (code, _) = run_all(
+        r#"
+        int gcd(int a, int b) {
+            if (b == 0) return a;
+            return gcd(b, a % b);
+        }
+        int count(int n, int acc) {
+            if (n == 0) return acc;
+            return count(n - 1, acc + n);
+        }
+        int main() { return gcd(1071, 462) + count(100, 0); }
+        "#,
+        b"",
+    );
+    assert_eq!(code, 21 + 5050);
+}
+
+#[test]
+fn pointer_loop_rewrite_preserves_semantics() {
+    let (code, _) = run_all(
+        r#"
+        int main() {
+            int arr[16];
+            int i;
+            int acc = 0;
+            for (i = 0; i < 16; i++) arr[i] = 3;
+            for (i = 0; i < 16; i++) acc += arr[i];
+            return acc;
+        }
+        "#,
+        b"",
+    );
+    assert_eq!(code, 48);
+}
+
+#[test]
+fn do_while_break_continue() {
+    let (code, _) = run_all(
+        r#"
+        int main() {
+            int i = 0;
+            int acc = 0;
+            do {
+                i++;
+                if (i == 3) continue;
+                if (i > 8) break;
+                acc += i;
+            } while (i < 100);
+            return acc;
+        }
+        "#,
+        b"",
+    );
+    assert_eq!(code, 1 + 2 + 4 + 5 + 6 + 7 + 8);
+}
+
+#[test]
+fn division_shifts_and_bitops() {
+    let (code, _) = run_all(
+        r#"
+        int main() {
+            int a = -17;
+            int b = 5;
+            int x = 0x0ff0;
+            return (a / b) * 1000 + (a % b) * -100 + ((x >> 4) & 0xff) + ((1 << 6) | 1);
+        }
+        "#,
+        b"",
+    );
+    assert_eq!(code, -3000 + 200 + 0xff + 65);
+}
+
+#[test]
+fn ternary_and_logical_shortcircuit() {
+    let (code, _) = run_all(
+        r#"
+        int calls = 0;
+        int bump() { calls++; return 1; }
+        int main() {
+            int a = 0 && bump();
+            int b = 1 || bump();
+            int c = (a == 0 && b == 1) ? 10 : 20;
+            return c + calls * 100;
+        }
+        "#,
+        b"",
+    );
+    assert_eq!(code, 10, "short-circuit must skip bump()");
+}
+
+#[test]
+fn optimized_binaries_are_faster() {
+    // Sanity on the cost model: O3 should beat O0, and modern O3 should
+    // beat GCC 4.4 O3 on a loop-heavy workload.
+    let src = r#"
+        int work(int n) {
+            int acc = 0;
+            int i;
+            int j;
+            for (i = 0; i < n; i++) {
+                for (j = 0; j < 50; j++) {
+                    acc += i * j + (acc >> 3);
+                }
+            }
+            return acc;
+        }
+        int main() { return work(200) & 0xff; }
+    "#;
+    let cycles = |p: &Profile| {
+        let img = compile(src, p).unwrap();
+        let r = run_image(&img, vec![]);
+        assert!(r.ok());
+        r.cycles
+    };
+    let o0 = cycles(&Profile::gcc12_o0());
+    let legacy = cycles(&Profile::gcc44_o3());
+    let modern = cycles(&Profile::gcc12_o3());
+    assert!(modern < legacy, "modern O3 ({modern}) should beat GCC 4.4 ({legacy})");
+    assert!(legacy < o0, "legacy O3 ({legacy}) should beat O0 ({o0})");
+}
+
+#[test]
+fn ground_truth_layouts_are_recorded() {
+    let img = compile(
+        r#"
+        int leaf(int a) {
+            int x;
+            int buf[6];
+            int *p = &x;
+            *p = a;
+            buf[0] = x;
+            buf[5] = 2;
+            return buf[0] + buf[5];
+        }
+        int main() { return leaf(40); }
+        "#,
+        &Profile::gcc12_o3(),
+    )
+    .unwrap();
+    let leaf_addr = img.symbol("leaf").unwrap();
+    let fl = img.frame_layout_at(leaf_addr).unwrap();
+    // x and buf live in memory (addresses taken); offsets are negative
+    // (below sp0) and buf spans 24 bytes.
+    let buf = fl.vars.iter().find(|v| v.name == "buf").unwrap();
+    assert_eq!(buf.size, 24);
+    assert!(buf.sp0_offset < 0);
+    let x = fl.vars.iter().find(|v| v.name == "x").unwrap();
+    assert_eq!(x.size, 4);
+    // Non-overlapping.
+    assert!(x.sp0_offset + 4 <= buf.sp0_offset || buf.sp0_offset + 24 <= x.sp0_offset);
+    // Behaviour check.
+    let r = run_image(&img, vec![]);
+    assert_eq!(r.exit_code, 42);
+}
+
+#[test]
+fn stripped_images_still_run() {
+    let img = compile("int main() { return 7; }", &Profile::gcc44_o3())
+        .unwrap()
+        .stripped();
+    assert!(img.symbols.is_empty());
+    assert_eq!(run_image(&img, vec![]).exit_code, 7);
+}
+
+#[test]
+fn deep_call_chains_with_many_args() {
+    let (code, _) = run_all(
+        r#"
+        int f6(int a, int b, int c, int d, int e, int f) {
+            return a + b * 2 + c * 3 + d * 4 + e * 5 + f * 6;
+        }
+        int f3(int a, int b, int c) {
+            return f6(a, b, c, a + 1, b + 1, c + 1);
+        }
+        int main() { return f3(1, 2, 3); }
+        "#,
+        b"",
+    );
+    assert_eq!(code, 1 + 4 + 9 + 8 + 15 + 24);
+}
+
+#[test]
+fn nested_struct_array_mix() {
+    let (code, _) = run_all(
+        r#"
+        struct inner { int vals[3]; int tag; };
+        struct outer { struct inner a; struct inner b; };
+        int main() {
+            struct outer o;
+            int i;
+            for (i = 0; i < 3; i++) {
+                o.a.vals[i] = i + 1;
+                o.b.vals[i] = (i + 1) * 10;
+            }
+            o.a.tag = 100;
+            o.b.tag = 200;
+            return o.a.vals[0] + o.a.vals[2] + o.b.vals[1] + o.a.tag + o.b.tag;
+        }
+        "#,
+        b"",
+    );
+    assert_eq!(code, 1 + 3 + 20 + 300);
+}

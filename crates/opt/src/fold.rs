@@ -1,0 +1,314 @@
+//! Constant folding, algebraic simplification and terminator folding.
+
+use wyt_ir::{BinOp, Function, InstKind, Module, Term, Ty, Val};
+
+/// Fold constants in one function. Returns `true` if anything changed.
+pub fn run_function(f: &mut Function) -> bool {
+    let mut changed = false;
+    for b in f.rpo() {
+        // Instruction folding.
+        let insts = f.blocks[b.index()].insts.clone();
+        for id in insts {
+            let kind = f.inst(id).clone();
+            let new = match &kind {
+                InstKind::Bin { op, a, b } => fold_bin(*op, *a, *b),
+                InstKind::Cmp { op, a, b } => match (a.as_const(), b.as_const()) {
+                    (Some(x), Some(y)) => {
+                        Some(InstKind::Copy { v: Val::Const(op.eval(x as u32, y as u32) as i32) })
+                    }
+                    _ => None,
+                },
+                InstKind::Ext { signed, from, v } => v.as_const().map(|c| {
+                    let masked = c as u32 & from.mask();
+                    let out = if *signed {
+                        let bits = from.bytes() * 8;
+                        (((masked as i32) << (32 - bits)) >> (32 - bits)) as u32
+                    } else {
+                        masked
+                    };
+                    InstKind::Copy { v: Val::Const(out as i32) }
+                }),
+                InstKind::Select { c, a, b } => match c.as_const() {
+                    Some(cv) => Some(InstKind::Copy { v: if cv != 0 { *a } else { *b } }),
+                    None if a == b => Some(InstKind::Copy { v: *a }),
+                    None => None,
+                },
+                InstKind::Phi { incomings } => {
+                    // All incomings identical (ignoring self-references).
+                    let mut uniq: Option<Val> = None;
+                    let mut ok = true;
+                    for (_, v) in incomings {
+                        if *v == Val::Inst(id) {
+                            continue;
+                        }
+                        match uniq {
+                            None => uniq = Some(*v),
+                            Some(u) if u == *v => {}
+                            _ => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    match (ok, uniq) {
+                        (true, Some(v)) => Some(InstKind::Copy { v }),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            if let Some(new_kind) = new {
+                *f.inst_mut(id) = new_kind;
+                changed = true;
+            }
+            // Copy propagation: replace uses of this inst with its source.
+            if let InstKind::Copy { v } = f.inst(id) {
+                let v = *v;
+                if v != Val::Inst(id) && f.replace_all_uses(Val::Inst(id), v) > 0 {
+                    changed = true;
+                }
+            }
+        }
+        // Terminator folding.
+        let term = f.blocks[b.index()].term.clone();
+        let new_term = match &term {
+            Term::CondBr { c, t, f: fl } => match c.as_const() {
+                Some(cv) => Some(Term::Br(if cv != 0 { *t } else { *fl })),
+                None if t == fl => Some(Term::Br(*t)),
+                None => None,
+            },
+            Term::Switch { v, cases, default } => match v.as_const() {
+                Some(cv) => {
+                    let target = cases
+                        .iter()
+                        .find(|(c, _)| *c == cv)
+                        .map(|(_, b)| *b)
+                        .unwrap_or(*default);
+                    Some(Term::Br(target))
+                }
+                None if cases.is_empty() => Some(Term::Br(*default)),
+                None => None,
+            },
+            _ => None,
+        };
+        if let Some(nt) = new_term {
+            f.blocks[b.index()].term = nt;
+            changed = true;
+        }
+    }
+    changed
+}
+
+fn fold_bin(op: BinOp, a0: Val, b0: Val) -> Option<InstKind> {
+    if let (Some(x), Some(y)) = (a0.as_const(), b0.as_const()) {
+        if let Some(r) = op.eval(x as u32, y as u32) {
+            return Some(InstKind::Copy { v: Val::Const(r as i32) });
+        }
+        return None; // division trap must stay
+    }
+    // Canonicalize constants to the right for commutative ops.
+    let swapped = op.commutative() && a0.as_const().is_some() && b0.as_const().is_none();
+    let (a, b) = if swapped { (b0, a0) } else { (a0, b0) };
+    let copy = |v: Val| Some(InstKind::Copy { v });
+    let simplified = match (op, b.as_const()) {
+        (
+            BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::ShrL
+            | BinOp::ShrA,
+            Some(0),
+        ) => copy(a),
+        (BinOp::Mul, Some(1)) | (BinOp::DivS, Some(1)) => copy(a),
+        (BinOp::Mul, Some(0)) | (BinOp::And, Some(0)) => copy(Val::Const(0)),
+        (BinOp::And, Some(-1)) => copy(a),
+        _ => {
+            if (op == BinOp::Sub || op == BinOp::Xor) && a == b {
+                copy(Val::Const(0))
+            } else {
+                None
+            }
+        }
+    };
+    simplified.or_else(|| {
+        // Report the canonicalized order only when it actually changed,
+        // otherwise the pass would claim progress forever.
+        swapped.then_some(InstKind::Bin { op, a, b })
+    })
+}
+
+/// Reassociate `(v + c1) + c2` chains; separate because it needs access to
+/// defining instructions.
+pub fn reassociate(f: &mut Function) -> bool {
+    let mut changed = false;
+    for b in f.rpo() {
+        let insts = f.blocks[b.index()].insts.clone();
+        for id in insts {
+            let InstKind::Bin { op: BinOp::Add, a, b: c2 } = f.inst(id).clone() else {
+                continue;
+            };
+            let Some(c2v) = c2.as_const() else { continue };
+            let Some(inner) = a.as_inst() else { continue };
+            match f.inst(inner).clone() {
+                InstKind::Bin { op: BinOp::Add, a: v, b: c1 } => {
+                    if let Some(c1v) = c1.as_const() {
+                        *f.inst_mut(id) = InstKind::Bin {
+                            op: BinOp::Add,
+                            a: v,
+                            b: Val::Const(c1v.wrapping_add(c2v)),
+                        };
+                        changed = true;
+                    }
+                }
+                InstKind::Bin { op: BinOp::Sub, a: v, b: c1 } => {
+                    if let Some(c1v) = c1.as_const() {
+                        *f.inst_mut(id) = InstKind::Bin {
+                            op: BinOp::Add,
+                            a: v,
+                            b: Val::Const(c2v.wrapping_sub(c1v)),
+                        };
+                        changed = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    changed
+}
+
+/// Narrow-load/ext simplification: `Ext(zext/sext, Load)` patterns keep the
+/// load but drop redundant double-extensions.
+pub fn simplify_ext(f: &mut Function) -> bool {
+    let mut changed = false;
+    for b in f.rpo() {
+        let insts = f.blocks[b.index()].insts.clone();
+        for id in insts {
+            let InstKind::Ext { signed: false, from, v } = f.inst(id).clone() else {
+                continue;
+            };
+            // zext(from, x) where x is a Load of width <= from: already
+            // zero-extended by the load semantics.
+            if let Some(src) = v.as_inst() {
+                if let InstKind::Load { ty, .. } = f.inst(src) {
+                    if ty.bytes() <= from.bytes() {
+                        *f.inst_mut(id) = InstKind::Copy { v };
+                        changed = true;
+                        continue;
+                    }
+                }
+                // zext(from, zext(from2, x)) with from2 <= from.
+                if let InstKind::Ext { signed: false, from: f2, .. } = f.inst(src) {
+                    if f2.bytes() <= from.bytes() {
+                        *f.inst_mut(id) = InstKind::Copy { v };
+                        changed = true;
+                    }
+                }
+            } else if let Val::Const(c) = v {
+                let masked = (c as u32) & from.mask();
+                *f.inst_mut(id) = InstKind::Copy { v: Val::Const(masked as i32) };
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Run all folding sub-passes over a module once.
+pub fn run(m: &mut Module) -> bool {
+    let mut changed = false;
+    for f in &mut m.funcs {
+        changed |= run_function(f);
+        changed |= reassociate(f);
+        changed |= simplify_ext(f);
+    }
+    changed
+}
+
+/// Width helper re-export for tests.
+pub fn ty_bits(ty: Ty) -> u32 {
+    ty.bytes() * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wyt_ir::{CmpOp, Function};
+
+    fn f_with(build: impl FnOnce(&mut Function) -> Val) -> Function {
+        let mut f = Function::new("t");
+        let v = build(&mut f);
+        f.blocks[0].term = Term::Ret(Some(v));
+        f
+    }
+
+    #[test]
+    fn folds_constant_chains() {
+        let mut f = f_with(|f| {
+            let a = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Const(2), b: Val::Const(3) });
+            let b = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Mul, a: Val::Inst(a), b: Val::Const(4) });
+            Val::Inst(b)
+        });
+        while run_function(&mut f) {}
+        assert_eq!(f.blocks[0].term, Term::Ret(Some(Val::Const(20))));
+    }
+
+    #[test]
+    fn folds_cmp_and_condbr() {
+        let mut f = Function::new("t");
+        let t = f.add_block();
+        let e = f.add_block();
+        let c = f.push_inst(f.entry, InstKind::Cmp { op: CmpOp::SLt, a: Val::Const(1), b: Val::Const(2) });
+        f.blocks[0].term = Term::CondBr { c: Val::Inst(c), t, f: e };
+        f.blocks[t.index()].term = Term::Ret(Some(Val::Const(1)));
+        f.blocks[e.index()].term = Term::Ret(Some(Val::Const(0)));
+        while run_function(&mut f) {}
+        assert_eq!(f.blocks[0].term, Term::Br(t));
+    }
+
+    #[test]
+    fn keeps_division_traps() {
+        let mut f = f_with(|f| {
+            let d = f.push_inst(f.entry, InstKind::Bin { op: BinOp::DivS, a: Val::Const(1), b: Val::Const(0) });
+            Val::Inst(d)
+        });
+        run_function(&mut f);
+        assert!(matches!(f.inst(wyt_ir::InstId(0)), InstKind::Bin { op: BinOp::DivS, .. }));
+    }
+
+    #[test]
+    fn reassociates_add_chains() {
+        let mut f = f_with(|f| {
+            let a = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Param(0), b: Val::Const(4) });
+            let b = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Inst(a), b: Val::Const(8) });
+            Val::Inst(b)
+        });
+        f.num_params = 1;
+        assert!(reassociate(&mut f));
+        assert_eq!(
+            *f.inst(wyt_ir::InstId(1)),
+            InstKind::Bin { op: BinOp::Add, a: Val::Param(0), b: Val::Const(12) }
+        );
+    }
+
+    #[test]
+    fn identity_simplifications() {
+        let mut f = f_with(|f| {
+            let a = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Param(0), b: Val::Const(0) });
+            let b = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Xor, a: Val::Inst(a), b: Val::Inst(a) });
+            Val::Inst(b)
+        });
+        f.num_params = 1;
+        while run_function(&mut f) {}
+        assert_eq!(f.blocks[0].term, Term::Ret(Some(Val::Const(0))));
+    }
+
+    #[test]
+    fn zext_of_narrow_load_removed() {
+        let mut f = f_with(|f| {
+            let l = f.push_inst(f.entry, InstKind::Load { ty: Ty::I8, addr: Val::Const(64) });
+            let e = f.push_inst(f.entry, InstKind::Ext { signed: false, from: Ty::I8, v: Val::Inst(l) });
+            Val::Inst(e)
+        });
+        assert!(simplify_ext(&mut f));
+        assert!(matches!(f.inst(wyt_ir::InstId(1)), InstKind::Copy { .. }));
+        assert_eq!(ty_bits(Ty::I16), 16);
+    }
+}

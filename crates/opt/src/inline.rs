@@ -1,0 +1,334 @@
+//! Function inlining for the re-optimization pipeline (applies to
+//! symbolized IR, where calls have explicit arguments and return values).
+
+use std::collections::HashMap;
+use wyt_ir::{BlockId, FuncId, Function, InstId, InstKind, Module, Term, Val};
+
+/// Inlining limits.
+#[derive(Debug, Clone, Copy)]
+pub struct InlineLimits {
+    /// Maximum callee instruction count.
+    pub max_insts: usize,
+    /// Maximum callee block count.
+    pub max_blocks: usize,
+    /// Maximum number of inlining rounds.
+    pub rounds: usize,
+}
+
+impl Default for InlineLimits {
+    fn default() -> InlineLimits {
+        InlineLimits { max_insts: 48, max_blocks: 8, rounds: 3 }
+    }
+}
+
+fn inlinable(m: &Module, callee: FuncId, caller: FuncId, limits: &InlineLimits) -> bool {
+    if callee == caller {
+        return false;
+    }
+    let f = &m.funcs[callee.index()];
+    let rpo = f.rpo();
+    if rpo.len() > limits.max_blocks {
+        return false;
+    }
+    let inst_count: usize = rpo.iter().map(|b| f.blocks[b.index()].insts.len()).sum();
+    if inst_count > limits.max_insts {
+        return false;
+    }
+    // No self-recursion inside the callee, and no indirect calls (their
+    // address-identity would change if their home function disappears).
+    for &b in &rpo {
+        for &i in &f.blocks[b.index()].insts {
+            match f.inst(i) {
+                InstKind::Call { f: target, .. } if *target == callee => return false,
+                InstKind::CallInd { .. } | InstKind::CallExtRaw { .. } => return false,
+                _ => {}
+            }
+        }
+    }
+    true
+}
+
+/// Inline one call site. `call_block`'s instruction at `call_pos` must be a
+/// direct call.
+fn inline_site(f: &mut Function, callee: &Function, call_block: BlockId, call_pos: usize) {
+    let call_id = f.blocks[call_block.index()].insts[call_pos];
+    let InstKind::Call { args, .. } = f.inst(call_id).clone() else {
+        panic!("not a call");
+    };
+
+    // Split the caller block after the call.
+    let cont = f.add_block();
+    let after: Vec<InstId> = f.blocks[call_block.index()].insts.split_off(call_pos + 1);
+    f.blocks[call_block.index()].insts.pop(); // remove the call itself
+    let cont_term = std::mem::replace(&mut f.blocks[call_block.index()].term, Term::Unreachable);
+    f.blocks[cont.index()].insts = after;
+    f.blocks[cont.index()].term = cont_term;
+    // Successor phis referencing call_block now come from cont.
+    let succs: Vec<BlockId> = {
+        let mut s = Vec::new();
+        f.blocks[cont.index()].term.for_each_succ(|x| s.push(x));
+        s
+    };
+    for s in succs {
+        let insts = f.blocks[s.index()].insts.clone();
+        for id in insts {
+            if let InstKind::Phi { incomings } = f.inst_mut(id) {
+                for (p, _) in incomings.iter_mut() {
+                    if *p == call_block {
+                        *p = cont;
+                    }
+                }
+            }
+        }
+    }
+
+    // Copy callee blocks/instructions with remapping.
+    let callee_rpo = callee.rpo();
+    let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
+    for &b in &callee_rpo {
+        block_map.insert(b, f.add_block());
+    }
+    let mut inst_map: HashMap<InstId, InstId> = HashMap::new();
+    // First create placeholder instructions to get ids (phis may refer
+    // forward).
+    for &b in &callee_rpo {
+        for &i in &callee.blocks[b.index()].insts {
+            let id = f.add_inst(InstKind::Copy { v: Val::Const(0) });
+            inst_map.insert(i, id);
+        }
+    }
+    let map_val = |v: Val, inst_map: &HashMap<InstId, InstId>, args: &[Val]| match v {
+        Val::Inst(i) => Val::Inst(inst_map[&i]),
+        Val::Param(p) => args.get(p as usize).copied().unwrap_or(Val::Const(0)),
+        c => c,
+    };
+    // Return collection.
+    let mut ret_edges: Vec<(BlockId, Option<Val>)> = Vec::new();
+    for &b in &callee_rpo {
+        let nb = block_map[&b];
+        for &i in &callee.blocks[b.index()].insts {
+            let mut kind = callee.inst(i).clone();
+            kind.for_each_operand_mut(|v| *v = map_val(*v, &inst_map, &args));
+            if let InstKind::Phi { incomings } = &mut kind {
+                for (p, _) in incomings.iter_mut() {
+                    *p = block_map.get(p).copied().unwrap_or(*p);
+                }
+            }
+            let id = inst_map[&i];
+            *f.inst_mut(id) = kind;
+            f.blocks[nb.index()].insts.push(id);
+        }
+        let mut term = callee.blocks[b.index()].term.clone();
+        term.for_each_operand_mut(|v| *v = map_val(*v, &inst_map, &args));
+        term.for_each_succ_mut(|s| *s = block_map[s]);
+        match term {
+            Term::Ret(v) => {
+                ret_edges.push((nb, v));
+                f.blocks[nb.index()].term = Term::Br(cont);
+            }
+            other => f.blocks[nb.index()].term = other,
+        }
+    }
+
+    // Hoist inlined allocas into the caller entry so loops around the call
+    // site cannot grow the frame unboundedly.
+    let entry = f.entry;
+    for &b in &callee_rpo {
+        let nb = block_map[&b];
+        if nb == entry {
+            continue;
+        }
+        let mut hoisted = Vec::new();
+        f.blocks[nb.index()].insts.retain(|&i| {
+            if matches!(f.insts[i.index()], InstKind::Alloca { .. }) {
+                hoisted.push(i);
+                false
+            } else {
+                true
+            }
+        });
+        if !hoisted.is_empty() {
+            let mut rest = std::mem::take(&mut f.blocks[entry.index()].insts);
+            let mut new = hoisted;
+            new.append(&mut rest);
+            f.blocks[entry.index()].insts = new;
+        }
+    }
+
+    // Jump into the inlined entry.
+    f.blocks[call_block.index()].term = Term::Br(block_map[&callee.entry]);
+
+    // Replace the call's value with the return value (phi if several).
+    let ret_val = match ret_edges.len() {
+        0 => Val::Const(0),
+        1 => ret_edges[0].1.unwrap_or(Val::Const(0)),
+        _ => {
+            let incomings: Vec<(BlockId, Val)> = ret_edges
+                .iter()
+                .map(|(b, v)| (*b, v.unwrap_or(Val::Const(0))))
+                .collect();
+            let phi = f.add_inst(InstKind::Phi { incomings });
+            f.blocks[cont.index()].insts.insert(0, phi);
+            Val::Inst(phi)
+        }
+    };
+    *f.inst_mut(call_id) = InstKind::Copy { v: ret_val };
+    let pos = ret_edges.len().min(1); // after potential phi
+    let _ = pos;
+    // Re-home the (now Copy) call id at the head of cont, after phis.
+    let phi_count = f.blocks[cont.index()]
+        .insts
+        .iter()
+        .take_while(|i| matches!(f.insts[i.index()], InstKind::Phi { .. }))
+        .count();
+    f.blocks[cont.index()].insts.insert(phi_count, call_id);
+}
+
+/// Run inlining over a module.
+pub fn run(m: &mut Module, limits: &InlineLimits) -> bool {
+    let mut changed = false;
+    for _ in 0..limits.rounds {
+        let mut round_changed = false;
+        for caller_idx in 0..m.funcs.len() {
+            let caller_id = FuncId(caller_idx as u32);
+            'again: loop {
+                // Find one inlinable call site.
+                let f = &m.funcs[caller_idx];
+                let mut site = None;
+                for b in f.rpo() {
+                    for (pos, &i) in f.blocks[b.index()].insts.iter().enumerate() {
+                        if let InstKind::Call { f: callee, .. } = f.inst(i) {
+                            if inlinable(m, *callee, caller_id, limits) {
+                                site = Some((b, pos, *callee));
+                                break;
+                            }
+                        }
+                    }
+                    if site.is_some() {
+                        break;
+                    }
+                }
+                let Some((b, pos, callee)) = site else { break 'again };
+                let callee_fn = m.funcs[callee.index()].clone();
+                inline_site(&mut m.funcs[caller_idx], &callee_fn, b, pos);
+                round_changed = true;
+                changed = true;
+            }
+        }
+        if !round_changed {
+            break;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wyt_ir::interp::{Interp, NoHooks};
+    use wyt_ir::verify::verify_module;
+    use wyt_ir::{BinOp, CmpOp, Ty};
+
+    fn double_module() -> Module {
+        let mut m = Module::new();
+        let mut callee = Function::new("double");
+        callee.num_params = 1;
+        let r = callee.push_inst(callee.entry, InstKind::Bin { op: BinOp::Mul, a: Val::Param(0), b: Val::Const(2) });
+        callee.blocks[0].term = Term::Ret(Some(Val::Inst(r)));
+        let cid = m.add_func(callee);
+        let mut main = Function::new("main");
+        let c1 = main.push_inst(main.entry, InstKind::Call { f: cid, args: vec![Val::Const(10)] });
+        let c2 = main.push_inst(main.entry, InstKind::Call { f: cid, args: vec![Val::Inst(c1)] });
+        main.blocks[0].term = Term::Ret(Some(Val::Inst(c2)));
+        let mid = m.add_func(main);
+        m.entry = Some(mid);
+        m
+    }
+
+    #[test]
+    fn inlines_and_preserves_semantics() {
+        let mut m = double_module();
+        assert!(run(&mut m, &InlineLimits::default()));
+        verify_module(&m).unwrap();
+        let main = &m.funcs[1];
+        for b in main.rpo() {
+            for &i in &main.blocks[b.index()].insts {
+                assert!(!main.inst(i).is_call(), "all calls should be inlined");
+            }
+        }
+        let out = Interp::new(&m, vec![], NoHooks).run();
+        assert!(out.ok());
+        assert_eq!(out.exit_code, 40);
+    }
+
+    #[test]
+    fn inlines_branchy_callee_with_multiple_returns() {
+        let mut m = Module::new();
+        let mut abs = Function::new("abs");
+        abs.num_params = 1;
+        let neg_b = abs.add_block();
+        let pos_b = abs.add_block();
+        let c = abs.push_inst(abs.entry, InstKind::Cmp { op: CmpOp::SLt, a: Val::Param(0), b: Val::Const(0) });
+        abs.blocks[0].term = Term::CondBr { c: Val::Inst(c), t: neg_b, f: pos_b };
+        let n = abs.push_inst(neg_b, InstKind::Bin { op: BinOp::Sub, a: Val::Const(0), b: Val::Param(0) });
+        abs.blocks[neg_b.index()].term = Term::Ret(Some(Val::Inst(n)));
+        abs.blocks[pos_b.index()].term = Term::Ret(Some(Val::Param(0)));
+        let aid = m.add_func(abs);
+
+        let mut main = Function::new("main");
+        let c1 = main.push_inst(main.entry, InstKind::Call { f: aid, args: vec![Val::Const(-31)] });
+        let c2 = main.push_inst(main.entry, InstKind::Call { f: aid, args: vec![Val::Const(11)] });
+        let s = main.push_inst(main.entry, InstKind::Bin { op: BinOp::Add, a: Val::Inst(c1), b: Val::Inst(c2) });
+        main.blocks[0].term = Term::Ret(Some(Val::Inst(s)));
+        let mid = m.add_func(main);
+        m.entry = Some(mid);
+
+        assert!(run(&mut m, &InlineLimits::default()));
+        verify_module(&m).unwrap();
+        let out = Interp::new(&m, vec![], NoHooks).run();
+        assert_eq!(out.exit_code, 42);
+    }
+
+    #[test]
+    fn recursion_not_inlined() {
+        let mut m = Module::new();
+        let mut f = Function::new("rec");
+        f.num_params = 1;
+        let c = f.push_inst(f.entry, InstKind::Call { f: FuncId(0), args: vec![Val::Param(0)] });
+        f.blocks[0].term = Term::Ret(Some(Val::Inst(c)));
+        m.add_func(f);
+        assert!(!run(&mut m, &InlineLimits::default()));
+    }
+
+    #[test]
+    fn allocas_are_hoisted_to_entry() {
+        let mut m = Module::new();
+        let mut callee = Function::new("with_slot");
+        callee.num_params = 1;
+        let a = callee.push_inst(callee.entry, InstKind::Alloca { size: 4, align: 4, name: "t".into() });
+        callee.push_inst(callee.entry, InstKind::Store { ty: Ty::I32, addr: Val::Inst(a), val: Val::Param(0) });
+        let l = callee.push_inst(callee.entry, InstKind::Load { ty: Ty::I32, addr: Val::Inst(a) });
+        callee.blocks[0].term = Term::Ret(Some(Val::Inst(l)));
+        let cid = m.add_func(callee);
+
+        // Caller calls it inside a two-block structure.
+        let mut main = Function::new("main");
+        let next = main.add_block();
+        main.blocks[0].term = Term::Br(next);
+        let c = main.push_inst(next, InstKind::Call { f: cid, args: vec![Val::Const(9)] });
+        main.blocks[next.index()].term = Term::Ret(Some(Val::Inst(c)));
+        let mid = m.add_func(main);
+        m.entry = Some(mid);
+
+        assert!(run(&mut m, &InlineLimits::default()));
+        verify_module(&m).unwrap();
+        let main = &m.funcs[1];
+        let first = main.blocks[main.entry.index()].insts.first().copied();
+        assert!(
+            matches!(first.map(|i| main.inst(i)), Some(InstKind::Alloca { .. })),
+            "inlined alloca should be hoisted to the caller entry"
+        );
+        let out = Interp::new(&m, vec![], NoHooks).run();
+        assert_eq!(out.exit_code, 9);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property test: the optimizer pipeline preserves semantics on randomly
+//! generated IR programs (straight-line and branching, with allocas and
+//! memory traffic).
+
+use proptest::prelude::*;
+use wyt_ir::interp::{Interp, NoHooks};
+use wyt_ir::verify::verify_module;
+use wyt_ir::{BinOp, CmpOp, Function, InstKind, Module, Term, Ty, Val};
+use wyt_opt::{optimize, OptLevel};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Bin(BinOp, u8, u8),
+    Cmp(CmpOp, u8, u8),
+    Const(i32),
+    StoreSlot(u8, u8),
+    LoadSlot(u8),
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Shl),
+        Just(BinOp::ShrA),
+    ]
+}
+
+fn arb_cmpop() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::SLt),
+        Just(CmpOp::SGe),
+        Just(CmpOp::ULt),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_binop(), any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| Op::Bin(o, a, b)),
+        (arb_cmpop(), any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| Op::Cmp(o, a, b)),
+        any::<i32>().prop_map(Op::Const),
+        (0u8..4, any::<u8>()).prop_map(|(s, v)| Op::StoreSlot(s, v)),
+        (0u8..4).prop_map(Op::LoadSlot),
+    ]
+}
+
+/// Build a module from the op list: four alloca slots, a value stream, and
+/// a final branch on the last value that returns one of two accumulations.
+fn build(ops: &[Op], branchy: bool) -> Module {
+    let mut m = Module::new();
+    let mut f = Function::new("main");
+    let slots: Vec<_> = (0..4)
+        .map(|i| {
+            f.push_inst(
+                f.entry,
+                InstKind::Alloca { size: 4, align: 4, name: format!("s{i}") },
+            )
+        })
+        .collect();
+    for s in &slots {
+        f.push_inst(
+            f.entry,
+            InstKind::Store { ty: Ty::I32, addr: Val::Inst(*s), val: Val::Const(1) },
+        );
+    }
+    let mut vals: Vec<Val> = vec![Val::Const(3), Val::Const(5)];
+    let pick = |vals: &Vec<Val>, k: u8| vals[k as usize % vals.len()];
+    for op in ops {
+        match op {
+            Op::Bin(o, a, b) => {
+                // Avoid div/rem traps in random programs.
+                let id = f.push_inst(
+                    f.entry,
+                    InstKind::Bin { op: *o, a: pick(&vals, *a), b: pick(&vals, *b) },
+                );
+                vals.push(Val::Inst(id));
+            }
+            Op::Cmp(o, a, b) => {
+                let id = f.push_inst(
+                    f.entry,
+                    InstKind::Cmp { op: *o, a: pick(&vals, *a), b: pick(&vals, *b) },
+                );
+                vals.push(Val::Inst(id));
+            }
+            Op::Const(c) => vals.push(Val::Const(*c)),
+            Op::StoreSlot(s, v) => {
+                let slot = slots[*s as usize % slots.len()];
+                f.push_inst(
+                    f.entry,
+                    InstKind::Store {
+                        ty: Ty::I32,
+                        addr: Val::Inst(slot),
+                        val: pick(&vals, *v),
+                    },
+                );
+            }
+            Op::LoadSlot(s) => {
+                let slot = slots[*s as usize % slots.len()];
+                let id = f.push_inst(f.entry, InstKind::Load { ty: Ty::I32, addr: Val::Inst(slot) });
+                vals.push(Val::Inst(id));
+            }
+        }
+    }
+    let last = *vals.last().expect("values");
+    if branchy {
+        let t = f.add_block();
+        let e = f.add_block();
+        let c = f.push_inst(
+            f.entry,
+            InstKind::Cmp { op: CmpOp::SLt, a: last, b: Val::Const(0) },
+        );
+        f.blocks[f.entry.index()].term = Term::CondBr { c: Val::Inst(c), t, f: e };
+        let l0 = f.push_inst(t, InstKind::Load { ty: Ty::I32, addr: Val::Inst(slots[0]) });
+        let x = f.push_inst(t, InstKind::Bin { op: BinOp::Add, a: last, b: Val::Inst(l0) });
+        f.blocks[t.index()].term = Term::Ret(Some(Val::Inst(x)));
+        let l1 = f.push_inst(e, InstKind::Load { ty: Ty::I32, addr: Val::Inst(slots[1]) });
+        let y = f.push_inst(e, InstKind::Bin { op: BinOp::Xor, a: last, b: Val::Inst(l1) });
+        f.blocks[e.index()].term = Term::Ret(Some(Val::Inst(y)));
+    } else {
+        f.blocks[f.entry.index()].term = Term::Ret(Some(last));
+    }
+    let id = m.add_func(f);
+    m.entry = Some(id);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn optimizer_preserves_semantics(ops in proptest::collection::vec(arb_op(), 1..40), branchy in any::<bool>()) {
+        let m0 = build(&ops, branchy);
+        verify_module(&m0).expect("generated module must verify");
+        let before = Interp::new(&m0, vec![], NoHooks).run();
+        prop_assert!(before.ok());
+
+        for level in [OptLevel::Clean, OptLevel::Full] {
+            let mut m = m0.clone();
+            optimize(&mut m, level);
+            verify_module(&m).expect("optimized module must verify");
+            let after = Interp::new(&m, vec![], NoHooks).run();
+            prop_assert!(after.ok());
+            prop_assert_eq!(before.exit_code, after.exit_code, "level {:?}", level);
+            prop_assert!(after.steps <= before.steps + 4, "optimizer must not pessimize");
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! # wyt-spec — SPECint-2006-shaped workloads
+//!
+//! Ten mini-C programs standing in for the paper's SPECint 2006 benchmarks
+//! (minus `omnetpp`/`perlbench`, which the paper also excludes). Each is a
+//! genuine scaled-down analogue of its namesake's computational core —
+//! compression, expression compilation, network optimization, board
+//! evaluation, sequence DP, game-tree search, quantum-register simulation,
+//! motion estimation, pathfinding, tree transformation — with loop-heavy
+//! inner kernels, mixed stack/global/heap data, recursion, and `printf`
+//! checksums for functional validation.
+//!
+//! Every benchmark provides deterministic *train* inputs (used for
+//! tracing, like the paper's incremental lifting inputs) and a larger
+//! *ref* input (used for measurement, like the SPEC ref datasets).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+mod sources;
+
+/// One benchmark: source program plus input generators.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// SPEC-style short name (`"bzip2"`, `"gcc"`, ...).
+    pub name: &'static str,
+    /// mini-C source.
+    pub source: &'static str,
+    seed: u64,
+    ref_len: usize,
+    train_len: usize,
+    train_count: usize,
+    alphabet: Alphabet,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Alphabet {
+    /// Arbitrary bytes.
+    Bytes,
+    /// Runs of repeated printable characters (compresses interestingly).
+    Runs,
+    /// Arithmetic expressions (digits and operators).
+    Expr,
+    /// Lowercase letters.
+    Letters,
+    /// Decimal digits.
+    Digits,
+}
+
+fn gen_input(alphabet: Alphabet, seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(len);
+    match alphabet {
+        Alphabet::Bytes => {
+            while out.len() < len {
+                out.push(rng.gen::<u8>());
+            }
+        }
+        Alphabet::Runs => {
+            while out.len() < len {
+                let c = b'a' + rng.gen_range(0..16u8);
+                let run = rng.gen_range(1..12usize);
+                for _ in 0..run.min(len - out.len()) {
+                    out.push(c);
+                }
+            }
+        }
+        Alphabet::Expr => {
+            while out.len() + 16 < len {
+                let mut depth = 0;
+                let terms = rng.gen_range(2..6);
+                for t in 0..terms {
+                    if t > 0 {
+                        out.push([b'+', b'-', b'*'][rng.gen_range(0..3)]);
+                    }
+                    if rng.gen_bool(0.3) && t + 1 < terms {
+                        out.push(b'(');
+                        depth += 1;
+                    }
+                    let n: u32 = rng.gen_range(0..999);
+                    out.extend_from_slice(n.to_string().as_bytes());
+                    if depth > 0 && rng.gen_bool(0.5) {
+                        out.push(b')');
+                        depth -= 1;
+                    }
+                }
+                for _ in 0..depth {
+                    out.push(b')');
+                }
+                out.push(b'\n');
+            }
+        }
+        Alphabet::Letters => {
+            while out.len() < len {
+                out.push(b'a' + rng.gen_range(0..26u8));
+            }
+        }
+        Alphabet::Digits => {
+            while out.len() < len {
+                out.push(b'0' + rng.gen_range(0..10u8));
+            }
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+impl Benchmark {
+    /// Train inputs: small, varied, used for tracing.
+    pub fn train_inputs(&self) -> Vec<Vec<u8>> {
+        (0..self.train_count)
+            .map(|i| {
+                gen_input(self.alphabet, self.seed.wrapping_add(i as u64 * 977), self.train_len)
+            })
+            .collect()
+    }
+
+    /// The ref input: larger, used for performance measurement.
+    pub fn ref_input(&self) -> Vec<u8> {
+        gen_input(self.alphabet, self.seed.wrapping_mul(31).wrapping_add(7), self.ref_len)
+    }
+
+    /// Train inputs plus the ref input (the paper traces the ref datasets;
+    /// including them guarantees coverage of the measured run).
+    pub fn trace_inputs(&self) -> Vec<Vec<u8>> {
+        let mut v = self.train_inputs();
+        v.push(self.ref_input());
+        v
+    }
+}
+
+/// The full suite, in the paper's Table 1 order.
+pub fn suite() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "bzip2",
+            source: sources::BZIP2,
+            seed: 0xb21,
+            ref_len: 6000,
+            train_len: 600,
+            train_count: 2,
+            alphabet: Alphabet::Runs,
+        },
+        Benchmark {
+            name: "gcc",
+            source: sources::GCC,
+            seed: 0x6cc,
+            ref_len: 4000,
+            train_len: 500,
+            train_count: 2,
+            alphabet: Alphabet::Expr,
+        },
+        Benchmark {
+            name: "mcf",
+            source: sources::MCF,
+            seed: 0x3cf,
+            ref_len: 600,
+            train_len: 120,
+            train_count: 2,
+            alphabet: Alphabet::Bytes,
+        },
+        Benchmark {
+            name: "gobmk",
+            source: sources::GOBMK,
+            seed: 0x60b,
+            ref_len: 800,
+            train_len: 150,
+            train_count: 2,
+            alphabet: Alphabet::Bytes,
+        },
+        Benchmark {
+            name: "hmmer",
+            source: sources::HMMER,
+            seed: 0x4e4,
+            ref_len: 900,
+            train_len: 150,
+            train_count: 2,
+            alphabet: Alphabet::Letters,
+        },
+        Benchmark {
+            name: "sjeng",
+            source: sources::SJENG,
+            seed: 0x51e,
+            ref_len: 64,
+            train_len: 16,
+            train_count: 2,
+            alphabet: Alphabet::Digits,
+        },
+        Benchmark {
+            name: "libquantum",
+            source: sources::LIBQUANTUM,
+            seed: 0x9a7,
+            ref_len: 96,
+            train_len: 24,
+            train_count: 2,
+            alphabet: Alphabet::Digits,
+        },
+        Benchmark {
+            name: "h264ref",
+            source: sources::H264REF,
+            seed: 0x264,
+            ref_len: 5000,
+            train_len: 600,
+            train_count: 2,
+            alphabet: Alphabet::Bytes,
+        },
+        Benchmark {
+            name: "astar",
+            source: sources::ASTAR,
+            seed: 0xa57,
+            ref_len: 700,
+            train_len: 150,
+            train_count: 2,
+            alphabet: Alphabet::Bytes,
+        },
+        Benchmark {
+            name: "xalancbmk",
+            source: sources::XALANCBMK,
+            seed: 0x7a1,
+            ref_len: 1500,
+            train_len: 250,
+            train_count: 2,
+            alphabet: Alphabet::Letters,
+        },
+    ]
+}
+
+/// Look up a benchmark by name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    suite().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wyt_emu::run_image;
+    use wyt_minicc::{compile, Profile};
+
+    #[test]
+    fn inputs_are_deterministic() {
+        let b = by_name("bzip2").unwrap();
+        assert_eq!(b.ref_input(), b.ref_input());
+        assert_eq!(b.train_inputs(), b.train_inputs());
+        assert_ne!(b.train_inputs()[0], b.train_inputs()[1]);
+        assert_eq!(b.trace_inputs().len(), b.train_inputs().len() + 1);
+    }
+
+    #[test]
+    fn all_benchmarks_compile_and_agree_across_profiles() {
+        for b in suite() {
+            let input = b.train_inputs().remove(0);
+            let mut reference: Option<(i32, Vec<u8>)> = None;
+            for p in [
+                Profile::gcc12_o3(),
+                Profile::gcc12_o0(),
+                Profile::clang16_o3(),
+                Profile::gcc44_o3(),
+                Profile::gcc44_o3_nopic(),
+            ] {
+                let img = compile(b.source, &p)
+                    .unwrap_or_else(|e| panic!("{} under {}: {e}", b.name, p.name));
+                let r = run_image(&img, input.clone());
+                assert!(r.ok(), "{} under {}: {:?}", b.name, p.name, r.trap);
+                assert!(!r.output.is_empty(), "{} must print a checksum", b.name);
+                match &reference {
+                    None => reference = Some((r.exit_code, r.output)),
+                    Some((code, out)) => {
+                        assert_eq!(r.exit_code, *code, "{} exit differs under {}", b.name, p.name);
+                        assert_eq!(&r.output, out, "{} output differs under {}", b.name, p.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ref_inputs_run_within_budget() {
+        for b in suite() {
+            let img = compile(b.source, &Profile::gcc12_o3()).unwrap();
+            let mut m = wyt_emu::Machine::new(&img, b.ref_input());
+            m.set_fuel(120_000_000);
+            let r = m.run();
+            assert!(r.ok(), "{} ref run: {:?}", b.name, r.trap);
+            assert!(
+                r.inst_count > 50_000,
+                "{} ref run too small to measure: {} insts",
+                b.name,
+                r.inst_count
+            );
+        }
+    }
+}

@@ -1,0 +1,753 @@
+//! The mini-C sources of the ten SPECint-shaped benchmarks.
+
+/// 401.bzip2 analogue: run-length encoding, move-to-front transform and an
+/// order-0 entropy proxy over the input block, three passes.
+pub const BZIP2: &str = r#"
+int buf[8192];
+int rle[8192];
+int mtf[8192];
+int freq[256];
+
+static int read_block(int cap) {
+    int n = 0;
+    int c;
+    while (n < cap) {
+        c = getchar();
+        if (c < 0) break;
+        buf[n] = c & 255;
+        n++;
+    }
+    return n;
+}
+
+static int run_length_encode(int n) {
+    int out = 0;
+    int i = 0;
+    while (i < n) {
+        int c = buf[i];
+        int run = 1;
+        while (i + run < n && buf[i + run] == c && run < 255) run++;
+        if (run >= 4) {
+            rle[out] = c; rle[out + 1] = c; rle[out + 2] = c; rle[out + 3] = c;
+            rle[out + 4] = run - 4;
+            out += 5;
+        } else {
+            int k;
+            for (k = 0; k < run; k++) rle[out + k] = c;
+            out += run;
+        }
+        i += run;
+    }
+    return out;
+}
+
+static int move_to_front(int n) {
+    char order[256];
+    int i;
+    int sum = 0;
+    for (i = 0; i < 256; i++) order[i] = i;
+    for (i = 0; i < n; i++) {
+        int c = rle[i];
+        int j = 0;
+        while ((order[j] & 255) != c) j++;
+        mtf[i] = j;
+        while (j > 0) {
+            order[j] = order[j - 1];
+            j--;
+        }
+        order[0] = c;
+        sum += mtf[i];
+    }
+    return sum;
+}
+
+static int entropy_proxy(int n) {
+    int i;
+    int bits = 0;
+    for (i = 0; i < 256; i++) freq[i] = 0;
+    for (i = 0; i < n; i++) freq[mtf[i] & 255]++;
+    for (i = 0; i < 256; i++) {
+        int f = freq[i];
+        int cost = 8;
+        while (f > 0) { cost--; f >>= 1; }
+        if (cost < 1) cost = 1;
+        bits += freq[i] * cost;
+    }
+    return bits;
+}
+
+int main() {
+    int pass;
+    int check = 0;
+    int n = read_block(8192);
+    for (pass = 0; pass < 3; pass++) {
+        int m = run_length_encode(n);
+        int msum = move_to_front(m);
+        int bits = entropy_proxy(m);
+        check = check * 31 + m + msum + bits;
+        buf[pass] = (check >> 3) & 255;
+    }
+    printf("bzip2 n=%d check=%x\n", n, check);
+    return check & 127;
+}
+"#;
+
+/// 403.gcc analogue: a tiny expression compiler — tokenizer, recursive
+/// descent parser with precedence, constant folder and a stack-machine
+/// code generator whose "emitted" opcodes are checksummed.
+pub const GCC: &str = r#"
+char src[8192];
+int srclen = 0;
+int pos = 0;
+int code[4096];
+int ncode = 0;
+
+static int peekc() {
+    if (pos >= srclen) return -1;
+    return src[pos] & 255;
+}
+
+static void emit(int op, int val) {
+    if (ncode < 4094) {
+        code[ncode] = op;
+        code[ncode + 1] = val;
+        ncode += 2;
+    }
+}
+
+/* forward reference to parse_expr resolves via the two-pass signature
+   collection (no prototypes in this dialect) */
+static int parse_primary() {
+    int c = peekc();
+    if (c == '(') {
+        int v;
+        pos++;
+        v = parse_expr();
+        if (peekc() == ')') pos++;
+        return v;
+    }
+    {
+        int v = 0;
+        while (c >= '0' && c <= '9') {
+            v = v * 10 + (c - '0');
+            pos++;
+            c = peekc();
+        }
+        emit(1, v);
+        return v;
+    }
+}
+
+static int parse_term() {
+    int v = parse_primary();
+    while (peekc() == '*') {
+        int r;
+        pos++;
+        r = parse_primary();
+        emit(3, 0);
+        v = v * r;
+    }
+    return v;
+}
+
+int parse_expr() {
+    int v = parse_term();
+    int c = peekc();
+    while (c == '+' || c == '-') {
+        int r;
+        pos++;
+        r = parse_term();
+        if (c == '+') { emit(2, 0); v = v + r; }
+        else { emit(4, 0); v = v - r; }
+        c = peekc();
+    }
+    return v;
+}
+
+static int run_vm() {
+    int stack[128];
+    int sp = 0;
+    int i;
+    for (i = 0; i < ncode; i += 2) {
+        int op = code[i];
+        switch (op) {
+            case 1:
+                if (sp < 127) { stack[sp] = code[i + 1]; sp++; }
+                break;
+            case 2:
+                if (sp >= 2) { stack[sp - 2] += stack[sp - 1]; sp--; }
+                break;
+            case 3:
+                if (sp >= 2) { stack[sp - 2] *= stack[sp - 1]; sp--; }
+                break;
+            case 4:
+                if (sp >= 2) { stack[sp - 2] -= stack[sp - 1]; sp--; }
+                break;
+            default:
+                break;
+        }
+    }
+    if (sp > 0) return stack[sp - 1];
+    return 0;
+}
+
+int main() {
+    int check = 0;
+    int lines = 0;
+    srclen = read_bytes(src, 8192);
+    while (pos < srclen) {
+        int folded;
+        int executed;
+        ncode = 0;
+        folded = parse_expr();
+        executed = run_vm();
+        if (folded != executed) check += 999999;
+        check = check * 33 + folded + ncode;
+        lines++;
+        while (peekc() == 10) pos++;
+        if (peekc() < 0) break;
+    }
+    printf("gcc lines=%d check=%x\n", lines, check);
+    return check & 127;
+}
+"#;
+
+/// 429.mcf analogue: repeated Bellman-Ford relaxations (the label-
+/// correcting core of network simplex) over a grid-shaped flow network
+/// with per-arc costs derived from the input.
+pub const MCF: &str = r#"
+struct node { int dist; int pot; int flow; };
+struct node nodes[400];
+int cost[1600];
+
+int main() {
+    char raw[640];
+    int n = read_bytes(raw, 640);
+    int w = 20;
+    int total = 400;
+    int i;
+    int round;
+    int check = 0;
+    for (i = 0; i < 1600; i++) cost[i] = ((raw[i % n] & 255) % 19) + 1;
+    for (round = 0; round < 12; round++) {
+        int changed = 1;
+        int sweeps = 0;
+        for (i = 0; i < total; i++) {
+            nodes[i].dist = 1000000;
+            nodes[i].pot = (i * 7 + round) % 13;
+            nodes[i].flow = 0;
+        }
+        nodes[round % total].dist = 0;
+        while (changed && sweeps < 40) {
+            changed = 0;
+            for (i = 0; i < total; i++) {
+                int d = nodes[i].dist;
+                int right = i + 1;
+                int down = i + w;
+                if (d >= 1000000) continue;
+                if (i % w != w - 1) {
+                    int nd = d + cost[(i * 2) % 1600] + nodes[right].pot;
+                    if (nd < nodes[right].dist) {
+                        nodes[right].dist = nd;
+                        changed = 1;
+                    }
+                }
+                if (down < total) {
+                    int nd = d + cost[(i * 2 + 1) % 1600] + nodes[down].pot;
+                    if (nd < nodes[down].dist) {
+                        nodes[down].dist = nd;
+                        changed = 1;
+                    }
+                }
+            }
+            sweeps++;
+        }
+        for (i = 0; i < total; i++) {
+            if (nodes[i].dist < 1000000) {
+                nodes[i].flow = nodes[i].dist % 7;
+                check += nodes[i].dist + nodes[i].flow;
+            }
+        }
+        check = check * 17 + sweeps;
+    }
+    printf("mcf check=%x\n", check);
+    return check & 127;
+}
+"#;
+
+/// 445.gobmk analogue: liberty counting on a Go board via recursive
+/// flood fill over chains, for a series of positions derived from input.
+pub const GOBMK: &str = r#"
+char board[361];
+char seen[361];
+
+static int flood(int p, int color) {
+    int libs = 0;
+    int x = p % 19;
+    int y = p / 19;
+    int d;
+    if (seen[p]) return 0;
+    seen[p] = 1;
+    for (d = 0; d < 4; d++) {
+        int nx = x;
+        int ny = y;
+        int q;
+        if (d == 0) nx = x - 1;
+        if (d == 1) nx = x + 1;
+        if (d == 2) ny = y - 1;
+        if (d == 3) ny = y + 1;
+        if (nx < 0 || nx >= 19 || ny < 0 || ny >= 19) continue;
+        q = ny * 19 + nx;
+        if (board[q] == 0) {
+            if (!seen[q]) {
+                seen[q] = 1;
+                libs++;
+            }
+        } else if (board[q] == color) {
+            libs += flood(q, color);
+        }
+    }
+    return libs;
+}
+
+static int eval_position() {
+    int p;
+    int score = 0;
+    for (p = 0; p < 361; p++) seen[p] = 0;
+    for (p = 0; p < 361; p++) {
+        if (board[p] != 0 && !seen[p]) {
+            int libs = flood(p, board[p]);
+            if (board[p] == 1) score += libs;
+            else score -= libs;
+        }
+    }
+    return score;
+}
+
+int main() {
+    char raw[1024];
+    int n = read_bytes(raw, 1024);
+    int pos;
+    int check = 0;
+    int game;
+    for (game = 0; game < 6; game++) {
+        int stones = 80 + game * 20;
+        int s;
+        for (pos = 0; pos < 361; pos++) board[pos] = 0;
+        for (s = 0; s < stones; s++) {
+            int r = (raw[(game * 131 + s * 7) % n] & 255) * 361 + s * 97;
+            int cell = ((r % 361) + 361) % 361;
+            board[cell] = 1 + (s & 1);
+        }
+        check = check * 31 + eval_position();
+    }
+    printf("gobmk check=%x\n", check);
+    return check & 127;
+}
+"#;
+
+/// 456.hmmer analogue: Viterbi-style dynamic programming over a profile
+/// HMM with match/insert/delete states; the per-cell state struct is
+/// copied wholesale each step (the vectorizable kernel).
+pub const HMMER: &str = r#"
+struct cell { int m; int ins; int del; int pad; };
+struct cell prev[64];
+struct cell curr[64];
+int emit_score[1664];
+char seq[1024];
+
+static int max2(int a, int b) { return a > b ? a : b; }
+static int max3(int a, int b, int c) { return max2(max2(a, b), c); }
+
+int main() {
+    int n = read_bytes(seq, 1024);
+    int model = 64;
+    int i;
+    int j;
+    int best = -1000000;
+    int check = 0;
+    for (i = 0; i < 1664; i++) emit_score[i] = ((i * 37) % 23) - 11;
+    for (j = 0; j < model; j++) {
+        prev[j].m = -10000;
+        prev[j].ins = -10000;
+        prev[j].del = -10000;
+        prev[j].pad = 0;
+    }
+    prev[0].m = 0;
+    for (i = 0; i < n; i++) {
+        int sym = (seq[i] & 255) % 26;
+        for (j = 1; j < model; j++) {
+            int e = emit_score[(sym * model + j) % 1664];
+            int from_m = prev[j - 1].m - 1;
+            int from_i = prev[j - 1].ins - 3;
+            int from_d = prev[j - 1].del - 2;
+            curr[j].m = max3(from_m, from_i, from_d) + e;
+            curr[j].ins = max2(prev[j].m - 4, prev[j].ins - 1) + (e >> 1);
+            curr[j].del = max2(curr[j - 1].m - 5, curr[j - 1].del - 1);
+            curr[j].pad = 0;
+        }
+        curr[0] = prev[0];
+        for (j = 0; j < model; j++) prev[j] = curr[j];
+        if (curr[model - 1].m > best) best = curr[model - 1].m;
+        check += curr[(i * 7) % model].m & 1023;
+    }
+    printf("hmmer best=%d check=%x\n", best, check);
+    return (best + check) & 127;
+}
+"#;
+
+/// 458.sjeng analogue: fixed-depth alpha-beta search over a deterministic
+/// toy game whose move values derive from a seed; per-node move list on
+/// the stack, deep recursion.
+pub const SJENG: &str = r#"
+int nodes = 0;
+
+static int gen_move_score(int state, int mv) {
+    int h = state * 2654435761 + mv * 40503;
+    h ^= h >> 13;
+    return (h % 200) - 100;
+}
+
+static int search(int state, int depth, int alpha, int beta) {
+    int moves[8];
+    int i;
+    int best = -30000;
+    nodes++;
+    if (depth == 0) {
+        int h = state * 2246822519;
+        h ^= h >> 11;
+        return (h % 600) - 300;
+    }
+    for (i = 0; i < 8; i++) moves[i] = gen_move_score(state, i);
+    for (i = 0; i < 8; i++) {
+        int child = state * 31 + moves[i] + i;
+        int v = -search(child, depth - 1, -beta, -alpha);
+        if (v > best) best = v;
+        if (best > alpha) alpha = best;
+        if (alpha >= beta) break;
+    }
+    return best;
+}
+
+int main() {
+    int check = 0;
+    int c;
+    int game = 1;
+    while ((c = getchar()) >= 0) {
+        int root = game * 7919 + (c & 255);
+        int score = search(root, 5, -30000, 30000);
+        check = check * 29 + score;
+        game++;
+    }
+    printf("sjeng games=%d nodes=%d check=%x\n", game - 1, nodes, check);
+    return check & 127;
+}
+"#;
+
+/// 462.libquantum analogue: gate simulation over a quantum register held
+/// as amplitude/phase arrays inside a struct that is snapshotted (block
+/// copied) between gates.
+pub const LIBQUANTUM: &str = r#"
+struct qreg { int amp[64]; int phase[64]; };
+struct qreg reg;
+struct qreg snap;
+
+static void hadamard(int target) {
+    int i;
+    for (i = 0; i < 64; i++) {
+        if (i & (1 << target)) {
+            int j = i ^ (1 << target);
+            int a = reg.amp[j];
+            int b = reg.amp[i];
+            reg.amp[j] = a + b;
+            reg.amp[i] = a - b;
+        }
+    }
+}
+
+static void cnot(int control, int target) {
+    int i;
+    for (i = 0; i < 64; i++) {
+        if ((i & (1 << control)) && !(i & (1 << target))) {
+            int j = i | (1 << target);
+            int t = reg.amp[i];
+            reg.amp[i] = reg.amp[j];
+            reg.amp[j] = t;
+        }
+    }
+}
+
+static void phase_shift(int target, int k) {
+    int i;
+    for (i = 0; i < 64; i++) {
+        if (i & (1 << target)) reg.phase[i] = (reg.phase[i] + k) % 256;
+    }
+}
+
+int main() {
+    int c;
+    int step = 0;
+    int check = 0;
+    int i;
+    for (i = 0; i < 64; i++) { reg.amp[i] = (i == 0) ? 1024 : 0; reg.phase[i] = 0; }
+    while ((c = getchar()) >= 0) {
+        int g = (c - '0') % 10;
+        int t = step % 6;
+        if (g < 4) hadamard(t);
+        else if (g < 7) cnot(t, (t + 1) % 6);
+        else phase_shift(t, g * 3 + 1);
+        snap = reg;           /* checkpoint: block copy of the register */
+        check = check * 13 + snap.amp[(step * 11) % 64] + snap.phase[(step * 17) % 64];
+        step++;
+        if (step % 8 == 0) {
+            reg = snap;       /* rollback path exercises the copy too */
+        }
+    }
+    printf("libquantum steps=%d check=%x\n", step, check);
+    return check & 127;
+}
+"#;
+
+/// 464.h264ref analogue: exhaustive-then-refined SAD motion search of
+/// 8x8 macroblocks inside a reconstructed reference frame.
+pub const H264REF: &str = r#"
+char frame[4096];   /* 64x64 reference */
+char block[64];     /* 8x8 current macroblock */
+
+static int sad(int bx, int by) {
+    int acc = 0;
+    int y;
+    for (y = 0; y < 8; y++) {
+        int x;
+        int row = (by + y) * 64 + bx;
+        for (x = 0; x < 8; x++) {
+            int d = (frame[row + x] & 255) - (block[y * 8 + x] & 255);
+            if (d < 0) d = -d;
+            acc += d;
+        }
+    }
+    return acc;
+}
+
+int main() {
+    char raw[6000];
+    int n = read_bytes(raw, 6000);
+    int i;
+    int mb;
+    int check = 0;
+    for (i = 0; i < 4096; i++) frame[i] = raw[i % n];
+    for (mb = 0; mb < 24; mb++) {
+        int best = 1000000;
+        int bestx = 0;
+        int besty = 0;
+        int sx;
+        int sy;
+        for (i = 0; i < 64; i++) block[i] = raw[(mb * 97 + i * 3) % n];
+        /* coarse full search on a 4-pel grid */
+        for (sy = 0; sy <= 56; sy += 4) {
+            for (sx = 0; sx <= 56; sx += 4) {
+                int s = sad(sx, sy);
+                if (s < best) { best = s; bestx = sx; besty = sy; }
+            }
+        }
+        /* refinement around the winner */
+        for (sy = besty - 3; sy <= besty + 3; sy++) {
+            for (sx = bestx - 3; sx <= bestx + 3; sx++) {
+                if (sx >= 0 && sy >= 0 && sx <= 56 && sy <= 56) {
+                    int s = sad(sx, sy);
+                    if (s < best) { best = s; bestx = sx; besty = sy; }
+                }
+            }
+        }
+        check = check * 37 + best + bestx * 64 + besty;
+    }
+    printf("h264ref check=%x\n", check);
+    return check & 127;
+}
+"#;
+
+/// 473.astar analogue: A* over a weighted grid with an array-heap open
+/// list and structs for node records.
+pub const ASTAR: &str = r#"
+struct rec { int idx; int g; int f; int pad; };
+struct rec heap[1024];
+int heapn = 0;
+int gcost[1024];
+char closed[1024];
+char terrain[1024];
+
+static void heap_push(int idx, int g, int f) {
+    int i = heapn;
+    if (heapn >= 1023) return;
+    heap[i].idx = idx;
+    heap[i].g = g;
+    heap[i].f = f;
+    heap[i].pad = 0;
+    heapn++;
+    while (i > 0) {
+        int p = (i - 1) / 2;
+        if (heap[p].f <= heap[i].f) break;
+        {
+            struct rec t;
+            t = heap[p];
+            heap[p] = heap[i];
+            heap[i] = t;
+        }
+        i = p;
+    }
+}
+
+static int heap_pop() {
+    int i = 0;
+    int top = heap[0].idx;
+    gcost[1023] = heap[0].g;  /* scratch slot carries g out */
+    heapn--;
+    heap[0] = heap[heapn];
+    while (1) {
+        int l = i * 2 + 1;
+        int r = l + 1;
+        int m = i;
+        if (l < heapn && heap[l].f < heap[m].f) m = l;
+        if (r < heapn && heap[r].f < heap[m].f) m = r;
+        if (m == i) break;
+        {
+            struct rec t;
+            t = heap[m];
+            heap[m] = heap[i];
+            heap[i] = t;
+        }
+        i = m;
+    }
+    return top;
+}
+
+static int hdist(int a, int b) {
+    int ax = a % 32;
+    int ay = a / 32;
+    int bx = b % 32;
+    int by = b / 32;
+    int dx = ax - bx;
+    int dy = ay - by;
+    if (dx < 0) dx = -dx;
+    if (dy < 0) dy = -dy;
+    return dx + dy;
+}
+
+static int astar(int start, int goal) {
+    int i;
+    int expansions = 0;
+    for (i = 0; i < 1024; i++) { gcost[i] = 1000000; closed[i] = 0; }
+    heapn = 0;
+    gcost[start] = 0;
+    heap_push(start, 0, hdist(start, goal));
+    while (heapn > 0) {
+        int cur = heap_pop();
+        int d;
+        if (closed[cur]) continue;
+        closed[cur] = 1;
+        expansions++;
+        if (cur == goal) return expansions;
+        for (d = 0; d < 4; d++) {
+            int x = cur % 32;
+            int y = cur / 32;
+            int nxt;
+            int step;
+            if (d == 0) x--;
+            if (d == 1) x++;
+            if (d == 2) y--;
+            if (d == 3) y++;
+            if (x < 0 || x >= 32 || y < 0 || y >= 32) continue;
+            nxt = y * 32 + x;
+            step = 1 + (terrain[nxt] & 7);
+            if (gcost[cur] + step < gcost[nxt]) {
+                gcost[nxt] = gcost[cur] + step;
+                heap_push(nxt, gcost[nxt], gcost[nxt] + hdist(nxt, goal));
+            }
+        }
+    }
+    return -expansions;
+}
+
+int main() {
+    char raw[1024];
+    int n = read_bytes(raw, 1024);
+    int q;
+    int check = 0;
+    int i;
+    for (i = 0; i < 1024; i++) terrain[i] = raw[i % n];
+    for (q = 0; q < 10; q++) {
+        int start = ((raw[q * 3 % n] & 255) * 4) % 1024;
+        int goal = 1023 - ((raw[(q * 5 + 1) % n] & 255) * 3) % 1024;
+        if (goal < 0) goal = -goal;
+        check = check * 41 + astar(start, goal % 1024);
+    }
+    printf("astar check=%x\n", check);
+    return check & 127;
+}
+"#;
+
+/// 483.xalancbmk analogue: build a binary search tree from the input
+/// stream (heap-allocated nodes), apply a recursive "stylesheet"
+/// transformation that restructures subtrees, then hash a traversal.
+pub const XALANCBMK: &str = r#"
+struct tnode { int key; int count; struct tnode *left; struct tnode *right; };
+
+struct tnode *root = 0;
+int transforms = 0;
+
+static struct tnode *insert(struct tnode *t, int key) {
+    if ((int)t == 0) {
+        struct tnode *n = (struct tnode*)malloc(sizeof(struct tnode));
+        n->key = key;
+        n->count = 1;
+        n->left = (struct tnode*)0;
+        n->right = (struct tnode*)0;
+        return n;
+    }
+    if (key < t->key) t->left = insert(t->left, key);
+    else if (key > t->key) t->right = insert(t->right, key);
+    else t->count++;
+    return t;
+}
+
+static struct tnode *transform(struct tnode *t, int depth) {
+    if ((int)t == 0) return t;
+    transforms++;
+    t->left = transform(t->left, depth + 1);
+    t->right = transform(t->right, depth + 1);
+    /* template rule: odd-count nodes at even depth swap children */
+    if ((t->count & 1) && (depth & 1) == 0) {
+        struct tnode *tmp = t->left;
+        t->left = t->right;
+        t->right = tmp;
+    }
+    return t;
+}
+
+static int hash_tree(struct tnode *t, int depth) {
+    int h;
+    if ((int)t == 0) return 7;
+    h = t->key * 31 + t->count * 7 + depth;
+    h = h * 131 + hash_tree(t->left, depth + 1);
+    h = h * 137 + hash_tree(t->right, depth + 1);
+    return h;
+}
+
+int main() {
+    int c;
+    int inserted = 0;
+    int check = 0;
+    int round;
+    while ((c = getchar()) >= 0) {
+        int key = (c & 255) * 101 + inserted * 17;
+        root = insert(root, key % 509);
+        inserted++;
+    }
+    for (round = 0; round < 4; round++) {
+        root = transform(root, 0);
+        check = check * 43 + hash_tree(root, 0);
+    }
+    printf("xalancbmk nodes=%d transforms=%d check=%x\n", inserted, transforms, check);
+    return check & 127;
+}
+"#;

@@ -1,0 +1,25 @@
+//! # wytiwyg-suite — workspace facade
+//!
+//! Re-exports the member crates of the WYTIWYG reproduction so examples
+//! and cross-crate integration tests can use one dependency. See the
+//! individual crates for documentation:
+//!
+//! - [`wyt_isa`] — instruction set, assembler, image format
+//! - [`wyt_emu`] — emulator, emulated libc, tracing, cycle model
+//! - [`wyt_ir`] — compiler-level IR with hooked interpreter
+//! - [`wyt_minicc`] — the multi-vintage workload compiler
+//! - [`wyt_lifter`] — dynamic lifting (BinRec analogue)
+//! - [`wyt_opt`] — the re-optimization pipeline
+//! - [`wyt_backend`] — IR-to-machine lowering
+//! - [`wyt_core`] — WYTIWYG itself: refinement lifting and symbolization
+//! - [`wyt_spec`] — the SPECint-shaped benchmark suite
+
+pub use wyt_backend;
+pub use wyt_core;
+pub use wyt_emu;
+pub use wyt_ir;
+pub use wyt_isa;
+pub use wyt_lifter;
+pub use wyt_minicc;
+pub use wyt_opt;
+pub use wyt_spec;
