@@ -230,7 +230,9 @@ impl<'m> FnLower<'m> {
         let k = SCRATCH.iter().position(|x| *x == r).expect("scratch");
         if let Some(Val::Inst(i)) = self.scratch[k] {
             let live = self.remaining.get(&Val::Inst(i)).copied().unwrap_or(0) > 0;
-            if live && !self.cross_block[i.index()] && !self.spilled.contains(&i)
+            if live
+                && !self.cross_block[i.index()]
+                && !self.spilled.contains(&i)
                 && !self.pinned.contains_key(&i)
             {
                 let m = self.slot_mem_of_inst(i);
@@ -333,9 +335,7 @@ impl<'m> FnLower<'m> {
 }
 
 /// Compute loop-depth-weighted scores and pick pinned values.
-fn pick_pinned(
-    f: &Function,
-) -> (HashMap<InstId, Reg>, HashMap<u32, Reg>, Vec<Reg>, Vec<bool>) {
+fn pick_pinned(f: &Function) -> (HashMap<InstId, Reg>, HashMap<u32, Reg>, Vec<Reg>, Vec<bool>) {
     let rpo = f.rpo();
     let mut order = HashMap::new();
     for (i, b) in rpo.iter().enumerate() {
@@ -391,7 +391,9 @@ fn pick_pinned(
             Val::Const(_) => false,
         })
         .collect();
-    cands.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| format!("{:?}", a.0).cmp(&format!("{:?}", b.0))));
+    cands.sort_by(|a, b| {
+        b.1.cmp(&a.1).then_with(|| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)))
+    });
 
     let mut pinned = HashMap::new();
     let mut pinned_params = HashMap::new();
@@ -640,7 +642,12 @@ fn lower_inst(lw: &mut FnLower<'_>, id: InstId) -> BResult<()> {
                     }
                 };
                 let bop = lw.loc_of(b);
-                lw.asm.emit(Inst::Alu { op: aluop, size: Size::D, dst: Operand::Reg(dst), src: bop });
+                lw.asm.emit(Inst::Alu {
+                    op: aluop,
+                    size: Size::D,
+                    dst: Operand::Reg(dst),
+                    src: bop,
+                });
                 lw.consume(a);
                 lw.consume(b);
                 lw.finish_result(id, dst);
@@ -915,30 +922,27 @@ fn emit_edge(lw: &mut FnLower<'_>, from: BlockId, to: BlockId, then_jump: bool) 
         .insts
         .iter()
         .map_while(|&i| match lw.f.inst(i) {
-            InstKind::Phi { incomings } => incomings
-                .iter()
-                .find(|(p, _)| *p == from)
-                .map(|(_, v)| (i, *v)),
+            InstKind::Phi { incomings } => {
+                incomings.iter().find(|(p, _)| *p == from).map(|(_, v)| (i, *v))
+            }
             _ => None,
         })
         .collect();
 
-    let write_phi = |lw: &mut FnLower<'_>, phi: InstId, v: Val| {
-        match lw.pinned.get(&phi).copied() {
-            Some(p) => {
-                let loc = lw.loc_of(v);
-                if loc != Operand::Reg(p) {
-                    lw.asm.emit(movd(Operand::Reg(p), loc));
-                }
+    let write_phi = |lw: &mut FnLower<'_>, phi: InstId, v: Val| match lw.pinned.get(&phi).copied() {
+        Some(p) => {
+            let loc = lw.loc_of(v);
+            if loc != Operand::Reg(p) {
+                lw.asm.emit(movd(Operand::Reg(p), loc));
             }
-            None => {
-                let sm = lw.slot_mem_of_inst(phi);
-                match lw.loc_of(v) {
-                    Operand::Imm(c) => lw.asm.emit(movd(Operand::Mem(sm), Operand::Imm(c))),
-                    _ => {
-                        let r = lw.val_to_reg(v, None, &[]);
-                        lw.asm.emit(movd(Operand::Mem(sm), Operand::Reg(r)));
-                    }
+        }
+        None => {
+            let sm = lw.slot_mem_of_inst(phi);
+            match lw.loc_of(v) {
+                Operand::Imm(c) => lw.asm.emit(movd(Operand::Mem(sm), Operand::Imm(c))),
+                _ => {
+                    let r = lw.val_to_reg(v, None, &[]);
+                    lw.asm.emit(movd(Operand::Mem(sm), Operand::Reg(r)));
                 }
             }
         }
@@ -948,9 +952,7 @@ fn emit_edge(lw: &mut FnLower<'_>, from: BlockId, to: BlockId, then_jump: bool) 
     // read by any remaining incoming; stage the residual cycle, if any.
     while !pending.is_empty() {
         let pos = pending.iter().position(|(phi, _)| {
-            !pending.iter().any(|(other, v)| {
-                *v == Val::Inst(*phi) && *other != *phi
-            })
+            !pending.iter().any(|(other, v)| *v == Val::Inst(*phi) && *other != *phi)
         });
         match pos {
             Some(k) => {
@@ -1066,11 +1068,7 @@ fn lower_term(lw: &mut FnLower<'_>, b: BlockId, next_in_layout: Option<BlockId>)
             let rv = lw.val_to_reg(v, None, &[]);
             let mut tramps: Vec<(Label, BlockId)> = Vec::new();
             for (cv, target) in &cases {
-                lw.asm.emit(Inst::Cmp {
-                    size: Size::D,
-                    a: Operand::Reg(rv),
-                    b: Operand::Imm(*cv),
-                });
+                lw.asm.emit(Inst::Cmp { size: Size::D, a: Operand::Reg(rv), b: Operand::Imm(*cv) });
                 if has_phis(lw.f, *target) {
                     let tl = lw.asm.fresh_label();
                     lw.asm.jcc(Cc::E, tl);
@@ -1137,12 +1135,8 @@ pub fn lower_module(module: &Module) -> Result<Image, BackendError> {
     image.imports = module.externs.clone();
 
     let orig_addrs: Vec<Option<u32>> = module.funcs.iter().map(|f| f.orig_addr).collect();
-    let indirect_targets: Vec<(u32, usize)> = module
-        .funcs
-        .iter()
-        .enumerate()
-        .filter_map(|(i, f)| f.orig_addr.map(|a| (a, i)))
-        .collect();
+    let indirect_targets: Vec<(u32, usize)> =
+        module.funcs.iter().enumerate().filter_map(|(i, f)| f.orig_addr.map(|a| (a, i))).collect();
 
     let mut asm = Asm::new();
     let func_labels: Vec<Label> = module.funcs.iter().map(|_| asm.fresh_label()).collect();
@@ -1160,10 +1154,9 @@ pub fn lower_module(module: &Module) -> Result<Image, BackendError> {
     let assembled = asm.finish(image.text_base);
     image.entry = assembled.addr_of(func_labels[entry.index()]);
     for (fidx, f) in module.funcs.iter().enumerate() {
-        image.symbols.push(Symbol {
-            name: f.name.clone(),
-            addr: assembled.addr_of(func_labels[fidx]),
-        });
+        image
+            .symbols
+            .push(Symbol { name: f.name.clone(), addr: assembled.addr_of(func_labels[fidx]) });
     }
     image.text = assembled.bytes;
     Ok(image)
@@ -1184,7 +1177,10 @@ mod tests {
     fn lowers_arithmetic() {
         let mut m = Module::new();
         let mut f = Function::new("main");
-        let a = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Mul, a: Val::Const(6), b: Val::Const(7) });
+        let a = f.push_inst(
+            f.entry,
+            InstKind::Bin { op: BinOp::Mul, a: Val::Const(6), b: Val::Const(7) },
+        );
         f.blocks[0].term = Term::Ret(Some(Val::Inst(a)));
         let id = m.add_func(f);
         m.entry = Some(id);
@@ -1202,17 +1198,24 @@ mod tests {
         let phi_i = f.add_inst(InstKind::Phi { incomings: vec![] });
         let phi_s = f.add_inst(InstKind::Phi { incomings: vec![] });
         f.blocks[header.index()].insts = vec![phi_i, phi_s];
-        let c = f.push_inst(header, InstKind::Cmp { op: CmpOp::SLt, a: Val::Inst(phi_i), b: Val::Const(10) });
+        let c = f.push_inst(
+            header,
+            InstKind::Cmp { op: CmpOp::SLt, a: Val::Inst(phi_i), b: Val::Const(10) },
+        );
         f.blocks[header.index()].term = Term::CondBr { c: Val::Inst(c), t: body, f: exit };
-        let s2 = f.push_inst(body, InstKind::Bin { op: BinOp::Add, a: Val::Inst(phi_s), b: Val::Inst(phi_i) });
-        let i2 = f.push_inst(body, InstKind::Bin { op: BinOp::Add, a: Val::Inst(phi_i), b: Val::Const(1) });
+        let s2 = f.push_inst(
+            body,
+            InstKind::Bin { op: BinOp::Add, a: Val::Inst(phi_s), b: Val::Inst(phi_i) },
+        );
+        let i2 = f.push_inst(
+            body,
+            InstKind::Bin { op: BinOp::Add, a: Val::Inst(phi_i), b: Val::Const(1) },
+        );
         f.blocks[body.index()].term = Term::Br(header);
-        *f.inst_mut(phi_i) = InstKind::Phi {
-            incomings: vec![(BlockId(0), Val::Const(0)), (body, Val::Inst(i2))],
-        };
-        *f.inst_mut(phi_s) = InstKind::Phi {
-            incomings: vec![(BlockId(0), Val::Const(0)), (body, Val::Inst(s2))],
-        };
+        *f.inst_mut(phi_i) =
+            InstKind::Phi { incomings: vec![(BlockId(0), Val::Const(0)), (body, Val::Inst(i2))] };
+        *f.inst_mut(phi_s) =
+            InstKind::Phi { incomings: vec![(BlockId(0), Val::Const(0)), (body, Val::Inst(s2))] };
         f.blocks[exit.index()].term = Term::Ret(Some(Val::Inst(phi_s)));
         let id = m.add_func(f);
         m.entry = Some(id);
@@ -1225,16 +1228,23 @@ mod tests {
         let mut m = Module::new();
         let mut callee = Function::new("sq");
         callee.num_params = 1;
-        let r = callee.push_inst(callee.entry, InstKind::Bin { op: BinOp::Mul, a: Val::Param(0), b: Val::Param(0) });
+        let r = callee.push_inst(
+            callee.entry,
+            InstKind::Bin { op: BinOp::Mul, a: Val::Param(0), b: Val::Param(0) },
+        );
         callee.blocks[0].term = Term::Ret(Some(Val::Inst(r)));
         let cid = m.add_func(callee);
 
         let mut f = Function::new("main");
         let slot = f.push_inst(f.entry, InstKind::Alloca { size: 4, align: 4, name: "x".into() });
-        f.push_inst(f.entry, InstKind::Store { ty: Ty::I32, addr: Val::Inst(slot), val: Val::Const(5) });
+        f.push_inst(
+            f.entry,
+            InstKind::Store { ty: Ty::I32, addr: Val::Inst(slot), val: Val::Const(5) },
+        );
         let l = f.push_inst(f.entry, InstKind::Load { ty: Ty::I32, addr: Val::Inst(slot) });
         let c = f.push_inst(f.entry, InstKind::Call { f: cid, args: vec![Val::Inst(l)] });
-        let sum = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Inst(c), b: Val::Inst(l) });
+        let sum = f
+            .push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Inst(c), b: Val::Inst(l) });
         f.blocks[0].term = Term::Ret(Some(Val::Inst(sum)));
         let id = m.add_func(f);
         m.entry = Some(id);
@@ -1254,7 +1264,10 @@ mod tests {
         let printf = m.extern_index("printf");
         let mut f = Function::new("main");
         let ga = f.push_inst(f.entry, InstKind::GlobalAddr { g });
-        f.push_inst(f.entry, InstKind::CallExt { ext: printf, args: vec![Val::Inst(ga), Val::Const(9)] });
+        f.push_inst(
+            f.entry,
+            InstKind::CallExt { ext: printf, args: vec![Val::Inst(ga), Val::Const(9)] },
+        );
         f.blocks[0].term = Term::Ret(Some(Val::Const(0)));
         let id = m.add_func(f);
         m.entry = Some(id);
@@ -1269,9 +1282,13 @@ mod tests {
         let mut m = Module::new();
         let mut f = Function::new("main");
         let slot = f.push_inst(f.entry, InstKind::Alloca { size: 4, align: 4, name: "b".into() });
-        f.push_inst(f.entry, InstKind::Store { ty: Ty::I8, addr: Val::Inst(slot), val: Val::Const(0x99) });
+        f.push_inst(
+            f.entry,
+            InstKind::Store { ty: Ty::I8, addr: Val::Inst(slot), val: Val::Const(0x99) },
+        );
         let l = f.push_inst(f.entry, InstKind::Load { ty: Ty::I8, addr: Val::Inst(slot) });
-        let se = f.push_inst(f.entry, InstKind::Ext { signed: true, from: Ty::I8, v: Val::Inst(l) });
+        let se =
+            f.push_inst(f.entry, InstKind::Ext { signed: true, from: Ty::I8, v: Val::Inst(l) });
         f.blocks[0].term = Term::Ret(Some(Val::Inst(se)));
         let id = m.add_func(f);
         m.entry = Some(id);
@@ -1295,7 +1312,8 @@ mod tests {
 
         // Unknown target traps.
         let mut f2 = Function::new("main2");
-        let c2 = f2.push_inst(f2.entry, InstKind::CallInd { target: Val::Const(0x9999), args: vec![] });
+        let c2 =
+            f2.push_inst(f2.entry, InstKind::CallInd { target: Val::Const(0x9999), args: vec![] });
         f2.blocks[0].term = Term::Ret(Some(Val::Inst(c2)));
         let id2 = m.add_func(f2);
         m.entry = Some(id2);
@@ -1307,12 +1325,30 @@ mod tests {
     fn lowers_division_and_shifts() {
         let mut m = Module::new();
         let mut f = Function::new("main");
-        let q = f.push_inst(f.entry, InstKind::Bin { op: BinOp::DivS, a: Val::Const(-17), b: Val::Const(5) });
-        let r = f.push_inst(f.entry, InstKind::Bin { op: BinOp::RemS, a: Val::Const(-17), b: Val::Const(5) });
-        let s = f.push_inst(f.entry, InstKind::Bin { op: BinOp::ShrA, a: Val::Const(-64), b: Val::Const(3) });
-        let t1 = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Mul, a: Val::Inst(q), b: Val::Const(100) });
-        let t2 = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Inst(t1), b: Val::Inst(r) });
-        let t3 = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Inst(t2), b: Val::Inst(s) });
+        let q = f.push_inst(
+            f.entry,
+            InstKind::Bin { op: BinOp::DivS, a: Val::Const(-17), b: Val::Const(5) },
+        );
+        let r = f.push_inst(
+            f.entry,
+            InstKind::Bin { op: BinOp::RemS, a: Val::Const(-17), b: Val::Const(5) },
+        );
+        let s = f.push_inst(
+            f.entry,
+            InstKind::Bin { op: BinOp::ShrA, a: Val::Const(-64), b: Val::Const(3) },
+        );
+        let t1 = f.push_inst(
+            f.entry,
+            InstKind::Bin { op: BinOp::Mul, a: Val::Inst(q), b: Val::Const(100) },
+        );
+        let t2 = f.push_inst(
+            f.entry,
+            InstKind::Bin { op: BinOp::Add, a: Val::Inst(t1), b: Val::Inst(r) },
+        );
+        let t3 = f.push_inst(
+            f.entry,
+            InstKind::Bin { op: BinOp::Add, a: Val::Inst(t2), b: Val::Inst(s) },
+        );
         f.blocks[0].term = Term::Ret(Some(Val::Inst(t3)));
         let id = m.add_func(f);
         m.entry = Some(id);

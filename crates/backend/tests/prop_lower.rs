@@ -3,12 +3,13 @@
 //! program. This is the differential check that makes cycle comparisons
 //! between interpreter-measured and machine-measured worlds trustworthy.
 
-use proptest::prelude::*;
 use wyt_backend::lower_module;
 use wyt_emu::run_image;
 use wyt_ir::interp::{Interp, NoHooks};
 use wyt_ir::verify::verify_module;
 use wyt_ir::{BinOp, CmpOp, Function, InstKind, Module, Term, Ty, Val};
+use wyt_testkit::prop::{check, shrink_vec, vec_of, Config};
+use wyt_testkit::Rng;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -20,41 +21,29 @@ enum Op {
     Load(u8),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (
-            prop_oneof![
-                Just(BinOp::Add),
-                Just(BinOp::Sub),
-                Just(BinOp::Mul),
-                Just(BinOp::And),
-                Just(BinOp::Or),
-                Just(BinOp::Xor),
-                Just(BinOp::Shl),
-                Just(BinOp::ShrL),
-                Just(BinOp::ShrA),
-            ],
-            any::<u8>(),
-            any::<u8>()
-        )
-            .prop_map(|(o, a, b)| Op::Bin(o, a, b)),
-        (
-            prop_oneof![
-                Just(CmpOp::Eq),
-                Just(CmpOp::Ne),
-                Just(CmpOp::SLt),
-                Just(CmpOp::SLe),
-                Just(CmpOp::UGt),
-            ],
-            any::<u8>(),
-            any::<u8>()
-        )
-            .prop_map(|(o, a, b)| Op::Cmp(o, a, b)),
-        (any::<bool>(), any::<u8>()).prop_map(|(s, v)| Op::Ext(s, v)),
-        any::<i32>().prop_map(Op::Const),
-        (0u8..3, any::<u8>()).prop_map(|(s, v)| Op::Store(s, v)),
-        (0u8..3).prop_map(Op::Load),
-    ]
+const BINOPS: [BinOp; 9] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::ShrL,
+    BinOp::ShrA,
+];
+
+const CMPOPS: [CmpOp; 5] = [CmpOp::Eq, CmpOp::Ne, CmpOp::SLt, CmpOp::SLe, CmpOp::UGt];
+
+fn arb_op(rng: &mut Rng) -> Op {
+    match rng.range_u32(0, 6) {
+        0 => Op::Bin(*rng.choose(&BINOPS), rng.next_u8(), rng.next_u8()),
+        1 => Op::Cmp(*rng.choose(&CMPOPS), rng.next_u8(), rng.next_u8()),
+        2 => Op::Ext(rng.next_bool(), rng.next_u8()),
+        3 => Op::Const(rng.next_i32()),
+        4 => Op::Store(rng.range_u32(0, 3) as u8, rng.next_u8()),
+        _ => Op::Load(rng.range_u32(0, 3) as u8),
+    }
 }
 
 fn build(ops: &[Op]) -> Module {
@@ -128,18 +117,32 @@ fn build(ops: &[Op]) -> Module {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn backend_matches_interpreter(ops in proptest::collection::vec(arb_op(), 1..48)) {
-        let m = build(&ops);
-        verify_module(&m).expect("generated module verifies");
-        let interp = Interp::new(&m, vec![], NoHooks).run();
-        prop_assert!(interp.ok());
-        let img = lower_module(&m).expect("lowering succeeds");
-        let machine = run_image(&img, vec![]);
-        prop_assert!(machine.ok(), "machine trapped: {:?}", machine.trap);
-        prop_assert_eq!(interp.exit_code, machine.exit_code);
-    }
+#[test]
+fn backend_matches_interpreter() {
+    check(
+        "backend_matches_interpreter",
+        &Config::cases(48),
+        |rng| vec_of(rng, 1, 48, arb_op),
+        |ops| shrink_vec(ops),
+        |ops| {
+            let m = build(ops);
+            verify_module(&m).map_err(|e| format!("generated module must verify: {e}"))?;
+            let interp = Interp::new(&m, vec![], NoHooks).run();
+            if !interp.ok() {
+                return Err(format!("interpreter failed: {:?}", interp.error));
+            }
+            let img = lower_module(&m).map_err(|e| format!("lowering failed: {e}"))?;
+            let machine = run_image(&img, vec![]);
+            if !machine.ok() {
+                return Err(format!("machine trapped: {:?}", machine.trap));
+            }
+            if interp.exit_code != machine.exit_code {
+                return Err(format!(
+                    "exit codes differ: interp {} vs machine {}",
+                    interp.exit_code, machine.exit_code
+                ));
+            }
+            Ok(())
+        },
+    );
 }

@@ -1,54 +1,36 @@
-//! Criterion micro-benchmarks of the recompilation pipeline itself:
-//! how long tracing, lifting, the refinements, and the full recompilation
-//! take on a representative workload. (The paper's tables measure the
-//! *product*; these measure the *toolchain*, and gate regressions in it.)
+//! Micro-benchmarks of the recompilation pipeline itself: how long
+//! tracing, lifting, the refinements, and the full recompilation take on
+//! a representative workload. (The paper's tables measure the *product*;
+//! these measure the *toolchain*, and gate regressions in it.)
+//!
+//! Run with `cargo bench -p wyt-bench`. Uses the in-tree harness in
+//! `wyt_bench::timing` — no external benchmarking dependencies.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use wyt_bench::timing::Bencher;
 use wyt_core::{recompile, Mode};
 use wyt_lifter::lift_image;
 use wyt_minicc::{compile, Profile};
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
+    let b = Bencher::default();
+
     let bench = wyt_spec::by_name("sjeng").expect("suite");
     let img = compile(bench.source, &Profile::gcc44_o3()).unwrap().stripped();
     let inputs = bench.train_inputs();
 
-    c.bench_function("trace_and_lift", |b| {
-        b.iter(|| lift_image(&img, &inputs).unwrap())
-    });
+    b.bench("trace_and_lift", || lift_image(&img, &inputs).unwrap());
+    b.bench("recompile_nosymbolize", || recompile(&img, &inputs, Mode::NoSymbolize).unwrap());
+    b.bench("recompile_wytiwyg", || recompile(&img, &inputs, Mode::Wytiwyg).unwrap());
 
-    c.bench_function("recompile_nosymbolize", |b| {
-        b.iter(|| recompile(&img, &inputs, Mode::NoSymbolize).unwrap())
-    });
+    let small = compile("int main() { return 7; }", &Profile::gcc12_o3()).unwrap().stripped();
+    b.bench("recompile_minimal", || recompile(&small, &[vec![]], Mode::Wytiwyg).unwrap());
 
-    c.bench_function("recompile_wytiwyg", |b| {
-        b.iter(|| recompile(&img, &inputs, Mode::Wytiwyg).unwrap())
-    });
-
-    let small = compile("int main() { return 7; }", &Profile::gcc12_o3())
-        .unwrap()
-        .stripped();
-    c.bench_function("recompile_minimal", |b| {
-        b.iter(|| recompile(&small, &[vec![]], Mode::Wytiwyg).unwrap())
-    });
-}
-
-fn bench_emulator(c: &mut Criterion) {
     let bench = wyt_spec::by_name("bzip2").expect("suite");
     let img = compile(bench.source, &Profile::gcc12_o3()).unwrap();
     let input = bench.train_inputs().remove(0);
-    c.bench_function("emulate_bzip2_train", |b| {
-        b.iter(|| {
-            let r = wyt_emu::run_image(&img, input.clone());
-            assert!(r.ok());
-            r.cycles
-        })
+    b.bench("emulate_bzip2_train", || {
+        let r = wyt_emu::run_image(&img, input.clone());
+        assert!(r.ok());
+        r.cycles
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_pipeline, bench_emulator
-}
-criterion_main!(benches);

@@ -29,8 +29,8 @@ fn main() {
     let mut recovered_matched = 0usize;
 
     for bench in wyt_spec::suite() {
-        let full = compile(bench.source, &profile)
-            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let full =
+            compile(bench.source, &profile).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
         let out = recompile(&full.stripped(), &bench.trace_inputs(), Mode::Wytiwyg)
             .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
         let report = evaluate_accuracy(
@@ -59,11 +59,7 @@ fn main() {
     }
 
     println!("{}", "-".repeat(64));
-    let precision = if recovered == 0 {
-        1.0
-    } else {
-        recovered_matched as f64 / recovered as f64
-    };
+    let precision = if recovered == 0 { 1.0 } else { recovered_matched as f64 / recovered as f64 };
     let recall = if total == 0 { 1.0 } else { matched as f64 / total as f64 };
     println!(
         "overall: {} ground-truth objects, precision {:.1}%, recall {:.1}%",

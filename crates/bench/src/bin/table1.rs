@@ -12,12 +12,8 @@ use wyt_bench::{build_input, cell, geomean, measure, native_cycles, secondwrite_
 use wyt_minicc::Profile;
 
 fn main() {
-    let configs = [
-        Profile::gcc12_o3(),
-        Profile::gcc12_o0(),
-        Profile::clang16_o3(),
-        Profile::gcc44_o3(),
-    ];
+    let configs =
+        [Profile::gcc12_o3(), Profile::gcc12_o0(), Profile::clang16_o3(), Profile::gcc44_o3()];
     println!("Table 1: normalized runtime of recompiled binaries (lower is better)");
     println!("(SW = SecondWrite-like baseline on GCC 4.4 -O3 -fno-pic)\n");
     println!(
@@ -58,7 +54,12 @@ fn main() {
         );
         println!(
             "{:<12} {:>12} | {:>9} {:>9} {:>9} {:>9} | {:>6}",
-            "", "yes", yes_cells[0], yes_cells[1], yes_cells[2], yes_cells[3],
+            "",
+            "yes",
+            yes_cells[0],
+            yes_cells[1],
+            yes_cells[2],
+            yes_cells[3],
             cell(&sw, sw_native)
         );
     }
@@ -73,14 +74,24 @@ fn main() {
     };
     println!(
         "{:<12} {:>12} | {:>9} {:>9} {:>9} {:>9} | {:>6}",
-        "geomean", "no", fmt(&geo[0]), fmt(&geo[2]), fmt(&geo[4]), fmt(&geo[6]), ""
+        "geomean",
+        "no",
+        fmt(&geo[0]),
+        fmt(&geo[2]),
+        fmt(&geo[4]),
+        fmt(&geo[6]),
+        ""
     );
     println!(
         "{:<12} {:>12} | {:>9} {:>9} {:>9} {:>9} | {:>6}",
-        "", "yes", fmt(&geo[1]), fmt(&geo[3]), fmt(&geo[5]), fmt(&geo[7]), fmt(&sw_geo)
+        "",
+        "yes",
+        fmt(&geo[1]),
+        fmt(&geo[3]),
+        fmt(&geo[5]),
+        fmt(&geo[7]),
+        fmt(&sw_geo)
     );
-    println!(
-        "\npaper's geomeans:      no: 1.24      0.76      1.31      1.05 |  (SW 1.14)"
-    );
+    println!("\npaper's geomeans:      no: 1.24      0.76      1.31      1.05 |  (SW 1.14)");
     println!("                      yes: 1.10      0.48      1.06      0.82 |");
 }

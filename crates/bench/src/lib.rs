@@ -15,6 +15,8 @@
 //! proxy, and a deterministic cost model preserves the comparisons while
 //! making them exactly reproducible.
 
+pub mod timing;
+
 use wyt_core::{recompile, validate, Mode};
 use wyt_emu::run_image;
 use wyt_isa::image::Image;

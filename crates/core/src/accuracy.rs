@@ -22,8 +22,8 @@ use crate::layout::ModuleLayout;
 use crate::runtime::BoundsInfo;
 use crate::spfold::FoldInfo;
 use std::collections::HashMap;
-use wyt_isa::image::{FrameLayout, Image};
 use wyt_ir::FuncId;
+use wyt_isa::image::{FrameLayout, Image};
 use wyt_lifter::LiftedMeta;
 
 /// Classification of one ground-truth stack object.
@@ -62,11 +62,7 @@ pub struct AccuracyReport {
 impl AccuracyReport {
     /// Count of ground-truth objects with the given classification.
     pub fn count(&self, kind: MatchKind) -> usize {
-        self.funcs
-            .iter()
-            .flat_map(|f| f.objects.iter())
-            .filter(|(_, k)| *k == kind)
-            .count()
+        self.funcs.iter().flat_map(|f| f.objects.iter()).filter(|(_, k)| *k == kind).count()
     }
 
     /// Total ground-truth objects considered.
@@ -155,20 +151,12 @@ pub fn evaluate_accuracy(
             .iter()
             .filter(|v| {
                 // Only variables with at least one dereferenced member.
-                v.members.iter().any(|m| {
-                    bounds
-                        .vars
-                        .get(&(fid, *m))
-                        .map(|d| d.defined())
-                        .unwrap_or(false)
-                })
+                v.members
+                    .iter()
+                    .any(|m| bounds.vars.get(&(fid, *m)).map(|d| d.defined()).unwrap_or(false))
             })
             .map(|v| (v.lo, v.hi))
-            .filter(|(lo, hi)| {
-                !regions
-                    .iter()
-                    .any(|(rl, rh)| rl <= lo && hi <= rh)
-            })
+            .filter(|(lo, hi)| !regions.iter().any(|(rl, rh)| rl <= lo && hi <= rh))
             .collect();
 
         let mut fa = FuncAccuracy {
@@ -263,15 +251,20 @@ mod tests {
     fn classification_kinds() {
         let fr = frame(&[(-8, 4), (-20, 8), (-40, 16), (-60, 4)]);
         let recovered = vec![
-            (-8, -4),   // exact match for v0
-            (-24, -8),  // contains v1 (oversized)
+            (-8, -4),  // exact match for v0
+            (-24, -8), // contains v1 (oversized)
             (-40, -32), // half of v2 (undersized)
-                        // nothing near v3 (missed)
+                       // nothing near v3 (missed)
         ];
         let kinds = classify_frame(&fr, &recovered);
         assert_eq!(
             kinds,
-            vec![MatchKind::Matched, MatchKind::Oversized, MatchKind::Undersized, MatchKind::Missed]
+            vec![
+                MatchKind::Matched,
+                MatchKind::Oversized,
+                MatchKind::Undersized,
+                MatchKind::Missed
+            ]
         );
     }
 

@@ -27,9 +27,9 @@ use crate::vararg;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use wyt_backend::lower_module;
+use wyt_ir::{BinOp, FuncId, InstId, InstKind, Module, Val};
 use wyt_isa::image::Image;
 use wyt_isa::{Inst, Reg};
-use wyt_ir::{BinOp, FuncId, InstId, InstKind, Module, Val};
 use wyt_lifter::{lift_image, LiftPipelineError};
 use wyt_opt::{optimize, OptLevel};
 
@@ -203,9 +203,7 @@ pub fn recompile_secondwrite(
         for b in f.rpo() {
             for &i in &f.blocks[b.index()].insts {
                 if matches!(f.inst(i), InstKind::CallInd { .. }) {
-                    reginfo
-                        .indirect_targets
-                        .insert((FuncId(fi as u32), i), all_funcs.clone());
+                    reginfo.indirect_targets.insert((FuncId(fi as u32), i), all_funcs.clone());
                 }
             }
         }
@@ -218,8 +216,7 @@ pub fn recompile_secondwrite(
     let layout = static_layout(&module, &fold);
     symbolize::symbolize(&mut module, &meta, &fold, &reginfo, &layout)
         .map_err(|e| SecondWriteError::Other(e.to_string()))?;
-    wyt_ir::verify::verify_module(&module)
-        .map_err(|e| SecondWriteError::Other(e.to_string()))?;
+    wyt_ir::verify::verify_module(&module).map_err(|e| SecondWriteError::Other(e.to_string()))?;
 
     optimize(&mut module, OptLevel::Full);
     let image = lower_module(&module).map_err(|e| SecondWriteError::Other(e.to_string()))?;
@@ -237,11 +234,7 @@ pub fn recompile_secondwrite(
 
 /// Expose the static splitting decision for tests.
 pub fn frame_is_single_symbol(layout: &ModuleLayout, f: FuncId) -> bool {
-    layout
-        .funcs
-        .get(&f)
-        .map(|fl| fl.vars.len() == 1 && fl.vars[0].size() > 4)
-        .unwrap_or(false)
+    layout.funcs.get(&f).map(|fl| fl.vars.len() == 1 && fl.vars[0].size() > 4).unwrap_or(false)
 }
 
 /// Re-export used by [`static_layout`] consumers.

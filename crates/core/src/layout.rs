@@ -109,10 +109,7 @@ pub fn build_layout(
             (Some(l), Some(h)) => Some((data.sp0_off + l, data.sp0_off + h)),
             _ => None,
         };
-        per_func
-            .entry(key.0)
-            .or_default()
-            .push((*key, data.sp0_off, interval, data.align));
+        per_func.entry(key.0).or_default().push((*key, data.sp0_off, interval, data.align));
     }
     // Every function with fold info gets a layout (possibly without vars).
     for (fid, folded) in &fold.funcs {
@@ -199,10 +196,7 @@ pub fn build_layout(
         }
         // Fold phantoms into containing defined variables.
         let defined_list: Vec<(usize, i32, i32)> = {
-            let mut v: Vec<_> = group_extent
-                .iter()
-                .map(|(r, (l, h, _))| (*r, *l, *h))
-                .collect();
+            let mut v: Vec<_> = group_extent.iter().map(|(r, (l, h, _))| (*r, *l, *h)).collect();
             v.sort_by_key(|(_, l, _)| *l);
             v
         };
@@ -215,9 +209,8 @@ pub fn build_layout(
             if group_extent.contains_key(&r) {
                 continue; // linked into a defined group already
             }
-            if let Some((dr, ..)) = defined_list
-                .iter()
-                .find(|(_, l, h)| *l <= *sp0_off && *sp0_off < *h)
+            if let Some((dr, ..)) =
+                defined_list.iter().find(|(_, l, h)| *l <= *sp0_off && *sp0_off < *h)
             {
                 let rep = rep_of_root[dr];
                 dsu.union(i, rep);
@@ -357,10 +350,7 @@ mod tests {
     #[test]
     fn undefined_unlinked_pointer_gets_minimal_var() {
         let mut bounds = BoundsInfo::default();
-        bounds.vars.insert(
-            key(0, 1),
-            VarData { sp0_off: -20, low: None, high: None, align: None },
-        );
+        bounds.vars.insert(key(0, 1), VarData { sp0_off: -20, low: None, high: None, align: None });
         let layout = build_layout(
             &bounds,
             &FoldInfo::default(),

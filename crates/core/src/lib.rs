@@ -47,4 +47,4 @@ pub mod vararg;
 
 pub use accuracy::{evaluate_accuracy, AccuracyReport, MatchKind};
 pub use baseline::{recompile_secondwrite, SecondWriteError};
-pub use pipeline::{recompile, recompile_with, validate, Mode, Recompiled, RecompileError};
+pub use pipeline::{recompile, recompile_with, validate, Mode, RecompileError, Recompiled};

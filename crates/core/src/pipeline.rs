@@ -6,9 +6,9 @@ use std::collections::HashMap;
 use std::fmt;
 use wyt_backend::lower_module;
 use wyt_emu::RunResult;
-use wyt_isa::image::Image;
 use wyt_ir::{FuncId, InstId, InstKind, Module};
-use wyt_lifter::{lift_image, Lifted, LiftPipelineError};
+use wyt_isa::image::Image;
+use wyt_lifter::{lift_image, LiftPipelineError, Lifted};
 use wyt_opt::{optimize, OptLevel};
 
 /// How to recompile.
@@ -77,7 +77,11 @@ fn verify(m: &Module) -> Result<(), RecompileError> {
 ///
 /// # Errors
 /// Returns a [`RecompileError`] if any stage fails.
-pub fn recompile(img: &Image, inputs: &[Vec<u8>], mode: Mode) -> Result<Recompiled, RecompileError> {
+pub fn recompile(
+    img: &Image,
+    inputs: &[Vec<u8>],
+    mode: Mode,
+) -> Result<Recompiled, RecompileError> {
     recompile_with(img, inputs, mode, OptLevel::Full)
 }
 

@@ -164,7 +164,13 @@ impl RegSaveHook {
 }
 
 impl Hooks for RegSaveHook {
-    fn fn_enter(&mut self, f: FuncId, _callsite: Option<(FuncId, InstId)>, _args: &[Tagged], mem: &Memory) {
+    fn fn_enter(
+        &mut self,
+        f: FuncId,
+        _callsite: Option<(FuncId, InstId)>,
+        _args: &[Tagged],
+        mem: &Memory,
+    ) {
         let serial = self.next_serial;
         self.next_serial += 1;
         self.active_serials.insert(serial);
@@ -211,7 +217,15 @@ impl Hooks for RegSaveHook {
         // identity and the parent frame are both at hand.
     }
 
-    fn bin(&mut self, _f: FuncId, _i: InstId, _op: BinOp, a: Tagged, b: Tagged, _res: u32) -> Option<Shadow> {
+    fn bin(
+        &mut self,
+        _f: FuncId,
+        _i: InstId,
+        _op: BinOp,
+        a: Tagged,
+        b: Tagged,
+        _res: u32,
+    ) -> Option<Shadow> {
         self.mark_op_use(a.1);
         self.mark_op_use(b.1);
         None
@@ -280,7 +294,13 @@ struct ForwardingHook {
 }
 
 impl Hooks for ForwardingHook {
-    fn fn_enter(&mut self, f: FuncId, callsite: Option<(FuncId, InstId)>, args: &[Tagged], mem: &Memory) {
+    fn fn_enter(
+        &mut self,
+        f: FuncId,
+        callsite: Option<(FuncId, InstId)>,
+        args: &[Tagged],
+        mem: &Memory,
+    ) {
         // Record forwarding edges from the (still current) parent frame.
         if callsite.is_some() {
             if let Some(parent) = self.inner.frames.last() {
@@ -292,12 +312,7 @@ impl Hooks for ForwardingHook {
                     }
                 }
                 for cell in fw {
-                    self.inner
-                        .facts
-                        .entry((pf, cell))
-                        .or_default()
-                        .forwarded_to
-                        .insert((f, cell));
+                    self.inner.facts.entry((pf, cell)).or_default().forwarded_to.insert((f, cell));
                 }
             }
         }
@@ -312,7 +327,15 @@ impl Hooks for ForwardingHook {
         self.inner.call_pre(caller, inst, callee, mem);
     }
 
-    fn bin(&mut self, f: FuncId, i: InstId, op: BinOp, a: Tagged, b: Tagged, r: u32) -> Option<Shadow> {
+    fn bin(
+        &mut self,
+        f: FuncId,
+        i: InstId,
+        op: BinOp,
+        a: Tagged,
+        b: Tagged,
+        r: u32,
+    ) -> Option<Shadow> {
         self.inner.bin(f, i, op, a, b, r)
     }
 
@@ -349,7 +372,8 @@ pub fn analyze(
     let mut facts: HashMap<(FuncId, usize), CellFacts> = HashMap::new();
     let mut indirect: HashMap<(FuncId, InstId), BTreeSet<FuncId>> = HashMap::new();
     for input in inputs {
-        let mut interp = Interp::new(module, input.clone(), ForwardingHook { inner: RegSaveHook::new() });
+        let mut interp =
+            Interp::new(module, input.clone(), ForwardingHook { inner: RegSaveHook::new() });
         let out = interp.run();
         if let Some(e) = out.error {
             return Err(e);
@@ -379,10 +403,7 @@ pub fn analyze(
             if argument.get(k).copied().unwrap_or(false) {
                 continue;
             }
-            let any = f
-                .forwarded_to
-                .iter()
-                .any(|t| argument.get(t).copied().unwrap_or(false));
+            let any = f.forwarded_to.iter().any(|t| argument.get(t).copied().unwrap_or(false));
             if any {
                 argument.insert(*k, true);
                 changed = true;
@@ -424,7 +445,11 @@ mod tests {
     use wyt_lifter::lift_image;
     use wyt_minicc::{compile, Profile};
 
-    fn analyze_src(src: &str, profile: &Profile, inputs: &[&[u8]]) -> (RegSaveInfo, wyt_lifter::Lifted, wyt_isa::image::Image) {
+    fn analyze_src(
+        src: &str,
+        profile: &Profile,
+        inputs: &[&[u8]],
+    ) -> (RegSaveInfo, wyt_lifter::Lifted, wyt_isa::image::Image) {
         let img = compile(src, profile).unwrap();
         let stripped = img.stripped();
         let inputs: Vec<Vec<u8>> = inputs.iter().map(|i| i.to_vec()).collect();
@@ -528,11 +553,8 @@ mod tests {
             }
         "#;
         let (info, _lifted, _img) = analyze_src(src, &Profile::gcc44_o3(), &[b"1", b"2"]);
-        let all: BTreeSet<FuncId> = info
-            .indirect_targets
-            .values()
-            .flat_map(|s| s.iter().copied())
-            .collect();
+        let all: BTreeSet<FuncId> =
+            info.indirect_targets.values().flat_map(|s| s.iter().copied()).collect();
         assert!(all.len() >= 2, "both indirect targets observed");
     }
 }

@@ -167,11 +167,7 @@ impl<'a> BoundsHook<'a> {
                 self.var_data(key).access(pi.off, size);
             }
             PiVar::Args { callsite } => {
-                self.info
-                    .callsite_args
-                    .entry(callsite)
-                    .or_default()
-                    .access(pi.off, size);
+                self.info.callsite_args.entry(callsite).or_default().access(pi.off, size);
             }
         }
     }
@@ -191,17 +187,23 @@ impl<'a> BoundsHook<'a> {
         }
     }
 
-    fn apply_ext_effects(&mut self, ext: ExtId, argv: &[(u32, Option<Shadow>)], ret: Option<u32>, mem: &Memory) {
+    fn apply_ext_effects(
+        &mut self,
+        ext: ExtId,
+        argv: &[(u32, Option<Shadow>)],
+        ret: Option<u32>,
+        mem: &Memory,
+    ) {
         let sig = ext_sig(ext);
         let size_of = |spec: SizeSpec, argv: &[(u32, Option<Shadow>)]| -> u32 {
             match spec {
                 SizeSpec::Const(c) => c,
                 SizeSpec::Arg(i) => argv.get(i).map(|a| a.0).unwrap_or(0),
-                SizeSpec::ArgProduct(i, j) => {
-                    argv.get(i).map(|a| a.0).unwrap_or(0).wrapping_mul(
-                        argv.get(j).map(|a| a.0).unwrap_or(0),
-                    )
-                }
+                SizeSpec::ArgProduct(i, j) => argv
+                    .get(i)
+                    .map(|a| a.0)
+                    .unwrap_or(0)
+                    .wrapping_mul(argv.get(j).map(|a| a.0).unwrap_or(0)),
             }
         };
         for eff in &sig.effects {
@@ -229,9 +231,7 @@ impl<'a> BoundsHook<'a> {
                     let s = argv.get(src).map(|a| a.0).unwrap_or(0);
                     let sz = size_of(size, argv);
                     let entries: Vec<(u32, Shadow)> = (0..sz)
-                        .filter_map(|k| {
-                            self.addr_map.get(&s.wrapping_add(k)).map(|sh| (k, *sh))
-                        })
+                        .filter_map(|k| self.addr_map.get(&s.wrapping_add(k)).map(|sh| (k, *sh)))
                         .collect();
                     self.invalidate_range(d, sz);
                     for (k, sh) in entries {
@@ -249,7 +249,13 @@ impl<'a> BoundsHook<'a> {
 }
 
 impl Hooks for BoundsHook<'_> {
-    fn fn_enter(&mut self, f: FuncId, callsite: Option<(FuncId, InstId)>, _args: &[Tagged], mem: &Memory) {
+    fn fn_enter(
+        &mut self,
+        f: FuncId,
+        callsite: Option<(FuncId, InstId)>,
+        _args: &[Tagged],
+        mem: &Memory,
+    ) {
         let serial = self.next_serial;
         self.next_serial += 1;
         self.active.insert(serial);
@@ -264,7 +270,15 @@ impl Hooks for BoundsHook<'_> {
         }
     }
 
-    fn bin(&mut self, f: FuncId, inst: InstId, op: BinOp, a: Tagged, b: Tagged, res: u32) -> Option<Shadow> {
+    fn bin(
+        &mut self,
+        f: FuncId,
+        inst: InstId,
+        op: BinOp,
+        a: Tagged,
+        b: Tagged,
+        res: u32,
+    ) -> Option<Shadow> {
         // Is this instruction a registered base pointer?
         if let Some(folded) = self.fold.funcs.get(&f) {
             if let Some(&k) = folded.base_ptrs.get(&inst) {
@@ -390,7 +404,15 @@ impl Hooks for BoundsHook<'_> {
         self.apply_ext_effects(ext, &argv, None, mem);
     }
 
-    fn ext_ret(&mut self, _f: FuncId, _i: InstId, ext: ExtId, args: &ExtArgs<'_>, ret: u32, mem: &Memory) -> Option<Shadow> {
+    fn ext_ret(
+        &mut self,
+        _f: FuncId,
+        _i: InstId,
+        ext: ExtId,
+        args: &ExtArgs<'_>,
+        ret: u32,
+        mem: &Memory,
+    ) -> Option<Shadow> {
         let sig = ext_sig(ext);
         for eff in &sig.effects {
             if let ExtEffect::DeriveRet { base } = *eff {
@@ -469,7 +491,11 @@ mod tests {
     use wyt_lifter::lift_image;
     use wyt_minicc::{compile, Profile};
 
-    fn bounds_for(src: &str, profile: &Profile, inputs: &[&[u8]]) -> (BoundsInfo, FoldInfo, wyt_lifter::LiftedMeta, wyt_isa::image::Image) {
+    fn bounds_for(
+        src: &str,
+        profile: &Profile,
+        inputs: &[&[u8]],
+    ) -> (BoundsInfo, FoldInfo, wyt_lifter::LiftedMeta, wyt_isa::image::Image) {
         let img = compile(src, profile).unwrap();
         let inputs: Vec<Vec<u8>> = inputs.iter().map(|i| i.to_vec()).collect();
         let lifted = lift_image(&img.stripped(), &inputs).unwrap();
@@ -570,10 +596,7 @@ mod tests {
         "#;
         let (bounds, _f, _meta, _img) = bounds_for(src, &Profile::gcc12_o3(), &[b""]);
         // The gcc12 profile rewrites this to a p != end loop.
-        assert!(
-            !bounds.links.is_empty(),
-            "end-pointer comparison should link variables"
-        );
+        assert!(!bounds.links.is_empty(), "end-pointer comparison should link variables");
     }
 
     #[test]

@@ -65,7 +65,9 @@ pub fn insert_save_restore(module: &mut Module, meta: &LiftedMeta, info: &RegSav
                 .insts
                 .iter()
                 .enumerate()
-                .filter(|(_, &i)| matches!(f.inst(i), InstKind::Call { .. } | InstKind::CallInd { .. }))
+                .filter(|(_, &i)| {
+                    matches!(f.inst(i), InstKind::Call { .. } | InstKind::CallInd { .. })
+                })
                 .map(|(p, &i)| (p, i))
                 .collect();
             // Process back-to-front so positions stay valid.
@@ -74,11 +76,8 @@ pub fn insert_save_restore(module: &mut Module, meta: &LiftedMeta, info: &RegSav
                     InstKind::Call { f: callee, .. } => info.saved_cells(*callee),
                     InstKind::CallInd { .. } => {
                         // Intersection of saved sets over observed targets.
-                        let targets = info
-                            .indirect_targets
-                            .get(&(fid, call_id))
-                            .cloned()
-                            .unwrap_or_default();
+                        let targets =
+                            info.indirect_targets.get(&(fid, call_id)).cloned().unwrap_or_default();
                         (0..NUM_CELLS)
                             .filter(|&c| {
                                 !targets.is_empty()
@@ -100,7 +99,8 @@ pub fn insert_save_restore(module: &mut Module, meta: &LiftedMeta, info: &RegSav
                         continue; // esp is modelled structurally
                     }
                     let addr = cell_addr(cell);
-                    let t = f.add_inst(InstKind::Load { ty: Ty::I32, addr: Val::Const(addr as i32) });
+                    let t =
+                        f.add_inst(InstKind::Load { ty: Ty::I32, addr: Val::Const(addr as i32) });
                     let s = f.add_inst(InstKind::Store {
                         ty: Ty::I32,
                         addr: Val::Const(addr as i32),
@@ -250,7 +250,12 @@ fn fold_function(
                         Expr::Other
                     }
                     InstKind::Bin { op: BinOp::Add, a, b: bb } => {
-                        match (expr_of(*a, &inst_expr), bb.as_const(), a.as_const(), expr_of(*bb, &inst_expr)) {
+                        match (
+                            expr_of(*a, &inst_expr),
+                            bb.as_const(),
+                            a.as_const(),
+                            expr_of(*bb, &inst_expr),
+                        ) {
                             (Expr::Sp0(k), Some(c), _, _) => Expr::Sp0(k.wrapping_add(c)),
                             (_, _, Some(c), Expr::Sp0(k)) => Expr::Sp0(k.wrapping_add(c)),
                             _ => Expr::Other,
@@ -358,7 +363,8 @@ fn fold_function(
 
     // Rewrite every instruction with a known non-zero sp0 expression into
     // canonical form; collect base pointers.
-    let mut folded = FoldedFunc { sp0: Some(sp0), base_ptrs: BTreeMap::new(), call_esp_off: call_esp };
+    let mut folded =
+        FoldedFunc { sp0: Some(sp0), base_ptrs: BTreeMap::new(), call_esp_off: call_esp };
     for (&i, &e) in &inst_expr {
         let Expr::Sp0(k) = e else { continue };
         if i == sp0 {
@@ -389,7 +395,11 @@ fn fold_function(
 /// # Errors
 /// Returns a [`FoldError`] if a function's stack discipline cannot be
 /// folded (never for the compilers modelled here).
-pub fn fold(module: &mut Module, meta: &LiftedMeta, info: &RegSaveInfo) -> Result<FoldInfo, FoldError> {
+pub fn fold(
+    module: &mut Module,
+    meta: &LiftedMeta,
+    info: &RegSaveInfo,
+) -> Result<FoldInfo, FoldError> {
     let mut ret_pops: HashMap<FuncId, u16> = HashMap::new();
     for (fid, pop) in &meta.ret_pop {
         ret_pops.insert(*fid, *pop);
@@ -412,7 +422,11 @@ mod tests {
     use wyt_lifter::lift_image;
     use wyt_minicc::{compile, Profile};
 
-    fn prepare(src: &str, profile: &Profile, inputs: &[&[u8]]) -> (Module, LiftedMeta, FoldInfo, Vec<Vec<u8>>, wyt_isa::image::Image) {
+    fn prepare(
+        src: &str,
+        profile: &Profile,
+        inputs: &[&[u8]],
+    ) -> (Module, LiftedMeta, FoldInfo, Vec<Vec<u8>>, wyt_isa::image::Image) {
         let img = compile(src, profile).unwrap();
         let inputs: Vec<Vec<u8>> = inputs.iter().map(|i| i.to_vec()).collect();
         let lifted = lift_image(&img.stripped(), &inputs).unwrap();

@@ -109,11 +109,8 @@ fn finalize_signatures(
         if targets.len() < 2 {
             continue;
         }
-        let max_stack = targets
-            .iter()
-            .filter_map(|t| sigs.get(t).map(|s| s.stack_args))
-            .max()
-            .unwrap_or(0);
+        let max_stack =
+            targets.iter().filter_map(|t| sigs.get(t).map(|s| s.stack_args)).max().unwrap_or(0);
         let mut union_regs: BTreeSet<usize> = BTreeSet::new();
         for t in targets {
             if let Some(s) = sigs.get(t) {
@@ -303,19 +300,15 @@ fn rewrite_function(
         }
     }
     let entry_vals: Vec<Val> = (0..NUM_CELLS)
-        .map(|cell| {
-            match sig.reg_args.iter().position(|&c| c == cell) {
-                Some(pos) => Val::Param(sig.stack_args + pos as u32),
-                None => Val::Const(0),
-            }
+        .map(|cell| match sig.reg_args.iter().position(|&c| c == cell) {
+            Some(pos) => Val::Param(sig.stack_args + pos as u32),
+            None => Val::Const(0),
         })
         .collect();
 
     let saved_here: Vec<bool> = {
         let cs = regs.class.get(&fid);
-        (0..NUM_CELLS)
-            .map(|c| cs.map(|cs| cs[c] == RegClass::Saved).unwrap_or(false))
-            .collect()
+        (0..NUM_CELLS).map(|c| cs.map(|cs| cs[c] == RegClass::Saved).unwrap_or(false)).collect()
     };
     let _ = saved_here;
 
@@ -365,7 +358,14 @@ fn rewrite_function(
                         let arg = match d {
                             Some(d) => {
                                 let koff = d + 4 + 4 * k as i32;
-                                self_arg_load(&mut f, fl, &alloca_of_var, inargs, koff, &mut new_insts)
+                                self_arg_load(
+                                    &mut f,
+                                    fl,
+                                    &alloca_of_var,
+                                    inargs,
+                                    koff,
+                                    &mut new_insts,
+                                )
                             }
                             None => Val::Const(0),
                         };
@@ -439,9 +439,8 @@ fn rewrite_function(
             f.blocks[b.index()].term = Term::Ret(Some(cur[EAX_CELL]));
         }
         // Place phis at the head.
-        let mut with_phis: Vec<InstId> = (0..NUM_CELLS)
-            .filter_map(|cell| phi_of.get(&(b, cell)).copied())
-            .collect();
+        let mut with_phis: Vec<InstId> =
+            (0..NUM_CELLS).filter_map(|cell| phi_of.get(&(b, cell)).copied()).collect();
         with_phis.extend(new_insts);
         f.blocks[b.index()].insts = with_phis;
         for (cell, v) in cur.into_iter().enumerate() {
@@ -492,11 +491,7 @@ fn self_arg_load(
         return Val::Inst(l);
     }
     // Find the variable containing [koff, koff+4).
-    let hit = fl
-        .vars
-        .iter()
-        .enumerate()
-        .find(|(_, v)| v.lo <= koff && koff + 4 <= v.hi);
+    let hit = fl.vars.iter().enumerate().find(|(_, v)| v.lo <= koff && koff + 4 <= v.hi);
     let Some((vi, var)) = hit else {
         return Val::Const(0); // never-written argument slot
     };
@@ -505,11 +500,8 @@ fn self_arg_load(
     let addr = if delta == 0 {
         Val::Inst(a)
     } else {
-        let ai = f.add_inst(InstKind::Bin {
-            op: BinOp::Add,
-            a: Val::Inst(a),
-            b: Val::Const(delta),
-        });
+        let ai =
+            f.add_inst(InstKind::Bin { op: BinOp::Add, a: Val::Inst(a), b: Val::Const(delta) });
         new_insts.push(ai);
         Val::Inst(ai)
     };
@@ -619,9 +611,8 @@ mod tests {
         let f = &out.module.funcs[fid.index()];
         assert_eq!(f.num_params, 3, "three stack arguments recovered");
         // And it returns a value (eax materialized).
-        let has_ret_val = f.rpo().iter().any(|b| {
-            matches!(f.blocks[b.index()].term, wyt_ir::Term::Ret(Some(_)))
-        });
+        let has_ret_val =
+            f.rpo().iter().any(|b| matches!(f.blocks[b.index()].term, wyt_ir::Term::Ret(Some(_))));
         assert!(has_ret_val);
         assert_eq!(wyt_emu::run_image(&out.image, vec![]).exit_code, 42);
     }

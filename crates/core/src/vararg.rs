@@ -43,7 +43,15 @@ impl Hooks for VarargHook {
         *e = (*e).max(count);
     }
 
-    fn ext_ret(&mut self, _f: FuncId, _i: InstId, _e: ExtId, _a: &ExtArgs<'_>, _r: u32, _m: &Memory) -> Option<Shadow> {
+    fn ext_ret(
+        &mut self,
+        _f: FuncId,
+        _i: InstId,
+        _e: ExtId,
+        _a: &ExtArgs<'_>,
+        _r: u32,
+        _m: &Memory,
+    ) -> Option<Shadow> {
         None
     }
 }

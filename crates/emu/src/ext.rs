@@ -211,12 +211,7 @@ pub struct ExtIo {
 impl ExtIo {
     /// A fresh I/O state with the given input stream.
     pub fn new(input: Vec<u8>) -> ExtIo {
-        ExtIo {
-            input,
-            input_pos: 0,
-            output: Vec::new(),
-            heap_next: wyt_isa::image::HEAP_BASE,
-        }
+        ExtIo { input, input_pos: 0, output: Vec::new(), heap_next: wyt_isa::image::HEAP_BASE }
     }
 }
 
@@ -269,11 +264,7 @@ fn format_one(out: &mut Vec<u8>, spec: FmtArg, width: usize, zero: bool, v: u32,
         FmtArg::Str => mem.read_cstr(v),
     };
     if body.len() < width {
-        let pad = if zero && !matches!(spec, FmtArg::Str | FmtArg::Char) {
-            b'0'
-        } else {
-            b' '
-        };
+        let pad = if zero && !matches!(spec, FmtArg::Str | FmtArg::Char) { b'0' } else { b' ' };
         out.extend(std::iter::repeat(pad).take(width - body.len()));
     }
     out.extend_from_slice(&body);
@@ -338,7 +329,12 @@ fn do_printf(mem: &Memory, io: &mut ExtIo, args: &mut dyn ArgSource) -> (u32, u6
 /// returns the outcome. The cycle `cost` in [`ExtOutcome::Ret`] is charged
 /// identically whether the caller is a native binary, a lifted program or a
 /// recompiled binary.
-pub fn dispatch(ext: ExtId, mem: &mut Memory, io: &mut ExtIo, args: &mut dyn ArgSource) -> ExtOutcome {
+pub fn dispatch(
+    ext: ExtId,
+    mem: &mut Memory,
+    io: &mut ExtIo,
+    args: &mut dyn ArgSource,
+) -> ExtOutcome {
     match ext {
         ExtId::Printf => {
             let (n, cost) = do_printf(mem, io, args);
@@ -514,7 +510,10 @@ mod tests {
     fn getchar_and_read_bytes() {
         let mut mem = Memory::new();
         let mut io = ExtIo::new(b"abcdef".to_vec());
-        assert_eq!(call(ExtId::Getchar, &mut mem, &mut io, &[]), ExtOutcome::Ret { value: b'a' as u32, cost: 2 });
+        assert_eq!(
+            call(ExtId::Getchar, &mut mem, &mut io, &[]),
+            ExtOutcome::Ret { value: b'a' as u32, cost: 2 }
+        );
         let out = call(ExtId::ReadBytes, &mut mem, &mut io, &[0x3000, 10]);
         assert_eq!(out, ExtOutcome::Ret { value: 5, cost: 3 });
         assert_eq!(mem.read_bytes(0x3000, 5), b"bcdef");
@@ -533,7 +532,8 @@ mod tests {
         };
         assert_eq!(p % 4, 0);
         mem.write_u32(p, 0x1234_5678);
-        let ExtOutcome::Ret { value: q, .. } = call(ExtId::Realloc, &mut mem, &mut io, &[p, 64]) else {
+        let ExtOutcome::Ret { value: q, .. } = call(ExtId::Realloc, &mut mem, &mut io, &[p, 64])
+        else {
             panic!()
         };
         assert_ne!(p, q);
@@ -545,15 +545,20 @@ mod tests {
         let mut mem = Memory::new();
         let mut io = ExtIo::default();
         mem.write_bytes(0x100, b"hello\0");
-        assert_eq!(call(ExtId::Strlen, &mut mem, &mut io, &[0x100]), ExtOutcome::Ret { value: 5, cost: 3 });
+        assert_eq!(
+            call(ExtId::Strlen, &mut mem, &mut io, &[0x100]),
+            ExtOutcome::Ret { value: 5, cost: 3 }
+        );
         call(ExtId::Strcpy, &mut mem, &mut io, &[0x200, 0x100]);
         assert_eq!(mem.read_cstr(0x200), b"hello");
-        let ExtOutcome::Ret { value, .. } = call(ExtId::Strcmp, &mut mem, &mut io, &[0x100, 0x200]) else {
+        let ExtOutcome::Ret { value, .. } = call(ExtId::Strcmp, &mut mem, &mut io, &[0x100, 0x200])
+        else {
             panic!()
         };
         assert_eq!(value, 0);
         let ExtOutcome::Ret { value: at, .. } =
-            call(ExtId::Strchr, &mut mem, &mut io, &[0x100, b'l' as u32]) else {
+            call(ExtId::Strchr, &mut mem, &mut io, &[0x100, b'l' as u32])
+        else {
             panic!()
         };
         assert_eq!(at, 0x102);

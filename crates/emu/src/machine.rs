@@ -771,8 +771,17 @@ mod tests {
         let mut a = Asm::new();
         a.emit(movri(Reg::Eax, 0));
         a.emit(Inst::Push { src: Operand::Reg(Reg::Ebp) });
-        a.emit(Inst::Mov { size: Size::D, dst: Operand::Reg(Reg::Ebp), src: Operand::Reg(Reg::Esp) });
-        a.emit(Inst::Alu { op: AluOp::Sub, size: Size::D, dst: Operand::Reg(Reg::Esp), src: Operand::Imm(16) });
+        a.emit(Inst::Mov {
+            size: Size::D,
+            dst: Operand::Reg(Reg::Ebp),
+            src: Operand::Reg(Reg::Esp),
+        });
+        a.emit(Inst::Alu {
+            op: AluOp::Sub,
+            size: Size::D,
+            dst: Operand::Reg(Reg::Esp),
+            src: Operand::Imm(16),
+        });
         a.emit(Inst::Leave);
         a.emit(Inst::Halt);
         let img = image_of(a);
@@ -812,7 +821,12 @@ mod tests {
         a.emit(Inst::Push { src: Operand::Imm(7) });
         a.emit(Inst::Push { src: Operand::Imm(img.data_base as i32) });
         a.emit(Inst::CallExt { idx: 0 });
-        a.emit(Inst::Alu { op: AluOp::Add, size: Size::D, dst: Operand::Reg(Reg::Esp), src: Operand::Imm(8) });
+        a.emit(Inst::Alu {
+            op: AluOp::Add,
+            size: Size::D,
+            dst: Operand::Reg(Reg::Esp),
+            src: Operand::Imm(8),
+        });
         a.emit(movri(Reg::Eax, 0));
         a.emit(Inst::Halt);
         let out = a.finish(img.text_base);
@@ -833,6 +847,50 @@ mod tests {
         m.set_fuel(1000);
         let r = m.run();
         assert_eq!(r.trap, Some(Trap::OutOfFuel));
+    }
+
+    #[test]
+    fn fuel_boundary_is_exact() {
+        // `fuel` is the maximum number of *retired* instructions: a program
+        // that retires exactly N instructions completes with fuel == N and
+        // traps OutOfFuel with fuel == N - 1. The IR interpreter's fuel
+        // tests pin the same contract so the differential oracle can treat
+        // the budgets uniformly.
+        let mut a = Asm::new();
+        a.emit(movri(Reg::Eax, 1));
+        a.emit(movri(Reg::Ecx, 2));
+        a.emit(movri(Reg::Edx, 3));
+        a.emit(Inst::Halt);
+        let img = image_of(a);
+
+        let unbounded = run_image(&img, vec![]);
+        assert!(unbounded.ok());
+        let n = unbounded.inst_count;
+        assert_eq!(n, 4);
+
+        let mut exact = Machine::new(&img, vec![]);
+        exact.set_fuel(n);
+        let r = exact.run();
+        assert!(r.ok(), "fuel == retired count must complete: {:?}", r.trap);
+        assert_eq!(r.inst_count, n);
+
+        let mut starved = Machine::new(&img, vec![]);
+        starved.set_fuel(n - 1);
+        let r = starved.run();
+        assert_eq!(r.trap, Some(Trap::OutOfFuel));
+        assert_eq!(r.inst_count, n - 1, "trap must fire before retiring inst N");
+    }
+
+    #[test]
+    fn fuel_zero_retires_nothing() {
+        let mut a = Asm::new();
+        a.emit(Inst::Halt);
+        let img = image_of(a);
+        let mut m = Machine::new(&img, vec![]);
+        m.set_fuel(0);
+        let r = m.run();
+        assert_eq!(r.trap, Some(Trap::OutOfFuel));
+        assert_eq!(r.inst_count, 0);
     }
 
     #[test]

@@ -51,11 +51,26 @@ pub enum ExtArgs<'a> {
 #[allow(unused_variables)]
 pub trait Hooks {
     /// A function is entered. `callsite` is `None` for the program entry.
-    fn fn_enter(&mut self, f: FuncId, callsite: Option<(FuncId, InstId)>, args: &[Tagged], mem: &Memory) {}
+    fn fn_enter(
+        &mut self,
+        f: FuncId,
+        callsite: Option<(FuncId, InstId)>,
+        args: &[Tagged],
+        mem: &Memory,
+    ) {
+    }
     /// A function returns.
     fn fn_exit(&mut self, f: FuncId, ret: Option<Tagged>, mem: &Memory) {}
     /// A binary operation produced `res`. Return the result's shadow.
-    fn bin(&mut self, f: FuncId, inst: InstId, op: BinOp, a: Tagged, b: Tagged, res: u32) -> Option<Shadow> {
+    fn bin(
+        &mut self,
+        f: FuncId,
+        inst: InstId,
+        op: BinOp,
+        a: Tagged,
+        b: Tagged,
+        res: u32,
+    ) -> Option<Shadow> {
         None
     }
     /// A comparison executed (pointer comparisons `link` variables, §4.2.2).
@@ -80,7 +95,15 @@ pub trait Hooks {
     /// An external call is about to run.
     fn ext_call(&mut self, f: FuncId, inst: InstId, ext: ExtId, args: &ExtArgs<'_>, mem: &Memory) {}
     /// An external call returned `ret`. Return the result's shadow.
-    fn ext_ret(&mut self, f: FuncId, inst: InstId, ext: ExtId, args: &ExtArgs<'_>, ret: u32, mem: &Memory) -> Option<Shadow> {
+    fn ext_ret(
+        &mut self,
+        f: FuncId,
+        inst: InstId,
+        ext: ExtId,
+        args: &ExtArgs<'_>,
+        ret: u32,
+        mem: &Memory,
+    ) -> Option<Shadow> {
         None
     }
 }
@@ -241,7 +264,13 @@ impl<'m, H: Hooks> Interp<'m, H> {
         self.fuel = fuel;
     }
 
-    fn new_frame(&self, f: FuncId, args: Vec<u32>, arg_shadows: Vec<Option<Shadow>>, ret_dest: Option<InstId>) -> Frame {
+    fn new_frame(
+        &self,
+        f: FuncId,
+        args: Vec<u32>,
+        arg_shadows: Vec<Option<Shadow>>,
+        ret_dest: Option<InstId>,
+    ) -> Frame {
         let func = &self.module.funcs[f.index()];
         Frame {
             func: f,
@@ -280,7 +309,12 @@ impl<'m, H: Hooks> Interp<'m, H> {
     /// Run the module's entry function to completion.
     pub fn run(&mut self) -> InterpOutput {
         let Some(entry) = self.module.entry else {
-            return InterpOutput { exit_code: 0, output: Vec::new(), error: Some(InterpError::NoEntry), steps: 0 };
+            return InterpOutput {
+                exit_code: 0,
+                output: Vec::new(),
+                error: Some(InterpError::NoEntry),
+                steps: 0,
+            };
         };
         let code = self.run_from(entry, &[]);
         let output = std::mem::take(&mut self.io.output);
@@ -447,8 +481,7 @@ impl<'m, H: Hooks> Interp<'m, H> {
                 }
                 InstKind::FuncAddr { f } => {
                     let fr = frames.last_mut().unwrap();
-                    fr.vals[inst_id.index()] =
-                        self.module.funcs[f.index()].orig_addr.unwrap_or(0);
+                    fr.vals[inst_id.index()] = self.module.funcs[f.index()].orig_addr.unwrap_or(0);
                     fr.shadows[inst_id.index()] = None;
                     fr.idx += 1;
                 }
@@ -524,11 +557,7 @@ impl<'m, H: Hooks> Interp<'m, H> {
     }
 
     fn resolve_ext(&self, ext: u16) -> Result<ExtId, InterpError> {
-        self.ext_ids
-            .get(ext as usize)
-            .copied()
-            .flatten()
-            .ok_or(InterpError::UnknownExtern(ext))
+        self.ext_ids.get(ext as usize).copied().flatten().ok_or(InterpError::UnknownExtern(ext))
     }
 
     fn do_ext(&mut self, ext: ExtId, argv: &[u32]) -> Result<u32, InterpError> {
@@ -621,7 +650,10 @@ mod tests {
     #[test]
     fn arithmetic_and_ret() {
         let m = simple_module(|f| {
-            let a = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Const(20), b: Val::Const(22) });
+            let a = f.push_inst(
+                f.entry,
+                InstKind::Bin { op: BinOp::Add, a: Val::Const(20), b: Val::Const(22) },
+            );
             f.blocks[0].term = Term::Ret(Some(Val::Inst(a)));
         });
         let out = run_entry(&m);
@@ -640,11 +672,20 @@ mod tests {
 
             let phi_i = f.push_inst(header, InstKind::Phi { incomings: vec![] });
             let phi_acc = f.push_inst(header, InstKind::Phi { incomings: vec![] });
-            let c = f.push_inst(header, InstKind::Cmp { op: CmpOp::Eq, a: Val::Inst(phi_i), b: Val::Const(5) });
+            let c = f.push_inst(
+                header,
+                InstKind::Cmp { op: CmpOp::Eq, a: Val::Inst(phi_i), b: Val::Const(5) },
+            );
             f.blocks[header.index()].term = Term::CondBr { c: Val::Inst(c), t: exit, f: body };
 
-            let acc2 = f.push_inst(body, InstKind::Bin { op: BinOp::Add, a: Val::Inst(phi_acc), b: Val::Inst(phi_i) });
-            let i2 = f.push_inst(body, InstKind::Bin { op: BinOp::Add, a: Val::Inst(phi_i), b: Val::Const(1) });
+            let acc2 = f.push_inst(
+                body,
+                InstKind::Bin { op: BinOp::Add, a: Val::Inst(phi_acc), b: Val::Inst(phi_i) },
+            );
+            let i2 = f.push_inst(
+                body,
+                InstKind::Bin { op: BinOp::Add, a: Val::Inst(phi_i), b: Val::Const(1) },
+            );
             f.blocks[body.index()].term = Term::Br(header);
 
             let InstKind::Phi { incomings } = f.inst_mut(phi_i) else { panic!() };
@@ -666,16 +707,24 @@ mod tests {
         // callee(x) { return x * 2 }
         let mut callee = Function::new("double");
         callee.num_params = 1;
-        let r = callee.push_inst(callee.entry, InstKind::Bin { op: BinOp::Mul, a: Val::Param(0), b: Val::Const(2) });
+        let r = callee.push_inst(
+            callee.entry,
+            InstKind::Bin { op: BinOp::Mul, a: Val::Param(0), b: Val::Const(2) },
+        );
         callee.blocks[0].term = Term::Ret(Some(Val::Inst(r)));
         let callee_id = m.add_func(callee);
 
         // main: p = alloca 4; *p = 21; v = load p; ret double(v)
         let mut main = Function::new("main");
-        let p = main.push_inst(main.entry, InstKind::Alloca { size: 4, align: 4, name: "x".into() });
-        main.push_inst(main.entry, InstKind::Store { ty: Ty::I32, addr: Val::Inst(p), val: Val::Const(21) });
+        let p =
+            main.push_inst(main.entry, InstKind::Alloca { size: 4, align: 4, name: "x".into() });
+        main.push_inst(
+            main.entry,
+            InstKind::Store { ty: Ty::I32, addr: Val::Inst(p), val: Val::Const(21) },
+        );
         let v = main.push_inst(main.entry, InstKind::Load { ty: Ty::I32, addr: Val::Inst(p) });
-        let call = main.push_inst(main.entry, InstKind::Call { f: callee_id, args: vec![Val::Inst(v)] });
+        let call =
+            main.push_inst(main.entry, InstKind::Call { f: callee_id, args: vec![Val::Inst(v)] });
         main.blocks[0].term = Term::Ret(Some(Val::Inst(call)));
         let main_id = m.add_func(main);
         m.entry = Some(main_id);
@@ -707,7 +756,10 @@ mod tests {
         let ga = f.push_inst(f.entry, InstKind::GlobalAddr { g: fixed });
         let v = f.push_inst(f.entry, InstKind::Load { ty: Ty::I32, addr: Val::Inst(ga) });
         let da = f.push_inst(f.entry, InstKind::GlobalAddr { g: dynamic });
-        f.push_inst(f.entry, InstKind::Store { ty: Ty::I32, addr: Val::Inst(da), val: Val::Inst(v) });
+        f.push_inst(
+            f.entry,
+            InstKind::Store { ty: Ty::I32, addr: Val::Inst(da), val: Val::Inst(v) },
+        );
         let v2 = f.push_inst(f.entry, InstKind::Load { ty: Ty::I32, addr: Val::Inst(da) });
         f.blocks[0].term = Term::Ret(Some(Val::Inst(v2)));
         let id = m.add_func(f);
@@ -734,7 +786,10 @@ mod tests {
         });
         let mut f = Function::new("main");
         let ga = f.push_inst(f.entry, InstKind::GlobalAddr { g: data });
-        f.push_inst(f.entry, InstKind::CallExt { ext: printf, args: vec![Val::Inst(ga), Val::Const(9)] });
+        f.push_inst(
+            f.entry,
+            InstKind::CallExt { ext: printf, args: vec![Val::Inst(ga), Val::Const(9)] },
+        );
         f.push_inst(f.entry, InstKind::CallExt { ext: exit, args: vec![Val::Const(3)] });
         f.blocks[0].term = Term::Ret(None);
         let id = m.add_func(f);
@@ -761,7 +816,10 @@ mod tests {
     #[test]
     fn divide_error() {
         let m = simple_module(|f| {
-            let d = f.push_inst(f.entry, InstKind::Bin { op: BinOp::DivS, a: Val::Const(1), b: Val::Const(0) });
+            let d = f.push_inst(
+                f.entry,
+                InstKind::Bin { op: BinOp::DivS, a: Val::Const(1), b: Val::Const(0) },
+            );
             f.blocks[0].term = Term::Ret(Some(Val::Inst(d)));
         });
         assert!(matches!(run_entry(&m).error, Some(InterpError::DivideError(..))));
@@ -778,6 +836,50 @@ mod tests {
     }
 
     #[test]
+    fn fuel_boundary_is_exact() {
+        // Same contract as wyt-emu's `fuel_boundary_is_exact`: `fuel` is
+        // the maximum number of retired steps, so a run of exactly S steps
+        // completes with fuel == S and reports Fuel with fuel == S - 1.
+        let m = simple_module(|f| {
+            let a = f.push_inst(
+                f.entry,
+                InstKind::Bin { op: BinOp::Add, a: Val::Const(1), b: Val::Const(2) },
+            );
+            let b = f.push_inst(
+                f.entry,
+                InstKind::Bin { op: BinOp::Mul, a: Val::Inst(a), b: Val::Const(3) },
+            );
+            f.blocks[0].term = Term::Ret(Some(Val::Inst(b)));
+        });
+
+        let unbounded = run_entry(&m);
+        assert!(unbounded.ok());
+        let s = unbounded.steps;
+        assert_eq!(s, 3, "two insts plus the terminator");
+
+        let mut exact = Interp::new(&m, Vec::new(), NoHooks);
+        exact.set_fuel(s);
+        let out = exact.run();
+        assert!(out.ok(), "fuel == step count must complete: {:?}", out.error);
+        assert_eq!(out.steps, s);
+
+        let mut starved = Interp::new(&m, Vec::new(), NoHooks);
+        starved.set_fuel(s - 1);
+        let out = starved.run();
+        assert_eq!(out.error, Some(InterpError::Fuel));
+    }
+
+    #[test]
+    fn fuel_zero_retires_nothing() {
+        let m = simple_module(|f| {
+            f.blocks[0].term = Term::Ret(Some(Val::Const(0)));
+        });
+        let mut i = Interp::new(&m, Vec::new(), NoHooks);
+        i.set_fuel(0);
+        assert_eq!(i.run().error, Some(InterpError::Fuel));
+    }
+
+    #[test]
     fn hooks_see_shadows_flow() {
         // A hook that tags the result of the first add and checks the tag
         // arrives at the store.
@@ -786,7 +888,15 @@ mod tests {
             tagged_store_seen: bool,
         }
         impl Hooks for Tagger {
-            fn bin(&mut self, _f: FuncId, _i: InstId, op: BinOp, _a: Tagged, _b: Tagged, _r: u32) -> Option<Shadow> {
+            fn bin(
+                &mut self,
+                _f: FuncId,
+                _i: InstId,
+                op: BinOp,
+                _a: Tagged,
+                _b: Tagged,
+                _r: u32,
+            ) -> Option<Shadow> {
                 if op == BinOp::Add {
                     Some(77)
                 } else {
@@ -800,12 +910,24 @@ mod tests {
             }
         }
         let mut m = Module::new();
-        let g = m.add_global(Global { name: "x".into(), size: 4, init: vec![], fixed_addr: None, kind: GlobalKind::Data });
+        let g = m.add_global(Global {
+            name: "x".into(),
+            size: 4,
+            init: vec![],
+            fixed_addr: None,
+            kind: GlobalKind::Data,
+        });
         let mut f = Function::new("main");
-        let a = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Const(1), b: Val::Const(2) });
+        let a = f.push_inst(
+            f.entry,
+            InstKind::Bin { op: BinOp::Add, a: Val::Const(1), b: Val::Const(2) },
+        );
         let c = f.push_inst(f.entry, InstKind::Copy { v: Val::Inst(a) });
         let ga = f.push_inst(f.entry, InstKind::GlobalAddr { g });
-        f.push_inst(f.entry, InstKind::Store { ty: Ty::I32, addr: Val::Inst(ga), val: Val::Inst(c) });
+        f.push_inst(
+            f.entry,
+            InstKind::Store { ty: Ty::I32, addr: Val::Inst(ga), val: Val::Inst(c) },
+        );
         f.blocks[0].term = Term::Ret(None);
         let id = m.add_func(f);
         m.entry = Some(id);
@@ -834,7 +956,8 @@ mod tests {
 
         // Unknown address errors.
         let m2 = simple_module(|f| {
-            let c = f.push_inst(f.entry, InstKind::CallInd { target: Val::Const(0xbad), args: vec![] });
+            let c =
+                f.push_inst(f.entry, InstKind::CallInd { target: Val::Const(0xbad), args: vec![] });
             f.blocks[0].term = Term::Ret(Some(Val::Inst(c)));
         });
         assert_eq!(run_entry(&m2).error, Some(InterpError::BadIndirect(0xbad)));

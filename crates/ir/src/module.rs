@@ -554,10 +554,7 @@ impl Module {
 
     /// The function with original entry address `addr`, if any.
     pub fn func_by_addr(&self, addr: u32) -> Option<FuncId> {
-        self.funcs
-            .iter()
-            .position(|f| f.orig_addr == Some(addr))
-            .map(|i| FuncId(i as u32))
+        self.funcs.iter().position(|f| f.orig_addr == Some(addr)).map(|i| FuncId(i as u32))
     }
 
     /// The function named `name`, if any.
@@ -594,7 +591,10 @@ mod tests {
         let t = f.add_block();
         let e = f.add_block();
         let join = f.add_block();
-        let c = f.push_inst(f.entry, InstKind::Cmp { op: CmpOp::Eq, a: Val::Param(0), b: Val::Const(0) });
+        let c = f.push_inst(
+            f.entry,
+            InstKind::Cmp { op: CmpOp::Eq, a: Val::Param(0), b: Val::Const(0) },
+        );
         f.blocks[f.entry.index()].term = Term::CondBr { c: Val::Inst(c), t, f: e };
         f.blocks[t.index()].term = Term::Br(join);
         f.blocks[e.index()].term = Term::Br(join);
@@ -657,10 +657,12 @@ mod tests {
     fn side_effect_classification() {
         assert!(InstKind::Store { ty: Ty::I32, addr: Val::Const(0), val: Val::Const(0) }
             .has_side_effect());
-        assert!(!InstKind::Bin { op: BinOp::Add, a: Val::Const(1), b: Val::Const(2) }
-            .has_side_effect());
+        assert!(
+            !InstKind::Bin { op: BinOp::Add, a: Val::Const(1), b: Val::Const(2) }.has_side_effect()
+        );
         assert!(InstKind::Call { f: FuncId(0), args: vec![] }.is_call());
-        assert!(!InstKind::Store { ty: Ty::I32, addr: Val::Const(0), val: Val::Const(0) }
-            .has_result());
+        assert!(
+            !InstKind::Store { ty: Ty::I32, addr: Val::Const(0), val: Val::Const(0) }.has_result()
+        );
     }
 }

@@ -33,8 +33,7 @@ pub fn inst_to_string(f: &Function, id: InstId) -> String {
         InstKind::CallExt { ext, args } => format!("callext #{ext}({})", fmt_args(args)),
         InstKind::Select { c, a, b } => format!("select {c}, {a}, {b}"),
         InstKind::Phi { incomings } => {
-            let parts: Vec<String> =
-                incomings.iter().map(|(b, v)| format!("[{b}: {v}]")).collect();
+            let parts: Vec<String> = incomings.iter().map(|(b, v)| format!("[{b}: {v}]")).collect();
             format!("phi {}", parts.join(", "))
         }
         InstKind::Copy { v } => format!("copy {v}"),
@@ -60,17 +59,11 @@ fn term_to_string(t: &Term) -> String {
 /// Render one function as text, reachable blocks only, in RPO.
 pub fn function_to_string(f: &Function) -> String {
     let mut out = String::new();
-    let addr = f
-        .orig_addr
-        .map(|a| format!(" @ {a:#x}"))
-        .unwrap_or_default();
+    let addr = f.orig_addr.map(|a| format!(" @ {a:#x}")).unwrap_or_default();
     let _ = writeln!(out, "fn {}({} params){addr} {{", f.name, f.num_params);
     for b in f.rpo() {
         let block = &f.blocks[b.index()];
-        let tag = block
-            .orig_addr
-            .map(|a| format!(" ; {a:#x}"))
-            .unwrap_or_default();
+        let tag = block.orig_addr.map(|a| format!(" ; {a:#x}")).unwrap_or_default();
         let _ = writeln!(out, "{b}:{tag}");
         for &i in &block.insts {
             let _ = writeln!(out, "  {}", inst_to_string(f, i));
@@ -85,10 +78,7 @@ pub fn function_to_string(f: &Function) -> String {
 pub fn module_to_string(m: &Module) -> String {
     let mut out = String::new();
     for (i, g) in m.globals.iter().enumerate() {
-        let fixed = g
-            .fixed_addr
-            .map(|a| format!(" @ {a:#x}"))
-            .unwrap_or_default();
+        let fixed = g.fixed_addr.map(|a| format!(" @ {a:#x}")).unwrap_or_default();
         let _ = writeln!(out, "global @g{i} \"{}\" size={}{fixed}", g.name, g.size);
     }
     for (i, e) in m.externs.iter().enumerate() {
@@ -119,7 +109,10 @@ mod tests {
         });
         m.extern_index("printf");
         let mut f = Function::new("main");
-        let a = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Const(1), b: Val::Const(2) });
+        let a = f.push_inst(
+            f.entry,
+            InstKind::Bin { op: BinOp::Add, a: Val::Const(1), b: Val::Const(2) },
+        );
         let _s = f.push_inst(
             f.entry,
             InstKind::Store { ty: Ty::I32, addr: Val::Const(0x400000), val: Val::Inst(a) },

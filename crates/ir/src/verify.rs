@@ -38,17 +38,18 @@ pub fn dominators(f: &Function) -> Vec<Option<BlockId>> {
     let mut idom: Vec<Option<BlockId>> = vec![None; f.blocks.len()];
     idom[f.entry.index()] = Some(f.entry);
 
-    let intersect = |idom: &Vec<Option<BlockId>>, order: &Vec<usize>, mut a: BlockId, mut b: BlockId| {
-        while a != b {
-            while order[a.index()] > order[b.index()] {
-                a = idom[a.index()].expect("processed");
+    let intersect =
+        |idom: &Vec<Option<BlockId>>, order: &Vec<usize>, mut a: BlockId, mut b: BlockId| {
+            while a != b {
+                while order[a.index()] > order[b.index()] {
+                    a = idom[a.index()].expect("processed");
+                }
+                while order[b.index()] > order[a.index()] {
+                    b = idom[b.index()].expect("processed");
+                }
             }
-            while order[b.index()] > order[a.index()] {
-                b = idom[b.index()].expect("processed");
-            }
-        }
-        a
-    };
+            a
+        };
 
     let mut changed = true;
     while changed {
@@ -195,11 +196,8 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
                     if past_phis {
                         return Err(err(format!("{i}: phi not at block head in {b}")));
                     }
-                    let mut ps: Vec<BlockId> = preds[b.index()]
-                        .iter()
-                        .copied()
-                        .filter(|p| reachable[p.index()])
-                        .collect();
+                    let mut ps: Vec<BlockId> =
+                        preds[b.index()].iter().copied().filter(|p| reachable[p.index()]).collect();
                     ps.sort();
                     ps.dedup();
                     let mut inc: Vec<BlockId> = incomings
@@ -230,7 +228,11 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
             def_pos[i.index()] = pos;
         }
     }
-    let check_dom = |use_block: BlockId, use_pos: usize, v: Val, is_phi_from: Option<BlockId>| -> Result<(), VerifyError> {
+    let check_dom = |use_block: BlockId,
+                     use_pos: usize,
+                     v: Val,
+                     is_phi_from: Option<BlockId>|
+     -> Result<(), VerifyError> {
         let Val::Inst(d) = v else { return Ok(()) };
         let Some(db) = def_block[d.index()] else {
             return Err(err(format!("use of unplaced {d}")));
@@ -319,7 +321,10 @@ mod tests {
     fn linear() -> (Module, FuncId) {
         let mut m = Module::new();
         let mut f = Function::new("f");
-        let a = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Const(1), b: Val::Const(2) });
+        let a = f.push_inst(
+            f.entry,
+            InstKind::Bin { op: BinOp::Add, a: Val::Const(1), b: Val::Const(2) },
+        );
         f.blocks[0].term = Term::Ret(Some(Val::Inst(a)));
         let id = m.add_func(f);
         (m, id)
@@ -336,7 +341,8 @@ mod tests {
         let mut m = Module::new();
         let mut f = Function::new("f");
         // %0 uses %1 which is defined after it.
-        let a = f.add_inst(InstKind::Bin { op: BinOp::Add, a: Val::Inst(InstId(1)), b: Val::Const(1) });
+        let a =
+            f.add_inst(InstKind::Bin { op: BinOp::Add, a: Val::Inst(InstId(1)), b: Val::Const(1) });
         let b = f.add_inst(InstKind::Bin { op: BinOp::Add, a: Val::Const(1), b: Val::Const(1) });
         f.blocks[0].insts = vec![a, b];
         f.blocks[0].term = Term::Ret(None);
@@ -350,10 +356,14 @@ mod tests {
         let mut f = Function::new("f");
         let side = f.add_block();
         let join = f.add_block();
-        let c = f.push_inst(f.entry, InstKind::Cmp { op: CmpOp::Eq, a: Val::Param(0), b: Val::Const(0) });
+        let c = f.push_inst(
+            f.entry,
+            InstKind::Cmp { op: CmpOp::Eq, a: Val::Param(0), b: Val::Const(0) },
+        );
         f.num_params = 1;
         f.blocks[f.entry.index()].term = Term::CondBr { c: Val::Inst(c), t: side, f: join };
-        let d = f.push_inst(side, InstKind::Bin { op: BinOp::Add, a: Val::Const(1), b: Val::Const(1) });
+        let d =
+            f.push_inst(side, InstKind::Bin { op: BinOp::Add, a: Val::Const(1), b: Val::Const(1) });
         f.blocks[side.index()].term = Term::Br(join);
         // join uses %d but entry can reach join directly — not dominated.
         f.blocks[join.index()].term = Term::Ret(Some(Val::Inst(d)));

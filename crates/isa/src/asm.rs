@@ -149,9 +149,7 @@ impl Asm {
                 Item::Jmp(_) => encoded_len(&Inst::Jmp { target: 0 }),
                 Item::Jcc(cc, _) => encoded_len(&Inst::Jcc { cc: *cc, target: 0 }),
                 Item::Call(_) => encoded_len(&Inst::Call { target: 0 }),
-                Item::PushAddr(_) => {
-                    encoded_len(&Inst::Push { src: crate::Operand::Imm(0) })
-                }
+                Item::PushAddr(_) => encoded_len(&Inst::Push { src: crate::Operand::Imm(0) }),
                 Item::MovRegLabel(r, _) => encoded_len(&Inst::Mov {
                     size: crate::Size::D,
                     dst: crate::Operand::Reg(*r),
@@ -273,11 +271,7 @@ mod tests {
     #[test]
     fn emit_positions_are_stable() {
         let mut a = Asm::new();
-        a.emit(Inst::Mov {
-            size: Size::D,
-            dst: Operand::Reg(Reg::Eax),
-            src: Operand::Imm(7),
-        });
+        a.emit(Inst::Mov { size: Size::D, dst: Operand::Reg(Reg::Eax), src: Operand::Imm(7) });
         assert_eq!(a.len(), 1);
         assert!(!a.is_empty());
     }

@@ -298,11 +298,7 @@ impl<'a> Cursor<'a> {
 
     fn mem(&mut self) -> Result<Mem, DecodeError> {
         let flags = self.u8()?;
-        let base = if flags & 0x08 != 0 {
-            Some(Reg::from_index(flags & 0x07))
-        } else {
-            None
-        };
+        let base = if flags & 0x08 != 0 { Some(Reg::from_index(flags & 0x07)) } else { None };
         let index = if flags & 0x80 != 0 {
             let reg = Reg::from_index((flags >> 4) & 0x07);
             let scale = self.u8()?;
@@ -328,10 +324,7 @@ impl<'a> Cursor<'a> {
 
     fn cc(&mut self) -> Result<Cc, DecodeError> {
         let b = self.u8()?;
-        Cc::ALL
-            .get(b as usize)
-            .copied()
-            .ok_or(DecodeError::BadField("condition code"))
+        Cc::ALL.get(b as usize).copied().ok_or(DecodeError::BadField("condition code"))
     }
 }
 
@@ -471,7 +464,8 @@ pub fn encoded_len(inst: &Inst) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use wyt_testkit::prop::{check, shrink_vec, vec_of, Config};
+    use wyt_testkit::Rng;
 
     fn roundtrip(i: Inst) {
         let mut buf = Vec::new();
@@ -492,10 +486,7 @@ mod tests {
         roundtrip(Inst::Trap { code: 3 });
         roundtrip(Inst::Jcc { cc: Cc::Ae, target: 0x1234 });
         roundtrip(Inst::Setcc { cc: Cc::Ns, dst: Reg::Edx });
-        roundtrip(Inst::Lea {
-            dst: Reg::Eax,
-            mem: Mem::base_index(Reg::Ebp, Reg::Ecx, 8, -44),
-        });
+        roundtrip(Inst::Lea { dst: Reg::Eax, mem: Mem::base_index(Reg::Ebp, Reg::Ecx, 8, -44) });
         roundtrip(Inst::VmovLd { mem: Mem::base_disp(Reg::Esi, 16) });
         roundtrip(Inst::VmovSt { mem: Mem::abs(0x4000) });
     }
@@ -517,109 +508,139 @@ mod tests {
         assert_eq!(decode(&buf), Err(DecodeError::BadField("scale")));
     }
 
-    fn arb_reg() -> impl Strategy<Value = Reg> {
-        (0u8..8).prop_map(Reg::from_index)
+    fn arb_reg(rng: &mut Rng) -> Reg {
+        Reg::from_index(rng.range_u32(0, 8) as u8)
     }
 
-    fn arb_size() -> impl Strategy<Value = Size> {
-        prop_oneof![Just(Size::B), Just(Size::W), Just(Size::D)]
+    fn arb_size(rng: &mut Rng) -> Size {
+        *rng.choose(&[Size::B, Size::W, Size::D])
     }
 
-    fn arb_mem() -> impl Strategy<Value = Mem> {
-        (
-            proptest::option::of(arb_reg()),
-            proptest::option::of((arb_reg(), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)])),
-            any::<i32>(),
-        )
-            .prop_map(|(base, index, disp)| Mem { base, index, disp })
+    fn arb_mem(rng: &mut Rng) -> Mem {
+        let base = if rng.next_bool() { Some(arb_reg(rng)) } else { None };
+        let index =
+            if rng.next_bool() { Some((arb_reg(rng), *rng.choose(&[1u8, 2, 4, 8]))) } else { None };
+        Mem { base, index, disp: rng.next_i32() }
     }
 
-    fn arb_operand() -> impl Strategy<Value = Operand> {
-        prop_oneof![
-            arb_reg().prop_map(Operand::Reg),
-            any::<i32>().prop_map(Operand::Imm),
-            arb_mem().prop_map(Operand::Mem),
-        ]
-    }
-
-    fn arb_cc() -> impl Strategy<Value = Cc> {
-        (0usize..Cc::ALL.len()).prop_map(|i| Cc::ALL[i])
-    }
-
-    fn arb_inst() -> impl Strategy<Value = Inst> {
-        prop_oneof![
-            Just(Inst::Nop),
-            Just(Inst::Halt),
-            Just(Inst::Leave),
-            (arb_size(), arb_operand(), arb_operand())
-                .prop_map(|(size, dst, src)| Inst::Mov { size, dst, src }),
-            (arb_size(), arb_reg(), arb_operand())
-                .prop_map(|(from, dst, src)| Inst::Movzx { from, dst, src }),
-            (arb_size(), arb_reg(), arb_operand())
-                .prop_map(|(from, dst, src)| Inst::Movsx { from, dst, src }),
-            (arb_reg(), arb_mem()).prop_map(|(dst, mem)| Inst::Lea { dst, mem }),
-            (
-                prop_oneof![
-                    Just(AluOp::Add),
-                    Just(AluOp::Sub),
-                    Just(AluOp::And),
-                    Just(AluOp::Or),
-                    Just(AluOp::Xor)
-                ],
-                arb_size(),
-                arb_operand(),
-                arb_operand()
-            )
-                .prop_map(|(op, size, dst, src)| Inst::Alu { op, size, dst, src }),
-            (arb_size(), arb_operand(), arb_operand())
-                .prop_map(|(size, a, b)| Inst::Cmp { size, a, b }),
-            (arb_size(), arb_operand(), arb_operand())
-                .prop_map(|(size, a, b)| Inst::Test { size, a, b }),
-            (arb_reg(), arb_operand()).prop_map(|(dst, src)| Inst::Imul { dst, src }),
-            (arb_reg(), arb_operand(), any::<i32>())
-                .prop_map(|(dst, src, imm)| Inst::ImulI { dst, src, imm }),
-            arb_operand().prop_map(|src| Inst::Idiv { src }),
-            (arb_size(), arb_operand()).prop_map(|(size, dst)| Inst::Neg { size, dst }),
-            (arb_size(), arb_operand()).prop_map(|(size, dst)| Inst::Not { size, dst }),
-            (
-                prop_oneof![Just(ShiftOp::Shl), Just(ShiftOp::Shr), Just(ShiftOp::Sar)],
-                arb_size(),
-                arb_operand(),
-                prop_oneof![any::<u8>().prop_map(ShiftAmount::Imm), Just(ShiftAmount::Cl)]
-            )
-                .prop_map(|(op, size, dst, amount)| Inst::Shift { op, size, dst, amount }),
-            arb_operand().prop_map(|src| Inst::Push { src }),
-            arb_operand().prop_map(|dst| Inst::Pop { dst }),
-            any::<u32>().prop_map(|target| Inst::Call { target }),
-            arb_operand().prop_map(|target| Inst::CallInd { target }),
-            any::<u16>().prop_map(|idx| Inst::CallExt { idx }),
-            any::<u16>().prop_map(|pop| Inst::Ret { pop }),
-            any::<u32>().prop_map(|target| Inst::Jmp { target }),
-            arb_operand().prop_map(|target| Inst::JmpInd { target }),
-            (arb_cc(), any::<u32>()).prop_map(|(cc, target)| Inst::Jcc { cc, target }),
-            (arb_cc(), arb_reg()).prop_map(|(cc, dst)| Inst::Setcc { cc, dst }),
-            arb_mem().prop_map(|mem| Inst::VmovLd { mem }),
-            arb_mem().prop_map(|mem| Inst::VmovSt { mem }),
-            any::<u8>().prop_map(|code| Inst::Trap { code }),
-        ]
-    }
-
-    proptest! {
-        #[test]
-        fn prop_encode_decode_roundtrip(inst in arb_inst()) {
-            roundtrip(inst);
+    fn arb_operand(rng: &mut Rng) -> Operand {
+        match rng.range_u32(0, 3) {
+            0 => Operand::Reg(arb_reg(rng)),
+            1 => Operand::Imm(rng.next_i32()),
+            _ => Operand::Mem(arb_mem(rng)),
         }
+    }
 
-        #[test]
-        fn prop_encoded_len_matches(inst in arb_inst()) {
-            let mut buf = Vec::new();
-            encode(&inst, &mut buf);
-            prop_assert_eq!(encoded_len(&inst), buf.len());
-        }
+    fn arb_cc(rng: &mut Rng) -> Cc {
+        *rng.choose(&Cc::ALL)
+    }
 
-        #[test]
-        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..24)) {
-            let _ = decode(&bytes);
+    fn arb_inst(rng: &mut Rng) -> Inst {
+        match rng.range_u32(0, 27) {
+            0 => Inst::Nop,
+            1 => Inst::Halt,
+            2 => Inst::Leave,
+            3 => Inst::Mov { size: arb_size(rng), dst: arb_operand(rng), src: arb_operand(rng) },
+            4 => Inst::Movzx { from: arb_size(rng), dst: arb_reg(rng), src: arb_operand(rng) },
+            5 => Inst::Movsx { from: arb_size(rng), dst: arb_reg(rng), src: arb_operand(rng) },
+            6 => Inst::Lea { dst: arb_reg(rng), mem: arb_mem(rng) },
+            7 => Inst::Alu {
+                op: *rng.choose(&[AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor]),
+                size: arb_size(rng),
+                dst: arb_operand(rng),
+                src: arb_operand(rng),
+            },
+            8 => Inst::Cmp { size: arb_size(rng), a: arb_operand(rng), b: arb_operand(rng) },
+            9 => Inst::Test { size: arb_size(rng), a: arb_operand(rng), b: arb_operand(rng) },
+            10 => Inst::Imul { dst: arb_reg(rng), src: arb_operand(rng) },
+            11 => Inst::ImulI { dst: arb_reg(rng), src: arb_operand(rng), imm: rng.next_i32() },
+            12 => Inst::Idiv { src: arb_operand(rng) },
+            13 => Inst::Neg { size: arb_size(rng), dst: arb_operand(rng) },
+            14 => Inst::Not { size: arb_size(rng), dst: arb_operand(rng) },
+            15 => Inst::Shift {
+                op: *rng.choose(&[ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar]),
+                size: arb_size(rng),
+                dst: arb_operand(rng),
+                amount: if rng.next_bool() {
+                    ShiftAmount::Imm(rng.next_u8())
+                } else {
+                    ShiftAmount::Cl
+                },
+            },
+            16 => Inst::Push { src: arb_operand(rng) },
+            17 => Inst::Pop { dst: arb_operand(rng) },
+            18 => Inst::Call { target: rng.next_u32() },
+            19 => Inst::CallInd { target: arb_operand(rng) },
+            20 => Inst::CallExt { idx: rng.next_u32() as u16 },
+            21 => Inst::Ret { pop: rng.next_u32() as u16 },
+            22 => Inst::Jmp { target: rng.next_u32() },
+            23 => Inst::JmpInd { target: arb_operand(rng) },
+            24 => Inst::Jcc { cc: arb_cc(rng), target: rng.next_u32() },
+            25 => Inst::Setcc { cc: arb_cc(rng), dst: arb_reg(rng) },
+            _ => match rng.range_u32(0, 3) {
+                0 => Inst::VmovLd { mem: arb_mem(rng) },
+                1 => Inst::VmovSt { mem: arb_mem(rng) },
+                _ => Inst::Trap { code: rng.next_u8() },
+            },
         }
+    }
+
+    #[test]
+    fn prop_encode_decode_roundtrip() {
+        check(
+            "prop_encode_decode_roundtrip",
+            &Config::cases(512),
+            arb_inst,
+            |_| Vec::new(),
+            |inst| {
+                let mut buf = Vec::new();
+                encode(inst, &mut buf);
+                let (back, len) =
+                    decode(&buf).map_err(|e| format!("decode of {inst} failed: {e}"))?;
+                if back != *inst {
+                    return Err(format!("roundtrip changed {inst} into {back}"));
+                }
+                if len != buf.len() {
+                    return Err(format!("decode consumed {len} of {} bytes", buf.len()));
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn prop_encoded_len_matches() {
+        check(
+            "prop_encoded_len_matches",
+            &Config::cases(512),
+            arb_inst,
+            |_| Vec::new(),
+            |inst| {
+                let mut buf = Vec::new();
+                encode(inst, &mut buf);
+                if encoded_len(inst) != buf.len() {
+                    return Err(format!(
+                        "encoded_len {} but encoding is {} bytes for {inst}",
+                        encoded_len(inst),
+                        buf.len()
+                    ));
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn prop_decode_never_panics() {
+        check(
+            "prop_decode_never_panics",
+            &Config::cases(512),
+            |rng| vec_of(rng, 0, 24, |r| r.next_u8()),
+            |bytes| shrink_vec(bytes),
+            |bytes| {
+                let _ = decode(bytes);
+                Ok(())
+            },
+        );
     }
 }

@@ -109,11 +109,7 @@ pub struct Image {
 impl Image {
     /// An empty image with the default segment bases.
     pub fn new() -> Image {
-        Image {
-            text_base: TEXT_BASE,
-            data_base: DATA_BASE,
-            ..Image::default()
-        }
+        Image { text_base: TEXT_BASE, data_base: DATA_BASE, ..Image::default() }
     }
 
     /// End address (exclusive) of the text segment.
@@ -146,10 +142,7 @@ impl Image {
 
     /// Look up the name of the symbol at `addr`, if any.
     pub fn symbol_name_at(&self, addr: u32) -> Option<&str> {
-        self.symbols
-            .iter()
-            .find(|s| s.addr == addr)
-            .map(|s| s.name.as_str())
+        self.symbols.iter().find(|s| s.addr == addr).map(|s| s.name.as_str())
     }
 
     /// The ground-truth frame layout for the function at `addr`, if any.
@@ -224,12 +217,7 @@ mod tests {
         img.frame_layouts.push(FrameLayout {
             func: img.text_base,
             func_name: "main".into(),
-            vars: vec![GtVar {
-                name: "x".into(),
-                sp0_offset: -8,
-                size: 4,
-                kind: GtVarKind::Named,
-            }],
+            vars: vec![GtVar { name: "x".into(), sp0_offset: -8, size: 4, kind: GtVarKind::Named }],
         });
         img
     }

@@ -28,16 +28,8 @@ pub enum Reg {
 
 impl Reg {
     /// All registers in encoding order.
-    pub const ALL: [Reg; 8] = [
-        Reg::Eax,
-        Reg::Ecx,
-        Reg::Edx,
-        Reg::Ebx,
-        Reg::Esp,
-        Reg::Ebp,
-        Reg::Esi,
-        Reg::Edi,
-    ];
+    pub const ALL: [Reg; 8] =
+        [Reg::Eax, Reg::Ecx, Reg::Edx, Reg::Ebx, Reg::Esp, Reg::Ebp, Reg::Esi, Reg::Edi];
 
     /// The register with encoding `idx`.
     ///
@@ -313,20 +305,8 @@ impl Cc {
     }
 
     /// All condition codes.
-    pub const ALL: [Cc; 12] = [
-        Cc::E,
-        Cc::Ne,
-        Cc::L,
-        Cc::Le,
-        Cc::G,
-        Cc::Ge,
-        Cc::B,
-        Cc::Be,
-        Cc::A,
-        Cc::Ae,
-        Cc::S,
-        Cc::Ns,
-    ];
+    pub const ALL: [Cc; 12] =
+        [Cc::E, Cc::Ne, Cc::L, Cc::Le, Cc::G, Cc::Ge, Cc::B, Cc::Be, Cc::A, Cc::Ae, Cc::S, Cc::Ns];
 }
 
 impl fmt::Display for Cc {
@@ -510,11 +490,7 @@ mod tests {
     fn display_formats() {
         let m = Mem::base_index(Reg::Ebp, Reg::Eax, 8, -44);
         assert_eq!(m.to_string(), "[ebp+eax*8-44]");
-        let i = Inst::Mov {
-            size: Size::D,
-            dst: Operand::Mem(m),
-            src: Operand::Reg(Reg::Ecx),
-        };
+        let i = Inst::Mov { size: Size::D, dst: Operand::Mem(m), src: Operand::Reg(Reg::Ecx) };
         assert_eq!(i.to_string(), "movd [ebp+eax*8-44], ecx");
         assert_eq!(Inst::Ret { pop: 0 }.to_string(), "ret");
         assert_eq!(Inst::Jcc { cc: Cc::Le, target: 0x40 }.to_string(), "jle 0x40");

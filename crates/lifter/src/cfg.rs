@@ -98,19 +98,14 @@ pub fn build_cfg(img: &Image, trace: &Trace) -> Result<MachCfg, CfgError> {
         starts.insert(*to);
     }
 
-    let mut cfg = MachCfg {
-        blocks: BTreeMap::new(),
-        call_targets: trace.call_targets(),
-        entry: img.entry,
-    };
+    let mut cfg =
+        MachCfg { blocks: BTreeMap::new(), call_targets: trace.call_targets(), entry: img.entry };
 
     for &start in &starts {
         let mut insts = Vec::new();
         let mut pc = start;
         let end = loop {
-            let (inst, len) = img
-                .decode_at(pc)
-                .map_err(|_| CfgError::BadDecode(pc))?;
+            let (inst, len) = img.decode_at(pc).map_err(|_| CfgError::BadDecode(pc))?;
             let next = pc + len as u32;
             if inst.is_terminator() {
                 insts.push((pc, inst));
@@ -153,9 +148,7 @@ impl MachCfg {
     pub fn successors(&self, b: &MachBlock) -> Vec<u32> {
         match &b.end {
             BlockEnd::Jmp(t) => vec![*t],
-            BlockEnd::Jcc { taken, fall, .. } => {
-                taken.iter().chain(fall.iter()).copied().collect()
-            }
+            BlockEnd::Jcc { taken, fall, .. } => taken.iter().chain(fall.iter()).copied().collect(),
             BlockEnd::JmpInd(ts) => ts.clone(),
             BlockEnd::FallInto(n) => vec![*n],
             BlockEnd::Ret(_) | BlockEnd::Halt | BlockEnd::Trap(_) => Vec::new(),
@@ -236,8 +229,7 @@ mod tests {
             }
         "#;
         let img = compile(src, &Profile::gcc44_o3()).unwrap();
-        let (trace, _) =
-            trace_image(&img, &[b"0".to_vec(), b"2".to_vec(), b"4".to_vec()]);
+        let (trace, _) = trace_image(&img, &[b"0".to_vec(), b"2".to_vec(), b"4".to_vec()]);
         let cfg = build_cfg(&img, &trace).unwrap();
         let ind = cfg
             .blocks

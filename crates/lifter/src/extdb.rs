@@ -105,19 +105,11 @@ pub fn ext_sig(ext: ExtId) -> ExtSig {
             DeriveRet { base: 0 },
         ],
         ExtId::Strlen => vec![ZeroTerminated { ptr: 0 }],
-        ExtId::Strcpy => vec![
-            ZeroTerminated { ptr: 1 },
-            DeriveRet { base: 0 },
-        ],
+        ExtId::Strcpy => vec![ZeroTerminated { ptr: 1 }, DeriveRet { base: 0 }],
         ExtId::Strcmp => vec![ZeroTerminated { ptr: 0 }, ZeroTerminated { ptr: 1 }],
         ExtId::Strchr => vec![ZeroTerminated { ptr: 0 }, DeriveRet { base: 0 }],
     };
-    ExtSig {
-        ext,
-        fixed_args: ext.fixed_args(),
-        variadic: ext.is_variadic(),
-        effects,
-    }
+    ExtSig { ext, fixed_args: ext.fixed_args(), variadic: ext.is_variadic(), effects }
 }
 
 #[cfg(test)]

@@ -136,10 +136,8 @@ pub fn recover_functions(cfg: &MachCfg) -> Result<FuncMap, FuncRecError> {
         for &b in &blocks {
             map.owner.insert(b, e);
         }
-        map.funcs.insert(
-            e,
-            MachFunc { entry: e, blocks, ret_pop: ret_pop.unwrap_or(0), tail_calls },
-        );
+        map.funcs
+            .insert(e, MachFunc { entry: e, blocks, ret_pop: ret_pop.unwrap_or(0), tail_calls });
     }
 
     for b in cfg.blocks.keys() {
@@ -163,8 +161,8 @@ fn reach(cfg: &MachCfg, entry: u32, entries: &BTreeSet<u32>) -> BTreeSet<u32> {
         for s in cfg.successors(blk) {
             // Jump edges to entries are tail calls; conditional and
             // fallthrough edges never target entries in compiler output.
-            let is_tail = entries.contains(&s)
-                && matches!(blk.end, BlockEnd::Jmp(_) | BlockEnd::JmpInd(_));
+            let is_tail =
+                entries.contains(&s) && matches!(blk.end, BlockEnd::Jmp(_) | BlockEnd::JmpInd(_));
             if !is_tail && !seen.contains(&s) {
                 stack.push(s);
             }
@@ -180,7 +178,11 @@ mod tests {
     use crate::trace::trace_image;
     use wyt_minicc::{compile, Profile};
 
-    fn recover(src: &str, profile: &Profile, inputs: &[Vec<u8>]) -> (FuncMap, wyt_isa::image::Image) {
+    fn recover(
+        src: &str,
+        profile: &Profile,
+        inputs: &[Vec<u8>],
+    ) -> (FuncMap, wyt_isa::image::Image) {
         let img = compile(src, profile).unwrap();
         let (trace, results) = trace_image(&img, inputs);
         assert!(results.iter().all(|r| r.ok()));
@@ -232,10 +234,7 @@ mod tests {
         let (map, img) = recover(src, &Profile::gcc12_o3(), &[vec![]]);
         let count_addr = img.symbol("count").unwrap();
         let f = &map.funcs[&count_addr];
-        assert!(
-            !f.tail_calls.is_empty(),
-            "tail recursion should be classified as a tail call"
-        );
+        assert!(!f.tail_calls.is_empty(), "tail recursion should be classified as a tail call");
         assert!(f.tail_calls.values().all(|t| *t == count_addr));
     }
 

@@ -34,8 +34,8 @@ pub use translate::{
 
 use std::fmt;
 use wyt_emu::RunResult;
-use wyt_isa::image::Image;
 use wyt_ir::Module;
+use wyt_isa::image::Image;
 
 /// Any lifting-stage failure.
 #[derive(Debug, Clone)]

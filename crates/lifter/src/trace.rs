@@ -19,20 +19,12 @@ impl Trace {
     /// All observed targets of the transfer instruction at `from` with a
     /// kind accepted by `pred`.
     pub fn targets_from(&self, from: u32, pred: impl Fn(TransferKind) -> bool) -> Vec<u32> {
-        self.edges
-            .iter()
-            .filter(|(f, _, k)| *f == from && pred(*k))
-            .map(|(_, t, _)| *t)
-            .collect()
+        self.edges.iter().filter(|(f, _, k)| *f == from && pred(*k)).map(|(_, t, _)| *t).collect()
     }
 
     /// Addresses that were entered by a (direct or indirect) call.
     pub fn call_targets(&self) -> BTreeSet<u32> {
-        self.edges
-            .iter()
-            .filter(|(_, _, k)| k.is_call())
-            .map(|(_, t, _)| *t)
-            .collect()
+        self.edges.iter().filter(|(_, _, k)| k.is_call()).map(|(_, t, _)| *t).collect()
     }
 
     /// All transfer-target addresses (block-start candidates).

@@ -24,9 +24,11 @@ use crate::cfg::{BlockEnd, MachCfg};
 use crate::funcrec::FuncMap;
 use std::collections::BTreeMap;
 use std::fmt;
+use wyt_ir::{
+    BinOp, BlockId, CmpOp, FuncId, Function, Global, GlobalKind, InstKind, Module, Term, Ty, Val,
+};
 use wyt_isa::image::Image;
 use wyt_isa::{AluOp, Cc, Inst, Mem, Operand, Reg, ShiftAmount, ShiftOp, Size};
-use wyt_ir::{BinOp, BlockId, CmpOp, Function, FuncId, Global, GlobalKind, InstKind, Module, Term, Ty, Val};
 
 /// Base address of the virtual CPU register cells (8 GPRs + the two
 /// halves of the `vmov` register).
@@ -107,11 +109,21 @@ impl std::error::Error for LiftError {}
 enum FlagState {
     None,
     /// Flags from `a - b` (cmp/sub/neg).
-    Cmp { a: Val, b: Val, size: Size },
+    Cmp {
+        a: Val,
+        b: Val,
+        size: Size,
+    },
     /// Flags from a logical op / shift result `r` (cf = of = 0).
-    Logic { r: Val, size: Size },
+    Logic {
+        r: Val,
+        size: Size,
+    },
     /// Flags from an addition result `r` (only zf/sf usable).
-    Add { r: Val, size: Size },
+    Add {
+        r: Val,
+        size: Size,
+    },
 }
 
 struct FnTranslator<'a> {
@@ -200,8 +212,7 @@ impl<'a> FnTranslator<'a> {
                     // Stale upper bits: old & !mask | v & mask — the false
                     // dependency of §4.2.3, reproduced faithfully.
                     let old = self.load_reg(*r);
-                    let kept =
-                        self.bin(BinOp::And, old, Val::Const(!(size.mask() as i32)));
+                    let kept = self.bin(BinOp::And, old, Val::Const(!(size.mask() as i32)));
                     let low = self.bin(BinOp::And, v, Val::Const(size.mask() as i32));
                     let merged = self.bin(BinOp::Or, kept, low);
                     self.store_reg(*r, merged);
@@ -303,7 +314,11 @@ fn size_to_ty(size: Size) -> Ty {
 /// # Errors
 /// Returns a [`LiftError`] for machine idioms outside the supported set
 /// (the paper's §7.1 compatibility assumptions).
-pub fn translate(img: &Image, cfg: &MachCfg, funcs: &FuncMap) -> Result<(Module, LiftedMeta), LiftError> {
+pub fn translate(
+    img: &Image,
+    cfg: &MachCfg,
+    funcs: &FuncMap,
+) -> Result<(Module, LiftedMeta), LiftError> {
     let mut module = Module::new();
 
     // Globals: vCPU cells, emulated stack, original data.
@@ -422,10 +437,7 @@ pub fn translate(img: &Image, cfg: &MachCfg, funcs: &FuncMap) -> Result<(Module,
                     let Inst::JmpInd { target } = jinst else { unreachable!() };
                     let _ = jpc;
                     let tv = tr.read(target, Size::D);
-                    let cases = targets
-                        .iter()
-                        .map(|t| (*t as i32, tr.target_block(*t)))
-                        .collect();
+                    let cases = targets.iter().map(|t| (*t as i32, tr.target_block(*t))).collect();
                     Term::Switch { v: tv, cases, default: tr.trap_block }
                 }
                 BlockEnd::Ret(pop) => {
@@ -454,16 +466,19 @@ pub fn translate(img: &Image, cfg: &MachCfg, funcs: &FuncMap) -> Result<(Module,
     let main_fid = func_by_addr[&img.entry];
     let mut start = Function::new("_lifted_start");
     let b = start.entry;
-    start.push_inst(b, InstKind::Store {
-        ty: Ty::I32,
-        addr: Val::Const(vcpu_reg_addr(Reg::Esp) as i32),
-        val: Val::Const((EMU_STACK_TOP - 4) as i32),
-    });
+    start.push_inst(
+        b,
+        InstKind::Store {
+            ty: Ty::I32,
+            addr: Val::Const(vcpu_reg_addr(Reg::Esp) as i32),
+            val: Val::Const((EMU_STACK_TOP - 4) as i32),
+        },
+    );
     start.push_inst(b, InstKind::Call { f: main_fid, args: Vec::new() });
-    let code = start.push_inst(b, InstKind::Load {
-        ty: Ty::I32,
-        addr: Val::Const(vcpu_reg_addr(Reg::Eax) as i32),
-    });
+    let code = start.push_inst(
+        b,
+        InstKind::Load { ty: Ty::I32, addr: Val::Const(vcpu_reg_addr(Reg::Eax) as i32) },
+    );
     start.blocks[b.index()].term = Term::Ret(Some(Val::Inst(code)));
     let start_id = module.add_func(start);
     module.entry = Some(start_id);
@@ -484,8 +499,12 @@ fn translate_inst(
         Inst::Nop => {}
         // Terminators are handled by the block-end logic; cmp-like state
         // feeding them is recorded here.
-        Inst::Jmp { .. } | Inst::JmpInd { .. } | Inst::Jcc { .. } | Inst::Ret { .. }
-        | Inst::Halt | Inst::Trap { .. } => {}
+        Inst::Jmp { .. }
+        | Inst::JmpInd { .. }
+        | Inst::Jcc { .. }
+        | Inst::Ret { .. }
+        | Inst::Halt
+        | Inst::Trap { .. } => {}
         Inst::Mov { size, dst, src } => {
             let v = tr.read(src, *size);
             tr.write(dst, v, *size);
@@ -672,14 +691,10 @@ fn translate_inst(
         }
         Inst::VmovSt { mem } => {
             let addr = tr.ea(mem);
-            let lo = tr.emit(InstKind::Load {
-                ty: Ty::I32,
-                addr: Val::Const(vcpu_vreg_addr(0) as i32),
-            });
-            let hi = tr.emit(InstKind::Load {
-                ty: Ty::I32,
-                addr: Val::Const(vcpu_vreg_addr(1) as i32),
-            });
+            let lo =
+                tr.emit(InstKind::Load { ty: Ty::I32, addr: Val::Const(vcpu_vreg_addr(0) as i32) });
+            let hi =
+                tr.emit(InstKind::Load { ty: Ty::I32, addr: Val::Const(vcpu_vreg_addr(1) as i32) });
             tr.emit(InstKind::Store { ty: Ty::I32, addr, val: lo });
             let hiaddr = tr.bin(BinOp::Add, addr, Val::Const(4));
             tr.emit(InstKind::Store { ty: Ty::I32, addr: hiaddr, val: hi });

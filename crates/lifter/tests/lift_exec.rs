@@ -10,12 +10,7 @@ use wyt_lifter::lift_image;
 use wyt_minicc::{compile, Profile};
 
 fn profiles() -> Vec<Profile> {
-    vec![
-        Profile::gcc12_o3(),
-        Profile::gcc12_o0(),
-        Profile::clang16_o3(),
-        Profile::gcc44_o3(),
-    ]
+    vec![Profile::gcc12_o3(), Profile::gcc12_o0(), Profile::clang16_o3(), Profile::gcc44_o3()]
 }
 
 /// Lift with `train` inputs, then run the lifted module on each `check`
@@ -32,12 +27,7 @@ fn differential(src: &str, train: &[&[u8]], check: &[&[u8]]) {
             assert!(native.ok(), "{}: native trap {:?}", p.name, native.trap);
             let mut interp = Interp::new(&lifted.module, input.to_vec(), NoHooks);
             let out = interp.run();
-            assert!(
-                out.ok(),
-                "{}: lifted execution failed: {:?}",
-                p.name,
-                out.error
-            );
+            assert!(out.ok(), "{}: lifted execution failed: {:?}", p.name, out.error);
             assert_eq!(out.exit_code, native.exit_code, "{}: exit code", p.name);
             assert_eq!(out.output, native.output, "{}: output", p.name);
         }
@@ -235,9 +225,7 @@ fn untraced_path_traps_and_incremental_lifting_fixes_it() {
 
 #[test]
 fn lifted_module_shape_matches_fig1() {
-    let img = compile("int main() { return 3; }", &Profile::gcc44_o3())
-        .unwrap()
-        .stripped();
+    let img = compile("int main() { return 3; }", &Profile::gcc44_o3()).unwrap().stripped();
     let lifted = lift_image(&img, &[vec![]]).unwrap();
     let m = &lifted.module;
     // vCPU cells, vector halves, emulated stack, original data.

@@ -3,13 +3,14 @@
 //! machine computes — including condition-code materialization via
 //! `setcc`, sub-register merges, sign/zero extension and memory traffic.
 
-use proptest::prelude::*;
 use wyt_emu::run_image;
 use wyt_ir::interp::{Interp, NoHooks};
 use wyt_isa::asm::Asm;
 use wyt_isa::image::{Image, DATA_BASE};
 use wyt_isa::{AluOp, Cc, Inst, Mem, Operand, Reg, ShiftAmount, ShiftOp, Size};
 use wyt_lifter::lift_image;
+use wyt_testkit::prop::{check, shrink_vec, vec_of, Config};
+use wyt_testkit::Rng;
 
 /// Registers safe for random clobbering (esp/ebp excluded to keep the
 /// stack discipline lifters assume).
@@ -36,31 +37,32 @@ enum Op {
     ImulI(u8, u8, i32),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u8>(), any::<i32>()).prop_map(|(r, i)| Op::MovRI(r, i)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::MovRR(a, b)),
-        (0u8..5, any::<u8>(), any::<u8>(), any::<i32>(), any::<bool>())
-            .prop_map(|(o, d, s, i, ui)| Op::Alu(o, d, s, i, ui)),
-        (any::<u8>(), any::<i32>(), any::<bool>())
-            .prop_map(|(d, i, b)| Op::SubRegWrite(d, i, b)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::MovzxB(a, b)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::MovsxB(a, b)),
-        (0u8..3, any::<u8>(), any::<u8>()).prop_map(|(o, d, k)| Op::Shift(o, d, k)),
-        any::<u8>().prop_map(Op::Neg),
-        any::<u8>().prop_map(Op::Not),
-        (0u8..8, any::<u8>()).prop_map(|(s, r)| Op::StoreMem(s, r)),
-        (any::<u8>(), 0u8..8).prop_map(|(r, s)| Op::LoadMem(r, s)),
-        (0u8..8, any::<u8>()).prop_map(|(s, r)| Op::StoreByte(s, r)),
-        (any::<u8>(), 0u8..8).prop_map(|(r, s)| Op::LoadByteSx(r, s)),
-        (any::<u8>(), any::<u8>(), 0u8..10, any::<u8>())
-            .prop_map(|(a, b, cc, d)| Op::CmpSet(a, b, cc, d)),
-        (any::<u8>(), any::<u8>(), 0u8..2, any::<u8>())
-            .prop_map(|(a, b, cc, d)| Op::TestSet(a, b, cc, d)),
-        (any::<u8>(), any::<u8>(), any::<u8>(), -64i32..64)
-            .prop_map(|(d, b, i, disp)| Op::Lea(d, b, i, disp)),
-        (any::<u8>(), any::<u8>(), -1000i32..1000).prop_map(|(d, s, i)| Op::ImulI(d, s, i)),
-    ]
+fn arb_op(rng: &mut Rng) -> Op {
+    match rng.range_u32(0, 17) {
+        0 => Op::MovRI(rng.next_u8(), rng.next_i32()),
+        1 => Op::MovRR(rng.next_u8(), rng.next_u8()),
+        2 => Op::Alu(
+            rng.range_u32(0, 5) as u8,
+            rng.next_u8(),
+            rng.next_u8(),
+            rng.next_i32(),
+            rng.next_bool(),
+        ),
+        3 => Op::SubRegWrite(rng.next_u8(), rng.next_i32(), rng.next_bool()),
+        4 => Op::MovzxB(rng.next_u8(), rng.next_u8()),
+        5 => Op::MovsxB(rng.next_u8(), rng.next_u8()),
+        6 => Op::Shift(rng.range_u32(0, 3) as u8, rng.next_u8(), rng.next_u8()),
+        7 => Op::Neg(rng.next_u8()),
+        8 => Op::Not(rng.next_u8()),
+        9 => Op::StoreMem(rng.range_u32(0, 8) as u8, rng.next_u8()),
+        10 => Op::LoadMem(rng.next_u8(), rng.range_u32(0, 8) as u8),
+        11 => Op::StoreByte(rng.range_u32(0, 8) as u8, rng.next_u8()),
+        12 => Op::LoadByteSx(rng.next_u8(), rng.range_u32(0, 8) as u8),
+        13 => Op::CmpSet(rng.next_u8(), rng.next_u8(), rng.range_u32(0, 10) as u8, rng.next_u8()),
+        14 => Op::TestSet(rng.next_u8(), rng.next_u8(), rng.range_u32(0, 2) as u8, rng.next_u8()),
+        15 => Op::Lea(rng.next_u8(), rng.next_u8(), rng.next_u8(), rng.range_i32(-64, 64)),
+        _ => Op::ImulI(rng.next_u8(), rng.next_u8(), rng.range_i32(-1000, 1000)),
+    }
 }
 
 fn reg(k: u8) -> Reg {
@@ -94,8 +96,8 @@ fn build(ops: &[Op]) -> Image {
                 src: Operand::Reg(reg(*s)),
             }),
             Op::Alu(o, d, s, imm, use_imm) => {
-                let op = [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor]
-                    [*o as usize % 5];
+                let op =
+                    [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor][*o as usize % 5];
                 let src = if *use_imm { Operand::Imm(*imm) } else { Operand::Reg(reg(*s)) };
                 a.emit(Inst::Alu { op, size: Size::D, dst: Operand::Reg(reg(*d)), src });
             }
@@ -104,16 +106,12 @@ fn build(ops: &[Op]) -> Image {
                 dst: Operand::Reg(reg(*d)),
                 src: Operand::Imm(*imm),
             }),
-            Op::MovzxB(d, s) => a.emit(Inst::Movzx {
-                from: Size::B,
-                dst: reg(*d),
-                src: Operand::Reg(reg(*s)),
-            }),
-            Op::MovsxB(d, s) => a.emit(Inst::Movsx {
-                from: Size::B,
-                dst: reg(*d),
-                src: Operand::Reg(reg(*s)),
-            }),
+            Op::MovzxB(d, s) => {
+                a.emit(Inst::Movzx { from: Size::B, dst: reg(*d), src: Operand::Reg(reg(*s)) })
+            }
+            Op::MovsxB(d, s) => {
+                a.emit(Inst::Movsx { from: Size::B, dst: reg(*d), src: Operand::Reg(reg(*s)) })
+            }
             Op::Shift(o, d, k) => {
                 let op = [ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar][*o as usize % 3];
                 a.emit(Inst::Shift {
@@ -143,24 +141,13 @@ fn build(ops: &[Op]) -> Image {
                 dst: Operand::Mem(slot(*s)),
                 src: Operand::Reg(reg(*r)),
             }),
-            Op::LoadByteSx(r, s) => a.emit(Inst::Movsx {
-                from: Size::B,
-                dst: reg(*r),
-                src: Operand::Mem(slot(*s)),
-            }),
+            Op::LoadByteSx(r, s) => {
+                a.emit(Inst::Movsx { from: Size::B, dst: reg(*r), src: Operand::Mem(slot(*s)) })
+            }
             Op::CmpSet(x, y, cc, d) => {
-                let cc = [
-                    Cc::E,
-                    Cc::Ne,
-                    Cc::L,
-                    Cc::Le,
-                    Cc::G,
-                    Cc::Ge,
-                    Cc::B,
-                    Cc::Be,
-                    Cc::A,
-                    Cc::Ae,
-                ][*cc as usize % 10];
+                let cc =
+                    [Cc::E, Cc::Ne, Cc::L, Cc::Le, Cc::G, Cc::Ge, Cc::B, Cc::Be, Cc::A, Cc::Ae]
+                        [*cc as usize % 10];
                 a.emit(Inst::Cmp {
                     size: Size::D,
                     a: Operand::Reg(reg(*x)),
@@ -177,15 +164,12 @@ fn build(ops: &[Op]) -> Image {
                 });
                 a.emit(Inst::Setcc { cc, dst: reg(*d) });
             }
-            Op::Lea(d, b, i, disp) => a.emit(Inst::Lea {
-                dst: reg(*d),
-                mem: Mem::base_index(reg(*b), reg(*i), 4, *disp),
-            }),
-            Op::ImulI(d, s, imm) => a.emit(Inst::ImulI {
-                dst: reg(*d),
-                src: Operand::Reg(reg(*s)),
-                imm: *imm,
-            }),
+            Op::Lea(d, b, i, disp) => {
+                a.emit(Inst::Lea { dst: reg(*d), mem: Mem::base_index(reg(*b), reg(*i), 4, *disp) })
+            }
+            Op::ImulI(d, s, imm) => {
+                a.emit(Inst::ImulI { dst: reg(*d), src: Operand::Reg(reg(*s)), imm: *imm })
+            }
         }
     }
     // Fold every register into eax so the whole state is observable.
@@ -206,18 +190,33 @@ fn build(ops: &[Op]) -> Image {
     img
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lifted_ir_matches_machine(ops in proptest::collection::vec(arb_op(), 1..40)) {
-        let img = build(&ops);
-        let native = run_image(&img, vec![]);
-        prop_assert!(native.ok(), "native trap: {:?}", native.trap);
-        let lifted = lift_image(&img, &[vec![]]).expect("lift");
-        wyt_ir::verify::verify_module(&lifted.module).expect("verify");
-        let out = Interp::new(&lifted.module, vec![], NoHooks).run();
-        prop_assert!(out.ok(), "lifted error: {:?}", out.error);
-        prop_assert_eq!(out.exit_code, native.exit_code, "state checksum differs");
-    }
+#[test]
+fn lifted_ir_matches_machine() {
+    check(
+        "lifted_ir_matches_machine",
+        &Config::cases(64),
+        |rng| vec_of(rng, 1, 40, arb_op),
+        |ops| shrink_vec(ops),
+        |ops| {
+            let img = build(ops);
+            let native = run_image(&img, vec![]);
+            if !native.ok() {
+                return Err(format!("native trap: {:?}", native.trap));
+            }
+            let lifted = lift_image(&img, &[vec![]]).map_err(|e| format!("lift failed: {e}"))?;
+            wyt_ir::verify::verify_module(&lifted.module)
+                .map_err(|e| format!("verify failed: {e}"))?;
+            let out = Interp::new(&lifted.module, vec![], NoHooks).run();
+            if !out.ok() {
+                return Err(format!("lifted error: {:?}", out.error));
+            }
+            if out.exit_code != native.exit_code {
+                return Err(format!(
+                    "state checksum differs: lifted {} vs native {}",
+                    out.exit_code, native.exit_code
+                ));
+            }
+            Ok(())
+        },
+    );
 }

@@ -130,7 +130,10 @@ impl<'p> Codegen<'p> {
     /// Memory operand for locals-region offset `k`.
     fn slot_mem(&self, k: u32) -> Mem {
         if self.has_frame_ptr {
-            Mem::base_disp(Reg::Ebp, k as i32 - (4 * self.nsaved() as i32) - self.locals_size as i32)
+            Mem::base_disp(
+                Reg::Ebp,
+                k as i32 - (4 * self.nsaved() as i32) - self.locals_size as i32,
+            )
         } else {
             Mem::base_disp(Reg::Esp, (k + self.depth) as i32)
         }
@@ -190,14 +193,10 @@ impl<'p> Codegen<'p> {
             },
             TK::ReadParam(i) => match self.param_home[*i] {
                 ParamHome::Reg(r) => Some(Operand::Reg(r)),
-                ParamHome::Stack(si)
-                    if !is_narrow(&self.prog.funcs[self.cur].params[*i].ty) =>
-                {
+                ParamHome::Stack(si) if !is_narrow(&self.prog.funcs[self.cur].params[*i].ty) => {
                     Some(Operand::Mem(self.param_mem(si)))
                 }
-                ParamHome::Slot(k)
-                    if !is_narrow(&self.prog.funcs[self.cur].params[*i].ty) =>
-                {
+                ParamHome::Slot(k) if !is_narrow(&self.prog.funcs[self.cur].params[*i].ty) => {
                     Some(Operand::Mem(self.slot_mem(k)))
                 }
                 _ => None,
@@ -669,7 +668,13 @@ impl<'p> Codegen<'p> {
         }
     }
 
-    fn gen_assign(&mut self, target: &Target, op: Option<BK>, rhs: &TExpr, used: bool) -> CResult<()> {
+    fn gen_assign(
+        &mut self,
+        target: &Target,
+        op: Option<BK>,
+        rhs: &TExpr,
+        used: bool,
+    ) -> CResult<()> {
         // Register destination.
         if let Some((r, ty)) = self.target_reg(target) {
             match op {
@@ -824,7 +829,9 @@ impl<'p> Codegen<'p> {
                 let m = Mem::base_disp(Reg::Ecx, 0);
                 match size {
                     Size::D => self.asm.emit(movd(EAX, Operand::Mem(m))),
-                    s => self.asm.emit(Inst::Movsx { from: s, dst: Reg::Eax, src: Operand::Mem(m) }),
+                    s => {
+                        self.asm.emit(Inst::Movsx { from: s, dst: Reg::Eax, src: Operand::Mem(m) })
+                    }
                 }
                 self.apply_bin_eax_edx(bk)?;
                 self.asm.emit(Inst::Mov { size, dst: Operand::Mem(m), src: EAX });
@@ -883,7 +890,14 @@ impl<'p> Codegen<'p> {
         Ok(())
     }
 
-    fn gen_incdec(&mut self, target: &Target, inc: bool, pre: bool, delta: i32, used: bool) -> CResult<()> {
+    fn gen_incdec(
+        &mut self,
+        target: &Target,
+        inc: bool,
+        pre: bool,
+        delta: i32,
+        used: bool,
+    ) -> CResult<()> {
         let step = if inc { delta } else { -delta };
         if let Some((r, ty)) = self.target_reg(target) {
             if used && !pre {
@@ -962,7 +976,9 @@ impl<'p> Codegen<'p> {
             }
             Callee::Func(fi) => {
                 let callee_f = &self.prog.funcs[*fi];
-                let regparm = self.profile.regparm_static && callee_f.is_static && !callee_f.params.is_empty();
+                let regparm = self.profile.regparm_static
+                    && callee_f.is_static
+                    && !callee_f.params.is_empty();
                 if regparm {
                     let nreg = args.len().min(2);
                     let stack_args = &args[nreg..];
@@ -1039,10 +1055,7 @@ impl<'p> Codegen<'p> {
         }
         while off + 4 <= size {
             self.asm.emit(movd(EDX, Operand::Mem(Mem::base_disp(Reg::Ecx, off as i32))));
-            self.asm.emit(movd(
-                Operand::Mem(Mem::base_disp(Reg::Eax, off as i32)),
-                EDX,
-            ));
+            self.asm.emit(movd(Operand::Mem(Mem::base_disp(Reg::Eax, off as i32)), EDX));
             off += 4;
         }
         while off < size {
@@ -1151,7 +1164,10 @@ impl<'p> Codegen<'p> {
             }
             TStmt::Return(v) => {
                 if self.profile.tail_calls {
-                    if let Some(TExpr { kind: TK::Call { callee: Callee::Func(fi), args }, .. }) = v {
+                    if let Some(TExpr {
+                        kind: TK::Call { callee: Callee::Func(fi), args }, ..
+                    }) = v
+                    {
                         if self.try_tail_call(*fi, args)? {
                             return Ok(());
                         }
@@ -1204,11 +1220,8 @@ impl<'p> Codegen<'p> {
         self.gen_expr(scrut, true)?;
         let lend = self.asm.fresh_label();
         let arm_labels: Vec<Label> = arms.iter().map(|_| self.asm.fresh_label()).collect();
-        let default_label = arms
-            .iter()
-            .position(|(c, _)| c.is_none())
-            .map(|i| arm_labels[i])
-            .unwrap_or(lend);
+        let default_label =
+            arms.iter().position(|(c, _)| c.is_none()).map(|i| arm_labels[i]).unwrap_or(lend);
         let cases: Vec<(i32, Label)> = arms
             .iter()
             .enumerate()
@@ -1251,7 +1264,11 @@ impl<'p> Codegen<'p> {
                 // Entries are relative to the table base.
                 self.asm.emit(movd(
                     ECX,
-                    Operand::Mem(Mem { base: None, index: Some((Reg::Eax, 4)), disp: table_addr as i32 }),
+                    Operand::Mem(Mem {
+                        base: None,
+                        index: Some((Reg::Eax, 4)),
+                        disp: table_addr as i32,
+                    }),
                 ));
                 self.asm.emit(alu(AluOp::Add, ECX, Operand::Imm(table_addr as i32)));
                 self.asm.emit(Inst::JmpInd { target: ECX });
@@ -1396,7 +1413,11 @@ impl<'p> Codegen<'p> {
             self.asm.emit(Inst::Push { src: Operand::Reg(*r) });
         }
         if self.locals_size > 0 {
-            self.asm.emit(alu(AluOp::Sub, Operand::Reg(Reg::Esp), Operand::Imm(self.locals_size as i32)));
+            self.asm.emit(alu(
+                AluOp::Sub,
+                Operand::Reg(Reg::Esp),
+                Operand::Imm(self.locals_size as i32),
+            ));
         }
 
         // Move incoming arguments to their homes.
@@ -1464,7 +1485,11 @@ impl<'p> Codegen<'p> {
             return;
         }
         if self.locals_size > 0 {
-            self.asm.emit(alu(AluOp::Add, Operand::Reg(Reg::Esp), Operand::Imm(self.locals_size as i32)));
+            self.asm.emit(alu(
+                AluOp::Add,
+                Operand::Reg(Reg::Esp),
+                Operand::Imm(self.locals_size as i32),
+            ));
         }
         let saved = self.saved.clone();
         for r in saved.iter().rev() {

@@ -109,7 +109,9 @@ fn fold_expr(e: &mut TExpr) {
     let new_kind = match &e.kind {
         TK::Bin(op, a, b) => match (&a.kind, &b.kind) {
             (TK::Const(x), TK::Const(y)) => eval_bin(*op, *x, *y).map(TK::Const),
-            (_, TK::Const(0)) if matches!(op, BK::Add | BK::Sub | BK::Or | BK::Xor | BK::Shl | BK::Shr) => {
+            (_, TK::Const(0))
+                if matches!(op, BK::Add | BK::Sub | BK::Or | BK::Xor | BK::Shl | BK::Shr) =>
+            {
                 Some(a.kind.clone())
             }
             (TK::Const(0), _) if matches!(op, BK::Add | BK::Or | BK::Xor) => Some(b.kind.clone()),
@@ -119,7 +121,10 @@ fn fold_expr(e: &mut TExpr) {
                 Some(TK::Bin(
                     BK::Shl,
                     a.clone(),
-                    Box::new(TExpr { ty: Ty::Int, kind: TK::Const((*c as u32).trailing_zeros() as i32) }),
+                    Box::new(TExpr {
+                        ty: Ty::Int,
+                        kind: TK::Const((*c as u32).trailing_zeros() as i32),
+                    }),
                 ))
             }
             _ => None,
@@ -366,11 +371,7 @@ fn inline_in_expr(e: &mut TExpr, bodies: &[Option<TExpr>], locals: &mut Vec<Loca
     }
     let mut new_body = body.clone();
     substitute_params(&mut new_body, temp_base);
-    e.kind = if effects.is_empty() {
-        new_body.kind
-    } else {
-        TK::Seq(effects, Box::new(new_body))
-    };
+    e.kind = if effects.is_empty() { new_body.kind } else { TK::Seq(effects, Box::new(new_body)) };
 }
 
 fn inline_expr_functions(p: &mut Program, threshold: u32) {
@@ -431,7 +432,13 @@ fn inline_in_stmt(s: &mut TStmt, bodies: &[Option<TExpr>], locals: &mut Vec<Loca
 
 /// Count uses of local `i` in an expression, distinguishing "index into
 /// `base`" uses from all others.
-fn classify_index_uses(e: &TExpr, ivar: usize, base: &mut Option<TK>, ok: &mut bool, other: &mut u32) {
+fn classify_index_uses(
+    e: &TExpr,
+    ivar: usize,
+    base: &mut Option<TK>,
+    ok: &mut bool,
+    other: &mut u32,
+) {
     // An index use is Bin(Add, <base-addr>, ReadLocal(i)) or
     // Bin(Add, <base-addr>, Bin(Mul, ReadLocal(i), Const(_))).
     if let TK::Bin(BK::Add, a, b) = &e.kind {
@@ -655,7 +662,11 @@ fn ptr_loops_in_func(p: &mut Program, fi: usize) {
     p.funcs[fi].locals = locals;
 }
 
-fn rewrite_stmts(stmts: &mut Vec<TStmt>, locals: &mut Vec<Local>, structs: &[crate::sema::StructTy]) {
+fn rewrite_stmts(
+    stmts: &mut Vec<TStmt>,
+    locals: &mut Vec<Local>,
+    structs: &[crate::sema::StructTy],
+) {
     for idx in 0..stmts.len() {
         // Recurse first.
         match &mut stmts[idx] {
@@ -762,11 +773,7 @@ fn try_rewrite_for(
 
     // New locals: p (walking pointer) and end.
     let pvar = locals.len();
-    locals.push(Local {
-        name: format!("__p{pvar}"),
-        ty: Ty::Ptr(elem.clone()),
-        addr_taken: false,
-    });
+    locals.push(Local { name: format!("__p{pvar}"), ty: Ty::Ptr(elem.clone()), addr_taken: false });
     let evar = locals.len();
     locals.push(Local {
         name: format!("__end{evar}"),
@@ -927,11 +934,7 @@ mod tests {
         optimize(&mut p, &Profile::gcc12_o3());
         let main = p.func_index("main").unwrap();
         let TStmt::Return(Some(e)) = &p.funcs[main].body[0] else { panic!() };
-        assert!(
-            !matches!(e.kind, TK::Call { .. }),
-            "call should be inlined: {:?}",
-            e.kind
-        );
+        assert!(!matches!(e.kind, TK::Call { .. }), "call should be inlined: {:?}", e.kind);
         // GCC 4.4 profile does not inline.
         let mut p2 = prog(
             r#"

@@ -62,15 +62,15 @@ impl fmt::Display for LexError {
 impl std::error::Error for LexError {}
 
 const KEYWORDS: &[&str] = &[
-    "int", "char", "short", "void", "struct", "if", "else", "while", "for", "do", "switch",
-    "case", "default", "return", "break", "continue", "sizeof", "static",
+    "int", "char", "short", "void", "struct", "if", "else", "while", "for", "do", "switch", "case",
+    "default", "return", "break", "continue", "sizeof", "static",
 ];
 
 /// Multi-character operators, longest first.
 const PUNCTS: &[&str] = &[
-    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
-    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "+", "-", "*", "/", "%", "&", "|", "^",
-    "~", "!", "<", ">", "=", "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!",
+    "<", ">", "=", "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
 ];
 
 fn unescape(c: u8) -> u8 {
@@ -205,10 +205,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
         if c == b'\'' {
             i += 1;
             let v = if i < b.len() && b[i] == b'\\' {
-                let v = unescape(*b.get(i + 1).ok_or(LexError {
-                    msg: "unterminated char literal".into(),
-                    line,
-                })?);
+                let v = unescape(
+                    *b.get(i + 1)
+                        .ok_or(LexError { msg: "unterminated char literal".into(), line })?,
+                );
                 i += 2;
                 v
             } else if i < b.len() {
@@ -284,10 +284,7 @@ mod tests {
         assert_eq!(toks("0x10"), vec![Tok::Num(16), Tok::Eof]);
         assert_eq!(toks("'a'"), vec![Tok::Char(97), Tok::Eof]);
         assert_eq!(toks("'\\n'"), vec![Tok::Char(10), Tok::Eof]);
-        assert_eq!(
-            toks("\"hi\\n\""),
-            vec![Tok::Str(b"hi\n".to_vec()), Tok::Eof]
-        );
+        assert_eq!(toks("\"hi\\n\""), vec![Tok::Str(b"hi\n".to_vec()), Tok::Eof]);
         // 0x8899aabb wraps to a negative i32 like a C literal would.
         assert_eq!(toks("0xffffffff"), vec![Tok::Num(-1), Tok::Eof]);
     }

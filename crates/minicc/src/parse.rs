@@ -104,7 +104,11 @@ impl Parser {
     fn is_type_start(&self) -> bool {
         matches!(
             self.peek(),
-            Tok::Kw("int") | Tok::Kw("char") | Tok::Kw("short") | Tok::Kw("void") | Tok::Kw("struct")
+            Tok::Kw("int")
+                | Tok::Kw("char")
+                | Tok::Kw("short")
+                | Tok::Kw("void")
+                | Tok::Kw("struct")
         )
     }
 
@@ -133,7 +137,10 @@ impl Parser {
         while *self.peek() != Tok::Eof {
             let is_static = self.eat_kw("static");
             // struct definition: `struct Name { ... };`
-            if !is_static && *self.peek() == Tok::Kw("struct") && matches!(self.peek2(), Tok::Ident(_)) {
+            if !is_static
+                && *self.peek() == Tok::Kw("struct")
+                && matches!(self.peek2(), Tok::Ident(_))
+            {
                 let save = self.pos;
                 self.bump();
                 let name = self.expect_ident()?;
@@ -174,11 +181,7 @@ impl Parser {
                 } else {
                     None
                 };
-                let init = if self.eat_punct("=") {
-                    Some(self.parse_init()?)
-                } else {
-                    None
-                };
+                let init = if self.eat_punct("=") { Some(self.parse_init()?) } else { None };
                 self.expect_punct(";")?;
                 unit.globals.push(GlobalDef { ty, name, array, init });
             }
@@ -210,7 +213,13 @@ impl Parser {
         }
     }
 
-    fn parse_func(&mut self, ret: TypeName, name: String, is_static: bool, line: u32) -> PResult<FuncDef> {
+    fn parse_func(
+        &mut self,
+        ret: TypeName,
+        name: String,
+        is_static: bool,
+        line: u32,
+    ) -> PResult<FuncDef> {
         self.expect_punct("(")?;
         let mut params = Vec::new();
         if !self.eat_punct(")") {
@@ -252,11 +261,7 @@ impl Parser {
             let c = self.parse_expr()?;
             self.expect_punct(")")?;
             let then = Box::new(self.parse_stmt()?);
-            let els = if self.eat_kw("else") {
-                Some(Box::new(self.parse_stmt()?))
-            } else {
-                None
-            };
+            let els = if self.eat_kw("else") { Some(Box::new(self.parse_stmt()?)) } else { None };
             return Ok(Stmt::If(c, then, els));
         }
         if self.eat_kw("while") {
@@ -289,17 +294,11 @@ impl Parser {
                 self.expect_punct(";")?;
                 Some(Box::new(Stmt::Expr(e)))
             };
-            let cond = if *self.peek() == Tok::Punct(";") {
-                None
-            } else {
-                Some(self.parse_expr()?)
-            };
+            let cond =
+                if *self.peek() == Tok::Punct(";") { None } else { Some(self.parse_expr()?) };
             self.expect_punct(";")?;
-            let step = if *self.peek() == Tok::Punct(")") {
-                None
-            } else {
-                Some(self.parse_expr()?)
-            };
+            let step =
+                if *self.peek() == Tok::Punct(")") { None } else { Some(self.parse_expr()?) };
             self.expect_punct(")")?;
             let body = Box::new(self.parse_stmt()?);
             return Ok(Stmt::For(init, cond, step, body));
@@ -322,7 +321,8 @@ impl Parser {
                     return self.err("expected `case` or `default` in switch");
                 };
                 let mut body = Vec::new();
-                while !matches!(self.peek(), Tok::Kw("case") | Tok::Kw("default") | Tok::Punct("}")) {
+                while !matches!(self.peek(), Tok::Kw("case") | Tok::Kw("default") | Tok::Punct("}"))
+                {
                     body.push(self.parse_stmt()?);
                 }
                 arms.push((label, body));
@@ -330,11 +330,7 @@ impl Parser {
             return Ok(Stmt::Switch(scrut, arms));
         }
         if self.eat_kw("return") {
-            let v = if *self.peek() == Tok::Punct(";") {
-                None
-            } else {
-                Some(self.parse_expr()?)
-            };
+            let v = if *self.peek() == Tok::Punct(";") { None } else { Some(self.parse_expr()?) };
             self.expect_punct(";")?;
             return Ok(Stmt::Return(v));
         }
@@ -365,11 +361,7 @@ impl Parser {
         } else {
             None
         };
-        let init = if self.eat_punct("=") {
-            Some(self.parse_expr()?)
-        } else {
-            None
-        };
+        let init = if self.eat_punct("=") { Some(self.parse_expr()?) } else { None };
         self.expect_punct(";")?;
         Ok(Stmt::Decl { ty, name, array, init })
     }
@@ -640,9 +632,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let Stmt::Switch(_, arms) = &unit.funcs[0].body[0] else {
-            panic!()
-        };
+        let Stmt::Switch(_, arms) = &unit.funcs[0].body[0] else { panic!() };
         assert_eq!(arms.len(), 4);
         assert_eq!(arms[3].0, None);
     }
@@ -668,9 +658,7 @@ mod tests {
     fn precedence_is_c_like() {
         // 1 + 2 * 3 == 7 shape: Bin("+", 1, Bin("*", 2, 3))
         let unit = parse("int f() { return 1 + 2 * 3; }").unwrap();
-        let Stmt::Return(Some(Expr::Bin("+", _, rhs))) = &unit.funcs[0].body[0] else {
-            panic!()
-        };
+        let Stmt::Return(Some(Expr::Bin("+", _, rhs))) = &unit.funcs[0].body[0] else { panic!() };
         assert!(matches!(**rhs, Expr::Bin("*", _, _)));
     }
 

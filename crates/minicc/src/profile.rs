@@ -134,12 +134,7 @@ impl Profile {
 
     /// All evaluation profiles in the paper's Table 1 order.
     pub fn table1() -> Vec<Profile> {
-        vec![
-            Profile::gcc12_o3(),
-            Profile::gcc12_o0(),
-            Profile::clang16_o3(),
-            Profile::gcc44_o3(),
-        ]
+        vec![Profile::gcc12_o3(), Profile::gcc12_o0(), Profile::clang16_o3(), Profile::gcc44_o3()]
     }
 }
 

@@ -404,8 +404,24 @@ enum ScopeEntry {
 }
 
 const EXTERNALS: &[&str] = &[
-    "printf", "putchar", "puts", "getchar", "read_bytes", "malloc", "calloc", "free", "realloc",
-    "memcpy", "memset", "memmove", "strlen", "strcpy", "strcmp", "strchr", "exit", "abort",
+    "printf",
+    "putchar",
+    "puts",
+    "getchar",
+    "read_bytes",
+    "malloc",
+    "calloc",
+    "free",
+    "realloc",
+    "memcpy",
+    "memset",
+    "memmove",
+    "strlen",
+    "strcpy",
+    "strcmp",
+    "strchr",
+    "exit",
+    "abort",
 ];
 
 impl Checker {
@@ -600,7 +616,9 @@ impl Checker {
                                 },
                             })
                         } else {
-                            return err(format!("aggregate initializer for local `{name}` unsupported"));
+                            return err(format!(
+                                "aggregate initializer for local `{name}` unsupported"
+                            ));
                         }
                     }
                 }
@@ -674,10 +692,9 @@ impl Checker {
     /// the code generator relies on the `Conv` node emitted here.
     fn coerce_store(&self, rhs: TExpr, to: &Ty) -> TExpr {
         match to {
-            Ty::Char | Ty::Short => TExpr {
-                ty: to.clone(),
-                kind: TK::Conv { to: to.clone(), e: Box::new(rhs) },
-            },
+            Ty::Char | Ty::Short => {
+                TExpr { ty: to.clone(), kind: TK::Conv { to: to.clone(), e: Box::new(rhs) } }
+            }
             _ => rhs,
         }
     }
@@ -704,7 +721,8 @@ impl Checker {
                         if !ty.is_scalar() {
                             return err(format!("cannot assign aggregate global `{name}`"));
                         }
-                        let addr = TExpr { ty: Ty::Ptr(Box::new(ty.clone())), kind: TK::GlobalAddr(gi) };
+                        let addr =
+                            TExpr { ty: Ty::Ptr(Box::new(ty.clone())), kind: TK::GlobalAddr(gi) };
                         Ok((Target::Mem(Box::new(addr), ty.clone()), ty))
                     }
                     None => err(format!("unknown variable `{name}`")),
@@ -729,18 +747,12 @@ impl Checker {
                 Some(ScopeEntry::Local(i)) => {
                     self.locals[i].addr_taken = true;
                     let ty = self.locals[i].ty.clone();
-                    Ok((
-                        TExpr { ty: Ty::Ptr(Box::new(ty.clone())), kind: TK::LocalAddr(i) },
-                        ty,
-                    ))
+                    Ok((TExpr { ty: Ty::Ptr(Box::new(ty.clone())), kind: TK::LocalAddr(i) }, ty))
                 }
                 Some(ScopeEntry::Param(i)) => {
                     self.params[i].addr_taken = true;
                     let ty = self.params[i].ty.clone();
-                    Ok((
-                        TExpr { ty: Ty::Ptr(Box::new(ty.clone())), kind: TK::ParamAddr(i) },
-                        ty,
-                    ))
+                    Ok((TExpr { ty: Ty::Ptr(Box::new(ty.clone())), kind: TK::ParamAddr(i) }, ty))
                 }
                 None => match self.global_idx.get(name) {
                     Some(&gi) => {
@@ -849,8 +861,10 @@ impl Checker {
                     return Ok(match &ty {
                         Ty::Array(..) | Ty::Struct(_) => TExpr { ty, kind: TK::GlobalAddr(gi) },
                         _ => {
-                            let addr =
-                                TExpr { ty: Ty::Ptr(Box::new(ty.clone())), kind: TK::GlobalAddr(gi) };
+                            let addr = TExpr {
+                                ty: Ty::Ptr(Box::new(ty.clone())),
+                                kind: TK::GlobalAddr(gi),
+                            };
                             TExpr { ty: ty.clone(), kind: TK::Load(Box::new(addr), ty) }
                         }
                     });
@@ -865,8 +879,10 @@ impl Checker {
                 // Struct assignment? Probe without leaking address-taken
                 // marks if the probe turns out not to be a struct copy.
                 if op.is_none() {
-                    let saved_locals: Vec<bool> = self.locals.iter().map(|l| l.addr_taken).collect();
-                    let saved_params: Vec<bool> = self.params.iter().map(|l| l.addr_taken).collect();
+                    let saved_locals: Vec<bool> =
+                        self.locals.iter().map(|l| l.addr_taken).collect();
+                    let saved_params: Vec<bool> =
+                        self.params.iter().map(|l| l.addr_taken).collect();
                     let probe = self.try_aggregate_addr(lhs);
                     match probe {
                         Ok((dst, ty @ Ty::Struct(_))) => {
@@ -877,7 +893,11 @@ impl Checker {
                             let size = ty.size(&self.structs);
                             return Ok(TExpr {
                                 ty: Ty::Void,
-                                kind: TK::StructCopy { dst: Box::new(dst), src: Box::new(src), size },
+                                kind: TK::StructCopy {
+                                    dst: Box::new(dst),
+                                    src: Box::new(src),
+                                    size,
+                                },
                             });
                         }
                         _ => {
@@ -933,10 +953,7 @@ impl Checker {
                 } else {
                     1
                 };
-                Ok(TExpr {
-                    ty,
-                    kind: TK::IncDec { target, inc: *inc, pre: *pre, delta },
-                })
+                Ok(TExpr { ty, kind: TK::IncDec { target, inc: *inc, pre: *pre, delta } })
             }
             Expr::Call(name, args) => {
                 let targs: Vec<TExpr> =
@@ -986,10 +1003,9 @@ impl Checker {
                 let to = self.resolve_type(tname)?;
                 let inner = self.check_expr(e)?;
                 Ok(match to {
-                    Ty::Char | Ty::Short => TExpr {
-                        ty: to.clone(),
-                        kind: TK::Conv { to, e: Box::new(inner) },
-                    },
+                    Ty::Char | Ty::Short => {
+                        TExpr { ty: to.clone(), kind: TK::Conv { to, e: Box::new(inner) } }
+                    }
                     other => TExpr { ty: other, kind: inner.kind },
                 })
             }
@@ -1057,22 +1073,17 @@ impl Checker {
             if pa && !pb {
                 let es = ta.ty.elem().map(|t| t.size(&self.structs)).unwrap_or(1);
                 let ty = ta.ty.decayed();
-                return Ok(TExpr {
-                    ty,
-                    kind: TK::Bin(bk, Box::new(ta), Box::new(scale(tb, es))),
-                });
+                return Ok(TExpr { ty, kind: TK::Bin(bk, Box::new(ta), Box::new(scale(tb, es))) });
             }
             if pb && !pa && bk == BK::Add {
                 let es = tb.ty.elem().map(|t| t.size(&self.structs)).unwrap_or(1);
                 let ty = tb.ty.decayed();
-                return Ok(TExpr {
-                    ty,
-                    kind: TK::Bin(bk, Box::new(tb), Box::new(scale(ta, es))),
-                });
+                return Ok(TExpr { ty, kind: TK::Bin(bk, Box::new(tb), Box::new(scale(ta, es))) });
             }
             if pa && pb && bk == BK::Sub {
                 let es = ta.ty.elem().map(|t| t.size(&self.structs)).unwrap_or(1).max(1);
-                let diff = TExpr { ty: Ty::Int, kind: TK::Bin(BK::Sub, Box::new(ta), Box::new(tb)) };
+                let diff =
+                    TExpr { ty: Ty::Int, kind: TK::Bin(BK::Sub, Box::new(ta), Box::new(tb)) };
                 let out = if es == 1 {
                     diff
                 } else {
@@ -1164,11 +1175,8 @@ pub fn analyze(unit: &Unit) -> Result<Program, SemaError> {
     // Collect signatures first so forward calls work.
     for (i, f) in unit.funcs.iter().enumerate() {
         let ret = c.resolve_type(&f.ret)?;
-        let params: Vec<Ty> = f
-            .params
-            .iter()
-            .map(|(t, _)| c.resolve_type(t))
-            .collect::<SResult<_>>()?;
+        let params: Vec<Ty> =
+            f.params.iter().map(|(t, _)| c.resolve_type(t)).collect::<SResult<_>>()?;
         if c.sigs.insert(f.name.clone(), (i, FuncSig { ret, params })).is_some() {
             return err(format!("function `{}` defined twice", f.name));
         }
@@ -1179,9 +1187,7 @@ pub fn analyze(unit: &Unit) -> Result<Program, SemaError> {
         c.params = f
             .params
             .iter()
-            .map(|(t, n)| {
-                Ok(Local { name: n.clone(), ty: c.resolve_type(t)?, addr_taken: false })
-            })
+            .map(|(t, n)| Ok(Local { name: n.clone(), ty: c.resolve_type(t)?, addr_taken: false }))
             .collect::<SResult<_>>()?;
         c.scopes = vec![HashMap::new()];
         for (i, p) in f.params.iter().enumerate() {
@@ -1198,12 +1204,7 @@ pub fn analyze(unit: &Unit) -> Result<Program, SemaError> {
             body,
         });
     }
-    Ok(Program {
-        structs: c.structs,
-        globals: c.globals,
-        global_data: c.data,
-        funcs,
-    })
+    Ok(Program { structs: c.structs, globals: c.globals, global_data: c.data, funcs })
 }
 
 #[cfg(test)]
@@ -1243,7 +1244,10 @@ mod tests {
         );
         assert_eq!(p.globals.len(), 3);
         let a = &p.globals[0];
-        assert_eq!(&p.global_data[a.data_off as usize..a.data_off as usize + 4], &7i32.to_le_bytes());
+        assert_eq!(
+            &p.global_data[a.data_off as usize..a.data_off as usize + 4],
+            &7i32.to_le_bytes()
+        );
         let arr = &p.globals[1];
         let off = arr.data_off as usize;
         assert_eq!(&p.global_data[off..off + 4], &1i32.to_le_bytes());

@@ -421,9 +421,7 @@ fn ground_truth_layouts_are_recorded() {
 
 #[test]
 fn stripped_images_still_run() {
-    let img = compile("int main() { return 7; }", &Profile::gcc44_o3())
-        .unwrap()
-        .stripped();
+    let img = compile("int main() { return 7; }", &Profile::gcc44_o3()).unwrap().stripped();
     assert!(img.symbols.is_empty());
     assert_eq!(run_image(&img, vec![]).exit_code, 7);
 }

@@ -2,153 +2,51 @@
 //! under every compiler profile. This is the cross-vintage equivalence the
 //! whole evaluation rests on — optimization levels may change *cycles*,
 //! never *results*.
+//!
+//! The programs come from `wyt-testkit`'s structured generator (loops,
+//! helpers, arrays, ternaries, division/remainder by constants, I/O), and
+//! counterexamples shrink structurally before being reported with their
+//! seed.
 
-use proptest::prelude::*;
 use wyt_emu::run_image;
 use wyt_minicc::{compile, Profile};
+use wyt_testkit::progen::{gen_prog, render, shrink_prog};
+use wyt_testkit::prop::{check, Config};
 
-#[derive(Debug, Clone)]
-enum E {
-    Num(i32),
-    Var(u8),
-    Bin(&'static str, Box<E>, Box<E>),
-    Cmp(&'static str, Box<E>, Box<E>),
-    Ternary(Box<E>, Box<E>, Box<E>),
-    DivConst(Box<E>, i32),
-}
-
-fn render(e: &E, nvars: usize) -> String {
-    match e {
-        E::Num(n) => format!("{n}"),
-        E::Var(v) => format!("v{}", *v as usize % nvars),
-        E::Bin(op, a, b) => {
-            let (a, b) = (render(a, nvars), render(b, nvars));
-            match *op {
-                "<<" | ">>" => format!("(({a}) {op} (({b}) & 7))"),
-                _ => format!("(({a}) {op} ({b}))"),
-            }
-        }
-        E::Cmp(op, a, b) => format!("(({}) {op} ({}))", render(a, nvars), render(b, nvars)),
-        E::Ternary(c, a, b) => {
-            format!("(({}) ? ({}) : ({}))", render(c, nvars), render(a, nvars), render(b, nvars))
-        }
-        E::DivConst(a, c) => format!("(({}) / {})", render(a, nvars), (*c).max(1)),
-    }
-}
-
-fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![(-100i32..100).prop_map(E::Num), any::<u8>().prop_map(E::Var)];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![
-                    Just("+"),
-                    Just("-"),
-                    Just("*"),
-                    Just("&"),
-                    Just("|"),
-                    Just("^"),
-                    Just("<<"),
-                    Just(">>")
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b))),
-            (
-                prop_oneof![Just("<"), Just("<="), Just("=="), Just("!="), Just(">")],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, a, b)| E::Cmp(op, Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, a, b)| E::Ternary(Box::new(c), Box::new(a), Box::new(b))),
-            (inner, 1i32..16).prop_map(|(a, c)| E::DivConst(Box::new(a), c)),
-        ]
-    })
-}
-
-#[derive(Debug, Clone)]
-struct Prog {
-    nvars: usize,
-    inits: Vec<E>,
-    updates: Vec<(u8, E)>,
-    loop_n: u8,
-    loop_update: (u8, E),
-}
-
-fn arb_prog() -> impl Strategy<Value = Prog> {
-    (
-        2usize..5,
-        proptest::collection::vec(arb_expr(), 2..5),
-        proptest::collection::vec((any::<u8>(), arb_expr()), 1..6),
-        1u8..20,
-        (any::<u8>(), arb_expr()),
-    )
-        .prop_map(|(nvars, inits, updates, loop_n, loop_update)| Prog {
-            nvars,
-            inits,
-            updates,
-            loop_n,
-            loop_update,
-        })
-}
-
-fn render_prog(p: &Prog) -> String {
-    let mut s = String::from("int main() {\n");
-    for v in 0..p.nvars {
-        let init = p.inits.get(v).map(|e| render(e, p.nvars)).unwrap_or_else(|| "0".into());
-        // Initializers may reference uninitialized variables in C; keep it
-        // defined by initializing in order with previously defined vars
-        // only (render maps all vars, so just zero-init first).
-        let _ = init;
-        s += &format!("    int v{v} = {};\n", v as i32 + 1);
-    }
-    for (i, e) in p.inits.iter().enumerate() {
-        let v = i % p.nvars;
-        s += &format!("    v{v} = {};\n", render(e, p.nvars));
-    }
-    for (v, e) in &p.updates {
-        s += &format!("    v{} = {};\n", *v as usize % p.nvars, render(e, p.nvars));
-    }
-    s += &format!("    {{\n        int i;\n        for (i = 0; i < {}; i++) {{\n", p.loop_n);
-    s += &format!(
-        "            v{} += {} + i;\n        }}\n    }}\n",
-        p.loop_update.0 as usize % p.nvars,
-        render(&p.loop_update.1, p.nvars)
-    );
-    s += "    {\n        int acc = 0;\n";
-    for v in 0..p.nvars {
-        s += &format!("        acc = acc * 31 + v{v};\n");
-    }
-    s += "        return acc & 0x7f;\n    }\n}\n";
-    s
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn profiles_agree_on_random_programs(p in arb_prog()) {
-        let src = render_prog(&p);
-        let mut reference: Option<i32> = None;
+#[test]
+fn profiles_agree_on_random_programs() {
+    check("profiles_agree_on_random_programs", &Config::cases(32), gen_prog, shrink_prog, |p| {
+        let src = render(p);
+        let mut reference: Option<(i32, Vec<u8>)> = None;
         for profile in [
             Profile::gcc12_o3(),
             Profile::gcc12_o0(),
             Profile::clang16_o3(),
             Profile::gcc44_o3(),
+            Profile::gcc44_o3_nopic(),
         ] {
             let img = compile(&src, &profile)
-                .unwrap_or_else(|e| panic!("{}:\n{src}\n{e}", profile.name));
-            let r = run_image(&img, vec![]);
-            prop_assert!(r.ok(), "{}: trap {:?}\n{src}", profile.name, r.trap);
-            match reference {
-                None => reference = Some(r.exit_code),
-                Some(code) => prop_assert_eq!(
-                    r.exit_code, code,
-                    "{} disagrees\n{}", profile.name, src
-                ),
+                .map_err(|e| format!("{} failed to compile:\n{src}\n{e}", profile.name))?;
+            let r = run_image(&img, p.input.clone());
+            if !r.ok() {
+                return Err(format!("{}: trap {:?}\n{src}", profile.name, r.trap));
+            }
+            match &reference {
+                None => reference = Some((r.exit_code, r.output)),
+                Some((code, out)) => {
+                    if r.exit_code != *code || &r.output != out {
+                        return Err(format!(
+                            "{} disagrees: exit {} vs {}, output {:?} vs {:?}\n{src}",
+                            profile.name,
+                            r.exit_code,
+                            code,
+                            String::from_utf8_lossy(&r.output),
+                            String::from_utf8_lossy(out),
+                        ));
+                    }
+                }
             }
         }
-    }
+        Ok(())
+    });
 }

@@ -107,9 +107,16 @@ mod tests {
     fn identical_exprs_deduped_within_block() {
         let mut f = Function::new("t");
         f.num_params = 2;
-        let a = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Param(0), b: Val::Param(1) });
-        let b = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Param(0), b: Val::Param(1) });
-        let c = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Mul, a: Val::Inst(a), b: Val::Inst(b) });
+        let a = f.push_inst(
+            f.entry,
+            InstKind::Bin { op: BinOp::Add, a: Val::Param(0), b: Val::Param(1) },
+        );
+        let b = f.push_inst(
+            f.entry,
+            InstKind::Bin { op: BinOp::Add, a: Val::Param(0), b: Val::Param(1) },
+        );
+        let c = f
+            .push_inst(f.entry, InstKind::Bin { op: BinOp::Mul, a: Val::Inst(a), b: Val::Inst(b) });
         f.blocks[0].term = Term::Ret(Some(Val::Inst(c)));
         assert!(run_function(&mut f));
         let InstKind::Bin { a: ma, b: mb, .. } = f.inst(c) else { panic!() };
@@ -120,9 +127,16 @@ mod tests {
     fn commutative_order_is_canonicalized() {
         let mut f = Function::new("t");
         f.num_params = 2;
-        let a = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Param(0), b: Val::Param(1) });
-        let b = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Param(1), b: Val::Param(0) });
-        let c = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Sub, a: Val::Inst(a), b: Val::Inst(b) });
+        let a = f.push_inst(
+            f.entry,
+            InstKind::Bin { op: BinOp::Add, a: Val::Param(0), b: Val::Param(1) },
+        );
+        let b = f.push_inst(
+            f.entry,
+            InstKind::Bin { op: BinOp::Add, a: Val::Param(1), b: Val::Param(0) },
+        );
+        let c = f
+            .push_inst(f.entry, InstKind::Bin { op: BinOp::Sub, a: Val::Inst(a), b: Val::Inst(b) });
         f.blocks[0].term = Term::Ret(Some(Val::Inst(c)));
         assert!(run_function(&mut f));
         let InstKind::Bin { a: ma, b: mb, .. } = f.inst(c) else { panic!() };
@@ -134,9 +148,13 @@ mod tests {
         let mut f = Function::new("t");
         f.num_params = 1;
         let next = f.add_block();
-        let a = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Param(0), b: Val::Const(1) });
+        let a = f.push_inst(
+            f.entry,
+            InstKind::Bin { op: BinOp::Add, a: Val::Param(0), b: Val::Const(1) },
+        );
         f.blocks[0].term = Term::Br(next);
-        let b = f.push_inst(next, InstKind::Bin { op: BinOp::Add, a: Val::Param(0), b: Val::Const(1) });
+        let b =
+            f.push_inst(next, InstKind::Bin { op: BinOp::Add, a: Val::Param(0), b: Val::Const(1) });
         f.blocks[next.index()].term = Term::Ret(Some(Val::Inst(b)));
         assert!(run_function(&mut f));
         assert_eq!(f.blocks[next.index()].term, Term::Ret(Some(Val::Inst(a))));
@@ -151,9 +169,11 @@ mod tests {
         let t = f.add_block();
         let e = f.add_block();
         f.blocks[0].term = Term::CondBr { c: Val::Param(0), t, f: e };
-        let x = f.push_inst(t, InstKind::Bin { op: BinOp::Add, a: Val::Param(0), b: Val::Const(9) });
+        let x =
+            f.push_inst(t, InstKind::Bin { op: BinOp::Add, a: Val::Param(0), b: Val::Const(9) });
         f.blocks[t.index()].term = Term::Ret(Some(Val::Inst(x)));
-        let y = f.push_inst(e, InstKind::Bin { op: BinOp::Add, a: Val::Param(0), b: Val::Const(9) });
+        let y =
+            f.push_inst(e, InstKind::Bin { op: BinOp::Add, a: Val::Param(0), b: Val::Const(9) });
         f.blocks[e.index()].term = Term::Ret(Some(Val::Inst(y)));
         run_function(&mut f);
         // y must NOT have been replaced by x (x does not dominate e).
@@ -166,7 +186,8 @@ mod tests {
         let mut f = Function::new("t");
         let a = f.push_inst(f.entry, InstKind::Load { ty: wyt_ir::Ty::I32, addr: Val::Const(8) });
         let b = f.push_inst(f.entry, InstKind::Load { ty: wyt_ir::Ty::I32, addr: Val::Const(8) });
-        let c = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Sub, a: Val::Inst(a), b: Val::Inst(b) });
+        let c = f
+            .push_inst(f.entry, InstKind::Bin { op: BinOp::Sub, a: Val::Inst(a), b: Val::Inst(b) });
         f.blocks[0].term = Term::Ret(Some(Val::Inst(c)));
         assert!(!run_function(&mut f), "loads are not pure for CSE purposes");
     }

@@ -28,15 +28,11 @@ pub fn run_function(f: &mut Function) -> bool {
                 work.push_back(i);
             }
         }
-        f.blocks[b.index()]
-            .term
-            .for_each_operand(|v| mark(v, &mut live, &mut work));
+        f.blocks[b.index()].term.for_each_operand(|v| mark(v, &mut live, &mut work));
     }
     // Propagate through operands.
     while let Some(i) = work.pop_front() {
-        f.inst(i)
-            .clone()
-            .for_each_operand(|v| mark(v, &mut live, &mut work));
+        f.inst(i).clone().for_each_operand(|v| mark(v, &mut live, &mut work));
     }
 
     let mut changed = false;
@@ -72,8 +68,14 @@ mod tests {
     #[test]
     fn removes_unused_pure_insts_keeps_stores() {
         let mut f = Function::new("t");
-        let dead = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Const(1), b: Val::Const(2) });
-        let live = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Const(3), b: Val::Const(4) });
+        let dead = f.push_inst(
+            f.entry,
+            InstKind::Bin { op: BinOp::Add, a: Val::Const(1), b: Val::Const(2) },
+        );
+        let live = f.push_inst(
+            f.entry,
+            InstKind::Bin { op: BinOp::Add, a: Val::Const(3), b: Val::Const(4) },
+        );
         let _st = f.push_inst(
             f.entry,
             InstKind::Store { ty: Ty::I32, addr: Val::Const(100), val: Val::Inst(live) },
@@ -93,12 +95,10 @@ mod tests {
         f.blocks[0].term = Term::Br(header);
         let p1 = f.add_inst(InstKind::Phi { incomings: vec![] });
         let p2 = f.add_inst(InstKind::Phi { incomings: vec![] });
-        *f.inst_mut(p1) = InstKind::Phi {
-            incomings: vec![(BlockId(0), Val::Const(0)), (header, Val::Inst(p2))],
-        };
-        *f.inst_mut(p2) = InstKind::Phi {
-            incomings: vec![(BlockId(0), Val::Const(1)), (header, Val::Inst(p1))],
-        };
+        *f.inst_mut(p1) =
+            InstKind::Phi { incomings: vec![(BlockId(0), Val::Const(0)), (header, Val::Inst(p2))] };
+        *f.inst_mut(p2) =
+            InstKind::Phi { incomings: vec![(BlockId(0), Val::Const(1)), (header, Val::Inst(p1))] };
         f.blocks[header.index()].insts = vec![p1, p2];
         f.blocks[header.index()].term = Term::CondBr { c: Val::Param(0), t: header, f: exit };
         f.num_params = 1;

@@ -79,11 +79,8 @@ pub fn run_function(f: &mut Function) -> bool {
             },
             Term::Switch { v, cases, default } => match v.as_const() {
                 Some(cv) => {
-                    let target = cases
-                        .iter()
-                        .find(|(c, _)| *c == cv)
-                        .map(|(_, b)| *b)
-                        .unwrap_or(*default);
+                    let target =
+                        cases.iter().find(|(c, _)| *c == cv).map(|(_, b)| *b).unwrap_or(*default);
                     Some(Term::Br(target))
                 }
                 None if cases.is_empty() => Some(Term::Br(*default)),
@@ -92,6 +89,24 @@ pub fn run_function(f: &mut Function) -> bool {
             _ => None,
         };
         if let Some(nt) = new_term {
+            // Folding a terminator can drop CFG edges; phis in successors we
+            // no longer branch to must forget this block, or the verifier's
+            // incomings == predecessors invariant breaks.
+            let mut new_succs = Vec::new();
+            nt.for_each_succ(|s| new_succs.push(s));
+            let mut old_succs = Vec::new();
+            term.for_each_succ(|s| old_succs.push(s));
+            for s in old_succs {
+                if new_succs.contains(&s) {
+                    continue;
+                }
+                let s_insts = f.blocks[s.index()].insts.clone();
+                for id in s_insts {
+                    if let InstKind::Phi { incomings } = f.inst_mut(id) {
+                        incomings.retain(|(p, _)| *p != b);
+                    }
+                }
+            }
             f.blocks[b.index()].term = nt;
             changed = true;
         }
@@ -112,7 +127,12 @@ fn fold_bin(op: BinOp, a0: Val, b0: Val) -> Option<InstKind> {
     let copy = |v: Val| Some(InstKind::Copy { v });
     let simplified = match (op, b.as_const()) {
         (
-            BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::ShrL
+            BinOp::Add
+            | BinOp::Sub
+            | BinOp::Or
+            | BinOp::Xor
+            | BinOp::Shl
+            | BinOp::ShrL
             | BinOp::ShrA,
             Some(0),
         ) => copy(a),
@@ -242,8 +262,14 @@ mod tests {
     #[test]
     fn folds_constant_chains() {
         let mut f = f_with(|f| {
-            let a = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Const(2), b: Val::Const(3) });
-            let b = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Mul, a: Val::Inst(a), b: Val::Const(4) });
+            let a = f.push_inst(
+                f.entry,
+                InstKind::Bin { op: BinOp::Add, a: Val::Const(2), b: Val::Const(3) },
+            );
+            let b = f.push_inst(
+                f.entry,
+                InstKind::Bin { op: BinOp::Mul, a: Val::Inst(a), b: Val::Const(4) },
+            );
             Val::Inst(b)
         });
         while run_function(&mut f) {}
@@ -255,7 +281,10 @@ mod tests {
         let mut f = Function::new("t");
         let t = f.add_block();
         let e = f.add_block();
-        let c = f.push_inst(f.entry, InstKind::Cmp { op: CmpOp::SLt, a: Val::Const(1), b: Val::Const(2) });
+        let c = f.push_inst(
+            f.entry,
+            InstKind::Cmp { op: CmpOp::SLt, a: Val::Const(1), b: Val::Const(2) },
+        );
         f.blocks[0].term = Term::CondBr { c: Val::Inst(c), t, f: e };
         f.blocks[t.index()].term = Term::Ret(Some(Val::Const(1)));
         f.blocks[e.index()].term = Term::Ret(Some(Val::Const(0)));
@@ -264,9 +293,47 @@ mod tests {
     }
 
     #[test]
+    fn folded_condbr_updates_phis_in_dropped_successor() {
+        // entry --(const cond)--> t, with the dropped edge entry -> join;
+        // join stays reachable through t and carries a phi naming entry.
+        // Folding the CondBr must remove that incoming, or the verifier's
+        // incomings == predecessors invariant breaks. (Found by the
+        // differential oracle on a generated program.)
+        let mut f = Function::new("t");
+        let t = f.add_block();
+        let join = f.add_block();
+        f.blocks[0].term = Term::CondBr { c: Val::Const(1), t, f: join };
+        f.blocks[t.index()].term = Term::Br(join);
+        let phi = f.push_inst(
+            join,
+            InstKind::Phi {
+                incomings: vec![(wyt_ir::BlockId(0), Val::Const(10)), (t, Val::Const(20))],
+            },
+        );
+        f.blocks[join.index()].term = Term::Ret(Some(Val::Inst(phi)));
+        assert!(run_function(&mut f));
+        assert_eq!(f.blocks[0].term, Term::Br(t));
+        match f.inst(phi) {
+            InstKind::Phi { incomings } => {
+                assert_eq!(incomings.len(), 1);
+                assert_eq!(incomings[0].0, t);
+            }
+            // A later fold round may collapse the single-input phi entirely.
+            InstKind::Copy { v } => assert_eq!(*v, Val::Const(20)),
+            other => panic!("unexpected: {other:?}"),
+        }
+        let mut m = Module::new();
+        m.add_func(f);
+        wyt_ir::verify::verify_module(&m).unwrap();
+    }
+
+    #[test]
     fn keeps_division_traps() {
         let mut f = f_with(|f| {
-            let d = f.push_inst(f.entry, InstKind::Bin { op: BinOp::DivS, a: Val::Const(1), b: Val::Const(0) });
+            let d = f.push_inst(
+                f.entry,
+                InstKind::Bin { op: BinOp::DivS, a: Val::Const(1), b: Val::Const(0) },
+            );
             Val::Inst(d)
         });
         run_function(&mut f);
@@ -276,8 +343,14 @@ mod tests {
     #[test]
     fn reassociates_add_chains() {
         let mut f = f_with(|f| {
-            let a = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Param(0), b: Val::Const(4) });
-            let b = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Inst(a), b: Val::Const(8) });
+            let a = f.push_inst(
+                f.entry,
+                InstKind::Bin { op: BinOp::Add, a: Val::Param(0), b: Val::Const(4) },
+            );
+            let b = f.push_inst(
+                f.entry,
+                InstKind::Bin { op: BinOp::Add, a: Val::Inst(a), b: Val::Const(8) },
+            );
             Val::Inst(b)
         });
         f.num_params = 1;
@@ -291,8 +364,14 @@ mod tests {
     #[test]
     fn identity_simplifications() {
         let mut f = f_with(|f| {
-            let a = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Param(0), b: Val::Const(0) });
-            let b = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Xor, a: Val::Inst(a), b: Val::Inst(a) });
+            let a = f.push_inst(
+                f.entry,
+                InstKind::Bin { op: BinOp::Add, a: Val::Param(0), b: Val::Const(0) },
+            );
+            let b = f.push_inst(
+                f.entry,
+                InstKind::Bin { op: BinOp::Xor, a: Val::Inst(a), b: Val::Inst(a) },
+            );
             Val::Inst(b)
         });
         f.num_params = 1;
@@ -304,7 +383,8 @@ mod tests {
     fn zext_of_narrow_load_removed() {
         let mut f = f_with(|f| {
             let l = f.push_inst(f.entry, InstKind::Load { ty: Ty::I8, addr: Val::Const(64) });
-            let e = f.push_inst(f.entry, InstKind::Ext { signed: false, from: Ty::I8, v: Val::Inst(l) });
+            let e = f
+                .push_inst(f.entry, InstKind::Ext { signed: false, from: Ty::I8, v: Val::Inst(l) });
             Val::Inst(e)
         });
         assert!(simplify_ext(&mut f));

@@ -163,10 +163,8 @@ fn inline_site(f: &mut Function, callee: &Function, call_block: BlockId, call_po
         0 => Val::Const(0),
         1 => ret_edges[0].1.unwrap_or(Val::Const(0)),
         _ => {
-            let incomings: Vec<(BlockId, Val)> = ret_edges
-                .iter()
-                .map(|(b, v)| (*b, v.unwrap_or(Val::Const(0))))
-                .collect();
+            let incomings: Vec<(BlockId, Val)> =
+                ret_edges.iter().map(|(b, v)| (*b, v.unwrap_or(Val::Const(0)))).collect();
             let phi = f.add_inst(InstKind::Phi { incomings });
             f.blocks[cont.index()].insts.insert(0, phi);
             Val::Inst(phi)
@@ -233,7 +231,10 @@ mod tests {
         let mut m = Module::new();
         let mut callee = Function::new("double");
         callee.num_params = 1;
-        let r = callee.push_inst(callee.entry, InstKind::Bin { op: BinOp::Mul, a: Val::Param(0), b: Val::Const(2) });
+        let r = callee.push_inst(
+            callee.entry,
+            InstKind::Bin { op: BinOp::Mul, a: Val::Param(0), b: Val::Const(2) },
+        );
         callee.blocks[0].term = Term::Ret(Some(Val::Inst(r)));
         let cid = m.add_func(callee);
         let mut main = Function::new("main");
@@ -268,9 +269,13 @@ mod tests {
         abs.num_params = 1;
         let neg_b = abs.add_block();
         let pos_b = abs.add_block();
-        let c = abs.push_inst(abs.entry, InstKind::Cmp { op: CmpOp::SLt, a: Val::Param(0), b: Val::Const(0) });
+        let c = abs.push_inst(
+            abs.entry,
+            InstKind::Cmp { op: CmpOp::SLt, a: Val::Param(0), b: Val::Const(0) },
+        );
         abs.blocks[0].term = Term::CondBr { c: Val::Inst(c), t: neg_b, f: pos_b };
-        let n = abs.push_inst(neg_b, InstKind::Bin { op: BinOp::Sub, a: Val::Const(0), b: Val::Param(0) });
+        let n = abs
+            .push_inst(neg_b, InstKind::Bin { op: BinOp::Sub, a: Val::Const(0), b: Val::Param(0) });
         abs.blocks[neg_b.index()].term = Term::Ret(Some(Val::Inst(n)));
         abs.blocks[pos_b.index()].term = Term::Ret(Some(Val::Param(0)));
         let aid = m.add_func(abs);
@@ -278,7 +283,10 @@ mod tests {
         let mut main = Function::new("main");
         let c1 = main.push_inst(main.entry, InstKind::Call { f: aid, args: vec![Val::Const(-31)] });
         let c2 = main.push_inst(main.entry, InstKind::Call { f: aid, args: vec![Val::Const(11)] });
-        let s = main.push_inst(main.entry, InstKind::Bin { op: BinOp::Add, a: Val::Inst(c1), b: Val::Inst(c2) });
+        let s = main.push_inst(
+            main.entry,
+            InstKind::Bin { op: BinOp::Add, a: Val::Inst(c1), b: Val::Inst(c2) },
+        );
         main.blocks[0].term = Term::Ret(Some(Val::Inst(s)));
         let mid = m.add_func(main);
         m.entry = Some(mid);
@@ -305,8 +313,12 @@ mod tests {
         let mut m = Module::new();
         let mut callee = Function::new("with_slot");
         callee.num_params = 1;
-        let a = callee.push_inst(callee.entry, InstKind::Alloca { size: 4, align: 4, name: "t".into() });
-        callee.push_inst(callee.entry, InstKind::Store { ty: Ty::I32, addr: Val::Inst(a), val: Val::Param(0) });
+        let a = callee
+            .push_inst(callee.entry, InstKind::Alloca { size: 4, align: 4, name: "t".into() });
+        callee.push_inst(
+            callee.entry,
+            InstKind::Store { ty: Ty::I32, addr: Val::Inst(a), val: Val::Param(0) },
+        );
         let l = callee.push_inst(callee.entry, InstKind::Load { ty: Ty::I32, addr: Val::Inst(a) });
         callee.blocks[0].term = Term::Ret(Some(Val::Inst(l)));
         let cid = m.add_func(callee);

@@ -81,20 +81,43 @@ mod tests {
         let exit = f.add_block();
         let acc = f.push_inst(f.entry, InstKind::Alloca { size: 4, align: 4, name: "acc".into() });
         let i = f.push_inst(f.entry, InstKind::Alloca { size: 4, align: 4, name: "i".into() });
-        f.push_inst(f.entry, InstKind::Store { ty: Ty::I32, addr: Val::Inst(acc), val: Val::Const(0) });
-        f.push_inst(f.entry, InstKind::Store { ty: Ty::I32, addr: Val::Inst(i), val: Val::Const(0) });
+        f.push_inst(
+            f.entry,
+            InstKind::Store { ty: Ty::I32, addr: Val::Inst(acc), val: Val::Const(0) },
+        );
+        f.push_inst(
+            f.entry,
+            InstKind::Store { ty: Ty::I32, addr: Val::Inst(i), val: Val::Const(0) },
+        );
         f.blocks[0].term = Term::Br(header);
         let iv = f.push_inst(header, InstKind::Load { ty: Ty::I32, addr: Val::Inst(i) });
-        let c = f.push_inst(header, InstKind::Cmp { op: CmpOp::SLt, a: Val::Inst(iv), b: Val::Const(10) });
+        let c = f.push_inst(
+            header,
+            InstKind::Cmp { op: CmpOp::SLt, a: Val::Inst(iv), b: Val::Const(10) },
+        );
         f.blocks[header.index()].term = Term::CondBr { c: Val::Inst(c), t: body, f: exit };
         let iv2 = f.push_inst(body, InstKind::Load { ty: Ty::I32, addr: Val::Inst(i) });
-        let term = f.push_inst(body, InstKind::Bin { op: BinOp::Mul, a: Val::Inst(iv2), b: Val::Const(2) });
-        let term1 = f.push_inst(body, InstKind::Bin { op: BinOp::Add, a: Val::Inst(term), b: Val::Const(1) });
+        let term = f
+            .push_inst(body, InstKind::Bin { op: BinOp::Mul, a: Val::Inst(iv2), b: Val::Const(2) });
+        let term1 = f.push_inst(
+            body,
+            InstKind::Bin { op: BinOp::Add, a: Val::Inst(term), b: Val::Const(1) },
+        );
         let av = f.push_inst(body, InstKind::Load { ty: Ty::I32, addr: Val::Inst(acc) });
-        let acc2 = f.push_inst(body, InstKind::Bin { op: BinOp::Add, a: Val::Inst(av), b: Val::Inst(term1) });
-        f.push_inst(body, InstKind::Store { ty: Ty::I32, addr: Val::Inst(acc), val: Val::Inst(acc2) });
-        let inext = f.push_inst(body, InstKind::Bin { op: BinOp::Add, a: Val::Inst(iv2), b: Val::Const(1) });
-        f.push_inst(body, InstKind::Store { ty: Ty::I32, addr: Val::Inst(i), val: Val::Inst(inext) });
+        let acc2 = f.push_inst(
+            body,
+            InstKind::Bin { op: BinOp::Add, a: Val::Inst(av), b: Val::Inst(term1) },
+        );
+        f.push_inst(
+            body,
+            InstKind::Store { ty: Ty::I32, addr: Val::Inst(acc), val: Val::Inst(acc2) },
+        );
+        let inext = f
+            .push_inst(body, InstKind::Bin { op: BinOp::Add, a: Val::Inst(iv2), b: Val::Const(1) });
+        f.push_inst(
+            body,
+            InstKind::Store { ty: Ty::I32, addr: Val::Inst(i), val: Val::Inst(inext) },
+        );
         f.blocks[body.index()].term = Term::Br(header);
         let fin = f.push_inst(exit, InstKind::Load { ty: Ty::I32, addr: Val::Inst(acc) });
         f.blocks[exit.index()].term = Term::Ret(Some(Val::Inst(fin)));
@@ -130,10 +153,9 @@ mod tests {
         optimize(&mut m, OptLevel::Clean);
         verify_module(&m).unwrap();
         let f = &m.funcs[0];
-        let has_store = f
-            .rpo()
-            .iter()
-            .any(|b| f.blocks[b.index()].insts.iter().any(|&i| matches!(f.inst(i), InstKind::Store { .. })));
+        let has_store = f.rpo().iter().any(|b| {
+            f.blocks[b.index()].insts.iter().any(|&i| matches!(f.inst(i), InstKind::Store { .. }))
+        });
         assert!(has_store, "Clean level must keep stores");
         let out = Interp::new(&m, vec![], NoHooks).run();
         assert_eq!(out.exit_code, 100);

@@ -9,9 +9,9 @@
 //! loads collapse onto their defining stores.
 
 use std::collections::HashMap;
-use wyt_ir::{BinOp, BlockId, Function, GlobalKind, InstId, InstKind, Module, Ty, Val};
 #[cfg(test)]
 use wyt_ir::Term;
+use wyt_ir::{BinOp, BlockId, Function, GlobalKind, InstId, InstKind, Module, Ty, Val};
 
 /// The root of a memory address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -161,9 +161,7 @@ fn may_alias(
     let overlap =
         |ao: i32, asz: u32, bo: i32, bsz: u32| ao < bo + bsz as i32 && bo < ao + asz as i32;
     match (a.0.base, b.0.base) {
-        (MemBase::Alloca(x), MemBase::Alloca(y)) => {
-            x == y && overlap(a.0.off, a.1, b.0.off, b.1)
-        }
+        (MemBase::Alloca(x), MemBase::Alloca(y)) => x == y && overlap(a.0.off, a.1, b.0.off, b.1),
         (MemBase::Abs(x), MemBase::Abs(y)) => {
             overlap(x as i32 + a.0.off, a.1, y as i32 + b.0.off, b.1)
         }
@@ -182,9 +180,7 @@ fn may_alias(
             !in_private(ranges, (y as i32 + b.0.off) as u32, b.1)
         }
         // Identical dynamic bases: alias iff the constant offsets overlap.
-        (MemBase::Dyn(x), MemBase::Dyn(y)) if x == y => {
-            overlap(a.0.off, a.1, b.0.off, b.1)
-        }
+        (MemBase::Dyn(x), MemBase::Dyn(y)) if x == y => overlap(a.0.off, a.1, b.0.off, b.1),
         (MemBase::Alloca(x), MemBase::Dyn(_)) | (MemBase::Dyn(_), MemBase::Alloca(x)) => {
             escaped.get(&x).copied().unwrap_or(true)
         }
@@ -204,9 +200,7 @@ pub fn forward_function(f: &mut Function, ranges: &[(u32, u32)]) -> bool {
             match f.inst(id).clone() {
                 InstKind::Load { ty, addr } => {
                     let loc = resolve_addr(f, addr);
-                    if let Some((_, _, v)) =
-                        avail.iter().find(|(l, t, _)| *l == loc && *t == ty)
-                    {
+                    if let Some((_, _, v)) = avail.iter().find(|(l, t, _)| *l == loc && *t == ty) {
                         let v = *v;
                         *f.inst_mut(id) = InstKind::Copy { v };
                         f.replace_all_uses(Val::Inst(id), v);
@@ -354,9 +348,7 @@ pub fn mem2reg_function(f: &mut Function) -> bool {
                 other => other.for_each_operand(|v| check(v, &mut disqualified)),
             }
         }
-        f.blocks[b.index()]
-            .term
-            .for_each_operand(|v| check_term(v, &mut disqualified));
+        f.blocks[b.index()].term.for_each_operand(|v| check_term(v, &mut disqualified));
     }
     fn check_term(v: Val, dq: &mut HashMap<InstId, bool>) {
         if let Val::Inst(s) = v {
@@ -398,12 +390,16 @@ pub fn mem2reg_function(f: &mut Function) -> bool {
         let mut new_insts = Vec::with_capacity(insts.len());
         for id in insts {
             match f.inst(id).clone() {
-                InstKind::Load { ty: Ty::I32, addr: Val::Inst(a) } if cand_index.contains_key(&a) => {
+                InstKind::Load { ty: Ty::I32, addr: Val::Inst(a) }
+                    if cand_index.contains_key(&a) =>
+                {
                     let k = cand_index[&a];
                     *f.inst_mut(id) = InstKind::Copy { v: cur[k] };
                     new_insts.push(id);
                 }
-                InstKind::Store { ty: Ty::I32, addr: Val::Inst(a), val } if cand_index.contains_key(&a) => {
+                InstKind::Store { ty: Ty::I32, addr: Val::Inst(a), val }
+                    if cand_index.contains_key(&a) =>
+                {
                     let k = cand_index[&a];
                     cur[k] = val;
                     // Store removed entirely.
@@ -464,7 +460,10 @@ mod tests {
     fn forwards_store_to_load_through_alloca() {
         let mut f = Function::new("t");
         let a = f.push_inst(f.entry, InstKind::Alloca { size: 4, align: 4, name: "x".into() });
-        f.push_inst(f.entry, InstKind::Store { ty: Ty::I32, addr: Val::Inst(a), val: Val::Const(7) });
+        f.push_inst(
+            f.entry,
+            InstKind::Store { ty: Ty::I32, addr: Val::Inst(a), val: Val::Const(7) },
+        );
         let l = f.push_inst(f.entry, InstKind::Load { ty: Ty::I32, addr: Val::Inst(a) });
         f.blocks[0].term = Term::Ret(Some(Val::Inst(l)));
         assert!(forward_function(&mut f, &[]));
@@ -477,8 +476,14 @@ mod tests {
         let mut f = Function::new("t");
         let a = f.push_inst(f.entry, InstKind::Alloca { size: 4, align: 4, name: "a".into() });
         let b = f.push_inst(f.entry, InstKind::Alloca { size: 4, align: 4, name: "b".into() });
-        f.push_inst(f.entry, InstKind::Store { ty: Ty::I32, addr: Val::Inst(a), val: Val::Const(1) });
-        f.push_inst(f.entry, InstKind::Store { ty: Ty::I32, addr: Val::Inst(b), val: Val::Const(2) });
+        f.push_inst(
+            f.entry,
+            InstKind::Store { ty: Ty::I32, addr: Val::Inst(a), val: Val::Const(1) },
+        );
+        f.push_inst(
+            f.entry,
+            InstKind::Store { ty: Ty::I32, addr: Val::Inst(b), val: Val::Const(2) },
+        );
         let l = f.push_inst(f.entry, InstKind::Load { ty: Ty::I32, addr: Val::Inst(a) });
         f.blocks[0].term = Term::Ret(Some(Val::Inst(l)));
         assert!(forward_function(&mut f, &[]));
@@ -491,19 +496,32 @@ mod tests {
         // callee(p) stores through its parameter.
         let mut callee = Function::new("c");
         callee.num_params = 1;
-        callee.push_inst(callee.entry, InstKind::Store { ty: Ty::I32, addr: Val::Param(0), val: Val::Const(9) });
+        callee.push_inst(
+            callee.entry,
+            InstKind::Store { ty: Ty::I32, addr: Val::Param(0), val: Val::Const(9) },
+        );
         callee.blocks[0].term = Term::Ret(None);
         let cid = m.add_func(callee);
 
         let mut f = Function::new("t");
-        let private = f.push_inst(f.entry, InstKind::Alloca { size: 4, align: 4, name: "p".into() });
+        let private =
+            f.push_inst(f.entry, InstKind::Alloca { size: 4, align: 4, name: "p".into() });
         let public = f.push_inst(f.entry, InstKind::Alloca { size: 4, align: 4, name: "q".into() });
-        f.push_inst(f.entry, InstKind::Store { ty: Ty::I32, addr: Val::Inst(private), val: Val::Const(1) });
-        f.push_inst(f.entry, InstKind::Store { ty: Ty::I32, addr: Val::Inst(public), val: Val::Const(2) });
+        f.push_inst(
+            f.entry,
+            InstKind::Store { ty: Ty::I32, addr: Val::Inst(private), val: Val::Const(1) },
+        );
+        f.push_inst(
+            f.entry,
+            InstKind::Store { ty: Ty::I32, addr: Val::Inst(public), val: Val::Const(2) },
+        );
         f.push_inst(f.entry, InstKind::Call { f: cid, args: vec![Val::Inst(public)] });
         let l1 = f.push_inst(f.entry, InstKind::Load { ty: Ty::I32, addr: Val::Inst(private) });
         let l2 = f.push_inst(f.entry, InstKind::Load { ty: Ty::I32, addr: Val::Inst(public) });
-        let s = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Inst(l1), b: Val::Inst(l2) });
+        let s = f.push_inst(
+            f.entry,
+            InstKind::Bin { op: BinOp::Add, a: Val::Inst(l1), b: Val::Inst(l2) },
+        );
         f.blocks[0].term = Term::Ret(Some(Val::Inst(s)));
 
         let escaped = escaped_allocas(&f);
@@ -522,8 +540,14 @@ mod tests {
     fn dead_store_removed_when_overwritten() {
         let mut f = Function::new("t");
         let a = f.push_inst(f.entry, InstKind::Alloca { size: 4, align: 4, name: "x".into() });
-        let s1 = f.push_inst(f.entry, InstKind::Store { ty: Ty::I32, addr: Val::Inst(a), val: Val::Const(1) });
-        f.push_inst(f.entry, InstKind::Store { ty: Ty::I32, addr: Val::Inst(a), val: Val::Const(2) });
+        let s1 = f.push_inst(
+            f.entry,
+            InstKind::Store { ty: Ty::I32, addr: Val::Inst(a), val: Val::Const(1) },
+        );
+        f.push_inst(
+            f.entry,
+            InstKind::Store { ty: Ty::I32, addr: Val::Inst(a), val: Val::Const(2) },
+        );
         let l = f.push_inst(f.entry, InstKind::Load { ty: Ty::I32, addr: Val::Inst(a) });
         f.blocks[0].term = Term::Ret(Some(Val::Inst(l)));
         assert!(dead_stores_function(&mut f, &[]));
@@ -538,13 +562,18 @@ mod tests {
         let body = f.add_block();
         let exit = f.add_block();
         let a = f.push_inst(f.entry, InstKind::Alloca { size: 4, align: 4, name: "x".into() });
-        f.push_inst(f.entry, InstKind::Store { ty: Ty::I32, addr: Val::Inst(a), val: Val::Const(0) });
+        f.push_inst(
+            f.entry,
+            InstKind::Store { ty: Ty::I32, addr: Val::Inst(a), val: Val::Const(0) },
+        );
         f.blocks[0].term = Term::Br(header);
         let l = f.push_inst(header, InstKind::Load { ty: Ty::I32, addr: Val::Inst(a) });
-        let c = f.push_inst(header, InstKind::Cmp { op: CmpOp::Ne, a: Val::Inst(l), b: Val::Const(5) });
+        let c =
+            f.push_inst(header, InstKind::Cmp { op: CmpOp::Ne, a: Val::Inst(l), b: Val::Const(5) });
         f.blocks[header.index()].term = Term::CondBr { c: Val::Inst(c), t: body, f: exit };
         let l2 = f.push_inst(body, InstKind::Load { ty: Ty::I32, addr: Val::Inst(a) });
-        let inc = f.push_inst(body, InstKind::Bin { op: BinOp::Add, a: Val::Inst(l2), b: Val::Const(1) });
+        let inc =
+            f.push_inst(body, InstKind::Bin { op: BinOp::Add, a: Val::Inst(l2), b: Val::Const(1) });
         f.push_inst(body, InstKind::Store { ty: Ty::I32, addr: Val::Inst(a), val: Val::Inst(inc) });
         f.blocks[body.index()].term = Term::Br(header);
         let l3 = f.push_inst(exit, InstKind::Load { ty: Ty::I32, addr: Val::Inst(a) });
@@ -585,8 +614,14 @@ mod tests {
     fn resolve_addr_follows_chains() {
         let mut f = Function::new("t");
         let a = f.push_inst(f.entry, InstKind::Alloca { size: 16, align: 4, name: "arr".into() });
-        let p1 = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Add, a: Val::Inst(a), b: Val::Const(8) });
-        let p2 = f.push_inst(f.entry, InstKind::Bin { op: BinOp::Sub, a: Val::Inst(p1), b: Val::Const(4) });
+        let p1 = f.push_inst(
+            f.entry,
+            InstKind::Bin { op: BinOp::Add, a: Val::Inst(a), b: Val::Const(8) },
+        );
+        let p2 = f.push_inst(
+            f.entry,
+            InstKind::Bin { op: BinOp::Sub, a: Val::Inst(p1), b: Val::Const(4) },
+        );
         f.blocks[0].term = Term::Ret(None);
         assert_eq!(resolve_addr(&f, Val::Inst(p2)), MemLoc { base: MemBase::Alloca(a), off: 4 });
         assert_eq!(

@@ -7,18 +7,22 @@ use wyt_ir::{Function, InstKind, Module, Term};
 pub fn run_function(f: &mut Function) -> bool {
     let mut changed = false;
 
-    // Prune phi incomings from unreachable predecessors.
+    // Prune phi incomings whose edge no longer exists: the source block is
+    // unreachable, or it no longer branches here at all (edge-removing
+    // passes like terminator folding leave such stale entries behind).
     let rpo = f.rpo();
     let mut reachable = vec![false; f.blocks.len()];
     for &b in &rpo {
         reachable[b.index()] = true;
     }
+    let preds = f.preds();
     for &b in &rpo {
         let insts = f.blocks[b.index()].insts.clone();
         for id in insts {
+            let is_pred = |p: wyt_ir::BlockId| preds[b.index()].contains(&p);
             if let InstKind::Phi { incomings } = f.inst_mut(id) {
                 let before = incomings.len();
-                incomings.retain(|(p, _)| reachable[p.index()]);
+                incomings.retain(|(p, _)| reachable[p.index()] && is_pred(*p));
                 changed |= incomings.len() != before;
             }
         }
@@ -35,10 +39,7 @@ pub fn run_function(f: &mut Function) -> bool {
                 continue;
             }
             // Count only reachable predecessors.
-            let cpreds: Vec<_> = preds[c.index()]
-                .iter()
-                .filter(|p| reachable[p.index()])
-                .collect();
+            let cpreds: Vec<_> = preds[c.index()].iter().filter(|p| reachable[p.index()]).collect();
             if cpreds.len() != 1 || *cpreds[0] != b {
                 continue;
             }
@@ -109,7 +110,8 @@ mod tests {
         let b1 = f.add_block();
         let b2 = f.add_block();
         f.blocks[0].term = Term::Br(b1);
-        let x = f.push_inst(b1, InstKind::Bin { op: BinOp::Add, a: Val::Const(1), b: Val::Const(2) });
+        let x =
+            f.push_inst(b1, InstKind::Bin { op: BinOp::Add, a: Val::Const(1), b: Val::Const(2) });
         f.blocks[b1.index()].term = Term::Br(b2);
         f.blocks[b2.index()].term = Term::Ret(Some(Val::Inst(x)));
         assert!(run_function(&mut f));

@@ -2,11 +2,12 @@
 //! generated IR programs (straight-line and branching, with allocas and
 //! memory traffic).
 
-use proptest::prelude::*;
 use wyt_ir::interp::{Interp, NoHooks};
 use wyt_ir::verify::verify_module;
 use wyt_ir::{BinOp, CmpOp, Function, InstKind, Module, Term, Ty, Val};
 use wyt_opt::{optimize, OptLevel};
+use wyt_testkit::prop::{check, shrink_vec, vec_of, Config};
+use wyt_testkit::Rng;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -17,37 +18,28 @@ enum Op {
     LoadSlot(u8),
 }
 
-fn arb_binop() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::And),
-        Just(BinOp::Or),
-        Just(BinOp::Xor),
-        Just(BinOp::Shl),
-        Just(BinOp::ShrA),
-    ]
-}
+const BINOPS: [BinOp; 8] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::ShrA,
+];
 
-fn arb_cmpop() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::SLt),
-        Just(CmpOp::SGe),
-        Just(CmpOp::ULt),
-    ]
-}
+const CMPOPS: [CmpOp; 5] = [CmpOp::Eq, CmpOp::Ne, CmpOp::SLt, CmpOp::SGe, CmpOp::ULt];
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (arb_binop(), any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| Op::Bin(o, a, b)),
-        (arb_cmpop(), any::<u8>(), any::<u8>()).prop_map(|(o, a, b)| Op::Cmp(o, a, b)),
-        any::<i32>().prop_map(Op::Const),
-        (0u8..4, any::<u8>()).prop_map(|(s, v)| Op::StoreSlot(s, v)),
-        (0u8..4).prop_map(Op::LoadSlot),
-    ]
+fn arb_op(rng: &mut Rng) -> Op {
+    // Avoid div/rem ops so random programs never trap.
+    match rng.range_u32(0, 5) {
+        0 => Op::Bin(*rng.choose(&BINOPS), rng.next_u8(), rng.next_u8()),
+        1 => Op::Cmp(*rng.choose(&CMPOPS), rng.next_u8(), rng.next_u8()),
+        2 => Op::Const(rng.next_i32()),
+        3 => Op::StoreSlot(rng.range_u32(0, 4) as u8, rng.next_u8()),
+        _ => Op::LoadSlot(rng.range_u32(0, 4) as u8),
+    }
 }
 
 /// Build a module from the op list: four alloca slots, a value stream, and
@@ -57,10 +49,7 @@ fn build(ops: &[Op], branchy: bool) -> Module {
     let mut f = Function::new("main");
     let slots: Vec<_> = (0..4)
         .map(|i| {
-            f.push_inst(
-                f.entry,
-                InstKind::Alloca { size: 4, align: 4, name: format!("s{i}") },
-            )
+            f.push_inst(f.entry, InstKind::Alloca { size: 4, align: 4, name: format!("s{i}") })
         })
         .collect();
     for s in &slots {
@@ -74,7 +63,6 @@ fn build(ops: &[Op], branchy: bool) -> Module {
     for op in ops {
         match op {
             Op::Bin(o, a, b) => {
-                // Avoid div/rem traps in random programs.
                 let id = f.push_inst(
                     f.entry,
                     InstKind::Bin { op: *o, a: pick(&vals, *a), b: pick(&vals, *b) },
@@ -93,16 +81,13 @@ fn build(ops: &[Op], branchy: bool) -> Module {
                 let slot = slots[*s as usize % slots.len()];
                 f.push_inst(
                     f.entry,
-                    InstKind::Store {
-                        ty: Ty::I32,
-                        addr: Val::Inst(slot),
-                        val: pick(&vals, *v),
-                    },
+                    InstKind::Store { ty: Ty::I32, addr: Val::Inst(slot), val: pick(&vals, *v) },
                 );
             }
             Op::LoadSlot(s) => {
                 let slot = slots[*s as usize % slots.len()];
-                let id = f.push_inst(f.entry, InstKind::Load { ty: Ty::I32, addr: Val::Inst(slot) });
+                let id =
+                    f.push_inst(f.entry, InstKind::Load { ty: Ty::I32, addr: Val::Inst(slot) });
                 vals.push(Val::Inst(id));
             }
         }
@@ -111,10 +96,7 @@ fn build(ops: &[Op], branchy: bool) -> Module {
     if branchy {
         let t = f.add_block();
         let e = f.add_block();
-        let c = f.push_inst(
-            f.entry,
-            InstKind::Cmp { op: CmpOp::SLt, a: last, b: Val::Const(0) },
-        );
+        let c = f.push_inst(f.entry, InstKind::Cmp { op: CmpOp::SLt, a: last, b: Val::Const(0) });
         f.blocks[f.entry.index()].term = Term::CondBr { c: Val::Inst(c), t, f: e };
         let l0 = f.push_inst(t, InstKind::Load { ty: Ty::I32, addr: Val::Inst(slots[0]) });
         let x = f.push_inst(t, InstKind::Bin { op: BinOp::Add, a: last, b: Val::Inst(l0) });
@@ -130,24 +112,43 @@ fn build(ops: &[Op], branchy: bool) -> Module {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn optimizer_preserves_semantics(ops in proptest::collection::vec(arb_op(), 1..40), branchy in any::<bool>()) {
-        let m0 = build(&ops, branchy);
-        verify_module(&m0).expect("generated module must verify");
-        let before = Interp::new(&m0, vec![], NoHooks).run();
-        prop_assert!(before.ok());
-
-        for level in [OptLevel::Clean, OptLevel::Full] {
-            let mut m = m0.clone();
-            optimize(&mut m, level);
-            verify_module(&m).expect("optimized module must verify");
-            let after = Interp::new(&m, vec![], NoHooks).run();
-            prop_assert!(after.ok());
-            prop_assert_eq!(before.exit_code, after.exit_code, "level {:?}", level);
-            prop_assert!(after.steps <= before.steps + 4, "optimizer must not pessimize");
-        }
-    }
+#[test]
+fn optimizer_preserves_semantics() {
+    check(
+        "optimizer_preserves_semantics",
+        &Config::cases(64),
+        |rng| (vec_of(rng, 1, 40, arb_op), rng.next_bool()),
+        |(ops, branchy)| shrink_vec(ops).into_iter().map(|o| (o, *branchy)).collect(),
+        |(ops, branchy)| {
+            let m0 = build(ops, *branchy);
+            verify_module(&m0).map_err(|e| format!("generated module must verify: {e}"))?;
+            let before = Interp::new(&m0, vec![], NoHooks).run();
+            if !before.ok() {
+                return Err(format!("unoptimized run failed: {:?}", before.error));
+            }
+            for level in [OptLevel::Clean, OptLevel::Full] {
+                let mut m = m0.clone();
+                optimize(&mut m, level);
+                verify_module(&m)
+                    .map_err(|e| format!("optimized module must verify ({level:?}): {e}"))?;
+                let after = Interp::new(&m, vec![], NoHooks).run();
+                if !after.ok() {
+                    return Err(format!("optimized run failed ({level:?}): {:?}", after.error));
+                }
+                if before.exit_code != after.exit_code {
+                    return Err(format!(
+                        "exit codes differ at {level:?}: {} vs {}",
+                        before.exit_code, after.exit_code
+                    ));
+                }
+                if after.steps > before.steps + 4 {
+                    return Err(format!(
+                        "optimizer pessimized at {level:?}: {} steps vs {}",
+                        after.steps, before.steps
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
 }

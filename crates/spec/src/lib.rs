@@ -13,8 +13,7 @@
 //! tracing, like the paper's incremental lifting inputs) and a larger
 //! *ref* input (used for measurement, like the SPEC ref datasets).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use wyt_testkit::Rng;
 
 mod sources;
 
@@ -47,18 +46,18 @@ enum Alphabet {
 }
 
 fn gen_input(alphabet: Alphabet, seed: u64, len: usize) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut out = Vec::with_capacity(len);
     match alphabet {
         Alphabet::Bytes => {
             while out.len() < len {
-                out.push(rng.gen::<u8>());
+                out.push(rng.next_u8());
             }
         }
         Alphabet::Runs => {
             while out.len() < len {
-                let c = b'a' + rng.gen_range(0..16u8);
-                let run = rng.gen_range(1..12usize);
+                let c = b'a' + rng.range_u32(0, 16) as u8;
+                let run = rng.range_usize(1, 12);
                 for _ in 0..run.min(len - out.len()) {
                     out.push(c);
                 }
@@ -67,18 +66,18 @@ fn gen_input(alphabet: Alphabet, seed: u64, len: usize) -> Vec<u8> {
         Alphabet::Expr => {
             while out.len() + 16 < len {
                 let mut depth = 0;
-                let terms = rng.gen_range(2..6);
+                let terms = rng.range_u32(2, 6);
                 for t in 0..terms {
                     if t > 0 {
-                        out.push([b'+', b'-', b'*'][rng.gen_range(0..3)]);
+                        out.push(*rng.choose(&[b'+', b'-', b'*']));
                     }
-                    if rng.gen_bool(0.3) && t + 1 < terms {
+                    if rng.chance(0.3) && t + 1 < terms {
                         out.push(b'(');
                         depth += 1;
                     }
-                    let n: u32 = rng.gen_range(0..999);
+                    let n = rng.range_u32(0, 999);
                     out.extend_from_slice(n.to_string().as_bytes());
-                    if depth > 0 && rng.gen_bool(0.5) {
+                    if depth > 0 && rng.chance(0.5) {
                         out.push(b')');
                         depth -= 1;
                     }
@@ -91,12 +90,12 @@ fn gen_input(alphabet: Alphabet, seed: u64, len: usize) -> Vec<u8> {
         }
         Alphabet::Letters => {
             while out.len() < len {
-                out.push(b'a' + rng.gen_range(0..26u8));
+                out.push(b'a' + rng.range_u32(0, 26) as u8);
             }
         }
         Alphabet::Digits => {
             while out.len() < len {
-                out.push(b'0' + rng.gen_range(0..10u8));
+                out.push(b'0' + rng.range_u32(0, 10) as u8);
             }
         }
     }

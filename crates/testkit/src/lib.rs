@@ -1,0 +1,41 @@
+//! # wyt-testkit — hermetic test infrastructure
+//!
+//! Everything the workspace needs to test itself with **zero external
+//! dependencies**: a seedable PRNG ([`rng`]), a property-testing harness
+//! with failure persistence by seed and greedy shrinking ([`prop`]), a
+//! random mini-C program generator ([`progen`]), and the **three-way
+//! differential execution oracle** ([`oracle`]) that pins the paper's
+//! semantic-preservation claim: for any program, native emulation, the
+//! lifted-IR interpretation and the full recompile round-trip must
+//! exhibit identical observable behaviour (exit code, output bytes, trap
+//! class) under bounded fuel.
+//!
+//! Reproducing a failure: every harness panic prints a case seed; re-run
+//! the same test with `WYT_PROP_SEED=<seed>` to regenerate exactly that
+//! case (see [`prop::SEED_ENV`]).
+//!
+//! ```
+//! use wyt_testkit::prop::{check, shrink_vec, vec_of, Config};
+//!
+//! check(
+//!     "sums_commute",
+//!     &Config::cases(32),
+//!     |rng| vec_of(rng, 0, 16, |r| r.range_i32(-100, 100)),
+//!     |v| shrink_vec(v),
+//!     |v| {
+//!         let fwd: i32 = v.iter().sum();
+//!         let rev: i32 = v.iter().rev().sum();
+//!         if fwd == rev { Ok(()) } else { Err(format!("{fwd} != {rev}")) }
+//!     },
+//! );
+//! ```
+
+pub mod oracle;
+pub mod progen;
+pub mod prop;
+pub mod rng;
+
+pub use oracle::{check_prog, check_source, Obs, OracleConfig, TrapClass};
+pub use progen::{gen_prog, render, shrink_prog, Prog};
+pub use prop::{check, shrink_vec, vec_of, Config};
+pub use rng::Rng;

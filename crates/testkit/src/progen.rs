@@ -1,0 +1,456 @@
+//! Random mini-C program generation for differential testing.
+//!
+//! Programs are generated as a small structured AST ([`Prog`]) and
+//! rendered to mini-C source. The shape is deliberately constrained so
+//! that every generated program is *total* and *deterministic*:
+//!
+//! - loops have constant trip counts (fuel can never be exhausted by a
+//!   well-formed case, so the oracle's fuel bound is purely a safety net);
+//! - divisions and remainders are by positive constants (no divide traps);
+//! - shift amounts are masked to `& 7` (no C-level undefined behaviour
+//!   that compiler profiles could legitimately disagree on);
+//! - array indices are masked to the array size;
+//! - all variables are initialized before use.
+//!
+//! Because the AST is plain data, counterexamples shrink structurally:
+//! statements are dropped and control structures are unwrapped while the
+//! program stays compilable (helpers are never removed, so calls never
+//! dangle).
+
+use crate::prop::shrink_vec;
+use crate::rng::Rng;
+use wyt_minicc::Profile;
+
+/// Compiler profiles the generator can target, in a fixed order so a
+/// profile is identified by index inside a generated [`Prog`].
+pub const PROFILE_COUNT: usize = 4;
+
+/// Profile for index `i % PROFILE_COUNT`.
+pub fn profile(i: usize) -> Profile {
+    match i % PROFILE_COUNT {
+        0 => Profile::gcc12_o3(),
+        1 => Profile::gcc12_o0(),
+        2 => Profile::clang16_o3(),
+        _ => Profile::gcc44_o3(),
+    }
+}
+
+/// An expression over `int`s.
+#[derive(Debug, Clone)]
+pub enum Ex {
+    /// Literal.
+    Num(i32),
+    /// Named variable (index into the enclosing scope's variable list).
+    Var(usize),
+    /// An active (or previously finished) loop counter `i0`/`i1`.
+    Loop(u8),
+    /// `arr[(e) & 7]` — main only.
+    ArrLoad(Box<Ex>),
+    /// Wrapping arithmetic/bitwise: `+ - * & | ^`.
+    Bin(&'static str, Box<Ex>, Box<Ex>),
+    /// `<<`/`>>` with the amount masked to `& 7`.
+    Shift(&'static str, Box<Ex>, Box<Ex>),
+    /// Comparison producing 0/1: `< <= > >= == !=`.
+    Cmp(&'static str, Box<Ex>, Box<Ex>),
+    /// `c ? a : b`.
+    Ternary(Box<Ex>, Box<Ex>, Box<Ex>),
+    /// Division by a positive constant.
+    DivC(Box<Ex>, i32),
+    /// Remainder by a positive constant.
+    ModC(Box<Ex>, i32),
+    /// Helper call `fK(a, b)` — main only (helpers never call helpers).
+    Call(usize, Box<Ex>, Box<Ex>),
+}
+
+/// A statement.
+#[derive(Debug, Clone)]
+pub enum St {
+    /// `v = e;`
+    Assign(usize, Ex),
+    /// `v op= e;` for `+= -= ^=`.
+    OpAssign(usize, &'static str, Ex),
+    /// `arr[(i) & 7] = e;` — main only.
+    ArrStore(Ex, Ex),
+    /// `if (c) { .. } else { .. }` (else omitted when empty).
+    If(Ex, Vec<St>, Vec<St>),
+    /// `for (iD = 0; iD < n; iD++) { .. }` with constant trip count.
+    For(u8, u32, Vec<St>),
+    /// `printf("%d\n", e);`
+    Print(Ex),
+    /// `v = getchar();`
+    ReadCh(usize),
+}
+
+/// A helper function `int fK(int a, int b) { int t0; int t1; ..; return e; }`.
+#[derive(Debug, Clone)]
+pub struct HelperFn {
+    /// Body statements (over `a`, `b`, `t0`, `t1`).
+    pub body: Vec<St>,
+    /// Returned expression.
+    pub ret: Ex,
+}
+
+/// A complete generated program plus the context it runs in.
+#[derive(Debug, Clone)]
+pub struct Prog {
+    /// Index of the compiler profile to build under (see [`profile`]).
+    pub profile: usize,
+    /// Number of `int` locals `v0..v{nvars-1}` in `main`.
+    pub nvars: usize,
+    /// Helper functions `f0..`.
+    pub funcs: Vec<HelperFn>,
+    /// `main` body statements.
+    pub body: Vec<St>,
+    /// Input bytes fed to stdin (consumed by [`St::ReadCh`]).
+    pub input: Vec<u8>,
+}
+
+const BINS: [&str; 6] = ["+", "-", "*", "&", "|", "^"];
+const SHIFTS: [&str; 2] = ["<<", ">>"];
+const CMPS: [&str; 6] = ["<", "<=", ">", ">=", "==", "!="];
+const OPASSIGNS: [&str; 3] = ["+=", "-=", "^="];
+
+/// Generation context: which names are in scope and what is allowed.
+#[derive(Clone, Copy)]
+struct Ctx {
+    /// Variables in scope (main: nvars; helpers: a, b, t0, t1 = 4).
+    nvars: usize,
+    /// Helper-call and array access permitted (main only).
+    in_main: bool,
+    /// Number of helpers available to call.
+    nfuncs: usize,
+    /// Current loop nesting depth (bounds `Loop` indices and `For` depth).
+    loop_depth: u8,
+}
+
+fn gen_expr(rng: &mut Rng, ctx: Ctx, depth: u32) -> Ex {
+    if depth == 0 || rng.chance(0.3) {
+        return match rng.range_u32(0, 3) {
+            0 => Ex::Num(rng.range_i32(-120, 120)),
+            1 => Ex::Var(rng.range_usize(0, ctx.nvars)),
+            _ => {
+                if ctx.loop_depth > 0 {
+                    Ex::Loop(rng.range_u32(0, ctx.loop_depth as u32) as u8)
+                } else {
+                    Ex::Var(rng.range_usize(0, ctx.nvars))
+                }
+            }
+        };
+    }
+    let sub = |rng: &mut Rng| Box::new(gen_expr(rng, ctx, depth - 1));
+    let max = if ctx.in_main { 9 } else { 7 };
+    match rng.range_u32(0, max) {
+        0 | 1 => Ex::Bin(*rng.choose(&BINS), sub(rng), sub(rng)),
+        2 => Ex::Shift(*rng.choose(&SHIFTS), sub(rng), sub(rng)),
+        3 => Ex::Cmp(*rng.choose(&CMPS), sub(rng), sub(rng)),
+        4 => Ex::Ternary(sub(rng), sub(rng), sub(rng)),
+        5 => Ex::DivC(sub(rng), rng.range_i32(1, 16)),
+        6 => Ex::ModC(sub(rng), rng.range_i32(1, 16)),
+        7 => Ex::ArrLoad(sub(rng)),
+        _ => {
+            if ctx.nfuncs > 0 {
+                Ex::Call(rng.range_usize(0, ctx.nfuncs), sub(rng), sub(rng))
+            } else {
+                Ex::Bin(*rng.choose(&BINS), sub(rng), sub(rng))
+            }
+        }
+    }
+}
+
+fn gen_stmt(rng: &mut Rng, ctx: Ctx, depth: u32, has_input: bool) -> St {
+    let roll = rng.range_u32(0, 100);
+    let expr = |rng: &mut Rng| gen_expr(rng, ctx, 3);
+    if roll < 30 {
+        St::Assign(rng.range_usize(0, ctx.nvars), expr(rng))
+    } else if roll < 45 {
+        St::OpAssign(rng.range_usize(0, ctx.nvars), *rng.choose(&OPASSIGNS), expr(rng))
+    } else if roll < 55 && ctx.in_main {
+        St::ArrStore(expr(rng), expr(rng))
+    } else if roll < 63 {
+        St::Print(expr(rng))
+    } else if roll < 68 && ctx.in_main && has_input {
+        St::ReadCh(rng.range_usize(0, ctx.nvars))
+    } else if roll < 84 && depth > 0 {
+        let cond = gen_expr(rng, ctx, 2);
+        let then = gen_block(rng, ctx, depth - 1, has_input, 1, 4);
+        let els = if rng.chance(0.5) {
+            gen_block(rng, ctx, depth - 1, has_input, 0, 3)
+        } else {
+            Vec::new()
+        };
+        St::If(cond, then, els)
+    } else if depth > 0 && ctx.loop_depth < 2 {
+        let inner = Ctx { loop_depth: ctx.loop_depth + 1, ..ctx };
+        let trip = rng.range_u32(1, 13);
+        let body = gen_block(rng, inner, depth - 1, has_input, 1, 4);
+        St::For(ctx.loop_depth, trip, body)
+    } else {
+        St::Assign(rng.range_usize(0, ctx.nvars), expr(rng))
+    }
+}
+
+fn gen_block(
+    rng: &mut Rng,
+    ctx: Ctx,
+    depth: u32,
+    has_input: bool,
+    lo: usize,
+    hi: usize,
+) -> Vec<St> {
+    let n = rng.range_usize(lo, hi);
+    (0..n).map(|_| gen_stmt(rng, ctx, depth, has_input)).collect()
+}
+
+/// Generate a random program.
+pub fn gen_prog(rng: &mut Rng) -> Prog {
+    let profile = rng.range_usize(0, PROFILE_COUNT);
+    let nvars = rng.range_usize(2, 6);
+    let nfuncs = rng.range_usize(0, 3);
+    let input: Vec<u8> = if rng.chance(0.4) {
+        (0..rng.range_usize(1, 9)).map(|_| rng.range_u32(b' ' as u32, 127) as u8).collect()
+    } else {
+        Vec::new()
+    };
+
+    let helper_ctx = Ctx { nvars: 4, in_main: false, nfuncs: 0, loop_depth: 0 };
+    let funcs: Vec<HelperFn> = (0..nfuncs)
+        .map(|_| HelperFn {
+            body: gen_block(rng, helper_ctx, 2, false, 1, 5),
+            ret: gen_expr(rng, helper_ctx, 3),
+        })
+        .collect();
+
+    let main_ctx = Ctx { nvars, in_main: true, nfuncs, loop_depth: 0 };
+    let body = gen_block(rng, main_ctx, 3, !input.is_empty(), 2, 10);
+
+    Prog { profile, nvars, funcs, body, input }
+}
+
+/// Shrink candidates: main body via [`shrink_vec`], structured statements
+/// unwrapped in place (an `if` becomes its branches, a loop its body), and
+/// each helper body shrunk. Helpers themselves are never dropped, so every
+/// candidate still compiles.
+pub fn shrink_prog(p: &Prog) -> Vec<Prog> {
+    let mut out = Vec::new();
+    for body in shrink_vec(&p.body) {
+        out.push(Prog { body, ..p.clone() });
+    }
+    for (i, st) in p.body.iter().enumerate() {
+        let mut splice = |content: &[St]| {
+            let mut body = p.body.clone();
+            body.splice(i..=i, content.iter().cloned());
+            out.push(Prog { body, ..p.clone() });
+        };
+        match st {
+            St::If(_, t, e) => {
+                splice(t);
+                if !e.is_empty() {
+                    splice(e);
+                }
+            }
+            St::For(_, _, b) => splice(b),
+            _ => {}
+        }
+    }
+    for (k, f) in p.funcs.iter().enumerate() {
+        for body in shrink_vec(&f.body) {
+            let mut funcs = p.funcs.clone();
+            funcs[k] = HelperFn { body, ret: f.ret.clone() };
+            out.push(Prog { funcs, ..p.clone() });
+        }
+    }
+    if !p.input.is_empty() {
+        out.push(Prog { input: Vec::new(), ..p.clone() });
+    }
+    out
+}
+
+fn render_expr(e: &Ex, names: &[&str], out: &mut String) {
+    match e {
+        Ex::Num(n) => {
+            if *n < 0 {
+                // Parenthesize so `a - -5` never renders as `a --5`.
+                out.push_str(&format!("({n})"));
+            } else {
+                out.push_str(&n.to_string());
+            }
+        }
+        Ex::Var(v) => out.push_str(names[*v % names.len()]),
+        Ex::Loop(d) => out.push_str(if *d % 2 == 0 { "i0" } else { "i1" }),
+        Ex::ArrLoad(i) => {
+            out.push_str("arr[(");
+            render_expr(i, names, out);
+            out.push_str(") & 7]");
+        }
+        Ex::Bin(op, a, b) | Ex::Cmp(op, a, b) => {
+            out.push('(');
+            render_expr(a, names, out);
+            out.push_str(&format!(" {op} "));
+            render_expr(b, names, out);
+            out.push(')');
+        }
+        Ex::Shift(op, a, b) => {
+            out.push('(');
+            render_expr(a, names, out);
+            out.push_str(&format!(" {op} (("));
+            render_expr(b, names, out);
+            out.push_str(") & 7))");
+        }
+        Ex::Ternary(c, a, b) => {
+            out.push('(');
+            render_expr(c, names, out);
+            out.push_str(" ? ");
+            render_expr(a, names, out);
+            out.push_str(" : ");
+            render_expr(b, names, out);
+            out.push(')');
+        }
+        Ex::DivC(a, c) => {
+            out.push('(');
+            render_expr(a, names, out);
+            out.push_str(&format!(" / {})", (*c).max(1)));
+        }
+        Ex::ModC(a, c) => {
+            out.push('(');
+            render_expr(a, names, out);
+            out.push_str(&format!(" % {})", (*c).max(1)));
+        }
+        Ex::Call(k, a, b) => {
+            out.push_str(&format!("f{k}("));
+            render_expr(a, names, out);
+            out.push_str(", ");
+            render_expr(b, names, out);
+            out.push(')');
+        }
+    }
+}
+
+fn render_stmt(st: &St, names: &[&str], indent: usize, out: &mut String) {
+    let pad = "    ".repeat(indent);
+    match st {
+        St::Assign(v, e) => {
+            out.push_str(&format!("{pad}{} = ", names[*v % names.len()]));
+            render_expr(e, names, out);
+            out.push_str(";\n");
+        }
+        St::OpAssign(v, op, e) => {
+            out.push_str(&format!("{pad}{} {op} ", names[*v % names.len()]));
+            render_expr(e, names, out);
+            out.push_str(";\n");
+        }
+        St::ArrStore(i, e) => {
+            out.push_str(&format!("{pad}arr[("));
+            render_expr(i, names, out);
+            out.push_str(") & 7] = ");
+            render_expr(e, names, out);
+            out.push_str(";\n");
+        }
+        St::If(c, t, e) => {
+            out.push_str(&format!("{pad}if ("));
+            render_expr(c, names, out);
+            out.push_str(") {\n");
+            for s in t {
+                render_stmt(s, names, indent + 1, out);
+            }
+            if e.is_empty() {
+                out.push_str(&format!("{pad}}}\n"));
+            } else {
+                out.push_str(&format!("{pad}}} else {{\n"));
+                for s in e {
+                    render_stmt(s, names, indent + 1, out);
+                }
+                out.push_str(&format!("{pad}}}\n"));
+            }
+        }
+        St::For(d, n, body) => {
+            let iv = if *d % 2 == 0 { "i0" } else { "i1" };
+            out.push_str(&format!("{pad}for ({iv} = 0; {iv} < {n}; {iv}++) {{\n"));
+            for s in body {
+                render_stmt(s, names, indent + 1, out);
+            }
+            out.push_str(&format!("{pad}}}\n"));
+        }
+        St::Print(e) => {
+            out.push_str(&format!("{pad}printf(\"%d\\n\", "));
+            render_expr(e, names, out);
+            out.push_str(");\n");
+        }
+        St::ReadCh(v) => {
+            out.push_str(&format!("{pad}{} = getchar();\n", names[*v % names.len()]));
+        }
+    }
+}
+
+/// Render a [`Prog`] to compilable mini-C source. The program always ends
+/// by printing and returning a checksum over every variable and array
+/// slot, so the whole dataflow is observable.
+pub fn render(p: &Prog) -> String {
+    let mut out = String::new();
+    let helper_names: [&str; 4] = ["a", "b", "t0", "t1"];
+    for (k, f) in p.funcs.iter().enumerate() {
+        out.push_str(&format!("int f{k}(int a, int b) {{\n"));
+        out.push_str("    int t0 = 3;\n    int t1 = -7;\n    int i0 = 0;\n    int i1 = 0;\n");
+        for st in &f.body {
+            render_stmt(st, &helper_names, 1, &mut out);
+        }
+        out.push_str("    return ");
+        render_expr(&f.ret, &helper_names, &mut out);
+        out.push_str(";\n}\n");
+    }
+
+    let var_names: Vec<String> = (0..p.nvars).map(|v| format!("v{v}")).collect();
+    let names: Vec<&str> = var_names.iter().map(|s| s.as_str()).collect();
+    out.push_str("int main() {\n");
+    for (v, name) in names.iter().enumerate() {
+        out.push_str(&format!("    int {name} = {};\n", v as i32 + 1));
+    }
+    out.push_str("    int arr[8];\n    int i0 = 0;\n    int i1 = 0;\n    int acc = 0;\n");
+    for k in 0..8 {
+        out.push_str(&format!("    arr[{k}] = {};\n", k * 5 - 3));
+    }
+    for st in &p.body {
+        render_stmt(st, &names, 1, &mut out);
+    }
+    for name in &names {
+        out.push_str(&format!("    acc = acc * 31 + {name};\n"));
+    }
+    for k in 0..8 {
+        out.push_str(&format!("    acc = acc * 31 + arr[{k}];\n"));
+    }
+    out.push_str("    printf(\"%d\\n\", acc);\n    return acc & 0x7f;\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_programs_compile_under_their_profile() {
+        let mut rng = Rng::new(0xdecade);
+        for _ in 0..40 {
+            let p = gen_prog(&mut rng);
+            let src = render(&p);
+            wyt_minicc::compile(&src, &profile(p.profile))
+                .unwrap_or_else(|e| panic!("generated program must compile: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_stay_compilable() {
+        let mut rng = Rng::new(0xca5cade);
+        let p = gen_prog(&mut rng);
+        for cand in shrink_prog(&p) {
+            let src = render(&cand);
+            wyt_minicc::compile(&src, &profile(cand.profile))
+                .unwrap_or_else(|e| panic!("shrunk program must compile: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let p = gen_prog(&mut Rng::new(123));
+        let q = gen_prog(&mut Rng::new(123));
+        assert_eq!(render(&p), render(&q));
+    }
+}

@@ -1,0 +1,51 @@
+//! Cross-engine fuel parity: when a budget runs out, the native machine
+//! and the lifted-IR interpreter must report it the same way — both as
+//! `TrapClass::Fuel` — so the differential oracle can compare bounded
+//! runs without special-casing either engine.
+
+use wyt_lifter::lift_image;
+use wyt_minicc::{compile, Profile};
+use wyt_testkit::oracle::{observe_interp, observe_native};
+use wyt_testkit::TrapClass;
+
+const LOOPY: &str = r#"
+int main() {
+    int acc = 0;
+    int i;
+    for (i = 0; i < 100000; i = i + 1) {
+        acc = acc + i;
+    }
+    return acc & 0x7f;
+}
+"#;
+
+#[test]
+fn starved_engines_agree_on_fuel_class() {
+    let img = compile(LOOPY, &Profile::gcc12_o3()).expect("compile").stripped();
+
+    // Generous budget: both engines finish and agree this is a clean exit.
+    let full_native = observe_native(&img, &[], 10_000_000);
+    assert_eq!(full_native.class, TrapClass::Exit, "{full_native}");
+
+    let lifted = lift_image(&img, &[vec![]]).expect("lift");
+    let full_interp = observe_interp(&lifted.module, &[], 10_000_000);
+    assert_eq!(full_interp.class, TrapClass::Exit, "{full_interp}");
+    assert_eq!(full_native.exit_code, full_interp.exit_code);
+
+    // Starved budget: both engines classify as Fuel, never as a crash.
+    let starved_native = observe_native(&img, &[], 50);
+    assert_eq!(starved_native.class, TrapClass::Fuel, "{starved_native}");
+
+    let starved_interp = observe_interp(&lifted.module, &[], 50);
+    assert_eq!(starved_interp.class, TrapClass::Fuel, "{starved_interp}");
+}
+
+#[test]
+fn fuel_class_is_not_an_exit() {
+    // An out-of-fuel observation must never compare equal to a clean exit,
+    // whatever the exit code happens to be.
+    let img = compile(LOOPY, &Profile::gcc12_o0()).expect("compile").stripped();
+    let done = observe_native(&img, &[], 10_000_000);
+    let starved = observe_native(&img, &[], 50);
+    assert_ne!(done, starved);
+}

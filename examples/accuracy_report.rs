@@ -48,8 +48,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let (m, o, u, x) = report.ratios();
     println!("\nobjects: {}", report.total());
-    println!("matched {:.1}%  oversized {:.1}%  undersized {:.1}%  missed {:.1}%",
-        m * 100.0, o * 100.0, u * 100.0, x * 100.0);
+    println!(
+        "matched {:.1}%  oversized {:.1}%  undersized {:.1}%  missed {:.1}%",
+        m * 100.0,
+        o * 100.0,
+        u * 100.0,
+        x * 100.0
+    );
     println!(
         "precision {:.1}%  recall {:.1}%",
         report.precision() * 100.0,

@@ -60,7 +60,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== ground truth (compiler frame layout of f1) ===");
     let f1_addr = full.symbol("f1").expect("f1 symbol");
     for v in &full.frame_layout_at(f1_addr).expect("layout").vars {
-        println!("  {:>10}  sp0{:+} .. sp0{:+}", v.name, v.sp0_offset, v.sp0_offset + v.size as i32);
+        println!(
+            "  {:>10}  sp0{:+} .. sp0{:+}",
+            v.name,
+            v.sp0_offset,
+            v.sp0_offset + v.size as i32
+        );
     }
 
     // Trace with an input where f3 selects the *last* element, so the
@@ -73,11 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let out = recompile(&full.stripped(), &inputs, Mode::Wytiwyg)?;
         let layout = out.layout.as_ref().unwrap();
-        let fid = out
-            .lifted_meta
-            .func_by_addr
-            .get(&f1_addr)
-            .expect("f1 lifted");
+        let fid = out.lifted_meta.func_by_addr.get(&f1_addr).expect("f1 lifted");
         println!("\n=== recovered layout of f1: {desc} ===");
         let mut vars = layout.funcs[fid].vars.clone();
         vars.sort_by_key(|v| v.lo);

@@ -53,10 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let after = run_image(&out.image, test_input);
     assert_eq!(before.output, after.output);
     assert_eq!(before.exit_code, after.exit_code);
-    println!(
-        "output identical: {:?}",
-        String::from_utf8_lossy(&before.output).trim_end()
-    );
+    println!("output identical: {:?}", String::from_utf8_lossy(&before.output).trim_end());
 
     // 4. The recovered stack layouts are available for inspection.
     let layout = out.layout.as_ref().expect("wytiwyg mode recovers layouts");

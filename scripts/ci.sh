@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI gate for the WYTIWYG reproduction (documented as tier-1 in
+# ROADMAP.md). Everything must work with no network and no external
+# crates; --offline makes any accidental registry dependency a hard error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> bench targets compile"
+cargo bench -p wyt-bench --offline --no-run
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI green."

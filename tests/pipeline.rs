@@ -9,12 +9,7 @@ use wyt_emu::run_image;
 use wyt_minicc::{compile, Profile};
 
 fn profiles() -> Vec<Profile> {
-    vec![
-        Profile::gcc12_o3(),
-        Profile::gcc12_o0(),
-        Profile::clang16_o3(),
-        Profile::gcc44_o3(),
-    ]
+    vec![Profile::gcc12_o3(), Profile::gcc12_o0(), Profile::clang16_o3(), Profile::gcc44_o3()]
 }
 
 /// Compile, recompile in both modes, and check functional equivalence on

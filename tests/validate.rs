@@ -1,0 +1,109 @@
+//! Tests for `wyt_core::pipeline::validate`, the final behavioral gate of
+//! the pipeline: a correct recompilation passes, and every kind of
+//! miscompilation — wrong exit code, wrong output, or an outright trap —
+//! is rejected with a diagnostic naming the offending input.
+
+use wyt_core::{recompile, validate, Mode};
+use wyt_minicc::{compile, Profile};
+
+const SRC: &str = r#"
+int main() {
+    int x = getchar();
+    printf("%d\n", x * 3);
+    return (x + 1) & 0x7f;
+}
+"#;
+
+fn inputs() -> Vec<Vec<u8>> {
+    vec![vec![5], vec![40], vec![0]]
+}
+
+#[test]
+fn correct_recompilation_is_accepted() {
+    let img = compile(SRC, &Profile::gcc12_o3()).expect("compile").stripped();
+    let ins = inputs();
+    for mode in [Mode::NoSymbolize, Mode::Wytiwyg] {
+        let out = recompile(&img, &ins, mode).expect("recompile");
+        validate(&img, &out.image, &ins)
+            .unwrap_or_else(|e| panic!("{mode:?} roundtrip must validate: {e}"));
+    }
+}
+
+#[test]
+fn wrong_exit_code_is_rejected() {
+    let img = compile(SRC, &Profile::gcc12_o3()).expect("compile").stripped();
+    // "Miscompile" by pairing against a program that differs only in its
+    // exit code; outputs agree on every input.
+    let bad = compile(
+        r#"
+int main() {
+    int x = getchar();
+    printf("%d\n", x * 3);
+    return (x + 2) & 0x7f;
+}
+"#,
+        &Profile::gcc12_o3(),
+    )
+    .expect("compile")
+    .stripped();
+    let err = validate(&img, &bad, &inputs()).expect_err("must reject exit mismatch");
+    assert!(err.contains("exit"), "diagnostic should name the exit mismatch: {err}");
+    assert!(err.contains("input 0"), "diagnostic should name the input: {err}");
+}
+
+#[test]
+fn wrong_output_is_rejected() {
+    let img = compile(SRC, &Profile::gcc12_o3()).expect("compile").stripped();
+    let bad = compile(
+        r#"
+int main() {
+    int x = getchar();
+    printf("%d\n", x * 4);
+    return (x + 1) & 0x7f;
+}
+"#,
+        &Profile::gcc12_o3(),
+    )
+    .expect("compile")
+    .stripped();
+    let err = validate(&img, &bad, &inputs()).expect_err("must reject output mismatch");
+    assert!(err.contains("output mismatch"), "diagnostic should name the output: {err}");
+}
+
+#[test]
+fn trapping_recompilation_is_rejected() {
+    let img = compile(SRC, &Profile::gcc12_o3()).expect("compile").stripped();
+    // An image whose text is a single undecodable byte traps immediately.
+    let mut bad = img.clone();
+    bad.text = vec![0xff];
+    bad.entry = bad.text_base;
+    let err = validate(&img, &bad, &inputs()).expect_err("must reject trapping image");
+    assert!(
+        err.contains("recompiled trapped"),
+        "diagnostic should blame the recompiled side: {err}"
+    );
+}
+
+#[test]
+fn validate_only_checks_supplied_inputs() {
+    // Behavioral validation is exactly as strong as the input set: a
+    // program that diverges only on an input we never run passes. This is
+    // the paper's central caveat — traced coverage bounds the guarantee.
+    let img = compile(SRC, &Profile::gcc12_o3()).expect("compile").stripped();
+    let diverges_on_seven = compile(
+        r#"
+int main() {
+    int x = getchar();
+    printf("%d\n", x * 3);
+    if (x == 7) { return 99; }
+    return (x + 1) & 0x7f;
+}
+"#,
+        &Profile::gcc12_o3(),
+    )
+    .expect("compile")
+    .stripped();
+    validate(&img, &diverges_on_seven, &inputs()).expect("divergence outside inputs is invisible");
+    let err = validate(&img, &diverges_on_seven, &[vec![7]]).expect_err("input 7 exposes it");
+    assert!(err.contains("exit"), "{err}");
+}
