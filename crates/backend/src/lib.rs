@@ -1109,6 +1109,7 @@ fn lower_term(lw: &mut FnLower<'_>, b: BlockId, next_in_layout: Option<BlockId>)
 /// # Errors
 /// Returns a [`BackendError`] for malformed modules.
 pub fn lower_module(module: &Module) -> Result<Image, BackendError> {
+    let _s = wyt_obs::Span::enter("lower");
     let Some(entry) = module.entry else {
         return berr("module has no entry function");
     };
@@ -1159,6 +1160,11 @@ pub fn lower_module(module: &Module) -> Result<Image, BackendError> {
             .push(Symbol { name: f.name.clone(), addr: assembled.addr_of(func_labels[fidx]) });
     }
     image.text = assembled.bytes;
+    if wyt_obs::enabled() {
+        wyt_obs::counter("lower.text_bytes", image.text.len() as u64);
+        wyt_obs::counter("lower.data_bytes", image.data.len() as u64);
+        wyt_obs::counter("lower.funcs", module.funcs.len() as u64);
+    }
     Ok(image)
 }
 

@@ -13,24 +13,27 @@ use wyt_minicc::{compile, Profile};
 
 fn main() {
     let b = Bencher::default();
+    let report = |s: wyt_bench::timing::Sample| println!("{}", s.row());
 
     let bench = wyt_spec::by_name("sjeng").expect("suite");
     let img = compile(bench.source, &Profile::gcc44_o3()).unwrap().stripped();
     let inputs = bench.train_inputs();
 
-    b.bench("trace_and_lift", || lift_image(&img, &inputs).unwrap());
-    b.bench("recompile_nosymbolize", || recompile(&img, &inputs, Mode::NoSymbolize).unwrap());
-    b.bench("recompile_wytiwyg", || recompile(&img, &inputs, Mode::Wytiwyg).unwrap());
+    report(b.measure("trace_and_lift", || lift_image(&img, &inputs).unwrap()));
+    report(
+        b.measure("recompile_nosymbolize", || recompile(&img, &inputs, Mode::NoSymbolize).unwrap()),
+    );
+    report(b.measure("recompile_wytiwyg", || recompile(&img, &inputs, Mode::Wytiwyg).unwrap()));
 
     let small = compile("int main() { return 7; }", &Profile::gcc12_o3()).unwrap().stripped();
-    b.bench("recompile_minimal", || recompile(&small, &[vec![]], Mode::Wytiwyg).unwrap());
+    report(b.measure("recompile_minimal", || recompile(&small, &[vec![]], Mode::Wytiwyg).unwrap()));
 
     let bench = wyt_spec::by_name("bzip2").expect("suite");
     let img = compile(bench.source, &Profile::gcc12_o3()).unwrap();
     let input = bench.train_inputs().remove(0);
-    b.bench("emulate_bzip2_train", || {
+    report(b.measure("emulate_bzip2_train", || {
         let r = wyt_emu::run_image(&img, input.clone());
         assert!(r.ok());
         r.cycles
-    });
+    }));
 }

@@ -16,13 +16,16 @@
 //! cargo run --release -p wyt-bench --bin ablation [profile]
 //! ```
 
-use wyt_bench::{build_input, geomean, native_cycles};
+use wyt_bench::{build_input, emit_bench_json, geomean, native_cycles, ratio_json};
 use wyt_core::{recompile_with, validate, Mode};
 use wyt_emu::run_image;
 use wyt_minicc::Profile;
+use wyt_obs::Json;
 use wyt_opt::OptLevel;
 
 fn main() {
+    wyt_obs::set_enabled(true);
+    let mut rows_json: Vec<Json> = Vec::new();
     let profile = match std::env::args().nth(1).as_deref() {
         Some("gcc12") | None => Profile::gcc12_o0(),
         Some("gcc44") => Profile::gcc44_o3(),
@@ -45,11 +48,13 @@ fn main() {
         (Mode::Wytiwyg, OptLevel::Clean),
         (Mode::Wytiwyg, OptLevel::Full),
     ];
+    let variant_names = ["nosym+clean", "nosym+full", "wyt+clean", "wyt+full"];
     let mut geo = vec![Vec::new(); variants.len()];
     for bench in wyt_spec::suite() {
         let img = build_input(&bench, &profile);
         let native = native_cycles(&img, &bench);
         let mut cells = Vec::new();
+        let mut cells_json = Vec::new();
         for (k, (mode, opt)) in variants.iter().enumerate() {
             let cell = (|| -> Result<f64, String> {
                 let stripped = img.stripped();
@@ -67,14 +72,21 @@ fn main() {
                 Ok(x) => {
                     geo[k].push(x);
                     cells.push(format!("{x:.2}"));
+                    cells_json.push((variant_names[k], ratio_json(Some(x))));
                 }
-                Err(_) => cells.push("—".into()),
+                Err(_) => {
+                    cells.push("—".into());
+                    cells_json.push((variant_names[k], Json::Null));
+                }
             }
         }
         println!(
             "{:<12} {:>12} {:>12} {:>12} {:>12}",
             bench.name, cells[0], cells[1], cells[2], cells[3]
         );
+        let mut row = vec![("benchmark", Json::from(bench.name))];
+        row.extend(cells_json);
+        rows_json.push(Json::obj(row));
     }
     println!("{}", "-".repeat(66));
     print!("{:<12}", "geomean");
@@ -85,4 +97,9 @@ fn main() {
     println!("\nReading: wyt+clean vs nosym+clean isolates symbolization's direct");
     println!("effect (two-stack overhead removed); wyt+full vs wyt+clean is the");
     println!("alias-analysis dividend the paper's §2 argues symbolization unlocks.");
+
+    let body =
+        Json::obj(vec![("profile", Json::from(profile.name)), ("rows", Json::Arr(rows_json))]);
+    let path = emit_bench_json("ablation", body);
+    println!("\nwrote {}", path.display());
 }

@@ -7,11 +7,17 @@
 //! cargo run --release -p wyt-bench --bin figure6
 //! ```
 
-use wyt_bench::{build_input, geomean, native_cycles, recompiled_cycles, secondwrite_cycles};
+use wyt_bench::{
+    build_input, emit_bench_json, geomean, native_cycles, ratio_json, recompiled_cycles,
+    secondwrite_cycles,
+};
 use wyt_core::Mode;
 use wyt_minicc::Profile;
+use wyt_obs::Json;
 
 fn main() {
+    wyt_obs::set_enabled(true);
+    let mut rows_json: Vec<Json> = Vec::new();
     let series: Vec<(String, Profile, Kind)> = vec![
         ("GCC 12.2 -O3 *".into(), Profile::gcc12_o3(), Kind::Native),
         ("GCC 12.2 -O3 †".into(), Profile::gcc12_o3(), Kind::Wytiwyg),
@@ -75,8 +81,16 @@ fn main() {
         } else {
             println!(" {:>7.2}", geomean(&ok));
         }
+        rows_json.push(Json::obj(vec![
+            ("series", Json::from(label.as_str())),
+            ("values", Json::Arr(row.iter().map(|&v| ratio_json(v)).collect())),
+            ("geomean", ratio_json((!ok.is_empty()).then(|| geomean(&ok)))),
+        ]));
     }
     println!("\nShapes to compare with the paper: every † series approaches the");
     println!("GCC 12.2 baseline; -O0 native is far above; GCC 4.4 † dips below");
     println!("GCC 4.4 *; ‡ exists only for the non-PIC legacy build and trails †.");
+
+    let path = emit_bench_json("figure6", Json::Arr(rows_json));
+    println!("\nwrote {}", path.display());
 }

@@ -11,10 +11,14 @@
 //! cargo run --release -p wyt-bench --bin figure7
 //! ```
 
+use wyt_bench::emit_bench_json;
 use wyt_core::{evaluate_accuracy, recompile, MatchKind, Mode};
 use wyt_minicc::{compile, Profile};
+use wyt_obs::Json;
 
 fn main() {
+    wyt_obs::set_enabled(true);
+    let mut rows_json: Vec<Json> = Vec::new();
     let profile = Profile::gcc44_o3();
     println!("Figure 7: stack-recovery accuracy per benchmark ({})\n", profile.name);
     println!(
@@ -56,6 +60,14 @@ fn main() {
             recovered += f.recovered;
             recovered_matched += f.recovered_matched;
         }
+        rows_json.push(Json::obj(vec![
+            ("benchmark", Json::from(bench.name)),
+            ("objects", Json::from(report.total() as u64)),
+            ("matched", Json::from(m)),
+            ("oversized", Json::from(o)),
+            ("undersized", Json::from(u)),
+            ("missed", Json::from(x)),
+        ]));
     }
 
     println!("{}", "-".repeat(64));
@@ -68,4 +80,12 @@ fn main() {
         recall * 100.0
     );
     println!("paper:   precision 94.4%, recall 87.6%");
+
+    let body = Json::obj(vec![
+        ("benchmarks", Json::Arr(rows_json)),
+        ("precision", Json::from(precision)),
+        ("recall", Json::from(recall)),
+    ]);
+    let path = emit_bench_json("figure7", body);
+    println!("\nwrote {}", path.display());
 }

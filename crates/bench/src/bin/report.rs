@@ -1,0 +1,92 @@
+//! Emit the [`wyt_obs::PipelineReport`] for one full WYTIWYG
+//! recompilation of a small sample program: per-stage wall time and IR
+//! size deltas, lifter observation counts, recovery quality, and dynamic
+//! symbolization coverage.
+//!
+//! ```sh
+//! WYT_OBS=json   cargo run --release -p wyt-bench --bin report   # JSON (default)
+//! WYT_OBS=pretty cargo run --release -p wyt-bench --bin report   # stage tree
+//! ```
+//!
+//! With `--check`, the binary re-parses its own JSON and asserts that
+//! every pipeline stage is present and that the coverage counts are
+//! consistent — the CI smoke test for the observability layer.
+
+use wyt_core::{recompile, Mode};
+use wyt_minicc::{compile, Profile};
+use wyt_obs::OutputFormat;
+
+/// Sample program: locals, a helper call, a loop and a variadic printf —
+/// enough to exercise every refinement stage.
+const SAMPLE: &str = r#"
+int sq(int x) { return x * x; }
+int main() {
+    int i;
+    int acc = 0;
+    for (i = 0; i < 9; i++) acc += sq(i) - i / 3;
+    printf("%d\n", acc);
+    return acc & 0x7f;
+}
+"#;
+
+/// Stages a Wytiwyg recompile must report, in order.
+const EXPECTED_STAGES: [&str; 11] = [
+    "lift",
+    "vararg",
+    "regsave",
+    "spfold",
+    "bounds",
+    "layout",
+    "symbolize",
+    "optimize",
+    "dead_cell_stores",
+    "optimize2",
+    "lower",
+];
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let fmt = match wyt_obs::init_from_env() {
+        OutputFormat::Off => OutputFormat::Json,
+        f => f,
+    };
+    // Collect regardless of WYT_OBS: this binary's whole job is the report
+    // (including the coverage replay, which is sink-gated).
+    wyt_obs::set_enabled(true);
+
+    let img = compile(SAMPLE, &Profile::gcc12_o3()).expect("sample compiles").stripped();
+    let inputs = vec![Vec::new()];
+    let out = recompile(&img, &inputs, Mode::Wytiwyg).expect("sample recompiles");
+    let rep = &out.report;
+
+    match fmt {
+        OutputFormat::Pretty => print!("{}", rep.render_pretty()),
+        _ => println!("{}", rep.to_json(true).pretty()),
+    }
+
+    if check {
+        let text = rep.to_json(true).to_string();
+        let parsed = wyt_obs::json::parse(&text).expect("report JSON must parse");
+        let stages =
+            parsed.get("stages").and_then(|s| s.as_arr()).expect("report must have a stages array");
+        for want in EXPECTED_STAGES {
+            let s = stages
+                .iter()
+                .find(|s| s.get("name").and_then(|n| n.as_str()) == Some(want))
+                .unwrap_or_else(|| panic!("stage `{want}` missing from report"));
+            s.get("wall_ns").and_then(|v| v.as_u64()).expect("stage has wall_ns");
+            s.get("before").and_then(|v| v.get("insts")).expect("stage has before.insts");
+            s.get("after").and_then(|v| v.get("insts")).expect("stage has after.insts");
+        }
+        let cov = parsed
+            .get("quality")
+            .and_then(|q| q.get("coverage"))
+            .expect("quality.coverage present");
+        let sym = cov.get("symbolized").and_then(|v| v.as_u64()).unwrap();
+        let res = cov.get("residual").and_then(|v| v.as_u64()).unwrap();
+        let total = cov.get("total").and_then(|v| v.as_u64()).unwrap();
+        assert_eq!(sym + res, total, "coverage counts must partition stack references");
+        assert!(total > 0, "sample program must touch its stack");
+        eprintln!("report check: {} stages ok, coverage {sym}+{res}={total}", stages.len());
+    }
+}

@@ -8,10 +8,16 @@
 //! cargo run --release -p wyt-bench --bin table1
 //! ```
 
-use wyt_bench::{build_input, cell, geomean, measure, native_cycles, secondwrite_cycles};
+use wyt_bench::{
+    build_input, cell, emit_bench_json, geomean, measure, native_cycles, ratio_json,
+    secondwrite_cycles,
+};
 use wyt_minicc::Profile;
+use wyt_obs::Json;
 
 fn main() {
+    wyt_obs::set_enabled(true);
+    let mut rows_json: Vec<Json> = Vec::new();
     let configs =
         [Profile::gcc12_o3(), Profile::gcc12_o0(), Profile::clang16_o3(), Profile::gcc44_o3()];
     println!("Table 1: normalized runtime of recompiled binaries (lower is better)");
@@ -48,6 +54,24 @@ fn main() {
         if let Ok(c) = &sw {
             sw_geo.push(*c as f64 / sw_native as f64);
         }
+        rows_json.push(Json::obj(vec![
+            ("benchmark", Json::from(bench.name)),
+            (
+                "configs",
+                Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("config", Json::from(r.config)),
+                                ("nosym", ratio_json(r.nosym_ratio())),
+                                ("wyt", ratio_json(r.wyt_ratio())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("secondwrite", ratio_json(sw.as_ref().ok().map(|&c| c as f64 / sw_native as f64))),
+        ]));
         println!(
             "{:<12} {:>12} | {:>9} {:>9} {:>9} {:>9} | {:>6}",
             bench.name, "no", no_cells[0], no_cells[1], no_cells[2], no_cells[3], ""
@@ -94,4 +118,7 @@ fn main() {
     );
     println!("\npaper's geomeans:      no: 1.24      0.76      1.31      1.05 |  (SW 1.14)");
     println!("                      yes: 1.10      0.48      1.06      0.82 |");
+
+    let path = emit_bench_json("table1", Json::Arr(rows_json));
+    println!("\nwrote {}", path.display());
 }

@@ -100,6 +100,31 @@ pub fn measure(bench: &Benchmark, profile: &Profile) -> ConfigMeasurement {
     }
 }
 
+/// Write `results/BENCH_<name>.json`: the bench's own rows plus the
+/// stage-time breakdown (span totals and counters) accumulated in the
+/// observability sink over the run. Returns the path written.
+///
+/// Report binaries call [`wyt_obs::set_enabled`] at startup so the
+/// recompiles they drive populate the sink; this serializes it.
+pub fn emit_bench_json(name: &str, rows: wyt_obs::Json) -> std::path::PathBuf {
+    let body = wyt_obs::Json::obj(vec![
+        ("bench", wyt_obs::Json::from(name)),
+        ("rows", rows),
+        ("obs", wyt_obs::snapshot().to_json()),
+    ]);
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, format!("{}\n", body.pretty()))
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    path
+}
+
+/// A ratio as JSON: failures become `null` (the paper's "—" cells).
+pub fn ratio_json(r: Option<f64>) -> wyt_obs::Json {
+    r.map_or(wyt_obs::Json::Null, wyt_obs::Json::from)
+}
+
 /// Geometric mean.
 pub fn geomean(xs: &[f64]) -> f64 {
     if xs.is_empty() {

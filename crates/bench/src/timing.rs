@@ -100,13 +100,6 @@ impl Bencher {
             samples: self.samples.max(1),
         }
     }
-
-    /// Time `f` and print the report row immediately.
-    pub fn bench<T>(&self, name: &str, f: impl FnMut() -> T) -> Sample {
-        let s = self.measure(name, f);
-        println!("{}", s.row());
-        s
-    }
 }
 
 #[cfg(test)]

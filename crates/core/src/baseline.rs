@@ -229,6 +229,11 @@ pub fn recompile_secondwrite(
         bounds: None,
         fold: Some(fold),
         baseline_runs: lifted.baseline_runs,
+        report: wyt_obs::PipelineReport {
+            mode: "SecondWrite".into(),
+            opt: "Full".into(),
+            ..wyt_obs::PipelineReport::default()
+        },
     })
 }
 

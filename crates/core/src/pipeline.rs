@@ -6,9 +6,13 @@ use std::collections::HashMap;
 use std::fmt;
 use wyt_backend::lower_module;
 use wyt_emu::RunResult;
+use wyt_ir::interp::{Interp, NoHooks};
 use wyt_ir::{FuncId, InstId, InstKind, Module};
 use wyt_isa::image::Image;
-use wyt_lifter::{lift_image, LiftPipelineError, Lifted};
+use wyt_lifter::{lift_image, LiftPipelineError, Lifted, EMU_STACK_BASE, EMU_STACK_SIZE};
+use wyt_obs::{
+    mono_ns, CoverageStats, FuncQuality, IrSize, LiftCounts, PipelineReport, Span, StageStats,
+};
 use wyt_opt::{optimize, OptLevel};
 
 /// How to recompile.
@@ -67,10 +71,75 @@ pub struct Recompiled {
     pub fold: Option<spfold::FoldInfo>,
     /// Original-trace run results (reference behaviour).
     pub baseline_runs: Vec<RunResult>,
+    /// Per-stage timing, IR size deltas and recovery-quality telemetry.
+    pub report: PipelineReport,
 }
 
 fn verify(m: &Module) -> Result<(), RecompileError> {
     wyt_ir::verify::verify_module(m).map_err(RecompileError::Verify)
+}
+
+/// Measure a module at a stage boundary.
+fn ir_size(m: &Module) -> IrSize {
+    let mut s = IrSize { funcs: m.funcs.len() as u64, ..IrSize::default() };
+    for f in &m.funcs {
+        s.blocks += f.blocks.len() as u64;
+        s.insts += f.blocks.iter().map(|b| b.insts.len() as u64).sum::<u64>();
+    }
+    s
+}
+
+/// Run one pipeline stage under a span, recording wall time and the IR
+/// size delta into `rep`.
+fn stage<R>(
+    rep: &mut PipelineReport,
+    name: &'static str,
+    module: &mut Module,
+    body: impl FnOnce(&mut Module) -> Result<R, RecompileError>,
+) -> Result<R, RecompileError> {
+    let _s = Span::enter(name);
+    let before = ir_size(module);
+    let t0 = mono_ns();
+    let r = body(module)?;
+    rep.stages.push(StageStats { name, wall_ns: mono_ns() - t0, before, after: ir_size(module) });
+    Ok(r)
+}
+
+/// Count operands whose constant value points into the emulated-stack
+/// region — the static roots of emulated-stack traffic (the lifter
+/// addresses that global by absolute constant, e.g. the `esp` seed, not
+/// by `GlobalAddr`). Symbolization makes these disappear; in the
+/// no-symbolize baseline they survive the optimizer.
+fn emu_stack_refs(m: &Module) -> u64 {
+    let in_emu = |v: wyt_ir::Val| match v {
+        wyt_ir::Val::Const(c) => {
+            (EMU_STACK_BASE..EMU_STACK_BASE + EMU_STACK_SIZE).contains(&(c as u32))
+        }
+        _ => false,
+    };
+    let mut n = 0;
+    for f in &m.funcs {
+        for b in f.rpo() {
+            for &i in &f.blocks[b.index()].insts {
+                f.inst(i).for_each_operand(|v| n += u64::from(in_emu(v)));
+            }
+            f.blocks[b.index()].term.for_each_operand(|v| n += u64::from(in_emu(v)));
+        }
+    }
+    n
+}
+
+/// What the lifter saw — counts previously discarded on the pipeline
+/// floor.
+fn lift_counts(lifted: &Lifted) -> LiftCounts {
+    LiftCounts {
+        trace_edges: lifted.trace.edges.len() as u64,
+        trace_ext_calls: lifted.trace.ext_calls.len() as u64,
+        cfg_blocks: lifted.cfg.blocks.len() as u64,
+        cfg_edges: lifted.cfg.blocks.values().map(|b| lifted.cfg.successors(b).len() as u64).sum(),
+        funcs_recovered: lifted.funcs.funcs.len() as u64,
+        tail_calls: lifted.funcs.funcs.values().map(|f| f.tail_calls.len() as u64).sum(),
+    }
 }
 
 /// Recompile `img`, tracing with `inputs`.
@@ -97,18 +166,41 @@ pub fn recompile_with(
     mode: Mode,
     opt: OptLevel,
 ) -> Result<Recompiled, RecompileError> {
-    let Lifted { mut module, meta, trace, cfg, funcs, baseline_runs } =
-        lift_image(img, inputs).map_err(RecompileError::Lift)?;
-    let _ = (&trace, &cfg, &funcs);
+    let mut rep = PipelineReport {
+        mode: format!("{mode:?}"),
+        opt: format!("{opt:?}"),
+        ..PipelineReport::default()
+    };
+
+    let t0 = mono_ns();
+    let lifted = {
+        let _s = Span::enter("lift");
+        lift_image(img, inputs).map_err(RecompileError::Lift)?
+    };
+    rep.lift = lift_counts(&lifted);
+    let Lifted { mut module, meta, trace: _, cfg: _, funcs: _, baseline_runs } = lifted;
+    rep.stages.push(StageStats {
+        name: "lift",
+        wall_ns: mono_ns() - t0,
+        before: IrSize::default(),
+        after: ir_size(&module),
+    });
+    rep.quality.emu_refs_before = emu_stack_refs(&module);
     verify(&module)?;
 
     match mode {
         Mode::NoSymbolize => {
             // BinRec hands the lifted module to the full LLVM pipeline; the
             // optimizer simply cannot see through the emulated stack.
-            optimize(&mut module, opt);
+            stage(&mut rep, "optimize", &mut module, |m| {
+                optimize(m, opt);
+                Ok(())
+            })?;
             verify(&module)?;
-            let image = lower_module(&module).map_err(RecompileError::Lower)?;
+            rep.quality.emu_refs_after = emu_stack_refs(&module);
+            let image = stage(&mut rep, "lower", &mut module, |m| {
+                lower_module(m).map_err(RecompileError::Lower)
+            })?;
             Ok(Recompiled {
                 image,
                 module,
@@ -117,42 +209,80 @@ pub fn recompile_with(
                 bounds: None,
                 fold: None,
                 baseline_runs,
+                report: rep,
             })
         }
         Mode::Wytiwyg => {
             // Refinement 1: variadic / external call recovery (§5.2).
-            let obs = vararg::observe(&module, inputs)
-                .map_err(|e| RecompileError::Refine(format!("vararg: {e}")))?;
-            vararg::apply(&mut module, &obs);
+            let vararg_sites = stage(&mut rep, "vararg", &mut module, |m| {
+                let obs = vararg::observe(m, inputs)
+                    .map_err(|e| RecompileError::Refine(format!("vararg: {e}")))?;
+                Ok(vararg::apply(m, &obs))
+            })?;
+            rep.quality.vararg_sites = vararg_sites as u64;
             verify(&module)?;
 
             // Refinement 2: saved registers + sp0 folding (§4.1).
-            let reginfo = regsave::analyze(&module, &meta, inputs)
-                .map_err(|e| RecompileError::Refine(format!("regsave: {e}")))?;
-            spfold::insert_save_restore(&mut module, &meta, &reginfo);
-            let fold = spfold::fold(&mut module, &meta, &reginfo)
-                .map_err(|e| RecompileError::Refine(e.to_string()))?;
+            let reginfo = stage(&mut rep, "regsave", &mut module, |m| {
+                regsave::analyze(m, &meta, inputs)
+                    .map_err(|e| RecompileError::Refine(format!("regsave: {e}")))
+            })?;
+            let fold = stage(&mut rep, "spfold", &mut module, |m| {
+                spfold::insert_save_restore(m, &meta, &reginfo);
+                spfold::fold(m, &meta, &reginfo).map_err(|e| RecompileError::Refine(e.to_string()))
+            })?;
+            rep.quality.base_ptrs_folded =
+                fold.funcs.values().map(|f| f.base_ptrs.len() as u64).sum();
             verify(&module)?;
 
             // Refinement 3: bounds recovery (§4.2).
-            let bounds = runtime::trace_bounds(&module, &fold, inputs)
-                .map_err(|e| RecompileError::Refine(format!("bounds: {e}")))?;
+            let bounds = stage(&mut rep, "bounds", &mut module, |m| {
+                runtime::trace_bounds(m, &fold, inputs)
+                    .map_err(|e| RecompileError::Refine(format!("bounds: {e}")))
+            })?;
 
             // Layout + symbolization (§4.2.6).
-            let call_targets = collect_call_targets(&module, &reginfo);
-            let mlayout = layout::build_layout(&bounds, &fold, &reginfo, &call_targets);
-            symbolize::symbolize(&mut module, &meta, &fold, &reginfo, &mlayout)
-                .map_err(RecompileError::Symbolize)?;
+            let mlayout = stage(&mut rep, "layout", &mut module, |m| {
+                let call_targets = collect_call_targets(m, &reginfo);
+                Ok(layout::build_layout(&bounds, &fold, &reginfo, &call_targets))
+            })?;
+            stage(&mut rep, "symbolize", &mut module, |m| {
+                symbolize::symbolize(m, &meta, &fold, &reginfo, &mlayout)
+                    .map_err(RecompileError::Symbolize)
+            })?;
             verify(&module)?;
+            rep.quality.vars_recovered = mlayout.funcs.values().map(|l| l.vars.len() as u64).sum();
+            record_func_quality(&mut rep, &module, &reginfo, &mlayout);
+
+            // Symbolization coverage, by replay: the symbolized (but not yet
+            // re-optimized) module performs the same accesses the refinements
+            // observed, each now hitting either an alloca (symbolized) or the
+            // emulated-stack global (residual). Costs one interpreter run per
+            // traced input, so only collected when the obs sink is on.
+            if wyt_obs::enabled() {
+                rep.quality.coverage = Some(measure_coverage(&module, inputs, &mut rep));
+            }
 
             // Re-optimize and lower. Optimization deletes unused after-call
             // register reloads, which strands the matching exit stores in
             // callees; sweep those and clean up once more.
-            optimize(&mut module, opt);
-            symbolize::dead_cell_stores(&mut module);
-            optimize(&mut module, opt);
+            stage(&mut rep, "optimize", &mut module, |m| {
+                optimize(m, opt);
+                Ok(())
+            })?;
+            stage(&mut rep, "dead_cell_stores", &mut module, |m| {
+                symbolize::dead_cell_stores(m);
+                Ok(())
+            })?;
+            stage(&mut rep, "optimize2", &mut module, |m| {
+                optimize(m, opt);
+                Ok(())
+            })?;
             verify(&module)?;
-            let image = lower_module(&module).map_err(RecompileError::Lower)?;
+            rep.quality.emu_refs_after = emu_stack_refs(&module);
+            let image = stage(&mut rep, "lower", &mut module, |m| {
+                lower_module(m).map_err(RecompileError::Lower)
+            })?;
             Ok(Recompiled {
                 image,
                 module,
@@ -161,9 +291,56 @@ pub fn recompile_with(
                 bounds: Some(bounds),
                 fold: Some(fold),
                 baseline_runs,
+                report: rep,
             })
         }
     }
+}
+
+/// Per-function recovery quality, ordered by function index for
+/// deterministic reports.
+fn record_func_quality(
+    rep: &mut PipelineReport,
+    module: &Module,
+    reginfo: &regsave::RegSaveInfo,
+    mlayout: &layout::ModuleLayout,
+) {
+    let mut fids: Vec<FuncId> = mlayout.funcs.keys().copied().collect();
+    fids.sort_unstable();
+    for fid in fids {
+        let l = &mlayout.funcs[&fid];
+        rep.quality.funcs.push(FuncQuality {
+            func: fid.0,
+            name: module.funcs[fid.index()].name.clone(),
+            saved_regs: reginfo.saved_cells(fid).len() as u64,
+            vars: l.vars.len() as u64,
+            stack_args: u64::from(l.stack_args),
+            reg_args: l.reg_args.len() as u64,
+        });
+    }
+}
+
+/// Replay the symbolized module on each traced input, classifying every
+/// dynamic stack reference as symbolized (alloca) or residual
+/// (emulated-stack global).
+fn measure_coverage(
+    module: &Module,
+    inputs: &[Vec<u8>],
+    rep: &mut PipelineReport,
+) -> CoverageStats {
+    let _s = Span::enter("coverage");
+    let mut cov = CoverageStats::default();
+    for input in inputs {
+        let mut it = Interp::new(module, input.clone(), NoHooks);
+        it.set_emu_stack_range(EMU_STACK_BASE, EMU_STACK_BASE + EMU_STACK_SIZE);
+        let out = it.run();
+        cov.symbolized += out.mem.native_slot;
+        cov.residual += out.mem.emu_stack;
+        cov.total += out.mem.stack_total;
+        cov.runs += 1;
+        rep.exec.add_run(out.steps, &out.mem);
+    }
+    cov
 }
 
 /// Possible callees of every call instruction (direct and indirect).

@@ -6,6 +6,13 @@ use crate::memory::Memory;
 use std::fmt;
 use wyt_isa::image::{Image, STACK_TOP};
 use wyt_isa::{AluOp, Cc, Inst, Mem, Operand, Reg, ShiftAmount, ShiftOp, Size};
+use wyt_obs::MemStats;
+
+/// Size of the machine-stack window used for access classification:
+/// addresses in `(STACK_TOP - STACK_CLASSIFY_WINDOW, STACK_TOP]` count as
+/// native stack-slot traffic. 64 MiB reaches far below any real frame
+/// depth while staying above the heap.
+pub const STACK_CLASSIFY_WINDOW: u32 = 1 << 26;
 
 /// Sentinel return address pushed below the entry frame; `ret`-ing to it
 /// ends the program with `eax` as the exit code.
@@ -137,6 +144,11 @@ pub struct RunResult {
     pub cycles: u64,
     /// Number of retired instructions.
     pub inst_count: u64,
+    /// Memory-access telemetry. Load/store totals are always counted;
+    /// the stack-region classification is populated only when the
+    /// `wyt-obs` sink was enabled when the machine was built (it costs
+    /// range checks on the hot path).
+    pub mem: MemStats,
     /// Bytes written to the output stream.
     pub output: Vec<u8>,
 }
@@ -175,6 +187,14 @@ pub struct Machine<'img> {
     cycles: u64,
     inst_count: u64,
     fuel: u64,
+    mem_stats: MemStats,
+    /// Emulated-stack global's address range in this image, when the
+    /// caller wants residual-stack classification (recompiled binaries
+    /// keep the global at a fixed address).
+    emu_range: Option<(u32, u32)>,
+    /// Snapshot of `wyt_obs::enabled()` at construction; gates the
+    /// per-access classification so a disabled sink costs one branch.
+    classify: bool,
 }
 
 impl fmt::Debug for Machine<'_> {
@@ -213,12 +233,41 @@ impl<'img> Machine<'img> {
             cycles: 0,
             inst_count: 0,
             fuel: 500_000_000,
+            mem_stats: MemStats::default(),
+            emu_range: None,
+            classify: wyt_obs::enabled(),
         }
     }
 
     /// Override the instruction budget (default 500 million).
     pub fn set_fuel(&mut self, fuel: u64) {
         self.fuel = fuel;
+    }
+
+    /// Classify accesses in `[lo, hi)` as emulated-stack traffic (used
+    /// when running recompiled images, whose emulated-stack global keeps
+    /// its fixed address). Implies classification even if the obs sink
+    /// was disabled at construction.
+    pub fn set_emu_stack_range(&mut self, lo: u32, hi: u32) {
+        self.emu_range = Some((lo, hi));
+        self.classify = true;
+    }
+
+    #[inline]
+    fn note_mem(&mut self, addr: u32, is_store: bool) {
+        if is_store {
+            self.mem_stats.stores += 1;
+        } else {
+            self.mem_stats.loads += 1;
+        }
+        if !self.classify {
+            return;
+        }
+        let native = addr <= STACK_TOP && addr > STACK_TOP - STACK_CLASSIFY_WINDOW;
+        let emu = matches!(self.emu_range, Some((lo, hi)) if addr >= lo && addr < hi);
+        self.mem_stats.native_slot += native as u64;
+        self.mem_stats.emu_stack += emu as u64;
+        self.mem_stats.stack_total += (native || emu) as u64;
     }
 
     /// Cycles consumed so far.
@@ -260,6 +309,7 @@ impl<'img> Machine<'img> {
             Operand::Imm(i) => ((*i as u32) & size.mask(), 0),
             Operand::Mem(m) => {
                 let a = self.ea(m);
+                self.note_mem(a, false);
                 (self.mem.read_sized(a, size), 2)
             }
         }
@@ -274,6 +324,7 @@ impl<'img> Machine<'img> {
             Operand::Imm(_) => panic!("write to immediate operand"),
             Operand::Mem(m) => {
                 let a = self.ea(m);
+                self.note_mem(a, true);
                 self.mem.write_sized(a, v, size);
                 2
             }
@@ -322,11 +373,13 @@ impl<'img> Machine<'img> {
     fn push(&mut self, v: u32) {
         let sp = self.regs[Reg::Esp.index()].wrapping_sub(4);
         self.regs[Reg::Esp.index()] = sp;
+        self.note_mem(sp, true);
         self.mem.write_u32(sp, v);
     }
 
     fn pop(&mut self) -> u32 {
         let sp = self.regs[Reg::Esp.index()];
+        self.note_mem(sp, false);
         let v = self.mem.read_u32(sp);
         self.regs[Reg::Esp.index()] = sp.wrapping_add(4);
         v
@@ -574,11 +627,13 @@ impl<'img> Machine<'img> {
             }
             Inst::VmovLd { mem } => {
                 let a = self.ea(&mem);
+                self.note_mem(a, false);
                 self.vreg = self.mem.read_u64(a);
                 cost += 2;
             }
             Inst::VmovSt { mem } => {
                 let a = self.ea(&mem);
+                self.note_mem(a, true);
                 self.mem.write_u64(a, self.vreg);
                 cost += 2;
             }
@@ -593,28 +648,44 @@ impl<'img> Machine<'img> {
     /// Run to completion, reporting trace events to `sink`.
     pub fn run_with<S: TraceSink>(&mut self, sink: &mut S) -> RunResult {
         loop {
-            match self.step(sink) {
-                Ok(Status::Running) => {}
-                Ok(Status::Exited(code)) => {
-                    return RunResult {
-                        exit_code: code,
-                        trap: None,
-                        cycles: self.cycles,
-                        inst_count: self.inst_count,
-                        output: std::mem::take(&mut self.io.output),
-                    }
-                }
-                Err(trap) => {
-                    return RunResult {
-                        exit_code: 0,
-                        trap: Some(trap),
-                        cycles: self.cycles,
-                        inst_count: self.inst_count,
-                        output: std::mem::take(&mut self.io.output),
-                    }
-                }
-            }
+            let (exit_code, trap) = match self.step(sink) {
+                Ok(Status::Running) => continue,
+                Ok(Status::Exited(code)) => (code, None),
+                Err(trap) => (0, Some(trap)),
+            };
+            self.flush_obs(trap.as_ref());
+            return RunResult {
+                exit_code,
+                trap,
+                cycles: self.cycles,
+                inst_count: self.inst_count,
+                mem: self.mem_stats,
+                output: std::mem::take(&mut self.io.output),
+            };
         }
+    }
+
+    /// Report run totals and the trap class to the global obs sink.
+    fn flush_obs(&self, trap: Option<&Trap>) {
+        if !wyt_obs::enabled() {
+            return;
+        }
+        wyt_obs::counter("emu.runs", 1);
+        wyt_obs::counter("emu.retired", self.inst_count);
+        wyt_obs::counter("emu.cycles", self.cycles);
+        wyt_obs::counter("emu.loads", self.mem_stats.loads);
+        wyt_obs::counter("emu.stores", self.mem_stats.stores);
+        wyt_obs::counter("emu.stack.native_slot", self.mem_stats.native_slot);
+        wyt_obs::counter("emu.stack.emulated", self.mem_stats.emu_stack);
+        let class = match trap {
+            None => "emu.trap.exit",
+            Some(Trap::OutOfFuel) => "emu.trap.fuel",
+            Some(Trap::DivideError(_)) => "emu.trap.divide",
+            Some(Trap::Aborted) => "emu.trap.abort",
+            Some(Trap::TrapInst { .. }) => "emu.trap.guard",
+            Some(_) => "emu.trap.other",
+        };
+        wyt_obs::counter(class, 1);
     }
 
     /// Run to completion without tracing.

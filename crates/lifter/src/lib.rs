@@ -82,10 +82,21 @@ pub struct Lifted {
 /// # Errors
 /// Returns a [`LiftPipelineError`] if any stage fails.
 pub fn lift_image(img: &Image, inputs: &[Vec<u8>]) -> Result<Lifted, LiftPipelineError> {
-    let (trace, baseline_runs) = trace_image(img, inputs);
-    let cfg = cfg::build_cfg(img, &trace).map_err(LiftPipelineError::Cfg)?;
-    let funcs = funcrec::recover_functions(&cfg).map_err(LiftPipelineError::FuncRec)?;
-    let (module, meta) =
-        translate::translate(img, &cfg, &funcs).map_err(LiftPipelineError::Translate)?;
+    let (trace, baseline_runs) = {
+        let _s = wyt_obs::Span::enter("lift.trace");
+        trace_image(img, inputs)
+    };
+    let cfg = {
+        let _s = wyt_obs::Span::enter("lift.cfg");
+        cfg::build_cfg(img, &trace).map_err(LiftPipelineError::Cfg)?
+    };
+    let funcs = {
+        let _s = wyt_obs::Span::enter("lift.funcrec");
+        funcrec::recover_functions(&cfg).map_err(LiftPipelineError::FuncRec)?
+    };
+    let (module, meta) = {
+        let _s = wyt_obs::Span::enter("lift.translate");
+        translate::translate(img, &cfg, &funcs).map_err(LiftPipelineError::Translate)?
+    };
     Ok(Lifted { module, meta, trace, cfg, funcs, baseline_runs })
 }

@@ -1,0 +1,40 @@
+//! # wyt-obs — zero-dependency observability
+//!
+//! The measurement substrate for the whole recompiler: a lightweight
+//! span/counter API feeding a process-global sink ([`sink`]), structured
+//! per-recompilation telemetry ([`report::PipelineReport`]), and a
+//! dependency-free JSON value type with writer and parser ([`json`]) so
+//! bench runs and CI produce machine-diffable output.
+//!
+//! Design rules, in priority order:
+//!
+//! 1. **Disabled means free.** Every hot-path entry point
+//!    ([`Span::enter`], [`counter`]) first checks one relaxed atomic and
+//!    returns immediately when the sink is off — no clock reads, no lock,
+//!    no allocation. Instrumented crates may therefore call these
+//!    unconditionally.
+//! 2. **No dependencies.** Like `wyt-testkit`, this crate must build
+//!    `--offline` forever; JSON, the monotonic clock wrapper and the
+//!    registry are all in-tree.
+//! 3. **Deterministic reports.** [`report::PipelineReport`] orders every
+//!    collection and can render itself with timings zeroed
+//!    ([`report::PipelineReport::to_json_deterministic`]) so tests can pin
+//!    its JSON byte-for-byte.
+//!
+//! Enabling: call [`set_enabled`] directly, or [`init_from_env`] which
+//! reads the `WYT_OBS` environment variable (`json`, `pretty`, or `1`).
+
+pub mod json;
+pub mod report;
+pub mod sink;
+pub mod span;
+
+pub use json::Json;
+pub use report::{
+    CoverageStats, ExecStats, FuncQuality, IrSize, LiftCounts, MemStats, PipelineReport,
+    QualityStats, StageStats,
+};
+pub use sink::{
+    counter, enabled, init_from_env, reset, set_enabled, snapshot, OutputFormat, Snapshot, SpanRec,
+};
+pub use span::{fmt_ns, mono_ns, Span};

@@ -1,0 +1,454 @@
+//! Structured per-recompilation telemetry: the [`PipelineReport`] that
+//! `wyt_core::recompile` attaches to every `Recompiled`, mirroring the
+//! paper's per-stage evidence (Fig. 7 / Table 1): how long each stage
+//! took, how much IR it created or deleted, what the lifter saw, and how
+//! much of the stack the refinements actually symbolized.
+
+use crate::json::Json;
+use crate::span::fmt_ns;
+
+/// Size of an IR module at a stage boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IrSize {
+    /// Functions.
+    pub funcs: u64,
+    /// Basic blocks across all functions.
+    pub blocks: u64,
+    /// Instructions resident in blocks.
+    pub insts: u64,
+}
+
+impl IrSize {
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("funcs", Json::from(self.funcs)),
+            ("blocks", Json::from(self.blocks)),
+            ("insts", Json::from(self.insts)),
+        ])
+    }
+}
+
+/// One pipeline stage: wall time plus the IR size delta it caused.
+#[derive(Debug, Clone)]
+pub struct StageStats {
+    /// Stage name (`lift`, `vararg`, ..., `lower`).
+    pub name: &'static str,
+    /// Wall-clock nanoseconds.
+    pub wall_ns: u64,
+    /// Module size entering the stage.
+    pub before: IrSize,
+    /// Module size leaving the stage.
+    pub after: IrSize,
+}
+
+impl StageStats {
+    fn to_json(&self, with_timings: bool) -> Json {
+        Json::obj(vec![
+            ("name", Json::from(self.name)),
+            ("wall_ns", Json::from(if with_timings { self.wall_ns } else { 0 })),
+            ("before", self.before.to_json()),
+            ("after", self.after.to_json()),
+        ])
+    }
+}
+
+/// What the lifter observed — the trace/CFG/function-recovery counts that
+/// used to be discarded on the pipeline floor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LiftCounts {
+    /// Distinct traced control-transfer edges.
+    pub trace_edges: u64,
+    /// Distinct traced external-call sites.
+    pub trace_ext_calls: u64,
+    /// Machine CFG blocks reconstructed.
+    pub cfg_blocks: u64,
+    /// Machine CFG edges reconstructed.
+    pub cfg_edges: u64,
+    /// Functions recovered.
+    pub funcs_recovered: u64,
+    /// Tail-call edges identified during function recovery.
+    pub tail_calls: u64,
+}
+
+impl LiftCounts {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("trace_edges", Json::from(self.trace_edges)),
+            ("trace_ext_calls", Json::from(self.trace_ext_calls)),
+            ("cfg_blocks", Json::from(self.cfg_blocks)),
+            ("cfg_edges", Json::from(self.cfg_edges)),
+            ("funcs_recovered", Json::from(self.funcs_recovered)),
+            ("tail_calls", Json::from(self.tail_calls)),
+        ])
+    }
+}
+
+/// Memory-access counters for one execution, classified by address
+/// region. Maintained by both execution engines (`wyt_emu::Machine` and
+/// `wyt_ir::interp::Interp`).
+///
+/// `native_slot` and `emu_stack` are each maintained by their own range
+/// check, and `stack_total` by an independent membership check, so the
+/// identity `stack_total == native_slot + emu_stack` is a real invariant
+/// of the classification — not true by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Accesses to real stack slots (the machine stack, or interpreter
+    /// alloca storage) — symbolized accesses, after recovery.
+    pub native_slot: u64,
+    /// Accesses to the emulated-stack region — residual un-symbolized
+    /// stack traffic.
+    pub emu_stack: u64,
+    /// Accesses that hit either stack region.
+    pub stack_total: u64,
+}
+
+impl MemStats {
+    /// Fold another run's counters into this one.
+    pub fn merge(&mut self, other: &MemStats) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.native_slot += other.native_slot;
+        self.emu_stack += other.emu_stack;
+        self.stack_total += other.stack_total;
+    }
+
+    /// Loads plus stores.
+    pub fn accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("loads", Json::from(self.loads)),
+            ("stores", Json::from(self.stores)),
+            ("native_slot", Json::from(self.native_slot)),
+            ("emu_stack", Json::from(self.emu_stack)),
+            ("stack_total", Json::from(self.stack_total)),
+        ])
+    }
+}
+
+/// Aggregate execution telemetry for a set of runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    /// Runs aggregated.
+    pub runs: u64,
+    /// Instructions retired / interpreter steps.
+    pub retired: u64,
+    /// Memory counters summed over the runs.
+    pub mem: MemStats,
+}
+
+impl ExecStats {
+    /// Fold one run into the aggregate.
+    pub fn add_run(&mut self, retired: u64, mem: &MemStats) {
+        self.runs += 1;
+        self.retired += retired;
+        self.mem.merge(mem);
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("runs", Json::from(self.runs)),
+            ("retired", Json::from(self.retired)),
+            ("mem", self.mem.to_json()),
+        ])
+    }
+}
+
+/// Symbolization coverage, measured by re-running the symbolized (but not
+/// yet re-optimized) module on the traced inputs: every dynamic stack
+/// reference is either an alloca access (symbolized) or an access that
+/// still goes through the emulated-stack global (residual).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoverageStats {
+    /// Dynamic stack references hitting recovered allocas.
+    pub symbolized: u64,
+    /// Dynamic stack references still hitting the emulated stack.
+    pub residual: u64,
+    /// All dynamic stack references observed (independent count).
+    pub total: u64,
+    /// Traced inputs replayed.
+    pub runs: u64,
+}
+
+impl CoverageStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("symbolized", Json::from(self.symbolized)),
+            ("residual", Json::from(self.residual)),
+            ("total", Json::from(self.total)),
+            ("runs", Json::from(self.runs)),
+        ])
+    }
+}
+
+/// Recovery quality for one lifted function (paper Fig. 7's raw
+/// material).
+#[derive(Debug, Clone)]
+pub struct FuncQuality {
+    /// IR function index.
+    pub func: u32,
+    /// Function name.
+    pub name: String,
+    /// Callee-saved registers recovered for this function.
+    pub saved_regs: u64,
+    /// Stack variables recovered into the layout.
+    pub vars: u64,
+    /// Stack-passed arguments in the recovered signature.
+    pub stack_args: u64,
+    /// Register-passed arguments in the recovered signature.
+    pub reg_args: u64,
+}
+
+impl FuncQuality {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("func", Json::from(u64::from(self.func))),
+            ("name", Json::from(self.name.as_str())),
+            ("saved_regs", Json::from(self.saved_regs)),
+            ("vars", Json::from(self.vars)),
+            ("stack_args", Json::from(self.stack_args)),
+            ("reg_args", Json::from(self.reg_args)),
+        ])
+    }
+}
+
+/// Recovery-quality metrics mirroring the paper's evaluation axes.
+#[derive(Debug, Clone, Default)]
+pub struct QualityStats {
+    /// External call sites whose signatures (incl. variadic) were
+    /// recovered and rewritten to explicit arguments.
+    pub vararg_sites: u64,
+    /// Direct stack references folded to canonical `sp0 + offset` base
+    /// pointers.
+    pub base_ptrs_folded: u64,
+    /// Stack variables recovered across all functions.
+    pub vars_recovered: u64,
+    /// Instructions taking the emulated-stack global's address before
+    /// symbolization.
+    pub emu_refs_before: u64,
+    /// ... and remaining after symbolization (residual roots).
+    pub emu_refs_after: u64,
+    /// Per-function breakdown, ordered by function index.
+    pub funcs: Vec<FuncQuality>,
+    /// Dynamic symbolization coverage (collected only when the obs sink
+    /// is enabled — it costs one replay per traced input).
+    pub coverage: Option<CoverageStats>,
+}
+
+impl QualityStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("vararg_sites", Json::from(self.vararg_sites)),
+            ("base_ptrs_folded", Json::from(self.base_ptrs_folded)),
+            ("vars_recovered", Json::from(self.vars_recovered)),
+            ("emu_refs_before", Json::from(self.emu_refs_before)),
+            ("emu_refs_after", Json::from(self.emu_refs_after)),
+            (
+                "coverage",
+                match &self.coverage {
+                    Some(c) => c.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            ("funcs", Json::Arr(self.funcs.iter().map(FuncQuality::to_json).collect())),
+        ])
+    }
+}
+
+/// Everything one recompilation measured about itself.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Recompilation mode (`NoSymbolize` / `Wytiwyg`).
+    pub mode: String,
+    /// Re-optimization level (`Clean` / `Full`).
+    pub opt: String,
+    /// Stages in execution order.
+    pub stages: Vec<StageStats>,
+    /// Lifting-stage observation counts.
+    pub lift: LiftCounts,
+    /// Recovery-quality metrics.
+    pub quality: QualityStats,
+    /// Telemetry of the refinement executions driven by the pipeline
+    /// itself (vararg observation, bounds tracing, coverage replay).
+    pub exec: ExecStats,
+}
+
+impl PipelineReport {
+    /// Look up a stage by name.
+    pub fn stage(&self, name: &str) -> Option<&StageStats> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Sum of per-stage wall times.
+    pub fn total_wall_ns(&self) -> u64 {
+        self.stages.iter().map(|s| s.wall_ns).sum()
+    }
+
+    /// Render as JSON. With `with_timings == false` every wall-clock
+    /// field is zeroed, making the output deterministic for a fixed
+    /// program and input set.
+    pub fn to_json(&self, with_timings: bool) -> Json {
+        Json::obj(vec![
+            ("mode", Json::from(self.mode.as_str())),
+            ("opt", Json::from(self.opt.as_str())),
+            ("total_wall_ns", Json::from(if with_timings { self.total_wall_ns() } else { 0 })),
+            ("stages", Json::Arr(self.stages.iter().map(|s| s.to_json(with_timings)).collect())),
+            ("lift", self.lift.to_json()),
+            ("quality", self.quality.to_json()),
+            ("exec", self.exec.to_json()),
+        ])
+    }
+
+    /// [`PipelineReport::to_json`] with timings zeroed: byte-for-byte
+    /// reproducible for a fixed program and input set (snapshot tests pin
+    /// this form).
+    pub fn to_json_deterministic(&self) -> Json {
+        self.to_json(false)
+    }
+
+    /// Human-readable stage tree.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "pipeline [{} / {}] — {} total\n",
+            self.mode,
+            self.opt,
+            fmt_ns(self.total_wall_ns())
+        ));
+        let n = self.stages.len();
+        for (i, s) in self.stages.iter().enumerate() {
+            let tee = if i + 1 == n { "└─" } else { "├─" };
+            let delta = s.after.insts as i64 - s.before.insts as i64;
+            out.push_str(&format!(
+                "{tee} {:<12} {:>10}   insts {:>5} → {:<5} ({:+})   blocks {} → {}   funcs {} → {}\n",
+                s.name,
+                fmt_ns(s.wall_ns),
+                s.before.insts,
+                s.after.insts,
+                delta,
+                s.before.blocks,
+                s.after.blocks,
+                s.before.funcs,
+                s.after.funcs,
+            ));
+        }
+        let l = &self.lift;
+        out.push_str(&format!(
+            "lift: {} trace edges, {} ext-call sites, {} cfg blocks / {} edges, {} funcs ({} tail calls)\n",
+            l.trace_edges, l.trace_ext_calls, l.cfg_blocks, l.cfg_edges, l.funcs_recovered, l.tail_calls
+        ));
+        let q = &self.quality;
+        out.push_str(&format!(
+            "quality: {} vararg sites, {} base ptrs folded, {} vars, emu-stack roots {} → {}\n",
+            q.vararg_sites,
+            q.base_ptrs_folded,
+            q.vars_recovered,
+            q.emu_refs_before,
+            q.emu_refs_after
+        ));
+        for f in &q.funcs {
+            out.push_str(&format!(
+                "  fn {:<20} saved regs {}, vars {}, args {}+{}r\n",
+                f.name, f.saved_regs, f.vars, f.stack_args, f.reg_args
+            ));
+        }
+        if let Some(c) = &q.coverage {
+            out.push_str(&format!(
+                "coverage: {} symbolized + {} residual = {} stack refs over {} run(s)\n",
+                c.symbolized, c.residual, c.total, c.runs
+            ));
+        }
+        if self.exec.runs > 0 {
+            let m = &self.exec.mem;
+            out.push_str(&format!(
+                "exec: {} run(s), {} retired, {} loads / {} stores ({} native-slot, {} emu-stack)\n",
+                self.exec.runs, self.exec.retired, m.loads, m.stores, m.native_slot, m.emu_stack
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PipelineReport {
+        PipelineReport {
+            mode: "Wytiwyg".into(),
+            opt: "Full".into(),
+            stages: vec![
+                StageStats {
+                    name: "lift",
+                    wall_ns: 1000,
+                    before: IrSize::default(),
+                    after: IrSize { funcs: 2, blocks: 5, insts: 40 },
+                },
+                StageStats {
+                    name: "optimize",
+                    wall_ns: 2000,
+                    before: IrSize { funcs: 2, blocks: 5, insts: 40 },
+                    after: IrSize { funcs: 2, blocks: 4, insts: 22 },
+                },
+            ],
+            lift: LiftCounts { trace_edges: 10, funcs_recovered: 2, ..Default::default() },
+            quality: QualityStats {
+                vararg_sites: 1,
+                coverage: Some(CoverageStats { symbolized: 9, residual: 1, total: 10, runs: 1 }),
+                ..Default::default()
+            },
+            exec: ExecStats::default(),
+        }
+    }
+
+    #[test]
+    fn deterministic_json_zeroes_timings() {
+        let r = sample();
+        let j = r.to_json_deterministic();
+        assert_eq!(j.get("total_wall_ns").unwrap().as_u64(), Some(0));
+        let stages = j.get("stages").unwrap().as_arr().unwrap();
+        assert_eq!(stages[0].get("wall_ns").unwrap().as_u64(), Some(0));
+        // ...but the structural counts survive.
+        assert_eq!(stages[1].get("after").unwrap().get("insts").unwrap().as_u64(), Some(22));
+        // And the timed form keeps them.
+        let timed = r.to_json(true);
+        assert_eq!(timed.get("total_wall_ns").unwrap().as_u64(), Some(3000));
+    }
+
+    #[test]
+    fn json_roundtrips_through_parser() {
+        let r = sample();
+        let text = r.to_json(true).to_string();
+        let parsed = crate::json::parse(&text).unwrap();
+        assert_eq!(parsed.get("mode").unwrap().as_str(), Some("Wytiwyg"));
+        assert_eq!(
+            parsed.get("quality").unwrap().get("coverage").unwrap().get("total").unwrap().as_u64(),
+            Some(10)
+        );
+    }
+
+    #[test]
+    fn pretty_render_mentions_each_stage() {
+        let text = sample().render_pretty();
+        assert!(text.contains("lift"));
+        assert!(text.contains("optimize"));
+        assert!(text.contains("coverage: 9 symbolized + 1 residual"));
+    }
+
+    #[test]
+    fn memstats_merge_and_accessors() {
+        let mut a = MemStats { loads: 1, stores: 2, native_slot: 1, emu_stack: 1, stack_total: 2 };
+        let b = MemStats { loads: 3, stores: 4, native_slot: 0, emu_stack: 2, stack_total: 2 };
+        a.merge(&b);
+        assert_eq!(a.accesses(), 10);
+        assert_eq!(a.stack_total, 4);
+        assert_eq!(a.native_slot + a.emu_stack, a.stack_total);
+    }
+}

@@ -1,0 +1,197 @@
+//! The process-global sink: one enabled flag, one registry of counters
+//! and span records.
+//!
+//! The flag is a single relaxed atomic so instrumentation sites in hot
+//! loops (the emulator's fetch/execute loop, the IR interpreter) pay one
+//! load and a predictable branch when observability is off. The registry
+//! behind it is a plain mutex: it is only ever touched when enabled, and
+//! the instrumented pipeline is effectively single-threaded.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    spans: Vec<SpanRec>,
+}
+
+static REGISTRY: Mutex<Registry> =
+    Mutex::new(Registry { counters: BTreeMap::new(), spans: Vec::new() });
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Span name as passed to [`crate::Span::enter`].
+    pub name: &'static str,
+    /// Start, nanoseconds since the process epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth at entry (0 = top level).
+    pub depth: u32,
+}
+
+/// Is the global sink collecting?
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn the global sink on or off.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Requested output rendering, from the `WYT_OBS` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// `WYT_OBS` unset or unrecognized: sink stays off.
+    Off,
+    /// `WYT_OBS=json`: machine-readable reports.
+    Json,
+    /// `WYT_OBS=pretty` (or `1`): human-readable tree.
+    Pretty,
+}
+
+/// Read `WYT_OBS`, enable the sink accordingly, and return the requested
+/// format (`json` → JSON, `pretty`/`1` → tree, anything else → off).
+pub fn init_from_env() -> OutputFormat {
+    let fmt = match std::env::var("WYT_OBS").as_deref() {
+        Ok("json") => OutputFormat::Json,
+        Ok("pretty") | Ok("1") => OutputFormat::Pretty,
+        _ => OutputFormat::Off,
+    };
+    set_enabled(fmt != OutputFormat::Off);
+    fmt
+}
+
+/// Add `delta` to the named counter (no-op when disabled).
+#[inline]
+pub fn counter(name: &str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    let mut reg = REGISTRY.lock().unwrap();
+    *reg.counters.entry(name.to_string()).or_insert(0) += delta;
+}
+
+/// Record a completed span (called by [`crate::Span`]'s drop).
+pub(crate) fn record_span(name: &'static str, start_ns: u64, dur_ns: u64, depth: u32) {
+    if !enabled() {
+        return;
+    }
+    REGISTRY.lock().unwrap().spans.push(SpanRec { name, start_ns, dur_ns, depth });
+}
+
+/// A copy of everything the sink has collected.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter totals, ordered by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Completed spans in completion order.
+    pub spans: Vec<SpanRec>,
+}
+
+impl Snapshot {
+    /// Aggregate spans by name: `name → (total ns, count)`, ordered by
+    /// name.
+    pub fn span_totals(&self) -> BTreeMap<&'static str, (u64, u64)> {
+        let mut out: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+        for s in &self.spans {
+            let e = out.entry(s.name).or_insert((0, 0));
+            e.0 += s.dur_ns;
+            e.1 += 1;
+        }
+        out
+    }
+
+    /// Render counters and aggregated spans as a JSON object.
+    pub fn to_json(&self) -> crate::Json {
+        use crate::Json;
+        let counters =
+            self.counters.iter().map(|(k, &v)| (k.clone(), Json::from(v))).collect::<Vec<_>>();
+        let spans = self
+            .span_totals()
+            .into_iter()
+            .map(|(name, (ns, n))| {
+                (
+                    name.to_string(),
+                    Json::obj(vec![("total_ns", Json::from(ns)), ("count", Json::from(n))]),
+                )
+            })
+            .collect::<Vec<_>>();
+        Json::Obj(vec![
+            ("counters".into(), Json::Obj(counters)),
+            ("spans".into(), Json::Obj(spans)),
+        ])
+    }
+}
+
+/// Copy out the current registry contents.
+pub fn snapshot() -> Snapshot {
+    let reg = REGISTRY.lock().unwrap();
+    Snapshot { counters: reg.counters.clone(), spans: reg.spans.clone() }
+}
+
+/// Clear the registry (the enabled flag is untouched).
+pub fn reset() {
+    let mut reg = REGISTRY.lock().unwrap();
+    reg.counters.clear();
+    reg.spans.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Span;
+
+    /// The whole suite shares the process-global sink, so the tests that
+    /// poke it run under one lock to avoid cross-talk.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let _l = TEST_LOCK.lock().unwrap();
+        set_enabled(false);
+        reset();
+        counter("x", 5);
+        {
+            let _s = Span::enter("quiet");
+        }
+        let snap = snapshot();
+        assert!(snap.counters.is_empty(), "disabled counter must not accumulate");
+        assert!(snap.spans.is_empty(), "disabled span must not record");
+    }
+
+    #[test]
+    fn enabled_sink_accumulates_and_resets() {
+        let _l = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        counter("a", 2);
+        counter("a", 3);
+        counter("b", 1);
+        {
+            let _outer = Span::enter("outer");
+            let _inner = Span::enter("inner");
+        }
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap.counters.get("a"), Some(&5));
+        assert_eq!(snap.counters.get("b"), Some(&1));
+        assert_eq!(snap.spans.len(), 2);
+        // Inner completes first and sits one level deeper.
+        assert_eq!(snap.spans[0].name, "inner");
+        assert_eq!(snap.spans[0].depth, 1);
+        assert_eq!(snap.spans[1].name, "outer");
+        assert_eq!(snap.spans[1].depth, 0);
+        assert!(snap.spans[1].dur_ns >= snap.spans[0].dur_ns);
+        let totals = snap.span_totals();
+        assert_eq!(totals.get("outer").map(|t| t.1), Some(1));
+        reset();
+        assert!(snapshot().counters.is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! The monotonic clock wrapper and the RAII span guard.
+
+use crate::sink;
+use std::cell::Cell;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Process-global monotonic epoch; every timestamp in the sink is
+/// nanoseconds since the first observation, so spans from different
+/// threads are directly comparable.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process-global monotonic epoch.
+pub fn mono_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+thread_local! {
+    /// Nesting depth of live spans on this thread (for tree rendering).
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// An RAII timing span. [`Span::enter`] starts it, dropping it records
+/// `(name, start, duration, depth)` into the global sink.
+///
+/// When the sink is disabled the guard is inert: no clock read, no lock,
+/// just one relaxed atomic load and a branch.
+#[must_use = "a span measures until it is dropped"]
+pub struct Span {
+    name: &'static str,
+    /// `None` when the sink was disabled at entry.
+    start_ns: Option<u64>,
+    depth: u32,
+}
+
+impl Span {
+    /// Start a span named `name` (no-op when the sink is disabled).
+    pub fn enter(name: &'static str) -> Span {
+        if !sink::enabled() {
+            return Span { name, start_ns: None, depth: 0 };
+        }
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        Span { name, start_ns: Some(mono_ns()), depth }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start_ns else { return };
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let dur = mono_ns().saturating_sub(start);
+        sink::record_span(self.name, start, dur, self.depth);
+    }
+}
+
+/// Human-scale nanosecond formatting (ns/µs/ms/s with 2 decimals).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mono_clock_is_monotonic() {
+        let a = mono_ns();
+        let b = mono_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(1_500), "1.50 µs");
+        assert_eq!(fmt_ns(2_000_000), "2.00 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00 s");
+    }
+}

@@ -32,32 +32,50 @@ pub enum OptLevel {
     Full,
 }
 
+/// Run `pass` under an observability span, counting rounds that changed
+/// the module.
+fn timed(name: &'static str, m: &mut Module, pass: fn(&mut Module) -> bool) -> bool {
+    let _s = wyt_obs::Span::enter(name);
+    let changed = pass(m);
+    if changed && wyt_obs::enabled() {
+        wyt_obs::counter(&format!("{name}.changed"), 1);
+    }
+    changed
+}
+
 /// Run the pipeline to a bounded fixpoint.
 pub fn optimize(m: &mut Module, level: OptLevel) {
     let rounds = 8;
     for _ in 0..rounds {
+        wyt_obs::counter("opt.rounds", 1);
         let mut changed = false;
-        changed |= fold::run(m);
-        changed |= cse::run(m);
-        changed |= dce::run(m);
-        changed |= simplify_cfg::run(m);
+        changed |= timed("opt.fold", m, fold::run);
+        changed |= timed("opt.cse", m, cse::run);
+        changed |= timed("opt.dce", m, dce::run);
+        changed |= timed("opt.simplify_cfg", m, simplify_cfg::run);
         if level == OptLevel::Full {
-            changed |= memory::run(m);
-            changed |= dce::run(m);
+            changed |= timed("opt.memory", m, memory::run);
+            changed |= timed("opt.dce", m, dce::run);
         }
         if !changed {
             break;
         }
     }
-    if level == OptLevel::Full && inline::run(m, &InlineLimits::default()) {
+    let inlined = level == OptLevel::Full && {
+        let _s = wyt_obs::Span::enter("opt.inline");
+        inline::run(m, &InlineLimits::default())
+    };
+    if inlined {
+        wyt_obs::counter("opt.inline.changed", 1);
         for _ in 0..rounds {
+            wyt_obs::counter("opt.rounds", 1);
             let mut changed = false;
-            changed |= fold::run(m);
-            changed |= cse::run(m);
-            changed |= dce::run(m);
-            changed |= simplify_cfg::run(m);
-            changed |= memory::run(m);
-            changed |= dce::run(m);
+            changed |= timed("opt.fold", m, fold::run);
+            changed |= timed("opt.cse", m, cse::run);
+            changed |= timed("opt.dce", m, dce::run);
+            changed |= timed("opt.simplify_cfg", m, simplify_cfg::run);
+            changed |= timed("opt.memory", m, memory::run);
+            changed |= timed("opt.dce", m, dce::run);
             if !changed {
                 break;
             }

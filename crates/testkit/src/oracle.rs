@@ -228,8 +228,21 @@ mod tests {
     #[test]
     fn trap_classes_partition_both_engines_the_same_way() {
         // The pairs that must coincide for the oracle to be sound.
-        let r = |trap| RunResult { exit_code: 0, trap, cycles: 0, inst_count: 0, output: vec![] };
-        let o = |error| InterpOutput { exit_code: 0, output: vec![], error, steps: 0 };
+        let r = |trap| RunResult {
+            exit_code: 0,
+            trap,
+            cycles: 0,
+            inst_count: 0,
+            mem: Default::default(),
+            output: vec![],
+        };
+        let o = |error| InterpOutput {
+            exit_code: 0,
+            output: vec![],
+            error,
+            steps: 0,
+            mem: Default::default(),
+        };
         assert_eq!(classify_machine(&r(None)), classify_interp(&o(None)));
         assert_eq!(
             classify_machine(&r(Some(Trap::OutOfFuel))),

@@ -14,6 +14,9 @@ cargo test -q --offline --workspace
 echo "==> bench targets compile"
 cargo bench -p wyt-bench --offline --no-run
 
+echo "==> observability report smoke test"
+WYT_OBS=json cargo run --release --offline -q -p wyt-bench --bin report -- --check >/dev/null
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

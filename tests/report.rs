@@ -1,0 +1,159 @@
+//! Observability-layer integration tests: the [`wyt_obs::PipelineReport`]
+//! attached to every recompilation must be deterministic for a fixed
+//! program and input set, its coverage counts must partition the dynamic
+//! stack references, and both execution engines must agree on the
+//! memory-classification invariant.
+//!
+//! The obs sink is process-global, so tests that toggle it serialize on
+//! one lock (the rest of this binary's tests never enable it).
+
+use std::sync::Mutex;
+use wyt_core::{recompile, Mode, Recompiled};
+use wyt_emu::Machine;
+use wyt_lifter::{EMU_STACK_BASE, EMU_STACK_SIZE};
+use wyt_minicc::{compile, Profile};
+
+static SINK_LOCK: Mutex<()> = Mutex::new(());
+
+const SRC: &str = r#"
+int sq(int x) { return x * x; }
+int main() {
+    int i;
+    int acc = 0;
+    for (i = 0; i < 9; i++) acc += sq(i) - i / 3;
+    printf("%d\n", acc);
+    return acc & 0x7f;
+}
+"#;
+
+fn recompiled(mode: Mode) -> Recompiled {
+    let img = compile(SRC, &Profile::gcc44_o3()).unwrap().stripped();
+    recompile(&img, &[vec![]], mode).unwrap()
+}
+
+#[test]
+fn wytiwyg_report_is_deterministic_and_pins_stage_schema() {
+    let _l = SINK_LOCK.lock().unwrap();
+    wyt_obs::set_enabled(false);
+
+    let a = recompiled(Mode::Wytiwyg).report;
+    let b = recompiled(Mode::Wytiwyg).report;
+    assert_eq!(
+        a.to_json_deterministic().to_string(),
+        b.to_json_deterministic().to_string(),
+        "timing-stripped report must be byte-identical for a fixed program"
+    );
+
+    let stages: Vec<&str> = a.stages.iter().map(|s| s.name).collect();
+    assert_eq!(
+        stages,
+        [
+            "lift",
+            "vararg",
+            "regsave",
+            "spfold",
+            "bounds",
+            "layout",
+            "symbolize",
+            "optimize",
+            "dead_cell_stores",
+            "optimize2",
+            "lower"
+        ],
+        "Wytiwyg stage list is part of the report contract"
+    );
+    for s in &a.stages {
+        assert!(s.after.insts > 0 || s.before.insts > 0, "stage {} saw an empty module", s.name);
+    }
+    // The optimizer must shrink the symbolized module.
+    let sym = a.stage("symbolize").unwrap().after.insts;
+    let opt = a.stage("optimize2").unwrap().after.insts;
+    assert!(opt < sym, "re-optimization must shrink symbolized IR ({opt} !< {sym})");
+    // Lift counts are populated, not discarded.
+    assert!(a.lift.trace_edges > 0 && a.lift.cfg_blocks > 0 && a.lift.funcs_recovered > 0);
+    // Quality metrics see the printf call and the recovered frame.
+    assert!(a.quality.vararg_sites >= 1, "printf site must be recovered");
+    assert!(a.quality.vars_recovered >= 1);
+    assert!(!a.quality.funcs.is_empty());
+    // With the sink disabled, the coverage replay must not have run.
+    assert!(a.quality.coverage.is_none(), "coverage costs a replay; it is sink-gated");
+    assert_eq!(a.exec.runs, 0);
+}
+
+#[test]
+fn nosymbolize_report_keeps_emulated_stack_roots() {
+    let _l = SINK_LOCK.lock().unwrap();
+    wyt_obs::set_enabled(false);
+
+    let r = recompiled(Mode::NoSymbolize).report;
+    let stages: Vec<&str> = r.stages.iter().map(|s| s.name).collect();
+    assert_eq!(stages, ["lift", "optimize", "lower"]);
+    assert!(
+        r.quality.emu_refs_before > 0 && r.quality.emu_refs_after > 0,
+        "without symbolization the optimizer cannot remove emulated-stack roots \
+         ({} -> {})",
+        r.quality.emu_refs_before,
+        r.quality.emu_refs_after
+    );
+}
+
+#[test]
+fn coverage_counts_partition_stack_references() {
+    let _l = SINK_LOCK.lock().unwrap();
+    wyt_obs::set_enabled(true);
+    wyt_obs::reset();
+
+    let a = recompiled(Mode::Wytiwyg).report;
+    let b = recompiled(Mode::Wytiwyg).report;
+    wyt_obs::set_enabled(false);
+    wyt_obs::reset();
+
+    let ca = a.quality.coverage.expect("enabled sink must collect coverage");
+    let cb = b.quality.coverage.unwrap();
+    assert_eq!(
+        (ca.symbolized, ca.residual, ca.total, ca.runs),
+        (cb.symbolized, cb.residual, cb.total, cb.runs),
+        "coverage replay is deterministic"
+    );
+    assert_eq!(
+        ca.symbolized + ca.residual,
+        ca.total,
+        "symbolized + residual must equal all observed stack references"
+    );
+    assert!(ca.symbolized > 0, "the sample's locals must symbolize");
+    assert_eq!(
+        a.quality.emu_refs_after, 0,
+        "full symbolization leaves no static emulated-stack roots"
+    );
+    // The exec aggregate mirrors the replay.
+    assert_eq!(a.exec.runs, ca.runs);
+    assert_eq!(a.exec.mem.stack_total, ca.total);
+    assert!(a.exec.retired > 0);
+}
+
+#[test]
+fn machine_classification_agrees_with_partition_invariant() {
+    let _l = SINK_LOCK.lock().unwrap();
+    wyt_obs::set_enabled(false);
+
+    let img = compile(SRC, &Profile::gcc44_o3()).unwrap().stripped();
+    for mode in [Mode::NoSymbolize, Mode::Wytiwyg] {
+        let out = recompile(&img, &[vec![]], mode).unwrap();
+        let mut m = Machine::new(&out.image, vec![]);
+        m.set_emu_stack_range(EMU_STACK_BASE, EMU_STACK_BASE + EMU_STACK_SIZE);
+        let r = m.run();
+        assert!(r.ok(), "{mode:?}: {:?}", r.trap);
+        assert_eq!(
+            r.mem.native_slot + r.mem.emu_stack,
+            r.mem.stack_total,
+            "{mode:?}: the two stack windows are disjoint and exhaustive"
+        );
+        assert!(r.mem.stack_total > 0, "{mode:?}: the program uses its stack");
+        match mode {
+            // The emulated stack survives recompilation without symbols.
+            Mode::NoSymbolize => assert!(r.mem.emu_stack > 0, "residual traffic expected"),
+            // Symbolized code runs on the real machine stack.
+            Mode::Wytiwyg => assert!(r.mem.native_slot > 0, "symbolized traffic expected"),
+        }
+    }
+}
