@@ -16,7 +16,7 @@
 //! cargo run --release -p wyt-bench --bin ablation [profile]
 //! ```
 
-use wyt_bench::{build_input, emit_bench_json, geomean, native_cycles, ratio_json};
+use wyt_bench::{build_input, emit_bench_json, geomean, native_cycles, ratio_json, timed_grid};
 use wyt_core::{recompile_with, validate, Mode};
 use wyt_emu::run_image;
 use wyt_minicc::Profile;
@@ -34,14 +34,6 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!("Ablation: contribution of recovery vs. unlocked optimization");
-    println!("(inputs: {}; ratios to native; lower is better)\n", profile.name);
-    println!(
-        "{:<12} {:>12} {:>12} {:>12} {:>12}",
-        "benchmark", "nosym+clean", "nosym+full", "wyt+clean", "wyt+full"
-    );
-    println!("{}", "-".repeat(66));
-
     let variants = [
         (Mode::NoSymbolize, OptLevel::Clean),
         (Mode::NoSymbolize, OptLevel::Full),
@@ -49,14 +41,17 @@ fn main() {
         (Mode::Wytiwyg, OptLevel::Full),
     ];
     let variant_names = ["nosym+clean", "nosym+full", "wyt+clean", "wyt+full"];
-    let mut geo = vec![Vec::new(); variants.len()];
-    for bench in wyt_spec::suite() {
-        let img = build_input(&bench, &profile);
-        let native = native_cycles(&img, &bench);
-        let mut cells = Vec::new();
-        let mut cells_json = Vec::new();
-        for (k, (mode, opt)) in variants.iter().enumerate() {
-            let cell = (|| -> Result<f64, String> {
+    let suite = wyt_spec::suite();
+
+    // One job per benchmark row: the input binary is built (and its
+    // native cycles measured) once, then all four pipeline variants run
+    // against it.
+    let (measured, par) = timed_grid(&suite, |_, bench| {
+        let img = build_input(bench, &profile);
+        let native = native_cycles(&img, bench);
+        let cells: Vec<Result<f64, String>> = variants
+            .iter()
+            .map(|(mode, opt)| {
                 let stripped = img.stripped();
                 let inputs = bench.trace_inputs();
                 let out =
@@ -67,9 +62,27 @@ fn main() {
                     return Err(format!("{:?}", r.trap));
                 }
                 Ok(r.cycles as f64 / native as f64)
-            })();
+            })
+            .collect();
+        cells
+    });
+
+    println!("Ablation: contribution of recovery vs. unlocked optimization");
+    println!("(inputs: {}; ratios to native; lower is better)\n", profile.name);
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "benchmark", "nosym+clean", "nosym+full", "wyt+clean", "wyt+full"
+    );
+    println!("{}", "-".repeat(66));
+
+    let mut geo = vec![Vec::new(); variants.len()];
+    for (bench, row) in suite.iter().zip(&measured) {
+        let mut cells = Vec::new();
+        let mut cells_json = Vec::new();
+        for (k, cell) in row.iter().enumerate() {
             match cell {
                 Ok(x) => {
+                    let x = *x;
                     geo[k].push(x);
                     cells.push(format!("{x:.2}"));
                     cells_json.push((variant_names[k], ratio_json(Some(x))));
@@ -84,9 +97,9 @@ fn main() {
             "{:<12} {:>12} {:>12} {:>12} {:>12}",
             bench.name, cells[0], cells[1], cells[2], cells[3]
         );
-        let mut row = vec![("benchmark", Json::from(bench.name))];
-        row.extend(cells_json);
-        rows_json.push(Json::obj(row));
+        let mut fields = vec![("benchmark", Json::from(bench.name))];
+        fields.extend(cells_json);
+        rows_json.push(Json::obj(fields));
     }
     println!("{}", "-".repeat(66));
     print!("{:<12}", "geomean");
@@ -100,6 +113,6 @@ fn main() {
 
     let body =
         Json::obj(vec![("profile", Json::from(profile.name)), ("rows", Json::Arr(rows_json))]);
-    let path = emit_bench_json("ablation", body);
+    let path = emit_bench_json("ablation", body, &par);
     println!("\nwrote {}", path.display());
 }

@@ -9,11 +9,18 @@
 
 use wyt_bench::{
     build_input, emit_bench_json, geomean, native_cycles, ratio_json, recompiled_cycles,
-    secondwrite_cycles,
+    secondwrite_cycles, timed_grid,
 };
 use wyt_core::Mode;
 use wyt_minicc::Profile;
 use wyt_obs::Json;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    Native,
+    Wytiwyg,
+    SecondWrite,
+}
 
 fn main() {
     wyt_obs::set_enabled(true);
@@ -30,44 +37,47 @@ fn main() {
         ("GCC 4.4 -fno-pic *".into(), Profile::gcc44_o3_nopic(), Kind::Native),
         ("GCC 4.4 -fno-pic ‡".into(), Profile::gcc44_o3_nopic(), Kind::SecondWrite),
     ];
+    let suite = wyt_spec::suite();
 
-    #[derive(Clone, Copy, PartialEq)]
-    enum Kind {
-        Native,
-        Wytiwyg,
-        SecondWrite,
-    }
+    // The series×benchmark grid, one job per figure cell. Row 0 ("GCC
+    // 12.2 -O3 *") doubles as the normalization baseline, so no separate
+    // baseline sweep is needed.
+    let jobs: Vec<(usize, usize)> =
+        (0..series.len()).flat_map(|si| (0..suite.len()).map(move |bi| (si, bi))).collect();
+    let (cells, par) = timed_grid(&jobs, |_, &(si, bi)| -> Result<u64, String> {
+        let (_, profile, kind) = &series[si];
+        let b = &suite[bi];
+        let img = build_input(b, profile);
+        match kind {
+            Kind::Native => Ok(native_cycles(&img, b)),
+            Kind::Wytiwyg => recompiled_cycles(&img, b, Mode::Wytiwyg),
+            Kind::SecondWrite => secondwrite_cycles(&img, b),
+        }
+    });
 
     println!("Figure 6: runtime normalized to native GCC 12.2 -O3 (lower is better)");
     println!("(* native input binary, † WYTIWYG recompiled, ‡ SecondWrite recompiled)\n");
 
-    let suite = wyt_spec::suite();
     print!("{:<20}", "series");
     for b in &suite {
         print!(" {:>7}", &b.name[..b.name.len().min(7)]);
     }
     println!(" {:>7}", "geomean");
 
-    // Baselines: native GCC 12.2 -O3 cycles per benchmark.
-    let baselines: Vec<u64> = suite
-        .iter()
-        .map(|b| {
-            let img = build_input(b, &Profile::gcc12_o3());
-            native_cycles(&img, b)
-        })
-        .collect();
+    // Baselines: native GCC 12.2 -O3 cycles per benchmark (series row 0;
+    // native runs panic on traps, so these cells are always Ok).
+    let baselines: Vec<u64> =
+        (0..suite.len()).map(|bi| *cells[bi].as_ref().expect("native baseline ran")).collect();
 
-    for (label, profile, kind) in series {
-        let mut row: Vec<Option<f64>> = Vec::new();
-        for (b, &base) in suite.iter().zip(&baselines) {
-            let img = build_input(b, &profile);
-            let cycles = match kind {
-                Kind::Native => Ok(native_cycles(&img, b)),
-                Kind::Wytiwyg => recompiled_cycles(&img, b, Mode::Wytiwyg),
-                Kind::SecondWrite => secondwrite_cycles(&img, b),
-            };
-            row.push(cycles.ok().map(|c| c as f64 / base as f64));
-        }
+    for (si, (label, _, _)) in series.iter().enumerate() {
+        let row: Vec<Option<f64>> = suite
+            .iter()
+            .enumerate()
+            .map(|(bi, _)| {
+                let base = baselines[bi];
+                cells[si * suite.len() + bi].as_ref().ok().map(|&c| c as f64 / base as f64)
+            })
+            .collect();
         print!("{label:<20}");
         for v in &row {
             match v {
@@ -91,6 +101,6 @@ fn main() {
     println!("GCC 12.2 baseline; -O0 native is far above; GCC 4.4 † dips below");
     println!("GCC 4.4 *; ‡ exists only for the non-PIC legacy build and trails †.");
 
-    let path = emit_bench_json("figure6", Json::Arr(rows_json));
+    let path = emit_bench_json("figure6", Json::Arr(rows_json), &par);
     println!("\nwrote {}", path.display());
 }

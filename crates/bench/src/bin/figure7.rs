@@ -11,15 +11,55 @@
 //! cargo run --release -p wyt-bench --bin figure7
 //! ```
 
-use wyt_bench::emit_bench_json;
+use wyt_bench::{emit_bench_json, timed_grid};
 use wyt_core::{evaluate_accuracy, recompile, MatchKind, Mode};
 use wyt_minicc::{compile, Profile};
 use wyt_obs::Json;
+
+/// Accuracy counts for one benchmark — everything the table and the
+/// overall precision/recall need.
+#[derive(PartialEq)]
+struct Acc {
+    objects: usize,
+    matched: usize,
+    recovered: usize,
+    recovered_matched: usize,
+    ratios: (f64, f64, f64, f64),
+}
 
 fn main() {
     wyt_obs::set_enabled(true);
     let mut rows_json: Vec<Json> = Vec::new();
     let profile = Profile::gcc44_o3();
+    let suite = wyt_spec::suite();
+
+    // One job per benchmark: a full Wytiwyg recompile plus the accuracy
+    // evaluation against the compiler's frame-layout sidecar.
+    let (accs, par) = timed_grid(&suite, |_, bench| {
+        let full =
+            compile(bench.source, &profile).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let out = recompile(&full.stripped(), &bench.trace_inputs(), Mode::Wytiwyg)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let report = evaluate_accuracy(
+            &full,
+            &out.lifted_meta,
+            out.layout.as_ref().unwrap(),
+            out.bounds.as_ref().unwrap(),
+            out.fold.as_ref().unwrap(),
+        );
+        let (recovered, recovered_matched) = report
+            .funcs
+            .iter()
+            .fold((0, 0), |(r, rm), f| (r + f.recovered, rm + f.recovered_matched));
+        Acc {
+            objects: report.total(),
+            matched: report.count(MatchKind::Matched),
+            recovered,
+            recovered_matched,
+            ratios: report.ratios(),
+        }
+    });
+
     println!("Figure 7: stack-recovery accuracy per benchmark ({})\n", profile.name);
     println!(
         "{:<12} {:>8} {:>9} {:>10} {:>11} {:>8}",
@@ -32,37 +72,24 @@ fn main() {
     let mut recovered = 0usize;
     let mut recovered_matched = 0usize;
 
-    for bench in wyt_spec::suite() {
-        let full =
-            compile(bench.source, &profile).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
-        let out = recompile(&full.stripped(), &bench.trace_inputs(), Mode::Wytiwyg)
-            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
-        let report = evaluate_accuracy(
-            &full,
-            &out.lifted_meta,
-            out.layout.as_ref().unwrap(),
-            out.bounds.as_ref().unwrap(),
-            out.fold.as_ref().unwrap(),
-        );
-        let (m, o, u, x) = report.ratios();
+    for (bench, acc) in suite.iter().zip(&accs) {
+        let (m, o, u, x) = acc.ratios;
         println!(
             "{:<12} {:>8} {:>8.1}% {:>9.1}% {:>10.1}% {:>7.1}%",
             bench.name,
-            report.total(),
+            acc.objects,
             m * 100.0,
             o * 100.0,
             u * 100.0,
             x * 100.0
         );
-        total += report.total();
-        matched += report.count(MatchKind::Matched);
-        for f in &report.funcs {
-            recovered += f.recovered;
-            recovered_matched += f.recovered_matched;
-        }
+        total += acc.objects;
+        matched += acc.matched;
+        recovered += acc.recovered;
+        recovered_matched += acc.recovered_matched;
         rows_json.push(Json::obj(vec![
             ("benchmark", Json::from(bench.name)),
-            ("objects", Json::from(report.total() as u64)),
+            ("objects", Json::from(acc.objects as u64)),
             ("matched", Json::from(m)),
             ("oversized", Json::from(o)),
             ("undersized", Json::from(u)),
@@ -86,6 +113,6 @@ fn main() {
         ("precision", Json::from(precision)),
         ("recall", Json::from(recall)),
     ]);
-    let path = emit_bench_json("figure7", body);
+    let path = emit_bench_json("figure7", body, &par);
     println!("\nwrote {}", path.display());
 }

@@ -10,16 +10,42 @@
 
 use wyt_bench::{
     build_input, cell, emit_bench_json, geomean, measure, native_cycles, ratio_json,
-    secondwrite_cycles,
+    secondwrite_cycles, timed_grid, ConfigMeasurement,
 };
 use wyt_minicc::Profile;
 use wyt_obs::Json;
+
+/// One measured grid cell: a profile column or the SecondWrite baseline.
+#[derive(PartialEq)]
+enum Cell {
+    Cfg(ConfigMeasurement),
+    Sw { native: u64, cycles: Result<u64, String> },
+}
 
 fn main() {
     wyt_obs::set_enabled(true);
     let mut rows_json: Vec<Json> = Vec::new();
     let configs =
         [Profile::gcc12_o3(), Profile::gcc12_o0(), Profile::clang16_o3(), Profile::gcc44_o3()];
+    let suite = wyt_spec::suite();
+    // The benchmark×config grid, one job per table cell; the SecondWrite
+    // column (non-PIC legacy build) is the fifth cell of each row.
+    let jobs: Vec<(usize, Option<usize>)> = (0..suite.len())
+        .flat_map(|bi| (0..configs.len()).map(move |ci| (bi, Some(ci))).chain([(bi, None)]))
+        .collect();
+    let cols = configs.len() + 1;
+    let (cells, par) = timed_grid(&jobs, |_, &(bi, ci)| {
+        let bench = &suite[bi];
+        match ci {
+            Some(ci) => Cell::Cfg(measure(bench, &configs[ci])),
+            None => {
+                let img = build_input(bench, &Profile::gcc44_o3_nopic());
+                let native = native_cycles(&img, bench);
+                Cell::Sw { native, cycles: secondwrite_cycles(&img, bench) }
+            }
+        }
+    });
+
     println!("Table 1: normalized runtime of recompiled binaries (lower is better)");
     println!("(SW = SecondWrite-like baseline on GCC 4.4 -O3 -fno-pic)\n");
     println!(
@@ -31,13 +57,16 @@ fn main() {
     let mut geo: Vec<Vec<f64>> = vec![Vec::new(); 8];
     let mut sw_geo: Vec<f64> = Vec::new();
 
-    for bench in wyt_spec::suite() {
-        let rows: Vec<_> = configs.iter().map(|p| measure(&bench, p)).collect();
-        // SecondWrite on the non-PIC legacy build.
-        let sw_profile = Profile::gcc44_o3_nopic();
-        let sw_img = build_input(&bench, &sw_profile);
-        let sw_native = native_cycles(&sw_img, &bench);
-        let sw = secondwrite_cycles(&sw_img, &bench);
+    for (bi, bench) in suite.iter().enumerate() {
+        let row_cells = &cells[bi * cols..(bi + 1) * cols];
+        let rows: Vec<&ConfigMeasurement> = row_cells
+            .iter()
+            .filter_map(|c| if let Cell::Cfg(m) = c { Some(m) } else { None })
+            .collect();
+        let Cell::Sw { native: sw_native, cycles: sw } = &row_cells[cols - 1] else {
+            unreachable!("last cell of each row is the SecondWrite baseline")
+        };
+        let (sw_native, sw) = (*sw_native, sw.clone());
 
         let mut no_cells = Vec::new();
         let mut yes_cells = Vec::new();
@@ -119,6 +148,6 @@ fn main() {
     println!("\npaper's geomeans:      no: 1.24      0.76      1.31      1.05 |  (SW 1.14)");
     println!("                      yes: 1.10      0.48      1.06      0.82 |");
 
-    let path = emit_bench_json("table1", Json::Arr(rows_json));
+    let path = emit_bench_json("table1", Json::Arr(rows_json), &par);
     println!("\nwrote {}", path.display());
 }

@@ -24,7 +24,7 @@ use wyt_minicc::{compile, Profile};
 use wyt_spec::Benchmark;
 
 /// Cycle measurements for one benchmark under one compiler profile.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConfigMeasurement {
     /// Profile name.
     pub config: &'static str,
@@ -100,17 +100,77 @@ pub fn measure(bench: &Benchmark, profile: &Profile) -> ConfigMeasurement {
     }
 }
 
-/// Write `results/BENCH_<name>.json`: the bench's own rows plus the
+/// Thread count and wall-clock record for one bench grid, emitted under
+/// the `"par"` key of the bench JSON.
+#[derive(Debug, Clone)]
+pub struct ParMeta {
+    /// Worker threads the measured grid ran on (1 = serial).
+    pub threads: usize,
+    /// Wall time of the measured (possibly parallel) grid.
+    pub wall_ns: u64,
+    /// Wall time of the serial verification re-run, when one happened.
+    pub serial_wall_ns: Option<u64>,
+}
+
+impl ParMeta {
+    /// `{threads, wall_ns, serial_wall_ns|null, speedup|null}`.
+    pub fn to_json(&self) -> wyt_obs::Json {
+        use wyt_obs::Json;
+        let speedup = self.serial_wall_ns.map(|s| s as f64 / self.wall_ns.max(1) as f64);
+        Json::obj(vec![
+            ("threads", Json::from(self.threads as u64)),
+            ("wall_ns", Json::from(self.wall_ns)),
+            ("serial_wall_ns", self.serial_wall_ns.map_or(Json::Null, Json::from)),
+            ("speedup", speedup.map_or(Json::Null, Json::from)),
+        ])
+    }
+}
+
+/// Run a benchmark×config grid through `f` on the `wyt-par` pool and
+/// return index-ordered results plus the timing record for the JSON
+/// emitters.
+///
+/// With more than one thread the grid is then re-run fully serially
+/// (thread count forced to 1 for the duration, observability routed to
+/// a discarded thread-local scope so nothing is double-counted) and the
+/// two result vectors are asserted equal — the in-binary determinism
+/// gate, which also yields an honest serial wall-clock baseline.
+pub fn timed_grid<J, R>(jobs: &[J], f: impl Fn(usize, &J) -> R + Sync) -> (Vec<R>, ParMeta)
+where
+    J: Sync,
+    R: Send + PartialEq,
+{
+    let threads = wyt_par::threads();
+    let t0 = std::time::Instant::now();
+    let results = wyt_par::par_map(jobs, &f);
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let mut serial_wall_ns = None;
+    if threads > 1 {
+        wyt_par::set_threads(1);
+        let t1 = std::time::Instant::now();
+        let (serial, _discarded_obs) = wyt_obs::with_local(|| {
+            jobs.iter().enumerate().map(|(i, j)| f(i, j)).collect::<Vec<R>>()
+        });
+        serial_wall_ns = Some(t1.elapsed().as_nanos() as u64);
+        wyt_par::set_threads(threads);
+        assert!(serial == results, "parallel grid diverged from its serial re-run");
+    }
+    (results, ParMeta { threads, wall_ns, serial_wall_ns })
+}
+
+/// Write `results/BENCH_<name>.json`: the bench's own rows, the
 /// stage-time breakdown (span totals and counters) accumulated in the
-/// observability sink over the run. Returns the path written.
+/// observability sink over the run, and the thread/wall-time record of
+/// the grid. Returns the path written.
 ///
 /// Report binaries call [`wyt_obs::set_enabled`] at startup so the
 /// recompiles they drive populate the sink; this serializes it.
-pub fn emit_bench_json(name: &str, rows: wyt_obs::Json) -> std::path::PathBuf {
+pub fn emit_bench_json(name: &str, rows: wyt_obs::Json, par: &ParMeta) -> std::path::PathBuf {
     let body = wyt_obs::Json::obj(vec![
         ("bench", wyt_obs::Json::from(name)),
         ("rows", rows),
         ("obs", wyt_obs::snapshot().to_json()),
+        ("par", par.to_json()),
     ]);
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));

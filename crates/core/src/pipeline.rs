@@ -329,16 +329,21 @@ fn measure_coverage(
     rep: &mut PipelineReport,
 ) -> CoverageStats {
     let _s = Span::enter("coverage");
-    let mut cov = CoverageStats::default();
-    for input in inputs {
+    // One interpreter run per traced input, all independent: replay on
+    // the pool and fold the counters in input order.
+    let runs = wyt_par::par_map(inputs, |_, input| {
         let mut it = Interp::new(module, input.clone(), NoHooks);
         it.set_emu_stack_range(EMU_STACK_BASE, EMU_STACK_BASE + EMU_STACK_SIZE);
         let out = it.run();
-        cov.symbolized += out.mem.native_slot;
-        cov.residual += out.mem.emu_stack;
-        cov.total += out.mem.stack_total;
+        (out.steps, out.mem)
+    });
+    let mut cov = CoverageStats::default();
+    for (steps, mem) in runs {
+        cov.symbolized += mem.native_slot;
+        cov.residual += mem.emu_stack;
+        cov.total += mem.stack_total;
         cov.runs += 1;
-        rep.exec.add_run(out.steps, &out.mem);
+        rep.exec.add_run(steps, &mem);
     }
     cov
 }

@@ -369,16 +369,21 @@ pub fn analyze(
     meta: &LiftedMeta,
     inputs: &[Vec<u8>],
 ) -> Result<RegSaveInfo, InterpError> {
-    let mut facts: HashMap<(FuncId, usize), CellFacts> = HashMap::new();
-    let mut indirect: HashMap<(FuncId, InstId), BTreeSet<FuncId>> = HashMap::new();
-    for input in inputs {
+    // Per-input replays are independent: run them on the pool and merge
+    // facts in input order (the merge is a monotone union keyed by
+    // (FuncId, cell), so the result equals a serial sweep).
+    let runs = wyt_par::par_map(inputs, |_, input| {
         let mut interp =
             Interp::new(module, input.clone(), ForwardingHook { inner: RegSaveHook::new() });
         let out = interp.run();
-        if let Some(e) = out.error {
+        (out.error, interp.hooks.inner)
+    });
+    let mut facts: HashMap<(FuncId, usize), CellFacts> = HashMap::new();
+    let mut indirect: HashMap<(FuncId, InstId), BTreeSet<FuncId>> = HashMap::new();
+    for (error, hook) in runs {
+        if let Some(e) = error {
             return Err(e);
         }
-        let hook = interp.hooks.inner;
         for (k, v) in hook.facts {
             let e = facts.entry(k).or_default();
             e.entered |= v.entered;

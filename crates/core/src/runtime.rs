@@ -448,14 +448,20 @@ pub fn trace_bounds(
     fold: &FoldInfo,
     inputs: &[Vec<u8>],
 ) -> Result<BoundsInfo, InterpError> {
-    let mut merged = BoundsInfo::default();
-    for input in inputs {
+    // Independent per-input replays run concurrently; observations merge
+    // **in input order** below, because parts of the merge (`sp0_off`,
+    // `align` overwrites) are order-sensitive and the result must be
+    // byte-identical to the serial sweep.
+    let runs = wyt_par::par_map(inputs, |_, input| {
         let mut interp = Interp::new(module, input.clone(), BoundsHook::new(fold));
         let out = interp.run();
-        if let Some(e) = out.error {
+        (out.error, interp.hooks.info)
+    });
+    let mut merged = BoundsInfo::default();
+    for (error, info) in runs {
+        if let Some(e) = error {
             return Err(e);
         }
-        let info = interp.hooks.info;
         for (k, v) in info.vars {
             let e = merged.vars.entry(k).or_default();
             e.sp0_off = v.sp0_off;

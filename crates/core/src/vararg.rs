@@ -58,18 +58,26 @@ impl Hooks for VarargHook {
 
 /// Run the lifted module on every input, collecting call-site signatures.
 ///
+/// The per-input replays are independent, so they run concurrently on
+/// the `wyt-par` pool; observations are merged **in input order** (and
+/// by max, which is order-insensitive anyway), so the result is
+/// identical to a serial sweep.
+///
 /// # Errors
 /// Returns the interpreter error if any traced input fails (it should not:
 /// lifting has already validated these inputs).
 pub fn observe(module: &Module, inputs: &[Vec<u8>]) -> Result<VarargObservations, InterpError> {
-    let mut obs = VarargObservations::default();
-    for input in inputs {
+    let runs = wyt_par::par_map(inputs, |_, input| {
         let mut interp = Interp::new(module, input.clone(), VarargHook::default());
         let out = interp.run();
-        if let Some(e) = out.error {
+        (out.error, interp.hooks.obs)
+    });
+    let mut obs = VarargObservations::default();
+    for (error, seen) in runs {
+        if let Some(e) = error {
             return Err(e);
         }
-        for (k, v) in interp.hooks.obs.arg_counts {
+        for (k, v) in seen.arg_counts {
             let e = obs.arg_counts.entry(k).or_insert(0);
             *e = (*e).max(v);
         }

@@ -80,7 +80,7 @@ pub struct CodeReloc {
 }
 
 /// An executable image.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Image {
     /// Load address of `text`.
     pub text_base: u32,

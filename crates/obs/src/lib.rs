@@ -35,6 +35,7 @@ pub use report::{
     QualityStats, StageStats,
 };
 pub use sink::{
-    counter, enabled, init_from_env, reset, set_enabled, snapshot, OutputFormat, Snapshot, SpanRec,
+    counter, enabled, fold, init_from_env, reset, set_enabled, snapshot, with_local, OutputFormat,
+    Snapshot, SpanRec,
 };
 pub use span::{fmt_ns, mono_ns, Span};

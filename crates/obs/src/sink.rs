@@ -5,8 +5,13 @@
 //! loops (the emulator's fetch/execute loop, the IR interpreter) pay one
 //! load and a predictable branch when observability is off. The registry
 //! behind it is a plain mutex: it is only ever touched when enabled, and
-//! the instrumented pipeline is effectively single-threaded.
+//! contention stays negligible because parallel workers observe into
+//! **thread-local scopes** instead: `wyt-par` wraps each task in
+//! [`with_local`] and [`fold`]s the captured snapshots back into the
+//! global registry in task order, keeping parallel observation streams
+//! deterministic.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -18,8 +23,20 @@ struct Registry {
     spans: Vec<SpanRec>,
 }
 
-static REGISTRY: Mutex<Registry> =
-    Mutex::new(Registry { counters: BTreeMap::new(), spans: Vec::new() });
+impl Registry {
+    const fn empty() -> Registry {
+        Registry { counters: BTreeMap::new(), spans: Vec::new() }
+    }
+}
+
+static REGISTRY: Mutex<Registry> = Mutex::new(Registry::empty());
+
+thread_local! {
+    /// Innermost local observation scope on this thread, if any. When
+    /// installed, counters and spans land here instead of the global
+    /// registry (see [`with_local`]).
+    static LOCAL: RefCell<Option<Registry>> = const { RefCell::new(None) };
+}
 
 /// One completed span.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,8 +91,18 @@ pub fn counter(name: &str, delta: u64) {
     if !enabled() || delta == 0 {
         return;
     }
-    let mut reg = REGISTRY.lock().unwrap();
-    *reg.counters.entry(name.to_string()).or_insert(0) += delta;
+    let local = LOCAL.with(|l| {
+        if let Some(reg) = l.borrow_mut().as_mut() {
+            *reg.counters.entry(name.to_string()).or_insert(0) += delta;
+            true
+        } else {
+            false
+        }
+    });
+    if !local {
+        let mut reg = REGISTRY.lock().unwrap();
+        *reg.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
 }
 
 /// Record a completed span (called by [`crate::Span`]'s drop).
@@ -83,7 +110,75 @@ pub(crate) fn record_span(name: &'static str, start_ns: u64, dur_ns: u64, depth:
     if !enabled() {
         return;
     }
-    REGISTRY.lock().unwrap().spans.push(SpanRec { name, start_ns, dur_ns, depth });
+    let rec = SpanRec { name, start_ns, dur_ns, depth };
+    let local = LOCAL.with(|l| {
+        if let Some(reg) = l.borrow_mut().as_mut() {
+            reg.spans.push(rec.clone());
+            true
+        } else {
+            false
+        }
+    });
+    if !local {
+        REGISTRY.lock().unwrap().spans.push(rec);
+    }
+}
+
+/// Run `f` with a fresh **local** observation scope on this thread:
+/// every counter and span it records is captured privately and returned
+/// as a [`Snapshot`] instead of entering the global registry. Scopes
+/// nest; the innermost wins. The caller decides when (and in what
+/// order) to [`fold`] the snapshot back — `wyt-par` folds worker
+/// snapshots in task-index order so parallel runs observe exactly what
+/// the serial run would.
+///
+/// When the sink is disabled the snapshot comes back empty and `f` runs
+/// with only the usual single-atomic overhead.
+pub fn with_local<R>(f: impl FnOnce() -> R) -> (R, Snapshot) {
+    struct Scope {
+        prev: Option<Registry>,
+    }
+    impl Drop for Scope {
+        fn drop(&mut self) {
+            // Restores the outer scope even if `f` unwinds.
+            LOCAL.with(|l| *l.borrow_mut() = self.prev.take());
+        }
+    }
+    let mut scope = Scope { prev: LOCAL.with(|l| l.borrow_mut().replace(Registry::empty())) };
+    let r = f();
+    let mine = LOCAL
+        .with(|l| std::mem::replace(&mut *l.borrow_mut(), scope.prev.take()))
+        .expect("local observation scope vanished");
+    std::mem::forget(scope); // already restored
+    (r, Snapshot { counters: mine.counters, spans: mine.spans })
+}
+
+/// Merge a snapshot captured by [`with_local`] into the current sink:
+/// the innermost local scope if one is installed on this thread,
+/// otherwise the global registry. Counter values add; spans append in
+/// the snapshot's order. No-op when disabled.
+pub fn fold(snap: Snapshot) {
+    if !enabled() {
+        return;
+    }
+    let Snapshot { counters, spans } = snap;
+    let mut pending = Some((counters, spans));
+    LOCAL.with(|l| {
+        if let Some(reg) = l.borrow_mut().as_mut() {
+            let (counters, spans) = pending.take().unwrap();
+            merge(reg, counters, spans);
+        }
+    });
+    if let Some((counters, spans)) = pending {
+        merge(&mut REGISTRY.lock().unwrap(), counters, spans);
+    }
+}
+
+fn merge(reg: &mut Registry, counters: BTreeMap<String, u64>, spans: Vec<SpanRec>) {
+    for (k, v) in counters {
+        *reg.counters.entry(k).or_insert(0) += v;
+    }
+    reg.spans.extend(spans);
 }
 
 /// A copy of everything the sink has collected.
@@ -193,5 +288,61 @@ mod tests {
         assert_eq!(totals.get("outer").map(|t| t.1), Some(1));
         reset();
         assert!(snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn local_scope_captures_and_folds() {
+        let _l = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        counter("global", 1);
+        let ((), snap) = with_local(|| {
+            counter("inner", 2);
+            let _s = Span::enter("scoped");
+        });
+        // Nothing from the scope leaked into the registry...
+        assert!(snapshot().counters.contains_key("global"));
+        assert!(!snapshot().counters.contains_key("inner"));
+        assert!(snapshot().spans.is_empty());
+        // ...until the caller folds it, additively.
+        assert_eq!(snap.counters.get("inner"), Some(&2));
+        assert_eq!(snap.spans.len(), 1);
+        fold(snap.clone());
+        fold(snap);
+        let merged = snapshot();
+        set_enabled(false);
+        reset();
+        assert_eq!(merged.counters.get("inner"), Some(&4));
+        assert_eq!(merged.counters.get("global"), Some(&1));
+        assert_eq!(merged.spans.len(), 2);
+    }
+
+    #[test]
+    fn local_scopes_nest_innermost_wins() {
+        let _l = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        let ((), outer) = with_local(|| {
+            counter("outer", 1);
+            let ((), inner) = with_local(|| counter("inner", 1));
+            assert_eq!(inner.counters.get("inner"), Some(&1));
+            assert!(!inner.counters.contains_key("outer"));
+            // Folding inside an outer scope lands in the outer scope.
+            fold(inner);
+        });
+        let empty = snapshot();
+        set_enabled(false);
+        reset();
+        assert_eq!(outer.counters.get("outer"), Some(&1));
+        assert_eq!(outer.counters.get("inner"), Some(&1));
+        assert!(empty.counters.is_empty(), "nothing reached the global registry");
+    }
+
+    #[test]
+    fn disabled_local_scope_is_empty() {
+        let _l = TEST_LOCK.lock().unwrap();
+        set_enabled(false);
+        let ((), snap) = with_local(|| counter("x", 9));
+        assert!(snap.counters.is_empty());
     }
 }

@@ -89,13 +89,10 @@ pub fn run_function(f: &mut Function) -> bool {
     changed
 }
 
-/// CSE over every function.
+/// CSE over every function (function-local; sharded across the pool
+/// for large modules).
 pub fn run(m: &mut Module) -> bool {
-    let mut changed = false;
-    for f in &mut m.funcs {
-        changed |= run_function(f);
-    }
-    changed
+    crate::for_each_func(m, run_function)
 }
 
 #[cfg(test)]

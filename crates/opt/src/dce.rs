@@ -44,13 +44,10 @@ pub fn run_function(f: &mut Function) -> bool {
     changed
 }
 
-/// DCE over every function.
+/// DCE over every function (function-local; sharded across the pool
+/// for large modules).
 pub fn run(m: &mut Module) -> bool {
-    let mut changed = false;
-    for f in &mut m.funcs {
-        changed |= run_function(f);
-    }
-    changed
+    crate::for_each_func(m, run_function)
 }
 
 /// Remove call results that are unused but keep the calls (used when a

@@ -231,15 +231,10 @@ pub fn simplify_ext(f: &mut Function) -> bool {
     changed
 }
 
-/// Run all folding sub-passes over a module once.
+/// Run all folding sub-passes over a module once (function-local;
+/// sharded across the pool for large modules).
 pub fn run(m: &mut Module) -> bool {
-    let mut changed = false;
-    for f in &mut m.funcs {
-        changed |= run_function(f);
-        changed |= reassociate(f);
-        changed |= simplify_ext(f);
-    }
-    changed
+    crate::for_each_func(m, |f| run_function(f) | reassociate(f) | simplify_ext(f))
 }
 
 /// Width helper re-export for tests.

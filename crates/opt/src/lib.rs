@@ -21,7 +21,7 @@ pub mod simplify_cfg;
 
 pub use inline::InlineLimits;
 
-use wyt_ir::Module;
+use wyt_ir::{Function, Module};
 
 /// Optimization effort.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,55 +32,118 @@ pub enum OptLevel {
     Full,
 }
 
-/// Run `pass` under an observability span, counting rounds that changed
-/// the module.
-fn timed(name: &'static str, m: &mut Module, pass: fn(&mut Module) -> bool) -> bool {
-    let _s = wyt_obs::Span::enter(name);
-    let changed = pass(m);
-    if changed && wyt_obs::enabled() {
-        wyt_obs::counter(&format!("{name}.changed"), 1);
+/// One pipeline pass: a module-level runner plus **static** span and
+/// counter names, so the disabled-obs fast path never allocates (the
+/// old driver built `"{name}.changed"` with `format!` per round).
+struct Pass {
+    /// Span name.
+    name: &'static str,
+    /// Counter bumped when the pass changes the module.
+    changed: &'static str,
+    /// The pass itself.
+    run: fn(&mut Module) -> bool,
+}
+
+const FOLD: Pass = Pass { name: "opt.fold", changed: "opt.fold.changed", run: fold::run };
+const CSE: Pass = Pass { name: "opt.cse", changed: "opt.cse.changed", run: cse::run };
+const DCE: Pass = Pass { name: "opt.dce", changed: "opt.dce.changed", run: dce::run };
+const SIMPLIFY: Pass =
+    Pass { name: "opt.simplify_cfg", changed: "opt.simplify_cfg.changed", run: simplify_cfg::run };
+const MEMORY: Pass = Pass { name: "opt.memory", changed: "opt.memory.changed", run: memory::run };
+
+/// The cleanup-only round (arithmetic and control flow, no aliasing).
+const CLEAN_PASSES: &[Pass] = &[FOLD, CSE, DCE, SIMPLIFY];
+/// The full round: cleanup plus memory optimization and a re-sweep of
+/// the dead code it exposes.
+const FULL_PASSES: &[Pass] = &[FOLD, CSE, DCE, SIMPLIFY, MEMORY, DCE];
+
+/// Round budget for each fixpoint drive.
+const ROUNDS: u32 = 8;
+
+/// Run one pass under its span, counting a change.
+fn timed(p: &Pass, m: &mut Module) -> bool {
+    let _s = wyt_obs::Span::enter(p.name);
+    let changed = (p.run)(m);
+    if changed {
+        wyt_obs::counter(p.changed, 1);
     }
     changed
 }
 
-/// Run the pipeline to a bounded fixpoint.
-pub fn optimize(m: &mut Module, level: OptLevel) {
-    let rounds = 8;
-    for _ in 0..rounds {
+/// Drive `passes` to a bounded fixpoint: repeat the round until no pass
+/// reports a change (or the budget runs out). This is the single driver
+/// behind both the pre- and post-inline phases of [`optimize`] — they
+/// used to be two hand-copied loops that had already drifted in shape.
+fn fixpoint(m: &mut Module, passes: &[Pass]) {
+    for _ in 0..ROUNDS {
         wyt_obs::counter("opt.rounds", 1);
         let mut changed = false;
-        changed |= timed("opt.fold", m, fold::run);
-        changed |= timed("opt.cse", m, cse::run);
-        changed |= timed("opt.dce", m, dce::run);
-        changed |= timed("opt.simplify_cfg", m, simplify_cfg::run);
-        if level == OptLevel::Full {
-            changed |= timed("opt.memory", m, memory::run);
-            changed |= timed("opt.dce", m, dce::run);
+        for p in passes {
+            changed |= timed(p, m);
         }
         if !changed {
             break;
         }
     }
-    let inlined = level == OptLevel::Full && {
+}
+
+/// Run the pipeline to a bounded fixpoint, then (at [`OptLevel::Full`])
+/// inline and re-drive the full round over the merged bodies.
+pub fn optimize(m: &mut Module, level: OptLevel) {
+    let passes = match level {
+        OptLevel::Clean => CLEAN_PASSES,
+        OptLevel::Full => FULL_PASSES,
+    };
+    fixpoint(m, passes);
+    if level != OptLevel::Full {
+        return;
+    }
+    let inlined = {
         let _s = wyt_obs::Span::enter("opt.inline");
         inline::run(m, &InlineLimits::default())
     };
     if inlined {
         wyt_obs::counter("opt.inline.changed", 1);
-        for _ in 0..rounds {
-            wyt_obs::counter("opt.rounds", 1);
-            let mut changed = false;
-            changed |= timed("opt.fold", m, fold::run);
-            changed |= timed("opt.cse", m, cse::run);
-            changed |= timed("opt.dce", m, dce::run);
-            changed |= timed("opt.simplify_cfg", m, simplify_cfg::run);
-            changed |= timed("opt.memory", m, memory::run);
-            changed |= timed("opt.dce", m, dce::run);
-            if !changed {
-                break;
-            }
-        }
+        fixpoint(m, FULL_PASSES);
     }
+}
+
+/// Modules below this many arena instructions are transformed serially:
+/// the passes are cheap enough that scoped-thread startup would cost
+/// more than the sharded work saves.
+const PAR_MIN_INSTS: usize = 4096;
+
+/// Apply a **function-local** pass to every function of `m`, sharding
+/// the functions across the `wyt-par` pool when the module is large
+/// enough to pay for it.
+///
+/// Function-local means the pass may read and write only the one
+/// function it is given — exactly the contract of every pass here
+/// except inlining (which stays serial). Each `Function` is moved to
+/// exactly one worker and the vector is reassembled in index order, so
+/// the resulting module is byte-identical to a serial sweep.
+pub(crate) fn for_each_func(m: &mut Module, pass: impl Fn(&mut Function) -> bool + Sync) -> bool {
+    let arena_insts: usize = m.funcs.iter().map(|f| f.insts.len()).sum();
+    if m.funcs.len() < 2 || arena_insts < PAR_MIN_INSTS || !wyt_par::parallel() {
+        let mut changed = false;
+        for f in &mut m.funcs {
+            changed |= pass(f);
+        }
+        return changed;
+    }
+    let funcs = std::mem::take(&mut m.funcs);
+    let mut changed = false;
+    m.funcs = wyt_par::par_map_take(funcs, |_, mut f| {
+        let c = pass(&mut f);
+        (c, f)
+    })
+    .into_iter()
+    .map(|(c, f)| {
+        changed |= c;
+        f
+    })
+    .collect();
+    changed
 }
 
 #[cfg(test)]

@@ -430,16 +430,18 @@ pub fn mem2reg_function(f: &mut Function) -> bool {
     true
 }
 
-/// Run forwarding, dead-store elimination and mem2reg over a module.
+/// Forwarding, dead-store elimination and mem2reg for one function.
+/// `ranges` is the module-level [`private_ranges`] precomputation.
+pub fn run_function(f: &mut Function, ranges: &[(u32, u32)]) -> bool {
+    forward_function(f, ranges) | dead_stores_function(f, ranges) | mem2reg_function(f)
+}
+
+/// Run forwarding, dead-store elimination and mem2reg over a module:
+/// one serial module-level alias precomputation, then a function-local
+/// sweep (sharded across the pool for large modules).
 pub fn run(m: &mut Module) -> bool {
     let ranges = private_ranges(m);
-    let mut changed = false;
-    for f in &mut m.funcs {
-        changed |= forward_function(f, &ranges);
-        changed |= dead_stores_function(f, &ranges);
-        changed |= mem2reg_function(f);
-    }
-    changed
+    crate::for_each_func(m, |f| run_function(f, &ranges))
 }
 
 #[cfg(test)]

@@ -8,6 +8,14 @@
 //! case seed. Re-running any test with `WYT_PROP_SEED=<seed>` regenerates
 //! exactly the failing case, independent of the number of cases or their
 //! order — that is the whole failure-persistence story, no files needed.
+//!
+//! Cases are independent by construction (each derives its own seed),
+//! so [`check`] evaluates them on the `wyt-par` pool. Determinism is
+//! unchanged: if several cases fail, the harness reports the one with
+//! the **lowest case index** — exactly the case the serial loop would
+//! have stopped at — and shrinking stays serial, so the panic message
+//! (seed, counterexample, error) is byte-identical to a serial run.
+//! `WYT_PAR=0` restores the serial early-exit loop.
 
 use crate::rng::{mix, Rng};
 use std::fmt::Debug;
@@ -56,22 +64,49 @@ fn env_seed() -> Option<u64> {
 /// Check `prop` on `cfg.cases` values drawn from `gen`, shrinking any
 /// counterexample with `shrink` (see [`shrink_vec`] for the common case).
 ///
-/// Panics on the first (shrunk) counterexample, printing the case seed and
-/// the exact `WYT_PROP_SEED` incantation that reproduces it.
+/// Cases run concurrently on the `wyt-par` pool (serially under
+/// `WYT_PAR=0`); generation and the property need `Sync` for that, the
+/// shrinker runs only on the calling thread.
+///
+/// Panics on the lowest-indexed (shrunk) counterexample — the same case
+/// a serial scan stops at — printing the case seed and the exact
+/// `WYT_PROP_SEED` incantation that reproduces it.
 pub fn check<T, G, S, P>(name: &str, cfg: &Config, gen: G, shrink: S, prop: P)
 where
     T: Debug + Clone,
-    G: Fn(&mut Rng) -> T,
+    G: Fn(&mut Rng) -> T + Sync,
     S: Fn(&T) -> Vec<T>,
-    P: Fn(&T) -> Result<(), String>,
+    P: Fn(&T) -> Result<(), String> + Sync,
 {
     if let Some(seed) = env_seed() {
         run_case(name, u32::MAX, seed, cfg, &gen, &shrink, &prop);
         return;
     }
-    for i in 0..cfg.cases {
+    if !wyt_par::parallel() {
+        // Serial: evaluate in order, stop at the first failure.
+        for i in 0..cfg.cases {
+            let seed = mix(cfg.seed, i as u64);
+            run_case(name, i, seed, cfg, &gen, &shrink, &prop);
+        }
+        return;
+    }
+    // Parallel: evaluate every case on the pool, then report the
+    // lowest-indexed failure (identical to the serial stop point; the
+    // only difference is that later cases also ran).
+    let failed: Option<u32> = wyt_par::par_indexed(cfg.cases as usize, |i| {
         let seed = mix(cfg.seed, i as u64);
-        run_case(name, i, seed, cfg, &gen, &shrink, &prop);
+        let mut rng = Rng::new(seed);
+        let value = gen(&mut rng);
+        prop(&value).is_err().then_some(i as u32)
+    })
+    .into_iter()
+    .flatten()
+    .next();
+    if let Some(i) = failed {
+        // Regenerate the failing case from its seed on this thread and
+        // shrink serially — the panic message matches a serial run's.
+        run_case(name, i, mix(cfg.seed, i as u64), cfg, &gen, &shrink, &prop);
+        unreachable!("case {i} failed on the pool but passed when replayed");
     }
 }
 
@@ -171,23 +206,21 @@ mod tests {
 
     #[test]
     fn passing_property_runs_all_cases() {
-        let mut seen = 0u32;
+        use std::sync::atomic::{AtomicU32, Ordering};
         let cfg = Config::cases(17);
-        // Interior mutability via a Cell would be cleaner, but a counter
-        // through a RefCell keeps the closure Fn.
-        let count = std::cell::Cell::new(0u32);
+        // Atomic rather than Cell: the property may run on pool threads.
+        let count = AtomicU32::new(0);
         check(
             "always_true",
             &cfg,
             |r| r.next_u32(),
             |_| Vec::new(),
             |_| {
-                count.set(count.get() + 1);
+                count.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             },
         );
-        seen += count.get();
-        assert_eq!(seen, 17);
+        assert_eq!(count.load(Ordering::Relaxed), 17);
     }
 
     #[test]

@@ -17,6 +17,10 @@ cargo bench -p wyt-bench --offline --no-run
 echo "==> observability report smoke test"
 WYT_OBS=json cargo run --release --offline -q -p wyt-bench --bin report -- --check >/dev/null
 
+echo "==> parallel determinism gate (WYT_PAR=4)"
+WYT_PAR=4 cargo test -q --offline --workspace
+WYT_PAR=4 WYT_OBS=json cargo run --release --offline -q -p wyt-bench --bin report -- --check >/dev/null
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
