@@ -25,6 +25,7 @@ use wyt_opt::OptLevel;
 
 fn main() {
     wyt_obs::set_enabled(true);
+    wyt_bench::reset_degradations();
     let mut rows_json: Vec<Json> = Vec::new();
     let profile = match std::env::args().nth(1).as_deref() {
         Some("gcc12") | None => Profile::gcc12_o0(),
@@ -56,7 +57,7 @@ fn main() {
                 let inputs = bench.trace_inputs();
                 let out =
                     recompile_with(&stripped, &inputs, *mode, *opt).map_err(|e| e.to_string())?;
-                validate(&stripped, &out.image, &inputs)?;
+                validate(&stripped, &out.image, &inputs).map_err(|e| e.to_string())?;
                 let r = run_image(&out.image, bench.ref_input());
                 if !r.ok() {
                     return Err(format!("{:?}", r.trap));

@@ -9,8 +9,10 @@
 //! ```
 //!
 //! With `--check`, the binary re-parses its own JSON and asserts that
-//! every pipeline stage is present and that the coverage counts are
-//! consistent — the CI smoke test for the observability layer.
+//! every pipeline stage is present, that the coverage counts are
+//! consistent, and that the `degradations` section is well-formed (and
+//! empty — the sample is clean) — the CI smoke test for the
+//! observability layer and the degradation-ladder report schema.
 
 use wyt_core::{recompile, Mode};
 use wyt_minicc::{compile, Profile};
@@ -87,6 +89,21 @@ fn main() {
         let total = cov.get("total").and_then(|v| v.as_u64()).unwrap();
         assert_eq!(sym + res, total, "coverage counts must partition stack references");
         assert!(total > 0, "sample program must touch its stack");
-        eprintln!("report check: {} stages ok, coverage {sym}+{res}={total}", stages.len());
+        let deg = parsed
+            .get("degradations")
+            .and_then(|d| d.as_arr())
+            .expect("report must have a degradations array");
+        for d in deg {
+            d.get("func").and_then(|v| v.as_u64()).expect("degradation has func");
+            d.get("name").and_then(|v| v.as_str()).expect("degradation has name");
+            d.get("rung").and_then(|v| v.as_str()).expect("degradation has rung");
+            d.get("reason").and_then(|v| v.as_str()).expect("degradation has reason");
+        }
+        assert!(deg.is_empty(), "clean sample must not hit the degradation ladder");
+        eprintln!(
+            "report check: {} stages ok, coverage {sym}+{res}={total}, degradations {}",
+            stages.len(),
+            deg.len()
+        );
     }
 }

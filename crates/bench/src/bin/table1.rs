@@ -24,6 +24,7 @@ enum Cell {
 
 fn main() {
     wyt_obs::set_enabled(true);
+    wyt_bench::reset_degradations();
     let mut rows_json: Vec<Json> = Vec::new();
     let configs =
         [Profile::gcc12_o3(), Profile::gcc12_o0(), Profile::clang16_o3(), Profile::gcc44_o3()];

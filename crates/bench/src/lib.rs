@@ -17,6 +17,7 @@
 
 pub mod timing;
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use wyt_core::{recompile, validate, Mode};
 use wyt_emu::run_image;
 use wyt_isa::image::Image;
@@ -67,7 +68,8 @@ pub fn recompiled_cycles(img: &Image, bench: &Benchmark, mode: Mode) -> Result<u
     let stripped = img.stripped();
     let inputs = bench.trace_inputs();
     let out = recompile(&stripped, &inputs, mode).map_err(|e| e.to_string())?;
-    validate(&stripped, &out.image, &inputs)?;
+    note_degradations(out.report.degradations.len());
+    validate(&stripped, &out.image, &inputs).map_err(|e| e.to_string())?;
     let r = run_image(&out.image, bench.ref_input());
     if !r.ok() {
         return Err(format!("recompiled trap: {:?}", r.trap));
@@ -75,12 +77,34 @@ pub fn recompiled_cycles(img: &Image, bench: &Benchmark, mode: Mode) -> Result<u
     Ok(r.cycles)
 }
 
+/// Functions demoted down the degradation ladder across every recompile
+/// this harness drove. Zero on the clean benchmark corpus — the ladder
+/// only engages under corrupted inputs, and the bench JSONs record the
+/// count so a regression here is visible in `results/`.
+static DEGRADATIONS: AtomicU64 = AtomicU64::new(0);
+
+fn note_degradations(n: usize) {
+    DEGRADATIONS.fetch_add(n as u64, Ordering::Relaxed);
+}
+
+/// Total degraded functions observed since startup (or the last reset).
+pub fn degradations_observed() -> u64 {
+    DEGRADATIONS.load(Ordering::Relaxed)
+}
+
+/// Reset the degradation accumulator (report binaries call this once at
+/// startup so the JSON reflects exactly their own run).
+pub fn reset_degradations() {
+    DEGRADATIONS.store(0, Ordering::Relaxed);
+}
+
 /// SecondWrite-baseline cycles (errors reproduce the paper's "—" cells).
 pub fn secondwrite_cycles(img: &Image, bench: &Benchmark) -> Result<u64, String> {
     let stripped = img.stripped();
     let inputs = bench.trace_inputs();
     let out = wyt_core::recompile_secondwrite(&stripped, &inputs).map_err(|e| e.to_string())?;
-    validate(&stripped, &out.image, &inputs)?;
+    note_degradations(out.report.degradations.len());
+    validate(&stripped, &out.image, &inputs).map_err(|e| e.to_string())?;
     let r = run_image(&out.image, bench.ref_input());
     if !r.ok() {
         return Err(format!("recompiled trap: {:?}", r.trap));
@@ -147,11 +171,14 @@ where
     let mut serial_wall_ns = None;
     if threads > 1 {
         wyt_par::set_threads(1);
+        // The verification re-run must not double-count demotions either.
+        let degradations_before = DEGRADATIONS.load(Ordering::Relaxed);
         let t1 = std::time::Instant::now();
         let (serial, _discarded_obs) = wyt_obs::with_local(|| {
             jobs.iter().enumerate().map(|(i, j)| f(i, j)).collect::<Vec<R>>()
         });
         serial_wall_ns = Some(t1.elapsed().as_nanos() as u64);
+        DEGRADATIONS.store(degradations_before, Ordering::Relaxed);
         wyt_par::set_threads(threads);
         assert!(serial == results, "parallel grid diverged from its serial re-run");
     }
@@ -171,6 +198,7 @@ pub fn emit_bench_json(name: &str, rows: wyt_obs::Json, par: &ParMeta) -> std::p
         ("rows", rows),
         ("obs", wyt_obs::snapshot().to_json()),
         ("par", par.to_json()),
+        ("degradations", wyt_obs::Json::from(degradations_observed())),
     ]);
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));

@@ -209,13 +209,22 @@ pub fn recompile_secondwrite(
         }
     }
 
-    spfold::insert_save_restore(&mut module, &meta, &reginfo);
-    let fold = spfold::fold(&mut module, &meta, &reginfo)
-        .map_err(|e| SecondWriteError::Other(e.to_string()))?;
+    // The baseline has no degradation ladder: every function must fold
+    // and symbolize, or the whole recompilation fails (the paper's
+    // all-or-nothing static tooling).
+    spfold::insert_save_restore(&mut module, &meta, &reginfo, &BTreeSet::new());
+    let (fold, fold_errs) = spfold::fold(&mut module, &meta, &reginfo, &BTreeSet::new());
+    if let Some(e) = fold_errs.first() {
+        return Err(SecondWriteError::Other(e.to_string()));
+    }
 
     let layout = static_layout(&module, &fold);
-    symbolize::symbolize(&mut module, &meta, &fold, &reginfo, &layout)
-        .map_err(|e| SecondWriteError::Other(e.to_string()))?;
+    let mut eligible: BTreeSet<FuncId> = all_funcs.clone();
+    eligible.insert(meta.start);
+    let sym_errs = symbolize::symbolize(&mut module, &meta, &fold, &reginfo, &layout, &eligible);
+    if let Some((_, e)) = sym_errs.first() {
+        return Err(SecondWriteError::Other(e.to_string()));
+    }
     wyt_ir::verify::verify_module(&module).map_err(|e| SecondWriteError::Other(e.to_string()))?;
 
     optimize(&mut module, OptLevel::Full);

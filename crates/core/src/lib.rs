@@ -47,4 +47,7 @@ pub mod vararg;
 
 pub use accuracy::{evaluate_accuracy, AccuracyReport, MatchKind};
 pub use baseline::{recompile_secondwrite, SecondWriteError};
-pub use pipeline::{recompile, recompile_with, validate, Mode, RecompileError, Recompiled};
+pub use pipeline::{
+    recompile, recompile_with, recompile_with_faults, validate, FaultInjector, MismatchKind, Mode,
+    RecompileError, Recompiled, ValidateError,
+};

@@ -1,17 +1,26 @@
 //! The refinement-lifting driver (paper Fig. 4): trace → lift → refine →
 //! symbolize → re-optimize → lower.
+//!
+//! Refinement failures are *per function*, not per module: a function the
+//! refinements cannot handle is demoted down a degradation ladder —
+//! full symbolization → spfold-only → raw emulated stack — and the rest
+//! of the module still gets the full treatment. Demotions are recorded in
+//! [`wyt_obs::PipelineReport::degradations`] and as `fallback.*` counters.
 
 use crate::{layout, regsave, runtime, spfold, symbolize, vararg};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use wyt_backend::lower_module;
-use wyt_emu::RunResult;
+use wyt_emu::{Machine, RunResult, Trap};
 use wyt_ir::interp::{Interp, NoHooks};
 use wyt_ir::{FuncId, InstId, InstKind, Module};
 use wyt_isa::image::Image;
-use wyt_lifter::{lift_image, LiftPipelineError, Lifted, EMU_STACK_BASE, EMU_STACK_SIZE};
+use wyt_lifter::{
+    lift_image_faulted, LiftPipelineError, Lifted, Trace, EMU_STACK_BASE, EMU_STACK_SIZE,
+};
 use wyt_obs::{
-    mono_ns, CoverageStats, FuncQuality, IrSize, LiftCounts, PipelineReport, Span, StageStats,
+    mono_ns, CoverageStats, Degradation, FuncQuality, IrSize, LiftCounts, PipelineReport, Span,
+    StageStats,
 };
 use wyt_opt::{optimize, OptLevel};
 
@@ -38,6 +47,9 @@ pub enum RecompileError {
     Lower(wyt_backend::BackendError),
     /// The produced IR failed verification (internal bug guard).
     Verify(wyt_ir::verify::VerifyError),
+    /// The recompiled image diverged from the traced baseline even after
+    /// exhausting the degradation ladder.
+    Validate(ValidateError),
 }
 
 impl fmt::Display for RecompileError {
@@ -48,11 +60,88 @@ impl fmt::Display for RecompileError {
             RecompileError::Symbolize(e) => write!(f, "symbolize: {e}"),
             RecompileError::Lower(e) => write!(f, "lower: {e}"),
             RecompileError::Verify(e) => write!(f, "verify: {e}"),
+            RecompileError::Validate(e) => write!(f, "validate: {e}"),
         }
     }
 }
 
 impl std::error::Error for RecompileError {}
+
+/// What diverged between the original and the recompiled image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MismatchKind {
+    /// The original image itself trapped (trace inputs must exit cleanly).
+    OriginalTrapped(Option<Trap>),
+    /// The recompiled image trapped where the original exited.
+    RecompiledTrapped(Option<Trap>),
+    /// Exit codes differ.
+    Exit {
+        /// Original exit code.
+        original: i32,
+        /// Recompiled exit code.
+        recompiled: i32,
+    },
+    /// Output streams differ.
+    Output {
+        /// Original output length in bytes.
+        original: usize,
+        /// Recompiled output length in bytes.
+        recompiled: usize,
+    },
+}
+
+/// A behavioural mismatch found by [`validate`], tied to the failing
+/// input index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Index of the failing input.
+    pub input: usize,
+    /// What diverged.
+    pub kind: MismatchKind,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "input {}: ", self.input)?;
+        match &self.kind {
+            MismatchKind::OriginalTrapped(t) => write!(f, "original trapped: {t:?}"),
+            MismatchKind::RecompiledTrapped(t) => write!(f, "recompiled trapped: {t:?}"),
+            MismatchKind::Exit { original, recompiled } => {
+                write!(f, "exit {original} vs {recompiled}")
+            }
+            MismatchKind::Output { original, recompiled } => {
+                write!(f, "output mismatch ({original} vs {recompiled} bytes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Deterministic stage-boundary corruption hooks for the fault-injection
+/// harness (`wyt-fault`). Every hook defaults to `None`; a hook receives
+/// the stage's output and may mutate it arbitrarily — the pipeline must
+/// then either demote the affected functions or return a structured
+/// [`RecompileError`], never panic.
+#[derive(Default)]
+pub struct FaultInjector {
+    /// Mutates the merged trace between tracing and CFG reconstruction.
+    pub trace: Option<Box<dyn Fn(&mut Trace) + Sync + Send>>,
+    /// Mutates the vararg observations before they are applied.
+    pub vararg: Option<Box<dyn Fn(&mut vararg::VarargObservations) + Sync + Send>>,
+    /// Mutates the saved-register classification before it is used.
+    pub regsave: Option<Box<dyn Fn(&mut regsave::RegSaveInfo) + Sync + Send>>,
+}
+
+impl fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("trace", &self.trace.is_some())
+            .field("vararg", &self.vararg.is_some())
+            .field("regsave", &self.regsave.is_some())
+            .finish()
+    }
+}
 
 /// Everything a recompilation produces.
 #[derive(Debug)]
@@ -166,7 +255,215 @@ pub fn recompile_with(
     mode: Mode,
     opt: OptLevel,
 ) -> Result<Recompiled, RecompileError> {
-    let mut rep = PipelineReport {
+    recompile_with_faults(img, inputs, mode, opt, &FaultInjector::default())
+}
+
+/// The rung a demoted function sits on and why it got there.
+#[derive(Debug, Clone)]
+struct Demotion {
+    /// 1 = spfold-only, 2 = raw emulated stack.
+    rung: u8,
+    reason: String,
+}
+
+impl Demotion {
+    fn rung_name(&self) -> &'static str {
+        if self.rung >= 2 {
+            "emulated-stack"
+        } else {
+            "spfold-only"
+        }
+    }
+}
+
+/// Demote `fid` to `rung`, then pull its whole weakly-connected call
+/// component out of full symbolization: the emulated stack is a calling
+/// convention, so the symbolized set must be closed under call edges
+/// (rung-1 and rung-2 functions interoperate freely through it).
+fn demote(
+    demoted: &mut BTreeMap<FuncId, Demotion>,
+    components: &BTreeMap<FuncId, Vec<FuncId>>,
+    module: &Module,
+    fid: FuncId,
+    rung: u8,
+    reason: String,
+    counter_name: &str,
+) {
+    wyt_obs::counter(counter_name, 1);
+    let name = module.funcs[fid.index()].name.clone();
+    match demoted.get_mut(&fid) {
+        Some(d) => {
+            if rung > d.rung {
+                d.rung = rung;
+                d.reason = reason;
+            }
+        }
+        None => {
+            demoted.insert(fid, Demotion { rung, reason });
+        }
+    }
+    if let Some(comp) = components.get(&fid) {
+        for &g in comp {
+            if g != fid && !demoted.contains_key(&g) {
+                wyt_obs::counter("fallback.closure", 1);
+                demoted.insert(
+                    g,
+                    Demotion { rung: 1, reason: format!("call-convention closure of {name}") },
+                );
+            }
+        }
+    }
+}
+
+/// Demote the whole module one rung when a failure cannot be pinned on a
+/// single function (IR verification, behavioural validation). Returns
+/// `false` when every function already sits on the bottom rung — the
+/// caller then surfaces the failure as a structured error.
+fn step_module_demotion(
+    demoted: &mut BTreeMap<FuncId, Demotion>,
+    all: &[FuncId],
+    reason: &str,
+    counter_name: &str,
+) -> bool {
+    if all.iter().any(|f| !demoted.contains_key(f)) {
+        for &f in all {
+            if !demoted.contains_key(&f) {
+                wyt_obs::counter(counter_name, 1);
+                demoted.insert(f, Demotion { rung: 1, reason: reason.to_string() });
+            }
+        }
+        return true;
+    }
+    if all.iter().any(|f| demoted.get(f).map(|d| d.rung) == Some(1)) {
+        for &f in all {
+            if let Some(d) = demoted.get_mut(&f) {
+                if d.rung == 1 {
+                    wyt_obs::counter(counter_name, 1);
+                    d.rung = 2;
+                    d.reason = reason.to_string();
+                }
+            }
+        }
+        return true;
+    }
+    false
+}
+
+/// Weakly-connected components of the call graph (direct calls plus
+/// observed indirect targets), keyed by member.
+fn call_components(module: &Module, regs: &regsave::RegSaveInfo) -> BTreeMap<FuncId, Vec<FuncId>> {
+    let n = module.funcs.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut r = x;
+        while parent[r] != r {
+            r = parent[r];
+        }
+        let mut c = x;
+        while parent[c] != r {
+            let next = parent[c];
+            parent[c] = r;
+            c = next;
+        }
+        r
+    }
+    let union = |parent: &mut [usize], a: usize, b: usize| {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    };
+    for (fi, f) in module.funcs.iter().enumerate() {
+        let fid = FuncId(fi as u32);
+        for b in f.rpo() {
+            for &i in &f.blocks[b.index()].insts {
+                match f.inst(i) {
+                    InstKind::Call { f: c, .. } => union(&mut parent, fi, c.index()),
+                    InstKind::CallInd { .. } => {
+                        if let Some(ts) = regs.indirect_targets.get(&(fid, i)) {
+                            for t in ts {
+                                union(&mut parent, fi, t.index());
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    let mut groups: BTreeMap<usize, Vec<FuncId>> = BTreeMap::new();
+    for fi in 0..n {
+        groups.entry(find(&mut parent, fi)).or_default().push(FuncId(fi as u32));
+    }
+    let mut out = BTreeMap::new();
+    for members in groups.into_values() {
+        for &m in &members {
+            out.insert(m, members.clone());
+        }
+    }
+    out
+}
+
+/// Replay the recompiled image against the traced baseline runs. The
+/// fuel budget bounds runaway control flow (possible under fault
+/// injection), generously scaled from the slowest baseline run.
+fn check_against_baseline(
+    image: &Image,
+    inputs: &[Vec<u8>],
+    baseline: &[RunResult],
+) -> Result<(), ValidateError> {
+    let _s = Span::enter("validate");
+    let budget =
+        baseline.iter().map(|r| r.inst_count).max().unwrap_or(0).saturating_mul(16) + 1_000_000;
+    for (i, input) in inputs.iter().enumerate() {
+        let a = &baseline[i];
+        if !a.ok() {
+            return Err(ValidateError {
+                input: i,
+                kind: MismatchKind::OriginalTrapped(a.trap.clone()),
+            });
+        }
+        let mut m = Machine::new(image, input.clone());
+        m.set_fuel(budget);
+        let b = m.run();
+        if !b.ok() {
+            return Err(ValidateError {
+                input: i,
+                kind: MismatchKind::RecompiledTrapped(b.trap.clone()),
+            });
+        }
+        if a.exit_code != b.exit_code {
+            return Err(ValidateError {
+                input: i,
+                kind: MismatchKind::Exit { original: a.exit_code, recompiled: b.exit_code },
+            });
+        }
+        if a.output != b.output {
+            return Err(ValidateError {
+                input: i,
+                kind: MismatchKind::Output { original: a.output.len(), recompiled: b.output.len() },
+            });
+        }
+    }
+    Ok(())
+}
+
+/// [`recompile_with`] plus a [`FaultInjector`] — the entry point the
+/// `wyt-fault` harness drives. With the default injector this is exactly
+/// [`recompile_with`].
+///
+/// # Errors
+/// Returns a [`RecompileError`] if any stage fails module-wide; per-
+/// function failures demote the function down the degradation ladder
+/// instead (see [`PipelineReport::degradations`]).
+pub fn recompile_with_faults(
+    img: &Image,
+    inputs: &[Vec<u8>],
+    mode: Mode,
+    opt: OptLevel,
+    faults: &FaultInjector,
+) -> Result<Recompiled, RecompileError> {
+    let mut base_rep = PipelineReport {
         mode: format!("{mode:?}"),
         opt: format!("{opt:?}"),
         ..PipelineReport::default()
@@ -175,23 +472,29 @@ pub fn recompile_with(
     let t0 = mono_ns();
     let lifted = {
         let _s = Span::enter("lift");
-        lift_image(img, inputs).map_err(RecompileError::Lift)?
+        let trace_fault: Option<&(dyn Fn(&mut Trace) + Sync)> = match &faults.trace {
+            Some(f) => Some(f.as_ref()),
+            None => None,
+        };
+        lift_image_faulted(img, inputs, trace_fault).map_err(RecompileError::Lift)?
     };
-    rep.lift = lift_counts(&lifted);
-    let Lifted { mut module, meta, trace: _, cfg: _, funcs: _, baseline_runs } = lifted;
-    rep.stages.push(StageStats {
+    base_rep.lift = lift_counts(&lifted);
+    let Lifted { module: pristine, meta, trace: _, cfg: _, funcs: _, baseline_runs } = lifted;
+    base_rep.stages.push(StageStats {
         name: "lift",
         wall_ns: mono_ns() - t0,
         before: IrSize::default(),
-        after: ir_size(&module),
+        after: ir_size(&pristine),
     });
-    rep.quality.emu_refs_before = emu_stack_refs(&module);
-    verify(&module)?;
+    base_rep.quality.emu_refs_before = emu_stack_refs(&pristine);
+    verify(&pristine)?;
 
     match mode {
         Mode::NoSymbolize => {
             // BinRec hands the lifted module to the full LLVM pipeline; the
             // optimizer simply cannot see through the emulated stack.
+            let mut rep = base_rep;
+            let mut module = pristine;
             stage(&mut rep, "optimize", &mut module, |m| {
                 optimize(m, opt);
                 Ok(())
@@ -201,6 +504,10 @@ pub fn recompile_with(
             let image = stage(&mut rep, "lower", &mut module, |m| {
                 lower_module(m).map_err(RecompileError::Lower)
             })?;
+            // No ladder here: a divergence (possible only under fault
+            // injection) is a structured error.
+            check_against_baseline(&image, inputs, &baseline_runs)
+                .map_err(RecompileError::Validate)?;
             Ok(Recompiled {
                 image,
                 module,
@@ -213,88 +520,228 @@ pub fn recompile_with(
             })
         }
         Mode::Wytiwyg => {
-            // Refinement 1: variadic / external call recovery (§5.2).
-            let vararg_sites = stage(&mut rep, "vararg", &mut module, |m| {
-                let obs = vararg::observe(m, inputs)
-                    .map_err(|e| RecompileError::Refine(format!("vararg: {e}")))?;
-                Ok(vararg::apply(m, &obs))
-            })?;
-            rep.quality.vararg_sites = vararg_sites as u64;
-            verify(&module)?;
-
-            // Refinement 2: saved registers + sp0 folding (§4.1).
-            let reginfo = stage(&mut rep, "regsave", &mut module, |m| {
-                regsave::analyze(m, &meta, inputs)
-                    .map_err(|e| RecompileError::Refine(format!("regsave: {e}")))
-            })?;
-            let fold = stage(&mut rep, "spfold", &mut module, |m| {
-                spfold::insert_save_restore(m, &meta, &reginfo);
-                spfold::fold(m, &meta, &reginfo).map_err(|e| RecompileError::Refine(e.to_string()))
-            })?;
-            rep.quality.base_ptrs_folded =
-                fold.funcs.values().map(|f| f.base_ptrs.len() as u64).sum();
-            verify(&module)?;
-
-            // Refinement 3: bounds recovery (§4.2).
-            let bounds = stage(&mut rep, "bounds", &mut module, |m| {
-                runtime::trace_bounds(m, &fold, inputs)
-                    .map_err(|e| RecompileError::Refine(format!("bounds: {e}")))
-            })?;
-
-            // Layout + symbolization (§4.2.6).
-            let mlayout = stage(&mut rep, "layout", &mut module, |m| {
-                let call_targets = collect_call_targets(m, &reginfo);
-                Ok(layout::build_layout(&bounds, &fold, &reginfo, &call_targets))
-            })?;
-            stage(&mut rep, "symbolize", &mut module, |m| {
-                symbolize::symbolize(m, &meta, &fold, &reginfo, &mlayout)
-                    .map_err(RecompileError::Symbolize)
-            })?;
-            verify(&module)?;
-            rep.quality.vars_recovered = mlayout.funcs.values().map(|l| l.vars.len() as u64).sum();
-            record_func_quality(&mut rep, &module, &reginfo, &mlayout);
-
-            // Symbolization coverage, by replay: the symbolized (but not yet
-            // re-optimized) module performs the same accesses the refinements
-            // observed, each now hitting either an alloca (symbolized) or the
-            // emulated-stack global (residual). Costs one interpreter run per
-            // traced input, so only collected when the obs sink is on.
-            if wyt_obs::enabled() {
-                rep.quality.coverage = Some(measure_coverage(&module, inputs, &mut rep));
-            }
-
-            // Re-optimize and lower. Optimization deletes unused after-call
-            // register reloads, which strands the matching exit stores in
-            // callees; sweep those and clean up once more.
-            stage(&mut rep, "optimize", &mut module, |m| {
-                optimize(m, opt);
-                Ok(())
-            })?;
-            stage(&mut rep, "dead_cell_stores", &mut module, |m| {
-                symbolize::dead_cell_stores(m);
-                Ok(())
-            })?;
-            stage(&mut rep, "optimize2", &mut module, |m| {
-                optimize(m, opt);
-                Ok(())
-            })?;
-            verify(&module)?;
-            rep.quality.emu_refs_after = emu_stack_refs(&module);
-            let image = stage(&mut rep, "lower", &mut module, |m| {
-                lower_module(m).map_err(RecompileError::Lower)
-            })?;
-            Ok(Recompiled {
-                image,
-                module,
-                lifted_meta: meta,
-                layout: Some(mlayout),
-                bounds: Some(bounds),
-                fold: Some(fold),
-                baseline_runs,
-                report: rep,
-            })
+            recompile_wytiwyg(img, inputs, opt, faults, base_rep, pristine, meta, baseline_runs)
         }
     }
+}
+
+/// The WYTIWYG arm: refinements + degradation ladder.
+///
+/// Each attempt starts from a pristine clone of the lifted module (the
+/// spfold save/restore splice is not reversible in place) and applies the
+/// refinements to whatever is not demoted; any per-function failure
+/// updates the demotion sets and restarts. The loop is bounded: every
+/// retry strictly demotes at least one function one rung.
+#[allow(clippy::too_many_arguments)]
+fn recompile_wytiwyg(
+    img: &Image,
+    inputs: &[Vec<u8>],
+    opt: OptLevel,
+    faults: &FaultInjector,
+    base_rep: PipelineReport,
+    pristine: Module,
+    meta: wyt_lifter::LiftedMeta,
+    baseline_runs: Vec<RunResult>,
+) -> Result<Recompiled, RecompileError> {
+    let _ = img;
+    let mut all_fids: Vec<FuncId> = meta.func_by_addr.values().copied().collect();
+    all_fids.push(meta.start);
+    all_fids.sort_unstable();
+
+    let mut demoted: BTreeMap<FuncId, Demotion> = BTreeMap::new();
+    let max_attempts = 2 * all_fids.len() + 4;
+
+    for _attempt in 0..max_attempts {
+        let mut rep = base_rep.clone();
+        let mut module = pristine.clone();
+        let rung2: BTreeSet<FuncId> =
+            demoted.iter().filter(|(_, d)| d.rung >= 2).map(|(f, _)| *f).collect();
+
+        // Refinement 1: variadic / external call recovery (§5.2).
+        // Observation replays the traced inputs on the raw module; if that
+        // fails nothing downstream can run — a module-wide error. Rung-2
+        // functions keep their raw stack-switching external calls.
+        let vararg_sites = stage(&mut rep, "vararg", &mut module, |m| {
+            let mut obs = vararg::observe(m, inputs)
+                .map_err(|e| RecompileError::Refine(format!("vararg: {e}")))?;
+            if let Some(f) = &faults.vararg {
+                f(&mut obs);
+            }
+            obs.arg_counts.retain(|(f, _), _| !rung2.contains(f));
+            Ok(vararg::apply(m, &obs))
+        })?;
+        rep.quality.vararg_sites = vararg_sites as u64;
+        verify(&module)?;
+
+        // Refinement 2: saved registers + sp0 folding (§4.1).
+        let reginfo = stage(&mut rep, "regsave", &mut module, |m| {
+            let mut info = regsave::analyze(m, &meta, inputs)
+                .map_err(|e| RecompileError::Refine(format!("regsave: {e}")))?;
+            if let Some(f) = &faults.regsave {
+                f(&mut info);
+            }
+            Ok(info)
+        })?;
+        let components = call_components(&module, &reginfo);
+
+        let (fold, fold_errs) = stage(&mut rep, "spfold", &mut module, |m| {
+            spfold::insert_save_restore(m, &meta, &reginfo, &rung2);
+            Ok(spfold::fold(m, &meta, &reginfo, &rung2))
+        })?;
+        if !fold_errs.is_empty() {
+            for e in &fold_errs {
+                demote(
+                    &mut demoted,
+                    &components,
+                    &pristine,
+                    e.func,
+                    2,
+                    format!("spfold: {}", e.what),
+                    "fallback.spfold",
+                );
+            }
+            continue;
+        }
+        rep.quality.base_ptrs_folded = fold.funcs.values().map(|f| f.base_ptrs.len() as u64).sum();
+        verify(&module)?;
+
+        // Refinement 3: bounds recovery (§4.2). A replay failure cannot be
+        // pinned on one function, so the whole module steps down a rung.
+        let bounds_res = stage(&mut rep, "bounds", &mut module, |m| {
+            Ok(runtime::trace_bounds(m, &fold, inputs))
+        })?;
+        let bounds = match bounds_res {
+            Ok(b) => b,
+            Err(e) => {
+                if step_module_demotion(
+                    &mut demoted,
+                    &all_fids,
+                    &format!("bounds replay failed: {e}"),
+                    "fallback.bounds",
+                ) {
+                    continue;
+                }
+                return Err(RecompileError::Refine(format!("bounds: {e}")));
+            }
+        };
+
+        // Layout + symbolization (§4.2.6). Demoted functions get no layout
+        // and are not rewritten; the calling-convention closure guarantees
+        // no symbolized function calls into (or is called from) them.
+        let eligible: BTreeSet<FuncId> =
+            all_fids.iter().copied().filter(|f| !demoted.contains_key(f)).collect();
+        let mlayout = stage(&mut rep, "layout", &mut module, |m| {
+            let call_targets = collect_call_targets(m, &reginfo);
+            let mut l = layout::build_layout(&bounds, &fold, &reginfo, &call_targets);
+            l.funcs.retain(|f, _| eligible.contains(f));
+            Ok(l)
+        })?;
+        let sym_errs = stage(&mut rep, "symbolize", &mut module, |m| {
+            Ok(symbolize::symbolize(m, &meta, &fold, &reginfo, &mlayout, &eligible))
+        })?;
+        if !sym_errs.is_empty() {
+            for (fid, e) in &sym_errs {
+                demote(
+                    &mut demoted,
+                    &components,
+                    &pristine,
+                    *fid,
+                    1,
+                    format!("symbolize: {}", e.what),
+                    "fallback.symbolize",
+                );
+            }
+            continue;
+        }
+        if let Err(e) = wyt_ir::verify::verify_module(&module) {
+            if step_module_demotion(
+                &mut demoted,
+                &all_fids,
+                &format!("IR verify failed after symbolize: {e}"),
+                "fallback.verify",
+            ) {
+                continue;
+            }
+            return Err(RecompileError::Verify(e));
+        }
+        rep.quality.vars_recovered = mlayout.funcs.values().map(|l| l.vars.len() as u64).sum();
+        record_func_quality(&mut rep, &module, &reginfo, &mlayout);
+
+        // Symbolization coverage, by replay: the symbolized (but not yet
+        // re-optimized) module performs the same accesses the refinements
+        // observed, each now hitting either an alloca (symbolized) or the
+        // emulated-stack global (residual). Costs one interpreter run per
+        // traced input, so only collected when the obs sink is on.
+        if wyt_obs::enabled() {
+            rep.quality.coverage = Some(measure_coverage(&module, inputs, &mut rep));
+        }
+
+        // Re-optimize and lower. Optimization deletes unused after-call
+        // register reloads, which strands the matching exit stores in
+        // callees; sweep those and clean up once more.
+        stage(&mut rep, "optimize", &mut module, |m| {
+            optimize(m, opt);
+            Ok(())
+        })?;
+        stage(&mut rep, "dead_cell_stores", &mut module, |m| {
+            symbolize::dead_cell_stores(m);
+            Ok(())
+        })?;
+        stage(&mut rep, "optimize2", &mut module, |m| {
+            optimize(m, opt);
+            Ok(())
+        })?;
+        if let Err(e) = wyt_ir::verify::verify_module(&module) {
+            if step_module_demotion(
+                &mut demoted,
+                &all_fids,
+                &format!("IR verify failed after optimize: {e}"),
+                "fallback.verify",
+            ) {
+                continue;
+            }
+            return Err(RecompileError::Verify(e));
+        }
+        rep.quality.emu_refs_after = emu_stack_refs(&module);
+        let image = stage(&mut rep, "lower", &mut module, |m| {
+            lower_module(m).map_err(RecompileError::Lower)
+        })?;
+
+        // Behavioural gate: the image must reproduce the traced baseline.
+        // A divergence demotes (the refinements got something wrong for
+        // these functions) until the ladder bottoms out.
+        if let Err(e) = check_against_baseline(&image, inputs, &baseline_runs) {
+            if step_module_demotion(
+                &mut demoted,
+                &all_fids,
+                &format!("validation failed: {e}"),
+                "fallback.validate",
+            ) {
+                continue;
+            }
+            return Err(RecompileError::Validate(e));
+        }
+
+        for (fid, d) in &demoted {
+            rep.degradations.push(Degradation {
+                func: fid.0,
+                name: pristine.funcs[fid.index()].name.clone(),
+                rung: d.rung_name(),
+                reason: d.reason.clone(),
+            });
+        }
+        return Ok(Recompiled {
+            image,
+            module,
+            lifted_meta: meta,
+            layout: Some(mlayout),
+            bounds: Some(bounds),
+            fold: Some(fold),
+            baseline_runs,
+            report: rep,
+        });
+    }
+    Err(RecompileError::Refine("degradation ladder did not converge".into()))
 }
 
 /// Per-function recovery quality, ordered by function index for
@@ -380,25 +827,35 @@ fn collect_call_targets(
 
 /// Validate a recompiled image against the original on the given inputs:
 /// exit codes and outputs must match.
-pub fn validate(original: &Image, recompiled: &Image, inputs: &[Vec<u8>]) -> Result<(), String> {
+///
+/// # Errors
+/// Returns a [`ValidateError`] carrying the failing input index and the
+/// mismatch kind.
+pub fn validate(
+    original: &Image,
+    recompiled: &Image,
+    inputs: &[Vec<u8>],
+) -> Result<(), ValidateError> {
     for (i, input) in inputs.iter().enumerate() {
         let a = wyt_emu::run_image(original, input.clone());
         let b = wyt_emu::run_image(recompiled, input.clone());
         if !a.ok() {
-            return Err(format!("input {i}: original trapped: {:?}", a.trap));
+            return Err(ValidateError { input: i, kind: MismatchKind::OriginalTrapped(a.trap) });
         }
         if !b.ok() {
-            return Err(format!("input {i}: recompiled trapped: {:?}", b.trap));
+            return Err(ValidateError { input: i, kind: MismatchKind::RecompiledTrapped(b.trap) });
         }
         if a.exit_code != b.exit_code {
-            return Err(format!("input {i}: exit {} vs {}", a.exit_code, b.exit_code));
+            return Err(ValidateError {
+                input: i,
+                kind: MismatchKind::Exit { original: a.exit_code, recompiled: b.exit_code },
+            });
         }
         if a.output != b.output {
-            return Err(format!(
-                "input {i}: output mismatch ({} vs {} bytes)",
-                a.output.len(),
-                b.output.len()
-            ));
+            return Err(ValidateError {
+                input: i,
+                kind: MismatchKind::Output { original: a.output.len(), recompiled: b.output.len() },
+            });
         }
     }
     Ok(())

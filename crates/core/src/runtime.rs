@@ -509,8 +509,10 @@ mod tests {
         let obs = crate::vararg::observe(&module, &inputs).unwrap();
         crate::vararg::apply(&mut module, &obs);
         let info = regsave::analyze(&module, &lifted.meta, &inputs).unwrap();
-        spfold::insert_save_restore(&mut module, &lifted.meta, &info);
-        let fold = spfold::fold(&mut module, &lifted.meta, &info).unwrap();
+        let none = std::collections::BTreeSet::new();
+        spfold::insert_save_restore(&mut module, &lifted.meta, &info, &none);
+        let (fold, errs) = spfold::fold(&mut module, &lifted.meta, &info, &none);
+        assert!(errs.is_empty(), "clean corpus must fold: {errs:?}");
         let bounds = trace_bounds(&module, &fold, &inputs).unwrap();
         (bounds, fold, lifted.meta, img)
     }

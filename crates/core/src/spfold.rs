@@ -12,7 +12,7 @@
 //! bounds-recovery refinement instruments (§4.2).
 
 use crate::regsave::{cell_of_addr, RegClass, RegSaveInfo, ESP_CELL, NUM_CELLS};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use wyt_ir::{BinOp, BlockId, FuncId, InstId, InstKind, Module, Ty, Val};
 use wyt_lifter::LiftedMeta;
 
@@ -39,25 +39,39 @@ pub struct FoldInfo {
 #[derive(Debug, Clone)]
 pub struct FoldError {
     /// Function that failed.
-    pub func: String,
+    pub func: FuncId,
+    /// Its name (for diagnostics).
+    pub name: String,
     /// Why.
     pub what: String,
 }
 
 impl std::fmt::Display for FoldError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "sp0 folding failed in {}: {}", self.func, self.what)
+        write!(f, "sp0 folding failed in {}: {}", self.name, self.what)
     }
 }
 
 impl std::error::Error for FoldError {}
 
 /// Insert explicit save/restore of the callee's saved registers around
-/// every call site (the paper's transform in §4.1).
-pub fn insert_save_restore(module: &mut Module, meta: &LiftedMeta, info: &RegSaveInfo) {
+/// every call site (the paper's transform in §4.1). Functions in `skip`
+/// (degraded to the raw emulated-stack rung) are left untouched: their
+/// bodies already preserve registers indirectly through the emulated
+/// stack, and the splice would make a later pristine-clone restart of the
+/// ladder impossible to reason about.
+pub fn insert_save_restore(
+    module: &mut Module,
+    meta: &LiftedMeta,
+    info: &RegSaveInfo,
+    skip: &BTreeSet<FuncId>,
+) {
     let esp_addr = wyt_lifter::vcpu_reg_addr(wyt_isa::Reg::Esp);
     for fi in 0..module.funcs.len() {
         let fid = FuncId(fi as u32);
+        if skip.contains(&fid) {
+            continue;
+        }
         let f = &mut module.funcs[fi];
         for b in f.rpo() {
             // Collect call positions first (we splice around them).
@@ -198,6 +212,7 @@ fn fold_function(
     let mut inst_expr: HashMap<InstId, Expr> = HashMap::new();
     let mut call_esp: BTreeMap<InstId, i32> = BTreeMap::new();
 
+    let mut converged = false;
     for _round in 0..64 {
         let mut changed = false;
         for &b in &rpo {
@@ -352,8 +367,19 @@ fn fold_function(
             }
         }
         if !changed {
+            converged = true;
             break;
         }
+    }
+    // Non-convergence means the function is outside the foldable set; the
+    // caller demotes it down the degradation ladder. The body has not been
+    // mutated yet, so the raw lifted semantics are intact.
+    if !converged {
+        return Err(FoldError {
+            func: fid,
+            name: fname,
+            what: "abstract esp interpretation did not converge".into(),
+        });
     }
 
     // Insert %sp0 = load @esp at entry.
@@ -390,27 +416,38 @@ fn fold_function(
     Ok(folded)
 }
 
-/// Run sp0 folding over every lifted function.
+/// Run sp0 folding over every lifted function except those in `skip`.
 ///
-/// # Errors
-/// Returns a [`FoldError`] if a function's stack discipline cannot be
-/// folded (never for the compilers modelled here).
+/// Errors are collected per function instead of aborting the module: a
+/// function whose stack discipline cannot be folded (never the case for
+/// the compilers modelled here, but routine under fault injection) is
+/// reported in the second tuple element and left unmutated, so the caller
+/// can demote it down the degradation ladder and retry.
 pub fn fold(
     module: &mut Module,
     meta: &LiftedMeta,
     info: &RegSaveInfo,
-) -> Result<FoldInfo, FoldError> {
+    skip: &BTreeSet<FuncId>,
+) -> (FoldInfo, Vec<FoldError>) {
     let mut ret_pops: HashMap<FuncId, u16> = HashMap::new();
     for (fid, pop) in &meta.ret_pop {
         ret_pops.insert(*fid, *pop);
     }
     let mut out = FoldInfo::default();
+    let mut errs = Vec::new();
     let fids: Vec<FuncId> = meta.func_by_addr.values().copied().collect();
     for fid in fids {
-        let folded = fold_function(module, fid, &ret_pops, &info.indirect_targets)?;
-        out.funcs.insert(fid, folded);
+        if skip.contains(&fid) {
+            continue;
+        }
+        match fold_function(module, fid, &ret_pops, &info.indirect_targets) {
+            Ok(folded) => {
+                out.funcs.insert(fid, folded);
+            }
+            Err(e) => errs.push(e),
+        }
     }
-    Ok(out)
+    (out, errs)
 }
 
 #[cfg(test)]
@@ -435,8 +472,9 @@ mod tests {
         let obs = crate::vararg::observe(&module, &inputs).unwrap();
         crate::vararg::apply(&mut module, &obs);
         let info = regsave::analyze(&module, &lifted.meta, &inputs).unwrap();
-        insert_save_restore(&mut module, &lifted.meta, &info);
-        let fold_info = fold(&mut module, &lifted.meta, &info).unwrap();
+        insert_save_restore(&mut module, &lifted.meta, &info, &BTreeSet::new());
+        let (fold_info, errs) = fold(&mut module, &lifted.meta, &info, &BTreeSet::new());
+        assert!(errs.is_empty(), "clean corpus must fold: {errs:?}");
         verify_module(&module).unwrap();
         (module, lifted.meta, fold_info, inputs, img)
     }

@@ -139,30 +139,42 @@ fn callees_of(module: &Module, fid: FuncId, inst: InstId, regs: &RegSaveInfo) ->
     }
 }
 
-/// Symbolize the whole module in place.
+/// Symbolize the functions in `eligible` in place; the rest of the module
+/// (functions demoted down the degradation ladder) keeps its emulated
+/// stack and stays callable through the shared calling convention.
 ///
-/// # Errors
-/// Returns a [`SymbolizeError`] if an invariant is violated (leftover raw
-/// external calls, unfolded frame references on traced paths).
+/// Failures are collected per function instead of aborting the module: a
+/// function that violates a symbolization invariant (leftover raw external
+/// calls, unfolded frame references on traced paths) is reported with its
+/// id and left unmutated, so the caller can demote it and retry.
 pub fn symbolize(
     module: &mut Module,
     meta: &LiftedMeta,
     fold: &FoldInfo,
     regs: &RegSaveInfo,
     layout: &ModuleLayout,
-) -> Result<(), SymbolizeError> {
+    eligible: &BTreeSet<FuncId>,
+) -> Vec<(FuncId, SymbolizeError)> {
     let sigs = finalize_signatures(module, meta, layout, regs, fold);
 
     let mut func_ids: Vec<FuncId> = meta.func_by_addr.values().copied().collect();
     func_ids.push(meta.start);
 
+    let mut errs = Vec::new();
     for fid in func_ids {
-        rewrite_function(module, fid, meta, fold, regs, layout, &sigs)?;
+        if !eligible.contains(&fid) {
+            continue;
+        }
+        if let Err(e) = rewrite_function(module, fid, meta, fold, regs, layout, &sigs) {
+            errs.push((fid, e));
+        }
     }
 
     // Module-level cleanup: delete stores to vcpu cells nobody loads.
+    // Safe for demoted functions too: their own loads keep the stores
+    // they depend on alive.
     dead_cell_stores(module);
-    Ok(())
+    errs
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -180,6 +192,24 @@ fn rewrite_function(
     let folded = fold.funcs.get(&fid);
     let sig = sigs.get(&fid).cloned().unwrap_or_default();
     let callee_sigs: HashMap<FuncId, Sig> = sigs.clone();
+
+    // Pre-flight: invariants that would otherwise fail mid-rewrite are
+    // checked first, so a failing function is reported with its body
+    // untouched (the degradation ladder re-runs on a pristine module, but
+    // keeping this pass non-destructive on error is cheap insurance).
+    {
+        let f = &module.funcs[fid.index()];
+        for b in f.rpo() {
+            for &i in &f.blocks[b.index()].insts {
+                if matches!(f.inst(i), InstKind::CallExtRaw { .. }) {
+                    return Err(SymbolizeError {
+                        func: f.name.clone(),
+                        what: "raw external call survived the vararg refinement".into(),
+                    });
+                }
+            }
+        }
+    }
 
     // We need immutable module access for callee lookups while mutating
     // this function: take it out, put it back.

@@ -231,7 +231,10 @@ pub trait ArgSource {
 
 impl ArgSource for &[u32] {
     fn arg(&mut self, i: usize) -> u32 {
-        self[i]
+        // Arguments past the supplied list read as zero: a call site with
+        // an under-recovered arity must degrade deterministically (and be
+        // caught by behavioral validation), not abort the host process.
+        self.get(i).copied().unwrap_or(0)
     }
 }
 

@@ -144,6 +144,13 @@ pub enum InterpError {
     UnknownExtern(u16),
     /// `unreachable` executed.
     Unreachable(FuncId, BlockId),
+    /// An instruction referenced an out-of-range index (global, function,
+    /// block) — malformed IR reached the interpreter.
+    BadIndex(&'static str, u32),
+    /// A phi at a branch target had no incoming for the source block.
+    MissingBlockArg(FuncId, BlockId),
+    /// The frame stack was empty where a frame was required.
+    FrameUnderflow,
 }
 
 impl fmt::Display for InterpError {
@@ -158,6 +165,11 @@ impl fmt::Display for InterpError {
             InterpError::NoEntry => write!(f, "module has no entry function"),
             InterpError::UnknownExtern(e) => write!(f, "unknown extern #{e}"),
             InterpError::Unreachable(func, b) => write!(f, "unreachable executed in {func} {b}"),
+            InterpError::BadIndex(what, i) => write!(f, "out-of-range {what} index {i}"),
+            InterpError::MissingBlockArg(func, b) => {
+                write!(f, "phi in {func} {b} has no incoming for the branching block")
+            }
+            InterpError::FrameUnderflow => write!(f, "frame stack underflow"),
         }
     }
 }
@@ -325,9 +337,10 @@ impl<'m, H: Hooks> Interp<'m, H> {
         args: Vec<u32>,
         arg_shadows: Vec<Option<Shadow>>,
         ret_dest: Option<InstId>,
-    ) -> Frame {
-        let func = &self.module.funcs[f.index()];
-        Frame {
+    ) -> Result<Frame, InterpError> {
+        let func =
+            self.module.funcs.get(f.index()).ok_or(InterpError::BadIndex("function", f.0))?;
+        Ok(Frame {
             func: f,
             block: func.entry,
             prev_block: None,
@@ -338,7 +351,7 @@ impl<'m, H: Hooks> Interp<'m, H> {
             arg_shadows,
             ret_dest,
             nsp_save: self.nsp,
-        }
+        })
     }
 
     fn eval(&self, fr: &Frame, v: Val) -> u32 {
@@ -428,15 +441,19 @@ impl<'m, H: Hooks> Interp<'m, H> {
 
     fn run_inner(&mut self, entry: FuncId, args: &[u32]) -> Result<i32, InterpError> {
         let mut frames: Vec<Frame> = Vec::new();
-        let first = self.new_frame(entry, args.to_vec(), vec![None; args.len()], None);
+        let first = self.new_frame(entry, args.to_vec(), vec![None; args.len()], None)?;
         let first_args: Vec<Tagged> = args.iter().map(|&a| (a, None)).collect();
         self.hooks.fn_enter(entry, None, &first_args, &self.mem);
         frames.push(first);
 
         'outer: loop {
-            let fr = frames.last_mut().expect("frame");
+            let Some(fr) = frames.last_mut() else {
+                return Err(InterpError::FrameUnderflow);
+            };
             let func = &self.module.funcs[fr.func.index()];
-            let block = &func.blocks[fr.block.index()];
+            let Some(block) = func.blocks.get(fr.block.index()) else {
+                return Err(InterpError::BadIndex("block", fr.block.0));
+            };
 
             if fr.idx >= block.insts.len() {
                 // Terminator.
@@ -446,12 +463,12 @@ impl<'m, H: Hooks> Interp<'m, H> {
                 }
                 let term = block.term.clone();
                 match term {
-                    Term::Br(b) => self.branch(frames.last_mut().unwrap(), b),
+                    Term::Br(b) => self.branch(frames.last_mut().unwrap(), b)?,
                     Term::CondBr { c, t, f } => {
                         let fr = frames.last_mut().unwrap();
                         let cv = self.eval(fr, c);
                         let target = if cv != 0 { t } else { f };
-                        self.branch(frames.last_mut().unwrap(), target);
+                        self.branch(frames.last_mut().unwrap(), target)?;
                     }
                     Term::Switch { v, cases, default } => {
                         let fr = frames.last_mut().unwrap();
@@ -461,13 +478,13 @@ impl<'m, H: Hooks> Interp<'m, H> {
                             .find(|(c, _)| *c == val)
                             .map(|(_, b)| *b)
                             .unwrap_or(default);
-                        self.branch(frames.last_mut().unwrap(), target);
+                        self.branch(frames.last_mut().unwrap(), target)?;
                     }
                     Term::Ret(v) => {
                         let fr = frames.last().unwrap();
                         let rv = v.map(|v| self.tagged(fr, v));
                         self.hooks.fn_exit(fr.func, rv, &self.mem);
-                        let done = frames.pop().expect("frame");
+                        let done = frames.pop().ok_or(InterpError::FrameUnderflow)?;
                         self.nsp = done.nsp_save;
                         match frames.last_mut() {
                             None => return Ok(rv.map(|(v, _)| v as i32).unwrap_or(0)),
@@ -568,14 +585,26 @@ impl<'m, H: Hooks> Interp<'m, H> {
                     fr.idx += 1;
                 }
                 InstKind::GlobalAddr { g } => {
+                    let addr = self
+                        .global_addrs
+                        .get(g.index())
+                        .copied()
+                        .ok_or(InterpError::BadIndex("global", g.0))?;
                     let fr = frames.last_mut().unwrap();
-                    fr.vals[inst_id.index()] = self.global_addrs[g.index()];
+                    fr.vals[inst_id.index()] = addr;
                     fr.shadows[inst_id.index()] = None;
                     fr.idx += 1;
                 }
                 InstKind::FuncAddr { f } => {
+                    let addr = self
+                        .module
+                        .funcs
+                        .get(f.index())
+                        .ok_or(InterpError::BadIndex("function", f.0))?
+                        .orig_addr
+                        .unwrap_or(0);
                     let fr = frames.last_mut().unwrap();
-                    fr.vals[inst_id.index()] = self.module.funcs[f.index()].orig_addr.unwrap_or(0);
+                    fr.vals[inst_id.index()] = addr;
                     fr.shadows[inst_id.index()] = None;
                     fr.idx += 1;
                 }
@@ -680,27 +709,30 @@ impl<'m, H: Hooks> Interp<'m, H> {
         self.hooks.call_pre(caller, inst_id, callee, &self.mem);
         let vals: Vec<u32> = targs.iter().map(|(v, _)| *v).collect();
         let shadows: Vec<Option<Shadow>> = targs.iter().map(|(_, s)| *s).collect();
-        let frame = self.new_frame(callee, vals, shadows, Some(inst_id));
+        let frame = self.new_frame(callee, vals, shadows, Some(inst_id))?;
         self.hooks.fn_enter(callee, Some((caller, inst_id)), &targs, &self.mem);
         frames.push(frame);
         Ok(())
     }
 
     /// Transfer control within the current frame, evaluating phi nodes of
-    /// the target block (two-phase: read all, then write all).
-    fn branch(&mut self, fr: &mut Frame, target: BlockId) {
+    /// the target block (two-phase: read all, then write all). A phi with
+    /// no incoming for the source block is malformed IR and errors rather
+    /// than silently keeping a stale value.
+    fn branch(&mut self, fr: &mut Frame, target: BlockId) -> Result<(), InterpError> {
         let func = &self.module.funcs[fr.func.index()];
         let from = fr.block;
-        let tb = &func.blocks[target.index()];
+        let tb = func.blocks.get(target.index()).ok_or(InterpError::BadIndex("block", target.0))?;
         let mut updates: Vec<(InstId, u32, Option<Shadow>)> = Vec::new();
         for &i in &tb.insts {
             match func.inst(i) {
                 InstKind::Phi { incomings } => {
-                    if let Some((_, v)) = incomings.iter().find(|(p, _)| *p == from) {
-                        let val = self.eval(fr, *v);
-                        let s = self.shadow(fr, *v);
-                        updates.push((i, val, s));
-                    }
+                    let Some((_, v)) = incomings.iter().find(|(p, _)| *p == from) else {
+                        return Err(InterpError::MissingBlockArg(fr.func, target));
+                    };
+                    let val = self.eval(fr, *v);
+                    let s = self.shadow(fr, *v);
+                    updates.push((i, val, s));
                 }
                 _ => break,
             }
@@ -712,6 +744,7 @@ impl<'m, H: Hooks> Interp<'m, H> {
         fr.prev_block = Some(from);
         fr.block = target;
         fr.idx = 0;
+        Ok(())
     }
 }
 
@@ -727,6 +760,7 @@ fn to_isa_size(ty: Ty) -> wyt_isa::Size {
 mod tests {
     use super::*;
     use crate::module::{Function, Global, GlobalKind};
+    use crate::types::GlobalId;
 
     fn run_entry(m: &Module) -> InterpOutput {
         Interp::new(m, Vec::new(), NoHooks).run()
@@ -1029,6 +1063,46 @@ mod tests {
         let out = interp.run();
         assert!(out.ok());
         assert!(interp.hooks.tagged_store_seen, "shadow should flow through copy to store");
+    }
+
+    #[test]
+    fn malformed_ir_errors_instead_of_panicking() {
+        // A phi with no incoming for the branching block is a structured
+        // error, not a stale value or a panic.
+        let m = simple_module(|f| {
+            let tgt = f.add_block();
+            f.blocks[0].term = Term::Br(tgt);
+            let phi = f.push_inst(tgt, InstKind::Phi { incomings: vec![] });
+            f.blocks[tgt.index()].term = Term::Ret(Some(Val::Inst(phi)));
+        });
+        assert!(matches!(run_entry(&m).error, Some(InterpError::MissingBlockArg(..))));
+
+        // An out-of-range global index errors.
+        let m = simple_module(|f| {
+            let ga = f.push_inst(f.entry, InstKind::GlobalAddr { g: GlobalId(99) });
+            f.blocks[0].term = Term::Ret(Some(Val::Inst(ga)));
+        });
+        assert_eq!(run_entry(&m).error, Some(InterpError::BadIndex("global", 99)));
+
+        // An out-of-range function index errors.
+        let m = simple_module(|f| {
+            let fa = f.push_inst(f.entry, InstKind::FuncAddr { f: FuncId(42) });
+            f.blocks[0].term = Term::Ret(Some(Val::Inst(fa)));
+        });
+        assert_eq!(run_entry(&m).error, Some(InterpError::BadIndex("function", 42)));
+
+        // A branch to a non-existent block errors.
+        let m = simple_module(|f| {
+            f.blocks[0].term = Term::Br(BlockId(7));
+        });
+        assert_eq!(run_entry(&m).error, Some(InterpError::BadIndex("block", 7)));
+
+        // A call to a non-existent function errors.
+        let m = simple_module(|f| {
+            let c = f.push_inst(f.entry, InstKind::Call { f: FuncId(9), args: vec![] });
+            f.blocks[0].term = Term::Ret(Some(Val::Inst(c)));
+        });
+        assert_eq!(run_entry(&m).error, Some(InterpError::BadIndex("function", 9)));
     }
 
     #[test]

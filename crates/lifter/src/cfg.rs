@@ -71,6 +71,8 @@ pub enum CfgError {
     BadDecode(u32),
     /// A traced target lies outside the text segment.
     TargetOutsideText(u32),
+    /// A terminator instruction the CFG builder does not model.
+    UnsupportedTerminator(u32),
 }
 
 impl fmt::Display for CfgError {
@@ -78,6 +80,9 @@ impl fmt::Display for CfgError {
         match self {
             CfgError::BadDecode(a) => write!(f, "cannot decode traced code at {a:#x}"),
             CfgError::TargetOutsideText(a) => write!(f, "traced target {a:#x} outside text"),
+            CfgError::UnsupportedTerminator(a) => {
+                write!(f, "unmodeled terminator at {a:#x}")
+            }
         }
     }
 }
@@ -128,7 +133,7 @@ pub fn build_cfg(img: &Image, trace: &Trace) -> Result<MachCfg, CfgError> {
                     Inst::Ret { pop } => BlockEnd::Ret(pop),
                     Inst::Halt => BlockEnd::Halt,
                     Inst::Trap { code } => BlockEnd::Trap(code),
-                    _ => unreachable!("terminator set"),
+                    _ => return Err(CfgError::UnsupportedTerminator(pc)),
                 };
             }
             insts.push((pc, inst));

@@ -40,6 +40,8 @@ pub enum FuncRecError {
     MixedRetPop(u32),
     /// A traced block is reachable from no entry.
     OrphanBlock(u32),
+    /// A reachable block decoded to zero instructions (malformed trace).
+    EmptyBlock(u32),
 }
 
 impl fmt::Display for FuncRecError {
@@ -49,6 +51,7 @@ impl fmt::Display for FuncRecError {
                 write!(f, "function {e:#x} mixes ret immediates")
             }
             FuncRecError::OrphanBlock(b) => write!(f, "block {b:#x} unreachable from any entry"),
+            FuncRecError::EmptyBlock(b) => write!(f, "block {b:#x} has no instructions"),
         }
     }
 }
@@ -114,20 +117,23 @@ pub fn recover_functions(cfg: &MachCfg) -> Result<FuncMap, FuncRecError> {
         let mut ret_pop: Option<u16> = None;
         let mut tail_calls = BTreeMap::new();
         for &b in &blocks {
-            let blk = &cfg.blocks[&b];
+            // `reach` only returns decoded blocks, but a malformed trace
+            // must degrade to a structured error, never a panic.
+            let Some(blk) = cfg.blocks.get(&b) else {
+                return Err(FuncRecError::OrphanBlock(b));
+            };
             match &blk.end {
                 BlockEnd::Ret(p) => match ret_pop {
                     None => ret_pop = Some(*p),
                     Some(prev) if prev != *p => return Err(FuncRecError::MixedRetPop(e)),
                     _ => {}
                 },
-                BlockEnd::Jmp(t) if entries.contains(t) && *t != e => {
-                    let (jaddr, _) = *blk.insts.last().expect("terminator");
-                    tail_calls.insert(jaddr, *t);
-                }
-                BlockEnd::Jmp(t) if *t == e => {
-                    // Self tail call (tail recursion): also a tail call.
-                    let (jaddr, _) = *blk.insts.last().expect("terminator");
+                // Jumps to entries are tail calls (including tail
+                // recursion, where the target is this entry).
+                BlockEnd::Jmp(t) if entries.contains(t) => {
+                    let Some(&(jaddr, _)) = blk.insts.last() else {
+                        return Err(FuncRecError::EmptyBlock(b));
+                    };
                     tail_calls.insert(jaddr, *t);
                 }
                 _ => {}
@@ -154,10 +160,13 @@ fn reach(cfg: &MachCfg, entry: u32, entries: &BTreeSet<u32>) -> BTreeSet<u32> {
     let mut seen = BTreeSet::new();
     let mut stack = vec![entry];
     while let Some(b) = stack.pop() {
+        // Only decoded blocks join the function: a truncated trace can
+        // leave a jump whose target was never traced, and that target must
+        // not become a phantom member (it traps at runtime instead).
+        let Some(blk) = cfg.blocks.get(&b) else { continue };
         if !seen.insert(b) {
             continue;
         }
-        let Some(blk) = cfg.blocks.get(&b) else { continue };
         for s in cfg.successors(blk) {
             // Jump edges to entries are tail calls; conditional and
             // fallthrough edges never target entries in compiler output.

@@ -82,10 +82,30 @@ pub struct Lifted {
 /// # Errors
 /// Returns a [`LiftPipelineError`] if any stage fails.
 pub fn lift_image(img: &Image, inputs: &[Vec<u8>]) -> Result<Lifted, LiftPipelineError> {
-    let (trace, baseline_runs) = {
+    lift_image_faulted(img, inputs, None)
+}
+
+/// [`lift_image`] with an optional trace-mutation hook, applied between
+/// tracing and CFG reconstruction. The fault-injection harness uses this
+/// to model torn or corrupted traces (truncated edges, duplicated edges
+/// with the wrong transfer kind, bogus call targets); everything
+/// downstream must then either degrade per function or return a
+/// structured error.
+///
+/// # Errors
+/// Returns a [`LiftPipelineError`] if any stage fails.
+pub fn lift_image_faulted(
+    img: &Image,
+    inputs: &[Vec<u8>],
+    trace_fault: Option<&(dyn Fn(&mut Trace) + Sync)>,
+) -> Result<Lifted, LiftPipelineError> {
+    let (mut trace, baseline_runs) = {
         let _s = wyt_obs::Span::enter("lift.trace");
         trace_image(img, inputs)
     };
+    if let Some(fault) = trace_fault {
+        fault(&mut trace);
+    }
     let cfg = {
         let _s = wyt_obs::Span::enter("lift.cfg");
         cfg::build_cfg(img, &trace).map_err(LiftPipelineError::Cfg)?

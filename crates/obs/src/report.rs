@@ -262,6 +262,33 @@ impl QualityStats {
     }
 }
 
+/// One function demoted down the degradation ladder: which rung it ended
+/// on and why the pipeline gave up on the rung above.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// IR function index.
+    pub func: u32,
+    /// Function name.
+    pub name: String,
+    /// Ladder rung the function landed on (`"spfold-only"` or
+    /// `"emulated-stack"`).
+    pub rung: &'static str,
+    /// Human-readable demotion reason (the stage error or validation
+    /// mismatch that triggered it).
+    pub reason: String,
+}
+
+impl Degradation {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("func", Json::from(u64::from(self.func))),
+            ("name", Json::from(self.name.as_str())),
+            ("rung", Json::from(self.rung)),
+            ("reason", Json::from(self.reason.as_str())),
+        ])
+    }
+}
+
 /// Everything one recompilation measured about itself.
 #[derive(Debug, Clone, Default)]
 pub struct PipelineReport {
@@ -278,6 +305,9 @@ pub struct PipelineReport {
     /// Telemetry of the refinement executions driven by the pipeline
     /// itself (vararg observation, bounds tracing, coverage replay).
     pub exec: ExecStats,
+    /// Functions demoted down the degradation ladder, ordered by function
+    /// index. Empty on a clean recompilation.
+    pub degradations: Vec<Degradation>,
 }
 
 impl PipelineReport {
@@ -303,6 +333,10 @@ impl PipelineReport {
             ("lift", self.lift.to_json()),
             ("quality", self.quality.to_json()),
             ("exec", self.exec.to_json()),
+            (
+                "degradations",
+                Json::Arr(self.degradations.iter().map(Degradation::to_json).collect()),
+            ),
         ])
     }
 
@@ -372,6 +406,12 @@ impl PipelineReport {
                 self.exec.runs, self.exec.retired, m.loads, m.stores, m.native_slot, m.emu_stack
             ));
         }
+        if !self.degradations.is_empty() {
+            out.push_str(&format!("degraded: {} function(s)\n", self.degradations.len()));
+            for d in &self.degradations {
+                out.push_str(&format!("  fn {:<20} → {} ({})\n", d.name, d.rung, d.reason));
+            }
+        }
         out
     }
 }
@@ -405,6 +445,7 @@ mod tests {
                 ..Default::default()
             },
             exec: ExecStats::default(),
+            degradations: Vec::new(),
         }
     }
 
@@ -440,6 +481,28 @@ mod tests {
         assert!(text.contains("lift"));
         assert!(text.contains("optimize"));
         assert!(text.contains("coverage: 9 symbolized + 1 residual"));
+    }
+
+    #[test]
+    fn degradations_serialize_and_render() {
+        let mut r = sample();
+        let j = r.to_json_deterministic();
+        // The key is always present — an empty array on the clean path,
+        // so `report --check` can assert the schema unconditionally.
+        assert_eq!(j.get("degradations").unwrap().as_arr().unwrap().len(), 0);
+        r.degradations.push(Degradation {
+            func: 3,
+            name: "fn_0x1000".into(),
+            rung: "spfold-only",
+            reason: "symbolize: raw external call survived".into(),
+        });
+        let j = r.to_json_deterministic();
+        let arr = j.get("degradations").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].get("func").unwrap().as_u64(), Some(3));
+        assert_eq!(arr[0].get("rung").unwrap().as_str(), Some("spfold-only"));
+        let text = r.render_pretty();
+        assert!(text.contains("degraded: 1 function(s)"));
+        assert!(text.contains("spfold-only"));
     }
 
     #[test]

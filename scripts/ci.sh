@@ -14,8 +14,11 @@ cargo test -q --offline --workspace
 echo "==> bench targets compile"
 cargo bench -p wyt-bench --offline --no-run
 
-echo "==> observability report smoke test"
+echo "==> observability report smoke test (incl. degradation schema)"
 WYT_OBS=json cargo run --release --offline -q -p wyt-bench --bin report -- --check >/dev/null
+
+echo "==> fault-injection smoke gate (pinned WYT_FAULT seed)"
+WYT_FAULT=0xc0ffee cargo test -q --offline --test fault fault_smoke
 
 echo "==> parallel determinism gate (WYT_PAR=4)"
 WYT_PAR=4 cargo test -q --offline --workspace

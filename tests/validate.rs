@@ -3,7 +3,7 @@
 //! miscompilation — wrong exit code, wrong output, or an outright trap —
 //! is rejected with a diagnostic naming the offending input.
 
-use wyt_core::{recompile, validate, Mode};
+use wyt_core::{recompile, validate, MismatchKind, Mode};
 use wyt_minicc::{compile, Profile};
 
 const SRC: &str = r#"
@@ -47,8 +47,14 @@ int main() {
     .expect("compile")
     .stripped();
     let err = validate(&img, &bad, &inputs()).expect_err("must reject exit mismatch");
-    assert!(err.contains("exit"), "diagnostic should name the exit mismatch: {err}");
-    assert!(err.contains("input 0"), "diagnostic should name the input: {err}");
+    assert_eq!(err.input, 0, "the first diverging input is blamed");
+    assert!(
+        matches!(err.kind, MismatchKind::Exit { original: 6, recompiled: 7 }),
+        "structured kind carries both exit codes: {err:?}"
+    );
+    let msg = err.to_string();
+    assert!(msg.contains("exit"), "diagnostic should name the exit mismatch: {msg}");
+    assert!(msg.contains("input 0"), "diagnostic should name the input: {msg}");
 }
 
 #[test]
@@ -67,7 +73,12 @@ int main() {
     .expect("compile")
     .stripped();
     let err = validate(&img, &bad, &inputs()).expect_err("must reject output mismatch");
-    assert!(err.contains("output mismatch"), "diagnostic should name the output: {err}");
+    assert!(
+        matches!(err.kind, MismatchKind::Output { .. }),
+        "structured kind classifies the mismatch: {err:?}"
+    );
+    let msg = err.to_string();
+    assert!(msg.contains("output mismatch"), "diagnostic should name the output: {msg}");
 }
 
 #[test]
@@ -79,8 +90,13 @@ fn trapping_recompilation_is_rejected() {
     bad.entry = bad.text_base;
     let err = validate(&img, &bad, &inputs()).expect_err("must reject trapping image");
     assert!(
-        err.contains("recompiled trapped"),
-        "diagnostic should blame the recompiled side: {err}"
+        matches!(err.kind, MismatchKind::RecompiledTrapped(Some(_))),
+        "structured kind carries the trap: {err:?}"
+    );
+    let msg = err.to_string();
+    assert!(
+        msg.contains("recompiled trapped"),
+        "diagnostic should blame the recompiled side: {msg}"
     );
 }
 
@@ -105,5 +121,5 @@ int main() {
     .stripped();
     validate(&img, &diverges_on_seven, &inputs()).expect("divergence outside inputs is invisible");
     let err = validate(&img, &diverges_on_seven, &[vec![7]]).expect_err("input 7 exposes it");
-    assert!(err.contains("exit"), "{err}");
+    assert!(matches!(err.kind, MismatchKind::Exit { .. }), "{err}");
 }
