@@ -31,7 +31,9 @@ use wyt_ir::interp::layout_globals;
 use wyt_ir::{BinOp, BlockId, CmpOp, Function, InstId, InstKind, Module, Term, Val};
 use wyt_isa::asm::{Asm, Label};
 use wyt_isa::image::{Image, Symbol};
-use wyt_isa::{AluOp, Cc, Inst, Mem, Operand, Reg, ShiftAmount, ShiftOp, Size};
+use wyt_isa::{
+    AluOp, Cc, GuardKind, GuardSite, Inst, Mem, Operand, Reg, ShiftAmount, ShiftOp, Size, TrapCode,
+};
 
 /// A lowering failure.
 #[derive(Debug, Clone)]
@@ -113,6 +115,12 @@ struct FnLower<'m> {
     /// Block-local values spilled to their slot in the current block.
     spilled: std::collections::HashSet<InstId>,
     epilogue: Label,
+    /// Index of the function being lowered (for guard-site attribution).
+    fidx: usize,
+    /// Guard trap sites emitted so far: label bound at the trap
+    /// instruction, owning function index, and site kind. Resolved to
+    /// addresses once the whole module is assembled.
+    guards: &'m mut Vec<(Label, usize, GuardKind)>,
 }
 
 impl<'m> FnLower<'m> {
@@ -135,6 +143,13 @@ impl<'m> FnLower<'m> {
     fn push_op(&mut self, src: Operand) {
         self.asm.emit(Inst::Push { src });
         self.depth += 4;
+    }
+
+    /// Emit a guard trap and record its site for attribution.
+    fn emit_guard_trap(&mut self, kind: GuardKind) {
+        let site = self.asm.here();
+        self.guards.push((site, self.fidx, kind));
+        self.asm.emit(Inst::Trap { code: kind.trap_code().code() });
     }
 
     fn add_esp(&mut self, n: u32) {
@@ -429,6 +444,7 @@ fn lower_function(
     global_addrs: &[u32],
     indirect_targets: &[(u32, usize)],
     orig_addrs: &[Option<u32>],
+    guards: &mut Vec<(Label, usize, GuardKind)>,
 ) -> BResult<()> {
     let f = &module.funcs[fidx];
     let rpo = f.rpo();
@@ -541,6 +557,8 @@ fn lower_function(
         cross_block,
         spilled: std::collections::HashSet::new(),
         epilogue,
+        fidx,
+        guards,
     };
 
     for (p, r) in pinned_params {
@@ -831,7 +849,7 @@ fn lower_inst(lw: &mut FnLower<'_>, id: InstId) -> BResult<()> {
                 lw.asm.jcc(Cc::E, l);
                 arms.push((l, *fidx));
             }
-            lw.asm.emit(Inst::Trap { code: 0xfd }); // untraced indirect target
+            lw.emit_guard_trap(GuardKind::UntracedIndirect); // untraced indirect target
             for (l, fidx) in arms {
                 lw.asm.bind(l);
                 let fl = lw.func_labels[fidx];
@@ -1094,8 +1112,11 @@ fn lower_term(lw: &mut FnLower<'_>, b: BlockId, next_in_layout: Option<BlockId>)
             }
             lw.asm.jmp(lw.epilogue);
         }
-        Term::Trap(c) => lw.asm.emit(Inst::Trap { code: c }),
-        Term::Unreachable => lw.asm.emit(Inst::Trap { code: 0xff }),
+        Term::Trap(c) => match TrapCode::guard_kind(c) {
+            Some(kind) => lw.emit_guard_trap(kind),
+            None => lw.asm.emit(Inst::Trap { code: c }),
+        },
+        Term::Unreachable => lw.asm.emit(Inst::Trap { code: TrapCode::Unreachable.code() }),
     }
     Ok(())
 }
@@ -1141,6 +1162,7 @@ pub fn lower_module(module: &Module) -> Result<Image, BackendError> {
 
     let mut asm = Asm::new();
     let func_labels: Vec<Label> = module.funcs.iter().map(|_| asm.fresh_label()).collect();
+    let mut guards: Vec<(Label, usize, GuardKind)> = Vec::new();
     for fidx in 0..module.funcs.len() {
         lower_function(
             module,
@@ -1150,10 +1172,16 @@ pub fn lower_module(module: &Module) -> Result<Image, BackendError> {
             &global_addrs,
             &indirect_targets,
             &orig_addrs,
+            &mut guards,
         )?;
     }
     let assembled = asm.finish(image.text_base);
     image.entry = assembled.addr_of(func_labels[entry.index()]);
+    image.guard_sites = guards
+        .into_iter()
+        .map(|(l, fidx, kind)| GuardSite { pc: assembled.addr_of(l), func: fidx as u32, kind })
+        .collect();
+    image.guard_sites.sort_by_key(|s| s.pc);
     for (fidx, f) in module.funcs.iter().enumerate() {
         image
             .symbols
@@ -1324,7 +1352,18 @@ mod tests {
         let id2 = m.add_func(f2);
         m.entry = Some(id2);
         let r = run_module(&m, b"");
-        assert!(matches!(r.trap, Some(wyt_emu::Trap::TrapInst { code: 0xfd, .. })));
+        match r.trap {
+            Some(wyt_emu::Trap::TrapInst { pc, code }) => {
+                assert_eq!(code, TrapCode::UntracedIndirect.code());
+                // The side table attributes the trap to the calling
+                // function and the indirect site kind.
+                let img = lower_module(&m).unwrap();
+                let site = img.guard_sites.iter().find(|s| s.pc == pc).expect("guard site");
+                assert_eq!(site.kind, GuardKind::UntracedIndirect);
+                assert_eq!(site.func, id2.index() as u32);
+            }
+            other => panic!("expected a guard trap, got {other:?}"),
+        }
     }
 
     #[test]

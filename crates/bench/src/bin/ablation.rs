@@ -26,6 +26,7 @@ use wyt_opt::OptLevel;
 fn main() {
     wyt_obs::set_enabled(true);
     wyt_bench::reset_degradations();
+    wyt_bench::reset_healing();
     let mut rows_json: Vec<Json> = Vec::new();
     let profile = match std::env::args().nth(1).as_deref() {
         Some("gcc12") | None => Profile::gcc12_o0(),

@@ -25,6 +25,7 @@ enum Kind {
 fn main() {
     wyt_obs::set_enabled(true);
     wyt_bench::reset_degradations();
+    wyt_bench::reset_healing();
     let mut rows_json: Vec<Json> = Vec::new();
     let series: Vec<(String, Profile, Kind)> = vec![
         ("GCC 12.2 -O3 *".into(), Profile::gcc12_o3(), Kind::Native),

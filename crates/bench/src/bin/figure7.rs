@@ -30,6 +30,7 @@ struct Acc {
 fn main() {
     wyt_obs::set_enabled(true);
     wyt_bench::reset_degradations();
+    wyt_bench::reset_healing();
     let mut rows_json: Vec<Json> = Vec::new();
     let profile = Profile::gcc44_o3();
     let suite = wyt_spec::suite();

@@ -12,9 +12,11 @@
 //! every pipeline stage is present, that the coverage counts are
 //! consistent, and that the `degradations` section is well-formed (and
 //! empty — the sample is clean) — the CI smoke test for the
-//! observability layer and the degradation-ladder report schema.
+//! observability layer and the degradation-ladder report schema. The
+//! check also drives one self-healing run (a branch side withheld from
+//! the trace) and validates the `healing` section of its report.
 
-use wyt_core::{recompile, Mode};
+use wyt_core::{recompile, recompile_healing, Mode};
 use wyt_minicc::{compile, Profile};
 use wyt_obs::OutputFormat;
 
@@ -100,8 +102,76 @@ fn main() {
             d.get("reason").and_then(|v| v.as_str()).expect("degradation has reason");
         }
         assert!(deg.is_empty(), "clean sample must not hit the degradation ladder");
+        assert!(
+            parsed.get("healing").map(|h| h.is_null()).unwrap_or(false),
+            "a recompile without healing must report `healing: null`"
+        );
+
+        // One self-healing run: trace one branch side, hold the other
+        // out, and validate the `healing` report section end to end.
+        let heal_src = r#"
+        int main() {
+            int c = getchar();
+            if (c == 'x') return 7;
+            printf("%d\n", c);
+            return 3;
+        }
+        "#;
+        let himg =
+            compile(heal_src, &Profile::gcc12_o3()).expect("heal sample compiles").stripped();
+        let healed = recompile_healing(&himg, &[b"q".to_vec()], &[b"x".to_vec()])
+            .expect("heal sample heals");
+        let htext = healed.recompiled.report.to_json(true).to_string();
+        let hparsed = wyt_obs::json::parse(&htext).expect("healing report JSON must parse");
+        let h = hparsed.get("healing").expect("healed report must have a healing section");
+        let rounds = h.get("rounds").and_then(|v| v.as_u64()).expect("healing has rounds");
+        let healed_n =
+            h.get("sites_healed").and_then(|v| v.as_u64()).expect("healing has sites_healed");
+        let unhealed =
+            h.get("sites_unhealed").and_then(|v| v.as_u64()).expect("healing has sites_unhealed");
+        for key in ["funcs_total", "funcs_relifted", "funcs_reused"] {
+            h.get(key).and_then(|v| v.as_u64()).unwrap_or_else(|| panic!("healing has {key}"));
+        }
+        assert_eq!(h.get("converged").and_then(|v| v.as_bool()), Some(true), "sample must heal");
+        assert!(rounds >= 1 && rounds <= 2, "one withheld branch, {rounds} rounds");
+        assert_eq!((healed_n, unhealed), (1, 0), "one site healed, none unhealed");
+        let events = h.get("events").and_then(|e| e.as_arr()).expect("healing has an events array");
+        for ev in events {
+            for key in ["round", "input", "func", "pc"] {
+                ev.get(key).and_then(|v| v.as_u64()).unwrap_or_else(|| panic!("event has {key}"));
+            }
+            for key in ["name", "kind"] {
+                ev.get(key).and_then(|v| v.as_str()).unwrap_or_else(|| panic!("event has {key}"));
+            }
+        }
+        assert_eq!(events.len(), 1, "one guard event expected");
+
+        // The committed bench JSONs carry a `healing` accumulator;
+        // validate every one that is present. The benchmark corpus is
+        // clean (every ref input is traced), so both counts must be 0.
+        let mut bench_jsons = 0usize;
+        if let Ok(entries) = std::fs::read_dir("results") {
+            for e in entries.flatten() {
+                let name = e.file_name().to_string_lossy().into_owned();
+                if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+                    continue;
+                }
+                let text =
+                    std::fs::read_to_string(e.path()).unwrap_or_else(|err| panic!("{name}: {err}"));
+                let j = wyt_obs::json::parse(&text)
+                    .unwrap_or_else(|err| panic!("{name}: bad JSON: {err}"));
+                let bh = j.get("healing").unwrap_or_else(|| panic!("{name}: missing healing key"));
+                let br = bh.get("rounds").and_then(|v| v.as_u64()).expect("healing.rounds");
+                let bs =
+                    bh.get("sites_healed").and_then(|v| v.as_u64()).expect("healing.sites_healed");
+                assert_eq!((br, bs), (0, 0), "{name}: the clean bench corpus must not heal");
+                bench_jsons += 1;
+            }
+        }
+
         eprintln!(
-            "report check: {} stages ok, coverage {sym}+{res}={total}, degradations {}",
+            "report check: {} stages ok, coverage {sym}+{res}={total}, degradations {}, \
+             healing {rounds} round(s) / {healed_n} healed, {bench_jsons} bench JSONs clean",
             stages.len(),
             deg.len()
         );

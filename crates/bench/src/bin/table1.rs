@@ -25,6 +25,7 @@ enum Cell {
 fn main() {
     wyt_obs::set_enabled(true);
     wyt_bench::reset_degradations();
+    wyt_bench::reset_healing();
     let mut rows_json: Vec<Json> = Vec::new();
     let configs =
         [Profile::gcc12_o3(), Profile::gcc12_o0(), Profile::clang16_o3(), Profile::gcc44_o3()];

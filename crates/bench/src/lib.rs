@@ -69,6 +69,7 @@ pub fn recompiled_cycles(img: &Image, bench: &Benchmark, mode: Mode) -> Result<u
     let inputs = bench.trace_inputs();
     let out = recompile(&stripped, &inputs, mode).map_err(|e| e.to_string())?;
     note_degradations(out.report.degradations.len());
+    note_healing(&out.report);
     validate(&stripped, &out.image, &inputs).map_err(|e| e.to_string())?;
     let r = run_image(&out.image, bench.ref_input());
     if !r.ok() {
@@ -98,12 +99,40 @@ pub fn reset_degradations() {
     DEGRADATIONS.store(0, Ordering::Relaxed);
 }
 
+/// Self-healing activity across every recompile this harness drove:
+/// healing rounds run and guard sites healed. Zero on the clean
+/// benchmark corpus — every ref input is also traced, so no guard ever
+/// fires; the bench JSONs record the pair so a coverage regression (a
+/// bench suddenly needing healing) is visible in `results/`.
+static HEALING_ROUNDS: AtomicU64 = AtomicU64::new(0);
+static HEALING_SITES: AtomicU64 = AtomicU64::new(0);
+
+fn note_healing(rep: &wyt_obs::PipelineReport) {
+    if let Some(h) = &rep.healing {
+        HEALING_ROUNDS.fetch_add(h.rounds, Ordering::Relaxed);
+        HEALING_SITES.fetch_add(h.sites_healed, Ordering::Relaxed);
+    }
+}
+
+/// Healing `(rounds, sites healed)` observed since startup or last reset.
+pub fn healing_observed() -> (u64, u64) {
+    (HEALING_ROUNDS.load(Ordering::Relaxed), HEALING_SITES.load(Ordering::Relaxed))
+}
+
+/// Reset the healing accumulators (report binaries call this once at
+/// startup so the JSON reflects exactly their own run).
+pub fn reset_healing() {
+    HEALING_ROUNDS.store(0, Ordering::Relaxed);
+    HEALING_SITES.store(0, Ordering::Relaxed);
+}
+
 /// SecondWrite-baseline cycles (errors reproduce the paper's "—" cells).
 pub fn secondwrite_cycles(img: &Image, bench: &Benchmark) -> Result<u64, String> {
     let stripped = img.stripped();
     let inputs = bench.trace_inputs();
     let out = wyt_core::recompile_secondwrite(&stripped, &inputs).map_err(|e| e.to_string())?;
     note_degradations(out.report.degradations.len());
+    note_healing(&out.report);
     validate(&stripped, &out.image, &inputs).map_err(|e| e.to_string())?;
     let r = run_image(&out.image, bench.ref_input());
     if !r.ok() {
@@ -171,14 +200,18 @@ where
     let mut serial_wall_ns = None;
     if threads > 1 {
         wyt_par::set_threads(1);
-        // The verification re-run must not double-count demotions either.
+        // The verification re-run must not double-count demotions or
+        // healing activity either.
         let degradations_before = DEGRADATIONS.load(Ordering::Relaxed);
+        let healing_before = healing_observed();
         let t1 = std::time::Instant::now();
         let (serial, _discarded_obs) = wyt_obs::with_local(|| {
             jobs.iter().enumerate().map(|(i, j)| f(i, j)).collect::<Vec<R>>()
         });
         serial_wall_ns = Some(t1.elapsed().as_nanos() as u64);
         DEGRADATIONS.store(degradations_before, Ordering::Relaxed);
+        HEALING_ROUNDS.store(healing_before.0, Ordering::Relaxed);
+        HEALING_SITES.store(healing_before.1, Ordering::Relaxed);
         wyt_par::set_threads(threads);
         assert!(serial == results, "parallel grid diverged from its serial re-run");
     }
@@ -199,6 +232,13 @@ pub fn emit_bench_json(name: &str, rows: wyt_obs::Json, par: &ParMeta) -> std::p
         ("obs", wyt_obs::snapshot().to_json()),
         ("par", par.to_json()),
         ("degradations", wyt_obs::Json::from(degradations_observed())),
+        ("healing", {
+            let (rounds, healed) = healing_observed();
+            wyt_obs::Json::obj(vec![
+                ("rounds", wyt_obs::Json::from(rounds)),
+                ("sites_healed", wyt_obs::Json::from(healed)),
+            ])
+        }),
     ]);
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));

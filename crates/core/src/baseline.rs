@@ -234,9 +234,13 @@ pub fn recompile_secondwrite(
         image,
         module,
         lifted_meta: meta,
+        trace: lifted.trace,
         layout: Some(layout),
         bounds: None,
         fold: Some(fold),
+        reginfo: Some(reginfo),
+        vararg_obs: Some(obs),
+        reused_funcs: BTreeSet::new(),
         baseline_runs: lifted.baseline_runs,
         report: wyt_obs::PipelineReport {
             mode: "SecondWrite".into(),

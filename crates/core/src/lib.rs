@@ -23,6 +23,9 @@
 //!   truth, classified matched / oversized / undersized / missed.
 //! - [`baseline`] — a SecondWrite-like conservative *static* symbolizer
 //!   used as the comparison point in Table 1 / Fig. 6.
+//! - [`healing`] — the self-healing loop: guard-trap attribution,
+//!   incremental re-trace/re-lift with refinement-fact reuse, bounded
+//!   re-validation ([`recompile_healing`]).
 //!
 //! ```no_run
 //! use wyt_core::{recompile, Mode};
@@ -37,6 +40,7 @@
 
 pub mod accuracy;
 pub mod baseline;
+pub mod healing;
 pub mod layout;
 pub mod pipeline;
 pub mod regsave;
@@ -47,7 +51,8 @@ pub mod vararg;
 
 pub use accuracy::{evaluate_accuracy, AccuracyReport, MatchKind};
 pub use baseline::{recompile_secondwrite, SecondWriteError};
+pub use healing::{recompile_healing, recompile_healing_with, Healed};
 pub use pipeline::{
-    recompile, recompile_with, recompile_with_faults, validate, FaultInjector, MismatchKind, Mode,
-    RecompileError, Recompiled, ValidateError,
+    recompile, recompile_from_lifted, recompile_with, recompile_with_faults, validate,
+    FaultInjector, MismatchKind, Mode, RecompileError, Recompiled, ReusePlan, ValidateError,
 };

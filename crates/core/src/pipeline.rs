@@ -152,16 +152,51 @@ pub struct Recompiled {
     pub module: Module,
     /// Lifting artifacts (trace, CFG, function map).
     pub lifted_meta: wyt_lifter::LiftedMeta,
+    /// The merged trace the module was lifted from — persisted so the
+    /// self-healing loop can diff a re-trace against it and re-lift
+    /// incrementally.
+    pub trace: Trace,
     /// Recovered layouts (WYTIWYG mode only).
     pub layout: Option<layout::ModuleLayout>,
     /// Bounds observations (WYTIWYG mode only).
     pub bounds: Option<runtime::BoundsInfo>,
     /// sp0 folding results (WYTIWYG mode only).
     pub fold: Option<spfold::FoldInfo>,
+    /// Saved-register classification (WYTIWYG mode only) — part of the
+    /// healing fact cache.
+    pub reginfo: Option<regsave::RegSaveInfo>,
+    /// Effective vararg observations (WYTIWYG mode only) — part of the
+    /// healing fact cache.
+    pub vararg_obs: Option<vararg::VarargObservations>,
+    /// Functions whose cached refinement facts were reused (non-empty
+    /// only when a [`ReusePlan`] was supplied).
+    pub reused_funcs: BTreeSet<FuncId>,
     /// Original-trace run results (reference behaviour).
     pub baseline_runs: Vec<RunResult>,
     /// Per-stage timing, IR size deltas and recovery-quality telemetry.
     pub report: PipelineReport,
+}
+
+/// Cached refinement facts from a previous recompilation of the same
+/// program, to be reused for functions whose CFGs did not change across
+/// an incremental re-lift. Everything is keyed by *original entry
+/// address* — the only function identity stable across re-lifts
+/// (`FuncId`s renumber when the merged trace grows).
+#[derive(Debug, Clone, Default)]
+pub struct ReusePlan {
+    /// Entry addresses of the functions eligible for fact reuse.
+    pub reuse: BTreeSet<u32>,
+    /// Cached vararg arities keyed by (caller entry addr, call-site
+    /// instruction). `InstId`s are stable for an unchanged function: the
+    /// translator emits the same instruction stream from the same CFG.
+    pub vararg: BTreeMap<(u32, InstId), usize>,
+    /// Cached register-class rows keyed by entry addr.
+    pub regsave: BTreeMap<u32, [regsave::RegClass; regsave::NUM_CELLS]>,
+    /// Cached stack layouts keyed by entry addr, each guarded by the
+    /// [`spfold::FoldedFunc`] it was computed against: a layout is only
+    /// applied when the fresh fold matches, since layouts are
+    /// `InstId`-keyed and fold drift invalidates them.
+    pub layouts: BTreeMap<u32, (spfold::FoldedFunc, layout::FuncLayout)>,
 }
 
 fn verify(m: &Module) -> Result<(), RecompileError> {
@@ -463,13 +498,6 @@ pub fn recompile_with_faults(
     opt: OptLevel,
     faults: &FaultInjector,
 ) -> Result<Recompiled, RecompileError> {
-    let mut base_rep = PipelineReport {
-        mode: format!("{mode:?}"),
-        opt: format!("{opt:?}"),
-        ..PipelineReport::default()
-    };
-
-    let t0 = mono_ns();
     let lifted = {
         let _s = Span::enter("lift");
         let trace_fault: Option<&(dyn Fn(&mut Trace) + Sync)> = match &faults.trace {
@@ -478,8 +506,39 @@ pub fn recompile_with_faults(
         };
         lift_image_faulted(img, inputs, trace_fault).map_err(RecompileError::Lift)?
     };
+    recompile_from_lifted(img, inputs, mode, opt, faults, lifted, None)
+}
+
+/// Recompile from an already-lifted program — the incremental entry
+/// point of the self-healing loop, which lifts from a merged trace
+/// itself ([`wyt_lifter::lift_from_trace`]) and passes a [`ReusePlan`]
+/// of cached refinement facts for unchanged functions. With `reuse:
+/// None` this is the tail of [`recompile_with_faults`] after lifting.
+///
+/// `inputs` must be the inputs whose behaviour `lifted.baseline_runs`
+/// records (the refinement replays and the validation gate both run the
+/// lifted module against them).
+///
+/// # Errors
+/// Returns a [`RecompileError`] if any stage fails module-wide.
+pub fn recompile_from_lifted(
+    img: &Image,
+    inputs: &[Vec<u8>],
+    mode: Mode,
+    opt: OptLevel,
+    faults: &FaultInjector,
+    lifted: Lifted,
+    reuse: Option<&ReusePlan>,
+) -> Result<Recompiled, RecompileError> {
+    let mut base_rep = PipelineReport {
+        mode: format!("{mode:?}"),
+        opt: format!("{opt:?}"),
+        ..PipelineReport::default()
+    };
+
+    let t0 = mono_ns();
     base_rep.lift = lift_counts(&lifted);
-    let Lifted { module: pristine, meta, trace: _, cfg: _, funcs: _, baseline_runs } = lifted;
+    let Lifted { module: pristine, meta, trace, cfg: _, funcs: _, baseline_runs } = lifted;
     base_rep.stages.push(StageStats {
         name: "lift",
         wall_ns: mono_ns() - t0,
@@ -512,16 +571,29 @@ pub fn recompile_with_faults(
                 image,
                 module,
                 lifted_meta: meta,
+                trace,
                 layout: None,
                 bounds: None,
                 fold: None,
+                reginfo: None,
+                vararg_obs: None,
+                reused_funcs: BTreeSet::new(),
                 baseline_runs,
                 report: rep,
             })
         }
-        Mode::Wytiwyg => {
-            recompile_wytiwyg(img, inputs, opt, faults, base_rep, pristine, meta, baseline_runs)
-        }
+        Mode::Wytiwyg => recompile_wytiwyg(
+            img,
+            inputs,
+            opt,
+            faults,
+            base_rep,
+            pristine,
+            meta,
+            trace,
+            baseline_runs,
+            reuse,
+        ),
     }
 }
 
@@ -541,12 +613,22 @@ fn recompile_wytiwyg(
     base_rep: PipelineReport,
     pristine: Module,
     meta: wyt_lifter::LiftedMeta,
+    trace: Trace,
     baseline_runs: Vec<RunResult>,
+    reuse: Option<&ReusePlan>,
 ) -> Result<Recompiled, RecompileError> {
     let _ = img;
     let mut all_fids: Vec<FuncId> = meta.func_by_addr.values().copied().collect();
     all_fids.push(meta.start);
     all_fids.sort_unstable();
+
+    // Resolve the reuse plan's entry addresses to this lift's FuncIds
+    // (FuncIds renumber across re-lifts; entry addresses do not).
+    let reused_fids: BTreeMap<u32, FuncId> = reuse
+        .map(|plan| {
+            plan.reuse.iter().filter_map(|a| meta.func_by_addr.get(a).map(|&f| (*a, f))).collect()
+        })
+        .unwrap_or_default();
 
     let mut demoted: BTreeMap<FuncId, Demotion> = BTreeMap::new();
     let max_attempts = 2 * all_fids.len() + 4;
@@ -561,14 +643,27 @@ fn recompile_wytiwyg(
         // Observation replays the traced inputs on the raw module; if that
         // fails nothing downstream can run — a module-wide error. Rung-2
         // functions keep their raw stack-switching external calls.
-        let vararg_sites = stage(&mut rep, "vararg", &mut module, |m| {
+        let (vararg_sites, vararg_obs) = stage(&mut rep, "vararg", &mut module, |m| {
             let mut obs = vararg::observe(m, inputs)
                 .map_err(|e| RecompileError::Refine(format!("vararg: {e}")))?;
             if let Some(f) = &faults.vararg {
                 f(&mut obs);
             }
             obs.arg_counts.retain(|(f, _), _| !rung2.contains(f));
-            Ok(vararg::apply(m, &obs))
+            // Fact reuse: cached arities win over fresh observation for
+            // unchanged functions (a stability pin); freshly observed
+            // sites the cache never saw are kept.
+            if let Some(plan) = reuse {
+                for ((addr, inst), n) in &plan.vararg {
+                    if let Some(&fid) = reused_fids.get(addr) {
+                        if !rung2.contains(&fid) {
+                            obs.arg_counts.insert((fid, *inst), *n);
+                        }
+                    }
+                }
+            }
+            let sites = vararg::apply(m, &obs);
+            Ok((sites, obs))
         })?;
         rep.quality.vararg_sites = vararg_sites as u64;
         verify(&module)?;
@@ -579,6 +674,17 @@ fn recompile_wytiwyg(
                 .map_err(|e| RecompileError::Refine(format!("regsave: {e}")))?;
             if let Some(f) = &faults.regsave {
                 f(&mut info);
+            }
+            // Fact reuse: pin the cached register-class rows for
+            // unchanged functions. Indirect-target observations stay
+            // fresh — they come from replaying the union input set and
+            // must be complete for the call-graph closure.
+            if let Some(plan) = reuse {
+                for (addr, row) in &plan.regsave {
+                    if let Some(&fid) = reused_fids.get(addr) {
+                        info.class.insert(fid, *row);
+                    }
+                }
             }
             Ok(info)
         })?;
@@ -634,6 +740,20 @@ fn recompile_wytiwyg(
             let call_targets = collect_call_targets(m, &reginfo);
             let mut l = layout::build_layout(&bounds, &fold, &reginfo, &call_targets);
             l.funcs.retain(|f, _| eligible.contains(f));
+            // Fact reuse: a cached layout applies only when the function
+            // folded exactly as it did when the layout was computed —
+            // layouts are InstId-keyed, and the spfold save/restore
+            // splice shifts InstIds whenever any callee's register row
+            // changed.
+            if let Some(plan) = reuse {
+                for (addr, (cached_fold, cached_layout)) in &plan.layouts {
+                    if let Some(&fid) = reused_fids.get(addr) {
+                        if l.funcs.contains_key(&fid) && fold.funcs.get(&fid) == Some(cached_fold) {
+                            l.funcs.insert(fid, cached_layout.clone());
+                        }
+                    }
+                }
+            }
             Ok(l)
         })?;
         let sym_errs = stage(&mut rep, "symbolize", &mut module, |m| {
@@ -734,9 +854,13 @@ fn recompile_wytiwyg(
             image,
             module,
             lifted_meta: meta,
+            trace,
             layout: Some(mlayout),
             bounds: Some(bounds),
             fold: Some(fold),
+            reginfo: Some(reginfo),
+            vararg_obs: Some(vararg_obs),
+            reused_funcs: reused_fids.values().copied().collect(),
             baseline_runs,
             report: rep,
         });

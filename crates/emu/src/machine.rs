@@ -682,7 +682,11 @@ impl<'img> Machine<'img> {
             Some(Trap::OutOfFuel) => "emu.trap.fuel",
             Some(Trap::DivideError(_)) => "emu.trap.divide",
             Some(Trap::Aborted) => "emu.trap.abort",
-            Some(Trap::TrapInst { .. }) => "emu.trap.guard",
+            Some(Trap::TrapInst { code, .. }) => match wyt_isa::TrapCode::guard_kind(*code) {
+                Some(wyt_isa::GuardKind::UntracedBranch) => "emu.trap.guard.branch",
+                Some(wyt_isa::GuardKind::UntracedIndirect) => "emu.trap.guard.indirect",
+                None => "emu.trap.other",
+            },
             Some(_) => "emu.trap.other",
         };
         wyt_obs::counter(class, 1);

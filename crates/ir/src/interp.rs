@@ -18,6 +18,7 @@ use crate::types::{BinOp, BlockId, CmpOp, FuncId, InstId, Ty, Val};
 use std::collections::HashMap;
 use std::fmt;
 use wyt_emu::{dispatch, ExtId, ExtIo, ExtOutcome, Memory};
+use wyt_isa::{GuardKind, TrapCode};
 use wyt_obs::MemStats;
 
 /// Opaque per-value metadata id, owned by the [`Hooks`] implementation.
@@ -176,6 +177,19 @@ impl fmt::Display for InterpError {
 
 impl std::error::Error for InterpError {}
 
+/// Attribution of a guard trap raised during interpretation: which
+/// function reached which kind of untraced site. Populated alongside
+/// [`InterpError::Trap`] (for a guard [`TrapCode`]) and
+/// [`InterpError::BadIndirect`] — the IR-level counterpart of the
+/// machine's `Image::guard_sites` table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardHit {
+    /// The function containing the untraced site.
+    pub func: FuncId,
+    /// What kind of untraced site fired.
+    pub kind: GuardKind,
+}
+
 /// Result of interpreting a module.
 #[derive(Debug, Clone)]
 pub struct InterpOutput {
@@ -185,6 +199,9 @@ pub struct InterpOutput {
     pub output: Vec<u8>,
     /// The error that ended execution, if any.
     pub error: Option<InterpError>,
+    /// Guard attribution, when `error` is a guard trap or a bad indirect
+    /// transfer.
+    pub guard: Option<GuardHit>,
     /// Executed instruction count.
     pub steps: u64,
     /// Memory-access telemetry. Load/store totals are always counted;
@@ -252,6 +269,8 @@ pub struct Interp<'m, H: Hooks> {
     fuel: u64,
     steps: u64,
     mem_stats: MemStats,
+    /// Attribution of the guard trap that ended the run, if one did.
+    guard_hit: Option<GuardHit>,
     /// Emulated-stack global's address range, when the caller wants
     /// residual-stack classification.
     emu_range: Option<(u32, u32)>,
@@ -289,6 +308,7 @@ impl<'m, H: Hooks> Interp<'m, H> {
             fuel: 500_000_000,
             steps: 0,
             mem_stats: MemStats::default(),
+            guard_hit: None,
             emu_range: None,
             classify: wyt_obs::enabled(),
         }
@@ -381,6 +401,7 @@ impl<'m, H: Hooks> Interp<'m, H> {
                 exit_code: 0,
                 output: Vec::new(),
                 error: Some(InterpError::NoEntry),
+                guard: None,
                 steps: 0,
                 mem: MemStats::default(),
             };
@@ -392,6 +413,7 @@ impl<'m, H: Hooks> Interp<'m, H> {
                 exit_code: c,
                 output,
                 error: None,
+                guard: None,
                 steps: self.steps,
                 mem: self.mem_stats,
             },
@@ -399,6 +421,7 @@ impl<'m, H: Hooks> Interp<'m, H> {
                 exit_code: 0,
                 output,
                 error: Some(e),
+                guard: self.guard_hit,
                 steps: self.steps,
                 mem: self.mem_stats,
             },
@@ -423,7 +446,14 @@ impl<'m, H: Hooks> Interp<'m, H> {
             Some(InterpError::Fuel) => "interp.trap.fuel",
             Some(InterpError::DivideError(..)) => "interp.trap.divide",
             Some(InterpError::Aborted) => "interp.trap.abort",
-            Some(InterpError::Trap(_)) => "interp.trap.guard",
+            Some(InterpError::Trap(c)) => match TrapCode::guard_kind(*c) {
+                Some(GuardKind::UntracedBranch) => "interp.trap.guard.branch",
+                Some(GuardKind::UntracedIndirect) => "interp.trap.guard.indirect",
+                None => "interp.trap.other",
+            },
+            // An indirect call to an unlifted address is the IR-level form
+            // of the backend's dispatch-miss guard.
+            Some(InterpError::BadIndirect(_)) => "interp.trap.guard.indirect",
             Some(_) => "interp.trap.other",
         };
         wyt_obs::counter(class, 1);
@@ -499,7 +529,13 @@ impl<'m, H: Hooks> Interp<'m, H> {
                             }
                         }
                     }
-                    Term::Trap(c) => return Err(InterpError::Trap(c)),
+                    Term::Trap(c) => {
+                        let fr = frames.last().unwrap();
+                        if let Some(kind) = TrapCode::guard_kind(c) {
+                            self.guard_hit = Some(GuardHit { func: fr.func, kind });
+                        }
+                        return Err(InterpError::Trap(c));
+                    }
                     Term::Unreachable => {
                         let fr = frames.last().unwrap();
                         return Err(InterpError::Unreachable(fr.func, fr.block));
@@ -615,6 +651,11 @@ impl<'m, H: Hooks> Interp<'m, H> {
                     let fr = frames.last().unwrap();
                     let t = self.eval(fr, target);
                     let Some(&f) = self.func_by_addr.get(&t) else {
+                        // An indirect call to an unlifted address is the
+                        // IR-level form of the backend's dispatch-miss
+                        // guard: attribute it the same way.
+                        self.guard_hit =
+                            Some(GuardHit { func: cur_func, kind: GuardKind::UntracedIndirect });
                         return Err(InterpError::BadIndirect(t));
                     };
                     self.do_call(&mut frames, cur_func, inst_id, f, args)?;

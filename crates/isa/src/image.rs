@@ -104,6 +104,9 @@ pub struct Image {
     pub code_relocs: Vec<CodeReloc>,
     /// Whether the image was built as position independent code.
     pub pic: bool,
+    /// Guard trap sites emitted by the recompiler, sorted by address.
+    /// Empty for original (non-recompiled) images.
+    pub guard_sites: Vec<crate::trap::GuardSite>,
 }
 
 impl Image {

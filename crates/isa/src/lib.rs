@@ -32,9 +32,11 @@ pub mod asm;
 mod encode;
 pub mod image;
 mod inst;
+pub mod trap;
 
 pub use encode::{decode, encode, encoded_len, DecodeError};
 pub use inst::{AluOp, Cc, Inst, Mem, Operand, Reg, ShiftAmount, ShiftOp, Size};
+pub use trap::{GuardKind, GuardSite, TrapCode};
 
 /// Number of general purpose registers.
 pub const NUM_REGS: usize = 8;

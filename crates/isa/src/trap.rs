@@ -1,0 +1,150 @@
+//! Named trap codes and guard-site attribution.
+//!
+//! The recompiler compiles untraced paths to explicit trap instructions
+//! (paper §7.2: what you trace is what you get — anything else traps).
+//! Those traps used to be bare magic bytes; [`TrapCode`] names them, and
+//! [`GuardSite`] is the per-module side table the backend emits so a
+//! firing guard can be attributed to the function and site kind that
+//! produced it — the raw material of the self-healing loop.
+
+use std::fmt;
+
+/// Reserved trap codes emitted by the recompiler itself. Codes below
+/// [`TrapCode::FIRST_RESERVED`] are free for original-program traps and
+/// pass through untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum TrapCode {
+    /// An untraced direct branch/fall-through target was reached.
+    UntracedBranch = 0xfe,
+    /// An untraced indirect jump or indirect-call target was reached.
+    UntracedIndirect = 0xfd,
+    /// Control reached IR `unreachable` (e.g. past a noreturn exit).
+    Unreachable = 0xff,
+}
+
+impl TrapCode {
+    /// Lowest code reserved for recompiler-emitted traps.
+    pub const FIRST_RESERVED: u8 = 0xfd;
+
+    /// The encoded trap-instruction payload.
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decode a trap payload into a named code, if it is one of ours.
+    pub fn from_code(code: u8) -> Option<TrapCode> {
+        match code {
+            0xfe => Some(TrapCode::UntracedBranch),
+            0xfd => Some(TrapCode::UntracedIndirect),
+            0xff => Some(TrapCode::Unreachable),
+            _ => None,
+        }
+    }
+
+    /// `true` for the two guard codes — traps that mean "an untraced
+    /// path was reached", as opposed to `Unreachable` or an original-
+    /// program trap.
+    pub fn is_guard(code: u8) -> bool {
+        matches!(
+            TrapCode::from_code(code),
+            Some(TrapCode::UntracedBranch | TrapCode::UntracedIndirect)
+        )
+    }
+
+    /// The guard kind for a guard code (`None` for non-guard codes).
+    pub fn guard_kind(code: u8) -> Option<GuardKind> {
+        match TrapCode::from_code(code) {
+            Some(TrapCode::UntracedBranch) => Some(GuardKind::UntracedBranch),
+            Some(TrapCode::UntracedIndirect) => Some(GuardKind::UntracedIndirect),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TrapCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrapCode::UntracedBranch => write!(f, "untraced-branch"),
+            TrapCode::UntracedIndirect => write!(f, "untraced-indirect"),
+            TrapCode::Unreachable => write!(f, "unreachable"),
+        }
+    }
+}
+
+/// What kind of untraced site a guard protects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GuardKind {
+    /// A direct branch / fall-through edge the trace never took.
+    UntracedBranch,
+    /// An indirect jump or indirect call to a target the trace never
+    /// observed.
+    UntracedIndirect,
+}
+
+impl GuardKind {
+    /// The trap code a guard of this kind compiles to.
+    pub const fn trap_code(self) -> TrapCode {
+        match self {
+            GuardKind::UntracedBranch => TrapCode::UntracedBranch,
+            GuardKind::UntracedIndirect => TrapCode::UntracedIndirect,
+        }
+    }
+
+    /// Stable short name (used in obs counters and reports).
+    pub const fn name(self) -> &'static str {
+        match self {
+            GuardKind::UntracedBranch => "branch",
+            GuardKind::UntracedIndirect => "indirect",
+        }
+    }
+}
+
+impl fmt::Display for GuardKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One guard trap site in a recompiled image: the machine address of the
+/// emitted trap instruction, the IR function it belongs to, and the site
+/// kind. The backend records one entry per guard trap it emits, sorted by
+/// address, so a machine-level `TrapInst { pc, .. }` can be attributed
+/// exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardSite {
+    /// Address of the trap instruction in the recompiled text segment.
+    pub pc: u32,
+    /// Index of the IR function containing the site.
+    pub func: u32,
+    /// Untraced-branch or untraced-indirect.
+    pub kind: GuardKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for tc in [TrapCode::UntracedBranch, TrapCode::UntracedIndirect, TrapCode::Unreachable] {
+            assert_eq!(TrapCode::from_code(tc.code()), Some(tc));
+            assert!(tc.code() >= TrapCode::FIRST_RESERVED);
+        }
+        assert_eq!(TrapCode::from_code(0x07), None);
+    }
+
+    #[test]
+    fn guard_partition() {
+        assert!(TrapCode::is_guard(TrapCode::UntracedBranch.code()));
+        assert!(TrapCode::is_guard(TrapCode::UntracedIndirect.code()));
+        assert!(!TrapCode::is_guard(TrapCode::Unreachable.code()));
+        assert!(!TrapCode::is_guard(9));
+        assert_eq!(TrapCode::guard_kind(0xfe), Some(GuardKind::UntracedBranch));
+        assert_eq!(TrapCode::guard_kind(0xfd), Some(GuardKind::UntracedIndirect));
+        assert_eq!(TrapCode::guard_kind(0xff), None);
+        assert_eq!(GuardKind::UntracedBranch.trap_code().code(), 0xfe);
+        assert_eq!(GuardKind::UntracedIndirect.trap_code().code(), 0xfd);
+        assert_eq!(GuardKind::UntracedBranch.name(), "branch");
+    }
+}

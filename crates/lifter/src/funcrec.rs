@@ -11,8 +11,10 @@ use crate::cfg::{BlockEnd, MachCfg};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-/// A recovered machine function.
-#[derive(Debug, Clone)]
+/// A recovered machine function. `PartialEq` supports the healing loop's
+/// CFG diff: a function re-recovered from a merged trace is "changed"
+/// when any of its machine-level facts differ.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MachFunc {
     /// Entry block address.
     pub entry: u32,

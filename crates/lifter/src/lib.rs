@@ -78,6 +78,7 @@ pub struct Lifted {
 }
 
 /// Trace, reconstruct, recover and translate `img` using `inputs`.
+/// (See [`lift_from_trace`] to lift from an externally merged trace.)
 ///
 /// # Errors
 /// Returns a [`LiftPipelineError`] if any stage fails.
@@ -106,6 +107,22 @@ pub fn lift_image_faulted(
     if let Some(fault) = trace_fault {
         fault(&mut trace);
     }
+    lift_from_trace(img, trace, baseline_runs)
+}
+
+/// Lift `img` from an already-merged [`Trace`] — the incremental re-lift
+/// entry point of the self-healing loop, which merges delta edges from a
+/// re-traced input into the stored trace instead of re-tracing every
+/// input from scratch. `baseline_runs` are the reference runs the trace
+/// was merged from (old baselines plus the re-traced deltas).
+///
+/// # Errors
+/// Returns a [`LiftPipelineError`] if any stage fails.
+pub fn lift_from_trace(
+    img: &Image,
+    trace: Trace,
+    baseline_runs: Vec<RunResult>,
+) -> Result<Lifted, LiftPipelineError> {
     let cfg = {
         let _s = wyt_obs::Span::enter("lift.cfg");
         cfg::build_cfg(img, &trace).map_err(LiftPipelineError::Cfg)?

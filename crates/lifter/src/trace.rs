@@ -31,6 +31,18 @@ impl Trace {
     pub fn all_targets(&self) -> BTreeSet<u32> {
         self.edges.iter().map(|(_, t, _)| *t).collect()
     }
+
+    /// Fold another trace's observations into this one (the incremental
+    /// merge step of the healing loop). Returns how many of `other`'s
+    /// edges were new.
+    pub fn merge(&mut self, other: &Trace) -> usize {
+        let before = self.edges.len();
+        self.edges.extend(other.edges.iter().copied());
+        for (pc, idx) in &other.ext_calls {
+            self.ext_calls.insert(*pc, *idx);
+        }
+        self.edges.len() - before
+    }
 }
 
 struct Recorder<'t> {

@@ -28,7 +28,7 @@ use wyt_ir::{
     BinOp, BlockId, CmpOp, FuncId, Function, Global, GlobalKind, InstKind, Module, Term, Ty, Val,
 };
 use wyt_isa::image::Image;
-use wyt_isa::{AluOp, Cc, Inst, Mem, Operand, Reg, ShiftAmount, ShiftOp, Size};
+use wyt_isa::{AluOp, Cc, Inst, Mem, Operand, Reg, ShiftAmount, ShiftOp, Size, TrapCode};
 
 /// Base address of the virtual CPU register cells (8 GPRs + the two
 /// halves of the `vmov` register).
@@ -134,7 +134,10 @@ struct FnTranslator<'a> {
     flags: FlagState,
     /// machine block addr -> IR block
     block_map: BTreeMap<u32, BlockId>,
+    /// Guard for untraced direct branch / fall-through targets.
     trap_block: BlockId,
+    /// Guard for untraced indirect-jump targets.
+    trap_ind_block: BlockId,
 }
 
 impl<'a> FnTranslator<'a> {
@@ -386,8 +389,12 @@ pub fn translate(
             block_map.insert(baddr, b);
             f.blocks[b.index()].orig_addr = Some(baddr);
         }
+        // Guard blocks for untraced paths, one per guard kind so a firing
+        // trap attributes the site (direct edge vs indirect target).
         let trap_block = f.add_block();
-        f.blocks[trap_block.index()].term = Term::Trap(0xfe); // untraced path
+        f.blocks[trap_block.index()].term = Term::Trap(TrapCode::UntracedBranch.code());
+        let trap_ind_block = f.add_block();
+        f.blocks[trap_ind_block.index()].term = Term::Trap(TrapCode::UntracedIndirect.code());
 
         let mut tr = FnTranslator {
             f,
@@ -397,6 +404,7 @@ pub fn translate(
             flags: FlagState::None,
             block_map,
             trap_block,
+            trap_ind_block,
         };
 
         for &baddr in &mf.blocks {
@@ -438,7 +446,7 @@ pub fn translate(
                     let _ = jpc;
                     let tv = tr.read(target, Size::D);
                     let cases = targets.iter().map(|t| (*t as i32, tr.target_block(*t))).collect();
-                    Term::Switch { v: tv, cases, default: tr.trap_block }
+                    Term::Switch { v: tv, cases, default: tr.trap_ind_block }
                 }
                 BlockEnd::Ret(pop) => {
                     // esp <- sp_at_ret + 4 + pop (skip the ret slot).

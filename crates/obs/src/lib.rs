@@ -31,8 +31,8 @@ pub mod span;
 
 pub use json::Json;
 pub use report::{
-    CoverageStats, Degradation, ExecStats, FuncQuality, IrSize, LiftCounts, MemStats,
-    PipelineReport, QualityStats, StageStats,
+    CoverageStats, Degradation, ExecStats, FuncQuality, GuardEvent, HealingReport, IrSize,
+    LiftCounts, MemStats, PipelineReport, QualityStats, StageStats,
 };
 pub use sink::{
     counter, enabled, fold, init_from_env, reset, set_enabled, snapshot, with_local, OutputFormat,

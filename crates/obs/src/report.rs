@@ -289,6 +289,77 @@ impl Degradation {
     }
 }
 
+/// One guard trap observed while running the recompiled image on a
+/// held-out input: which input fired it, and the attribution the guard
+/// side table produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardEvent {
+    /// Healing round (1-based) in which the guard fired.
+    pub round: u64,
+    /// Index of the offending input within the held-out set.
+    pub input: u64,
+    /// IR function index the guard site belongs to.
+    pub func: u32,
+    /// Function name.
+    pub name: String,
+    /// Site kind: `"branch"` or `"indirect"`.
+    pub kind: String,
+    /// Machine address of the trap instruction in the recompiled image.
+    pub pc: u32,
+}
+
+impl GuardEvent {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("round", Json::from(self.round)),
+            ("input", Json::from(self.input)),
+            ("func", Json::from(u64::from(self.func))),
+            ("name", Json::from(self.name.as_str())),
+            ("kind", Json::from(self.kind.as_str())),
+            ("pc", Json::from(u64::from(self.pc))),
+        ])
+    }
+}
+
+/// What a self-healing run did: how many re-trace/re-lift rounds it
+/// took, which guard sites fired, and how much prior work it reused.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealingReport {
+    /// Healing rounds executed (0 if no guard ever fired).
+    pub rounds: u64,
+    /// `true` if every held-out input ran cleanly in the end.
+    pub converged: bool,
+    /// Guard sites healed (re-traced and covered by a later image).
+    pub sites_healed: u64,
+    /// Guard sites the loop gave up on (no new coverage, or rounds
+    /// exhausted).
+    pub sites_unhealed: u64,
+    /// Lifted functions in the final module (synthetic entry excluded).
+    pub funcs_total: u64,
+    /// Functions re-lifted in at least one round.
+    pub funcs_relifted: u64,
+    /// Functions whose refinement facts were reused unchanged across
+    /// every round they survived.
+    pub funcs_reused: u64,
+    /// Every guard trap observed, in firing order.
+    pub events: Vec<GuardEvent>,
+}
+
+impl HealingReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("rounds", Json::from(self.rounds)),
+            ("converged", Json::Bool(self.converged)),
+            ("sites_healed", Json::from(self.sites_healed)),
+            ("sites_unhealed", Json::from(self.sites_unhealed)),
+            ("funcs_total", Json::from(self.funcs_total)),
+            ("funcs_relifted", Json::from(self.funcs_relifted)),
+            ("funcs_reused", Json::from(self.funcs_reused)),
+            ("events", Json::Arr(self.events.iter().map(GuardEvent::to_json).collect())),
+        ])
+    }
+}
+
 /// Everything one recompilation measured about itself.
 #[derive(Debug, Clone, Default)]
 pub struct PipelineReport {
@@ -308,6 +379,9 @@ pub struct PipelineReport {
     /// Functions demoted down the degradation ladder, ordered by function
     /// index. Empty on a clean recompilation.
     pub degradations: Vec<Degradation>,
+    /// Self-healing telemetry; `None` for a plain (non-healing)
+    /// recompilation.
+    pub healing: Option<HealingReport>,
 }
 
 impl PipelineReport {
@@ -336,6 +410,13 @@ impl PipelineReport {
             (
                 "degradations",
                 Json::Arr(self.degradations.iter().map(Degradation::to_json).collect()),
+            ),
+            (
+                "healing",
+                match &self.healing {
+                    Some(h) => h.to_json(),
+                    None => Json::Null,
+                },
             ),
         ])
     }
@@ -412,6 +493,24 @@ impl PipelineReport {
                 out.push_str(&format!("  fn {:<20} → {} ({})\n", d.name, d.rung, d.reason));
             }
         }
+        if let Some(h) = &self.healing {
+            out.push_str(&format!(
+                "healing: {} round(s), {} healed / {} unhealed, relifted {} of {} funcs ({} reused){}\n",
+                h.rounds,
+                h.sites_healed,
+                h.sites_unhealed,
+                h.funcs_relifted,
+                h.funcs_total,
+                h.funcs_reused,
+                if h.converged { "" } else { " — NOT converged" },
+            ));
+            for e in &h.events {
+                out.push_str(&format!(
+                    "  round {} input {}: {} guard at {:#x} in fn {}\n",
+                    e.round, e.input, e.kind, e.pc, e.name
+                ));
+            }
+        }
         out
     }
 }
@@ -446,6 +545,7 @@ mod tests {
             },
             exec: ExecStats::default(),
             degradations: Vec::new(),
+            healing: None,
         }
     }
 
@@ -503,6 +603,44 @@ mod tests {
         let text = r.render_pretty();
         assert!(text.contains("degraded: 1 function(s)"));
         assert!(text.contains("spfold-only"));
+    }
+
+    #[test]
+    fn healing_serializes_and_renders() {
+        let mut r = sample();
+        // The key is always present: null on a plain recompilation, so
+        // `report --check` can assert the schema unconditionally.
+        assert!(matches!(r.to_json_deterministic().get("healing"), Some(Json::Null)));
+        r.healing = Some(HealingReport {
+            rounds: 2,
+            converged: true,
+            sites_healed: 1,
+            sites_unhealed: 0,
+            funcs_total: 3,
+            funcs_relifted: 2,
+            funcs_reused: 1,
+            events: vec![GuardEvent {
+                round: 1,
+                input: 0,
+                func: 1,
+                name: "main".into(),
+                kind: "branch".into(),
+                pc: 0x10_0040,
+            }],
+        });
+        let j = r.to_json_deterministic();
+        let h = j.get("healing").unwrap();
+        assert_eq!(h.get("rounds").unwrap().as_u64(), Some(2));
+        assert_eq!(h.get("funcs_reused").unwrap().as_u64(), Some(1));
+        let ev = &h.get("events").unwrap().as_arr().unwrap()[0];
+        assert_eq!(ev.get("kind").unwrap().as_str(), Some("branch"));
+        assert_eq!(ev.get("name").unwrap().as_str(), Some("main"));
+        let text = r.render_pretty();
+        assert!(text.contains("healing: 2 round(s), 1 healed / 0 unhealed"));
+        assert!(text.contains("branch guard"));
+        // Round-trips through the parser like the rest of the report.
+        let parsed = crate::json::parse(&j.to_string()).unwrap();
+        assert_eq!(parsed.get("healing").unwrap().get("sites_healed").unwrap().as_u64(), Some(1));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 use wyt_ir::{BlockId, FuncId, Function, InstId, InstKind, Module, Term, Val};
+use wyt_isa::TrapCode;
 
 /// Inlining limits.
 #[derive(Debug, Clone, Copy)]
@@ -36,7 +37,15 @@ fn inlinable(m: &Module, callee: FuncId, caller: FuncId, limits: &InlineLimits) 
     }
     // No self-recursion inside the callee, and no indirect calls (their
     // address-identity would change if their home function disappears).
+    // Guard traps must also keep their home function: the guard-site
+    // table attributes untraced-path traps per function, and inlining
+    // would re-home them into the caller.
     for &b in &rpo {
+        if let Term::Trap(c) = f.blocks[b.index()].term {
+            if TrapCode::is_guard(c) {
+                return false;
+            }
+        }
         for &i in &f.blocks[b.index()].insts {
             match f.inst(i) {
                 InstKind::Call { f: target, .. } if *target == callee => return false,

@@ -22,6 +22,7 @@ use wyt_emu::{Machine, RunResult, Trap};
 use wyt_ir::interp::{Interp, InterpError, InterpOutput, NoHooks};
 use wyt_ir::Module;
 use wyt_isa::image::Image;
+use wyt_isa::TrapCode;
 use wyt_lifter::lift_image;
 use wyt_minicc::Profile;
 
@@ -42,26 +43,31 @@ pub enum TrapClass {
     Other,
 }
 
-/// Classify a machine-level run.
+/// Classify a machine-level run. Only the recompiler's reserved guard
+/// codes ([`TrapCode::is_guard`]) count as [`TrapClass::Guard`];
+/// original-program traps and `Unreachable` stay [`TrapClass::Other`].
 pub fn classify_machine(r: &RunResult) -> TrapClass {
     match &r.trap {
         None => TrapClass::Exit,
         Some(Trap::OutOfFuel) => TrapClass::Fuel,
         Some(Trap::DivideError(_)) => TrapClass::Divide,
         Some(Trap::Aborted) => TrapClass::Abort,
-        Some(Trap::TrapInst { .. }) => TrapClass::Guard,
+        Some(Trap::TrapInst { code, .. }) if TrapCode::is_guard(*code) => TrapClass::Guard,
         Some(_) => TrapClass::Other,
     }
 }
 
-/// Classify an IR-interpreter run.
+/// Classify an IR-interpreter run, with the same code partition as
+/// [`classify_machine`]. `BadIndirect` is the IR-level form of the
+/// backend's indirect-dispatch-miss guard, so it classifies as Guard.
 pub fn classify_interp(o: &InterpOutput) -> TrapClass {
     match &o.error {
         None => TrapClass::Exit,
         Some(InterpError::Fuel) => TrapClass::Fuel,
         Some(InterpError::DivideError(..)) => TrapClass::Divide,
         Some(InterpError::Aborted) => TrapClass::Abort,
-        Some(InterpError::Trap(_)) => TrapClass::Guard,
+        Some(InterpError::Trap(c)) if TrapCode::is_guard(*c) => TrapClass::Guard,
+        Some(InterpError::BadIndirect(_)) => TrapClass::Guard,
         Some(_) => TrapClass::Other,
     }
 }
@@ -240,6 +246,7 @@ mod tests {
             exit_code: 0,
             output: vec![],
             error,
+            guard: None,
             steps: 0,
             mem: Default::default(),
         };
@@ -252,10 +259,29 @@ mod tests {
             classify_machine(&r(Some(Trap::Aborted))),
             classify_interp(&o(Some(InterpError::Aborted)))
         );
+        // Same code, same class — for every trap code, guard or not.
+        for code in [1u8, TrapCode::UntracedBranch.code(), TrapCode::UntracedIndirect.code()] {
+            assert_eq!(
+                classify_machine(&r(Some(Trap::TrapInst { pc: 0, code }))),
+                classify_interp(&o(Some(InterpError::Trap(code)))),
+                "code {code:#x}"
+            );
+        }
         assert_eq!(
-            classify_machine(&r(Some(Trap::TrapInst { pc: 0, code: 1 }))),
-            classify_interp(&o(Some(InterpError::Trap(1))))
+            classify_machine(&r(Some(Trap::TrapInst { pc: 0, code: 0xfe }))),
+            TrapClass::Guard
         );
+        assert_eq!(
+            classify_machine(&r(Some(Trap::TrapInst {
+                pc: 0,
+                code: TrapCode::Unreachable.code()
+            }))),
+            TrapClass::Other
+        );
+        // The interpreter's bad-indirect is the machine's dispatch-miss
+        // guard: both must be Guard or healing cannot see interp-side
+        // misses.
+        assert_eq!(classify_interp(&o(Some(InterpError::BadIndirect(0x9999)))), TrapClass::Guard);
         assert_eq!(classify_machine(&r(Some(Trap::DivideError(0)))), TrapClass::Divide);
     }
 }

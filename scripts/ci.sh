@@ -20,6 +20,9 @@ WYT_OBS=json cargo run --release --offline -q -p wyt-bench --bin report -- --che
 echo "==> fault-injection smoke gate (pinned WYT_FAULT seed)"
 WYT_FAULT=0xc0ffee cargo test -q --offline --test fault fault_smoke
 
+echo "==> self-healing smoke gate (withheld input heals in <=2 rounds, no demotions)"
+cargo test -q --offline --test healing heals_untraced_branch_with_incremental_relift
+
 echo "==> parallel determinism gate (WYT_PAR=4)"
 WYT_PAR=4 cargo test -q --offline --workspace
 WYT_PAR=4 WYT_OBS=json cargo run --release --offline -q -p wyt-bench --bin report -- --check >/dev/null

@@ -7,9 +7,11 @@
 //! The obs sink is process-global, so tests that toggle it serialize on
 //! one lock (the rest of this binary's tests never enable it).
 
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 use wyt_core::{recompile, Mode, Recompiled};
 use wyt_emu::Machine;
+use wyt_ir::interp::{Interp, NoHooks};
 use wyt_lifter::{EMU_STACK_BASE, EMU_STACK_SIZE};
 use wyt_minicc::{compile, Profile};
 
@@ -129,6 +131,86 @@ fn coverage_counts_partition_stack_references() {
     assert_eq!(a.exec.runs, ca.runs);
     assert_eq!(a.exec.mem.stack_total, ca.total);
     assert!(a.exec.retired > 0);
+}
+
+/// Guard-trap counters under `prefix` (`emu` / `interp`), e.g.
+/// `{"branch": 1}` — the names are part of the obs contract.
+fn guard_counters(snap: &wyt_obs::Snapshot, prefix: &str) -> BTreeMap<String, u64> {
+    let head = format!("{prefix}.trap.guard.");
+    snap.counters
+        .iter()
+        .filter_map(|(k, &v)| k.strip_prefix(&head).map(|kind| (kind.to_string(), v)))
+        .collect()
+}
+
+/// Both engines must classify the same untraced site the same way: the
+/// machine's `emu.trap.guard.{branch,indirect}` counters and the
+/// interpreter's `interp.trap.guard.*` counters agree per kind.
+#[test]
+fn machine_and_interp_guard_counters_agree_per_kind() {
+    let _l = SINK_LOCK.lock().unwrap();
+
+    // One untraced branch side, one untraced indirect target.
+    let cases: [(&str, &[u8], &[u8], &str); 2] = [
+        (
+            r#"
+            int main() {
+                int c = getchar();
+                if (c == 'x') return 7;
+                return 3;
+            }
+            "#,
+            b"q",
+            b"x",
+            "branch",
+        ),
+        (
+            r#"
+            int a() { return 1; }
+            int b() { return 2; }
+            int main() {
+                int d = getchar() - 'a';
+                int t = (int)&a + d * ((int)&b - (int)&a);
+                return __icall(t);
+            }
+            "#,
+            b"a",
+            b"b",
+            "indirect",
+        ),
+    ];
+
+    for (src, traced, held_out, kind) in cases {
+        let img = compile(src, &Profile::gcc12_o3()).unwrap().stripped();
+        wyt_obs::set_enabled(false);
+        let out = recompile(&img, &[traced.to_vec()], Mode::Wytiwyg).unwrap();
+
+        wyt_obs::set_enabled(true);
+        wyt_obs::reset();
+        let mut m = Machine::new(&out.image, held_out.to_vec());
+        m.set_fuel(1_000_000);
+        let mr = m.run();
+        let emu = guard_counters(&wyt_obs::snapshot(), "emu");
+
+        wyt_obs::reset();
+        let mut it = Interp::new(&out.module, held_out.to_vec(), NoHooks);
+        it.set_fuel(1_000_000);
+        let io = it.run();
+        let interp = guard_counters(&wyt_obs::snapshot(), "interp");
+        wyt_obs::set_enabled(false);
+        wyt_obs::reset();
+
+        assert!(mr.trap.is_some(), "{kind}: held-out input must hit the guard");
+        assert_eq!(
+            emu.get(kind),
+            Some(&1),
+            "{kind}: machine guard counter must fire once: {emu:?}"
+        );
+        assert_eq!(
+            emu, interp,
+            "{kind}: engines must agree on guard-kind counters (machine {mr:?}, interp {io:?})"
+        );
+    }
 }
 
 #[test]
