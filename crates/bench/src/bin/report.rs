@@ -48,6 +48,46 @@ const EXPECTED_STAGES: [&str; 11] = [
     "lower",
 ];
 
+/// Schema gate for `results/BENCH_store.json` (written by the
+/// `wyt-batch` binary): every row records a cold and a warm timing for
+/// one suite job, every warm pass must have hit, and the store counters
+/// must show cache traffic with zero corruption — a committed artifact
+/// claiming corrupt entries (or no hits at all) means the store broke.
+fn check_store_json(j: &wyt_obs::Json) {
+    assert_eq!(
+        j.get("bench").and_then(|v| v.as_str()),
+        Some("store"),
+        "BENCH_store.json: bench key must be \"store\""
+    );
+    let rows = j.get("rows").and_then(|r| r.as_arr()).expect("BENCH_store.json: rows array");
+    assert!(!rows.is_empty(), "BENCH_store.json: empty rows");
+    for r in rows {
+        let name = r.get("name").and_then(|v| v.as_str()).expect("store row has name");
+        let key = r.get("key").and_then(|v| v.as_str()).expect("store row has key");
+        assert!(
+            key.len() == 64 && key.bytes().all(|b| b.is_ascii_hexdigit()),
+            "store row `{name}`: key is not a sha-256 hex digest: {key}"
+        );
+        r.get("cold_ns").and_then(|v| v.as_u64()).expect("store row has cold_ns");
+        r.get("warm_ns").and_then(|v| v.as_u64()).expect("store row has warm_ns");
+        assert_eq!(
+            r.get("warm_hit").and_then(|v| v.as_bool()),
+            Some(true),
+            "store row `{name}`: the second pass must be a warm hit"
+        );
+    }
+    let s = j.get("store").expect("BENCH_store.json: store counter section");
+    let count = |k: &str| {
+        s.get(k).and_then(|v| v.as_u64()).unwrap_or_else(|| panic!("store counters have {k}"))
+    };
+    let (hits, corrupt) = (count("hits"), count("corrupt"));
+    for k in ["misses", "puts", "evictions"] {
+        count(k);
+    }
+    assert_eq!(corrupt, 0, "BENCH_store.json: committed run saw corrupt entries");
+    assert!(hits >= 1, "BENCH_store.json: warm pass never hit the store");
+}
+
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
     let fmt = match wyt_obs::init_from_env() {
@@ -150,6 +190,7 @@ fn main() {
         // validate every one that is present. The benchmark corpus is
         // clean (every ref input is traced), so both counts must be 0.
         let mut bench_jsons = 0usize;
+        let mut store_json = false;
         if let Ok(entries) = std::fs::read_dir("results") {
             for e in entries.flatten() {
                 let name = e.file_name().to_string_lossy().into_owned();
@@ -165,13 +206,19 @@ fn main() {
                 let bs =
                     bh.get("sites_healed").and_then(|v| v.as_u64()).expect("healing.sites_healed");
                 assert_eq!((br, bs), (0, 0), "{name}: the clean bench corpus must not heal");
+                if name == "BENCH_store.json" {
+                    check_store_json(&j);
+                    store_json = true;
+                }
                 bench_jsons += 1;
             }
         }
+        assert!(store_json, "results/BENCH_store.json missing (run the wyt-batch binary)");
 
         eprintln!(
             "report check: {} stages ok, coverage {sym}+{res}={total}, degradations {}, \
-             healing {rounds} round(s) / {healed_n} healed, {bench_jsons} bench JSONs clean",
+             healing {rounds} round(s) / {healed_n} healed, {bench_jsons} bench JSONs clean \
+             (store schema ok)",
             stages.len(),
             deg.len()
         );

@@ -1,0 +1,237 @@
+//! Batch recompilation frontend over the content-addressed artifact
+//! store (`wyt-store`): feed the SPEC-shaped suite through
+//! [`wyt_core::run_batch`] twice against one store and record how much
+//! the second, warm pass costs relative to the first, cold one.
+//!
+//! ```sh
+//! cargo run --release -p wyt-bench --bin wyt-batch               # full suite
+//! WYT_STORE=/tmp/s cargo run ... --bin wyt-batch -- --smoke cold --out /tmp/c
+//! WYT_STORE=/tmp/s cargo run ... --bin wyt-batch -- --smoke warm --out /tmp/w
+//! ```
+//!
+//! **Default mode** builds every `wyt_spec` benchmark under GCC 12 -O3,
+//! runs the queue cold and then warm against a scratch store (or
+//! `WYT_STORE` if set), and writes `results/BENCH_store.json`: per-job
+//! cold/warm timings and hit flags plus the store's counter totals.
+//! `report --check` gates the schema.
+//!
+//! **Smoke mode** (`--smoke cold|warm --out DIR`) runs a small fixed
+//! job subset once against the store named by `WYT_STORE` and writes
+//! `DIR/BENCH_store.json` plus `DIR/images.sha` (one content digest per
+//! produced image). `scripts/ci.sh` runs `cold` then `warm` against the
+//! same store and `cmp`s the two digest files — the warm path must
+//! serve byte-identical images. `warm` exits nonzero unless every job
+//! was served from the store; both modes exit nonzero on any job error
+//! or store corruption.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+use wyt_bench::{bench_json_body, write_bench_json, ParMeta};
+use wyt_core::{image_digest, recompile_stored, run_batch, BatchJob, BatchReport, Mode};
+use wyt_minicc::{compile, Profile};
+use wyt_obs::Json;
+use wyt_opt::OptLevel;
+use wyt_store::Store;
+
+/// The benchmarks the CI smoke gate runs: the three cheapest of the
+/// suite, so a cold+warm double pass stays fast on one core.
+const SMOKE_BENCHES: [&str; 3] = ["mcf", "sjeng", "libquantum"];
+
+/// Build the batch queue. Smoke jobs trace only the train inputs (the
+/// ref inputs are the expensive part and add nothing to a cache gate).
+fn build_jobs(smoke: bool) -> Vec<BatchJob> {
+    let profile = Profile::gcc12_o3();
+    wyt_spec::suite()
+        .into_iter()
+        .filter(|b| !smoke || SMOKE_BENCHES.contains(&b.name))
+        .map(|b| BatchJob {
+            name: b.name.to_string(),
+            image: compile(b.source, &profile)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name))
+                .stripped(),
+            inputs: if smoke { b.train_inputs() } else { b.trace_inputs() },
+            mode: Mode::Wytiwyg,
+            opt: OptLevel::Full,
+        })
+        .collect()
+}
+
+/// `true` if any job row carries an error (printed to stderr).
+fn report_errors(pass: &str, rep: &BatchReport) -> bool {
+    let mut any = false;
+    for row in &rep.jobs {
+        if let Some(e) = &row.error {
+            eprintln!("wyt-batch: {pass} {}: {e}", row.name);
+            any = true;
+        }
+    }
+    any
+}
+
+/// Full-suite mode: cold pass, warm pass, `results/BENCH_store.json`.
+fn full_run() -> ExitCode {
+    let (store, scratch) = match Store::open_env() {
+        Some(r) => (r.expect("WYT_STORE must be usable"), None),
+        None => {
+            let dir = std::env::temp_dir().join(format!("wyt-batch-{}", std::process::id()));
+            (Store::open(&dir).expect("scratch store"), Some(dir))
+        }
+    };
+    let jobs = build_jobs(false);
+    let t0 = Instant::now();
+    let cold = run_batch(&store, &jobs);
+    let warm = run_batch(&store, &jobs);
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let failed = report_errors("cold", &cold) | report_errors("warm", &warm);
+
+    println!("wyt-batch: {} jobs, cold then warm ({} threads)\n", jobs.len(), warm.threads);
+    println!("{:<12} {:>12} {:>12} {:>8}  key", "job", "cold_ms", "warm_ms", "hit");
+    let mut rows: Vec<Json> = Vec::new();
+    for (c, w) in cold.jobs.iter().zip(&warm.jobs) {
+        println!(
+            "{:<12} {:>12.1} {:>12.1} {:>8}  {}…",
+            c.name,
+            c.wall_ns as f64 / 1e6,
+            w.wall_ns as f64 / 1e6,
+            if w.warm { "warm" } else { "COLD" },
+            &c.key[..12]
+        );
+        rows.push(Json::obj(vec![
+            ("name", Json::from(c.name.as_str())),
+            ("key", Json::from(c.key.as_str())),
+            ("cold_ns", Json::from(c.wall_ns)),
+            ("warm_ns", Json::from(w.wall_ns)),
+            ("warm_hit", Json::Bool(w.warm)),
+        ]));
+    }
+    let counters = store.counters();
+    println!(
+        "\nstore: {} hits / {} misses / {} puts / {} corrupt / {} evicted",
+        counters.hits, counters.misses, counters.puts, counters.corrupt, counters.evictions
+    );
+
+    let par = ParMeta { threads: warm.threads, wall_ns, serial_wall_ns: None };
+    let body = bench_json_body("store", Json::Arr(rows), &par, vec![("store", counters.to_json())]);
+    let path = write_bench_json(Path::new("results"), "store", &body);
+    println!("wrote {}", path.display());
+    if let Some(dir) = scratch {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    let all_warm = warm.jobs.iter().all(|r| r.warm);
+    if failed || !all_warm || counters.corrupt != 0 {
+        eprintln!(
+            "wyt-batch: FAILED (errors={failed}, all_warm={all_warm}, corrupt={})",
+            counters.corrupt
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Smoke mode: one pass of the small queue against `WYT_STORE`, then a
+/// per-job re-serve to digest the images the store hands out.
+fn smoke_run(which: &str, out_dir: &Path) -> ExitCode {
+    let store = match Store::open_env() {
+        Some(Ok(s)) => s,
+        Some(Err(e)) => {
+            eprintln!("wyt-batch: WYT_STORE unusable: {e}");
+            return ExitCode::FAILURE;
+        }
+        None => {
+            eprintln!("wyt-batch: --smoke requires WYT_STORE to name the shared store");
+            return ExitCode::FAILURE;
+        }
+    };
+    let jobs = build_jobs(true);
+    let t0 = Instant::now();
+    let rep = run_batch(&store, &jobs);
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let failed = report_errors(which, &rep);
+
+    // Every job's entry is on disk now; re-serving each (warm) yields
+    // the exact image bytes the store vouches for, digested for the
+    // cold-vs-warm `cmp` gate in scripts/ci.sh.
+    let mut sha_lines = String::new();
+    let mut rows: Vec<Json> = Vec::new();
+    for (i, (job, row)) in jobs.iter().zip(&rep.jobs).enumerate() {
+        let served = recompile_stored(&store, &job.image, &job.inputs, job.mode, job.opt, i as u64)
+            .unwrap_or_else(|e| panic!("{}: re-serve: {e}", job.name));
+        sha_lines.push_str(&format!("{}  {}\n", image_digest(served.image()), job.name));
+        rows.push(Json::obj(vec![
+            ("name", Json::from(row.name.as_str())),
+            ("key", Json::from(row.key.as_str())),
+            ("warm", Json::Bool(row.warm)),
+            ("wall_ns", Json::from(row.wall_ns)),
+        ]));
+    }
+    let counters = store.counters();
+    std::fs::create_dir_all(out_dir)
+        .unwrap_or_else(|e| panic!("create {}: {e}", out_dir.display()));
+    let sha_path = out_dir.join("images.sha");
+    std::fs::write(&sha_path, &sha_lines).unwrap_or_else(|e| panic!("write images.sha: {e}"));
+    let par = ParMeta { threads: rep.threads, wall_ns, serial_wall_ns: None };
+    let body = bench_json_body("store", Json::Arr(rows), &par, vec![("store", counters.to_json())]);
+    write_bench_json(out_dir, "store", &body);
+
+    let warm_hits = rep.jobs.iter().filter(|r| r.warm).count();
+    println!(
+        "wyt-batch --smoke {which}: {} jobs, {warm_hits} warm, store {} hits / {} misses / {} corrupt",
+        jobs.len(),
+        counters.hits,
+        counters.misses,
+        counters.corrupt
+    );
+    if failed || counters.corrupt != 0 {
+        return ExitCode::FAILURE;
+    }
+    if which == "warm" && warm_hits != jobs.len() {
+        eprintln!(
+            "wyt-batch: warm smoke expected every job to hit, got {warm_hits}/{}",
+            jobs.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    wyt_obs::set_enabled(true);
+    wyt_bench::reset_degradations();
+    wyt_bench::reset_healing();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                smoke = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--out" => {
+                out = args.get(i + 1).map(PathBuf::from);
+                i += 2;
+            }
+            other => {
+                eprintln!("wyt-batch: unknown argument `{other}`");
+                eprintln!("usage: wyt-batch [--smoke cold|warm --out DIR]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match smoke.as_deref() {
+        None => full_run(),
+        Some(which @ ("cold" | "warm")) => {
+            let Some(dir) = out else {
+                eprintln!("wyt-batch: --smoke requires --out DIR");
+                return ExitCode::FAILURE;
+            };
+            smoke_run(which, &dir)
+        }
+        Some(other) => {
+            eprintln!("wyt-batch: --smoke takes `cold` or `warm`, got `{other}`");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -218,15 +218,21 @@ where
     (results, ParMeta { threads, wall_ns, serial_wall_ns })
 }
 
-/// Write `results/BENCH_<name>.json`: the bench's own rows, the
+/// Assemble the standard bench-JSON body: the bench's own rows, the
 /// stage-time breakdown (span totals and counters) accumulated in the
-/// observability sink over the run, and the thread/wall-time record of
-/// the grid. Returns the path written.
+/// observability sink over the run, the thread/wall-time record of the
+/// grid, the degradation/healing accumulators, and any bench-specific
+/// `extra` sections appended after the standard keys.
 ///
 /// Report binaries call [`wyt_obs::set_enabled`] at startup so the
 /// recompiles they drive populate the sink; this serializes it.
-pub fn emit_bench_json(name: &str, rows: wyt_obs::Json, par: &ParMeta) -> std::path::PathBuf {
-    let body = wyt_obs::Json::obj(vec![
+pub fn bench_json_body(
+    name: &str,
+    rows: wyt_obs::Json,
+    par: &ParMeta,
+    extra: Vec<(&str, wyt_obs::Json)>,
+) -> wyt_obs::Json {
+    let mut members = vec![
         ("bench", wyt_obs::Json::from(name)),
         ("rows", rows),
         ("obs", wyt_obs::snapshot().to_json()),
@@ -239,13 +245,30 @@ pub fn emit_bench_json(name: &str, rows: wyt_obs::Json, par: &ParMeta) -> std::p
                 ("sites_healed", wyt_obs::Json::from(healed)),
             ])
         }),
-    ]);
-    let dir = std::path::Path::new("results");
+    ];
+    members.extend(extra);
+    wyt_obs::Json::obj(members)
+}
+
+/// Write `<dir>/BENCH_<name>.json` (pretty, newline-terminated),
+/// creating `dir` as needed. Returns the path written.
+pub fn write_bench_json(
+    dir: &std::path::Path,
+    name: &str,
+    body: &wyt_obs::Json,
+) -> std::path::PathBuf {
     std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
     let path = dir.join(format!("BENCH_{name}.json"));
     std::fs::write(&path, format!("{}\n", body.pretty()))
         .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     path
+}
+
+/// Write `results/BENCH_<name>.json` with the standard body (no extra
+/// sections). Returns the path written.
+pub fn emit_bench_json(name: &str, rows: wyt_obs::Json, par: &ParMeta) -> std::path::PathBuf {
+    let body = bench_json_body(name, rows, par, Vec::new());
+    write_bench_json(std::path::Path::new("results"), name, &body)
 }
 
 /// A ratio as JSON: failures become `null` (the paper's "—" cells).

@@ -1,0 +1,383 @@
+//! Recompilation-as-a-service: the store-backed pipeline frontend.
+//!
+//! [`recompile_stored`] and [`recompile_healing_stored`] wrap the plain
+//! and self-healing pipelines with a content-addressed [`Store`]: a
+//! second recompilation of the same (image, inputs, config) is a warm
+//! hit that skips tracing, lifting and refinement entirely, and healing
+//! runs persist their accumulated facts so later runs of the same image
+//! start from everything every previous run learned.
+//!
+//! The safety contract is uniform: **a stored result is never trusted,
+//! only checked**. A warm candidate must decode structurally *and*
+//! replay-validate behaviourally against the original image before it is
+//! served; any failure marks the entry corrupt and falls through to a
+//! cold recompile. A poisoned store can cost time, never correctness.
+//!
+//! [`run_batch`] schedules a queue of jobs over `wyt-par` with one
+//! shared store. Keys are derived and deduplicated serially before the
+//! parallel phase and duplicate jobs are resolved after it, so the store
+//! contents, counters and canonical report are identical whatever
+//! `WYT_PAR` says.
+
+use crate::artifact::{
+    artifact_from_json, artifact_key, artifact_payload, facts_from_json, facts_key, facts_to_json,
+    heal_from_json, heal_key, heal_payload, StoredArtifact, StoredFacts,
+};
+use crate::healing::{recompile_healing_seeded, Healed};
+use crate::pipeline::{recompile_with, validate, FaultInjector, Mode, RecompileError, Recompiled};
+use std::collections::BTreeMap;
+use wyt_isa::image::Image;
+use wyt_obs::{mono_ns, HealingReport, Json, Span};
+use wyt_opt::OptLevel;
+use wyt_store::{Lookup, Store, StoreCounters};
+
+/// The outcome of a store-backed recompilation.
+#[derive(Debug)]
+pub enum StoredOutcome {
+    /// Cache miss (or rejected entry): the pipeline ran cold and the
+    /// result was persisted.
+    Cold(Box<Recompiled>),
+    /// Cache hit: the stored image decoded and replay-validated; no
+    /// tracing, lifting or refinement ran.
+    Warm(Box<StoredArtifact>),
+}
+
+impl StoredOutcome {
+    /// The recompiled image, however it was obtained.
+    pub fn image(&self) -> &Image {
+        match self {
+            StoredOutcome::Cold(r) => &r.image,
+            StoredOutcome::Warm(a) => &a.image,
+        }
+    }
+
+    /// `true` on a cache hit.
+    pub fn warm(&self) -> bool {
+        matches!(self, StoredOutcome::Warm(_))
+    }
+
+    /// Degraded-function count (a warm hit reports the producing run's).
+    pub fn degradations(&self) -> u64 {
+        match self {
+            StoredOutcome::Cold(r) => r.report.degradations.len() as u64,
+            StoredOutcome::Warm(a) => a.degradations,
+        }
+    }
+}
+
+/// Fetch-decode-validate one store entry of `kind` at `key`, handing the
+/// decoded value to `check` for behavioural validation. Every failure
+/// path marks the entry corrupt and returns `None` (recompile cold).
+fn warm_candidate<T>(
+    store: &Store,
+    kind: &str,
+    key: &str,
+    decode: impl Fn(&Json) -> Result<T, String>,
+    check: impl Fn(&T) -> bool,
+) -> Option<T> {
+    match store.get(kind, key) {
+        Lookup::Hit(payload) => match decode(&payload) {
+            Ok(v) if check(&v) => Some(v),
+            Ok(_) => {
+                // Structurally sound but behaviourally wrong — a
+                // logically poisoned entry. Count it and recompile.
+                store.note_corrupt();
+                None
+            }
+            Err(_) => {
+                store.note_corrupt();
+                None
+            }
+        },
+        Lookup::Miss | Lookup::Corrupt(_) => None,
+    }
+}
+
+/// Recompile `img` through `store`: serve a validated warm hit if one
+/// exists, else run the pipeline cold and persist the result under
+/// `stamp` (the FIFO eviction rank — callers use a job index or run
+/// counter).
+///
+/// # Errors
+/// Returns a [`RecompileError`] only from the cold pipeline; store
+/// failures of any kind degrade to a cold recompile.
+pub fn recompile_stored(
+    store: &Store,
+    img: &Image,
+    inputs: &[Vec<u8>],
+    mode: Mode,
+    opt: OptLevel,
+    stamp: u64,
+) -> Result<StoredOutcome, RecompileError> {
+    let _s = Span::enter("store.recompile");
+    let key = artifact_key(img, inputs, mode, opt);
+    let want_mode = format!("{mode:?}");
+    let want_opt = format!("{opt:?}");
+    if let Some(art) =
+        warm_candidate(store, "artifact", &key, artifact_from_json, |a: &StoredArtifact| {
+            a.mode == want_mode && a.opt == want_opt && validate(img, &a.image, inputs).is_ok()
+        })
+    {
+        wyt_obs::counter("store.warm_serve", 1);
+        return Ok(StoredOutcome::Warm(Box::new(art)));
+    }
+    let rec = recompile_with(img, inputs, mode, opt)?;
+    let _ = store.put("artifact", &key, stamp, artifact_payload(&rec));
+    Ok(StoredOutcome::Cold(Box::new(rec)))
+}
+
+/// The outcome of a store-backed healing run.
+#[derive(Debug)]
+pub struct StoredHeal {
+    /// The healed image.
+    pub image: Image,
+    /// The union input set the image is validated against.
+    pub inputs: Vec<Vec<u8>>,
+    /// Healing telemetry. On a warm hit this is synthesized from the
+    /// stored summary: `rounds`/`funcs_relifted` are 0 (nothing re-ran)
+    /// and `funcs_reused == funcs_total` (every function came from the
+    /// store); `converged`, the site counts and the event log are the
+    /// producing run's.
+    pub report: HealingReport,
+    /// `true` on a cache hit.
+    pub warm: bool,
+}
+
+/// Self-healing recompilation through `store`. Three tiers, best first:
+///
+/// 1. **Warm result** — a `"healed"` entry for this exact request whose
+///    image replay-validates over its recorded union input set.
+/// 2. **Warm facts** — no result entry, but a `"facts"` entry for this
+///    image: its inputs (those the original image still runs cleanly)
+///    extend the held-out set, and its merged trace + fact cache seed
+///    the cold heal, so coverage and refinement work accumulate across
+///    runs and across processes.
+/// 3. **Cold** — plain [`crate::recompile_healing_with`] semantics.
+///
+/// Cold runs persist both the `"healed"` result and a merged `"facts"`
+/// entry (union of the run's inputs with any prior facts).
+///
+/// # Errors
+/// Returns a [`RecompileError`] only from the healing pipeline itself;
+/// store failures of any kind degrade to a colder tier.
+pub fn recompile_healing_stored(
+    store: &Store,
+    img: &Image,
+    traced: &[Vec<u8>],
+    held_out: &[Vec<u8>],
+    opt: OptLevel,
+    stamp: u64,
+) -> Result<StoredHeal, RecompileError> {
+    let _s = Span::enter("store.heal");
+    let hkey = heal_key(img, traced, held_out, opt);
+    if let Some(h) = warm_candidate(store, "healed", &hkey, heal_from_json, |h| {
+        validate(img, &h.image, &h.inputs).is_ok()
+    }) {
+        wyt_obs::counter("store.warm_serve", 1);
+        return Ok(StoredHeal {
+            report: HealingReport {
+                rounds: 0,
+                converged: h.converged,
+                sites_healed: h.sites_healed,
+                sites_unhealed: h.sites_unhealed,
+                funcs_total: h.funcs_total,
+                funcs_relifted: 0,
+                funcs_reused: h.funcs_total,
+                events: h.events,
+            },
+            image: h.image,
+            inputs: h.inputs,
+            warm: true,
+        });
+    }
+
+    // Tier 2: prior facts for this image, independent of input set.
+    let fkey = facts_key(img, opt);
+    let prior: Option<StoredFacts> =
+        warm_candidate(store, wyt_store::FACTS_KIND, &fkey, facts_from_json, |_| true);
+    let mut all_held: Vec<Vec<u8>> = held_out.to_vec();
+    if let Some(f) = &prior {
+        for i in &f.inputs {
+            // Only inputs the *original* image still handles cleanly may
+            // extend coverage — a poisoned input list must not be able
+            // to fail the run.
+            if !traced.contains(i)
+                && !all_held.contains(i)
+                && wyt_emu::run_image(img, i.clone()).ok()
+            {
+                all_held.push(i.clone());
+            }
+        }
+    }
+    let seed = prior.as_ref().map(|f| (&f.trace, &f.plan));
+    let healed: Healed =
+        recompile_healing_seeded(img, traced, &all_held, opt, &FaultInjector::default(), seed)?;
+    let _ = store.put("healed", &hkey, stamp, heal_payload(&healed));
+    let facts = StoredFacts::of(&healed.recompiled, &healed.inputs, prior.as_ref());
+    let _ = store.put(wyt_store::FACTS_KIND, &fkey, stamp, facts_to_json(&facts));
+    Ok(StoredHeal {
+        image: healed.recompiled.image,
+        inputs: healed.inputs,
+        report: healed.report,
+        warm: false,
+    })
+}
+
+/// One batch-queue entry: a binary plus the inputs to trace it with.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Display name (job identity is the content key, not the name).
+    pub name: String,
+    /// The binary to recompile.
+    pub image: Image,
+    /// Inputs to trace and validate with.
+    pub inputs: Vec<Vec<u8>>,
+    /// Recompilation mode.
+    pub mode: Mode,
+    /// Re-optimization level.
+    pub opt: OptLevel,
+}
+
+/// Per-job outcome row of a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchJobResult {
+    /// Job name.
+    pub name: String,
+    /// Content key of the job's artifact entry.
+    pub key: String,
+    /// `true` if the job was served from the store.
+    pub warm: bool,
+    /// Wall time of the job (excluded from the canonical report).
+    pub wall_ns: u64,
+    /// Degraded-function count.
+    pub degradations: u64,
+    /// Pipeline error, if the job failed.
+    pub error: Option<String>,
+}
+
+/// What a batch run did: per-job rows in queue order plus the store's
+/// counter deltas.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One row per submitted job, in submission order.
+    pub jobs: Vec<BatchJobResult>,
+    /// Store counters accumulated over the whole batch.
+    pub counters: StoreCounters,
+    /// Worker threads used (excluded from the canonical report).
+    pub threads: usize,
+}
+
+impl BatchReport {
+    /// Full report, including timings and thread count.
+    pub fn to_json(&self) -> Json {
+        let mut j = self.to_json_deterministic();
+        if let Json::Obj(members) = &mut j {
+            members.push(("threads".to_string(), Json::from(self.threads as u64)));
+            if let Some(Json::Arr(rows)) =
+                members.iter_mut().find(|(k, _)| k == "jobs").map(|(_, v)| v)
+            {
+                for (row, job) in rows.iter_mut().zip(&self.jobs) {
+                    if let Json::Obj(m) = row {
+                        m.push(("wall_ns".to_string(), Json::from(job.wall_ns)));
+                    }
+                }
+            }
+        }
+        j
+    }
+
+    /// Canonical timing-free form: byte-identical across serial and
+    /// parallel runs of the same queue against equal stores.
+    pub fn to_json_deterministic(&self) -> Json {
+        Json::obj(vec![
+            (
+                "jobs",
+                Json::Arr(
+                    self.jobs
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("name", Json::from(r.name.as_str())),
+                                ("key", Json::from(r.key.as_str())),
+                                ("warm", Json::Bool(r.warm)),
+                                ("degradations", Json::from(r.degradations)),
+                                ("error", r.error.as_deref().map_or(Json::Null, Json::from)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("store", self.counters.to_json()),
+        ])
+    }
+}
+
+/// Run a queue of jobs against one shared store, scheduling the distinct
+/// jobs over [`wyt_par::par_map`].
+///
+/// Determinism: keys are derived serially up front; jobs with equal keys
+/// are deduplicated (first submission wins the slot and its FIFO stamp)
+/// and the remainder are resolved *after* the parallel phase, when the
+/// winner's entry is already on disk. Distinct jobs touch distinct entry
+/// paths, so parallel writers never collide. If `WYT_STORE_CAP` is set,
+/// the store is evicted down to that many entries at the end.
+pub fn run_batch(store: &Store, jobs: &[BatchJob]) -> BatchReport {
+    let _s = Span::enter("store.batch");
+    let keys: Vec<String> =
+        jobs.iter().map(|j| artifact_key(&j.image, &j.inputs, j.mode, j.opt)).collect();
+    let mut first_of: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut unique: Vec<usize> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        first_of.entry(key.as_str()).or_insert_with(|| {
+            unique.push(i);
+            i
+        });
+    }
+
+    let run_one = |i: usize| -> BatchJobResult {
+        let job = &jobs[i];
+        let t0 = mono_ns();
+        let outcome = recompile_stored(store, &job.image, &job.inputs, job.mode, job.opt, i as u64);
+        let wall_ns = mono_ns() - t0;
+        match outcome {
+            Ok(o) => BatchJobResult {
+                name: job.name.clone(),
+                key: keys[i].clone(),
+                warm: o.warm(),
+                wall_ns,
+                degradations: o.degradations(),
+                error: None,
+            },
+            Err(e) => BatchJobResult {
+                name: job.name.clone(),
+                key: keys[i].clone(),
+                warm: false,
+                wall_ns,
+                degradations: 0,
+                error: Some(e.to_string()),
+            },
+        }
+    };
+
+    let unique_results = wyt_par::par_map(&unique, |_, &i| run_one(i));
+    let mut rows: Vec<Option<BatchJobResult>> = vec![None; jobs.len()];
+    for (slot, r) in unique.iter().zip(unique_results) {
+        rows[*slot] = Some(r);
+    }
+    // Duplicates resolve serially against the now-populated store.
+    for i in 0..jobs.len() {
+        if rows[i].is_none() {
+            rows[i] = Some(run_one(i));
+        }
+    }
+    if let Ok(cap) = std::env::var(wyt_store::CAP_ENV) {
+        if let Ok(cap) = cap.parse::<usize>() {
+            let _ = store.evict_to(cap);
+        }
+    }
+    BatchReport {
+        jobs: rows.into_iter().map(|r| r.expect("every slot resolved")).collect(),
+        counters: store.counters(),
+        threads: wyt_par::threads(),
+    }
+}

@@ -32,15 +32,18 @@
 //! backstops pathological inputs.
 
 use crate::pipeline::{
-    recompile_from_lifted, recompile_with, FaultInjector, MismatchKind, Mode, RecompileError,
-    Recompiled, ReusePlan, ValidateError,
+    recompile_from_lifted, FaultInjector, MismatchKind, Mode, RecompileError, Recompiled,
+    ReusePlan, ValidateError,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use wyt_emu::{Machine, RunResult, Trap};
 use wyt_ir::{FuncId, InstKind, Module};
 use wyt_isa::image::Image;
 use wyt_isa::{GuardKind, TrapCode};
-use wyt_lifter::{cfg, funcrec, lift_from_trace, trace_image, LiftPipelineError, LiftedMeta};
+use wyt_lifter::{
+    cfg, funcrec, lift_from_trace, lift_image_faulted, trace_image, LiftPipelineError, Lifted,
+    LiftedMeta, Trace,
+};
 use wyt_obs::{GuardEvent, HealingReport, Span};
 use wyt_opt::OptLevel;
 
@@ -198,6 +201,57 @@ fn build_reuse_plan(rec: &Recompiled, new_meta: &LiftedMeta, relift: &BTreeSet<u
     plan
 }
 
+/// The complete refinement-fact cache of a finished recompilation: a
+/// [`ReusePlan`] covering *every* lifted function, suitable for
+/// persisting (the artifact store's `"facts"` entries are built from
+/// this).
+pub(crate) fn full_reuse_plan(rec: &Recompiled) -> ReusePlan {
+    build_reuse_plan(rec, &rec.lifted_meta, &BTreeSet::new())
+}
+
+/// Restrict persisted facts from a *previous process* to the functions
+/// whose machine-level recovery is unchanged between the prior merged
+/// trace and a fresh lift — the cross-run analogue of the in-loop
+/// incremental step. Returns `None` (recompile cold) when the prior
+/// trace no longer reconstructs or nothing survives the diff; a stale or
+/// poisoned fact can therefore at worst demote a function down the
+/// degradation ladder, never skip validation.
+fn seed_plan_from_prior(
+    img: &Image,
+    prior_trace: &Trace,
+    prior_plan: &ReusePlan,
+    lifted: &Lifted,
+) -> Option<ReusePlan> {
+    let old_cfg = cfg::build_cfg(img, prior_trace).ok()?;
+    let old_funcs = funcrec::recover_functions(&old_cfg).ok()?;
+    let changed = changed_funcs(&old_cfg, &old_funcs, &lifted.cfg, &lifted.funcs);
+    let relift = relift_closure(&lifted.module, &lifted.meta, &changed);
+    let mut plan = ReusePlan::default();
+    for addr in &prior_plan.reuse {
+        if relift.contains(addr) || !lifted.meta.func_by_addr.contains_key(addr) {
+            continue;
+        }
+        plan.reuse.insert(*addr);
+        if let Some(row) = prior_plan.regsave.get(addr) {
+            plan.regsave.insert(*addr, *row);
+        }
+        if let Some(l) = prior_plan.layouts.get(addr) {
+            plan.layouts.insert(*addr, l.clone());
+        }
+    }
+    for ((addr, inst), n) in &prior_plan.vararg {
+        if plan.reuse.contains(addr) {
+            plan.vararg.insert((*addr, *inst), *n);
+        }
+    }
+    if plan.reuse.is_empty() {
+        None
+    } else {
+        wyt_obs::counter("heal.seeded_funcs", plan.reuse.len() as u64);
+        Some(plan)
+    }
+}
+
 /// [`recompile_healing_with`] at full re-optimization.
 ///
 /// # Errors
@@ -229,8 +283,60 @@ pub fn recompile_healing_with(
     held_out: &[Vec<u8>],
     opt: OptLevel,
 ) -> Result<Healed, RecompileError> {
+    recompile_healing_seeded(img, traced, held_out, opt, &FaultInjector::default(), None)
+}
+
+/// [`recompile_healing_with`] under a [`FaultInjector`]. The injector's
+/// hooks apply to the initial lift *and* to every healing round: the
+/// trace hook corrupts each incremental re-trace delta before it is
+/// merged, and the vararg/regsave hooks fire inside every round's
+/// re-refinement — so a fault plan that withholds an input can also
+/// sabotage the healing of that very input. Healing must still never
+/// panic and never emit an unvalidated image.
+///
+/// # Errors
+/// See [`recompile_healing`].
+pub fn recompile_healing_faulted(
+    img: &Image,
+    traced: &[Vec<u8>],
+    held_out: &[Vec<u8>],
+    opt: OptLevel,
+    faults: &FaultInjector,
+) -> Result<Healed, RecompileError> {
+    recompile_healing_seeded(img, traced, held_out, opt, faults, None)
+}
+
+/// The full-control healing entry point: [`recompile_healing_faulted`]
+/// optionally *seeded* with persisted facts from a previous run of the
+/// same image — `prior` carries that run's merged trace and its complete
+/// [`ReusePlan`]. Functions whose recovery is unchanged against the
+/// prior trace reuse their facts in the initial recompilation (visible
+/// as `funcs_reused` / `reused_funcs` even when zero healing rounds
+/// run); anything stale falls back to cold refinement per function.
+///
+/// # Errors
+/// See [`recompile_healing`].
+pub fn recompile_healing_seeded(
+    img: &Image,
+    traced: &[Vec<u8>],
+    held_out: &[Vec<u8>],
+    opt: OptLevel,
+    faults: &FaultInjector,
+    prior: Option<(&Trace, &ReusePlan)>,
+) -> Result<Healed, RecompileError> {
     let _s = Span::enter("healing");
-    let mut rec = recompile_with(img, traced, Mode::Wytiwyg, opt)?;
+    let mut rec = {
+        let lifted = {
+            let _s = Span::enter("lift");
+            let trace_fault: Option<&(dyn Fn(&mut Trace) + Sync)> = match &faults.trace {
+                Some(f) => Some(f.as_ref()),
+                None => None,
+            };
+            lift_image_faulted(img, traced, trace_fault).map_err(RecompileError::Lift)?
+        };
+        let seed = prior.and_then(|(pt, pp)| seed_plan_from_prior(img, pt, pp, &lifted));
+        recompile_from_lifted(img, traced, Mode::Wytiwyg, opt, faults, lifted, seed.as_ref())?
+    };
     let mut inputs: Vec<Vec<u8>> = traced.to_vec();
     let mut report = HealingReport::default();
     let mut relifted_addrs: BTreeSet<u32> = BTreeSet::new();
@@ -321,11 +427,16 @@ pub fn recompile_healing_with(
         });
 
         // 2. Re-trace only the offending input on the original image and
-        // diff against the stored merged trace.
-        let (delta, delta_runs) = {
+        // diff against the stored merged trace. An injected trace fault
+        // corrupts the delta itself — healing under fault must degrade,
+        // not diverge.
+        let (mut delta, delta_runs) = {
             let _s = Span::enter("healing.retrace");
             trace_image(img, std::slice::from_ref(&held_out[idx]))
         };
+        if let Some(f) = &faults.trace {
+            f(&mut delta);
+        }
         let mut merged = rec.trace.clone();
         let new_edges = merged.merge(&delta);
         if new_edges == 0 {
@@ -365,7 +476,7 @@ pub fn recompile_healing_with(
             &new_inputs,
             Mode::Wytiwyg,
             opt,
-            &FaultInjector::default(),
+            faults,
             lifted,
             Some(&plan),
         ) {

@@ -26,6 +26,13 @@
 //! - [`healing`] — the self-healing loop: guard-trap attribution,
 //!   incremental re-trace/re-lift with refinement-fact reuse, bounded
 //!   re-validation ([`recompile_healing`]).
+//! - [`artifact`] — stable JSON codecs between pipeline artifacts
+//!   (images, traces, refinement facts, healing results) and the
+//!   content-addressed `wyt-store`.
+//! - [`batch`] — recompilation-as-a-service: store-backed warm/cold
+//!   recompile and healing frontends ([`recompile_stored`],
+//!   [`recompile_healing_stored`]) and the deterministic batch driver
+//!   ([`run_batch`]).
 //!
 //! ```no_run
 //! use wyt_core::{recompile, Mode};
@@ -39,7 +46,9 @@
 //! ```
 
 pub mod accuracy;
+pub mod artifact;
 pub mod baseline;
+pub mod batch;
 pub mod healing;
 pub mod layout;
 pub mod pipeline;
@@ -50,8 +59,16 @@ pub mod symbolize;
 pub mod vararg;
 
 pub use accuracy::{evaluate_accuracy, AccuracyReport, MatchKind};
+pub use artifact::{artifact_key, facts_key, heal_key, image_digest, StoredFacts};
 pub use baseline::{recompile_secondwrite, SecondWriteError};
-pub use healing::{recompile_healing, recompile_healing_with, Healed};
+pub use batch::{
+    recompile_healing_stored, recompile_stored, run_batch, BatchJob, BatchJobResult, BatchReport,
+    StoredHeal, StoredOutcome,
+};
+pub use healing::{
+    recompile_healing, recompile_healing_faulted, recompile_healing_seeded, recompile_healing_with,
+    Healed,
+};
 pub use pipeline::{
     recompile, recompile_from_lifted, recompile_with, recompile_with_faults, validate,
     FaultInjector, MismatchKind, Mode, RecompileError, Recompiled, ReusePlan, ValidateError,

@@ -98,6 +98,16 @@ impl GuardKind {
             GuardKind::UntracedIndirect => "indirect",
         }
     }
+
+    /// Inverse of [`GuardKind::name`] (used when decoding persisted
+    /// guard-site tables).
+    pub fn from_name(name: &str) -> Option<GuardKind> {
+        match name {
+            "branch" => Some(GuardKind::UntracedBranch),
+            "indirect" => Some(GuardKind::UntracedIndirect),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for GuardKind {
@@ -146,5 +156,9 @@ mod tests {
         assert_eq!(GuardKind::UntracedBranch.trap_code().code(), 0xfe);
         assert_eq!(GuardKind::UntracedIndirect.trap_code().code(), 0xfd);
         assert_eq!(GuardKind::UntracedBranch.name(), "branch");
+        for k in [GuardKind::UntracedBranch, GuardKind::UntracedIndirect] {
+            assert_eq!(GuardKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(GuardKind::from_name("bogus"), None);
     }
 }

@@ -7,7 +7,7 @@ use wyt_emu::{Machine, RunResult, TraceSink, TransferKind};
 use wyt_isa::image::Image;
 
 /// Merged dynamic control-flow observations from one or more runs.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Trace {
     /// All observed `(from, to, kind)` transfers.
     pub edges: BTreeSet<(u32, u32, TransferKind)>,

@@ -91,6 +91,15 @@ impl Json {
         }
     }
 
+    /// Signed integer value, if this is a whole number (offsets in
+    /// serialized stack layouts are negative for locals).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && n.abs() < 9.0e15 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
     /// String value, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -421,6 +430,9 @@ mod tests {
         assert_eq!(v.get("s").and_then(Json::as_str), Some("x"));
         assert_eq!(v.get("a").unwrap().as_arr().unwrap()[0].as_u64(), Some(1));
         assert!(v.get("missing").is_none());
+        assert_eq!(parse("-12").unwrap().as_i64(), Some(-12));
+        assert_eq!(parse("-12").unwrap().as_u64(), None);
+        assert_eq!(parse("1.5").unwrap().as_i64(), None);
     }
 
     #[test]

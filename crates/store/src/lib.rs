@@ -1,0 +1,439 @@
+//! # wyt-store — on-disk content-addressed artifact store
+//!
+//! Traced facts are expensive to derive and cheap to reuse: a merged
+//! trace, a lifted module's refinement facts and a validated recompiled
+//! image are all pure functions of (input binary, input set, pipeline
+//! config). This crate persists them between processes so a second
+//! recompile of the same job is a warm cache hit and healing coverage
+//! accumulates across runs instead of evaporating at process exit.
+//!
+//! Design rules:
+//!
+//! - **Content-addressed.** An entry's key is the SHA-256 of a canonical
+//!   JSON encoding of everything the cached result depends on (see
+//!   [`Store::derive_key`]); the store never guesses at freshness.
+//! - **Zero trust on read.** Every [`Store::get`] re-checks the format
+//!   version, the kind and key recorded inside the entry, and a SHA-256
+//!   checksum over the payload. Anything off — truncation, bit flips,
+//!   version skew, a hand-edited file — is reported as
+//!   [`Lookup::Corrupt`] and the caller recompiles cold. A poisoned
+//!   store must never produce a wrong image, only a slower run.
+//! - **Deterministic bytes.** Entries carry no timestamps; the eviction
+//!   order is FIFO over a caller-supplied `stamp`, so a serial and a
+//!   parallel batch run leave byte-identical stores behind.
+//! - **Zero dependencies.** Serialization is the in-tree `wyt-obs` JSON;
+//!   hashing is the in-tree [`hash::sha256`]. Builds `--offline` forever.
+//!
+//! The store itself is type-agnostic: it moves validated [`Json`]
+//! payloads. The codecs for images, traces and refinement facts live in
+//! `wyt_core::artifact`; the batch frontend that shares one store across
+//! a job queue lives in `wyt_core::batch`.
+
+pub mod hash;
+
+pub use hash::{sha256, sha256_hex, to_hex};
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use wyt_obs::Json;
+
+/// On-disk format version; bumped on any incompatible entry change.
+/// Entries recording a different version are rejected as corrupt (a
+/// downgrade must not reinterpret newer entries either).
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Environment variable naming the store root directory.
+pub const STORE_ENV: &str = "WYT_STORE";
+
+/// Environment variable capping the number of evictable entries kept by
+/// `evict_to_env_cap` callers.
+pub const CAP_ENV: &str = "WYT_STORE_CAP";
+
+/// Entry kind whose members are exempt from eviction: accumulated
+/// cross-run knowledge (union input sets, refinement facts) is tiny and
+/// monotonically valuable, unlike cached result images.
+pub const FACTS_KIND: &str = "facts";
+
+/// The result of a store lookup.
+#[derive(Debug)]
+pub enum Lookup {
+    /// The entry exists and passed every integrity check; this is its
+    /// payload.
+    Hit(Json),
+    /// No entry under this key.
+    Miss,
+    /// An entry exists but failed an integrity check (parse error,
+    /// version skew, kind/key mismatch, checksum mismatch). The caller
+    /// must fall back to a cold run; a subsequent [`Store::put`]
+    /// overwrites the bad entry.
+    Corrupt(String),
+}
+
+/// Monotonic per-store operation counters (process lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreCounters {
+    /// Lookups that returned a validated payload.
+    pub hits: u64,
+    /// Lookups that found no entry.
+    pub misses: u64,
+    /// Lookups (or caller rejections via [`Store::note_corrupt`]) that
+    /// found an entry but refused it.
+    pub corrupt: u64,
+    /// Entries written.
+    pub puts: u64,
+    /// Entries removed by [`Store::evict_to`].
+    pub evictions: u64,
+}
+
+impl StoreCounters {
+    /// `{hits, misses, corrupt, puts, evictions}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("hits", Json::from(self.hits)),
+            ("misses", Json::from(self.misses)),
+            ("corrupt", Json::from(self.corrupt)),
+            ("puts", Json::from(self.puts)),
+            ("evictions", Json::from(self.evictions)),
+        ])
+    }
+}
+
+/// One entry's identity, as listed by [`Store::entries`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryInfo {
+    /// Entry kind (`"artifact"`, `"healed"`, [`FACTS_KIND`], ...).
+    pub kind: String,
+    /// Content-address (64 hex chars).
+    pub key: String,
+    /// Caller-supplied FIFO stamp (0 for entries whose header cannot be
+    /// read — corrupt entries sort first and are evicted first).
+    pub stamp: u64,
+}
+
+/// An on-disk content-addressed artifact store rooted at one directory.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    puts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Store {
+    /// Open (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    /// Propagates directory-creation failures.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Store> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join("objects"))?;
+        Ok(Store {
+            root,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        })
+    }
+
+    /// Open the store named by [`STORE_ENV`], if set.
+    ///
+    /// # Errors
+    /// Propagates [`Store::open`] failures (inside the `Some`).
+    pub fn open_env() -> Option<io::Result<Store>> {
+        std::env::var_os(STORE_ENV).map(Store::open)
+    }
+
+    /// Root directory of this store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Derive a content-address: the SHA-256 of a canonical JSON
+    /// document binding the format version, the entry kind and every
+    /// named input the cached result depends on. Member order is part of
+    /// the encoding, so callers must pass `parts` in a fixed order.
+    pub fn derive_key(kind: &str, parts: Vec<(&str, Json)>) -> String {
+        let mut members =
+            vec![("wyt_store", Json::from(FORMAT_VERSION)), ("kind", Json::from(kind))];
+        members.extend(parts);
+        sha256_hex(Json::obj(members).to_string().as_bytes())
+    }
+
+    /// `objects/<key[..2]>/<key>.<kind>.json` — two-level fan-out keeps
+    /// directory listings short without affecting determinism.
+    fn path_for(&self, kind: &str, key: &str) -> PathBuf {
+        let shard = key.get(..2).unwrap_or("xx");
+        self.root.join("objects").join(shard).join(format!("{key}.{kind}.json"))
+    }
+
+    /// Look up `(kind, key)`, re-validating the entry end to end.
+    pub fn get(&self, kind: &str, key: &str) -> Lookup {
+        let path = self.path_for(kind, key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                wyt_obs::counter("store.miss", 1);
+                return Lookup::Miss;
+            }
+            Err(e) => return self.reject(format!("read {}: {e}", path.display())),
+        };
+        let entry = match wyt_obs::json::parse(&text) {
+            Ok(v) => v,
+            Err(e) => return self.reject(format!("{}: {e}", path.display())),
+        };
+        if entry.get("wyt_store").and_then(Json::as_u64) != Some(FORMAT_VERSION) {
+            return self.reject(format!("{}: format version skew", path.display()));
+        }
+        if entry.get("kind").and_then(Json::as_str) != Some(kind)
+            || entry.get("key").and_then(Json::as_str) != Some(key)
+        {
+            return self.reject(format!("{}: kind/key mismatch", path.display()));
+        }
+        let Some(payload) = entry.get("payload") else {
+            return self.reject(format!("{}: no payload", path.display()));
+        };
+        let checksum = entry.get("checksum").and_then(Json::as_str).unwrap_or("");
+        if checksum != sha256_hex(payload.to_string().as_bytes()) {
+            return self.reject(format!("{}: checksum mismatch", path.display()));
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        wyt_obs::counter("store.hit", 1);
+        Lookup::Hit(payload.clone())
+    }
+
+    /// Record a corrupt/rejected entry and build the [`Lookup`] for it.
+    fn reject(&self, why: String) -> Lookup {
+        self.note_corrupt();
+        Lookup::Corrupt(why)
+    }
+
+    /// Count a caller-side rejection: an entry that passed the byte-level
+    /// checks but failed structural decoding or behavioural validation
+    /// (a logically poisoned payload). Callers bump this before falling
+    /// back to a cold run so `store.corrupt` covers every rejection path.
+    pub fn note_corrupt(&self) {
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+        wyt_obs::counter("store.corrupt", 1);
+    }
+
+    /// Write `(kind, key)` with the given FIFO `stamp`, overwriting any
+    /// existing entry. The write is atomic (temp file + rename) and the
+    /// bytes are a pure function of the arguments.
+    ///
+    /// # Errors
+    /// Propagates filesystem failures.
+    pub fn put(&self, kind: &str, key: &str, stamp: u64, payload: Json) -> io::Result<()> {
+        let checksum = sha256_hex(payload.to_string().as_bytes());
+        let entry = Json::obj(vec![
+            ("wyt_store", Json::from(FORMAT_VERSION)),
+            ("kind", Json::from(kind)),
+            ("key", Json::from(key)),
+            ("stamp", Json::from(stamp)),
+            ("checksum", Json::from(checksum.as_str())),
+            ("payload", payload),
+        ]);
+        let path = self.path_for(kind, key);
+        std::fs::create_dir_all(path.parent().expect("entry path has a parent"))?;
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, format!("{}\n", entry.pretty()))?;
+        std::fs::rename(&tmp, &path)?;
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        wyt_obs::counter("store.put", 1);
+        Ok(())
+    }
+
+    /// This process's operation counters.
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Every entry on disk, sorted by `(stamp, kind, key)` — the eviction
+    /// order. Entries whose header cannot be read sort first (stamp 0).
+    ///
+    /// # Errors
+    /// Propagates directory-walk failures.
+    pub fn entries(&self) -> io::Result<Vec<EntryInfo>> {
+        let mut out = Vec::new();
+        let objects = self.root.join("objects");
+        for shard in std::fs::read_dir(&objects)? {
+            let shard = shard?;
+            if !shard.file_type()?.is_dir() {
+                continue;
+            }
+            for file in std::fs::read_dir(shard.path())? {
+                let file = file?;
+                let name = file.file_name().to_string_lossy().into_owned();
+                if !name.ends_with(".json") {
+                    continue;
+                }
+                let header = std::fs::read_to_string(file.path())
+                    .ok()
+                    .and_then(|t| wyt_obs::json::parse(&t).ok());
+                let stamp = header
+                    .as_ref()
+                    .and_then(|h| h.get("stamp"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0);
+                // Identity comes from the filename (<key>.<kind>.json) so
+                // corrupt entries are still enumerable and evictable.
+                let stem = name.strip_suffix(".json").expect("checked above");
+                let (key, kind) = match stem.split_once('.') {
+                    Some(pair) => pair,
+                    None => (stem, "?"),
+                };
+                out.push(EntryInfo { kind: kind.to_string(), key: key.to_string(), stamp });
+            }
+        }
+        out.sort_by(|a, b| (a.stamp, &a.kind, &a.key).cmp(&(b.stamp, &b.kind, &b.key)));
+        Ok(out)
+    }
+
+    /// Evict oldest-stamped entries until at most `cap` evictable entries
+    /// remain. [`FACTS_KIND`] entries are exempt (accumulated knowledge
+    /// is never dropped). Returns how many entries were removed.
+    ///
+    /// # Errors
+    /// Propagates filesystem failures.
+    pub fn evict_to(&self, cap: usize) -> io::Result<u64> {
+        let evictable: Vec<EntryInfo> =
+            self.entries()?.into_iter().filter(|e| e.kind != FACTS_KIND).collect();
+        let mut removed = 0u64;
+        if evictable.len() > cap {
+            for e in &evictable[..evictable.len() - cap] {
+                std::fs::remove_file(self.path_for(&e.kind, &e.key))?;
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            self.evictions.fetch_add(removed, Ordering::Relaxed);
+            wyt_obs::counter("store.evict", removed);
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(tag: &str) -> Store {
+        let dir = std::env::temp_dir().join(format!("wyt-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Store::open(dir).expect("open temp store")
+    }
+
+    fn payload(n: u64) -> Json {
+        Json::obj(vec![("n", Json::from(n)), ("s", Json::from("data"))])
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_counters() {
+        let s = tmp_store("roundtrip");
+        let key = Store::derive_key("artifact", vec![("n", Json::from(7u64))]);
+        assert_eq!(key.len(), 64);
+        assert!(matches!(s.get("artifact", &key), Lookup::Miss));
+        s.put("artifact", &key, 3, payload(7)).unwrap();
+        match s.get("artifact", &key) {
+            Lookup::Hit(p) => assert_eq!(p, payload(7)),
+            other => panic!("expected hit: {other:?}"),
+        }
+        // The same key under a different kind is a distinct entry.
+        assert!(matches!(s.get("healed", &key), Lookup::Miss));
+        let c = s.counters();
+        assert_eq!((c.hits, c.misses, c.corrupt, c.puts), (1, 2, 0, 1));
+        let _ = std::fs::remove_dir_all(s.root());
+    }
+
+    #[test]
+    fn derive_key_is_canonical() {
+        let a = Store::derive_key("k", vec![("x", Json::from(1u64))]);
+        assert_eq!(a, Store::derive_key("k", vec![("x", Json::from(1u64))]));
+        assert_ne!(a, Store::derive_key("k", vec![("x", Json::from(2u64))]));
+        assert_ne!(a, Store::derive_key("other", vec![("x", Json::from(1u64))]));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let s = tmp_store("corrupt");
+        let key = Store::derive_key("artifact", vec![("n", Json::from(1u64))]);
+        s.put("artifact", &key, 0, payload(1)).unwrap();
+        let path = s.path_for("artifact", &key);
+
+        // Bit flip inside the payload.
+        let good = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, good.replace("\"s\": \"data\"", "\"s\": \"dbta\"")).unwrap();
+        assert!(matches!(s.get("artifact", &key), Lookup::Corrupt(_)));
+
+        // Truncation.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(matches!(s.get("artifact", &key), Lookup::Corrupt(_)));
+
+        // Version skew (and nothing else wrong).
+        std::fs::write(&path, good.replace("\"wyt_store\": 1", "\"wyt_store\": 999")).unwrap();
+        assert!(matches!(s.get("artifact", &key), Lookup::Corrupt(_)));
+
+        // Entry filed under the wrong key (a mis-addressed copy).
+        let other = Store::derive_key("artifact", vec![("n", Json::from(2u64))]);
+        std::fs::create_dir_all(s.path_for("artifact", &other).parent().unwrap()).unwrap();
+        std::fs::copy(&path, s.path_for("artifact", &other)).unwrap();
+        std::fs::write(&path, &good).unwrap();
+        assert!(matches!(s.get("artifact", &other), Lookup::Corrupt(_)));
+
+        // The original, restored, still validates; a put overwrites a bad
+        // entry and heals the slot.
+        assert!(matches!(s.get("artifact", &key), Lookup::Hit(_)));
+        s.put("artifact", &other, 1, payload(2)).unwrap();
+        assert!(matches!(s.get("artifact", &other), Lookup::Hit(_)));
+        assert_eq!(s.counters().corrupt, 4);
+        let _ = std::fs::remove_dir_all(s.root());
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_spares_facts() {
+        let s = tmp_store("evict");
+        for n in 0..5u64 {
+            let key = Store::derive_key("artifact", vec![("n", Json::from(n))]);
+            s.put("artifact", &key, n, payload(n)).unwrap();
+        }
+        let fkey = Store::derive_key(FACTS_KIND, vec![("n", Json::from(0u64))]);
+        s.put(FACTS_KIND, &fkey, 0, payload(99)).unwrap();
+
+        assert_eq!(s.evict_to(2).unwrap(), 3);
+        let left = s.entries().unwrap();
+        assert_eq!(left.len(), 3); // 2 artifacts + the exempt facts entry
+        assert!(left.iter().any(|e| e.kind == FACTS_KIND));
+        // FIFO: the surviving artifacts are the two newest stamps.
+        let stamps: Vec<u64> =
+            left.iter().filter(|e| e.kind == "artifact").map(|e| e.stamp).collect();
+        assert_eq!(stamps, vec![3, 4]);
+        assert_eq!(s.counters().evictions, 3);
+        assert_eq!(s.evict_to(2).unwrap(), 0, "idempotent at cap");
+        let _ = std::fs::remove_dir_all(s.root());
+    }
+
+    #[test]
+    fn entry_bytes_are_deterministic() {
+        let a = tmp_store("det-a");
+        let b = tmp_store("det-b");
+        let key = Store::derive_key("artifact", vec![("n", Json::from(9u64))]);
+        a.put("artifact", &key, 5, payload(9)).unwrap();
+        b.put("artifact", &key, 5, payload(9)).unwrap();
+        let ba = std::fs::read(a.path_for("artifact", &key)).unwrap();
+        let bb = std::fs::read(b.path_for("artifact", &key)).unwrap();
+        assert_eq!(ba, bb);
+        let _ = std::fs::remove_dir_all(a.root());
+        let _ = std::fs::remove_dir_all(b.root());
+    }
+}

@@ -23,7 +23,7 @@ use crate::oracle::{observe_interp, observe_native, OracleConfig, TrapClass};
 use crate::rng::{mix, Rng};
 use wyt_core::regsave::{RegClass, RegSaveInfo, ESP_CELL, NUM_CELLS};
 use wyt_core::vararg::VarargObservations;
-use wyt_core::{recompile_healing, recompile_with_faults, FaultInjector};
+use wyt_core::{recompile_healing_faulted, recompile_with_faults, FaultInjector};
 use wyt_emu::TransferKind;
 use wyt_ir::{FuncId, InstId};
 use wyt_lifter::Trace;
@@ -248,10 +248,19 @@ pub fn check_source_under_fault(
     // with an empty input only, hold the real input out, and demand that
     // healing either converges to an image reproducing the native
     // behaviour or fails structurally — never panics, never miscompiles.
-    // (The corruption hooks above do not apply here; healing across
-    // `recompile_with_faults` is an open item in ROADMAP.md.)
+    // The same injector rides along, so a plan that also enables the
+    // trace family corrupts every incremental re-trace delta: what
+    // healing then cannot fix must be caught by the degradation ladder,
+    // and whatever image survives must still be oracle-equivalent on the
+    // inputs it was validated against.
     if plan.withholds_input() {
-        match recompile_healing(&img, &[Vec::new()], &[input.to_vec()]) {
+        match recompile_healing_faulted(
+            &img,
+            &[Vec::new()],
+            &[input.to_vec()],
+            OptLevel::Full,
+            &injector,
+        ) {
             Err(e) => summary.push_str(&format!("healing: error: {e}\n")),
             Ok(healed) => {
                 let r = &healed.report;
@@ -264,10 +273,27 @@ pub fn check_source_under_fault(
                             profile.name, plan.seed
                         ));
                     }
+                } else {
+                    // Unconverged healing hands back the last good image:
+                    // it must still reproduce the *traced* (empty-input)
+                    // behaviour exactly, degraded or not.
+                    let empty_native = observe_native(&img, b"", cfg.fuel);
+                    let rec = observe_native(&healed.recompiled.image, b"", derived_fuel);
+                    if rec != empty_native {
+                        return Err(format!(
+                            "[{}] seed {:#x}: unconverged healed image diverges on the \
+                             traced input:\n  native: {empty_native}\n  healed: {rec}",
+                            profile.name, plan.seed
+                        ));
+                    }
                 }
                 summary.push_str(&format!(
-                    "healing: rounds={} healed={} unhealed={} converged={}\n",
-                    r.rounds, r.sites_healed, r.sites_unhealed, r.converged
+                    "healing: rounds={} healed={} unhealed={} converged={} degraded={}\n",
+                    r.rounds,
+                    r.sites_healed,
+                    r.sites_unhealed,
+                    r.converged,
+                    healed.recompiled.report.degradations.len()
                 ));
             }
         }

@@ -23,6 +23,15 @@ WYT_FAULT=0xc0ffee cargo test -q --offline --test fault fault_smoke
 echo "==> self-healing smoke gate (withheld input heals in <=2 rounds, no demotions)"
 cargo test -q --offline --test healing heals_untraced_branch_with_incremental_relift
 
+echo "==> artifact-store smoke gate (cold -> warm batch, byte-identical images)"
+STORE_TMP="$(mktemp -d)"
+trap 'rm -rf "$STORE_TMP"' EXIT
+WYT_STORE="$STORE_TMP/store" cargo run --release --offline -q -p wyt-bench --bin wyt-batch -- \
+    --smoke cold --out "$STORE_TMP/cold"
+WYT_STORE="$STORE_TMP/store" cargo run --release --offline -q -p wyt-bench --bin wyt-batch -- \
+    --smoke warm --out "$STORE_TMP/warm"
+cmp "$STORE_TMP/cold/images.sha" "$STORE_TMP/warm/images.sha"
+
 echo "==> parallel determinism gate (WYT_PAR=4)"
 WYT_PAR=4 cargo test -q --offline --workspace
 WYT_PAR=4 WYT_OBS=json cargo run --release --offline -q -p wyt-bench --bin report -- --check >/dev/null

@@ -14,9 +14,10 @@
 //! failure report includes the generated source and the reproducing
 //! seed (replay with `WYT_PROP_SEED=<seed> cargo test ...`).
 
+use wyt_minicc::Profile;
 use wyt_testkit::progen::{gen_prog, shrink_prog};
 use wyt_testkit::prop::{check, Config};
-use wyt_testkit::{check_prog, OracleConfig};
+use wyt_testkit::{check_prog, check_source, OracleConfig};
 
 /// ISSUE acceptance: at least 100 generated programs per mode. The
 /// default `OracleConfig` covers both `Mode::NoSymbolize` and
@@ -28,4 +29,123 @@ fn oracle_holds_on_random_programs() {
     check("oracle_holds_on_random_programs", &Config::cases(128), gen_prog, shrink_prog, |p| {
         check_prog(p, &oracle)
     });
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial corpus: handwritten programs aimed at the recovery paths
+// random generation rarely stresses — dense jump tables (indirect jumps
+// through data), deep non-tail recursion (many live frames), >6-argument
+// varargs (stack-passed variadic tails), and mutually recursive tail
+// calls (cycles the function recoverer must not collapse). Each program
+// goes through the full three-way oracle on every compiler profile.
+
+/// All four main compiler profiles (PIC; the no-PIC variant only exists
+/// for the static-baseline comparison).
+fn all_profiles() -> [Profile; 4] {
+    [Profile::gcc12_o3(), Profile::gcc12_o0(), Profile::clang16_o3(), Profile::gcc44_o3()]
+}
+
+/// Run one adversarial source through the oracle on every profile and
+/// every input.
+fn check_adversarial(name: &str, src: &str, inputs: &[&[u8]]) {
+    let oracle = OracleConfig::default();
+    for profile in &all_profiles() {
+        for input in inputs {
+            check_source(src, profile, input, &oracle).unwrap_or_else(|e| {
+                panic!("adversarial `{name}` [{}] input {input:?}: {e}", profile.name)
+            });
+        }
+    }
+}
+
+/// A dense 7-case switch: profiles with `jump_tables` compile this to an
+/// indirect jump through a data-segment table — the recompiler must
+/// recover the traced targets and guard the untraced ones.
+#[test]
+fn adversarial_jump_table_switch() {
+    let src = r#"
+        int classify(int c) {
+            int r = 0;
+            switch (c) {
+                case 48: r = 11; break;
+                case 49: r = 22; break;
+                case 50: r = 33; break;
+                case 51: r = 44; break;
+                case 52: r = 55; break;
+                case 53: r = 66; break;
+                case 54: r = 77; break;
+                default: r = 99; break;
+            }
+            return r;
+        }
+        int main() {
+            int c = getchar();
+            printf("%d\n", classify(c));
+            return 0;
+        }
+    "#;
+    check_adversarial("jump_table_switch", src, &[b"0", b"3", b"6", b"z", b""]);
+}
+
+/// Deep non-tail recursion: ~150 simultaneously live frames. Stack
+/// layout recovery must hold up when the same frame shape repeats at
+/// many depths, and the accumulating add keeps every frame live (no
+/// profile can tail-call it away).
+#[test]
+fn adversarial_deep_recursion() {
+    let src = r#"
+        int sum(int n) {
+            int local = n * 2 + 1;
+            if (n <= 0) return 0;
+            return local - n - 1 + n + sum(n - 1);
+        }
+        int main() {
+            int depth = 100 + getchar() - 48;
+            printf("%d\n", sum(depth));
+            return 0;
+        }
+    "#;
+    check_adversarial("deep_recursion", src, &[b"0", b"9"]);
+}
+
+/// A `printf` with eight conversions: more variadic arguments than any
+/// register convention holds, so the tail spills to the stack and the
+/// vararg-arity refinement must count every one from the format string.
+#[test]
+fn adversarial_vararg_wide_printf() {
+    let src = r#"
+        int main() {
+            int c = getchar();
+            printf("%d %d %d %d %d %d %d %d\n",
+                   c, c + 1, c * 2, c - 3, c & 15, c | 64, c ^ 5, c % 7);
+            printf("tail %d after %d wide %d calls %d\n", c, 2 * c, 3 * c, c - 40);
+            return 0;
+        }
+    "#;
+    check_adversarial("vararg_wide_printf", src, &[b"A", b"\x00", b"~"]);
+}
+
+/// Mutually recursive parity functions: with `tail_calls` profiles the
+/// recursion compiles to jumps between the two bodies, so the function
+/// recoverer sees a cycle of tail edges it must keep as two functions.
+#[test]
+fn adversarial_mutual_tail_recursion() {
+    // (No prototypes: minicc collects signatures in a pre-pass, so the
+    // forward reference from `is_even` to `is_odd` resolves.)
+    let src = r#"
+        int is_even(int n) {
+            if (n == 0) return 1;
+            return is_odd(n - 1);
+        }
+        int is_odd(int n) {
+            if (n == 0) return 0;
+            return is_even(n - 1);
+        }
+        int main() {
+            int n = getchar();
+            printf("%d %d\n", is_even(n), is_odd(n + 13));
+            return is_even(n + 200);
+        }
+    "#;
+    check_adversarial("mutual_tail_recursion", src, &[b"a", b"b", b"\x01"]);
 }

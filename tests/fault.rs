@@ -17,8 +17,11 @@
 //! Fault plans derive from pinned seeds; override with
 //! `WYT_FAULT=<seed>` (decimal or 0x-hex) to explore or replay others.
 
-use wyt_core::{recompile, Mode};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use wyt_core::{recompile, recompile_healing_faulted, FaultInjector, Mode};
 use wyt_minicc::{compile, Profile};
+use wyt_opt::OptLevel;
 use wyt_testkit::fault::env_seed;
 use wyt_testkit::progen::gen_prog;
 use wyt_testkit::rng::{mix, Rng};
@@ -69,6 +72,10 @@ fn assert_all_outcomes(report: &str) {
     assert!(clean > 0, "some faulted recompiles should still come out clean:\n{report}");
     assert!(degraded > 0, "the degradation ladder never engaged:\n{report}");
     assert!(errors > 0, "no fault ever produced a structured error:\n{report}");
+    // The withheld-input family (mask bit 8) fires for roughly half the
+    // plans, and since PR 6 it carries the injector into the healing
+    // loop itself — every corpus run must exercise that path.
+    assert!(report.contains("healing:"), "no plan ever exercised faulted healing:\n{report}");
 }
 
 #[test]
@@ -105,6 +112,112 @@ fn fault_reports_identical_serial_vs_parallel() {
     let par = run_corpus(base, 16);
     wyt_par::set_threads(1);
     assert_eq!(serial, par, "fault reports must be byte-identical at any thread count");
+}
+
+/// Source with a branch healing must discover: tracing only `"q"` leaves
+/// the `'x'` side guarded, and the held-out input walks straight into it.
+const HEAL_SRC: &str = r#"
+    int leaf(int v) { return v * 3 + 1; }
+    int pick(int c) {
+        if (c == 'x') return leaf(c);
+        return c + 2;
+    }
+    int main() {
+        int c = getchar();
+        printf("%d\n", pick(c));
+        return 0;
+    }
+"#;
+
+/// A trace hook that passes the initial lift through untouched and then
+/// empties every incremental re-trace delta. Healing sees "no new
+/// coverage" for a guard the input demonstrably reaches: it must stop
+/// unconverged — structured, no panic — and the last good image must
+/// still reproduce the traced behaviour.
+#[test]
+fn healing_with_starved_retrace_stops_unconverged() {
+    let img = compile(HEAL_SRC, &Profile::gcc12_o3()).unwrap().stripped();
+    let calls = Arc::new(AtomicUsize::new(0));
+    let hook_calls = Arc::clone(&calls);
+    let mut injector = FaultInjector::default();
+    injector.trace = Some(Box::new(move |t| {
+        if hook_calls.fetch_add(1, Ordering::SeqCst) > 0 {
+            t.edges.clear();
+            t.ext_calls.clear();
+        }
+    }));
+    let healed = recompile_healing_faulted(
+        &img,
+        &[b"q".to_vec()],
+        &[b"x".to_vec()],
+        OptLevel::Full,
+        &injector,
+    )
+    .expect("starved healing must end structurally, not error");
+    assert!(calls.load(Ordering::SeqCst) >= 2, "the delta hook never fired");
+    let r = &healed.report;
+    assert!(!r.converged, "an empty delta cannot heal a reachable guard");
+    assert!(r.sites_unhealed >= 1);
+    assert_eq!(r.sites_healed, 0);
+    assert!(!r.events.is_empty(), "the guard trap must still be attributed");
+    // The surviving image is the pre-healing one: exact on the traced
+    // input, guard-trapping (not silently wrong) on the held-out one.
+    let native = wyt_emu::run_image(&img, b"q".to_vec());
+    let got = wyt_emu::run_image(&healed.recompiled.image, b"q".to_vec());
+    assert!(got.ok(), "traced input must still run clean: {:?}", got.trap);
+    assert_eq!(got.exit_code, native.exit_code);
+    assert_eq!(got.output, native.output);
+    let held = wyt_emu::run_image(&healed.recompiled.image, b"x".to_vec());
+    assert!(!held.ok(), "the unhealed path must trap, never diverge silently");
+}
+
+/// A trace hook that poisons every re-trace delta with a bogus call edge
+/// on top of the real coverage. Whatever healing and the degradation
+/// ladder make of it, the contract holds: no panic, and any converged
+/// image is exact on the held-out input.
+#[test]
+fn healing_with_poisoned_retrace_degrades_or_errors() {
+    let img = compile(HEAL_SRC, &Profile::gcc12_o3()).unwrap().stripped();
+    let calls = Arc::new(AtomicUsize::new(0));
+    let hook_calls = Arc::clone(&calls);
+    let mut injector = FaultInjector::default();
+    injector.trace = Some(Box::new(move |t| {
+        if hook_calls.fetch_add(1, Ordering::SeqCst) == 0 {
+            return;
+        }
+        if let Some(&(from, to, _)) = t.edges.iter().next() {
+            // Mid-instruction target masquerading as a function entry.
+            t.edges.insert((from, to + 1, wyt_emu::TransferKind::Call));
+        }
+    }));
+    match recompile_healing_faulted(
+        &img,
+        &[b"q".to_vec()],
+        &[b"x".to_vec()],
+        OptLevel::Full,
+        &injector,
+    ) {
+        Err(e) => {
+            // A structured lift failure is an acceptable outcome.
+            assert!(!e.to_string().is_empty());
+        }
+        Ok(healed) => {
+            if healed.report.converged {
+                let native = wyt_emu::run_image(&img, b"x".to_vec());
+                let got = wyt_emu::run_image(&healed.recompiled.image, b"x".to_vec());
+                assert!(got.ok(), "converged image trapped: {:?}", got.trap);
+                assert_eq!(got.exit_code, native.exit_code);
+                assert_eq!(got.output, native.output);
+            } else {
+                let native = wyt_emu::run_image(&img, b"q".to_vec());
+                let got = wyt_emu::run_image(&healed.recompiled.image, b"q".to_vec());
+                assert!(got.ok());
+                assert_eq!(got.exit_code, native.exit_code);
+                assert_eq!(got.output, native.output);
+            }
+        }
+    }
+    assert!(calls.load(Ordering::SeqCst) >= 2, "the delta hook never fired");
 }
 
 /// The ladder is invisible on a healthy pipeline: a clean recompile
