@@ -25,6 +25,7 @@ use wyt_opt::OptLevel;
 
 fn main() {
     wyt_obs::set_enabled(true);
+    let _trace = wyt_obs::trace::flush_guard_from_env();
     wyt_bench::reset_degradations();
     wyt_bench::reset_healing();
     let mut rows_json: Vec<Json> = Vec::new();

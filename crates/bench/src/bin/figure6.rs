@@ -24,6 +24,7 @@ enum Kind {
 
 fn main() {
     wyt_obs::set_enabled(true);
+    let _trace = wyt_obs::trace::flush_guard_from_env();
     wyt_bench::reset_degradations();
     wyt_bench::reset_healing();
     let mut rows_json: Vec<Json> = Vec::new();

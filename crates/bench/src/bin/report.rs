@@ -15,7 +15,18 @@
 //! observability layer and the degradation-ladder report schema. The
 //! check also drives one self-healing run (a branch side withheld from
 //! the trace) and validates the `healing` section of its report.
+//!
+//! Two further subcommands back the CI observability gates:
+//!
+//! - `--check-trace <path>` — parse a Chrome trace-event JSON written
+//!   via `WYT_OBS_TRACE` and validate it (array shape, per-track
+//!   monotone timestamps, balanced begin/end span nesting);
+//! - `--diff <old.json> <new.json> [--timing-ratio R]` — compare two
+//!   bench JSONs key by key, tolerating wall-clock drift on timing keys
+//!   while hard-failing on counter or schema drift (exit 1).
 
+use std::process::ExitCode;
+use wyt_bench::diff::{diff_bench, render, DiffOptions};
 use wyt_core::{recompile, recompile_healing, Mode};
 use wyt_minicc::{compile, Profile};
 use wyt_obs::OutputFormat;
@@ -75,6 +86,36 @@ fn check_store_json(j: &wyt_obs::Json) {
             Some(true),
             "store row `{name}`: the second pass must be a warm hit"
         );
+        // Per-phase breakdown: every job records where its wall time
+        // went, and a warm pass must not have recompiled anything.
+        for pk in ["cold_phases", "warm_phases"] {
+            let p = r.get(pk).unwrap_or_else(|| panic!("store row `{name}` has {pk}"));
+            for field in ["key_ns", "lookup_ns", "validate_ns", "recompile_ns"] {
+                p.get(field)
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or_else(|| panic!("store row `{name}`: {pk}.{field}"));
+            }
+        }
+        assert_eq!(
+            r.get("warm_phases").and_then(|p| p.get("recompile_ns")).and_then(|v| v.as_u64()),
+            Some(0),
+            "store row `{name}`: a warm hit must not recompile"
+        );
+    }
+    // Latency histograms: the suite runs cold + warm, so every hist
+    // must have samples and ordered quantiles.
+    let lat = j.get("latency").expect("BENCH_store.json: latency section");
+    for h in ["batch.job.cold", "batch.job.warm", "store.lookup", "store.put"] {
+        let hist = lat.get(h).unwrap_or_else(|| panic!("latency has {h}"));
+        let get = |k: &str| {
+            hist.get(k).and_then(|v| v.as_u64()).unwrap_or_else(|| panic!("latency {h} has {k}"))
+        };
+        assert!(get("count") >= 1, "latency {h}: no samples");
+        let (p50, p90, p99, max) = (get("p50_ns"), get("p90_ns"), get("p99_ns"), get("max_ns"));
+        assert!(
+            p50 <= p90 && p90 <= p99 && p99 <= max,
+            "latency {h}: quantiles out of order ({p50}, {p90}, {p99}, {max})"
+        );
     }
     let s = j.get("store").expect("BENCH_store.json: store counter section");
     let count = |k: &str| {
@@ -88,8 +129,90 @@ fn check_store_json(j: &wyt_obs::Json) {
     assert!(hits >= 1, "BENCH_store.json: warm pass never hit the store");
 }
 
-fn main() {
-    let check = std::env::args().any(|a| a == "--check");
+/// Load and parse a JSON file, exiting with a message on failure.
+fn load_json(path: &str) -> Result<wyt_obs::Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    wyt_obs::json::parse(&text).map_err(|e| format!("{path}: bad JSON: {e}"))
+}
+
+/// `--diff old.json new.json [--timing-ratio R]`: compare two bench
+/// JSONs; exit nonzero on counter or schema drift.
+fn run_diff(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut opts = DiffOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--timing-ratio" {
+            let r = it.next().and_then(|v| v.parse::<f64>().ok());
+            match r {
+                Some(r) if r >= 1.0 => opts.timing_ratio = Some(r),
+                _ => {
+                    eprintln!("--timing-ratio needs a number >= 1.0");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [old_path, new_path] = &paths[..] else {
+        eprintln!("usage: report --diff <old.json> <new.json> [--timing-ratio R]");
+        return ExitCode::FAILURE;
+    };
+    let (old, new) = match (load_json(old_path), load_json(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("report --diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let d = diff_bench(&old, &new, &opts);
+    eprint!("{}", render(old_path, new_path, &d));
+    if d.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `--check-trace trace.json`: validate a Chrome trace-event export.
+fn run_check_trace(path: &str) -> ExitCode {
+    let j = match load_json(path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("report --check-trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match wyt_obs::trace::validate_chrome(&j) {
+        Ok(stats) => {
+            eprintln!(
+                "trace check: {path}: {} event(s) on {} track(s), max span depth {} — ok",
+                stats.events, stats.tracks, stats.max_depth
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace check: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--diff") {
+        return run_diff(&args[i + 1..]);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--check-trace") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("usage: report --check-trace <trace.json>");
+            return ExitCode::FAILURE;
+        };
+        return run_check_trace(path);
+    }
+
+    let check = args.iter().any(|a| a == "--check");
     let fmt = match wyt_obs::init_from_env() {
         OutputFormat::Off => OutputFormat::Json,
         f => f,
@@ -97,6 +220,8 @@ fn main() {
     // Collect regardless of WYT_OBS: this binary's whole job is the report
     // (including the coverage replay, which is sink-gated).
     wyt_obs::set_enabled(true);
+    // Flight recorder: honor WYT_OBS_TRACE and flush on exit.
+    let _trace = wyt_obs::trace::flush_guard_from_env();
 
     let img = compile(SAMPLE, &Profile::gcc12_o3()).expect("sample compiles").stripped();
     let inputs = vec![Vec::new()];
@@ -104,7 +229,18 @@ fn main() {
     let rep = &out.report;
 
     match fmt {
-        OutputFormat::Pretty => print!("{}", rep.render_pretty()),
+        OutputFormat::Pretty => {
+            print!("{}", rep.render_pretty());
+            // Latency histograms recorded during the run (store, batch,
+            // healing), if any subsystem produced samples.
+            let hists = wyt_obs::snapshot().hists;
+            if !hists.is_empty() {
+                println!("latency:");
+                for (name, h) in &hists {
+                    println!("  {name}: {}", h.render());
+                }
+            }
+        }
         _ => println!("{}", rep.to_json(true).pretty()),
     }
 
@@ -223,4 +359,5 @@ fn main() {
             deg.len()
         );
     }
+    ExitCode::SUCCESS
 }

@@ -69,7 +69,14 @@ fn report_errors(pass: &str, rep: &BatchReport) -> bool {
     any
 }
 
-/// Full-suite mode: cold pass, warm pass, `results/BENCH_store.json`.
+/// The obs latency histograms (`batch.job.*`, `store.*`) as a JSON
+/// object, for the bench body's `latency` section.
+fn latency_json() -> Json {
+    let hists = wyt_obs::snapshot().hists;
+    Json::Obj(hists.iter().map(|(k, h)| (k.clone(), h.to_json())).collect())
+}
+
+/// Full-suite mode: cold pass, warm pass, `BENCH_store.json`.
 fn full_run() -> ExitCode {
     let (store, scratch) = match Store::open_env() {
         Some(r) => (r.expect("WYT_STORE must be usable"), None),
@@ -78,6 +85,7 @@ fn full_run() -> ExitCode {
             (Store::open(&dir).expect("scratch store"), Some(dir))
         }
     };
+    let counters_base = store.counters();
     let jobs = build_jobs(false);
     let t0 = Instant::now();
     let cold = run_batch(&store, &jobs);
@@ -103,17 +111,26 @@ fn full_run() -> ExitCode {
             ("cold_ns", Json::from(c.wall_ns)),
             ("warm_ns", Json::from(w.wall_ns)),
             ("warm_hit", Json::Bool(w.warm)),
+            ("cold_phases", c.phases.to_json()),
+            ("warm_phases", w.phases.to_json()),
         ]));
     }
-    let counters = store.counters();
+    // Counter deltas over exactly this run, so a pre-warmed WYT_STORE
+    // does not leak earlier traffic into the report.
+    let counters = store.counters().delta_since(&counters_base);
     println!(
         "\nstore: {} hits / {} misses / {} puts / {} corrupt / {} evicted",
         counters.hits, counters.misses, counters.puts, counters.corrupt, counters.evictions
     );
 
     let par = ParMeta { threads: warm.threads, wall_ns, serial_wall_ns: None };
-    let body = bench_json_body("store", Json::Arr(rows), &par, vec![("store", counters.to_json())]);
-    let path = write_bench_json(Path::new("results"), "store", &body);
+    let body = bench_json_body(
+        "store",
+        Json::Arr(rows),
+        &par,
+        vec![("store", counters.to_json()), ("latency", latency_json())],
+    );
+    let path = write_bench_json(&wyt_bench::bench_out_dir(), "store", &body);
     println!("wrote {}", path.display());
     if let Some(dir) = scratch {
         let _ = std::fs::remove_dir_all(dir);
@@ -143,6 +160,7 @@ fn smoke_run(which: &str, out_dir: &Path) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let counters_base = store.counters();
     let jobs = build_jobs(true);
     let t0 = Instant::now();
     let rep = run_batch(&store, &jobs);
@@ -165,7 +183,9 @@ fn smoke_run(which: &str, out_dir: &Path) -> ExitCode {
             ("wall_ns", Json::from(row.wall_ns)),
         ]));
     }
-    let counters = store.counters();
+    // Deltas over this smoke pass only: the warm smoke reuses the cold
+    // pass's WYT_STORE, whose earlier traffic must not be re-counted.
+    let counters = store.counters().delta_since(&counters_base);
     std::fs::create_dir_all(out_dir)
         .unwrap_or_else(|e| panic!("create {}: {e}", out_dir.display()));
     let sha_path = out_dir.join("images.sha");
@@ -197,6 +217,7 @@ fn smoke_run(which: &str, out_dir: &Path) -> ExitCode {
 
 fn main() -> ExitCode {
     wyt_obs::set_enabled(true);
+    let _trace = wyt_obs::trace::flush_guard_from_env();
     wyt_bench::reset_degradations();
     wyt_bench::reset_healing();
     let args: Vec<String> = std::env::args().skip(1).collect();

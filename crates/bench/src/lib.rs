@@ -15,6 +15,7 @@
 //! proxy, and a deterministic cost model preserves the comparisons while
 //! making them exactly reproducible.
 
+pub mod diff;
 pub mod timing;
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -264,11 +265,21 @@ pub fn write_bench_json(
     path
 }
 
-/// Write `results/BENCH_<name>.json` with the standard body (no extra
-/// sections). Returns the path written.
+/// Output-directory override for the bench binaries. CI points this at
+/// a scratch directory so a fresh run can be diffed against the
+/// committed `results/` without clobbering them.
+pub const OUT_ENV: &str = "WYT_BENCH_OUT";
+
+/// The directory bench JSONs go to: `$WYT_BENCH_OUT` or `results/`.
+pub fn bench_out_dir() -> std::path::PathBuf {
+    std::env::var(OUT_ENV).map_or_else(|_| "results".into(), std::path::PathBuf::from)
+}
+
+/// Write `BENCH_<name>.json` with the standard body (no extra sections)
+/// to [`bench_out_dir`]. Returns the path written.
 pub fn emit_bench_json(name: &str, rows: wyt_obs::Json, par: &ParMeta) -> std::path::PathBuf {
     let body = bench_json_body(name, rows, par, Vec::new());
-    write_bench_json(std::path::Path::new("results"), name, &body)
+    write_bench_json(&bench_out_dir(), name, &body)
 }
 
 /// A ratio as JSON: failures become `null` (the paper's "—" cells).

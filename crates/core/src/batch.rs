@@ -93,6 +93,36 @@ fn warm_candidate<T>(
     }
 }
 
+/// Wall-time breakdown of one store-backed recompilation, attributing
+/// where a job spent its time: deriving the content key, looking the
+/// entry up (decode included), replay-validating the warm candidate
+/// (a subset of the lookup time), and — on a miss — the cold pipeline.
+/// Pure timing data: excluded from every canonical deterministic form.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobPhases {
+    /// Content-key derivation (hashing image + inputs + config).
+    pub key_ns: u64,
+    /// Store lookup: fetch, decode, and candidate checks.
+    pub lookup_ns: u64,
+    /// Replay validation of the warm candidate (included in
+    /// `lookup_ns`); 0 when no structurally-sound candidate existed.
+    pub validate_ns: u64,
+    /// Cold pipeline run; 0 on a warm hit.
+    pub recompile_ns: u64,
+}
+
+impl JobPhases {
+    /// `{key_ns, lookup_ns, validate_ns, recompile_ns}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("key_ns", Json::from(self.key_ns)),
+            ("lookup_ns", Json::from(self.lookup_ns)),
+            ("validate_ns", Json::from(self.validate_ns)),
+            ("recompile_ns", Json::from(self.recompile_ns)),
+        ])
+    }
+}
+
 /// Recompile `img` through `store`: serve a validated warm hit if one
 /// exists, else run the pipeline cold and persist the result under
 /// `stamp` (the FIFO eviction rank — callers use a job index or run
@@ -109,21 +139,51 @@ pub fn recompile_stored(
     opt: OptLevel,
     stamp: u64,
 ) -> Result<StoredOutcome, RecompileError> {
+    recompile_stored_phased(store, img, inputs, mode, opt, stamp).map(|(o, _)| o)
+}
+
+/// [`recompile_stored`] plus the per-phase wall-time breakdown, so a
+/// warm hit's overhead (key + lookup + replay) is attributable.
+///
+/// # Errors
+/// Returns a [`RecompileError`] only from the cold pipeline; store
+/// failures of any kind degrade to a cold recompile.
+pub fn recompile_stored_phased(
+    store: &Store,
+    img: &Image,
+    inputs: &[Vec<u8>],
+    mode: Mode,
+    opt: OptLevel,
+    stamp: u64,
+) -> Result<(StoredOutcome, JobPhases), RecompileError> {
     let _s = Span::enter("store.recompile");
+    let mut phases = JobPhases::default();
+    let t0 = mono_ns();
     let key = artifact_key(img, inputs, mode, opt);
+    phases.key_ns = mono_ns() - t0;
     let want_mode = format!("{mode:?}");
     let want_opt = format!("{opt:?}");
-    if let Some(art) =
-        warm_candidate(store, "artifact", &key, artifact_from_json, |a: &StoredArtifact| {
-            a.mode == want_mode && a.opt == want_opt && validate(img, &a.image, inputs).is_ok()
-        })
-    {
+    let validate_ns = std::cell::Cell::new(0u64);
+    let t1 = mono_ns();
+    let cand = warm_candidate(store, "artifact", &key, artifact_from_json, |a: &StoredArtifact| {
+        a.mode == want_mode && a.opt == want_opt && {
+            let v0 = mono_ns();
+            let ok = validate(img, &a.image, inputs).is_ok();
+            validate_ns.set(validate_ns.get() + (mono_ns() - v0));
+            ok
+        }
+    });
+    phases.lookup_ns = mono_ns() - t1;
+    phases.validate_ns = validate_ns.get();
+    if let Some(art) = cand {
         wyt_obs::counter("store.warm_serve", 1);
-        return Ok(StoredOutcome::Warm(Box::new(art)));
+        return Ok((StoredOutcome::Warm(Box::new(art)), phases));
     }
+    let t2 = mono_ns();
     let rec = recompile_with(img, inputs, mode, opt)?;
+    phases.recompile_ns = mono_ns() - t2;
     let _ = store.put("artifact", &key, stamp, artifact_payload(&rec));
-    Ok(StoredOutcome::Cold(Box::new(rec)))
+    Ok((StoredOutcome::Cold(Box::new(rec)), phases))
 }
 
 /// The outcome of a store-backed healing run.
@@ -249,6 +309,9 @@ pub struct BatchJobResult {
     pub warm: bool,
     /// Wall time of the job (excluded from the canonical report).
     pub wall_ns: u64,
+    /// Per-phase wall-time breakdown (excluded from the canonical
+    /// report; zeroed for failed jobs).
+    pub phases: JobPhases,
     /// Degraded-function count.
     pub degradations: u64,
     /// Pipeline error, if the job failed.
@@ -261,7 +324,9 @@ pub struct BatchJobResult {
 pub struct BatchReport {
     /// One row per submitted job, in submission order.
     pub jobs: Vec<BatchJobResult>,
-    /// Store counters accumulated over the whole batch.
+    /// Store counter deltas over exactly this batch (snapshotted at
+    /// entry, subtracted at exit — a shared long-lived store does not
+    /// leak earlier runs into this report).
     pub counters: StoreCounters,
     /// Worker threads used (excluded from the canonical report).
     pub threads: usize,
@@ -279,6 +344,7 @@ impl BatchReport {
                 for (row, job) in rows.iter_mut().zip(&self.jobs) {
                     if let Json::Obj(m) = row {
                         m.push(("wall_ns".to_string(), Json::from(job.wall_ns)));
+                        m.push(("phases".to_string(), job.phases.to_json()));
                     }
                 }
             }
@@ -323,6 +389,7 @@ impl BatchReport {
 /// the store is evicted down to that many entries at the end.
 pub fn run_batch(store: &Store, jobs: &[BatchJob]) -> BatchReport {
     let _s = Span::enter("store.batch");
+    let counters_base = store.counters();
     let keys: Vec<String> =
         jobs.iter().map(|j| artifact_key(&j.image, &j.inputs, j.mode, j.opt)).collect();
     let mut first_of: BTreeMap<&str, usize> = BTreeMap::new();
@@ -337,22 +404,31 @@ pub fn run_batch(store: &Store, jobs: &[BatchJob]) -> BatchReport {
     let run_one = |i: usize| -> BatchJobResult {
         let job = &jobs[i];
         let t0 = mono_ns();
-        let outcome = recompile_stored(store, &job.image, &job.inputs, job.mode, job.opt, i as u64);
+        let outcome =
+            recompile_stored_phased(store, &job.image, &job.inputs, job.mode, job.opt, i as u64);
         let wall_ns = mono_ns() - t0;
         match outcome {
-            Ok(o) => BatchJobResult {
-                name: job.name.clone(),
-                key: keys[i].clone(),
-                warm: o.warm(),
-                wall_ns,
-                degradations: o.degradations(),
-                error: None,
-            },
+            Ok((o, phases)) => {
+                wyt_obs::record_hist(
+                    if o.warm() { "batch.job.warm" } else { "batch.job.cold" },
+                    wall_ns,
+                );
+                BatchJobResult {
+                    name: job.name.clone(),
+                    key: keys[i].clone(),
+                    warm: o.warm(),
+                    wall_ns,
+                    phases,
+                    degradations: o.degradations(),
+                    error: None,
+                }
+            }
             Err(e) => BatchJobResult {
                 name: job.name.clone(),
                 key: keys[i].clone(),
                 warm: false,
                 wall_ns,
+                phases: JobPhases::default(),
                 degradations: 0,
                 error: Some(e.to_string()),
             },
@@ -377,7 +453,7 @@ pub fn run_batch(store: &Store, jobs: &[BatchJob]) -> BatchReport {
     }
     BatchReport {
         jobs: rows.into_iter().map(|r| r.expect("every slot resolved")).collect(),
-        counters: store.counters(),
+        counters: store.counters().delta_since(&counters_base),
         threads: wyt_par::threads(),
     }
 }

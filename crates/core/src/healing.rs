@@ -81,6 +81,15 @@ enum Replay {
     Diverge,
 }
 
+/// Record one healing round's wall time into the `healing.round`
+/// latency histogram (`t0` is `None` when the sink was off at round
+/// start, making the whole thing a no-op).
+fn note_round_time(t0: Option<u64>) {
+    if let Some(t0) = t0 {
+        wyt_obs::record_hist("healing.round", wyt_obs::mono_ns() - t0);
+    }
+}
+
 /// Replay one held-out input on the recompiled image, with the same
 /// generously scaled fuel budget the pipeline's validation gate uses.
 fn replay(rec_img: &Image, native: &RunResult, input: &[u8]) -> Replay {
@@ -395,6 +404,7 @@ pub fn recompile_healing_seeded(
             break false;
         }
         report.rounds += 1;
+        let round_t0 = wyt_obs::enabled().then(wyt_obs::mono_ns);
 
         // 1. Attribute the trap through the image's guard-site table.
         let site = rec.image.guard_sites.iter().find(|s| s.pc == pc);
@@ -444,6 +454,7 @@ pub fn recompile_healing_seeded(
             // any behaviour of the input on the original binary.
             report.sites_unhealed += 1;
             wyt_obs::counter("guard.unhealed", 1);
+            note_round_time(round_t0);
             break false;
         }
         wyt_obs::counter("guard.new_edges", new_edges as u64);
@@ -486,10 +497,12 @@ pub fn recompile_healing_seeded(
                 wyt_obs::counter("guard.healed", 1);
                 inputs = new_inputs;
                 rec = new_rec;
+                note_round_time(round_t0);
             }
             Err(_) => {
                 report.sites_unhealed += 1;
                 wyt_obs::counter("guard.unhealed", 1);
+                note_round_time(round_t0);
                 break false;
             }
         }

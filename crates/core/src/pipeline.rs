@@ -548,7 +548,11 @@ pub fn recompile_from_lifted(
     base_rep.quality.emu_refs_before = emu_stack_refs(&pristine);
     verify(&pristine)?;
 
-    match mode {
+    // Bracket the executor's per-worker accumulators so the report can
+    // carry exactly this recompilation's utilization (timing-gated in
+    // the JSON, so determinism gates never see it).
+    let par_base = wyt_par::worker_profile();
+    let mut rec = match mode {
         Mode::NoSymbolize => {
             // BinRec hands the lifted module to the full LLVM pipeline; the
             // optimizer simply cannot see through the emulated stack.
@@ -567,7 +571,7 @@ pub fn recompile_from_lifted(
             // injection) is a structured error.
             check_against_baseline(&image, inputs, &baseline_runs)
                 .map_err(RecompileError::Validate)?;
-            Ok(Recompiled {
+            Recompiled {
                 image,
                 module,
                 lifted_meta: meta,
@@ -580,7 +584,7 @@ pub fn recompile_from_lifted(
                 reused_funcs: BTreeSet::new(),
                 baseline_runs,
                 report: rep,
-            })
+            }
         }
         Mode::Wytiwyg => recompile_wytiwyg(
             img,
@@ -593,8 +597,10 @@ pub fn recompile_from_lifted(
             trace,
             baseline_runs,
             reuse,
-        ),
-    }
+        )?,
+    };
+    rec.report.workers = wyt_par::worker_profile_delta(&par_base);
+    Ok(rec)
 }
 
 /// The WYTIWYG arm: refinements + degradation ladder.

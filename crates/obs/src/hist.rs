@@ -1,0 +1,180 @@
+//! Log-bucketed latency histograms.
+//!
+//! A [`Hist`] is 64 power-of-two buckets: value `v` lands in bucket
+//! `bitwidth(v)` (0 stays in bucket 0, `[2^k, 2^(k+1))` lands in bucket
+//! `k + 1`). Recording is one shift, one increment and a max update —
+//! cheap enough to sit on per-job paths — and quantiles come back as the
+//! upper bound of the first bucket whose cumulative count crosses the
+//! rank, clamped to the observed maximum. That makes p50/p90/p99
+//! approximate (within a factor of two) but monotone, merge-exact and
+//! allocation-free, which is all the bench telemetry needs.
+
+use crate::json::Json;
+
+/// Number of buckets; covers the full `u64` range.
+pub const BUCKETS: usize = 64;
+
+/// A log-bucketed histogram of nanosecond (or any `u64`) samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    counts: [u64; BUCKETS],
+    count: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Hist {
+        Hist::new()
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub const fn new() -> Hist {
+        Hist { counts: [0; BUCKETS], count: 0, max: 0 }
+    }
+
+    fn bucket(v: u64) -> usize {
+        ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Upper bound of bucket `b` (inclusive).
+    fn bound(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else if b >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket(v)] += 1;
+        self.count += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Add every sample of `other` into `self` (bucket-exact).
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket holding the rank-`ceil(q * count)` sample, clamped to the
+    /// observed maximum. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bound(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// `{count, p50_ns, p90_ns, p99_ns, max_ns}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::from(self.count)),
+            ("p50_ns", Json::from(self.quantile(0.50))),
+            ("p90_ns", Json::from(self.quantile(0.90))),
+            ("p99_ns", Json::from(self.quantile(0.99))),
+            ("max_ns", Json::from(self.max)),
+        ])
+    }
+
+    /// One-line human rendering: `count=… p50=… p90=… p99=… max=…`.
+    pub fn render(&self) -> String {
+        use crate::span::fmt_ns;
+        format!(
+            "count={} p50={} p90={} p99={} max={}",
+            self.count,
+            fmt_ns(self.quantile(0.50)),
+            fmt_ns(self.quantile(0.90)),
+            fmt_ns(self.quantile(0.99)),
+            fmt_ns(self.max),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(Hist::bucket(0), 0);
+        assert_eq!(Hist::bucket(1), 1);
+        assert_eq!(Hist::bucket(2), 2);
+        assert_eq!(Hist::bucket(3), 2);
+        assert_eq!(Hist::bucket(4), 3);
+        assert_eq!(Hist::bucket(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_clamped() {
+        let mut h = Hist::new();
+        for v in [10u64, 20, 30, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.quantile(0.5);
+        let p90 = h.quantile(0.9);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= h.max());
+        // The bucket upper bound never exceeds the observed max.
+        assert!(h.quantile(1.0) == 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Hist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn merge_is_bucket_exact() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        a.record(5);
+        b.record(500);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 500);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut h = Hist::new();
+        h.record(100);
+        let j = h.to_json();
+        for k in ["count", "p50_ns", "p90_ns", "p99_ns", "max_ns"] {
+            assert!(j.get(k).is_some(), "missing {k}");
+        }
+    }
+}

@@ -24,18 +24,57 @@
 //! Enabling: call [`set_enabled`] directly, or [`init_from_env`] which
 //! reads the `WYT_OBS` environment variable (`json`, `pretty`, or `1`).
 
+pub mod hist;
 pub mod json;
 pub mod report;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
+pub use hist::Hist;
 pub use json::Json;
 pub use report::{
     CoverageStats, Degradation, ExecStats, FuncQuality, GuardEvent, HealingReport, IrSize,
-    LiftCounts, MemStats, PipelineReport, QualityStats, StageStats,
+    LiftCounts, MemStats, PipelineReport, QualityStats, StageStats, WorkerStat,
 };
 pub use sink::{
-    counter, enabled, fold, init_from_env, reset, set_enabled, snapshot, with_local, OutputFormat,
-    Snapshot, SpanRec,
+    counter, enabled, fold, init_from_env, observing, record_hist, reset, set_enabled, snapshot,
+    with_local, OutputFormat, Snapshot, SpanRec,
 };
 pub use span::{fmt_ns, mono_ns, Span};
+
+#[cfg(test)]
+pub(crate) mod testalloc {
+    //! A counting global allocator for the "disabled means free" test:
+    //! every allocation on the calling thread bumps a thread-local, so
+    //! a test can assert a code region allocated nothing without being
+    //! perturbed by other test threads.
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub struct Counting;
+
+    // SAFETY: defers entirely to `System`; the counter is a plain
+    // thread-local bump guarded by `try_with` against TLS teardown.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+            unsafe { System.alloc(layout) }
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: Counting = Counting;
+
+    /// Allocations made by the calling thread so far.
+    pub fn allocations() -> u64 {
+        ALLOCS.try_with(Cell::get).unwrap_or(0)
+    }
+}

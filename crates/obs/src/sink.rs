@@ -1,31 +1,63 @@
-//! The process-global sink: one enabled flag, one registry of counters
-//! and span records.
+//! The process-global sink: one state word, one registry of counters,
+//! span records and latency histograms.
 //!
-//! The flag is a single relaxed atomic so instrumentation sites in hot
-//! loops (the emulator's fetch/execute loop, the IR interpreter) pay one
-//! load and a predictable branch when observability is off. The registry
-//! behind it is a plain mutex: it is only ever touched when enabled, and
+//! The state is a single relaxed atomic `u32` with one bit per
+//! collector — bit 0 for this sink, bit 1 for the flight recorder
+//! ([`crate::trace`]) — so instrumentation sites in hot loops (the
+//! emulator's fetch/execute loop, the IR interpreter) pay one load and
+//! a predictable branch when everything is off. The registry behind it
+//! is a plain mutex: it is only ever touched when enabled, and
 //! contention stays negligible because parallel workers observe into
 //! **thread-local scopes** instead: `wyt-par` wraps each task in
 //! [`with_local`] and [`fold`]s the captured snapshots back into the
 //! global registry in task order, keeping parallel observation streams
-//! deterministic.
+//! deterministic. Trace events captured in a scope ride along in the
+//! snapshot and are folded into the calling thread's ring by the same
+//! mechanism, so the recorder inherits the determinism for free.
 
+use crate::hist::Hist;
+use crate::trace::TraceEvent;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// State bit: the counter/span/histogram sink is collecting.
+pub(crate) const SINK_ON: u32 = 1;
+/// State bit: the flight recorder ([`crate::trace`]) is collecting.
+pub(crate) const TRACE_ON: u32 = 1 << 1;
+
+static STATE: AtomicU32 = AtomicU32::new(0);
+
+/// The combined collector state word (one relaxed load).
+#[inline]
+pub(crate) fn state() -> u32 {
+    STATE.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_state_bit(bit: u32, on: bool) {
+    if on {
+        STATE.fetch_or(bit, Ordering::Relaxed);
+    } else {
+        STATE.fetch_and(!bit, Ordering::Relaxed);
+    }
+}
 
 struct Registry {
     counters: BTreeMap<String, u64>,
     spans: Vec<SpanRec>,
+    hists: BTreeMap<String, Hist>,
+    events: Vec<TraceEvent>,
 }
 
 impl Registry {
     const fn empty() -> Registry {
-        Registry { counters: BTreeMap::new(), spans: Vec::new() }
+        Registry {
+            counters: BTreeMap::new(),
+            spans: Vec::new(),
+            hists: BTreeMap::new(),
+            events: Vec::new(),
+        }
     }
 }
 
@@ -33,8 +65,9 @@ static REGISTRY: Mutex<Registry> = Mutex::new(Registry::empty());
 
 thread_local! {
     /// Innermost local observation scope on this thread, if any. When
-    /// installed, counters and spans land here instead of the global
-    /// registry (see [`with_local`]).
+    /// installed, counters, spans, histogram samples and trace events
+    /// land here instead of the global registry / thread ring (see
+    /// [`with_local`]).
     static LOCAL: RefCell<Option<Registry>> = const { RefCell::new(None) };
 }
 
@@ -54,12 +87,20 @@ pub struct SpanRec {
 /// Is the global sink collecting?
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    state() & SINK_ON != 0
 }
 
-/// Turn the global sink on or off.
+/// Turn the global sink on or off (the flight recorder has its own
+/// switch, [`crate::trace::set_enabled`]).
 pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::Relaxed);
+    set_state_bit(SINK_ON, on);
+}
+
+/// Is any collector — sink or flight recorder — on? `wyt-par` uses
+/// this to decide whether tasks need local observation scopes.
+#[inline]
+pub fn observing() -> bool {
+    state() != 0
 }
 
 /// Requested output rendering, from the `WYT_OBS` environment variable.
@@ -105,6 +146,26 @@ pub fn counter(name: &str, delta: u64) {
     }
 }
 
+/// Record a latency sample into the named log-bucketed histogram
+/// (no-op when disabled).
+#[inline]
+pub fn record_hist(name: &str, ns: u64) {
+    if !enabled() {
+        return;
+    }
+    let local = LOCAL.with(|l| {
+        if let Some(reg) = l.borrow_mut().as_mut() {
+            reg.hists.entry(name.to_string()).or_default().record(ns);
+            true
+        } else {
+            false
+        }
+    });
+    if !local {
+        REGISTRY.lock().unwrap().hists.entry(name.to_string()).or_default().record(ns);
+    }
+}
+
 /// Record a completed span (called by [`crate::Span`]'s drop).
 pub(crate) fn record_span(name: &'static str, start_ns: u64, dur_ns: u64, depth: u32) {
     if !enabled() {
@@ -124,16 +185,30 @@ pub(crate) fn record_span(name: &'static str, start_ns: u64, dur_ns: u64, depth:
     }
 }
 
+/// Push a trace event into the innermost local scope, if one is
+/// installed on this thread. Returns `false` when there is no scope
+/// (the caller then appends to its thread ring).
+pub(crate) fn push_local_event(ev: TraceEvent) -> bool {
+    LOCAL.with(|l| {
+        if let Some(reg) = l.borrow_mut().as_mut() {
+            reg.events.push(ev);
+            true
+        } else {
+            false
+        }
+    })
+}
+
 /// Run `f` with a fresh **local** observation scope on this thread:
-/// every counter and span it records is captured privately and returned
-/// as a [`Snapshot`] instead of entering the global registry. Scopes
-/// nest; the innermost wins. The caller decides when (and in what
-/// order) to [`fold`] the snapshot back — `wyt-par` folds worker
-/// snapshots in task-index order so parallel runs observe exactly what
-/// the serial run would.
+/// every counter, span, histogram sample and trace event it records is
+/// captured privately and returned as a [`Snapshot`] instead of
+/// entering the global registry. Scopes nest; the innermost wins. The
+/// caller decides when (and in what order) to [`fold`] the snapshot
+/// back — `wyt-par` folds worker snapshots in task-index order so
+/// parallel runs observe exactly what the serial run would.
 ///
-/// When the sink is disabled the snapshot comes back empty and `f` runs
-/// with only the usual single-atomic overhead.
+/// When every collector is disabled the snapshot comes back empty and
+/// `f` runs with only the usual single-atomic overhead.
 pub fn with_local<R>(f: impl FnOnce() -> R) -> (R, Snapshot) {
     struct Scope {
         prev: Option<Registry>,
@@ -150,35 +225,55 @@ pub fn with_local<R>(f: impl FnOnce() -> R) -> (R, Snapshot) {
         .with(|l| std::mem::replace(&mut *l.borrow_mut(), scope.prev.take()))
         .expect("local observation scope vanished");
     std::mem::forget(scope); // already restored
-    (r, Snapshot { counters: mine.counters, spans: mine.spans })
+    (
+        r,
+        Snapshot {
+            counters: mine.counters,
+            spans: mine.spans,
+            hists: mine.hists,
+            events: mine.events,
+        },
+    )
 }
 
 /// Merge a snapshot captured by [`with_local`] into the current sink:
 /// the innermost local scope if one is installed on this thread,
-/// otherwise the global registry. Counter values add; spans append in
-/// the snapshot's order. No-op when disabled.
+/// otherwise the global registry (trace events then go to this
+/// thread's ring, where the ring cap applies). Counter values add,
+/// histograms merge bucket-exactly; spans and events append in the
+/// snapshot's order. No-op when every collector is disabled.
 pub fn fold(snap: Snapshot) {
-    if !enabled() {
+    if state() == 0 {
         return;
     }
-    let Snapshot { counters, spans } = snap;
-    let mut pending = Some((counters, spans));
+    let Snapshot { counters, spans, hists, events } = snap;
+    let mut pending = Some((counters, spans, hists, events));
     LOCAL.with(|l| {
         if let Some(reg) = l.borrow_mut().as_mut() {
-            let (counters, spans) = pending.take().unwrap();
-            merge(reg, counters, spans);
+            let (counters, spans, hists, events) = pending.take().unwrap();
+            merge(reg, counters, spans, hists);
+            reg.events.extend(events);
         }
     });
-    if let Some((counters, spans)) = pending {
-        merge(&mut REGISTRY.lock().unwrap(), counters, spans);
+    if let Some((counters, spans, hists, events)) = pending {
+        merge(&mut REGISTRY.lock().unwrap(), counters, spans, hists);
+        crate::trace::append_folded(events);
     }
 }
 
-fn merge(reg: &mut Registry, counters: BTreeMap<String, u64>, spans: Vec<SpanRec>) {
+fn merge(
+    reg: &mut Registry,
+    counters: BTreeMap<String, u64>,
+    spans: Vec<SpanRec>,
+    hists: BTreeMap<String, Hist>,
+) {
     for (k, v) in counters {
         *reg.counters.entry(k).or_insert(0) += v;
     }
     reg.spans.extend(spans);
+    for (k, h) in hists {
+        reg.hists.entry(k).or_default().merge(&h);
+    }
 }
 
 /// A copy of everything the sink has collected.
@@ -188,6 +283,12 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     /// Completed spans in completion order.
     pub spans: Vec<SpanRec>,
+    /// Latency histograms, ordered by name.
+    pub hists: BTreeMap<String, Hist>,
+    /// Trace events captured in a local scope ([`with_local`]); always
+    /// empty in global [`snapshot`]s — unscoped events live in the
+    /// flight recorder's rings and are read via [`crate::trace::drain`].
+    pub events: Vec<TraceEvent>,
 }
 
 impl Snapshot {
@@ -203,7 +304,9 @@ impl Snapshot {
         out
     }
 
-    /// Render counters and aggregated spans as a JSON object.
+    /// Render counters, aggregated spans and histograms as a JSON
+    /// object (trace events are not included — they export through
+    /// [`crate::trace::to_chrome_json`]).
     pub fn to_json(&self) -> crate::Json {
         use crate::Json;
         let counters =
@@ -218,9 +321,11 @@ impl Snapshot {
                 )
             })
             .collect::<Vec<_>>();
+        let hists = self.hists.iter().map(|(k, h)| (k.clone(), h.to_json())).collect::<Vec<_>>();
         Json::Obj(vec![
             ("counters".into(), Json::Obj(counters)),
             ("spans".into(), Json::Obj(spans)),
+            ("hists".into(), Json::Obj(hists)),
         ])
     }
 }
@@ -228,24 +333,31 @@ impl Snapshot {
 /// Copy out the current registry contents.
 pub fn snapshot() -> Snapshot {
     let reg = REGISTRY.lock().unwrap();
-    Snapshot { counters: reg.counters.clone(), spans: reg.spans.clone() }
+    Snapshot {
+        counters: reg.counters.clone(),
+        spans: reg.spans.clone(),
+        hists: reg.hists.clone(),
+        events: Vec::new(),
+    }
 }
 
-/// Clear the registry (the enabled flag is untouched).
+/// Clear the registry (the state word is untouched).
 pub fn reset() {
     let mut reg = REGISTRY.lock().unwrap();
     reg.counters.clear();
     reg.spans.clear();
+    reg.hists.clear();
+    reg.events.clear();
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::Span;
 
-    /// The whole suite shares the process-global sink, so the tests that
-    /// poke it run under one lock to avoid cross-talk.
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    /// The whole suite shares the process-global sink and recorder, so
+    /// every test module that pokes them serializes on this lock.
+    pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn disabled_sink_records_nothing() {
@@ -253,12 +365,14 @@ mod tests {
         set_enabled(false);
         reset();
         counter("x", 5);
+        record_hist("h", 7);
         {
             let _s = Span::enter("quiet");
         }
         let snap = snapshot();
         assert!(snap.counters.is_empty(), "disabled counter must not accumulate");
         assert!(snap.spans.is_empty(), "disabled span must not record");
+        assert!(snap.hists.is_empty(), "disabled histogram must not record");
     }
 
     #[test]
@@ -269,6 +383,8 @@ mod tests {
         counter("a", 2);
         counter("a", 3);
         counter("b", 1);
+        record_hist("lat", 100);
+        record_hist("lat", 200);
         {
             let _outer = Span::enter("outer");
             let _inner = Span::enter("inner");
@@ -277,6 +393,7 @@ mod tests {
         set_enabled(false);
         assert_eq!(snap.counters.get("a"), Some(&5));
         assert_eq!(snap.counters.get("b"), Some(&1));
+        assert_eq!(snap.hists.get("lat").map(crate::Hist::count), Some(2));
         assert_eq!(snap.spans.len(), 2);
         // Inner completes first and sits one level deeper.
         assert_eq!(snap.spans[0].name, "inner");
@@ -288,6 +405,7 @@ mod tests {
         assert_eq!(totals.get("outer").map(|t| t.1), Some(1));
         reset();
         assert!(snapshot().counters.is_empty());
+        assert!(snapshot().hists.is_empty());
     }
 
     #[test]
@@ -298,12 +416,14 @@ mod tests {
         counter("global", 1);
         let ((), snap) = with_local(|| {
             counter("inner", 2);
+            record_hist("lat", 50);
             let _s = Span::enter("scoped");
         });
         // Nothing from the scope leaked into the registry...
         assert!(snapshot().counters.contains_key("global"));
         assert!(!snapshot().counters.contains_key("inner"));
         assert!(snapshot().spans.is_empty());
+        assert!(snapshot().hists.is_empty());
         // ...until the caller folds it, additively.
         assert_eq!(snap.counters.get("inner"), Some(&2));
         assert_eq!(snap.spans.len(), 1);
@@ -315,6 +435,7 @@ mod tests {
         assert_eq!(merged.counters.get("inner"), Some(&4));
         assert_eq!(merged.counters.get("global"), Some(&1));
         assert_eq!(merged.spans.len(), 2);
+        assert_eq!(merged.hists.get("lat").map(crate::Hist::count), Some(2));
     }
 
     #[test]
@@ -344,5 +465,35 @@ mod tests {
         set_enabled(false);
         let ((), snap) = with_local(|| counter("x", 9));
         assert!(snap.counters.is_empty());
+    }
+
+    #[test]
+    fn snapshot_json_has_hists_section() {
+        let _l = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        record_hist("store.lookup", 1234);
+        let j = snapshot().to_json();
+        set_enabled(false);
+        reset();
+        let hists = j.get("hists").expect("hists key");
+        assert!(hists.get("store.lookup").and_then(|h| h.get("count")).is_some());
+    }
+
+    #[test]
+    fn disabled_paths_do_not_allocate() {
+        let _l = TEST_LOCK.lock().unwrap();
+        set_enabled(false);
+        crate::trace::set_enabled(false);
+        let before = crate::testalloc::allocations();
+        for _ in 0..1000 {
+            let _s = Span::enter("quiet");
+            counter("c", 1);
+            record_hist("h", 1);
+            crate::trace::instant("i");
+            let _g = crate::trace::guard("g");
+        }
+        let after = crate::testalloc::allocations();
+        assert_eq!(after, before, "disabled instrumentation must not allocate");
     }
 }

@@ -21,35 +21,50 @@ thread_local! {
 }
 
 /// An RAII timing span. [`Span::enter`] starts it, dropping it records
-/// `(name, start, duration, depth)` into the global sink.
+/// `(name, start, duration, depth)` into the global sink, and — when
+/// the flight recorder is on — begin/end events into [`crate::trace`].
 ///
-/// When the sink is disabled the guard is inert: no clock read, no lock,
-/// just one relaxed atomic load and a branch.
+/// When every collector is disabled the guard is inert: no clock read,
+/// no lock, just one relaxed atomic load and a branch.
 #[must_use = "a span measures until it is dropped"]
 pub struct Span {
     name: &'static str,
     /// `None` when the sink was disabled at entry.
     start_ns: Option<u64>,
+    /// The flight recorder was on at entry; emit the end event at drop.
+    traced: bool,
     depth: u32,
 }
 
 impl Span {
-    /// Start a span named `name` (no-op when the sink is disabled).
+    /// Start a span named `name` (no-op when every collector is
+    /// disabled).
     pub fn enter(name: &'static str) -> Span {
-        if !sink::enabled() {
-            return Span { name, start_ns: None, depth: 0 };
+        let state = sink::state();
+        if state == 0 {
+            return Span { name, start_ns: None, traced: false, depth: 0 };
+        }
+        let traced = state & sink::TRACE_ON != 0;
+        if traced {
+            crate::trace::begin(name);
+        }
+        if state & sink::SINK_ON == 0 {
+            return Span { name, start_ns: None, traced, depth: 0 };
         }
         let depth = DEPTH.with(|d| {
             let v = d.get();
             d.set(v + 1);
             v
         });
-        Span { name, start_ns: Some(mono_ns()), depth }
+        Span { name, start_ns: Some(mono_ns()), traced, depth }
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if self.traced {
+            crate::trace::end(self.name);
+        }
         let Some(start) = self.start_ns else { return };
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         let dur = mono_ns().saturating_sub(start);

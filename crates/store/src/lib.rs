@@ -87,6 +87,21 @@ pub struct StoreCounters {
 }
 
 impl StoreCounters {
+    /// The counts accumulated since `base` (an earlier
+    /// [`Store::counters`] snapshot of the same store). Scoped reporting
+    /// — tests and smoke runs bracket a region and report just that
+    /// region's activity instead of process-lifetime totals. Saturating,
+    /// so a mismatched baseline degrades to zeros rather than wrapping.
+    pub fn delta_since(&self, base: &StoreCounters) -> StoreCounters {
+        StoreCounters {
+            hits: self.hits.saturating_sub(base.hits),
+            misses: self.misses.saturating_sub(base.misses),
+            corrupt: self.corrupt.saturating_sub(base.corrupt),
+            puts: self.puts.saturating_sub(base.puts),
+            evictions: self.evictions.saturating_sub(base.evictions),
+        }
+    }
+
     /// `{hits, misses, corrupt, puts, evictions}`.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -173,6 +188,17 @@ impl Store {
 
     /// Look up `(kind, key)`, re-validating the entry end to end.
     pub fn get(&self, kind: &str, key: &str) -> Lookup {
+        // The clock reads are gated like every other instrumentation
+        // site: disabled observability costs one atomic load.
+        let t0 = wyt_obs::enabled().then(wyt_obs::mono_ns);
+        let r = self.get_inner(kind, key);
+        if let Some(t0) = t0 {
+            wyt_obs::record_hist("store.lookup", wyt_obs::mono_ns() - t0);
+        }
+        r
+    }
+
+    fn get_inner(&self, kind: &str, key: &str) -> Lookup {
         let path = self.path_for(kind, key);
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
@@ -229,6 +255,15 @@ impl Store {
     /// # Errors
     /// Propagates filesystem failures.
     pub fn put(&self, kind: &str, key: &str, stamp: u64, payload: Json) -> io::Result<()> {
+        let t0 = wyt_obs::enabled().then(wyt_obs::mono_ns);
+        let r = self.put_inner(kind, key, stamp, payload);
+        if let Some(t0) = t0 {
+            wyt_obs::record_hist("store.put", wyt_obs::mono_ns() - t0);
+        }
+        r
+    }
+
+    fn put_inner(&self, kind: &str, key: &str, stamp: u64, payload: Json) -> io::Result<()> {
         let checksum = sha256_hex(payload.to_string().as_bytes());
         let entry = Json::obj(vec![
             ("wyt_store", Json::from(FORMAT_VERSION)),
@@ -353,6 +388,22 @@ mod tests {
         assert!(matches!(s.get("healed", &key), Lookup::Miss));
         let c = s.counters();
         assert_eq!((c.hits, c.misses, c.corrupt, c.puts), (1, 2, 0, 1));
+        let _ = std::fs::remove_dir_all(s.root());
+    }
+
+    #[test]
+    fn counter_deltas_are_scoped() {
+        let s = tmp_store("delta");
+        let key = Store::derive_key("artifact", vec![("n", Json::from(10u64))]);
+        let _ = s.get("artifact", &key); // miss
+        s.put("artifact", &key, 0, payload(1)).unwrap();
+        let base = s.counters();
+        let _ = s.get("artifact", &key); // hit, inside the scope
+        let delta = s.counters().delta_since(&base);
+        assert_eq!((delta.hits, delta.misses, delta.puts), (1, 0, 0));
+        // A stale (larger) baseline saturates instead of wrapping.
+        let zero = base.delta_since(&s.counters());
+        assert_eq!(zero, StoreCounters::default());
         let _ = std::fs::remove_dir_all(s.root());
     }
 

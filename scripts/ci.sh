@@ -32,6 +32,23 @@ WYT_STORE="$STORE_TMP/store" cargo run --release --offline -q -p wyt-bench --bin
     --smoke warm --out "$STORE_TMP/warm"
 cmp "$STORE_TMP/cold/images.sha" "$STORE_TMP/warm/images.sha"
 
+echo "==> trace-export smoke gate (WYT_OBS_TRACE -> well-formed Chrome trace)"
+WYT_OBS_TRACE="$STORE_TMP/trace.json" WYT_OBS=json WYT_PAR=4 \
+    cargo run --release --offline -q -p wyt-bench --bin report >/dev/null
+cargo run --release --offline -q -p wyt-bench --bin report -- --check-trace "$STORE_TMP/trace.json"
+
+echo "==> bench diff self-gate (fresh figure7 vs committed: counter drift fails)"
+WYT_BENCH_OUT="$STORE_TMP/fresh" cargo run --release --offline -q -p wyt-bench --bin figure7 >/dev/null
+cargo run --release --offline -q -p wyt-bench --bin report -- \
+    --diff results/BENCH_figure7.json "$STORE_TMP/fresh/BENCH_figure7.json"
+sed 's/"degradations": 0/"degradations": 1/' "$STORE_TMP/fresh/BENCH_figure7.json" \
+    > "$STORE_TMP/fresh/mutated.json"
+if cargo run --release --offline -q -p wyt-bench --bin report -- \
+    --diff results/BENCH_figure7.json "$STORE_TMP/fresh/mutated.json" 2>/dev/null; then
+    echo "FAIL: diff gate did not detect an injected counter regression" >&2
+    exit 1
+fi
+
 echo "==> parallel determinism gate (WYT_PAR=4)"
 WYT_PAR=4 cargo test -q --offline --workspace
 WYT_PAR=4 WYT_OBS=json cargo run --release --offline -q -p wyt-bench --bin report -- --check >/dev/null

@@ -1,0 +1,113 @@
+//! Edge-case and property coverage for the `wyt-obs` hand-rolled JSON
+//! writer/parser: string escapes (`\uXXXX`, control characters), deep
+//! nesting, duplicate object keys, and a round-trip fuzz over randomly
+//! generated documents via the `wyt-testkit` property harness.
+
+use wyt_obs::json::{parse, Json};
+use wyt_testkit::{check, Config, Rng};
+
+#[test]
+fn unicode_escapes_decode() {
+    assert_eq!(parse(r#""\u0041\u00e9\u2603""#).unwrap(), Json::from("Aé☃"));
+    // Raw (unescaped) multi-byte UTF-8 also passes through.
+    assert_eq!(parse(r#""Aé☃""#).unwrap(), Json::from("Aé☃"));
+    // A lone surrogate is not a scalar value; the parser substitutes
+    // U+FFFD rather than producing invalid UTF-8.
+    assert_eq!(parse(r#""\ud800""#).unwrap(), Json::from("\u{fffd}"));
+    // Truncated and non-hex escapes are syntax errors.
+    assert!(parse(r#""\u00""#).is_err());
+    assert!(parse(r#""\uzzzz""#).is_err());
+    assert!(parse(r#""\x41""#).is_err());
+}
+
+#[test]
+fn control_characters_roundtrip_through_escapes() {
+    let s = "line\nwith\ttabs\r, quotes \" and \\, ctrl \u{1}\u{1f}";
+    let v = Json::from(s);
+    let text = v.to_string();
+    // Control characters below 0x20 must leave as escapes, never raw.
+    assert!(text.contains("\\u0001") && text.contains("\\u001f"), "{text}");
+    assert!(!text.chars().any(|c| (c as u32) < 0x20), "raw control char in {text:?}");
+    assert_eq!(parse(&text).unwrap(), v);
+}
+
+#[test]
+fn deep_nesting_roundtrips() {
+    const DEPTH: usize = 256;
+    let mut arr = Json::from(7u64);
+    let mut obj = Json::from("leaf");
+    for _ in 0..DEPTH {
+        arr = Json::Arr(vec![arr]);
+        obj = Json::obj(vec![("a", obj)]);
+    }
+    for v in [arr, obj] {
+        assert_eq!(parse(&v.to_string()).unwrap(), v);
+        assert_eq!(parse(&v.pretty()).unwrap(), v);
+    }
+}
+
+#[test]
+fn duplicate_keys_are_preserved_and_get_returns_the_first() {
+    let v = parse(r#"{"k":1,"k":2,"other":3}"#).unwrap();
+    let Json::Obj(members) = &v else { panic!("not an object") };
+    assert_eq!(members.len(), 3, "duplicate members must not be collapsed");
+    assert_eq!(v.get("k").and_then(Json::as_u64), Some(1), "get returns the first binding");
+    // And the duplicate survives a round trip.
+    assert_eq!(parse(&v.to_string()).unwrap(), v);
+}
+
+/// Characters exercising every writer escape class plus multi-byte
+/// UTF-8, braces and brackets (must not confuse the parser in strings).
+const CHAR_POOL: &[char] =
+    &['a', 'Z', '0', '"', '\\', '/', '\n', '\r', '\t', '\u{1}', '\u{1f}', 'é', '☃', '{', '[', ','];
+
+fn gen_string(rng: &mut Rng) -> String {
+    (0..rng.range_usize(0, 9)).map(|_| *rng.choose(CHAR_POOL)).collect()
+}
+
+fn gen_value(rng: &mut Rng, depth: usize) -> Json {
+    // Numbers are dyadic rationals in a small range, so the f64 the
+    // parser reconstructs is exactly the f64 the writer printed (NaN
+    // and infinities are unrepresentable in JSON and never generated).
+    if depth >= 4 || rng.chance(0.55) {
+        return match rng.range_u32(0, 5) {
+            0 => Json::Null,
+            1 => Json::Bool(rng.next_bool()),
+            2 => Json::from(i64::from(rng.next_i32())),
+            3 => Json::Num(f64::from(rng.next_i32()) / 8.0),
+            _ => Json::Str(gen_string(rng)),
+        };
+    }
+    if rng.next_bool() {
+        Json::Arr((0..rng.range_usize(0, 5)).map(|_| gen_value(rng, depth + 1)).collect())
+    } else {
+        Json::Obj(
+            (0..rng.range_usize(0, 5))
+                .map(|_| (gen_string(rng), gen_value(rng, depth + 1)))
+                .collect(),
+        )
+    }
+}
+
+#[test]
+fn random_documents_roundtrip() {
+    check(
+        "json-roundtrip",
+        &Config::cases(256),
+        |rng| gen_value(rng, 0),
+        |_| Vec::new(),
+        |v| {
+            let compact = v.to_string();
+            let back = parse(&compact).map_err(|e| format!("compact reparse: {e}"))?;
+            if back != *v {
+                return Err(format!("compact roundtrip changed the value: {compact}"));
+            }
+            let pretty = v.pretty();
+            let back = parse(&pretty).map_err(|e| format!("pretty reparse: {e}"))?;
+            if back != *v {
+                return Err(format!("pretty roundtrip changed the value: {pretty}"));
+            }
+            Ok(())
+        },
+    );
+}
