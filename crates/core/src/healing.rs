@@ -448,8 +448,8 @@ pub fn recompile_healing_seeded(
             f(&mut delta);
         }
         let mut merged = rec.trace.clone();
-        let new_edges = merged.merge(&delta);
-        if new_edges == 0 {
+        let merge_delta = merged.merge(&delta);
+        if merge_delta.new_edges == 0 {
             // Coverage cannot grow: this guard does not correspond to
             // any behaviour of the input on the original binary.
             report.sites_unhealed += 1;
@@ -457,7 +457,8 @@ pub fn recompile_healing_seeded(
             note_round_time(round_t0);
             break false;
         }
-        wyt_obs::counter("guard.new_edges", new_edges as u64);
+        wyt_obs::counter("guard.new_edges", merge_delta.new_edges as u64);
+        wyt_obs::counter("guard.new_ext_calls", merge_delta.new_ext_calls as u64);
 
         // 3. Incremental re-lift: recover functions from both traces and
         // diff, then re-refine only the changed call neighbourhood.

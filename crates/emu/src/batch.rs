@@ -1,0 +1,103 @@
+//! Sink-side batching helpers for trace consumers.
+//!
+//! Every hot loop replays the same few control transfers millions of
+//! times, and a set-backed recorder pays a tree probe for each replay.
+//! [`EdgeCache`] is a tiny last-N ring the sink consults first: an edge
+//! seen in the last N transfers is guaranteed to already be in the
+//! consumer's edge *set*, so re-recording it is a no-op the sink can
+//! skip entirely. Because the downstream store has set semantics the
+//! cache never needs invalidation — a hit only ever suppresses a
+//! redundant insert, so the merged trace is byte-identical with or
+//! without the cache.
+
+use crate::machine::TransferKind;
+
+/// Ring size: big enough to hold the edge working set of a nested hot
+/// loop, small enough that the linear probe stays in one cache line's
+/// worth of entries.
+const CACHE_EDGES: usize = 16;
+
+/// A last-N cache of `(from, to, kind)` transfer records (see module
+/// docs). `Default` starts empty.
+#[derive(Debug, Clone)]
+pub struct EdgeCache {
+    ring: [(u32, u32, TransferKind); CACHE_EDGES],
+    len: usize,
+    cursor: usize,
+    hits: u64,
+}
+
+impl Default for EdgeCache {
+    fn default() -> EdgeCache {
+        EdgeCache { ring: [(0, 0, TransferKind::Jump); CACHE_EDGES], len: 0, cursor: 0, hits: 0 }
+    }
+}
+
+impl EdgeCache {
+    /// Note one transfer. Returns `true` when the edge was *not* among
+    /// the last N seen — the caller must record it; `false` means it was
+    /// recorded moments ago and the (set-semantics) store already has it.
+    pub fn note(&mut self, from: u32, to: u32, kind: TransferKind) -> bool {
+        let e = (from, to, kind);
+        if self.ring[..self.len].contains(&e) {
+            self.hits += 1;
+            return false;
+        }
+        self.ring[self.cursor] = e;
+        self.cursor = (self.cursor + 1) % CACHE_EDGES;
+        self.len = (self.len + 1).min(CACHE_EDGES);
+        true
+    }
+
+    /// Transfers suppressed as recently-seen duplicates.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeats_hit_and_fresh_edges_miss() {
+        let mut c = EdgeCache::default();
+        assert!(c.note(10, 20, TransferKind::Jump));
+        assert!(!c.note(10, 20, TransferKind::Jump));
+        assert!(c.note(10, 20, TransferKind::Call), "kind is part of the key");
+        assert!(c.note(10, 24, TransferKind::Jump), "target is part of the key");
+        assert_eq!(c.hits(), 1);
+    }
+
+    #[test]
+    fn eviction_after_capacity_distinct_edges() {
+        let mut c = EdgeCache::default();
+        assert!(c.note(0, 1, TransferKind::Jump));
+        for i in 1..=CACHE_EDGES as u32 {
+            assert!(c.note(i, i + 1, TransferKind::Jump));
+        }
+        // The first edge was evicted; re-noting it is a miss again.
+        assert!(c.note(0, 1, TransferKind::Jump));
+        assert_eq!(c.hits(), 0);
+    }
+
+    #[test]
+    fn hot_loop_working_set_stays_cached() {
+        let mut c = EdgeCache::default();
+        let loop_edges = [
+            (100, 120, TransferKind::CondTaken),
+            (130, 100, TransferKind::Jump),
+            (120, 130, TransferKind::CondFall),
+        ];
+        let mut inserts = 0;
+        for _ in 0..1000 {
+            for &(f, t, k) in &loop_edges {
+                if c.note(f, t, k) {
+                    inserts += 1;
+                }
+            }
+        }
+        assert_eq!(inserts, loop_edges.len(), "steady state skips the store");
+        assert_eq!(c.hits(), 999 * loop_edges.len() as u64);
+    }
+}

@@ -39,6 +39,13 @@ pub enum TransferKind {
 }
 
 impl TransferKind {
+    /// Smallest variant in `Ord` order — lower bound for edge-set range
+    /// queries keyed `(from, to, kind)`.
+    pub const MIN: TransferKind = TransferKind::Jump;
+    /// Largest variant in `Ord` order — upper bound for edge-set range
+    /// queries keyed `(from, to, kind)`.
+    pub const MAX: TransferKind = TransferKind::Ret;
+
     /// `true` for [`TransferKind::Call`] and [`TransferKind::IndCall`].
     pub fn is_call(self) -> bool {
         matches!(self, TransferKind::Call | TransferKind::IndCall)

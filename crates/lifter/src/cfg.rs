@@ -55,8 +55,9 @@ pub struct MachBlock {
     pub end: BlockEnd,
 }
 
-/// The reconstructed CFG.
-#[derive(Debug, Clone, Default)]
+/// The reconstructed CFG. `PartialEq` backs the streaming lift's
+/// incremental-vs-phased equality gates (see [`crate::stream`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MachCfg {
     /// Blocks keyed by start address.
     pub blocks: BTreeMap<u32, MachBlock>,

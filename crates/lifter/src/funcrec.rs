@@ -27,7 +27,7 @@ pub struct MachFunc {
 }
 
 /// Result of function recovery.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FuncMap {
     /// Functions keyed by entry address.
     pub funcs: BTreeMap<u32, MachFunc>,

@@ -20,13 +20,14 @@
 pub mod cfg;
 pub mod extdb;
 pub mod funcrec;
+pub mod stream;
 pub mod trace;
 pub mod translate;
 
 pub use cfg::{BlockEnd, CfgError, MachBlock, MachCfg};
 pub use extdb::{ext_sig, ExtEffect, ExtSig, SizeSpec};
 pub use funcrec::{FuncMap, FuncRecError, MachFunc};
-pub use trace::{trace_image, Trace};
+pub use trace::{trace_image, MergeDelta, Trace};
 pub use translate::{
     is_emustack_addr, is_vcpu_addr, translate, vcpu_reg_addr, vcpu_vreg_addr, LiftError,
     LiftedMeta, EMU_STACK_BASE, EMU_STACK_SIZE, EMU_STACK_TOP, VCPU_BASE,
@@ -100,6 +101,9 @@ pub fn lift_image_faulted(
     inputs: &[Vec<u8>],
     trace_fault: Option<&(dyn Fn(&mut Trace) + Sync)>,
 ) -> Result<Lifted, LiftPipelineError> {
+    if stream::enabled() {
+        return stream::stream_lift(img, inputs, trace_fault);
+    }
     let (mut trace, baseline_runs) = {
         let _s = wyt_obs::Span::enter("lift.trace");
         trace_image(img, inputs)

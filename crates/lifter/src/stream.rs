@@ -1,0 +1,925 @@
+//! Streaming trace→lift: overlap emulation and lifting wall-clock.
+//!
+//! The phased pipeline ([`crate::lift_image`]) traces every input to
+//! completion, then builds the CFG, recovers functions and translates.
+//! This module threads a bounded MPSC channel between the two halves:
+//! each input's [`Machine`] run is a *producer* that pushes
+//! sequence-stamped batches of `(from, to, kind)` transfers while it
+//! executes, and a consumer drains them into an [`OnlineLift`] that
+//! maintains the machine CFG incrementally (splitting blocks as new
+//! targets land) and speculatively pre-translates when the queue runs
+//! dry. Enabled with `WYT_STREAM=1`; queue capacity via
+//! `WYT_STREAM_CAP` (default 64 batches).
+//!
+//! # Determinism
+//!
+//! The final [`Lifted`] is byte-identical to the phased path:
+//!
+//! * The merged [`Trace`] is a set — per-producer streams are
+//!   deterministic, and set union is independent of batch interleaving.
+//! * The incremental CFG converges to [`cfg::build_cfg`]'s output: block
+//!   starts are exactly `entry ∪ traced targets` in both paths, block
+//!   extents follow the same decode grid (a block decoded "too long"
+//!   early is split when the interior target arrives), and `Jcc` /
+//!   `JmpInd` ends are monotone functions of the edge set, updated on
+//!   each relevant edge. Sealing debug-asserts equality against a fresh
+//!   `build_cfg` of the merged trace.
+//! * Translation is a pure function of `(image, cfg, funcs)`, so a
+//!   speculative pre-translation is reused only when the CFG generation
+//!   it was computed at is still current.
+//!
+//! Per-producer FIFO delivery (batches are flushed in execution order
+//! through a FIFO queue) guarantees that when an out-edge `(from, …)`
+//! arrives, a decoded block already ends with the terminator at `from`:
+//! every executed pc is linearly reachable from an earlier in-stream
+//! target (or the entry, decoded at init), and execution crossed no
+//! terminator in between. Anything that breaks this — misaligned decode
+//! grids, targets outside text, unmodeled terminators — freezes the
+//! incremental build (`anomaly`) and seals through the phased
+//! [`lift_from_trace`] instead, reproducing its exact result or error.
+//!
+//! # Sealing and fault hooks
+//!
+//! A `trace_fault` hook must see the *merged* trace before CFG
+//! construction, so with a hook installed the consumer only merges
+//! (`trace_only`) and sealing always takes the phased path after the
+//! hook has run. The streamed artifacts are still byte-identical to
+//! `lift_image_faulted` because both paths hand the same merged trace to
+//! the same code.
+
+use crate::cfg::{self, BlockEnd, MachBlock, MachCfg};
+use crate::funcrec::{self, FuncMap};
+use crate::trace::Trace;
+use crate::translate::{self, LiftedMeta};
+use crate::{lift_from_trace, LiftPipelineError, Lifted};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicI8, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use wyt_emu::{EdgeCache, Machine, RunResult, TraceSink, TransferKind};
+use wyt_ir::Module;
+use wyt_isa::image::Image;
+use wyt_isa::Inst;
+
+/// Environment toggle for the streaming path.
+pub const ENV: &str = "WYT_STREAM";
+/// Environment override for the queue capacity (in batches).
+pub const CAP_ENV: &str = "WYT_STREAM_CAP";
+/// Transfer records per batch before a flush.
+pub const BATCH_RECORDS: usize = 256;
+/// Consumer speculates only after this many batches since the last run.
+const SPEC_MIN_BATCHES: u64 = 4;
+
+/// Process-wide override: -1 = follow the environment, 0 = forced off,
+/// 1 = forced on. Tests that compare serial-vs-parallel obs streams pin
+/// streaming off regardless of `WYT_STREAM`.
+static OVERRIDE: AtomicI8 = AtomicI8::new(-1);
+
+/// Force streaming on/off for this process, or `None` to follow `ENV`.
+pub fn set_override(on: Option<bool>) {
+    OVERRIDE.store(
+        match on {
+            None => -1,
+            Some(false) => 0,
+            Some(true) => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// Should [`crate::lift_image_faulted`] take the streaming path?
+pub fn enabled() -> bool {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        _ => std::env::var(ENV).map(|v| !v.is_empty() && v != "0").unwrap_or(false),
+    }
+}
+
+/// Queue capacity from `CAP_ENV`, clamped to `1..=65536`.
+fn capacity() -> usize {
+    std::env::var(CAP_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.clamp(1, 65536))
+        .unwrap_or(64)
+}
+
+/// One flushed unit of trace records from a single producer.
+#[derive(Debug)]
+pub struct Batch {
+    /// Producer (input) index.
+    pub input: u32,
+    /// Global flush sequence stamp (monotone across all producers;
+    /// strictly increasing within one producer).
+    pub seq: u64,
+    /// Transfer records in execution order.
+    pub transfers: Vec<(u32, u32, TransferKind)>,
+    /// External-call bindings observed in this batch.
+    pub ext_calls: Vec<(u32, u16)>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    batches: VecDeque<Batch>,
+    /// Producers that have not yet called [`Queue::close_producer`].
+    open: usize,
+    pushed: u64,
+    stalls: u64,
+    depth_max: usize,
+}
+
+/// Bounded MPSC batch channel (std-only: one mutex, two condvars).
+///
+/// Backpressure blocks producers; batches are never dropped. [`Queue::pop`]
+/// returns `None` only once every producer has closed and the queue is
+/// empty, so the consumer always drains the tail.
+pub struct Queue {
+    state: Mutex<QueueState>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    cap: usize,
+}
+
+impl Queue {
+    /// A queue holding at most `cap` batches, with `producers` openers.
+    pub fn new(cap: usize, producers: usize) -> Queue {
+        Queue {
+            state: Mutex::new(QueueState { open: producers, ..QueueState::default() }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Blocking push: waits for space (counting one stall per wait).
+    pub fn push(&self, b: Batch) {
+        let mut s = self.state.lock().unwrap();
+        if s.batches.len() >= self.cap {
+            s.stalls += 1;
+            while s.batches.len() >= self.cap {
+                s = self.not_full.wait(s).unwrap();
+            }
+        }
+        s.batches.push_back(b);
+        s.pushed += 1;
+        s.depth_max = s.depth_max.max(s.batches.len());
+        self.not_empty.notify_one();
+    }
+
+    /// Non-blocking push; hands the batch back when full. The serial
+    /// (helping) mode uses this so a full queue never deadlocks a
+    /// single-threaded pipeline.
+    pub fn try_push(&self, b: Batch) -> Result<(), Batch> {
+        let mut s = self.state.lock().unwrap();
+        if s.batches.len() >= self.cap {
+            s.stalls += 1;
+            return Err(b);
+        }
+        s.batches.push_back(b);
+        s.pushed += 1;
+        s.depth_max = s.depth_max.max(s.batches.len());
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop; `None` once all producers closed and the queue is dry.
+    pub fn pop(&self) -> Option<Batch> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(b) = s.batches.pop_front() {
+                self.not_full.notify_all();
+                return Some(b);
+            }
+            if s.open == 0 {
+                return None;
+            }
+            s = self.not_empty.wait(s).unwrap();
+        }
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> Option<Batch> {
+        let mut s = self.state.lock().unwrap();
+        let b = s.batches.pop_front();
+        if b.is_some() {
+            self.not_full.notify_all();
+        }
+        b
+    }
+
+    /// One producer finished (flushed its tail).
+    pub fn close_producer(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.open = s.open.saturating_sub(1);
+        if s.open == 0 {
+            self.not_empty.notify_all();
+        }
+    }
+
+    /// Idempotent emergency close — unblocks the consumer even if a
+    /// producer unwound before closing (scope guards call this on drop).
+    pub fn close_all(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.open = 0;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Current queued depth.
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap().batches.len()
+    }
+
+    /// Producers still open.
+    pub fn open_producers(&self) -> usize {
+        self.state.lock().unwrap().open
+    }
+
+    /// `(pushed, stalls, depth_max)` since construction.
+    pub fn stats(&self) -> (u64, u64, usize) {
+        let s = self.state.lock().unwrap();
+        (s.pushed, s.stalls, s.depth_max)
+    }
+}
+
+/// Per-producer tallies, returned to the caller thread so every
+/// `lift.stream.*` counter is emitted there (consumer/pool threads must
+/// not write interleaving-dependent values into the global sink).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SinkStats {
+    /// Records emitted (transfers + ext calls) after dedup.
+    pub records: u64,
+    /// Edges suppressed by the last-N [`EdgeCache`].
+    pub dedup_hits: u64,
+    /// Batches this producer applied itself in helping mode.
+    pub helped: u64,
+}
+
+/// A [`TraceSink`] that batches records into a [`Queue`].
+///
+/// In parallel mode pushes block on backpressure (the consumer thread is
+/// draining). In serial mode (`help` set) there is no consumer thread, so
+/// a full queue makes the producer *help*: drain queued batches into the
+/// shared [`OnlineLift`] itself, then retry.
+pub struct StreamSink<'q, 'i> {
+    q: &'q Queue,
+    help: Option<&'q Mutex<OnlineLift<'i>>>,
+    input: u32,
+    seq: &'q AtomicU64,
+    cache: EdgeCache,
+    transfers: Vec<(u32, u32, TransferKind)>,
+    ext_calls: Vec<(u32, u16)>,
+    stats: SinkStats,
+}
+
+impl<'q, 'i> StreamSink<'q, 'i> {
+    /// A sink for producer `input`, helping via `help` when serial.
+    pub fn new(
+        q: &'q Queue,
+        help: Option<&'q Mutex<OnlineLift<'i>>>,
+        input: u32,
+        seq: &'q AtomicU64,
+    ) -> StreamSink<'q, 'i> {
+        StreamSink {
+            q,
+            help,
+            input,
+            seq,
+            cache: EdgeCache::default(),
+            transfers: Vec::with_capacity(BATCH_RECORDS),
+            ext_calls: Vec::new(),
+            stats: SinkStats::default(),
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.transfers.is_empty() && self.ext_calls.is_empty() {
+            return;
+        }
+        let mut batch = Batch {
+            input: self.input,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            transfers: std::mem::take(&mut self.transfers),
+            ext_calls: std::mem::take(&mut self.ext_calls),
+        };
+        self.transfers.reserve(BATCH_RECORDS);
+        match self.help {
+            None => self.q.push(batch),
+            Some(lift) => loop {
+                match self.q.try_push(batch) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        batch = back;
+                        let mut l = lift.lock().unwrap();
+                        while let Some(queued) = self.q.try_pop() {
+                            l.apply(queued);
+                            self.stats.helped += 1;
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    /// Flush the tail, close this producer and return its tallies.
+    pub fn finish(mut self) -> SinkStats {
+        self.flush();
+        self.q.close_producer();
+        self.stats.dedup_hits = self.cache.hits();
+        self.stats
+    }
+}
+
+impl TraceSink for StreamSink<'_, '_> {
+    fn transfer(&mut self, from: u32, to: u32, kind: TransferKind) {
+        if !self.cache.note(from, to, kind) {
+            return;
+        }
+        self.transfers.push((from, to, kind));
+        self.stats.records += 1;
+        if self.transfers.len() + self.ext_calls.len() >= BATCH_RECORDS {
+            self.flush();
+        }
+    }
+
+    fn ext_call(&mut self, pc: u32, idx: u16, _esp: u32) {
+        self.ext_calls.push((pc, idx));
+        self.stats.records += 1;
+        if self.transfers.len() + self.ext_calls.len() >= BATCH_RECORDS {
+            self.flush();
+        }
+    }
+}
+
+struct Speculation {
+    generation: u64,
+    funcs: FuncMap,
+    module: Module,
+    meta: LiftedMeta,
+}
+
+/// Incremental trace merge + CFG construction, fed batch by batch.
+///
+/// Maintains the invariant that (absent `anomaly`) the block map equals
+/// what [`cfg::build_cfg`] would build from the trace merged so far.
+pub struct OnlineLift<'i> {
+    img: &'i Image,
+    trace: Trace,
+    blocks: BTreeMap<u32, MachBlock>,
+    call_targets: BTreeSet<u32>,
+    /// Incremental construction hit something it cannot model; the block
+    /// map is frozen and sealing falls back to the phased path.
+    anomaly: bool,
+    /// Fault hook installed: merge the trace only, never build blocks.
+    trace_only: bool,
+    /// Bumped on every structural CFG change; keys speculation reuse.
+    generation: u64,
+    batches: u64,
+    batches_at_spec: u64,
+    splits: u64,
+    spec_runs: u64,
+    spec: Option<Speculation>,
+    /// Highest batch seq applied per producer (FIFO audit).
+    last_seq: BTreeMap<u32, u64>,
+}
+
+impl<'i> OnlineLift<'i> {
+    /// An empty online lift for `img`. Decodes the entry block up front
+    /// (unless `trace_only`) so the FIFO coverage argument has its base
+    /// case.
+    pub fn new(img: &'i Image, trace_only: bool) -> OnlineLift<'i> {
+        let mut l = OnlineLift {
+            img,
+            trace: Trace::default(),
+            blocks: BTreeMap::new(),
+            call_targets: BTreeSet::new(),
+            anomaly: false,
+            trace_only,
+            generation: 0,
+            batches: 0,
+            batches_at_spec: 0,
+            splits: 0,
+            spec_runs: 0,
+            spec: None,
+            last_seq: BTreeMap::new(),
+        };
+        if !trace_only {
+            l.decode_block(img.entry);
+        }
+        l
+    }
+
+    /// Merge one batch into the trace and (unless `trace_only`) the CFG.
+    pub fn apply(&mut self, b: Batch) {
+        self.batches += 1;
+        if let Some(prev) = self.last_seq.insert(b.input, b.seq) {
+            debug_assert!(prev < b.seq, "producer {} batches reordered", b.input);
+        }
+        for (pc, idx) in b.ext_calls {
+            self.trace.ext_calls.insert(pc, idx);
+        }
+        for (from, to, kind) in b.transfers {
+            if self.trace.edges.insert((from, to, kind)) && !self.trace_only {
+                self.integrate(from, to, kind);
+            }
+        }
+    }
+
+    /// Fold one *new* edge into the block map.
+    fn integrate(&mut self, from: u32, to: u32, kind: TransferKind) {
+        if self.anomaly {
+            return;
+        }
+        if !self.img.contains_code(to) {
+            // build_cfg would return TargetOutsideText; the fallback does.
+            self.anomaly = true;
+            return;
+        }
+        if kind.is_call() && self.call_targets.insert(to) {
+            self.generation += 1;
+        }
+        self.ensure_start(to);
+        if self.anomaly {
+            return;
+        }
+        self.update_end(from, to, kind);
+    }
+
+    /// Make `at` a block start: split the covering block at an
+    /// instruction boundary, or decode a fresh block. A target off the
+    /// established decode grid is an anomaly.
+    fn ensure_start(&mut self, at: u32) {
+        if self.blocks.contains_key(&at) {
+            return;
+        }
+        if let Some((&baddr, b)) = self.blocks.range(..at).next_back() {
+            match b.insts.binary_search_by_key(&at, |&(pc, _)| pc) {
+                Ok(i) => {
+                    self.split(baddr, i, at);
+                    return;
+                }
+                // Strictly between two instruction starts of the
+                // covering block: misaligned decode grid.
+                Err(pos) if pos < b.insts.len() => {
+                    self.anomaly = true;
+                    return;
+                }
+                Err(_) => {
+                    // Past the last instruction start — inside its bytes?
+                    let (lpc, _) = *b.insts.last().expect("blocks are never empty");
+                    if let Ok((_, len)) = self.img.decode_at(lpc) {
+                        if at < lpc + len as u32 {
+                            self.anomaly = true;
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        self.decode_block(at);
+    }
+
+    /// Split the block at `baddr` so its instruction `i` (address `at`)
+    /// starts a new block; the front falls into it.
+    fn split(&mut self, baddr: u32, i: usize, at: u32) {
+        debug_assert!(i >= 1, "split index 0 would duplicate the block");
+        let mut front = self.blocks.remove(&baddr).expect("covering block exists");
+        let tail_insts = front.insts.split_off(i);
+        let tail_end = std::mem::replace(&mut front.end, BlockEnd::FallInto(at));
+        self.blocks.insert(baddr, front);
+        self.blocks.insert(at, MachBlock { addr: at, insts: tail_insts, end: tail_end });
+        self.splits += 1;
+        self.generation += 1;
+    }
+
+    /// Decode a fresh block from `start`, stopping at a terminator or an
+    /// existing block start — [`cfg::build_cfg`]'s linear walk against
+    /// the *current* start set (later starts split it back apart).
+    fn decode_block(&mut self, start: u32) {
+        let mut insts = Vec::new();
+        let mut pc = start;
+        let end = loop {
+            let Ok((inst, len)) = self.img.decode_at(pc) else {
+                self.anomaly = true;
+                return;
+            };
+            let next = pc + len as u32;
+            // An existing block start strictly inside this instruction's
+            // bytes means two decode grids overlap; freeze.
+            if self.blocks.range(pc + 1..next).next().is_some() {
+                self.anomaly = true;
+                return;
+            }
+            if inst.is_terminator() {
+                insts.push((pc, inst));
+                break match inst {
+                    Inst::Jmp { target } => BlockEnd::Jmp(target),
+                    Inst::Jcc { target, .. } => BlockEnd::Jcc {
+                        taken: self
+                            .trace
+                            .edges
+                            .contains(&(pc, target, TransferKind::CondTaken))
+                            .then_some(target),
+                        fall: self
+                            .trace
+                            .edges
+                            .contains(&(pc, next, TransferKind::CondFall))
+                            .then_some(next),
+                        taken_addr: target,
+                        fall_addr: next,
+                    },
+                    Inst::JmpInd { .. } => BlockEnd::JmpInd(
+                        self.trace.targets_from_quiet(pc, |k| k == TransferKind::IndJump),
+                    ),
+                    Inst::Ret { pop } => BlockEnd::Ret(pop),
+                    Inst::Halt => BlockEnd::Halt,
+                    Inst::Trap { code } => BlockEnd::Trap(code),
+                    _ => {
+                        self.anomaly = true;
+                        return;
+                    }
+                };
+            }
+            insts.push((pc, inst));
+            if self.blocks.contains_key(&next) {
+                break BlockEnd::FallInto(next);
+            }
+            pc = next;
+        };
+        self.blocks.insert(start, MachBlock { addr: start, insts, end });
+        self.generation += 1;
+    }
+
+    /// Reflect an out-edge in the terminator state of its source block.
+    /// Only `CondTaken`/`CondFall`/`IndJump` edges can change a decoded
+    /// block's end; calls, rets and direct jumps never do.
+    fn update_end(&mut self, from: u32, to: u32, kind: TransferKind) {
+        if !matches!(kind, TransferKind::CondTaken | TransferKind::CondFall | TransferKind::IndJump)
+        {
+            return;
+        }
+        let new_ind = (kind == TransferKind::IndJump)
+            .then(|| self.trace.targets_from_quiet(from, |k| k == TransferKind::IndJump));
+        let mut bad = false;
+        let mut bumped = false;
+        match self.blocks.range_mut(..=from).next_back() {
+            Some((_, b)) if b.insts.last().map(|&(pc, _)| pc) == Some(from) => {
+                match (&mut b.end, kind) {
+                    (BlockEnd::Jcc { taken, taken_addr, .. }, TransferKind::CondTaken)
+                        if *taken_addr == to =>
+                    {
+                        if taken.is_none() {
+                            *taken = Some(to);
+                            bumped = true;
+                        }
+                    }
+                    (BlockEnd::Jcc { fall, fall_addr, .. }, TransferKind::CondFall)
+                        if *fall_addr == to =>
+                    {
+                        if fall.is_none() {
+                            *fall = Some(to);
+                            bumped = true;
+                        }
+                    }
+                    (BlockEnd::JmpInd(ts), TransferKind::IndJump) => {
+                        let new = new_ind.expect("computed for IndJump above");
+                        if *ts != new {
+                            *ts = new;
+                            bumped = true;
+                        }
+                    }
+                    _ => bad = true,
+                }
+            }
+            // The FIFO coverage argument says a clean stream always
+            // delivers the edge into a block before the edge out of it;
+            // anything else is off-grid or out of order.
+            _ => bad = true,
+        }
+        if bad {
+            self.anomaly = true;
+        }
+        if bumped {
+            self.generation += 1;
+        }
+    }
+
+    /// Pre-translate the current CFG so sealing can reuse the result if
+    /// no further structural change lands. Errors are left for [`Self::seal`]
+    /// to surface through the normal path. Returns whether a new
+    /// speculation was computed.
+    pub fn speculate(&mut self) -> bool {
+        if self.anomaly || self.trace_only {
+            return false;
+        }
+        if self.spec.as_ref().is_some_and(|s| s.generation == self.generation) {
+            return false;
+        }
+        let cfg = MachCfg {
+            blocks: self.blocks.clone(),
+            call_targets: self.call_targets.clone(),
+            entry: self.img.entry,
+        };
+        let Ok(funcs) = funcrec::recover_functions(&cfg) else {
+            return false;
+        };
+        let Ok((module, meta)) = translate::translate(self.img, &cfg, &funcs) else {
+            return false;
+        };
+        self.spec = Some(Speculation { generation: self.generation, funcs, module, meta });
+        self.batches_at_spec = self.batches;
+        self.spec_runs += 1;
+        true
+    }
+
+    /// Has enough new work landed since the last speculation to justify
+    /// another one?
+    fn spec_due(&self) -> bool {
+        self.batches - self.batches_at_spec >= SPEC_MIN_BATCHES
+    }
+
+    fn stats(&self) -> (u64, u64, bool) {
+        (self.splits, self.spec_runs, self.anomaly)
+    }
+
+    /// Finalize: with a fault hook or after an anomaly, run the hook on
+    /// the merged trace and take the phased path (identical results and
+    /// errors); otherwise assemble the incrementally built CFG, reusing
+    /// the speculative translation when still current.
+    pub fn seal(
+        self,
+        trace_fault: Option<&(dyn Fn(&mut Trace) + Sync)>,
+        baseline_runs: Vec<RunResult>,
+    ) -> Result<Lifted, LiftPipelineError> {
+        let OnlineLift {
+            img,
+            mut trace,
+            blocks,
+            call_targets,
+            anomaly,
+            trace_only,
+            generation,
+            spec,
+            ..
+        } = self;
+        if trace_only || anomaly {
+            wyt_obs::counter("lift.stream.fallback", 1);
+            if let Some(fault) = trace_fault {
+                fault(&mut trace);
+            }
+            return lift_from_trace(img, trace, baseline_runs);
+        }
+        let cfg = MachCfg { blocks, call_targets, entry: img.entry };
+        #[cfg(debug_assertions)]
+        match cfg::build_cfg(img, &trace) {
+            Ok(rebuilt) => {
+                debug_assert!(cfg == rebuilt, "incremental CFG diverged from build_cfg")
+            }
+            Err(e) => panic!("build_cfg failed where the incremental build succeeded: {e}"),
+        }
+        let (funcs, module, meta) = match spec {
+            Some(s) if s.generation == generation => {
+                wyt_obs::counter("lift.stream.spec_reuse", 1);
+                (s.funcs, s.module, s.meta)
+            }
+            _ => {
+                let funcs = {
+                    let _s = wyt_obs::Span::enter("lift.funcrec");
+                    funcrec::recover_functions(&cfg).map_err(LiftPipelineError::FuncRec)?
+                };
+                let (module, meta) = {
+                    let _s = wyt_obs::Span::enter("lift.translate");
+                    translate::translate(img, &cfg, &funcs).map_err(LiftPipelineError::Translate)?
+                };
+                (funcs, module, meta)
+            }
+        };
+        Ok(Lifted { module, meta, trace, cfg, funcs, baseline_runs })
+    }
+}
+
+/// Unblocks the consumer if a producer unwinds before closing.
+struct CloseGuard<'q>(&'q Queue);
+
+impl Drop for CloseGuard<'_> {
+    fn drop(&mut self) {
+        self.0.close_all();
+    }
+}
+
+/// The streaming analogue of [`crate::lift_image_faulted`]: trace all
+/// `inputs` as concurrent producers while a consumer incrementally lifts,
+/// then seal. Byte-identical to the phased path (see module docs).
+///
+/// # Errors
+/// Returns the same [`LiftPipelineError`]s the phased path would.
+pub fn stream_lift(
+    img: &Image,
+    inputs: &[Vec<u8>],
+    trace_fault: Option<&(dyn Fn(&mut Trace) + Sync)>,
+) -> Result<Lifted, LiftPipelineError> {
+    let _span = wyt_obs::Span::enter("lift.stream");
+    let t0 = wyt_obs::mono_ns();
+    let q = Queue::new(capacity(), inputs.len());
+    let seq = AtomicU64::new(0);
+    let lift = Mutex::new(OnlineLift::new(img, trace_fault.is_some()));
+    let par = wyt_par::parallel();
+    let produce_ns = AtomicU64::new(0);
+
+    let outputs = wyt_par::overlap(
+        || {
+            let _close = CloseGuard(&q);
+            let out = wyt_par::par_indexed(inputs.len(), |i| {
+                let _t = wyt_obs::trace::guard("lift.stream.trace");
+                let mut sink = StreamSink::new(&q, (!par).then_some(&lift), i as u32, &seq);
+                let r = Machine::new(img, inputs[i].clone()).run_with(&mut sink);
+                (r, sink.finish())
+            });
+            produce_ns.store(wyt_obs::mono_ns().saturating_sub(t0), Ordering::Relaxed);
+            out
+        },
+        || {
+            let _t = wyt_obs::trace::guard("lift.stream.drain");
+            while let Some(b) = q.pop() {
+                let mut l = lift.lock().unwrap();
+                {
+                    let _t = wyt_obs::trace::guard("lift.stream.apply");
+                    l.apply(b);
+                }
+                // Queue ran dry but producers are still running: spend the
+                // idle time pre-translating. Local obs, discarded — the
+                // consumer must not write interleaving-dependent counters
+                // into the global sink.
+                if q.depth() == 0 && q.open_producers() > 0 && l.spec_due() {
+                    let _t = wyt_obs::trace::guard("lift.stream.speculate");
+                    let _ = wyt_obs::with_local(|| l.speculate());
+                }
+            }
+        },
+    );
+
+    let (results, sink_stats): (Vec<RunResult>, Vec<SinkStats>) = outputs.into_iter().unzip();
+    let (pushed, stalls, depth_max) = q.stats();
+    let lift = lift.into_inner().unwrap();
+    let (splits, spec_runs, anomaly) = lift.stats();
+    let total_ns = wyt_obs::mono_ns().saturating_sub(t0).max(1);
+    // All counters land on the caller thread, after the overlap, so the
+    // obs stream stays deterministic under `with_local` capture.
+    wyt_obs::counter("lift.stream.batches", pushed);
+    wyt_obs::counter("lift.stream.records", sink_stats.iter().map(|s| s.records).sum());
+    wyt_obs::counter("lift.stream.dedup_hits", sink_stats.iter().map(|s| s.dedup_hits).sum());
+    wyt_obs::counter("lift.stream.helped", sink_stats.iter().map(|s| s.helped).sum());
+    wyt_obs::counter("lift.stream.stalls", stalls);
+    wyt_obs::counter("lift.stream.depth_max", depth_max as u64);
+    wyt_obs::counter("lift.stream.splits", splits);
+    wyt_obs::counter("lift.stream.spec_runs", spec_runs);
+    wyt_obs::counter("lift.stream.anomalies", anomaly as u64);
+    wyt_obs::counter(
+        "lift.stream.overlap_pct",
+        (100 * produce_ns.load(Ordering::Relaxed) / total_ns).min(100),
+    );
+    lift.seal(trace_fault, results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wyt_minicc::{compile, Profile};
+
+    #[test]
+    fn queue_blocks_producers_and_never_drops() {
+        let q = Queue::new(2, 1);
+        let received = std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..10u64 {
+                    q.push(Batch { input: 0, seq: i, transfers: vec![], ext_calls: vec![] });
+                }
+                q.close_producer();
+            });
+            let mut seqs = Vec::new();
+            while let Some(b) = q.pop() {
+                // Slow consumer so the producer outruns the capacity.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                seqs.push(b.seq);
+            }
+            seqs
+        });
+        assert_eq!(received, (0..10).collect::<Vec<_>>(), "FIFO, nothing dropped");
+        let (pushed, stalls, depth_max) = q.stats();
+        assert_eq!(pushed, 10);
+        assert!(stalls > 0, "a capacity-2 queue must have stalled the producer");
+        assert!(depth_max <= 2, "bounded queue exceeded its capacity");
+    }
+
+    #[test]
+    fn capacity_one_queue_round_trips() {
+        let q = Queue::new(1, 1);
+        q.push(Batch { input: 0, seq: 0, transfers: vec![], ext_calls: vec![] });
+        assert!(matches!(
+            q.try_push(Batch { input: 0, seq: 1, transfers: vec![], ext_calls: vec![] }),
+            Err(_)
+        ));
+        assert_eq!(q.try_pop().unwrap().seq, 0);
+        assert!(q.try_pop().is_none());
+        q.close_producer();
+        assert!(q.pop().is_none(), "closed empty queue must not block");
+    }
+
+    #[test]
+    fn pop_drains_tail_after_close_all() {
+        let q = Queue::new(8, 3);
+        q.push(Batch { input: 0, seq: 0, transfers: vec![], ext_calls: vec![] });
+        q.push(Batch { input: 1, seq: 1, transfers: vec![], ext_calls: vec![] });
+        q.close_all();
+        q.close_all(); // idempotent
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+    }
+
+    /// Feed a phased trace batch-by-batch through OnlineLift, speculate,
+    /// and check the sealed result reuses the speculation byte-for-byte.
+    #[test]
+    fn speculation_reuse_is_byte_identical() {
+        let src = r#"
+            int helper(int x) { return x * 3; }
+            int main() {
+                int i;
+                int acc = 0;
+                for (i = 0; i < 6; i++) acc += helper(i);
+                return acc;
+            }
+        "#;
+        let img = compile(src, &Profile::gcc44_o3()).unwrap();
+        let (trace, runs) = crate::trace::trace_image(&img, &[vec![]]);
+        let phased = lift_from_trace(&img, trace.clone(), runs.clone()).unwrap();
+
+        let mut ol = OnlineLift::new(&img, false);
+        for (i, edge) in trace.edges.iter().enumerate() {
+            ol.apply(Batch { input: 0, seq: i as u64, transfers: vec![*edge], ext_calls: vec![] });
+        }
+        ol.apply(Batch {
+            input: 0,
+            seq: trace.edges.len() as u64,
+            transfers: vec![],
+            ext_calls: trace.ext_calls.iter().map(|(pc, idx)| (*pc, *idx)).collect(),
+        });
+        assert!(ol.speculate(), "full CFG should pre-translate");
+        assert!(!ol.speculate(), "unchanged generation must not re-speculate");
+        let sealed = ol.seal(None, runs).unwrap();
+        assert_eq!(sealed.trace, phased.trace);
+        assert_eq!(sealed.cfg, phased.cfg);
+        assert_eq!(sealed.funcs, phased.funcs);
+        assert_eq!(format!("{:?}", sealed.module), format!("{:?}", phased.module));
+        assert_eq!(format!("{:?}", sealed.meta), format!("{:?}", phased.meta));
+    }
+
+    /// Edges applied in reverse order still converge to the same CFG:
+    /// update_end anomalies freeze the build and the phased fallback
+    /// produces the identical artifact set.
+    #[test]
+    fn hostile_edge_order_falls_back_to_phased() {
+        let src = r#"
+            int main() {
+                int c = getchar();
+                if (c == 'x') return 1;
+                return 2;
+            }
+        "#;
+        let img = compile(src, &Profile::gcc44_o3()).unwrap();
+        let (trace, runs) = crate::trace::trace_image(&img, &[b"q".to_vec()]);
+        let phased = lift_from_trace(&img, trace.clone(), runs.clone()).unwrap();
+
+        let mut ol = OnlineLift::new(&img, false);
+        let edges: Vec<_> = trace.edges.iter().rev().copied().collect();
+        ol.apply(Batch { input: 0, seq: 0, transfers: edges, ext_calls: vec![] });
+        ol.apply(Batch {
+            input: 0,
+            seq: 1,
+            transfers: vec![],
+            ext_calls: trace.ext_calls.iter().map(|(pc, idx)| (*pc, *idx)).collect(),
+        });
+        let sealed = ol.seal(None, runs).unwrap();
+        assert_eq!(sealed.cfg, phased.cfg);
+        assert_eq!(sealed.funcs, phased.funcs);
+        assert_eq!(format!("{:?}", sealed.module), format!("{:?}", phased.module));
+    }
+
+    #[test]
+    fn trace_only_mode_builds_no_blocks_and_seals_phased() {
+        let src = "int main() { return 7; }";
+        let img = compile(src, &Profile::gcc44_o3()).unwrap();
+        let (trace, runs) = crate::trace::trace_image(&img, &[vec![]]);
+        let mut ol = OnlineLift::new(&img, true);
+        ol.apply(Batch {
+            input: 0,
+            seq: 0,
+            transfers: trace.edges.iter().copied().collect(),
+            ext_calls: trace.ext_calls.iter().map(|(pc, idx)| (*pc, *idx)).collect(),
+        });
+        assert!(ol.blocks.is_empty());
+        let sealed = ol.seal(None, runs.clone()).unwrap();
+        let phased = lift_from_trace(&img, trace, runs).unwrap();
+        assert_eq!(sealed.cfg, phased.cfg);
+    }
+}

@@ -2,8 +2,9 @@
 //! user-provided inputs and merge the observed control transfers (paper
 //! Fig. 4: trace → merge CFGs).
 
+use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
-use wyt_emu::{Machine, RunResult, TraceSink, TransferKind};
+use wyt_emu::{EdgeCache, Machine, RunResult, TraceSink, TransferKind};
 use wyt_isa::image::Image;
 
 /// Merged dynamic control-flow observations from one or more runs.
@@ -15,11 +16,52 @@ pub struct Trace {
     pub ext_calls: BTreeMap<u32, u16>,
 }
 
+/// What [`Trace::merge`] added: how many of the other trace's edges and
+/// external-call bindings were new to this one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeDelta {
+    /// Edges not previously present.
+    pub new_edges: usize,
+    /// External-call sites not previously bound.
+    pub new_ext_calls: usize,
+}
+
 impl Trace {
     /// All observed targets of the transfer instruction at `from` with a
     /// kind accepted by `pred`.
+    ///
+    /// The edge set is ordered by `(from, to, kind)`, so this is a range
+    /// scan over just the `from` prefix — not a walk of the whole set.
+    /// The `lift.trace.query_visited` counter records how many entries
+    /// each query actually touched (the old full-scan cost would have
+    /// been `edges.len()` per query).
     pub fn targets_from(&self, from: u32, pred: impl Fn(TransferKind) -> bool) -> Vec<u32> {
-        self.edges.iter().filter(|(f, _, k)| *f == from && pred(*k)).map(|(_, t, _)| *t).collect()
+        let mut visited = 0u64;
+        let targets = self
+            .edges
+            .range((from, u32::MIN, TransferKind::MIN)..=(from, u32::MAX, TransferKind::MAX))
+            .inspect(|_| visited += 1)
+            .filter(|(_, _, k)| pred(*k))
+            .map(|(_, t, _)| *t)
+            .collect();
+        wyt_obs::counter("lift.trace.queries", 1);
+        wyt_obs::counter("lift.trace.query_visited", visited);
+        targets
+    }
+
+    /// [`Trace::targets_from`] without the obs counters — for the
+    /// streaming consumer thread, which must not write into the global
+    /// sink (its contribution would be interleaving-dependent).
+    pub(crate) fn targets_from_quiet(
+        &self,
+        from: u32,
+        pred: impl Fn(TransferKind) -> bool,
+    ) -> Vec<u32> {
+        self.edges
+            .range((from, u32::MIN, TransferKind::MIN)..=(from, u32::MAX, TransferKind::MAX))
+            .filter(|(_, _, k)| pred(*k))
+            .map(|(_, t, _)| *t)
+            .collect()
     }
 
     /// Addresses that were entered by a (direct or indirect) call.
@@ -34,24 +76,49 @@ impl Trace {
 
     /// Fold another trace's observations into this one (the incremental
     /// merge step of the healing loop). Returns how many of `other`'s
-    /// edges were new.
-    pub fn merge(&mut self, other: &Trace) -> usize {
+    /// edges and ext-call bindings were new.
+    ///
+    /// A site that is already bound must rebind to the same import: the
+    /// instruction at a pc calls whatever import its bytes name, so a
+    /// same-pc different-import merge is trace corruption and trips a
+    /// debug assertion instead of being silently masked.
+    pub fn merge(&mut self, other: &Trace) -> MergeDelta {
         let before = self.edges.len();
         self.edges.extend(other.edges.iter().copied());
+        let mut new_ext_calls = 0;
         for (pc, idx) in &other.ext_calls {
-            self.ext_calls.insert(*pc, *idx);
+            match self.ext_calls.entry(*pc) {
+                Entry::Vacant(v) => {
+                    v.insert(*idx);
+                    new_ext_calls += 1;
+                }
+                Entry::Occupied(o) => debug_assert_eq!(
+                    *o.get(),
+                    *idx,
+                    "ext call at {pc:#x} rebound from import {} to {}",
+                    o.get(),
+                    idx
+                ),
+            }
         }
-        self.edges.len() - before
+        MergeDelta { new_edges: self.edges.len() - before, new_ext_calls }
     }
 }
 
+/// The phased-path sink: records straight into a [`Trace`], with a
+/// last-N [`EdgeCache`] in front so steady-state hot loops skip the
+/// tree probe. Suppressed edges are by definition already in the set,
+/// so the resulting trace is identical with or without the cache.
 struct Recorder<'t> {
     trace: &'t mut Trace,
+    cache: EdgeCache,
 }
 
 impl TraceSink for Recorder<'_> {
     fn transfer(&mut self, from: u32, to: u32, kind: TransferKind) {
-        self.trace.edges.insert((from, to, kind));
+        if self.cache.note(from, to, kind) {
+            self.trace.edges.insert((from, to, kind));
+        }
     }
 
     fn ext_call(&mut self, pc: u32, idx: u16, _esp: u32) {
@@ -65,11 +132,15 @@ impl TraceSink for Recorder<'_> {
 pub fn trace_image(img: &Image, inputs: &[Vec<u8>]) -> (Trace, Vec<RunResult>) {
     let mut trace = Trace::default();
     let mut results = Vec::new();
+    let mut dedup_hits = 0;
     for input in inputs {
         let mut m = Machine::new(img, input.clone());
-        let r = m.run_with(&mut Recorder { trace: &mut trace });
+        let mut rec = Recorder { trace: &mut trace, cache: EdgeCache::default() };
+        let r = m.run_with(&mut rec);
+        dedup_hits += rec.cache.hits();
         results.push(r);
     }
+    wyt_obs::counter("lift.trace.dedup_hits", dedup_hits);
     (trace, results)
 }
 
@@ -112,5 +183,94 @@ mod tests {
         let b_addr = img.symbol("b").unwrap();
         let calls = t.call_targets();
         assert!(calls.contains(&a_addr) && calls.contains(&b_addr));
+    }
+
+    /// The edge cache only suppresses inserts that would have been
+    /// set-level no-ops: the trace a cached recorder produces is
+    /// byte-identical to one recorded edge by edge with no cache.
+    #[test]
+    fn edge_cache_leaves_the_trace_unchanged() {
+        struct Plain<'t>(&'t mut Trace);
+        impl TraceSink for Plain<'_> {
+            fn transfer(&mut self, from: u32, to: u32, kind: TransferKind) {
+                self.0.edges.insert((from, to, kind));
+            }
+            fn ext_call(&mut self, pc: u32, idx: u16, _esp: u32) {
+                self.0.ext_calls.insert(pc, idx);
+            }
+        }
+        let src = r#"
+            int main() {
+                int i;
+                int acc = 0;
+                for (i = 0; i < 200; i++) acc += i & 7;
+                printf("%d\n", acc);
+                return 0;
+            }
+        "#;
+        for profile in [Profile::gcc12_o3(), Profile::gcc44_o3()] {
+            let img = compile(src, &profile).unwrap();
+            let (cached, _) = trace_image(&img, &[vec![]]);
+            let mut plain = Trace::default();
+            let r = Machine::new(&img, vec![]).run_with(&mut Plain(&mut plain));
+            assert!(r.ok());
+            assert_eq!(cached, plain, "cache must not change the merged trace");
+        }
+        // And the cache actually fires on the hot loop.
+        let img = compile(src, &Profile::gcc12_o3()).unwrap();
+        let mut trace = Trace::default();
+        let mut rec = Recorder { trace: &mut trace, cache: EdgeCache::default() };
+        assert!(Machine::new(&img, vec![]).run_with(&mut rec).ok());
+        assert!(rec.cache.hits() > 100, "hot loop should hit the cache");
+    }
+
+    /// The range-bounded `targets_from` visits only the queried `from`
+    /// prefix of the edge set, not the whole set.
+    #[test]
+    fn targets_from_is_a_range_scan() {
+        let mut t = Trace::default();
+        for from in 0..64u32 {
+            for to in 0..4u32 {
+                t.edges.insert((from * 16, 1000 + to, TransferKind::IndJump));
+            }
+        }
+        let ((), snap) = wyt_obs::with_local(|| {
+            wyt_obs::set_enabled(true);
+            let ts = t.targets_from(16, |k| k == TransferKind::IndJump);
+            wyt_obs::set_enabled(false);
+            assert_eq!(ts, vec![1000, 1001, 1002, 1003]);
+        });
+        let visited = snap.counters.get("lift.trace.query_visited").copied().unwrap_or(0);
+        assert_eq!(visited, 4, "query must touch only its own prefix");
+        assert!((visited as usize) < t.edges.len());
+    }
+
+    #[test]
+    fn merge_reports_edge_and_ext_call_deltas() {
+        let mut a = Trace::default();
+        a.edges.insert((1, 2, TransferKind::Jump));
+        a.ext_calls.insert(10, 0);
+        let mut b = Trace::default();
+        b.edges.insert((1, 2, TransferKind::Jump));
+        b.edges.insert((3, 4, TransferKind::Call));
+        b.ext_calls.insert(10, 0);
+        b.ext_calls.insert(20, 1);
+        let d = a.merge(&b);
+        assert_eq!(d, MergeDelta { new_edges: 1, new_ext_calls: 1 });
+        assert_eq!(a.ext_calls.len(), 2);
+        // Merging again adds nothing.
+        let d2 = a.merge(&b);
+        assert_eq!(d2, MergeDelta { new_edges: 0, new_ext_calls: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "rebound")]
+    #[cfg(debug_assertions)]
+    fn merge_rejects_rebound_ext_call() {
+        let mut a = Trace::default();
+        a.ext_calls.insert(10, 0);
+        let mut b = Trace::default();
+        b.ext_calls.insert(10, 3);
+        let _ = a.merge(&b);
     }
 }

@@ -53,6 +53,21 @@ echo "==> parallel determinism gate (WYT_PAR=4)"
 WYT_PAR=4 cargo test -q --offline --workspace
 WYT_PAR=4 WYT_OBS=json cargo run --release --offline -q -p wyt-bench --bin report -- --check >/dev/null
 
+echo "==> streaming lift gate (WYT_STREAM=1: tests, report schema, fault hooks, diff drift)"
+WYT_STREAM=1 WYT_PAR=4 cargo test -q --offline --workspace
+WYT_STREAM=1 WYT_PAR=4 WYT_OBS=json \
+    cargo run --release --offline -q -p wyt-bench --bin report -- --check >/dev/null
+WYT_STREAM=1 WYT_FAULT=0xc0ffee cargo test -q --offline --test fault fault_smoke
+# Renaming a stream schema key in an otherwise-clean fresh bench JSON
+# must trip the diff gate (key-set drift is a hard failure).
+sed 's/"streamed_ns"/"streamed_time_ns"/' "$STORE_TMP/fresh/BENCH_figure7.json" \
+    > "$STORE_TMP/fresh/stream_mutated.json"
+if cargo run --release --offline -q -p wyt-bench --bin report -- \
+    --diff results/BENCH_figure7.json "$STORE_TMP/fresh/stream_mutated.json" 2>/dev/null; then
+    echo "FAIL: diff gate did not detect stream schema drift" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -1,0 +1,245 @@
+//! Determinism and liveness gates for the streaming trace→lift path
+//! (`wyt_lifter::stream`): whatever the queue capacity, thread count or
+//! producer fate, the streamed [`wyt_lifter::Lifted`] must be
+//! byte-identical to the phased pipeline's.
+//!
+//! Streaming mode, the thread pool and `WYT_STREAM_CAP` are all
+//! process-global, so every test here serializes on one lock (same
+//! discipline as `tests/par.rs`).
+
+use std::sync::Mutex;
+use wyt_lifter::stream::set_override;
+use wyt_lifter::{lift_image, lift_image_faulted, Lifted, Trace};
+use wyt_minicc::{compile, Profile};
+use wyt_testkit::progen::{self, gen_prog, shrink_prog};
+use wyt_testkit::prop::{check, Config};
+
+static STREAM_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with streaming forced on and the pool pinned to `n` workers.
+fn streamed<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    set_override(Some(true));
+    wyt_par::set_threads(n);
+    let r = f();
+    wyt_par::set_threads(1);
+    set_override(None);
+    r
+}
+
+/// Run `f` with streaming forced off (the phased reference).
+fn phased<R>(f: impl FnOnce() -> R) -> R {
+    set_override(Some(false));
+    wyt_par::set_threads(1);
+    let r = f();
+    set_override(None);
+    r
+}
+
+/// Every artifact of a lift, byte-comparable. `Module`, `LiftedMeta` and
+/// `RunResult` don't implement `PartialEq`, so they compare via their
+/// `Debug` rendering (which covers every field).
+fn fingerprint(l: &Lifted) -> (Trace, String, String, String, String, String) {
+    (
+        l.trace.clone(),
+        format!("{:?}", l.cfg),
+        format!("{:?}", l.funcs),
+        format!("{:?}", l.module),
+        format!("{:?}", l.meta),
+        format!("{:?}", l.baseline_runs),
+    )
+}
+
+fn assert_identical(streamed: &Lifted, phased: &Lifted, what: &str) {
+    assert_eq!(fingerprint(streamed), fingerprint(phased), "streamed != phased: {what}");
+}
+
+const LOOPY_SRC: &str = r#"
+    int mix(int x) { return (x * 3) ^ (x >> 1); }
+    int main() {
+        int i;
+        int acc = 0;
+        for (i = 0; i < 300; i++) acc += mix(i) & 31;
+        printf("%d\n", acc);
+        return acc & 0x7f;
+    }
+"#;
+
+/// Streamed == phased across the full 128-program random corpus, with
+/// the streamed lift run both serially (helping mode, no consumer
+/// thread) and with a 4-worker pool (concurrent producers + consumer).
+#[test]
+fn streamed_lift_is_byte_identical_on_corpus() {
+    let _l = STREAM_LOCK.lock().unwrap();
+    // The property mutates process-global state (stream override, thread
+    // count), so the case loop itself must stay serial; each case still
+    // exercises a 4-worker streamed lift internally.
+    wyt_par::set_threads(1);
+    check(
+        "streamed_lift_is_byte_identical_on_corpus",
+        &Config::cases(128),
+        gen_prog,
+        shrink_prog,
+        |p| {
+            let src = progen::render(p);
+            let profile = progen::profile(p.profile);
+            let img =
+                compile(&src, &profile).map_err(|e| format!("compile failed: {e}"))?.stripped();
+            let inputs = vec![p.input.clone(), Vec::new()];
+            let reference = phased(|| lift_image(&img, &inputs));
+            let serial = streamed(1, || lift_image(&img, &inputs));
+            let par = streamed(4, || lift_image(&img, &inputs));
+            match (&reference, &serial, &par) {
+                (Ok(r), Ok(s), Ok(q)) => {
+                    assert_identical(s, r, "serial streaming");
+                    assert_identical(q, r, "WYT_PAR=4 streaming");
+                    Ok(())
+                }
+                (Err(r), Err(s), Err(q)) => {
+                    if format!("{r}") == format!("{s}") && format!("{r}") == format!("{q}") {
+                        Ok(())
+                    } else {
+                        Err(format!("error mismatch: phased={r} serial={s} par={q}"))
+                    }
+                }
+                _ => Err(format!(
+                    "ok/err disagreement: phased={} serial={} par={}",
+                    reference.is_ok(),
+                    serial.is_ok(),
+                    par.is_ok()
+                )),
+            }
+        },
+    );
+}
+
+/// A capacity-1 queue forces maximal backpressure; the pipeline must
+/// still terminate and agree with the phased path both serially (the
+/// producer helps drain) and in parallel (the producer blocks).
+#[test]
+fn capacity_one_queue_never_deadlocks() {
+    let _l = STREAM_LOCK.lock().unwrap();
+    let img = compile(LOOPY_SRC, &Profile::gcc12_o3()).unwrap().stripped();
+    let inputs = vec![vec![]];
+    let reference = phased(|| lift_image(&img, &inputs)).unwrap();
+    std::env::set_var(wyt_lifter::stream::CAP_ENV, "1");
+    let serial = streamed(1, || lift_image(&img, &inputs)).unwrap();
+    let par = streamed(4, || lift_image(&img, &inputs)).unwrap();
+    std::env::remove_var(wyt_lifter::stream::CAP_ENV);
+    assert_identical(&serial, &reference, "cap=1 serial");
+    assert_identical(&par, &reference, "cap=1 parallel");
+}
+
+/// A huge capacity request is clamped, not allocated, and the queue only
+/// ever buffers; results stay identical.
+#[test]
+fn huge_capacity_is_clamped_and_identical() {
+    let _l = STREAM_LOCK.lock().unwrap();
+    let img = compile(LOOPY_SRC, &Profile::gcc44_o3()).unwrap().stripped();
+    let inputs = vec![vec![], b"x".to_vec()];
+    let reference = phased(|| lift_image(&img, &inputs)).unwrap();
+    std::env::set_var(wyt_lifter::stream::CAP_ENV, "999999999");
+    let par = streamed(4, || lift_image(&img, &inputs)).unwrap();
+    std::env::remove_var(wyt_lifter::stream::CAP_ENV);
+    assert_identical(&par, &reference, "huge cap");
+}
+
+/// A producer whose program traps mid-run (divide by zero on one input)
+/// still flushes its tail and closes the queue: the lift completes and
+/// the trap is reported in the same baseline slot as the phased path.
+#[test]
+fn trapping_producer_drains_cleanly() {
+    let _l = STREAM_LOCK.lock().unwrap();
+    let src = r#"
+        int main() {
+            int c = getchar();
+            int i;
+            int acc = 0;
+            for (i = 0; i < 40; i++) acc += i * c;
+            return acc / (c - 65);
+        }
+    "#;
+    let img = compile(src, &Profile::gcc12_o3()).unwrap().stripped();
+    // Input "A" makes the final division trap; "B" exits cleanly.
+    let inputs = vec![b"A".to_vec(), b"B".to_vec()];
+    let reference = phased(|| lift_image(&img, &inputs)).unwrap();
+    assert!(
+        reference.baseline_runs[0].trap.is_some(),
+        "test premise: input A must trap (got {:?})",
+        reference.baseline_runs[0]
+    );
+    let serial = streamed(1, || lift_image(&img, &inputs)).unwrap();
+    let par = streamed(4, || lift_image(&img, &inputs)).unwrap();
+    assert_identical(&serial, &reference, "trapping producer, serial");
+    assert_identical(&par, &reference, "trapping producer, parallel");
+}
+
+/// With a fault hook installed the hook must see the *merged* trace
+/// before any CFG is built; streamed and phased paths agree on both the
+/// degraded artifacts and on structured errors.
+#[test]
+fn fault_hook_fires_on_merged_trace_before_sealing() {
+    let _l = STREAM_LOCK.lock().unwrap();
+    let img = compile(LOOPY_SRC, &Profile::gcc12_o3()).unwrap().stripped();
+    let inputs = vec![vec![]];
+
+    // A lossy hook: drop every conditional-fallthrough edge. Both paths
+    // must degrade identically.
+    let drop_falls = |t: &mut Trace| {
+        t.edges.retain(|(_, _, k)| *k != wyt_emu::TransferKind::CondFall);
+    };
+    let reference = phased(|| lift_image_faulted(&img, &inputs, Some(&drop_falls)));
+    let serial = streamed(1, || lift_image_faulted(&img, &inputs, Some(&drop_falls)));
+    let par = streamed(4, || lift_image_faulted(&img, &inputs, Some(&drop_falls)));
+    match (&reference, &serial, &par) {
+        (Ok(r), Ok(s), Ok(q)) => {
+            assert_identical(s, r, "faulted lift, serial");
+            assert_identical(q, r, "faulted lift, parallel");
+        }
+        (Err(r), Err(s), Err(q)) => {
+            assert_eq!(format!("{r}"), format!("{s}"), "faulted error, serial");
+            assert_eq!(format!("{r}"), format!("{q}"), "faulted error, parallel");
+        }
+        _ => panic!(
+            "ok/err disagreement: phased={} serial={} par={}",
+            reference.is_ok(),
+            serial.is_ok(),
+            par.is_ok()
+        ),
+    }
+
+    // A corrupting hook: inject a target outside the text segment. Every
+    // path must return the same structured CFG error.
+    let bogus = |t: &mut Trace| {
+        t.edges.insert((img.entry, 0xffff_fff0, wyt_emu::TransferKind::Call));
+    };
+    let reference = phased(|| lift_image_faulted(&img, &inputs, Some(&bogus)));
+    let streamed_err = streamed(4, || lift_image_faulted(&img, &inputs, Some(&bogus)));
+    let r = reference.expect_err("bogus target must fail the phased lift");
+    let s = streamed_err.expect_err("bogus target must fail the streamed lift");
+    assert_eq!(format!("{r}"), format!("{s}"), "structured errors must match");
+}
+
+/// Multi-input tracing is concurrent under streaming; input order, not
+/// completion order, determines the baseline-run order.
+#[test]
+fn baseline_runs_keep_input_order() {
+    let _l = STREAM_LOCK.lock().unwrap();
+    let src = r#"
+        int main() {
+            int c = getchar();
+            int i;
+            int acc = 0;
+            for (i = 0; i < c * 8; i++) acc += i;
+            printf("%d\n", acc);
+            return 0;
+        }
+    "#;
+    let img = compile(src, &Profile::gcc44_o3()).unwrap().stripped();
+    // Wildly different run lengths so completion order differs from
+    // input order under the 4-worker pool.
+    let inputs: Vec<Vec<u8>> = vec![b"~".to_vec(), b"\x01".to_vec(), b"P".to_vec()];
+    let reference = phased(|| lift_image(&img, &inputs)).unwrap();
+    let par = streamed(4, || lift_image(&img, &inputs)).unwrap();
+    assert_identical(&par, &reference, "multi-input ordering");
+    assert_eq!(par.baseline_runs.len(), 3);
+}
