@@ -122,10 +122,11 @@ fn check_store_json(j: &wyt_obs::Json) {
         s.get(k).and_then(|v| v.as_u64()).unwrap_or_else(|| panic!("store counters have {k}"))
     };
     let (hits, corrupt) = (count("hits"), count("corrupt"));
-    for k in ["misses", "puts", "evictions"] {
+    for k in ["misses", "puts", "evictions", "io_retry", "io_transient"] {
         count(k);
     }
     assert_eq!(corrupt, 0, "BENCH_store.json: committed run saw corrupt entries");
+    assert_eq!(count("io_fatal"), 0, "BENCH_store.json: committed run exhausted I/O retries");
     assert!(hits >= 1, "BENCH_store.json: warm pass never hit the store");
 }
 

@@ -24,12 +24,15 @@ use crate::artifact::{
     heal_from_json, heal_key, heal_payload, StoredArtifact, StoredFacts,
 };
 use crate::healing::{recompile_healing_seeded, Healed};
-use crate::pipeline::{recompile_with, validate, FaultInjector, Mode, RecompileError, Recompiled};
+use crate::pipeline::{
+    recompile_with_faults, validate, FaultInjector, Mode, RecompileError, Recompiled,
+};
 use std::collections::BTreeMap;
 use wyt_isa::image::Image;
 use wyt_obs::{mono_ns, HealingReport, Json, Span};
 use wyt_opt::OptLevel;
-use wyt_store::{Lookup, Store, StoreCounters};
+use wyt_par::supervise::{run_supervised, Budget, Supervised};
+use wyt_store::{FsckReport, Lookup, Store, StoreCounters};
 
 /// The outcome of a store-backed recompilation.
 #[derive(Debug)]
@@ -156,6 +159,26 @@ pub fn recompile_stored_phased(
     opt: OptLevel,
     stamp: u64,
 ) -> Result<(StoredOutcome, JobPhases), RecompileError> {
+    recompile_stored_phased_faulted(store, img, inputs, mode, opt, stamp, &FaultInjector::default())
+}
+
+/// [`recompile_stored_phased`] with a [`FaultInjector`] threaded into
+/// the cold pipeline — the chaos harness corrupts (or crashes) the
+/// trace of selected jobs through this to prove the batch supervisor
+/// isolates them.
+///
+/// # Errors
+/// Returns a [`RecompileError`] only from the cold pipeline; store
+/// failures of any kind degrade to a cold recompile.
+pub fn recompile_stored_phased_faulted(
+    store: &Store,
+    img: &Image,
+    inputs: &[Vec<u8>],
+    mode: Mode,
+    opt: OptLevel,
+    stamp: u64,
+    faults: &FaultInjector,
+) -> Result<(StoredOutcome, JobPhases), RecompileError> {
     let _s = Span::enter("store.recompile");
     let mut phases = JobPhases::default();
     let t0 = mono_ns();
@@ -180,7 +203,7 @@ pub fn recompile_stored_phased(
         return Ok((StoredOutcome::Warm(Box::new(art)), phases));
     }
     let t2 = mono_ns();
-    let rec = recompile_with(img, inputs, mode, opt)?;
+    let rec = recompile_with_faults(img, inputs, mode, opt, faults)?;
     phases.recompile_ns = mono_ns() - t2;
     let _ = store.put("artifact", &key, stamp, artifact_payload(&rec));
     Ok((StoredOutcome::Cold(Box::new(rec)), phases))
@@ -298,6 +321,36 @@ pub struct BatchJob {
     pub opt: OptLevel,
 }
 
+/// Typed terminal state of one batch job under supervision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Ran the pipeline cold and persisted the result.
+    Cold,
+    /// Served warm from the store (replay-validated).
+    Warm,
+    /// The pipeline returned its typed error.
+    Error,
+    /// The job panicked. It is quarantined — reported with its payload
+    /// — while the rest of the batch completed.
+    Crashed,
+    /// The job exceeded its deterministic fuel budget and was cancelled
+    /// at a preemption point.
+    Timeout,
+}
+
+impl JobOutcome {
+    /// Canonical lower-case name (the report schema value).
+    pub fn name(self) -> &'static str {
+        match self {
+            JobOutcome::Cold => "cold",
+            JobOutcome::Warm => "warm",
+            JobOutcome::Error => "error",
+            JobOutcome::Crashed => "crashed",
+            JobOutcome::Timeout => "timeout",
+        }
+    }
+}
+
 /// Per-job outcome row of a batch run.
 #[derive(Debug, Clone)]
 pub struct BatchJobResult {
@@ -305,8 +358,14 @@ pub struct BatchJobResult {
     pub name: String,
     /// Content key of the job's artifact entry.
     pub key: String,
-    /// `true` if the job was served from the store.
+    /// Typed terminal state.
+    pub outcome: JobOutcome,
+    /// `true` if the job was served from the store
+    /// (`outcome == JobOutcome::Warm`, kept as a field for direct use).
     pub warm: bool,
+    /// `true` if the supervisor re-ran the job after a crash or
+    /// timeout (the row records the final attempt).
+    pub retried: bool,
     /// Wall time of the job (excluded from the canonical report).
     pub wall_ns: u64,
     /// Per-phase wall-time breakdown (excluded from the canonical
@@ -328,6 +387,8 @@ pub struct BatchReport {
     /// entry, subtracted at exit — a shared long-lived store does not
     /// leak earlier runs into this report).
     pub counters: StoreCounters,
+    /// What fsck found when the batch's store was opened.
+    pub fsck: FsckReport,
     /// Worker threads used (excluded from the canonical report).
     pub threads: usize,
 }
@@ -352,9 +413,28 @@ impl BatchReport {
         j
     }
 
+    /// Totals over [`BatchReport::jobs`] by terminal state, plus how
+    /// many jobs the supervisor retried.
+    /// `(cold, warm, error, crashed, timeout, retried)`.
+    pub fn outcome_totals(&self) -> (u64, u64, u64, u64, u64, u64) {
+        let mut t = (0, 0, 0, 0, 0, 0);
+        for r in &self.jobs {
+            match r.outcome {
+                JobOutcome::Cold => t.0 += 1,
+                JobOutcome::Warm => t.1 += 1,
+                JobOutcome::Error => t.2 += 1,
+                JobOutcome::Crashed => t.3 += 1,
+                JobOutcome::Timeout => t.4 += 1,
+            }
+            t.5 += u64::from(r.retried);
+        }
+        t
+    }
+
     /// Canonical timing-free form: byte-identical across serial and
     /// parallel runs of the same queue against equal stores.
     pub fn to_json_deterministic(&self) -> Json {
+        let (cold, warm, error, crashed, timeout, retried) = self.outcome_totals();
         Json::obj(vec![
             (
                 "jobs",
@@ -365,7 +445,9 @@ impl BatchReport {
                             Json::obj(vec![
                                 ("name", Json::from(r.name.as_str())),
                                 ("key", Json::from(r.key.as_str())),
+                                ("outcome", Json::from(r.outcome.name())),
                                 ("warm", Json::Bool(r.warm)),
+                                ("retried", Json::Bool(r.retried)),
                                 ("degradations", Json::from(r.degradations)),
                                 ("error", r.error.as_deref().map_or(Json::Null, Json::from)),
                             ])
@@ -373,13 +455,43 @@ impl BatchReport {
                         .collect(),
                 ),
             ),
+            (
+                "outcomes",
+                Json::obj(vec![
+                    ("cold", Json::from(cold)),
+                    ("warm", Json::from(warm)),
+                    ("error", Json::from(error)),
+                    ("crashed", Json::from(crashed)),
+                    ("timeout", Json::from(timeout)),
+                    ("retried", Json::from(retried)),
+                ]),
+            ),
             ("store", self.counters.to_json()),
+            ("fsck", self.fsck.to_json()),
         ])
     }
 }
 
+/// Supervision policy for [`run_batch`].
+#[derive(Debug, Clone, Copy)]
+pub struct SuperviseConfig {
+    /// Per-job fuel budget (see [`wyt_par::supervise`]).
+    pub budget: Budget,
+    /// Retry a crashed or timed-out job once before quarantining it —
+    /// absorbs one-shot environmental failures while deterministic
+    /// faults still surface (they fail identically twice).
+    pub retry: bool,
+}
+
+impl Default for SuperviseConfig {
+    fn default() -> SuperviseConfig {
+        SuperviseConfig { budget: Budget::from_env(), retry: true }
+    }
+}
+
 /// Run a queue of jobs against one shared store, scheduling the distinct
-/// jobs over [`wyt_par::par_map`].
+/// jobs over [`wyt_par::par_map`] with default supervision (per-job
+/// panic isolation, fuel watchdog, one retry).
 ///
 /// Determinism: keys are derived serially up front; jobs with equal keys
 /// are deduplicated (first submission wins the slot and its FIFO stamp)
@@ -388,6 +500,21 @@ impl BatchReport {
 /// paths, so parallel writers never collide. If `WYT_STORE_CAP` is set,
 /// the store is evicted down to that many entries at the end.
 pub fn run_batch(store: &Store, jobs: &[BatchJob]) -> BatchReport {
+    run_batch_supervised(store, jobs, &SuperviseConfig::default(), &|_| FaultInjector::default())
+}
+
+/// [`run_batch`] with an explicit supervision policy and a per-job
+/// [`FaultInjector`] factory (`inject(i)` is the submission index) —
+/// the chaos harness's entry point. A job that panics or overruns its
+/// budget becomes a typed [`JobOutcome::Crashed`]/[`JobOutcome::Timeout`]
+/// row while every other job completes normally; nothing escapes to the
+/// caller.
+pub fn run_batch_supervised(
+    store: &Store,
+    jobs: &[BatchJob],
+    cfg: &SuperviseConfig,
+    inject: &(dyn Fn(usize) -> FaultInjector + Sync),
+) -> BatchReport {
     let _s = Span::enter("store.batch");
     let counters_base = store.counters();
     let keys: Vec<String> =
@@ -404,35 +531,62 @@ pub fn run_batch(store: &Store, jobs: &[BatchJob]) -> BatchReport {
     let run_one = |i: usize| -> BatchJobResult {
         let job = &jobs[i];
         let t0 = mono_ns();
-        let outcome =
-            recompile_stored_phased(store, &job.image, &job.inputs, job.mode, job.opt, i as u64);
+        let attempt = || {
+            run_supervised(cfg.budget, || {
+                recompile_stored_phased_faulted(
+                    store,
+                    &job.image,
+                    &job.inputs,
+                    job.mode,
+                    job.opt,
+                    i as u64,
+                    &inject(i),
+                )
+            })
+        };
+        let mut sup = attempt();
+        let mut retried = false;
+        if cfg.retry && !matches!(sup, Supervised::Ok(_)) {
+            wyt_obs::counter("batch.job.retried", 1);
+            retried = true;
+            sup = attempt();
+        }
         let wall_ns = mono_ns() - t0;
-        match outcome {
-            Ok((o, phases)) => {
+        let mut row = BatchJobResult {
+            name: job.name.clone(),
+            key: keys[i].clone(),
+            outcome: JobOutcome::Error,
+            warm: false,
+            retried,
+            wall_ns,
+            phases: JobPhases::default(),
+            degradations: 0,
+            error: None,
+        };
+        match sup {
+            Supervised::Ok(Ok((o, phases))) => {
                 wyt_obs::record_hist(
                     if o.warm() { "batch.job.warm" } else { "batch.job.cold" },
                     wall_ns,
                 );
-                BatchJobResult {
-                    name: job.name.clone(),
-                    key: keys[i].clone(),
-                    warm: o.warm(),
-                    wall_ns,
-                    phases,
-                    degradations: o.degradations(),
-                    error: None,
-                }
+                row.outcome = if o.warm() { JobOutcome::Warm } else { JobOutcome::Cold };
+                row.warm = o.warm();
+                row.phases = phases;
+                row.degradations = o.degradations();
             }
-            Err(e) => BatchJobResult {
-                name: job.name.clone(),
-                key: keys[i].clone(),
-                warm: false,
-                wall_ns,
-                phases: JobPhases::default(),
-                degradations: 0,
-                error: Some(e.to_string()),
-            },
+            Supervised::Ok(Err(e)) => row.error = Some(e.to_string()),
+            Supervised::Timeout(b) => {
+                wyt_obs::counter("batch.job.timeout", 1);
+                row.outcome = JobOutcome::Timeout;
+                row.error = Some(b.to_string());
+            }
+            Supervised::Crashed(payload) => {
+                wyt_obs::counter("batch.job.crashed", 1);
+                row.outcome = JobOutcome::Crashed;
+                row.error = Some(payload);
+            }
         }
+        row
     };
 
     let unique_results = wyt_par::par_map(&unique, |_, &i| run_one(i));
@@ -446,14 +600,13 @@ pub fn run_batch(store: &Store, jobs: &[BatchJob]) -> BatchReport {
             rows[i] = Some(run_one(i));
         }
     }
-    if let Ok(cap) = std::env::var(wyt_store::CAP_ENV) {
-        if let Ok(cap) = cap.parse::<usize>() {
-            let _ = store.evict_to(cap);
-        }
+    if let Some(cap) = wyt_obs::env::env_usize_opt(wyt_store::CAP_ENV) {
+        let _ = store.evict_to(cap);
     }
     BatchReport {
         jobs: rows.into_iter().map(|r| r.expect("every slot resolved")).collect(),
         counters: store.counters().delta_since(&counters_base),
+        fsck: store.fsck_report(),
         threads: wyt_par::threads(),
     }
 }

@@ -97,6 +97,8 @@ fn replay(rec_img: &Image, native: &RunResult, input: &[u8]) -> Replay {
     let mut m = Machine::new(rec_img, input.to_vec());
     m.set_fuel(budget);
     let r = m.run();
+    // Watchdog preemption point (no-op outside a supervised batch job).
+    wyt_par::supervise::charge_steps(r.inst_count);
     match &r.trap {
         Some(Trap::TrapInst { pc, code }) if TrapCode::is_guard(*code) => {
             Replay::Guard { pc: *pc, code: *code }
@@ -357,6 +359,7 @@ pub fn recompile_healing_seeded(
         let mut m = Machine::new(img, input.clone());
         m.set_fuel(NATIVE_FUEL);
         let r = m.run();
+        wyt_par::supervise::charge_steps(r.inst_count);
         if !r.ok() {
             return Err(RecompileError::Validate(ValidateError {
                 input: i,
@@ -404,6 +407,10 @@ pub fn recompile_healing_seeded(
             break false;
         }
         report.rounds += 1;
+        // Watchdog: a healing round is the coarse unit of runaway-job
+        // fuel; a pathological heal loop is cancelled here, at a round
+        // boundary, rather than hanging the batch queue.
+        wyt_par::supervise::charge_round();
         let round_t0 = wyt_obs::enabled().then(wyt_obs::mono_ns);
 
         // 1. Attribute the trap through the image's guard-site table.

@@ -62,8 +62,8 @@ pub use accuracy::{evaluate_accuracy, AccuracyReport, MatchKind};
 pub use artifact::{artifact_key, facts_key, heal_key, image_digest, StoredFacts};
 pub use baseline::{recompile_secondwrite, SecondWriteError};
 pub use batch::{
-    recompile_healing_stored, recompile_stored, run_batch, BatchJob, BatchJobResult, BatchReport,
-    StoredHeal, StoredOutcome,
+    recompile_healing_stored, recompile_stored, run_batch, run_batch_supervised, BatchJob,
+    BatchJobResult, BatchReport, JobOutcome, StoredHeal, StoredOutcome, SuperviseConfig,
 };
 pub use healing::{
     recompile_healing, recompile_healing_faulted, recompile_healing_seeded, recompile_healing_with,

@@ -461,6 +461,10 @@ fn check_against_baseline(
         let mut m = Machine::new(image, input.clone());
         m.set_fuel(budget);
         let b = m.run();
+        // Safe preemption point for the batch watchdog: charge both the
+        // baseline and the replay against the job's fuel budget (a no-op
+        // outside a supervised job).
+        wyt_par::supervise::charge_steps(a.inst_count + b.inst_count);
         if !b.ok() {
             return Err(ValidateError {
                 input: i,
@@ -969,6 +973,10 @@ pub fn validate(
     for (i, input) in inputs.iter().enumerate() {
         let a = wyt_emu::run_image(original, input.clone());
         let b = wyt_emu::run_image(recompiled, input.clone());
+        // Safe preemption point for the batch watchdog: charge the
+        // retired steps of both replays against the job's fuel budget
+        // (a no-op outside a supervised job).
+        wyt_par::supervise::charge_steps(a.inst_count + b.inst_count);
         if !a.ok() {
             return Err(ValidateError { input: i, kind: MismatchKind::OriginalTrapped(a.trap) });
         }

@@ -95,13 +95,10 @@ pub fn enabled() -> bool {
     }
 }
 
-/// Queue capacity from `CAP_ENV`, clamped to `1..=65536`.
+/// Queue capacity from `CAP_ENV`, clamped to `1..=65536`. Malformed
+/// values warn once and fall back to the default.
 fn capacity() -> usize {
-    std::env::var(CAP_ENV)
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .map(|n| n.clamp(1, 65536))
-        .unwrap_or(64)
+    wyt_obs::env::env_usize(CAP_ENV, 64).clamp(1, 65536)
 }
 
 /// One flushed unit of trace records from a single producer.
@@ -153,11 +150,11 @@ impl Queue {
 
     /// Blocking push: waits for space (counting one stall per wait).
     pub fn push(&self, b: Batch) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = wyt_obs::lock_ok(&self.state);
         if s.batches.len() >= self.cap {
             s.stalls += 1;
             while s.batches.len() >= self.cap {
-                s = self.not_full.wait(s).unwrap();
+                s = self.not_full.wait(s).unwrap_or_else(|e| e.into_inner());
             }
         }
         s.batches.push_back(b);
@@ -170,7 +167,7 @@ impl Queue {
     /// (helping) mode uses this so a full queue never deadlocks a
     /// single-threaded pipeline.
     pub fn try_push(&self, b: Batch) -> Result<(), Batch> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = wyt_obs::lock_ok(&self.state);
         if s.batches.len() >= self.cap {
             s.stalls += 1;
             return Err(b);
@@ -184,7 +181,7 @@ impl Queue {
 
     /// Blocking pop; `None` once all producers closed and the queue is dry.
     pub fn pop(&self) -> Option<Batch> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = wyt_obs::lock_ok(&self.state);
         loop {
             if let Some(b) = s.batches.pop_front() {
                 self.not_full.notify_all();
@@ -193,13 +190,13 @@ impl Queue {
             if s.open == 0 {
                 return None;
             }
-            s = self.not_empty.wait(s).unwrap();
+            s = self.not_empty.wait(s).unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Non-blocking pop.
     pub fn try_pop(&self) -> Option<Batch> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = wyt_obs::lock_ok(&self.state);
         let b = s.batches.pop_front();
         if b.is_some() {
             self.not_full.notify_all();
@@ -209,7 +206,7 @@ impl Queue {
 
     /// One producer finished (flushed its tail).
     pub fn close_producer(&self) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = wyt_obs::lock_ok(&self.state);
         s.open = s.open.saturating_sub(1);
         if s.open == 0 {
             self.not_empty.notify_all();
@@ -219,7 +216,7 @@ impl Queue {
     /// Idempotent emergency close — unblocks the consumer even if a
     /// producer unwound before closing (scope guards call this on drop).
     pub fn close_all(&self) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = wyt_obs::lock_ok(&self.state);
         s.open = 0;
         self.not_empty.notify_all();
         self.not_full.notify_all();
@@ -227,17 +224,17 @@ impl Queue {
 
     /// Current queued depth.
     pub fn depth(&self) -> usize {
-        self.state.lock().unwrap().batches.len()
+        wyt_obs::lock_ok(&self.state).batches.len()
     }
 
     /// Producers still open.
     pub fn open_producers(&self) -> usize {
-        self.state.lock().unwrap().open
+        wyt_obs::lock_ok(&self.state).open
     }
 
     /// `(pushed, stalls, depth_max)` since construction.
     pub fn stats(&self) -> (u64, u64, usize) {
-        let s = self.state.lock().unwrap();
+        let s = wyt_obs::lock_ok(&self.state);
         (s.pushed, s.stalls, s.depth_max)
     }
 }
@@ -310,7 +307,7 @@ impl<'q, 'i> StreamSink<'q, 'i> {
                     Ok(()) => break,
                     Err(back) => {
                         batch = back;
-                        let mut l = lift.lock().unwrap();
+                        let mut l = wyt_obs::lock_ok(lift);
                         while let Some(queued) = self.q.try_pop() {
                             l.apply(queued);
                             self.stats.helped += 1;
@@ -741,7 +738,7 @@ pub fn stream_lift(
         || {
             let _t = wyt_obs::trace::guard("lift.stream.drain");
             while let Some(b) = q.pop() {
-                let mut l = lift.lock().unwrap();
+                let mut l = wyt_obs::lock_ok(&lift);
                 {
                     let _t = wyt_obs::trace::guard("lift.stream.apply");
                     l.apply(b);
@@ -760,7 +757,7 @@ pub fn stream_lift(
 
     let (results, sink_stats): (Vec<RunResult>, Vec<SinkStats>) = outputs.into_iter().unzip();
     let (pushed, stalls, depth_max) = q.stats();
-    let lift = lift.into_inner().unwrap();
+    let lift = lift.into_inner().unwrap_or_else(|e| e.into_inner());
     let (splits, spec_runs, anomaly) = lift.stats();
     let total_ns = wyt_obs::mono_ns().saturating_sub(t0).max(1);
     // All counters land on the caller thread, after the overlap, so the

@@ -24,6 +24,7 @@
 //! Enabling: call [`set_enabled`] directly, or [`init_from_env`] which
 //! reads the `WYT_OBS` environment variable (`json`, `pretty`, or `1`).
 
+pub mod env;
 pub mod hist;
 pub mod json;
 pub mod report;
@@ -31,6 +32,7 @@ pub mod sink;
 pub mod span;
 pub mod trace;
 
+pub use env::{env_u64, env_usize, env_usize_opt};
 pub use hist::Hist;
 pub use json::Json;
 pub use report::{
@@ -42,6 +44,17 @@ pub use sink::{
     with_local, OutputFormat, Snapshot, SpanRec,
 };
 pub use span::{fmt_ns, mono_ns, Span};
+
+/// Lock a mutex, recovering the guard when the lock is poisoned.
+///
+/// With panic isolation (`wyt_par::supervise`) a task may unwind while
+/// holding a shared lock; every value guarded this way is either
+/// replaced wholesale or append-only telemetry, so the poisoned state
+/// is still well-formed and the service must keep running rather than
+/// cascade the panic into every later locker.
+pub fn lock_ok<T: ?Sized>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 #[cfg(test)]
 pub(crate) mod testalloc {

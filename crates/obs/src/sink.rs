@@ -141,7 +141,7 @@ pub fn counter(name: &str, delta: u64) {
         }
     });
     if !local {
-        let mut reg = REGISTRY.lock().unwrap();
+        let mut reg = crate::lock_ok(&REGISTRY);
         *reg.counters.entry(name.to_string()).or_insert(0) += delta;
     }
 }
@@ -162,7 +162,7 @@ pub fn record_hist(name: &str, ns: u64) {
         }
     });
     if !local {
-        REGISTRY.lock().unwrap().hists.entry(name.to_string()).or_default().record(ns);
+        crate::lock_ok(&REGISTRY).hists.entry(name.to_string()).or_default().record(ns);
     }
 }
 
@@ -181,7 +181,7 @@ pub(crate) fn record_span(name: &'static str, start_ns: u64, dur_ns: u64, depth:
         }
     });
     if !local {
-        REGISTRY.lock().unwrap().spans.push(rec);
+        crate::lock_ok(&REGISTRY).spans.push(rec);
     }
 }
 
@@ -256,7 +256,7 @@ pub fn fold(snap: Snapshot) {
         }
     });
     if let Some((counters, spans, hists, events)) = pending {
-        merge(&mut REGISTRY.lock().unwrap(), counters, spans, hists);
+        merge(&mut crate::lock_ok(&REGISTRY), counters, spans, hists);
         crate::trace::append_folded(events);
     }
 }
@@ -332,7 +332,7 @@ impl Snapshot {
 
 /// Copy out the current registry contents.
 pub fn snapshot() -> Snapshot {
-    let reg = REGISTRY.lock().unwrap();
+    let reg = crate::lock_ok(&REGISTRY);
     Snapshot {
         counters: reg.counters.clone(),
         spans: reg.spans.clone(),
@@ -343,7 +343,7 @@ pub fn snapshot() -> Snapshot {
 
 /// Clear the registry (the state word is untouched).
 pub fn reset() {
-    let mut reg = REGISTRY.lock().unwrap();
+    let mut reg = crate::lock_ok(&REGISTRY);
     reg.counters.clear();
     reg.spans.clear();
     reg.hists.clear();

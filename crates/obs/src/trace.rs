@@ -174,11 +174,11 @@ fn push_ring(ev: TraceEvent) {
                 id: NEXT_RING.fetch_add(1, Ordering::Relaxed),
                 buf: VecDeque::new(),
             }));
-            RINGS.lock().unwrap().push(Arc::clone(&ring));
+            crate::lock_ok(&RINGS).push(Arc::clone(&ring));
             *slot = Some(ring);
         }
         let ring = slot.as_ref().unwrap();
-        let mut ring = ring.lock().unwrap();
+        let mut ring = crate::lock_ok(&**ring);
         let cap = CAPACITY.load(Ordering::Relaxed);
         while ring.buf.len() >= cap {
             ring.buf.pop_front();
@@ -269,27 +269,27 @@ impl Drop for Guard {
 /// ring in append order — i.e. the merged stream is ordered by
 /// `(thread, seq)`. Rings are emptied; the dropped count is untouched.
 pub fn drain() -> Vec<TraceEvent> {
-    let handles: Vec<Arc<Mutex<Ring>>> = RINGS.lock().unwrap().clone();
+    let handles: Vec<Arc<Mutex<Ring>>> = crate::lock_ok(&RINGS).clone();
     let mut keyed: Vec<(u64, Arc<Mutex<Ring>>)> = handles
         .into_iter()
         .map(|h| {
-            let id = h.lock().unwrap().id;
+            let id = crate::lock_ok(&*h).id;
             (id, h)
         })
         .collect();
     keyed.sort_by_key(|(id, _)| *id);
     let mut out = Vec::new();
     for (_, h) in keyed {
-        out.extend(h.lock().unwrap().buf.drain(..));
+        out.extend(crate::lock_ok(&*h).buf.drain(..));
     }
     out
 }
 
 /// Empty every ring and zero the dropped counter (tests).
 pub fn reset() {
-    let handles: Vec<Arc<Mutex<Ring>>> = RINGS.lock().unwrap().clone();
+    let handles: Vec<Arc<Mutex<Ring>>> = crate::lock_ok(&RINGS).clone();
     for h in handles {
-        h.lock().unwrap().buf.clear();
+        crate::lock_ok(&*h).buf.clear();
     }
     DROPPED.store(0, Ordering::Relaxed);
 }
@@ -382,10 +382,8 @@ pub fn write_chrome(path: &Path) -> io::Result<()> {
 /// return that path.
 pub fn init_from_env() -> Option<PathBuf> {
     let path = std::env::var_os(ENV).map(PathBuf::from)?;
-    if let Ok(cap) = std::env::var(CAP_ENV) {
-        if let Ok(n) = cap.parse::<usize>() {
-            set_capacity(n);
-        }
+    if let Some(n) = crate::env::env_usize_opt(CAP_ENV) {
+        set_capacity(n);
     }
     set_deterministic(std::env::var(DETERMINISTIC_ENV).as_deref() == Ok("1"));
     set_enabled(true);

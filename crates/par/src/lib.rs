@@ -56,6 +56,8 @@
 //! parallelism. [`set_threads`] overrides in-process (tests use it to
 //! compare serial and parallel runs byte-for-byte).
 
+pub mod supervise;
+
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -76,16 +78,12 @@ thread_local! {
 }
 
 fn resolve_threads() -> usize {
-    let hw = || std::thread::available_parallelism().map_or(1, |n| n.get());
-    let n = match std::env::var(ENV) {
-        Ok(s) => match s.trim().parse::<usize>() {
-            Ok(0) => 1,
-            Ok(n) => n,
-            // Unrecognized values fall back to the hardware default, like
-            // an unset variable.
-            Err(_) => hw(),
-        },
-        Err(_) => hw(),
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Unrecognized values warn once and fall back to the hardware
+    // default, like an unset variable; `0` means serial.
+    let n = match wyt_obs::env::env_usize(ENV, hw) {
+        0 => 1,
+        n => n,
     };
     n.clamp(1, MAX_THREADS)
 }
@@ -224,7 +222,7 @@ static PROFILE: Mutex<Vec<wyt_obs::WorkerStat>> = Mutex::new(Vec::new());
 /// Snapshot of the per-worker utilization accumulators (empty until a
 /// pool runs with observability on).
 pub fn worker_profile() -> Vec<wyt_obs::WorkerStat> {
-    PROFILE.lock().unwrap().clone()
+    wyt_obs::lock_ok(&PROFILE).clone()
 }
 
 /// The per-worker utilization accumulated since `base` (a
@@ -363,7 +361,7 @@ fn worker<R>(
     }
     if let Some(t0) = t_start {
         let idle = (wyt_obs::mono_ns() - t0).saturating_sub(busy);
-        let mut profile = PROFILE.lock().unwrap();
+        let mut profile = wyt_obs::lock_ok(&PROFILE);
         if profile.len() <= id {
             let next = profile.len()..=id;
             profile.extend(
@@ -404,7 +402,7 @@ where
     }
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
     par_indexed(slots.len(), |i| {
-        let item = slots[i].lock().unwrap().take().expect("each slot is claimed exactly once");
+        let item = wyt_obs::lock_ok(&slots[i]).take().expect("each slot is claimed exactly once");
         f(i, item)
     })
 }

@@ -1,0 +1,257 @@
+//! Deterministic job supervision: panic isolation + fuel watchdogs.
+//!
+//! `run_batch` must survive any single job crashing or running away.
+//! Wall-clock deadlines would break the repo's core determinism
+//! contract (serial and `WYT_PAR=4` runs are byte-identical), so the
+//! watchdog is *fuel-derived* instead: a job gets a budget of retired
+//! emulator steps and healing rounds, charged at safe preemption points
+//! (after each emulator run, at each healing-round boundary). Exceeding
+//! the budget raises a typed panic ([`BudgetExceeded`]) that the
+//! supervisor catches and reports as [`Supervised::Timeout`]; any other
+//! panic becomes [`Supervised::Crashed`] with its rendered payload.
+//!
+//! The budget lives in a thread-local installed by [`run_supervised`].
+//! That is sound here because a batch job is exactly one pool task on
+//! one thread: nested parallel entry points run inline on the worker
+//! (`IN_POOL`), so every charge site the job reaches executes on the
+//! thread that holds its budget. Code running outside any supervised
+//! scope charges into the void — [`charge_steps`] is a no-op — so
+//! ordinary single-recompile callers never pay or observe anything.
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Environment override for the per-job step ceiling (decimal or
+/// `0x`-hex; parsed warn-and-default via [`wyt_obs::env`]).
+pub const BUDGET_ENV: &str = "WYT_JOB_BUDGET";
+
+/// Default retired-step ceiling per job. The heaviest corpus programs
+/// retire ~10^6 steps per validation input; 2^33 leaves two orders of
+/// magnitude of headroom while still catching genuinely unbounded
+/// loops.
+pub const DEFAULT_STEPS: u64 = 1 << 33;
+
+/// Default healing-round ceiling per job; the healing loop's own
+/// internal cap is `2 * held_out + 4`, far below this.
+pub const DEFAULT_ROUNDS: u64 = 512;
+
+/// A per-job execution budget in deterministic fuel units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Ceiling on retired emulator steps (validation replays, healing
+    /// re-traces, native baselines).
+    pub steps: u64,
+    /// Ceiling on healing rounds.
+    pub rounds: u64,
+}
+
+impl Budget {
+    /// The default budget, honoring a `WYT_JOB_BUDGET` step override.
+    pub fn from_env() -> Budget {
+        Budget {
+            steps: wyt_obs::env::env_u64(BUDGET_ENV, DEFAULT_STEPS).max(1),
+            rounds: DEFAULT_ROUNDS,
+        }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget::from_env()
+    }
+}
+
+/// Panic payload raised at a charge site when the budget runs out.
+/// [`run_supervised`] downcasts it back into a typed outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// Which ceiling tripped: `"steps"` or `"rounds"`.
+    pub what: &'static str,
+    /// Fuel charged so far, including the charge that tripped.
+    pub spent: u64,
+    /// The configured ceiling.
+    pub limit: u64,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job budget exhausted: {} {}/{}", self.what, self.spent, self.limit)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct BudgetState {
+    limit: Budget,
+    steps_spent: u64,
+    rounds_spent: u64,
+}
+
+thread_local! {
+    static ACTIVE: Cell<Option<BudgetState>> = const { Cell::new(None) };
+    /// Set while a supervised job runs so the process panic hook stays
+    /// quiet: an isolated job's panic is a *reported outcome*, not a
+    /// diagnostic the operator should see once per crashed job.
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Charge `n` retired steps against the active budget, if any.
+/// Panics with [`BudgetExceeded`] when the ceiling is crossed; this is
+/// the safe preemption point the watchdog cancels at.
+pub fn charge_steps(n: u64) {
+    charge(n, 0);
+}
+
+/// Charge one healing round against the active budget, if any.
+pub fn charge_round() {
+    charge(0, 1);
+}
+
+fn charge(steps: u64, rounds: u64) {
+    let Some(mut st) = ACTIVE.get() else { return };
+    st.steps_spent = st.steps_spent.saturating_add(steps);
+    st.rounds_spent = st.rounds_spent.saturating_add(rounds);
+    ACTIVE.set(Some(st));
+    let over = if st.steps_spent > st.limit.steps {
+        BudgetExceeded { what: "steps", spent: st.steps_spent, limit: st.limit.steps }
+    } else if st.rounds_spent > st.limit.rounds {
+        BudgetExceeded { what: "rounds", spent: st.rounds_spent, limit: st.limit.rounds }
+    } else {
+        return;
+    };
+    panic::panic_any(over);
+}
+
+/// Is a supervised budget installed on this thread? (Test hook.)
+pub fn budget_active() -> bool {
+    ACTIVE.get().is_some()
+}
+
+/// The outcome of one supervised job.
+#[derive(Debug)]
+pub enum Supervised<R> {
+    /// The job ran to completion (it may still have returned its own
+    /// domain error).
+    Ok(R),
+    /// The job exceeded its deterministic fuel budget and was cancelled
+    /// at a preemption point.
+    Timeout(BudgetExceeded),
+    /// The job panicked; the payload is rendered to a string.
+    Crashed(String),
+}
+
+fn install_quiet_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET.try_with(Cell::get).unwrap_or(false) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn payload_str(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Run `f` under `budget` with panic isolation: a completed call
+/// returns `Ok`, a budget trip returns `Timeout`, any other panic
+/// returns `Crashed`. Unwinding is contained to this call; locks the
+/// job poisoned are recovered by `wyt_obs::lock_ok` at their lockers.
+/// Nestable (the previous budget is restored on exit), though in
+/// practice one batch job is one supervised scope.
+pub fn run_supervised<R>(budget: Budget, f: impl FnOnce() -> R) -> Supervised<R> {
+    install_quiet_hook();
+    let prev = ACTIVE.replace(Some(BudgetState {
+        limit: Budget { steps: budget.steps.max(1), rounds: budget.rounds.max(1) },
+        steps_spent: 0,
+        rounds_spent: 0,
+    }));
+    let prev_quiet = QUIET.replace(true);
+    let r = panic::catch_unwind(AssertUnwindSafe(f));
+    QUIET.set(prev_quiet);
+    ACTIVE.set(prev);
+    match r {
+        Ok(v) => Supervised::Ok(v),
+        Err(p) => match p.downcast::<BudgetExceeded>() {
+            Ok(b) => Supervised::Timeout(*b),
+            Err(p) => Supervised::Crashed(payload_str(p.as_ref())),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEST_BUDGET: Budget = Budget { steps: 1000, rounds: 4 };
+
+    #[test]
+    fn completes_within_budget() {
+        let r = run_supervised(TEST_BUDGET, || {
+            charge_steps(999);
+            42
+        });
+        assert!(matches!(r, Supervised::Ok(42)));
+    }
+
+    #[test]
+    fn step_overrun_times_out() {
+        let r = run_supervised(TEST_BUDGET, || {
+            charge_steps(500);
+            charge_steps(501);
+            unreachable!("must be cancelled at the second charge");
+        });
+        match r {
+            Supervised::Timeout(b) => {
+                assert_eq!(b.what, "steps");
+                assert_eq!(b.spent, 1001);
+                assert_eq!(b.limit, 1000);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_overrun_times_out() {
+        let r: Supervised<()> = run_supervised(TEST_BUDGET, || loop {
+            charge_round();
+        });
+        assert!(matches!(r, Supervised::Timeout(BudgetExceeded { what: "rounds", .. })));
+    }
+
+    #[test]
+    fn panic_is_isolated_with_payload() {
+        let r: Supervised<()> = run_supervised(TEST_BUDGET, || panic!("boom {}", 7));
+        match r {
+            Supervised::Crashed(msg) => assert_eq!(msg, "boom 7"),
+            other => panic!("expected crash, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn charges_outside_supervision_are_noops() {
+        assert!(!budget_active());
+        charge_steps(u64::MAX);
+        charge_round();
+    }
+
+    #[test]
+    fn budget_does_not_leak_across_jobs() {
+        let _ = run_supervised(TEST_BUDGET, || charge_steps(900));
+        let r = run_supervised(TEST_BUDGET, || {
+            charge_steps(900);
+            1
+        });
+        assert!(matches!(r, Supervised::Ok(1)), "fresh job must get a fresh budget");
+        assert!(!budget_active());
+    }
+}

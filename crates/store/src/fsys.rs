@@ -1,0 +1,420 @@
+//! Filesystem abstraction for the store, plus seeded fault injection.
+//!
+//! [`Store`](crate::Store) performs every disk operation through the
+//! [`StoreFs`] trait. Production uses [`RealFs`] (a `std::fs`
+//! passthrough); chaos tests swap in [`FaultFs`], which injects
+//! *deterministic* faults — transient `EIO`/`ENOSPC`, failed renames,
+//! stale reads, and torn writes at an armed kill point — so the
+//! retry/backoff and fsck machinery can be exercised without a real
+//! flaky disk.
+//!
+//! Determinism contract: a [`FaultFs`] decision is a pure function of
+//! `(seed, operation kind, file name, per-(op,name) occurrence index)`.
+//! It never depends on global operation order or on the store's root
+//! directory, so a serial and a `WYT_PAR=4` batch run over the same
+//! jobs observe byte-identical fault schedules even though their
+//! interleavings (and temp roots) differ. The one exception is the
+//! global-ordinal kill switch ([`FaultFs::arm_kill`]), which models a
+//! process crash and is only meaningful in serial tests.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The filesystem surface the store needs. Implementations must be
+/// shareable across the batch pool.
+pub trait StoreFs: Send + Sync + std::fmt::Debug {
+    fn read_to_string(&self, p: &Path) -> io::Result<String>;
+    fn write(&self, p: &Path, data: &[u8]) -> io::Result<()>;
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    fn remove_file(&self, p: &Path) -> io::Result<()>;
+    fn create_dir_all(&self, p: &Path) -> io::Result<()>;
+    /// Entries of `p` as full paths. Unordered; callers sort.
+    fn read_dir(&self, p: &Path) -> io::Result<Vec<PathBuf>>;
+}
+
+/// `std::fs` passthrough; the production filesystem.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealFs;
+
+impl StoreFs for RealFs {
+    fn read_to_string(&self, p: &Path) -> io::Result<String> {
+        std::fs::read_to_string(p)
+    }
+    fn write(&self, p: &Path, data: &[u8]) -> io::Result<()> {
+        std::fs::write(p, data)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn remove_file(&self, p: &Path) -> io::Result<()> {
+        std::fs::remove_file(p)
+    }
+    fn create_dir_all(&self, p: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(p)
+    }
+    fn read_dir(&self, p: &Path) -> io::Result<Vec<PathBuf>> {
+        // Individual entries that vanish mid-scan are skipped; the scan
+        // itself must not fail over one racing unlink.
+        Ok(std::fs::read_dir(p)?.filter_map(|e| e.ok()).map(|e| e.path()).collect())
+    }
+}
+
+/// Per-mille probabilities for each injected fault class, plus the cap
+/// on how many consecutive attempts of one `(op, path)` fail. Keeping
+/// `max_fails` below the store's retry budget means every transient
+/// fault eventually succeeds — the configuration chaos gates use to
+/// assert faults are *absorbed*, not surfaced.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Transient read failure (`EIO`-class), per-mille.
+    pub read_transient: u16,
+    /// Transient write failure (`EIO`/`ENOSPC`), per-mille.
+    pub write_transient: u16,
+    /// Transient rename failure, per-mille.
+    pub rename_transient: u16,
+    /// Stale read: the first read of a path after an overwrite observes
+    /// the pre-overwrite state (a non-coherent cache), per-mille.
+    pub stale_read: u16,
+    /// Max consecutive injected failures per `(op, path)`.
+    pub max_fails: u32,
+}
+
+impl FaultPlan {
+    /// Nothing injected (kill-switch-only configurations).
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            read_transient: 0,
+            write_transient: 0,
+            rename_transient: 0,
+            stale_read: 0,
+            max_fails: 0,
+        }
+    }
+
+    /// A moderately hostile disk whose every fault is retryable within
+    /// the store's retry budget.
+    pub fn transient_only() -> FaultPlan {
+        FaultPlan {
+            read_transient: 250,
+            write_transient: 250,
+            rename_transient: 150,
+            stale_read: 0,
+            max_fails: 2,
+        }
+    }
+}
+
+const OP_READ: u8 = 1;
+const OP_WRITE: u8 = 2;
+const OP_RENAME: u8 = 3;
+const OP_REMOVE: u8 = 4;
+const OP_MKDIR: u8 = 5;
+const OP_LIST: u8 = 6;
+const OP_STALE: u8 = 7;
+
+/// Kill switch disarmed.
+const DISARMED: u64 = u64::MAX;
+
+#[derive(Debug)]
+struct Inner {
+    seed: u64,
+    plan: FaultPlan,
+    /// Occurrence index per (op, file name) — the deterministic clock
+    /// fault decisions are keyed on.
+    counts: Mutex<BTreeMap<(u8, String), u64>>,
+    /// Pre-overwrite content per path (`None` = did not exist), feeding
+    /// stale reads.
+    prior: Mutex<BTreeMap<PathBuf, Option<String>>>,
+    /// Global operation ordinal (all ops, including post-kill ones).
+    ops: AtomicU64,
+    /// Ordinal at which the "process" dies mid-operation.
+    kill_at: AtomicU64,
+}
+
+/// A seeded, deterministic fault-injecting [`StoreFs`]. Cheap to clone;
+/// clones share state, so a test can keep a handle to the instance it
+/// boxed into [`Store::open_with`](crate::Store::open_with).
+#[derive(Debug, Clone)]
+pub struct FaultFs {
+    inner: Arc<Inner>,
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn name_of(p: &Path) -> String {
+    p.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default()
+}
+
+fn name_tag(name: &str) -> u64 {
+    // FNV-1a over the file name only: fault schedules must not depend
+    // on the (run-specific) store root.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h = (h ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn kill_err() -> io::Error {
+    io::Error::other("injected kill point")
+}
+
+impl FaultFs {
+    pub fn new(seed: u64, plan: FaultPlan) -> FaultFs {
+        FaultFs {
+            inner: Arc::new(Inner {
+                seed,
+                plan,
+                counts: Mutex::new(BTreeMap::new()),
+                prior: Mutex::new(BTreeMap::new()),
+                ops: AtomicU64::new(0),
+                kill_at: AtomicU64::new(DISARMED),
+            }),
+        }
+    }
+
+    /// Total operations attempted so far (a dry run measures the kill
+    /// matrix width with this).
+    pub fn ops(&self) -> u64 {
+        self.inner.ops.load(Ordering::Relaxed)
+    }
+
+    /// Die mid-operation at ordinal `at` (counting from the current
+    /// [`FaultFs::ops`] reading of 0 after [`FaultFs::reset_ops`]): the
+    /// op at `at` applies a *partial* effect (a torn write, an
+    /// unrenamed tmp) and every op from `at` on fails hard.
+    pub fn arm_kill(&self, at: u64) {
+        self.inner.kill_at.store(at, Ordering::Relaxed);
+    }
+
+    /// Clear the kill point (the "restarted process" phase of a crash
+    /// test).
+    pub fn disarm(&self) {
+        self.inner.kill_at.store(DISARMED, Ordering::Relaxed);
+    }
+
+    /// Zero the operation ordinal so `arm_kill` offsets are relative to
+    /// "now" rather than to `Store::open`'s own setup operations.
+    pub fn reset_ops(&self) {
+        self.inner.ops.store(0, Ordering::Relaxed);
+    }
+
+    /// Take the next ordinal and report where it stands relative to the
+    /// kill point: `Some(true)` = this op is the partial-effect kill
+    /// site, `Some(false)` = already dead, `None` = alive.
+    fn tick(&self) -> Option<bool> {
+        let ord = self.inner.ops.fetch_add(1, Ordering::Relaxed);
+        let kill = self.inner.kill_at.load(Ordering::Relaxed);
+        if kill == DISARMED || ord < kill {
+            None
+        } else {
+            Some(ord == kill)
+        }
+    }
+
+    /// Should this `(op, path)` attempt fail? Deterministic: the first
+    /// `k` attempts fail where `k` is a pure function of
+    /// `(seed, op, file name)`, with `k = 0` for most paths.
+    fn inject(&self, op: u8, p: &Path, per_mille: u16) -> bool {
+        if per_mille == 0 {
+            return false;
+        }
+        let name = name_of(p);
+        let occurrence = {
+            let mut counts = self.inner.counts.lock().unwrap_or_else(|e| e.into_inner());
+            let c = counts.entry((op, name.clone())).or_insert(0);
+            let cur = *c;
+            *c += 1;
+            cur
+        };
+        let h = splitmix(self.inner.seed ^ splitmix(u64::from(op) ^ name_tag(&name)));
+        let fails = if (h % 1000) < u64::from(per_mille) {
+            1 + (h >> 32) % u64::from(self.inner.plan.max_fails.max(1))
+        } else {
+            0
+        };
+        occurrence < fails
+    }
+
+    /// A transient error for `(op, path)`: `EIO` or `ENOSPC`, picked
+    /// deterministically.
+    fn transient_err(&self, op: u8, p: &Path) -> io::Error {
+        let h = splitmix(self.inner.seed ^ splitmix(u64::from(op) ^ name_tag(&name_of(p)) ^ 1));
+        let errno = if h & 1 == 0 { 5 } else { 28 }; // EIO / ENOSPC
+        io::Error::from_raw_os_error(errno)
+    }
+
+    /// Record the pre-state of `p` before it is (over)written, feeding
+    /// later stale reads.
+    fn snapshot_prior(&self, p: &Path) {
+        let pre = match std::fs::read_to_string(p) {
+            Ok(t) => Some(t),
+            Err(_) => None,
+        };
+        self.inner.prior.lock().unwrap_or_else(|e| e.into_inner()).insert(p.to_path_buf(), pre);
+    }
+}
+
+impl StoreFs for FaultFs {
+    fn read_to_string(&self, p: &Path) -> io::Result<String> {
+        if self.tick().is_some() {
+            return Err(kill_err());
+        }
+        if self.inject(OP_READ, p, self.inner.plan.read_transient) {
+            return Err(self.transient_err(OP_READ, p));
+        }
+        if self.inject(OP_STALE, p, self.inner.plan.stale_read) {
+            let mut prior = self.inner.prior.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(pre) = prior.remove(p) {
+                return match pre {
+                    Some(t) => Ok(t),
+                    None => Err(io::Error::from(io::ErrorKind::NotFound)),
+                };
+            }
+        }
+        std::fs::read_to_string(p)
+    }
+
+    fn write(&self, p: &Path, data: &[u8]) -> io::Result<()> {
+        match self.tick() {
+            Some(true) => {
+                // The kill site: a torn write — half the bytes land,
+                // then the "process" dies.
+                let _ = std::fs::write(p, &data[..data.len() / 2]);
+                return Err(kill_err());
+            }
+            Some(false) => return Err(kill_err()),
+            None => {}
+        }
+        if self.inject(OP_WRITE, p, self.inner.plan.write_transient) {
+            return Err(self.transient_err(OP_WRITE, p));
+        }
+        self.snapshot_prior(p);
+        std::fs::write(p, data)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        // Rename is atomic: dying at it means it never happened.
+        if self.tick().is_some() {
+            return Err(kill_err());
+        }
+        if self.inject(OP_RENAME, to, self.inner.plan.rename_transient) {
+            return Err(self.transient_err(OP_RENAME, to));
+        }
+        self.snapshot_prior(to);
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, p: &Path) -> io::Result<()> {
+        if self.tick().is_some() {
+            return Err(kill_err());
+        }
+        let _ = OP_REMOVE;
+        std::fs::remove_file(p)
+    }
+
+    fn create_dir_all(&self, p: &Path) -> io::Result<()> {
+        if self.tick().is_some() {
+            return Err(kill_err());
+        }
+        let _ = OP_MKDIR;
+        std::fs::create_dir_all(p)
+    }
+
+    fn read_dir(&self, p: &Path) -> io::Result<Vec<PathBuf>> {
+        if self.tick().is_some() {
+            return Err(kill_err());
+        }
+        let _ = OP_LIST;
+        RealFs.read_dir(p)
+    }
+}
+
+/// Is this error a *transient* I/O class worth retrying (interrupted
+/// syscall, `EIO`, `ENOSPC`), as opposed to corruption or a permanent
+/// failure?
+pub fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    ) || matches!(e.raw_os_error(), Some(5) | Some(28))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("wyt-fsys-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn fault_schedule_is_per_path_deterministic() {
+        let d = tmp("det");
+        let plan = FaultPlan { write_transient: 1000, max_fails: 2, ..FaultPlan::none() };
+        let results: Vec<Vec<bool>> = (0..2)
+            .map(|round| {
+                let fs = FaultFs::new(0xfeed, plan);
+                let p = d.join(format!("a-{round}"));
+                // Same file name across rounds → same schedule.
+                let q = d.join("fixed");
+                (0..5)
+                    .map(|_| fs.write(&q, b"x").is_ok())
+                    .chain([fs.write(&p, b"y").is_ok()])
+                    .collect()
+            })
+            .collect();
+        assert_eq!(results[0][..5], results[1][..5], "same (seed, name) must fault identically");
+        let fails = results[0][..5].iter().filter(|ok| !**ok).count();
+        assert!((1..=2).contains(&fails), "p=1000 must fail 1..=max_fails times, got {fails}");
+        assert!(results[0][4], "faults are bounded: the tail attempt succeeds");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn transient_errors_are_classified() {
+        assert!(is_transient(&io::Error::from_raw_os_error(5)));
+        assert!(is_transient(&io::Error::from_raw_os_error(28)));
+        assert!(is_transient(&io::Error::from(io::ErrorKind::Interrupted)));
+        assert!(!is_transient(&io::Error::from(io::ErrorKind::NotFound)));
+        assert!(!is_transient(&kill_err()));
+    }
+
+    #[test]
+    fn stale_read_serves_pre_overwrite_state_once() {
+        let d = tmp("stale");
+        let plan = FaultPlan { stale_read: 1000, max_fails: 1, ..FaultPlan::none() };
+        let fs = FaultFs::new(1, plan);
+        let p = d.join("entry.json");
+        fs.write(&p, b"v1").unwrap();
+        fs.write(&p, b"v2").unwrap();
+        assert_eq!(fs.read_to_string(&p).unwrap(), "v1", "first read is stale");
+        assert_eq!(fs.read_to_string(&p).unwrap(), "v2", "staleness resolves");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn kill_point_tears_writes_and_fails_later_ops() {
+        let d = tmp("kill");
+        let fs = FaultFs::new(2, FaultPlan::none());
+        let p = d.join("torn");
+        fs.arm_kill(0);
+        assert!(fs.write(&p, b"0123456789").is_err());
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "01234", "half the bytes landed");
+        assert!(fs.read_to_string(&p).is_err(), "dead after the kill point");
+        fs.disarm();
+        assert!(fs.read_to_string(&p).is_ok());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

@@ -29,8 +29,10 @@
 //! `wyt_core::artifact`; the batch frontend that shares one store across
 //! a job queue lives in `wyt_core::batch`.
 
+pub mod fsys;
 pub mod hash;
 
+pub use fsys::{is_transient, FaultFs, FaultPlan, RealFs, StoreFs};
 pub use hash::{sha256, sha256_hex, to_hex};
 
 use std::io;
@@ -84,6 +86,13 @@ pub struct StoreCounters {
     pub puts: u64,
     /// Entries removed by [`Store::evict_to`].
     pub evictions: u64,
+    /// Transient I/O failures that were retried.
+    pub io_retry: u64,
+    /// Transient I/O failures observed (retried or not).
+    pub io_transient: u64,
+    /// I/O failures given up on: retries exhausted, or a non-transient
+    /// error other than not-found.
+    pub io_fatal: u64,
 }
 
 impl StoreCounters {
@@ -99,10 +108,14 @@ impl StoreCounters {
             corrupt: self.corrupt.saturating_sub(base.corrupt),
             puts: self.puts.saturating_sub(base.puts),
             evictions: self.evictions.saturating_sub(base.evictions),
+            io_retry: self.io_retry.saturating_sub(base.io_retry),
+            io_transient: self.io_transient.saturating_sub(base.io_transient),
+            io_fatal: self.io_fatal.saturating_sub(base.io_fatal),
         }
     }
 
-    /// `{hits, misses, corrupt, puts, evictions}`.
+    /// `{hits, misses, corrupt, puts, evictions, io_retry,
+    /// io_transient, io_fatal}`.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("hits", Json::from(self.hits)),
@@ -110,6 +123,46 @@ impl StoreCounters {
             ("corrupt", Json::from(self.corrupt)),
             ("puts", Json::from(self.puts)),
             ("evictions", Json::from(self.evictions)),
+            ("io_retry", Json::from(self.io_retry)),
+            ("io_transient", Json::from(self.io_transient)),
+            ("io_fatal", Json::from(self.io_fatal)),
+        ])
+    }
+}
+
+/// What [`Store::fsck`] found and repaired at `open`. Quarantined files
+/// are moved (not deleted) to `<root>/quarantine/`, which no lookup or
+/// scan ever reads — a quarantined entry can only be re-served after a
+/// fresh [`Store::put`] rewrites its slot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Well-formed-looking entry files examined.
+    pub scanned: u64,
+    /// Entries that passed full validation.
+    pub ok: u64,
+    /// Orphaned `*.tmp` files swept to quarantine (a crash between
+    /// tmp-write and rename).
+    pub tmp_swept: u64,
+    /// Entry files that failed validation (truncated envelope, version
+    /// skew, checksum mismatch, misfiled kind/key) moved to quarantine.
+    pub quarantined: u64,
+    /// Foreign files under `objects/` (not ours; skipped, left alone).
+    pub foreign: u64,
+    /// Files or directories that could not be read during the sweep
+    /// (left in place; later gets still validate end-to-end).
+    pub unreadable: u64,
+}
+
+impl FsckReport {
+    /// `{scanned, ok, tmp_swept, quarantined, foreign, unreadable}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("scanned", Json::from(self.scanned)),
+            ("ok", Json::from(self.ok)),
+            ("tmp_swept", Json::from(self.tmp_swept)),
+            ("quarantined", Json::from(self.quarantined)),
+            ("foreign", Json::from(self.foreign)),
+            ("unreadable", Json::from(self.unreadable)),
         ])
     }
 }
@@ -126,33 +179,66 @@ pub struct EntryInfo {
     pub stamp: u64,
 }
 
+/// Bounded retry policy for transient I/O: total attempts per
+/// operation. Injected fault schedules ([`FaultPlan::max_fails`]) stay
+/// below `IO_ATTEMPTS - 1` so every transient fault is absorbed.
+const IO_ATTEMPTS: u32 = 4;
+
+/// Capped exponential backoff between retries, in microseconds
+/// (200 → 400 → 800). Sleeping never affects any output byte, so the
+/// determinism contract is untouched.
+const BACKOFF_BASE_US: u64 = 200;
+const BACKOFF_CAP_US: u64 = 800;
+
 /// An on-disk content-addressed artifact store rooted at one directory.
 #[derive(Debug)]
 pub struct Store {
     root: PathBuf,
+    fs: Box<dyn StoreFs>,
+    fsck: FsckReport,
     hits: AtomicU64,
     misses: AtomicU64,
     corrupt: AtomicU64,
     puts: AtomicU64,
     evictions: AtomicU64,
+    io_retry: AtomicU64,
+    io_transient: AtomicU64,
+    io_fatal: AtomicU64,
 }
 
 impl Store {
-    /// Open (creating if needed) a store rooted at `root`.
+    /// Open (creating if needed) a store rooted at `root`, running
+    /// [`Store::fsck`] over whatever a previous process left behind.
     ///
     /// # Errors
     /// Propagates directory-creation failures.
     pub fn open(root: impl Into<PathBuf>) -> io::Result<Store> {
+        Store::open_with(root, Box::new(RealFs))
+    }
+
+    /// [`Store::open`] with an explicit filesystem — chaos tests pass a
+    /// [`FaultFs`] here.
+    ///
+    /// # Errors
+    /// Propagates directory-creation failures.
+    pub fn open_with(root: impl Into<PathBuf>, fs: Box<dyn StoreFs>) -> io::Result<Store> {
         let root = root.into();
-        std::fs::create_dir_all(root.join("objects"))?;
-        Ok(Store {
+        fs.create_dir_all(&root.join("objects"))?;
+        let mut store = Store {
             root,
+            fs,
+            fsck: FsckReport::default(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
             puts: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
-        })
+            io_retry: AtomicU64::new(0),
+            io_transient: AtomicU64::new(0),
+            io_fatal: AtomicU64::new(0),
+        };
+        store.fsck = store.fsck_sweep();
+        Ok(store)
     }
 
     /// Open the store named by [`STORE_ENV`], if set.
@@ -200,37 +286,64 @@ impl Store {
 
     fn get_inner(&self, kind: &str, key: &str) -> Lookup {
         let path = self.path_for(kind, key);
-        let text = match std::fs::read_to_string(&path) {
+        let text = match self.retry_io(|| self.fs.read_to_string(&path)) {
             Ok(t) => t,
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 wyt_obs::counter("store.miss", 1);
                 return Lookup::Miss;
             }
+            // A persistently flaky read is an availability problem, not
+            // evidence the entry is bad: degrade to a cold miss and
+            // leave `corrupt` for genuine integrity failures.
+            Err(e) if is_transient(&e) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                wyt_obs::counter("store.miss", 1);
+                return Lookup::Miss;
+            }
             Err(e) => return self.reject(format!("read {}: {e}", path.display())),
         };
-        let entry = match wyt_obs::json::parse(&text) {
-            Ok(v) => v,
-            Err(e) => return self.reject(format!("{}: {e}", path.display())),
-        };
-        if entry.get("wyt_store").and_then(Json::as_u64) != Some(FORMAT_VERSION) {
-            return self.reject(format!("{}: format version skew", path.display()));
+        match check_entry_text(kind, key, &text) {
+            Ok(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                wyt_obs::counter("store.hit", 1);
+                Lookup::Hit(payload)
+            }
+            Err(why) => self.reject(format!("{}: {why}", path.display())),
         }
-        if entry.get("kind").and_then(Json::as_str) != Some(kind)
-            || entry.get("key").and_then(Json::as_str) != Some(key)
-        {
-            return self.reject(format!("{}: kind/key mismatch", path.display()));
+    }
+
+    /// Run `f`, retrying transient failures ([`is_transient`]) up to
+    /// [`IO_ATTEMPTS`] total attempts with capped exponential backoff.
+    fn retry_io<T>(&self, mut f: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let mut delay = BACKOFF_BASE_US;
+        let mut attempt = 1;
+        loop {
+            match f() {
+                Ok(v) => return Ok(v),
+                Err(e) if is_transient(&e) => {
+                    self.io_transient.fetch_add(1, Ordering::Relaxed);
+                    wyt_obs::counter("store.io.transient", 1);
+                    if attempt >= IO_ATTEMPTS {
+                        self.io_fatal.fetch_add(1, Ordering::Relaxed);
+                        wyt_obs::counter("store.io.fatal", 1);
+                        return Err(e);
+                    }
+                    self.io_retry.fetch_add(1, Ordering::Relaxed);
+                    wyt_obs::counter("store.io.retry", 1);
+                    std::thread::sleep(std::time::Duration::from_micros(delay));
+                    delay = (delay * 2).min(BACKOFF_CAP_US);
+                    attempt += 1;
+                }
+                Err(e) => {
+                    if e.kind() != io::ErrorKind::NotFound {
+                        self.io_fatal.fetch_add(1, Ordering::Relaxed);
+                        wyt_obs::counter("store.io.fatal", 1);
+                    }
+                    return Err(e);
+                }
+            }
         }
-        let Some(payload) = entry.get("payload") else {
-            return self.reject(format!("{}: no payload", path.display()));
-        };
-        let checksum = entry.get("checksum").and_then(Json::as_str).unwrap_or("");
-        if checksum != sha256_hex(payload.to_string().as_bytes()) {
-            return self.reject(format!("{}: checksum mismatch", path.display()));
-        }
-        self.hits.fetch_add(1, Ordering::Relaxed);
-        wyt_obs::counter("store.hit", 1);
-        Lookup::Hit(payload.clone())
     }
 
     /// Record a corrupt/rejected entry and build the [`Lookup`] for it.
@@ -274,10 +387,12 @@ impl Store {
             ("payload", payload),
         ]);
         let path = self.path_for(kind, key);
-        std::fs::create_dir_all(path.parent().expect("entry path has a parent"))?;
+        let parent = path.parent().expect("entry path has a parent");
+        self.retry_io(|| self.fs.create_dir_all(parent))?;
         let tmp = path.with_extension("json.tmp");
-        std::fs::write(&tmp, format!("{}\n", entry.pretty()))?;
-        std::fs::rename(&tmp, &path)?;
+        let bytes = format!("{}\n", entry.pretty());
+        self.retry_io(|| self.fs.write(&tmp, bytes.as_bytes()))?;
+        self.retry_io(|| self.fs.rename(&tmp, &path))?;
         self.puts.fetch_add(1, Ordering::Relaxed);
         wyt_obs::counter("store.put", 1);
         Ok(())
@@ -291,43 +406,130 @@ impl Store {
             corrupt: self.corrupt.load(Ordering::Relaxed),
             puts: self.puts.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            io_retry: self.io_retry.load(Ordering::Relaxed),
+            io_transient: self.io_transient.load(Ordering::Relaxed),
+            io_fatal: self.io_fatal.load(Ordering::Relaxed),
         }
+    }
+
+    /// What fsck found (and repaired) when this store was opened.
+    pub fn fsck_report(&self) -> FsckReport {
+        self.fsck
+    }
+
+    /// Sweep `objects/` for crash droppings: orphaned `*.tmp` files and
+    /// entries failing full validation move to `<root>/quarantine/`;
+    /// foreign and unreadable files are counted and left alone. Runs at
+    /// [`Store::open`], so a killed process never poisons later runs —
+    /// after fsck a lookup is a validated hit or a clean cold miss,
+    /// never a warm serve of a half-written entry.
+    fn fsck_sweep(&self) -> FsckReport {
+        let mut rep = FsckReport::default();
+        let objects = self.root.join("objects");
+        let Ok(mut shards) = self.fs.read_dir(&objects) else {
+            rep.unreadable += 1;
+            return rep;
+        };
+        shards.sort();
+        for shard in shards {
+            if !shard.is_dir() {
+                rep.foreign += 1;
+                continue;
+            }
+            let Ok(mut files) = self.fs.read_dir(&shard) else {
+                rep.unreadable += 1;
+                continue;
+            };
+            files.sort();
+            for file in files {
+                let name = match file.file_name() {
+                    Some(n) => n.to_string_lossy().into_owned(),
+                    None => continue,
+                };
+                if name.ends_with(".tmp") {
+                    if self.quarantine_file(&file, &name) {
+                        rep.tmp_swept += 1;
+                    } else {
+                        rep.unreadable += 1;
+                    }
+                    continue;
+                }
+                let id = name.strip_suffix(".json").and_then(|stem| stem.split_once('.'));
+                let Some((key, kind)) = id else {
+                    rep.foreign += 1;
+                    continue;
+                };
+                rep.scanned += 1;
+                match self.fs.read_to_string(&file) {
+                    Err(_) => rep.unreadable += 1,
+                    Ok(text) => match check_entry_text(kind, key, &text) {
+                        Ok(_) => rep.ok += 1,
+                        Err(_) => {
+                            if self.quarantine_file(&file, &name) {
+                                rep.quarantined += 1;
+                            } else {
+                                rep.unreadable += 1;
+                            }
+                        }
+                    },
+                }
+            }
+        }
+        wyt_obs::counter("store.fsck.tmp_swept", rep.tmp_swept);
+        wyt_obs::counter("store.fsck.quarantined", rep.quarantined);
+        wyt_obs::counter("store.fsck.foreign", rep.foreign);
+        wyt_obs::counter("store.fsck.unreadable", rep.unreadable);
+        rep
+    }
+
+    /// Move `from` into `<root>/quarantine/` (best effort).
+    fn quarantine_file(&self, from: &Path, name: &str) -> bool {
+        let qdir = self.root.join("quarantine");
+        if self.fs.create_dir_all(&qdir).is_err() {
+            return false;
+        }
+        self.fs.rename(from, &qdir.join(name)).is_ok()
     }
 
     /// Every entry on disk, sorted by `(stamp, kind, key)` — the eviction
     /// order. Entries whose header cannot be read sort first (stamp 0).
+    /// Foreign files (wrong name shape) and unreadable shard directories
+    /// are skipped and counted (`store.scan.foreign` /
+    /// `store.scan.unreadable`) rather than failing the whole scan.
     ///
     /// # Errors
-    /// Propagates directory-walk failures.
+    /// Propagates a walk failure on `objects/` itself.
     pub fn entries(&self) -> io::Result<Vec<EntryInfo>> {
         let mut out = Vec::new();
         let objects = self.root.join("objects");
-        for shard in std::fs::read_dir(&objects)? {
-            let shard = shard?;
-            if !shard.file_type()?.is_dir() {
+        for shard in self.fs.read_dir(&objects)? {
+            if !shard.is_dir() {
+                wyt_obs::counter("store.scan.foreign", 1);
                 continue;
             }
-            for file in std::fs::read_dir(shard.path())? {
-                let file = file?;
-                let name = file.file_name().to_string_lossy().into_owned();
-                if !name.ends_with(".json") {
+            let Ok(files) = self.fs.read_dir(&shard) else {
+                wyt_obs::counter("store.scan.unreadable", 1);
+                continue;
+            };
+            for file in files {
+                let name = match file.file_name() {
+                    Some(n) => n.to_string_lossy().into_owned(),
+                    None => continue,
+                };
+                // Identity comes from the filename (<key>.<kind>.json) so
+                // corrupt entries are still enumerable and evictable.
+                let id = name.strip_suffix(".json").and_then(|stem| stem.split_once('.'));
+                let Some((key, kind)) = id else {
+                    wyt_obs::counter("store.scan.foreign", 1);
                     continue;
-                }
-                let header = std::fs::read_to_string(file.path())
-                    .ok()
-                    .and_then(|t| wyt_obs::json::parse(&t).ok());
+                };
+                let header =
+                    self.fs.read_to_string(&file).ok().and_then(|t| wyt_obs::json::parse(&t).ok());
                 let stamp = header
                     .as_ref()
                     .and_then(|h| h.get("stamp"))
                     .and_then(Json::as_u64)
                     .unwrap_or(0);
-                // Identity comes from the filename (<key>.<kind>.json) so
-                // corrupt entries are still enumerable and evictable.
-                let stem = name.strip_suffix(".json").expect("checked above");
-                let (key, kind) = match stem.split_once('.') {
-                    Some(pair) => pair,
-                    None => (stem, "?"),
-                };
                 out.push(EntryInfo { kind: kind.to_string(), key: key.to_string(), stamp });
             }
         }
@@ -337,18 +539,24 @@ impl Store {
 
     /// Evict oldest-stamped entries until at most `cap` evictable entries
     /// remain. [`FACTS_KIND`] entries are exempt (accumulated knowledge
-    /// is never dropped). Returns how many entries were removed.
+    /// is never dropped). An entry whose removal fails is counted
+    /// (`store.evict.failed`) and skipped — one stuck file must not
+    /// abort the sweep. Returns how many entries were removed.
     ///
     /// # Errors
-    /// Propagates filesystem failures.
+    /// Propagates a walk failure on `objects/` itself.
     pub fn evict_to(&self, cap: usize) -> io::Result<u64> {
         let evictable: Vec<EntryInfo> =
             self.entries()?.into_iter().filter(|e| e.kind != FACTS_KIND).collect();
         let mut removed = 0u64;
         if evictable.len() > cap {
             for e in &evictable[..evictable.len() - cap] {
-                std::fs::remove_file(self.path_for(&e.kind, &e.key))?;
-                removed += 1;
+                let path = self.path_for(&e.kind, &e.key);
+                match self.retry_io(|| self.fs.remove_file(&path)) {
+                    Ok(()) => removed += 1,
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => removed += 1,
+                    Err(_) => wyt_obs::counter("store.evict.failed", 1),
+                }
             }
         }
         if removed > 0 {
@@ -357,6 +565,33 @@ impl Store {
         }
         Ok(removed)
     }
+}
+
+/// Validate one entry's raw text end to end — parse, format version,
+/// kind/key identity, payload checksum — returning the payload.
+/// Shared by [`Store::get`] and fsck so the two can never disagree on
+/// what "valid" means.
+///
+/// # Errors
+/// A human-readable description of the first failed check.
+fn check_entry_text(kind: &str, key: &str, text: &str) -> Result<Json, String> {
+    let entry = wyt_obs::json::parse(text).map_err(|e| e.to_string())?;
+    if entry.get("wyt_store").and_then(Json::as_u64) != Some(FORMAT_VERSION) {
+        return Err("format version skew".to_string());
+    }
+    if entry.get("kind").and_then(Json::as_str) != Some(kind)
+        || entry.get("key").and_then(Json::as_str) != Some(key)
+    {
+        return Err("kind/key mismatch".to_string());
+    }
+    let Some(payload) = entry.get("payload") else {
+        return Err("no payload".to_string());
+    };
+    let checksum = entry.get("checksum").and_then(Json::as_str).unwrap_or("");
+    if checksum != sha256_hex(payload.to_string().as_bytes()) {
+        return Err("checksum mismatch".to_string());
+    }
+    Ok(payload.clone())
 }
 
 #[cfg(test)]
@@ -471,6 +706,93 @@ mod tests {
         assert_eq!(stamps, vec![3, 4]);
         assert_eq!(s.counters().evictions, 3);
         assert_eq!(s.evict_to(2).unwrap(), 0, "idempotent at cap");
+        let _ = std::fs::remove_dir_all(s.root());
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_never_corrupt() {
+        let dir = std::env::temp_dir().join(format!("wyt-store-test-retry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = FaultPlan {
+            read_transient: 1000,
+            write_transient: 1000,
+            ..FaultPlan::transient_only()
+        };
+        let s = Store::open_with(&dir, Box::new(FaultFs::new(0xbad_d15c, plan))).unwrap();
+        let key = Store::derive_key("artifact", vec![("n", Json::from(1u64))]);
+        s.put("artifact", &key, 0, payload(1)).unwrap();
+        match s.get("artifact", &key) {
+            Lookup::Hit(p) => assert_eq!(p, payload(1)),
+            other => panic!("retries must absorb transient faults, got {other:?}"),
+        }
+        let c = s.counters();
+        assert!(c.io_transient >= 2, "p=1000 must fault both the write and the read: {c:?}");
+        assert_eq!(c.io_retry, c.io_transient, "every bounded fault is retried: {c:?}");
+        assert_eq!((c.corrupt, c.io_fatal), (0, 0), "transient faults must not count as corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exhausted_transient_reads_degrade_to_miss() {
+        let dir = std::env::temp_dir().join(format!("wyt-store-test-exh-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // max_fails beyond the retry budget: the read gives up.
+        let plan = FaultPlan { read_transient: 1000, max_fails: 64, ..FaultPlan::none() };
+        let s = Store::open_with(&dir, Box::new(FaultFs::new(7, plan))).unwrap();
+        let key = Store::derive_key("artifact", vec![("n", Json::from(2u64))]);
+        s.put("artifact", &key, 0, payload(2)).unwrap();
+        assert!(matches!(s.get("artifact", &key), Lookup::Miss), "availability loss is a miss");
+        let c = s.counters();
+        assert_eq!(c.corrupt, 0, "an unreachable entry is not a corrupt entry");
+        assert!(c.io_fatal >= 1, "exhausted retries count as fatal: {c:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsck_sweeps_tmp_and_quarantines_damage() {
+        let s = tmp_store("fsck");
+        let key = Store::derive_key("artifact", vec![("n", Json::from(3u64))]);
+        s.put("artifact", &key, 0, payload(3)).unwrap();
+        let good_path = s.path_for("artifact", &key);
+        let other = Store::derive_key("artifact", vec![("n", Json::from(4u64))]);
+        s.put("artifact", &other, 1, payload(4)).unwrap();
+        // Damage one entry (truncation) and drop crash droppings.
+        let good = std::fs::read_to_string(&good_path).unwrap();
+        std::fs::write(&good_path, &good[..good.len() / 3]).unwrap();
+        std::fs::write(good_path.with_extension("json.tmp"), "orphan").unwrap();
+        std::fs::write(good_path.parent().unwrap().join("README"), "foreign").unwrap();
+
+        let root = s.root().to_path_buf();
+        drop(s);
+        let s = Store::open(&root).unwrap();
+        let rep = s.fsck_report();
+        assert_eq!(rep.tmp_swept, 1, "{rep:?}");
+        assert_eq!(rep.quarantined, 1, "{rep:?}");
+        assert_eq!(rep.foreign, 1, "{rep:?}");
+        assert_eq!(rep.ok, 1, "{rep:?}");
+        // The damaged entry is now a clean *miss* (cold re-serve), not
+        // a warm serve and not corrupt; the intact one still hits.
+        assert!(matches!(s.get("artifact", &key), Lookup::Miss));
+        assert!(matches!(s.get("artifact", &other), Lookup::Hit(_)));
+        assert_eq!(s.counters().corrupt, 0);
+        assert!(root.join("quarantine").join(format!("{key}.artifact.json")).exists());
+        // Quarantined files are invisible to scans and eviction.
+        assert_eq!(s.entries().unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn scans_skip_and_count_foreign_files() {
+        let s = tmp_store("foreign");
+        let key = Store::derive_key("artifact", vec![("n", Json::from(5u64))]);
+        s.put("artifact", &key, 0, payload(5)).unwrap();
+        let shard = s.path_for("artifact", &key).parent().unwrap().to_path_buf();
+        std::fs::write(shard.join("stray.txt"), "not ours").unwrap();
+        std::fs::write(shard.join("noextension"), "not ours").unwrap();
+        std::fs::write(s.root().join("objects").join("afile"), "not a shard").unwrap();
+        let entries = s.entries().unwrap();
+        assert_eq!(entries.len(), 1, "foreign files must not surface as entries");
+        assert_eq!(s.evict_to(0).unwrap(), 1, "eviction ignores foreign files");
         let _ = std::fs::remove_dir_all(s.root());
     }
 

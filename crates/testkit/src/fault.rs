@@ -57,6 +57,8 @@ const SITE_SELECT: u64 = 0x5e1e_c7;
 const SITE_TRACE: u64 = 0x7_ace;
 const SITE_VARARG: u64 = 0xa9_5;
 const SITE_REGSAVE: u64 = 0x9e9_5;
+const SITE_CHAOS_JOB: u64 = 0xc4a0_5;
+const SITE_CHAOS_FS: u64 = 0xf5_fa_17;
 
 /// A deterministic fault plan: which stage boundaries get corrupted and
 /// how, all derived from one seed.
@@ -102,6 +104,73 @@ impl FaultPlan {
             inj.regsave = Some(Box::new(move |r: &mut RegSaveInfo| corrupt_regsave(seed, r)));
         }
         inj
+    }
+}
+
+/// A deterministic *supervision* chaos plan: which batch jobs crash,
+/// which overrun their fuel budget, and what store-level I/O weather the
+/// whole batch runs under — all derived from one seed, so a serial and a
+/// `WYT_PAR=4` replay of the same plan disrupt the identical jobs.
+///
+/// The three families are disjoint per job (a job crashes *or* times out
+/// *or* runs clean), and the disruption hooks are themselves
+/// deterministic: a crash is an unconditional `panic!` from the trace
+/// injection point, a timeout charges the job's entire fuel budget at
+/// the same point, so a retried attempt fails identically and the job is
+/// quarantined with a stable typed outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// The plan seed.
+    pub seed: u64,
+}
+
+impl ChaosPlan {
+    /// Plan for `seed`.
+    pub fn new(seed: u64) -> ChaosPlan {
+        ChaosPlan { seed }
+    }
+
+    fn job_word(&self, i: usize) -> u64 {
+        mix(mix(self.seed, SITE_CHAOS_JOB), i as u64)
+    }
+
+    /// Does job `i` panic mid-pipeline? (~1 in 8.)
+    pub fn crashes_job(&self, i: usize) -> bool {
+        self.job_word(i) % 8 == 0
+    }
+
+    /// Does job `i` overrun its fuel budget? (~1 in 8, disjoint from
+    /// [`ChaosPlan::crashes_job`].)
+    pub fn overruns_job(&self, i: usize) -> bool {
+        self.job_word(i) % 8 == 1
+    }
+
+    /// The [`FaultInjector`] disrupting job `i` under this plan — an
+    /// injected panic, an injected budget overrun, or no disruption.
+    pub fn injector_for(&self, i: usize) -> FaultInjector {
+        let mut inj = FaultInjector::default();
+        if self.crashes_job(i) {
+            inj.trace =
+                Some(Box::new(move |_t: &mut Trace| panic!("chaos: injected crash in job {i}")));
+        } else if self.overruns_job(i) {
+            inj.trace = Some(Box::new(move |_t: &mut Trace| {
+                // Spend the whole fuel budget in one step: the watchdog
+                // cancels the job at this (safe) preemption point.
+                wyt_par::supervise::charge_steps(u64::MAX / 2);
+            }));
+        }
+        inj
+    }
+
+    /// A transient-only faulty filesystem for the batch's store, seeded
+    /// from this plan. Every injected fault is absorbed by the store's
+    /// bounded retries, so the batch's *results* are byte-identical to a
+    /// fault-free run — only the `store.io.*` counters show the weather.
+    pub fn fault_fs(&self) -> wyt_store::FaultFs {
+        wyt_store::FaultFs::new(
+            mix(self.seed, SITE_CHAOS_FS),
+            wyt_store::FaultPlan::transient_only(),
+        )
     }
 }
 

@@ -32,6 +32,14 @@ WYT_STORE="$STORE_TMP/store" cargo run --release --offline -q -p wyt-bench --bin
     --smoke warm --out "$STORE_TMP/warm"
 cmp "$STORE_TMP/cold/images.sha" "$STORE_TMP/warm/images.sha"
 
+echo "==> chaos smoke gate (seeded I/O faults absorbed, kill-point fsck recovery)"
+cargo run --release --offline -q -p wyt-bench --bin wyt-batch -- \
+    --chaos 0xc4a05 --out "$STORE_TMP/chaos"
+cmp "$STORE_TMP/chaos/images.sha" "$STORE_TMP/chaos/images_chaos.sha"
+
+echo "==> supervision smoke gate (crashing jobs are isolated, the pool survives)"
+cargo test -q --offline --test supervise pool_survives_crashed_jobs
+
 echo "==> trace-export smoke gate (WYT_OBS_TRACE -> well-formed Chrome trace)"
 WYT_OBS_TRACE="$STORE_TMP/trace.json" WYT_OBS=json WYT_PAR=4 \
     cargo run --release --offline -q -p wyt-bench --bin report >/dev/null

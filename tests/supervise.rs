@@ -1,0 +1,403 @@
+//! Supervision gate: a batch survives anything one job does.
+//!
+//! The contract under test (ISSUE PR 9):
+//!
+//! - (a) chaos replay over a pinned 128-program corpus: jobs that panic
+//!   or overrun their fuel budget become typed `Crashed`/`Timeout` rows
+//!   (quarantined, enumerated) while every other job completes, the
+//!   whole batch never panics, and survivors are byte-identical to a
+//!   fault-free run — under transient store I/O weather the whole time;
+//! - (b) the chaos report and store tree are byte-identical between a
+//!   serial and a `WYT_PAR=4` replay of the same plan;
+//! - (c) transient I/O faults are absorbed by retries and counted in
+//!   `store.io.*`, never in `store.corrupt`;
+//! - (d) the kill-point matrix: a `put` interrupted at every syscall
+//!   boundary leaves a store that `fsck` (at reopen) repairs to a
+//!   correct cold-serving state — torn/orphaned temp files and invalid
+//!   envelopes are quarantined, a lookup is a validated hit or a clean
+//!   miss, never a warm serve of crash droppings;
+//! - (e) a pool whose workers caught crashing jobs keeps running clean
+//!   batches afterwards.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use wyt_core::{
+    artifact_key, run_batch, run_batch_supervised, BatchJob, FaultInjector, JobOutcome, Mode,
+    SuperviseConfig,
+};
+use wyt_minicc::compile;
+use wyt_obs::Json;
+use wyt_opt::OptLevel;
+use wyt_par::supervise::Budget;
+use wyt_store::{FaultFs, FaultPlan, Lookup, Store};
+use wyt_testkit::fault::ChaosPlan;
+use wyt_testkit::progen::{gen_prog, profile, render};
+use wyt_testkit::rng::{mix, Rng};
+
+/// Corpus seed for supervision tests (pinned; distinct from every other
+/// corpus so a failure here always means a supervision change).
+const CORPUS_SEED: u64 = 0x5e_0b_5e_0b;
+
+/// Pinned chaos-plan seed for the replay gate.
+const CHAOS_SEED: u64 = 0x0c_4a05;
+
+/// A scratch directory for one store, removed on drop.
+struct TempRoot {
+    root: PathBuf,
+}
+
+impl TempRoot {
+    fn new(tag: &str) -> TempRoot {
+        let root =
+            std::env::temp_dir().join(format!("wyt-supervise-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        TempRoot { root }
+    }
+}
+
+impl Drop for TempRoot {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+/// Compile `n` pinned corpus programs into batch jobs, deduplicated by
+/// artifact key so every job in the result runs its own cold pipeline
+/// (chaos outcome predictions are per-job, and a warm hit would dodge
+/// the injected disruption).
+fn corpus_jobs(n: usize) -> Vec<BatchJob> {
+    let mut jobs = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for i in 0..n {
+        let mut rng = Rng::new(mix(CORPUS_SEED, i as u64));
+        let p = gen_prog(&mut rng);
+        let img = compile(&render(&p), &profile(p.profile)).expect("corpus compiles").stripped();
+        let inputs = vec![p.input.clone()];
+        if !seen.insert(artifact_key(&img, &inputs, Mode::Wytiwyg, OptLevel::Full)) {
+            continue;
+        }
+        jobs.push(BatchJob {
+            name: format!("job-{i}"),
+            image: img,
+            inputs,
+            mode: Mode::Wytiwyg,
+            opt: OptLevel::Full,
+        });
+    }
+    jobs
+}
+
+/// Collect `(relative path, bytes)` of every file under a store root.
+fn store_files(root: &Path) -> Vec<(String, Vec<u8>)> {
+    fn walk(dir: &Path, base: &Path, out: &mut Vec<(String, Vec<u8>)>) {
+        for e in fs::read_dir(dir).unwrap() {
+            let p = e.unwrap().path();
+            if p.is_dir() {
+                walk(&p, base, out);
+            } else {
+                let rel = p.strip_prefix(base).unwrap().to_string_lossy().into_owned();
+                out.push((rel, fs::read(&p).unwrap()));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(root, root, &mut out);
+    out.sort();
+    out
+}
+
+/// (a)+(b)+(c) Chaos replay over the pinned corpus: typed outcomes for
+/// the disrupted jobs, byte-identical survivors, serial == parallel,
+/// transient weather absorbed without a single `corrupt`.
+#[test]
+fn chaos_replay_is_typed_isolated_and_deterministic() {
+    let jobs = corpus_jobs(128);
+    assert!(jobs.len() >= 100, "corpus dedup left too few jobs: {}", jobs.len());
+    let plan = ChaosPlan::new(CHAOS_SEED);
+    let disrupted =
+        (0..jobs.len()).filter(|&i| plan.crashes_job(i) || plan.overruns_job(i)).count();
+    assert!(disrupted >= 4, "the pinned plan must disrupt a real fraction: {disrupted}");
+    assert!(disrupted < jobs.len() / 2, "most jobs must survive: {disrupted}");
+
+    // Fault-free baseline: everything cold, nothing disrupted.
+    let base_root = TempRoot::new("chaos-baseline");
+    let base_store = Store::open(&base_root.root).unwrap();
+    wyt_par::set_threads(1);
+    let baseline = run_batch(&base_store, &jobs);
+    for r in &baseline.jobs {
+        assert_eq!(r.outcome, JobOutcome::Cold, "{}: {:?}", r.name, r.error);
+    }
+    let baseline_files: std::collections::BTreeMap<String, Vec<u8>> =
+        store_files(&base_root.root).into_iter().collect();
+
+    // The same queue under the chaos plan, serial and 4-threaded, each
+    // against a fresh store on a seeded transiently-faulty filesystem.
+    let run_chaos = |tag: &str, threads: usize| {
+        let tr = TempRoot::new(tag);
+        wyt_par::set_threads(threads);
+        let store = Store::open_with(&tr.root, Box::new(plan.fault_fs())).unwrap();
+        let report = run_batch_supervised(&store, &jobs, &SuperviseConfig::default(), &|i| {
+            plan.injector_for(i)
+        });
+        (tr, report)
+    };
+    let (serial_root, serial) = run_chaos("chaos-serial", 1);
+    let (par_root, par) = run_chaos("chaos-par", 4);
+    wyt_par::set_threads(1);
+
+    // (b) Byte-identical canonical reports and store trees.
+    assert_eq!(
+        serial.to_json_deterministic().pretty(),
+        par.to_json_deterministic().pretty(),
+        "chaos reports must be byte-identical at any thread count"
+    );
+    assert_eq!(
+        store_files(&serial_root.root),
+        store_files(&par_root.root),
+        "chaos store trees must be byte-identical at any thread count"
+    );
+
+    // (a) Every disruption lands as its typed outcome; everything else
+    // completes cold, untouched by its neighbours' deaths.
+    let mut crashed = 0u64;
+    let mut timed_out = 0u64;
+    for (i, r) in serial.jobs.iter().enumerate() {
+        if plan.crashes_job(i) {
+            crashed += 1;
+            assert_eq!(r.outcome, JobOutcome::Crashed, "{}", r.name);
+            assert!(r.retried, "{}: a crashed job is retried once before quarantine", r.name);
+            let msg = r.error.as_deref().unwrap_or("");
+            assert!(msg.contains("injected crash"), "{}: payload survives: {msg}", r.name);
+        } else if plan.overruns_job(i) {
+            timed_out += 1;
+            assert_eq!(r.outcome, JobOutcome::Timeout, "{}", r.name);
+            assert!(r.retried, "{}", r.name);
+            let msg = r.error.as_deref().unwrap_or("");
+            assert!(msg.contains("job budget exhausted"), "{}: {msg}", r.name);
+        } else {
+            assert_eq!(r.outcome, JobOutcome::Cold, "{}: {:?}", r.name, r.error);
+            assert!(!r.retried, "{}: clean jobs never burn a retry", r.name);
+        }
+    }
+    assert!(crashed >= 1 && timed_out >= 1, "plan must exercise both families");
+    let (_, _, _, rep_crashed, rep_timeout, rep_retried) = serial.outcome_totals();
+    assert_eq!(rep_crashed, crashed);
+    assert_eq!(rep_timeout, timed_out);
+    assert_eq!(rep_retried, crashed + timed_out);
+
+    // Survivors are byte-identical to the fault-free run: every entry
+    // the chaos store holds is exactly the baseline's, one per survivor.
+    let chaos_files = store_files(&serial_root.root);
+    assert_eq!(
+        chaos_files.len() as u64,
+        serial.jobs.len() as u64 - crashed - timed_out,
+        "exactly the survivors persist artifacts"
+    );
+    for (rel, bytes) in &chaos_files {
+        assert_eq!(
+            Some(bytes),
+            baseline_files.get(rel),
+            "{rel}: surviving artifact must be byte-identical to the fault-free run"
+        );
+    }
+
+    // (c) The weather was real, absorbed, and never misfiled as
+    // corruption.
+    assert!(serial.counters.io_transient > 0, "the plan must actually inject faults");
+    assert!(serial.counters.io_retry > 0);
+    assert_eq!(serial.counters.io_fatal, 0, "transient-only faults are always absorbed");
+    assert_eq!(serial.counters.corrupt, 0, "transient I/O must never count as corruption");
+
+    // The canonical report carries the new schema.
+    let text = serial.to_json_deterministic().pretty();
+    for k in ["\"outcomes\"", "\"crashed\"", "\"timeout\"", "\"retried\"", "\"fsck\""] {
+        assert!(text.contains(k), "canonical report must carry {k}:\n{text}");
+    }
+}
+
+/// A starvation budget times out every job — and with retries disabled
+/// each one is charged exactly one attempt.
+#[test]
+fn starvation_budget_times_out_every_job() {
+    let jobs = corpus_jobs(4);
+    let tr = TempRoot::new("budget");
+    let store = Store::open(&tr.root).unwrap();
+    let cfg = SuperviseConfig { budget: Budget { steps: 1, rounds: 1 }, retry: false };
+    let report = run_batch_supervised(&store, &jobs, &cfg, &|_| FaultInjector::default());
+    for r in &report.jobs {
+        assert_eq!(r.outcome, JobOutcome::Timeout, "{}: {:?}", r.name, r.error);
+        assert!(!r.retried);
+        assert!(r.error.as_deref().unwrap_or("").contains("job budget exhausted"));
+    }
+    assert_eq!(store.counters().puts, 0, "a cancelled job must not publish an artifact");
+}
+
+/// (d) The kill-point matrix: `put` is three filesystem operations
+/// (mkdir, tmp write, rename); kill the "process" at each boundary,
+/// reopen, and demand fsck leaves a correct cold-serving store.
+#[test]
+fn put_kill_point_matrix_recovers_via_fsck() {
+    let key = Store::derive_key("artifact", vec![("case", Json::from("kill-matrix"))]);
+    let payload =
+        Json::obj(vec![("image", Json::from("0123456789abcdef")), ("n", Json::from(7u64))]);
+
+    // Reference bytes from a store that never crashed.
+    let ref_root = TempRoot::new("kill-ref");
+    let ref_store = Store::open(&ref_root.root).unwrap();
+    ref_store.put("artifact", &key, 0, payload.clone()).unwrap();
+    let reference = store_files(&ref_root.root);
+
+    for k in 0..=3u64 {
+        let tr = TempRoot::new(&format!("kill-{k}"));
+        let fs = FaultFs::new(0xdead, FaultPlan::none());
+        let handle = fs.clone();
+        let store = Store::open_with(&tr.root, Box::new(fs)).unwrap();
+        handle.reset_ops();
+        handle.arm_kill(k);
+        let r = store.put("artifact", &key, 0, payload.clone());
+        assert_eq!(r.is_ok(), k >= 3, "kill at op {k}: put ran {} fs ops", handle.ops());
+        handle.disarm();
+        drop(store);
+
+        // The restarted process: fsck sweeps whatever the crash left.
+        let store = Store::open(&tr.root).unwrap();
+        let rep = store.fsck_report();
+        match k {
+            0 => {
+                // Died before the shard dir existed: nothing to repair.
+                assert_eq!((rep.tmp_swept, rep.quarantined, rep.scanned), (0, 0, 0), "k={k}");
+            }
+            1 | 2 => {
+                // A torn (k=1) or orphaned-but-complete (k=2) tmp file.
+                assert_eq!((rep.tmp_swept, rep.quarantined, rep.scanned), (1, 0, 0), "k={k}");
+                let q = store_files(&tr.root.join("quarantine"));
+                assert_eq!(q.len(), 1, "k={k}: the dropping lands in quarantine");
+                assert!(q[0].0.ends_with(".tmp"), "k={k}: {:?}", q[0].0);
+            }
+            _ => {
+                // The rename landed: the entry is whole and validated.
+                assert_eq!((rep.tmp_swept, rep.quarantined, rep.ok), (0, 0, 1), "k={k}");
+            }
+        }
+
+        // Cold-serving contract: a validated hit or a clean miss, never
+        // a corrupt read, and never a warm serve of a quarantined file.
+        match store.get("artifact", &key) {
+            Lookup::Hit(p) => {
+                assert!(k >= 3, "k={k}: a killed put must not serve warm");
+                assert_eq!(p, payload);
+            }
+            Lookup::Miss => {
+                assert!(k < 3, "k={k}: a completed put must serve");
+                store.put("artifact", &key, 0, payload.clone()).unwrap();
+                match store.get("artifact", &key) {
+                    Lookup::Hit(p) => assert_eq!(p, payload),
+                    other => panic!("k={k}: recovery put must serve: {other:?}"),
+                }
+            }
+            Lookup::Corrupt(why) => panic!("k={k}: crash droppings served corrupt: {why}"),
+        }
+        assert_eq!(store.counters().corrupt, 0, "k={k}");
+
+        // After recovery the object tree is byte-identical to the
+        // never-crashed reference (quarantine keeps the droppings).
+        let objects: Vec<_> =
+            store_files(&tr.root).into_iter().filter(|(p, _)| p.starts_with("objects")).collect();
+        assert_eq!(objects, reference, "k={k}: recovered tree must match the reference");
+    }
+}
+
+/// (d) An fsck interrupted mid-sweep is itself crash-consistent: the
+/// next reopen finishes the job.
+#[test]
+fn interrupted_fsck_is_resumable() {
+    let tr = TempRoot::new("fsck-kill");
+    let key = Store::derive_key("artifact", vec![("case", Json::from("fsck-resume"))]);
+    let payload = Json::obj(vec![("n", Json::from(1u64))]);
+
+    // Leave a torn tmp behind (kill at the tmp write).
+    let fs = FaultFs::new(3, FaultPlan::none());
+    let handle = fs.clone();
+    let store = Store::open_with(&tr.root, Box::new(fs)).unwrap();
+    handle.reset_ops();
+    handle.arm_kill(1);
+    assert!(store.put("artifact", &key, 0, payload.clone()).is_err());
+    handle.disarm();
+    drop(store);
+
+    // Reopen with the killer armed inside the sweep itself: open still
+    // succeeds, the sweep just reports what it could not reach.
+    let fs = FaultFs::new(4, FaultPlan::none());
+    fs.arm_kill(2); // op 0 = objects mkdir, 1 = objects listing, 2 = shard listing
+    let store = Store::open_with(&tr.root, Box::new(fs)).unwrap();
+    let rep = store.fsck_report();
+    assert_eq!(rep.tmp_swept, 0, "the interrupted sweep never reached the tmp file");
+    assert!(rep.unreadable >= 1, "the unreachable shard is counted, not fatal");
+    drop(store);
+
+    // The next clean open finishes the sweep.
+    let store = Store::open(&tr.root).unwrap();
+    assert_eq!(store.fsck_report().tmp_swept, 1);
+    assert!(matches!(store.get("artifact", &key), Lookup::Miss));
+    store.put("artifact", &key, 0, payload.clone()).unwrap();
+    assert!(matches!(store.get("artifact", &key), Lookup::Hit(p) if p == payload));
+}
+
+/// (d) A truncated envelope (a torn write that made it past the rename,
+/// or a disk that lied) is quarantined at reopen — counted once in
+/// fsck, invisible to lookups forever after.
+#[test]
+fn truncated_envelope_is_quarantined_not_served() {
+    let tr = TempRoot::new("trunc");
+    let key = Store::derive_key("artifact", vec![("case", Json::from("trunc"))]);
+    let payload = Json::obj(vec![("n", Json::from(2u64))]);
+    {
+        let store = Store::open(&tr.root).unwrap();
+        store.put("artifact", &key, 0, payload).unwrap();
+    }
+    let entry = tr.root.join("objects").join(&key[..2]).join(format!("{key}.artifact.json"));
+    let bytes = fs::read(&entry).unwrap();
+    fs::write(&entry, &bytes[..bytes.len() / 3]).unwrap();
+
+    let store = Store::open(&tr.root).unwrap();
+    let rep = store.fsck_report();
+    assert_eq!((rep.quarantined, rep.ok), (1, 0));
+    assert!(
+        matches!(store.get("artifact", &key), Lookup::Miss),
+        "a quarantined entry must read as a clean miss"
+    );
+    assert_eq!(store.counters().corrupt, 0, "fsck already handled it; get never saw it");
+    let q = store_files(&tr.root.join("quarantine"));
+    assert_eq!(q.len(), 1);
+    assert_eq!(q[0].1, bytes[..bytes.len() / 3], "quarantine preserves the evidence");
+}
+
+/// (e) Workers that caught crashing jobs keep serving: a clean batch on
+/// the same pool right after a crashy one completes fully.
+#[test]
+fn pool_survives_crashed_jobs() {
+    let jobs = corpus_jobs(6);
+    let crashy = |i: usize| -> FaultInjector {
+        let mut inj = FaultInjector::default();
+        if i % 2 == 0 {
+            inj.trace = Some(Box::new(move |_| panic!("chaos: injected crash in job {i}")));
+        }
+        inj
+    };
+    wyt_par::set_threads(4);
+    let tr = TempRoot::new("pool-crash");
+    let store = Store::open(&tr.root).unwrap();
+    let report = run_batch_supervised(&store, &jobs, &SuperviseConfig::default(), &crashy);
+    for (i, r) in report.jobs.iter().enumerate() {
+        let want = if i % 2 == 0 { JobOutcome::Crashed } else { JobOutcome::Cold };
+        assert_eq!(r.outcome, want, "{}: {:?}", r.name, r.error);
+    }
+
+    let tr2 = TempRoot::new("pool-clean");
+    let store2 = Store::open(&tr2.root).unwrap();
+    let clean = run_batch(&store2, &jobs);
+    wyt_par::set_threads(1);
+    for r in &clean.jobs {
+        assert_eq!(r.outcome, JobOutcome::Cold, "{}: {:?}", r.name, r.error);
+    }
+}
