@@ -378,6 +378,28 @@ fn main() -> ExitCode {
         }
         assert!(store_json, "results/BENCH_store.json missing (run the wyt-batch binary)");
 
+        // Ingestion/fuzz counter schema: the sample recompile above
+        // passed through the ingest frontend, a rejected document must
+        // land in the typed-error counters, and a micro fuzz campaign
+        // must emit the `fuzz.*` keys the CI fuzz gate relies on.
+        assert!(wyt_core::ingest::json_text("{nope").is_err());
+        let fuzz_findings =
+            wyt_testkit::fuzz::campaign(wyt_testkit::fuzz::Surface::Json, 8, 0x0b5_c4ec).len();
+        let counters = wyt_obs::snapshot().counters;
+        for key in ["ingest.ok", "ingest.err", "ingest.err.json", "fuzz.cases"] {
+            assert!(
+                counters.contains_key(key),
+                "counter `{key}` missing from the observability snapshot"
+            );
+        }
+        // Zero-delta counters are elided, so a clean campaign means no
+        // `fuzz.findings` key — and a present key means real findings.
+        assert_eq!(fuzz_findings, 0, "the micro fuzz campaign must be clean");
+        assert!(
+            !counters.contains_key("fuzz.findings"),
+            "clean campaign must not record fuzz.findings"
+        );
+
         eprintln!(
             "report check: {} stages ok, coverage {sym}+{res}={total}, degradations {}, \
              healing {rounds} round(s) / {healed_n} healed, {bench_jsons} bench JSONs clean \

@@ -70,14 +70,24 @@ fn hex_of(bytes: &[u8]) -> Json {
 
 fn bytes_of(j: &Json, what: &str) -> DecodeResult<Vec<u8>> {
     let s = want(j.as_str(), what)?;
-    if s.len() % 2 != 0 {
+    // Decode over raw bytes, not string slices: indexing a &str can
+    // split a multi-byte character and panic on hostile documents.
+    let b = s.as_bytes();
+    if b.len() % 2 != 0 {
         return Err(format!("artifact decode: odd-length hex in {what}"));
     }
-    (0..s.len())
-        .step_by(2)
-        .map(|i| {
-            u8::from_str_radix(&s[i..i + 2], 16)
-                .map_err(|_| format!("artifact decode: bad hex in {what}"))
+    fn nibble(c: u8) -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            b'A'..=b'F' => Some(c - b'A' + 10),
+            _ => None,
+        }
+    }
+    b.chunks_exact(2)
+        .map(|p| match (nibble(p[0]), nibble(p[1])) {
+            (Some(hi), Some(lo)) => Ok(hi << 4 | lo),
+            _ => Err(format!("artifact decode: bad hex in {what}")),
         })
         .collect()
 }

@@ -252,6 +252,7 @@ pub fn recompile_healing_stored(
     stamp: u64,
 ) -> Result<StoredHeal, RecompileError> {
     let _s = Span::enter("store.heal");
+    crate::ingest::check_image(img).map_err(RecompileError::Ingest)?;
     let hkey = heal_key(img, traced, held_out, opt);
     if let Some(h) = warm_candidate(store, "healed", &hkey, heal_from_json, |h| {
         validate(img, &h.image, &h.inputs).is_ok()

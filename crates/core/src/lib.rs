@@ -26,6 +26,9 @@
 //! - [`healing`] — the self-healing loop: guard-trap attribution,
 //!   incremental re-trace/re-lift with refinement-fact reuse, bounded
 //!   re-validation ([`recompile_healing`]).
+//! - [`ingest`] — total ingestion frontends: typed, bounded decoders
+//!   for every byte stream entering the suite (fuzzed continuously by
+//!   the in-tree `wyt-fuzz` campaign).
 //! - [`artifact`] — stable JSON codecs between pipeline artifacts
 //!   (images, traces, refinement facts, healing results) and the
 //!   content-addressed `wyt-store`.
@@ -50,6 +53,7 @@ pub mod artifact;
 pub mod baseline;
 pub mod batch;
 pub mod healing;
+pub mod ingest;
 pub mod layout;
 pub mod pipeline;
 pub mod regsave;
@@ -69,6 +73,7 @@ pub use healing::{
     recompile_healing, recompile_healing_faulted, recompile_healing_seeded, recompile_healing_with,
     Healed,
 };
+pub use ingest::IngestError;
 pub use pipeline::{
     recompile, recompile_from_lifted, recompile_with, recompile_with_faults, validate,
     FaultInjector, MismatchKind, Mode, RecompileError, Recompiled, ReusePlan, ValidateError,

@@ -37,6 +37,9 @@ pub enum Mode {
 /// A recompilation failure.
 #[derive(Debug)]
 pub enum RecompileError {
+    /// The input image was refused by the ingestion limits before any
+    /// stage ran (hostile or malformed binary).
+    Ingest(crate::ingest::IngestError),
     /// Lifting failed.
     Lift(LiftPipelineError),
     /// A refinement execution failed.
@@ -55,6 +58,7 @@ pub enum RecompileError {
 impl fmt::Display for RecompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            RecompileError::Ingest(e) => write!(f, "{e}"),
             RecompileError::Lift(e) => write!(f, "lift: {e}"),
             RecompileError::Refine(e) => write!(f, "refinement: {e}"),
             RecompileError::Symbolize(e) => write!(f, "symbolize: {e}"),
@@ -502,6 +506,7 @@ pub fn recompile_with_faults(
     opt: OptLevel,
     faults: &FaultInjector,
 ) -> Result<Recompiled, RecompileError> {
+    crate::ingest::check_image(img).map_err(RecompileError::Ingest)?;
     let lifted = {
         let _s = Span::enter("lift");
         let trace_fault: Option<&(dyn Fn(&mut Trace) + Sync)> = match &faults.trace {

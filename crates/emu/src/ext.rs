@@ -392,7 +392,9 @@ pub fn dispatch(
             if old == 0 {
                 return ret(alloc(io, mem, n), 6);
             }
-            let old_size = mem.read_u32(old.wrapping_sub(4));
+            // `old_size` comes from guest-writable memory; clamp it like
+            // any other hostile length before driving the copy loop.
+            let old_size = clamp_len(mem, mem.read_u32(old.wrapping_sub(4)));
             let new = alloc(io, mem, n);
             let copy = old_size.min(n);
             for i in 0..copy {
@@ -404,7 +406,7 @@ pub fn dispatch(
         ExtId::Memcpy | ExtId::Memmove => {
             let dst = args.arg(0);
             let src = args.arg(1);
-            let n = args.arg(2);
+            let n = clamp_len(mem, args.arg(2));
             // The paged model copies byte-wise; memmove-safe by buffering.
             let bytes = mem.read_bytes(src, n);
             mem.write_bytes(dst, &bytes);
@@ -413,7 +415,7 @@ pub fn dispatch(
         ExtId::Memset => {
             let dst = args.arg(0);
             let c = args.arg(1) as u8;
-            let n = args.arg(2);
+            let n = clamp_len(mem, args.arg(2));
             for i in 0..n {
                 mem.write_u8(dst.wrapping_add(i), c);
             }
@@ -456,14 +458,25 @@ pub fn dispatch(
     }
 }
 
+/// Clamp a guest-supplied byte count for a bulk operation. Any length
+/// beyond [`Memory::cap_bytes`] is guaranteed to latch the page cap
+/// mid-operation (the machine then raises `Trap::MemLimit`), so the
+/// tail carries no observable effect — clamping bounds host time and
+/// allocation without changing guest-visible behaviour.
+fn clamp_len(mem: &Memory, n: u32) -> u32 {
+    u32::try_from((n as u64).min(mem.cap_bytes())).unwrap_or(u32::MAX)
+}
+
 /// Bump-allocate `n` bytes (8-byte aligned) with a hidden size header, so
-/// `realloc` can find the old length.
+/// `realloc` can find the old length. Arithmetic wraps with the 32-bit
+/// guest address space — a hostile allocation size must not overflow
+/// host arithmetic.
 fn alloc(io: &mut ExtIo, mem: &mut Memory, n: u32) -> u32 {
     let header = io.heap_next;
     mem.write_u32(header, n);
-    let ptr = header + 4;
-    let size = (n + 4 + 7) & !7;
-    io.heap_next = header + size.max(8);
+    let ptr = header.wrapping_add(4);
+    let size = ((n as u64 + 4 + 7) & !7) as u32;
+    io.heap_next = header.wrapping_add(size.max(8));
     ptr
 }
 

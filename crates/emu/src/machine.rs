@@ -117,6 +117,9 @@ pub enum Trap {
     UnknownImport(u32, u16),
     /// The instruction budget was exhausted (runaway program).
     OutOfFuel,
+    /// The program exceeded the resident-memory ceiling (address-space
+    /// sweep); `pc` is the instruction whose write blew the cap.
+    MemLimit(u32),
     /// The program called `abort()`.
     Aborted,
     /// An explicit [`Inst::Trap`] executed (recompiler guard on an
@@ -132,6 +135,7 @@ impl fmt::Display for Trap {
             Trap::DivideError(pc) => write!(f, "divide error at {pc:#x}"),
             Trap::UnknownImport(pc, idx) => write!(f, "unknown import {idx} at {pc:#x}"),
             Trap::OutOfFuel => write!(f, "instruction budget exhausted"),
+            Trap::MemLimit(pc) => write!(f, "memory ceiling exceeded at {pc:#x}"),
             Trap::Aborted => write!(f, "abort() called"),
             Trap::TrapInst { pc, code } => write!(f, "trap {code} at {pc:#x}"),
         }
@@ -194,6 +198,7 @@ pub struct Machine<'img> {
     cycles: u64,
     inst_count: u64,
     fuel: u64,
+    cycle_budget: u64,
     mem_stats: MemStats,
     /// Emulated-stack global's address range in this image, when the
     /// caller wants residual-stack classification (recompiled binaries
@@ -240,6 +245,7 @@ impl<'img> Machine<'img> {
             cycles: 0,
             inst_count: 0,
             fuel: 500_000_000,
+            cycle_budget: u64::MAX,
             mem_stats: MemStats::default(),
             emu_range: None,
             classify: wyt_obs::enabled(),
@@ -249,6 +255,15 @@ impl<'img> Machine<'img> {
     /// Override the instruction budget (default 500 million).
     pub fn set_fuel(&mut self, fuel: u64) {
         self.fuel = fuel;
+    }
+
+    /// Cap total *cycles* as well as retired instructions (default
+    /// unlimited). Bulk external calls (`memset`, `memcpy`, ...) charge
+    /// cycles proportional to the bytes they touch but retire only one
+    /// instruction, so a fuel budget alone does not bound a hostile
+    /// program's work; harnesses executing untrusted images set this.
+    pub fn set_cycle_budget(&mut self, cycles: u64) {
+        self.cycle_budget = cycles;
     }
 
     /// Classify accesses in `[lo, hi)` as emulated-stack traffic (used
@@ -328,7 +343,11 @@ impl<'img> Machine<'img> {
                 self.reg_write(*r, v, size);
                 0
             }
-            Operand::Imm(_) => panic!("write to immediate operand"),
+            // INVARIANT: `wyt_isa::decode` rejects immediate
+            // destinations (`BadField("destination")`), and the machine
+            // only executes decoded bytes, so this arm is unreachable
+            // for any input.
+            Operand::Imm(_) => unreachable!("write to immediate operand"),
             Operand::Mem(m) => {
                 let a = self.ea(m);
                 self.note_mem(a, true);
@@ -411,12 +430,12 @@ impl<'img> Machine<'img> {
     }
 
     fn step<S: TraceSink>(&mut self, sink: &mut S) -> Result<Status, Trap> {
-        if self.inst_count >= self.fuel {
+        if self.inst_count >= self.fuel || self.cycles >= self.cycle_budget {
             return Err(Trap::OutOfFuel);
         }
         let (inst, len) = self.fetch()?;
         let pc = self.pc;
-        let next = pc + len as u32;
+        let next = pc.wrapping_add(len as u32);
         self.inst_count += 1;
         let mut cost: u64 = 1;
         let mut new_pc = next;
@@ -647,6 +666,9 @@ impl<'img> Machine<'img> {
             Inst::Trap { code } => return Err(Trap::TrapInst { pc, code }),
         }
 
+        if self.mem.cap_hit() {
+            return Err(Trap::MemLimit(pc));
+        }
         self.cycles += cost;
         self.pc = new_pc;
         Ok(Status::Running)
@@ -687,6 +709,7 @@ impl<'img> Machine<'img> {
         let class = match trap {
             None => "emu.trap.exit",
             Some(Trap::OutOfFuel) => "emu.trap.fuel",
+            Some(Trap::MemLimit(_)) => "emu.trap.memlimit",
             Some(Trap::DivideError(_)) => "emu.trap.divide",
             Some(Trap::Aborted) => "emu.trap.abort",
             Some(Trap::TrapInst { code, .. }) => match wyt_isa::TrapCode::guard_kind(*code) {
@@ -932,6 +955,38 @@ mod tests {
     }
 
     #[test]
+    fn cycle_budget_bounds_bulk_ext_work() {
+        // One `memset` retires a single call instruction but charges
+        // cycles proportional to the bytes it touches; a cycle budget
+        // catches the work where an instruction budget cannot.
+        let mut img = Image::new();
+        img.imports = vec!["memset".into()];
+        img.data = vec![0u8; 4096];
+        let mut a = Asm::new();
+        let top = a.here();
+        a.emit(Inst::Push { src: Operand::Imm(4096) });
+        a.emit(Inst::Push { src: Operand::Imm(0) });
+        a.emit(Inst::Push { src: Operand::Imm(img.data_base as i32) });
+        a.emit(Inst::CallExt { idx: 0 });
+        a.emit(Inst::Alu {
+            op: AluOp::Add,
+            size: Size::D,
+            dst: Operand::Reg(Reg::Esp),
+            src: Operand::Imm(12),
+        });
+        a.jmp(top);
+        let out = a.finish(img.text_base);
+        img.text = out.bytes;
+        img.entry = img.text_base;
+        let mut m = Machine::new(&img, vec![]);
+        m.set_fuel(u64::MAX);
+        m.set_cycle_budget(100_000);
+        let r = m.run();
+        assert_eq!(r.trap, Some(Trap::OutOfFuel));
+        assert!(r.cycles < 110_000, "budget overshoot: {}", r.cycles);
+    }
+
+    #[test]
     fn fuel_boundary_is_exact() {
         // `fuel` is the maximum number of *retired* instructions: a program
         // that retires exactly N instructions completes with fuel == N and
@@ -973,6 +1028,34 @@ mod tests {
         let r = m.run();
         assert_eq!(r.trap, Some(Trap::OutOfFuel));
         assert_eq!(r.inst_count, 0);
+    }
+
+    #[test]
+    fn address_space_sweep_traps_mem_limit() {
+        // eax = 0; loop: mov [eax], al; eax += PAGE_SIZE; jmp loop —
+        // touches a fresh page every iteration, which must hit the
+        // resident-page ceiling as a typed trap, not exhaust host RAM.
+        let mut a = Asm::new();
+        a.emit(movri(Reg::Eax, 0));
+        let top = a.here();
+        a.emit(Inst::Mov {
+            size: Size::B,
+            dst: Operand::Mem(Mem::base_disp(Reg::Eax, 0)),
+            src: Operand::Reg(Reg::Eax),
+        });
+        a.emit(Inst::Alu {
+            op: AluOp::Add,
+            size: Size::D,
+            dst: Operand::Reg(Reg::Eax),
+            src: Operand::Imm(crate::memory::PAGE_SIZE as i32),
+        });
+        a.jmp(top);
+        let img = image_of(a);
+        let mut m = Machine::new(&img, vec![]);
+        m.mem.set_page_cap(64);
+        let r = m.run();
+        assert!(matches!(r.trap, Some(Trap::MemLimit(_))), "{:?}", r.trap);
+        assert!(m.mem.resident_pages() <= 64);
     }
 
     #[test]

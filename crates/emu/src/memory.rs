@@ -12,9 +12,31 @@ pub const PAGE_SIZE: u32 = 1 << PAGE_BITS;
 /// Both the machine emulator and the IR interpreter execute against this
 /// type, so a lifted program literally shares the address-space model of
 /// the binary it was lifted from (the paper's Fig. 1 process image).
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct Memory {
     pages: HashMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+    /// Maximum resident pages before writes are discarded and
+    /// [`Memory::cap_hit`] latches. A hostile program sweeping the 4 GiB
+    /// address space would otherwise allocate a page per write.
+    page_cap: usize,
+    /// Sticky flag: a write needed a new page beyond `page_cap`. The
+    /// write went to a scratch page (so every access stays infallible);
+    /// the machine checks this each step and raises a typed trap.
+    cap_hit: bool,
+    /// Overflow scratch page, lazily allocated on the first over-cap
+    /// write. Never read back through `page`.
+    scratch: Option<Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+/// Default resident-page ceiling: 64 Ki pages = 256 MiB, far above any
+/// legitimate in-tree workload but small enough that a hostile image
+/// cannot exhaust host memory.
+pub const DEFAULT_PAGE_CAP: usize = 1 << 16;
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory { pages: HashMap::new(), page_cap: DEFAULT_PAGE_CAP, cap_hit: false, scratch: None }
+    }
 }
 
 impl Memory {
@@ -23,12 +45,42 @@ impl Memory {
         Memory::default()
     }
 
+    /// Lower (or raise) the resident-page ceiling. Existing pages stay.
+    pub fn set_page_cap(&mut self, pages: usize) {
+        self.page_cap = pages;
+    }
+
+    /// `true` once a write has been dropped because the address space
+    /// exceeded the page cap. Sticky.
+    pub fn cap_hit(&self) -> bool {
+        self.cap_hit
+    }
+
+    /// Number of currently resident (allocated) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Bytes beyond which any bulk operation is guaranteed to blow the
+    /// page cap; callers clamp their loops to this to bound time as
+    /// well as space.
+    pub fn cap_bytes(&self) -> u64 {
+        (self.page_cap as u64 + 2) << PAGE_BITS
+    }
+
     fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE as usize]> {
         self.pages.get(&(addr >> PAGE_BITS)).map(|b| &**b)
     }
 
     fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE as usize] {
-        self.pages.entry(addr >> PAGE_BITS).or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+        let key = addr >> PAGE_BITS;
+        if !self.pages.contains_key(&key) && self.pages.len() >= self.page_cap {
+            // Over the cap: latch the flag and absorb the write into
+            // the scratch page so callers never observe a fault here.
+            self.cap_hit = true;
+            return self.scratch.get_or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+        }
+        self.pages.entry(key).or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
     }
 
     /// Read one byte.
@@ -188,6 +240,27 @@ mod tests {
         m.write_sized(0x100, 0x12, Size::B);
         assert_eq!(m.read_u32(0x100), 0xffff_ff12);
         assert_eq!(m.read_sized(0x100, Size::W), 0xff12);
+    }
+
+    #[test]
+    fn page_cap_latches_instead_of_allocating() {
+        let mut m = Memory::new();
+        m.set_page_cap(2);
+        m.write_u8(0, 1);
+        m.write_u8(PAGE_SIZE, 2);
+        assert!(!m.cap_hit());
+        assert_eq!(m.resident_pages(), 2);
+        // Third page: the write is absorbed, the flag latches, nothing
+        // new is resident.
+        m.write_u8(PAGE_SIZE * 2, 3);
+        assert!(m.cap_hit());
+        assert_eq!(m.resident_pages(), 2);
+        // Earlier pages still read back; the dropped write reads zero.
+        assert_eq!(m.read_u8(0), 1);
+        assert_eq!(m.read_u8(PAGE_SIZE * 2), 0);
+        // Writes to already-resident pages still land.
+        m.write_u8(1, 9);
+        assert_eq!(m.read_u8(1), 9);
     }
 
     #[test]

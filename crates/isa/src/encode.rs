@@ -322,6 +322,17 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    /// An operand that will be written to: immediates are rejected here
+    /// so no consumer (emulator, lifter) ever sees `Imm` as a
+    /// destination — hostile encodings become a decode error, not a
+    /// downstream panic.
+    fn dst_operand(&mut self) -> Result<Operand, DecodeError> {
+        match self.operand()? {
+            Operand::Imm(_) => Err(DecodeError::BadField("destination")),
+            o => Ok(o),
+        }
+    }
+
     fn cc(&mut self) -> Result<Cc, DecodeError> {
         let b = self.u8()?;
         Cc::ALL.get(b as usize).copied().ok_or(DecodeError::BadField("condition code"))
@@ -342,7 +353,7 @@ pub fn decode(buf: &[u8]) -> Result<(Inst, usize), DecodeError> {
         op::HALT => Inst::Halt,
         op::MOV => {
             let size = c.size()?;
-            let dst = c.operand()?;
+            let dst = c.dst_operand()?;
             let src = c.operand()?;
             Inst::Mov { size, dst, src }
         }
@@ -373,7 +384,7 @@ pub fn decode(buf: &[u8]) -> Result<(Inst, usize), DecodeError> {
                 _ => return Err(DecodeError::BadField("alu op")),
             };
             let size = c.size()?;
-            let dst = c.operand()?;
+            let dst = c.dst_operand()?;
             let src = c.operand()?;
             Inst::Alu { op: a, size, dst, src }
         }
@@ -403,12 +414,12 @@ pub fn decode(buf: &[u8]) -> Result<(Inst, usize), DecodeError> {
         op::IDIV => Inst::Idiv { src: c.operand()? },
         op::NEG => {
             let size = c.size()?;
-            let dst = c.operand()?;
+            let dst = c.dst_operand()?;
             Inst::Neg { size, dst }
         }
         op::NOT => {
             let size = c.size()?;
-            let dst = c.operand()?;
+            let dst = c.dst_operand()?;
             Inst::Not { size, dst }
         }
         op::SHIFT => {
@@ -419,7 +430,7 @@ pub fn decode(buf: &[u8]) -> Result<(Inst, usize), DecodeError> {
                 _ => return Err(DecodeError::BadField("shift op")),
             };
             let size = c.size()?;
-            let dst = c.operand()?;
+            let dst = c.dst_operand()?;
             let amount = match c.u8()? {
                 0 => ShiftAmount::Imm(c.u8()?),
                 1 => ShiftAmount::Cl,
@@ -428,7 +439,7 @@ pub fn decode(buf: &[u8]) -> Result<(Inst, usize), DecodeError> {
             Inst::Shift { op: s, size, dst, amount }
         }
         op::PUSH => Inst::Push { src: c.operand()? },
-        op::POP => Inst::Pop { dst: c.operand()? },
+        op::POP => Inst::Pop { dst: c.dst_operand()? },
         op::CALL => Inst::Call { target: c.u32()? },
         op::CALLIND => Inst::CallInd { target: c.operand()? },
         op::CALLEXT => Inst::CallExt { idx: c.u16()? },
@@ -506,6 +517,14 @@ mod tests {
         let mut buf = vec![super::op::LEA, 0, 0x80 | 0x08, 3];
         buf.extend_from_slice(&0i32.to_le_bytes());
         assert_eq!(decode(&buf), Err(DecodeError::BadField("scale")));
+        // Immediate destinations are rejected at decode time.
+        let mut buf = vec![super::op::MOV, 2, 1];
+        buf.extend_from_slice(&7i32.to_le_bytes());
+        buf.extend_from_slice(&[0, 0]);
+        assert_eq!(decode(&buf), Err(DecodeError::BadField("destination")));
+        let mut buf = vec![super::op::POP, 1];
+        buf.extend_from_slice(&7i32.to_le_bytes());
+        assert_eq!(decode(&buf), Err(DecodeError::BadField("destination")));
     }
 
     fn arb_reg(rng: &mut Rng) -> Reg {
@@ -521,6 +540,14 @@ mod tests {
         let index =
             if rng.next_bool() { Some((arb_reg(rng), *rng.choose(&[1u8, 2, 4, 8]))) } else { None };
         Mem { base, index, disp: rng.next_i32() }
+    }
+
+    fn arb_dst(rng: &mut Rng) -> Operand {
+        if rng.next_bool() {
+            Operand::Reg(arb_reg(rng))
+        } else {
+            Operand::Mem(arb_mem(rng))
+        }
     }
 
     fn arb_operand(rng: &mut Rng) -> Operand {
@@ -540,14 +567,14 @@ mod tests {
             0 => Inst::Nop,
             1 => Inst::Halt,
             2 => Inst::Leave,
-            3 => Inst::Mov { size: arb_size(rng), dst: arb_operand(rng), src: arb_operand(rng) },
+            3 => Inst::Mov { size: arb_size(rng), dst: arb_dst(rng), src: arb_operand(rng) },
             4 => Inst::Movzx { from: arb_size(rng), dst: arb_reg(rng), src: arb_operand(rng) },
             5 => Inst::Movsx { from: arb_size(rng), dst: arb_reg(rng), src: arb_operand(rng) },
             6 => Inst::Lea { dst: arb_reg(rng), mem: arb_mem(rng) },
             7 => Inst::Alu {
                 op: *rng.choose(&[AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor]),
                 size: arb_size(rng),
-                dst: arb_operand(rng),
+                dst: arb_dst(rng),
                 src: arb_operand(rng),
             },
             8 => Inst::Cmp { size: arb_size(rng), a: arb_operand(rng), b: arb_operand(rng) },
@@ -555,12 +582,12 @@ mod tests {
             10 => Inst::Imul { dst: arb_reg(rng), src: arb_operand(rng) },
             11 => Inst::ImulI { dst: arb_reg(rng), src: arb_operand(rng), imm: rng.next_i32() },
             12 => Inst::Idiv { src: arb_operand(rng) },
-            13 => Inst::Neg { size: arb_size(rng), dst: arb_operand(rng) },
-            14 => Inst::Not { size: arb_size(rng), dst: arb_operand(rng) },
+            13 => Inst::Neg { size: arb_size(rng), dst: arb_dst(rng) },
+            14 => Inst::Not { size: arb_size(rng), dst: arb_dst(rng) },
             15 => Inst::Shift {
                 op: *rng.choose(&[ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar]),
                 size: arb_size(rng),
-                dst: arb_operand(rng),
+                dst: arb_dst(rng),
                 amount: if rng.next_bool() {
                     ShiftAmount::Imm(rng.next_u8())
                 } else {
@@ -568,7 +595,7 @@ mod tests {
                 },
             },
             16 => Inst::Push { src: arb_operand(rng) },
-            17 => Inst::Pop { dst: arb_operand(rng) },
+            17 => Inst::Pop { dst: arb_dst(rng) },
             18 => Inst::Call { target: rng.next_u32() },
             19 => Inst::CallInd { target: arb_operand(rng) },
             20 => Inst::CallExt { idx: rng.next_u32() as u16 },

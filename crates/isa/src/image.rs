@@ -115,9 +115,13 @@ impl Image {
         Image { text_base: TEXT_BASE, data_base: DATA_BASE, ..Image::default() }
     }
 
-    /// End address (exclusive) of the text segment.
+    /// End address (exclusive) of the text segment. Saturates at
+    /// `u32::MAX` for images whose text would wrap the address space
+    /// (such images fail `DecodeLimits::validate_image`; this keeps
+    /// inspection of them panic-free in the meantime).
     pub fn text_end(&self) -> u32 {
-        self.text_base + self.text.len() as u32
+        let end = u64::from(self.text_base) + self.text.len() as u64;
+        u32::try_from(end).unwrap_or(u32::MAX)
     }
 
     /// `true` if `addr` lies within the text segment.

@@ -32,10 +32,12 @@ pub mod asm;
 mod encode;
 pub mod image;
 mod inst;
+pub mod limits;
 pub mod trap;
 
 pub use encode::{decode, encode, encoded_len, DecodeError};
 pub use inst::{AluOp, Cc, Inst, Mem, Operand, Reg, ShiftAmount, ShiftOp, Size};
+pub use limits::{DecodeLimits, LimitError};
 pub use trap::{GuardKind, GuardSite, TrapCode};
 
 /// Number of general purpose registers.

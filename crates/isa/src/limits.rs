@@ -1,0 +1,161 @@
+//! Resource ceilings for ingesting untrusted images.
+//!
+//! A hostile image can claim segment bases near `u32::MAX`, carry
+//! megabytes of junk text, or decode into pathological instruction
+//! streams. [`DecodeLimits`] is the single knob bundle every ingestion
+//! frontend shares: [`validate_image`](DecodeLimits::validate_image)
+//! runs before any decoding work, and the lifter charges its CFG walk
+//! and function-recovery fixpoint against the same limits so lifting a
+//! hostile image is fuel-bounded like any other budgeted job.
+
+use crate::image::Image;
+use std::fmt;
+
+/// Ceilings applied while decoding and lifting an untrusted image.
+///
+/// Defaults are far above anything the in-tree compiler produces but
+/// low enough that a hostile artifact cannot drive unbounded work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeLimits {
+    /// Maximum instructions decoded across one CFG build.
+    pub max_insts: usize,
+    /// Maximum basic blocks in one CFG build.
+    pub max_blocks: usize,
+    /// Maximum recovered functions per module.
+    pub max_funcs: usize,
+    /// Maximum total module size (text + data + bss) in bytes.
+    pub max_module_bytes: usize,
+}
+
+impl Default for DecodeLimits {
+    fn default() -> DecodeLimits {
+        DecodeLimits {
+            max_insts: 1 << 22,
+            max_blocks: 1 << 20,
+            max_funcs: 1 << 16,
+            max_module_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Why an image was rejected before any decode work started.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LimitError {
+    /// text + data + bss exceeds [`DecodeLimits::max_module_bytes`].
+    ModuleTooLarge {
+        /// Total module size in bytes.
+        size: u64,
+        /// The configured ceiling.
+        limit: usize,
+    },
+    /// A segment wraps the 32-bit address space.
+    SegmentWraps {
+        /// `"text"` or `"data"`.
+        segment: &'static str,
+    },
+    /// The entry point is not inside the text segment.
+    EntryOutsideText {
+        /// The claimed entry address.
+        entry: u32,
+    },
+}
+
+impl fmt::Display for LimitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LimitError::ModuleTooLarge { size, limit } => {
+                write!(f, "module size {size} exceeds limit {limit}")
+            }
+            LimitError::SegmentWraps { segment } => {
+                write!(f, "{segment} segment wraps the address space")
+            }
+            LimitError::EntryOutsideText { entry } => {
+                write!(f, "entry {entry:#x} is outside the text segment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LimitError {}
+
+impl DecodeLimits {
+    /// Check the structural ceilings an image must satisfy before any
+    /// byte of it is decoded: total size, segment wrap-around, entry
+    /// placement. Runs in O(1).
+    ///
+    /// # Errors
+    /// The first violated ceiling as a typed [`LimitError`].
+    pub fn validate_image(&self, img: &Image) -> Result<(), LimitError> {
+        let size = img.text.len() as u64 + img.data.len() as u64 + u64::from(img.bss_size);
+        if size > self.max_module_bytes as u64 {
+            return Err(LimitError::ModuleTooLarge { size, limit: self.max_module_bytes });
+        }
+        if u64::from(img.text_base) + img.text.len() as u64 > u64::from(u32::MAX) {
+            return Err(LimitError::SegmentWraps { segment: "text" });
+        }
+        if u64::from(img.data_base) + img.data.len() as u64 + u64::from(img.bss_size)
+            > u64::from(u32::MAX)
+        {
+            return Err(LimitError::SegmentWraps { segment: "data" });
+        }
+        if !img.contains_code(img.entry) {
+            return Err(LimitError::EntryOutsideText { entry: img.entry });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{encode, Inst};
+
+    fn tiny() -> Image {
+        let mut img = Image::new();
+        encode(&Inst::Halt, &mut img.text);
+        img.entry = img.text_base;
+        img
+    }
+
+    #[test]
+    fn well_formed_image_passes() {
+        assert_eq!(DecodeLimits::default().validate_image(&tiny()), Ok(()));
+    }
+
+    #[test]
+    fn oversized_module_is_rejected() {
+        let mut img = tiny();
+        img.bss_size = u32::MAX;
+        let err = DecodeLimits::default().validate_image(&img).unwrap_err();
+        assert!(matches!(err, LimitError::ModuleTooLarge { .. }), "{err}");
+    }
+
+    #[test]
+    fn wrapping_segments_are_rejected() {
+        let mut img = tiny();
+        img.text_base = u32::MAX - 1;
+        img.text = vec![0; 8];
+        img.entry = img.text_base;
+        assert_eq!(
+            DecodeLimits::default().validate_image(&img),
+            Err(LimitError::SegmentWraps { segment: "text" })
+        );
+        let mut img = tiny();
+        img.data_base = u32::MAX;
+        img.bss_size = 16;
+        assert_eq!(
+            DecodeLimits::default().validate_image(&img),
+            Err(LimitError::SegmentWraps { segment: "data" })
+        );
+    }
+
+    #[test]
+    fn stray_entry_is_rejected() {
+        let mut img = tiny();
+        img.entry = 0;
+        assert_eq!(
+            DecodeLimits::default().validate_image(&img),
+            Err(LimitError::EntryOutsideText { entry: 0 })
+        );
+    }
+}

@@ -10,7 +10,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use wyt_emu::TransferKind;
 use wyt_isa::image::Image;
-use wyt_isa::Inst;
+use wyt_isa::{DecodeLimits, Inst};
 
 /// How one machine block ends.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +76,14 @@ pub enum CfgError {
     TargetOutsideText(u32),
     /// A terminator instruction the CFG builder does not model.
     UnsupportedTerminator(u32),
+    /// The trace implies a CFG larger than the decode limits allow
+    /// (hostile input defense; see [`wyt_isa::DecodeLimits`]).
+    LimitExceeded {
+        /// Which resource ran out ("blocks" or "instructions").
+        what: &'static str,
+        /// The configured ceiling.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for CfgError {
@@ -86,17 +94,36 @@ impl fmt::Display for CfgError {
             CfgError::UnsupportedTerminator(a) => {
                 write!(f, "unmodeled terminator at {a:#x}")
             }
+            CfgError::LimitExceeded { what, limit } => {
+                write!(f, "cfg exceeds decode limit: more than {limit} {what}")
+            }
         }
     }
 }
 
 impl std::error::Error for CfgError {}
 
-/// Build the machine CFG from a merged trace.
+/// Build the machine CFG from a merged trace, under the default
+/// [`DecodeLimits`].
 ///
 /// # Errors
 /// Returns a [`CfgError`] if traced addresses cannot be decoded.
 pub fn build_cfg(img: &Image, trace: &Trace) -> Result<MachCfg, CfgError> {
+    build_cfg_limited(img, trace, &DecodeLimits::default())
+}
+
+/// Build the machine CFG from a merged trace, refusing to grow past the
+/// given [`DecodeLimits`] (hostile images can otherwise make the walk
+/// decode unboundedly — e.g. a text segment wrapping the address space).
+///
+/// # Errors
+/// Returns a [`CfgError`] if traced addresses cannot be decoded or the
+/// CFG would exceed `limits`.
+pub fn build_cfg_limited(
+    img: &Image,
+    trace: &Trace,
+    limits: &DecodeLimits,
+) -> Result<MachCfg, CfgError> {
     let mut starts: BTreeSet<u32> = BTreeSet::new();
     starts.insert(img.entry);
     for (_, to, _) in &trace.edges {
@@ -105,16 +132,27 @@ pub fn build_cfg(img: &Image, trace: &Trace) -> Result<MachCfg, CfgError> {
         }
         starts.insert(*to);
     }
+    if starts.len() > limits.max_blocks {
+        return Err(CfgError::LimitExceeded { what: "blocks", limit: limits.max_blocks });
+    }
 
     let mut cfg =
         MachCfg { blocks: BTreeMap::new(), call_targets: trace.call_targets(), entry: img.entry };
 
+    let mut total_insts = 0usize;
     for &start in &starts {
         let mut insts = Vec::new();
         let mut pc = start;
         let end = loop {
             let (inst, len) = img.decode_at(pc).map_err(|_| CfgError::BadDecode(pc))?;
-            let next = pc + len as u32;
+            total_insts += 1;
+            if total_insts > limits.max_insts {
+                return Err(CfgError::LimitExceeded {
+                    what: "instructions",
+                    limit: limits.max_insts,
+                });
+            }
+            let next = pc.wrapping_add(len as u32);
             if inst.is_terminator() {
                 insts.push((pc, inst));
                 break match inst {
@@ -219,6 +257,27 @@ mod tests {
             )
         });
         assert!(has_half_jcc, "one branch side should be untraced");
+    }
+
+    #[test]
+    fn limits_bound_cfg_growth() {
+        let src = "int main() { return 42; }";
+        let img = compile(src, &Profile::gcc44_o3()).unwrap();
+        let (trace, _) = trace_image(&img, &[vec![]]);
+        // Generous limits: fine.
+        assert!(build_cfg_limited(&img, &trace, &DecodeLimits::default()).is_ok());
+        // One-instruction budget: typed error, no panic, no runaway walk.
+        let tight = DecodeLimits { max_insts: 1, ..DecodeLimits::default() };
+        assert_eq!(
+            build_cfg_limited(&img, &trace, &tight),
+            Err(CfgError::LimitExceeded { what: "instructions", limit: 1 })
+        );
+        // Zero-block budget trips the start-count check.
+        let none = DecodeLimits { max_blocks: 0, ..DecodeLimits::default() };
+        assert!(matches!(
+            build_cfg_limited(&img, &trace, &none),
+            Err(CfgError::LimitExceeded { what: "blocks", .. })
+        ));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::cfg::{BlockEnd, MachCfg};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use wyt_isa::DecodeLimits;
 
 /// A recovered machine function. `PartialEq` supports the healing loop's
 /// CFG diff: a function re-recovered from a merged trace is "changed"
@@ -44,6 +45,12 @@ pub enum FuncRecError {
     OrphanBlock(u32),
     /// A reachable block decoded to zero instructions (malformed trace).
     EmptyBlock(u32),
+    /// Recovery produced more function entries than the decode limits
+    /// allow (hostile input defense; see [`wyt_isa::DecodeLimits`]).
+    TooManyFuncs {
+        /// The configured ceiling.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for FuncRecError {
@@ -54,21 +61,41 @@ impl fmt::Display for FuncRecError {
             }
             FuncRecError::OrphanBlock(b) => write!(f, "block {b:#x} unreachable from any entry"),
             FuncRecError::EmptyBlock(b) => write!(f, "block {b:#x} has no instructions"),
+            FuncRecError::TooManyFuncs { limit } => {
+                write!(f, "recovery exceeds decode limit: more than {limit} functions")
+            }
         }
     }
 }
 
 impl std::error::Error for FuncRecError {}
 
-/// Recover function boundaries.
+/// Recover function boundaries under the default [`DecodeLimits`].
 ///
 /// # Errors
 /// Returns a [`FuncRecError`] on inconsistent frames or orphan blocks.
 pub fn recover_functions(cfg: &MachCfg) -> Result<FuncMap, FuncRecError> {
+    recover_functions_limited(cfg, &DecodeLimits::default())
+}
+
+/// Recover function boundaries, refusing to promote past
+/// `limits.max_funcs` entries (hostile traces can otherwise seed an
+/// entry per byte of text).
+///
+/// # Errors
+/// Returns a [`FuncRecError`] on inconsistent frames, orphan blocks, or
+/// limit exhaustion.
+pub fn recover_functions_limited(
+    cfg: &MachCfg,
+    limits: &DecodeLimits,
+) -> Result<FuncMap, FuncRecError> {
     let mut entries: BTreeSet<u32> = cfg.call_targets.clone();
     entries.insert(cfg.entry);
 
     loop {
+        if entries.len() > limits.max_funcs {
+            return Err(FuncRecError::TooManyFuncs { limit: limits.max_funcs });
+        }
         // Membership count per block given current entries.
         let mut member_of: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
         for &e in &entries {
@@ -199,6 +226,22 @@ mod tests {
         assert!(results.iter().all(|r| r.ok()));
         let cfg = build_cfg(&img, &trace).unwrap();
         (recover_functions(&cfg).unwrap(), img)
+    }
+
+    #[test]
+    fn func_limit_is_a_typed_error() {
+        let src = r#"
+            int helper(int x) { return x * 3; }
+            int main() { return helper(5); }
+        "#;
+        let img = compile(src, &Profile::gcc44_o3()).unwrap();
+        let (trace, _) = trace_image(&img, &[vec![]]);
+        let cfg = build_cfg(&img, &trace).unwrap();
+        let tight = wyt_isa::DecodeLimits { max_funcs: 1, ..Default::default() };
+        assert_eq!(
+            recover_functions_limited(&cfg, &tight),
+            Err(FuncRecError::TooManyFuncs { limit: 1 })
+        );
     }
 
     #[test]

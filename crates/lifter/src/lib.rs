@@ -24,9 +24,9 @@ pub mod stream;
 pub mod trace;
 pub mod translate;
 
-pub use cfg::{BlockEnd, CfgError, MachBlock, MachCfg};
+pub use cfg::{build_cfg_limited, BlockEnd, CfgError, MachBlock, MachCfg};
 pub use extdb::{ext_sig, ExtEffect, ExtSig, SizeSpec};
-pub use funcrec::{FuncMap, FuncRecError, MachFunc};
+pub use funcrec::{recover_functions_limited, FuncMap, FuncRecError, MachFunc};
 pub use trace::{trace_image, MergeDelta, Trace};
 pub use translate::{
     is_emustack_addr, is_vcpu_addr, translate, vcpu_reg_addr, vcpu_vreg_addr, LiftError,

@@ -47,7 +47,7 @@
 //! `lift_image_faulted` because both paths hand the same merged trace to
 //! the same code.
 
-use crate::cfg::{self, BlockEnd, MachBlock, MachCfg};
+use crate::cfg::{BlockEnd, MachBlock, MachCfg};
 use crate::funcrec::{self, FuncMap};
 use crate::trace::Trace;
 use crate::translate::{self, LiftedMeta};
@@ -463,9 +463,12 @@ impl<'i> OnlineLift<'i> {
                 }
                 Err(_) => {
                     // Past the last instruction start — inside its bytes?
+                    // INVARIANT: decode_block inserts only blocks with at
+                    // least one instruction, and split keeps both halves
+                    // non-empty, so `insts` is never empty here.
                     let (lpc, _) = *b.insts.last().expect("blocks are never empty");
                     if let Ok((_, len)) = self.img.decode_at(lpc) {
-                        if at < lpc + len as u32 {
+                        if u64::from(at) < u64::from(lpc) + len as u64 {
                             self.anomaly = true;
                             return;
                         }
@@ -480,6 +483,8 @@ impl<'i> OnlineLift<'i> {
     /// starts a new block; the front falls into it.
     fn split(&mut self, baddr: u32, i: usize, at: u32) {
         debug_assert!(i >= 1, "split index 0 would duplicate the block");
+        // INVARIANT: `baddr` was just read out of `self.blocks` by the
+        // caller's range lookup; nothing removes it in between.
         let mut front = self.blocks.remove(&baddr).expect("covering block exists");
         let tail_insts = front.insts.split_off(i);
         let tail_end = std::mem::replace(&mut front.end, BlockEnd::FallInto(at));
@@ -500,7 +505,13 @@ impl<'i> OnlineLift<'i> {
                 self.anomaly = true;
                 return;
             };
-            let next = pc + len as u32;
+            let next = pc.wrapping_add(len as u32);
+            // A pc that wraps the address space (text ending at 4 GiB)
+            // is off any sane decode grid; freeze rather than loop.
+            if next <= pc {
+                self.anomaly = true;
+                return;
+            }
             // An existing block start strictly inside this instruction's
             // bytes means two decode grids overlap; freeze.
             if self.blocks.range(pc + 1..next).next().is_some() {
@@ -579,6 +590,8 @@ impl<'i> OnlineLift<'i> {
                         }
                     }
                     (BlockEnd::JmpInd(ts), TransferKind::IndJump) => {
+                        // INVARIANT: `new_ind` is populated earlier in
+                        // this function for every IndJump edge.
                         let new = new_ind.expect("computed for IndJump above");
                         if *ts != new {
                             *ts = new;
@@ -668,10 +681,12 @@ impl<'i> OnlineLift<'i> {
         }
         let cfg = MachCfg { blocks, call_targets, entry: img.entry };
         #[cfg(debug_assertions)]
-        match cfg::build_cfg(img, &trace) {
+        match crate::cfg::build_cfg(img, &trace) {
             Ok(rebuilt) => {
                 debug_assert!(cfg == rebuilt, "incremental CFG diverged from build_cfg")
             }
+            // Debug-build-only self check (see cfg(debug_assertions)
+            // above): release ingestion never reaches this panic.
             Err(e) => panic!("build_cfg failed where the incremental build succeeded: {e}"),
         }
         let (funcs, module, meta) = match spec {

@@ -225,6 +225,10 @@ impl<'a> FnTranslator<'a> {
                 let addr = self.ea(m);
                 self.emit(InstKind::Store { ty: size_to_ty(size), addr, val: v });
             }
+            // INVARIANT: the decoder rejects immediate destinations
+            // (`DecodeError::BadField("destination")`), and every inst
+            // reaching the translator came through `Image::decode_at`,
+            // so this arm cannot fire on any input, hostile or not.
             Operand::Imm(_) => unreachable!("write to immediate"),
         }
     }
@@ -418,6 +422,9 @@ pub fn translate(
             let term = match &mblock.end {
                 BlockEnd::FallInto(n) => Term::Br(tr.target_block(*n)),
                 BlockEnd::Jmp(t) => {
+                    // INVARIANT: build_cfg pushes the terminator inst
+                    // before breaking with a non-fallthrough end, so
+                    // `insts` is non-empty for Jmp/Jcc/JmpInd blocks.
                     let (jaddr, _) = mblock.insts.last().expect("jmp");
                     if let Some(target) = mf.tail_calls.get(jaddr) {
                         // Tail call: call the target, then return.
@@ -429,6 +436,8 @@ pub fn translate(
                     }
                 }
                 BlockEnd::Jcc { taken_addr, fall_addr, .. } => {
+                    // INVARIANT: as above; and a Jcc end is only built
+                    // from an `Inst::Jcc` terminator.
                     let (jpc, jinst) = mblock.insts.last().expect("jcc");
                     let Inst::Jcc { cc, .. } = jinst else { unreachable!() };
                     let c = tr.cond_value(*jpc, *cc)?;
@@ -441,6 +450,8 @@ pub fn translate(
                 BlockEnd::JmpInd(targets) => {
                     // Re-compute the jump target value and switch over the
                     // traced targets.
+                    // INVARIANT: as above; a JmpInd end is only built
+                    // from an `Inst::JmpInd` terminator.
                     let (jpc, jinst) = mblock.insts.last().expect("jmpind");
                     let Inst::JmpInd { target } = jinst else { unreachable!() };
                     let _ = jpc;

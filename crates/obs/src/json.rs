@@ -211,14 +211,82 @@ impl Json {
     }
 }
 
+/// Resource ceilings enforced while parsing untrusted JSON text.
+///
+/// Defaults match what the repo's own artifacts need with headroom
+/// (depth 256 is exercised by `tests/obs_json.rs`); hostile documents
+/// beyond either limit get a typed error instead of a stack overflow or
+/// an unbounded allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonLimits {
+    /// Maximum container nesting depth (arrays + objects combined).
+    pub max_depth: usize,
+    /// Maximum document size in bytes, checked before parsing starts.
+    pub max_bytes: usize,
+}
+
+impl Default for JsonLimits {
+    fn default() -> JsonLimits {
+        JsonLimits { max_depth: 256, max_bytes: 64 << 20 }
+    }
+}
+
+/// Why a parse was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Malformed JSON text.
+    Syntax(String),
+    /// Container nesting exceeded [`JsonLimits::max_depth`].
+    TooDeep {
+        /// The configured depth limit.
+        limit: usize,
+    },
+    /// The document exceeded [`JsonLimits::max_bytes`].
+    TooLarge {
+        /// The document size in bytes.
+        size: usize,
+        /// The configured size limit.
+        limit: usize,
+    },
+}
+
+/// A typed JSON parse failure: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure (0 for whole-document rejections).
+    pub pos: usize,
+    /// The failure class.
+    pub kind: ParseErrorKind,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::Syntax(what) => {
+                write!(f, "json parse error at byte {}: {what}", self.pos)
+            }
+            ParseErrorKind::TooDeep { limit } => {
+                write!(f, "json parse error at byte {}: nesting deeper than {limit}", self.pos)
+            }
+            ParseErrorKind::TooLarge { size, limit } => {
+                write!(f, "json parse error: document size {size} exceeds limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
+    limits: JsonLimits,
 }
 
 impl<'a> Parser<'a> {
-    fn err<T>(&self, what: &str) -> Result<T, String> {
-        Err(format!("json parse error at byte {}: {what}", self.pos))
+    fn err<T>(&self, what: &str) -> Result<T, ParseError> {
+        Err(ParseError { pos: self.pos, kind: ParseErrorKind::Syntax(what.to_string()) })
     }
 
     fn skip_ws(&mut self) {
@@ -235,7 +303,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn eat(&mut self, b: u8) -> Result<(), String> {
+    fn eat(&mut self, b: u8) -> Result<(), ParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -244,7 +312,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn eat_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+    fn eat_lit(&mut self, lit: &str, v: Json) -> Result<Json, ParseError> {
         if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
             self.pos += lit.len();
             Ok(v)
@@ -253,7 +321,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, ParseError> {
         self.eat(b'"')?;
         let mut s = String::new();
         loop {
@@ -273,15 +341,15 @@ impl<'a> Parser<'a> {
                         Some(b'r') => s.push('\r'),
                         Some(b't') => s.push('\t'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape".to_string())?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| e.to_string())?;
+                            let Some(hex) = self.bytes.get(self.pos + 1..self.pos + 5) else {
+                                return self.err("truncated \\u escape");
+                            };
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(code) = code else {
+                                return self.err("bad \\u escape");
+                            };
                             s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                             self.pos += 4;
                         }
@@ -290,10 +358,14 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest =
-                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
-                    let c = rest.chars().next().unwrap();
+                    // Consume one UTF-8 scalar; input is `&str`, so a
+                    // scalar always starts here.
+                    let Some(c) = std::str::from_utf8(&self.bytes[self.pos..])
+                        .ok()
+                        .and_then(|rest| rest.chars().next())
+                    else {
+                        return self.err("invalid utf-8 in string");
+                    };
                     s.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -301,7 +373,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn number(&mut self) -> Result<Json, String> {
+    fn number(&mut self) -> Result<Json, ParseError> {
         let start = self.pos;
         while let Some(b) = self.peek() {
             if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
@@ -310,11 +382,27 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
-        text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number `{text}`: {e}"))
+        let Ok(text) = std::str::from_utf8(&self.bytes[start..self.pos]) else {
+            return self.err("invalid utf-8 in number");
+        };
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            _ => self.err(&format!("bad number `{text}`")),
+        }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > self.limits.max_depth {
+            return Err(ParseError {
+                pos: self.pos,
+                kind: ParseErrorKind::TooDeep { limit: self.limits.max_depth },
+            });
+        }
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
         self.skip_ws();
         match self.peek() {
             None => self.err("unexpected end of input"),
@@ -323,11 +411,13 @@ impl<'a> Parser<'a> {
             Some(b'f') => self.eat_lit("false", Json::Bool(false)),
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b'[') => {
+                self.enter()?;
                 self.pos += 1;
                 let mut items = Vec::new();
                 self.skip_ws();
                 if self.peek() == Some(b']') {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 loop {
@@ -337,6 +427,7 @@ impl<'a> Parser<'a> {
                         Some(b',') => self.pos += 1,
                         Some(b']') => {
                             self.pos += 1;
+                            self.depth -= 1;
                             return Ok(Json::Arr(items));
                         }
                         _ => return self.err("expected `,` or `]`"),
@@ -344,11 +435,13 @@ impl<'a> Parser<'a> {
                 }
             }
             Some(b'{') => {
+                self.enter()?;
                 self.pos += 1;
                 let mut members = Vec::new();
                 self.skip_ws();
                 if self.peek() == Some(b'}') {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(members));
                 }
                 loop {
@@ -363,6 +456,7 @@ impl<'a> Parser<'a> {
                         Some(b',') => self.pos += 1,
                         Some(b'}') => {
                             self.pos += 1;
+                            self.depth -= 1;
                             return Ok(Json::Obj(members));
                         }
                         _ => return self.err("expected `,` or `}`"),
@@ -374,18 +468,36 @@ impl<'a> Parser<'a> {
     }
 }
 
-/// Parse a JSON document.
+/// Parse a JSON document under explicit resource limits.
+///
+/// This is the total frontend for untrusted text: it terminates, never
+/// panics, and bounds both recursion depth and document size before
+/// doing any work.
 ///
 /// # Errors
-/// A description of the first syntax error, with its byte offset.
-pub fn parse(text: &str) -> Result<Json, String> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+/// A typed [`ParseError`]: syntax, depth, or size.
+pub fn parse_limited(text: &str, limits: &JsonLimits) -> Result<Json, ParseError> {
+    if text.len() > limits.max_bytes {
+        return Err(ParseError {
+            pos: 0,
+            kind: ParseErrorKind::TooLarge { size: text.len(), limit: limits.max_bytes },
+        });
+    }
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0, limits: *limits };
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
         return p.err("trailing data");
     }
     Ok(v)
+}
+
+/// Parse a JSON document under [`JsonLimits::default`].
+///
+/// # Errors
+/// A description of the first syntax error, with its byte offset.
+pub fn parse(text: &str) -> Result<Json, String> {
+    parse_limited(text, &JsonLimits::default()).map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -437,8 +549,46 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        for bad in ["", "{", "[1,", "{\"a\" 1}", "truth", "1 2"] {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "truth", "1 2", "1e999", "nan"] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn depth_limit_is_a_typed_error() {
+        let limits = JsonLimits::default();
+        let ok = format!("{}0{}", "[".repeat(limits.max_depth), "]".repeat(limits.max_depth));
+        assert!(parse_limited(&ok, &limits).is_ok(), "depth == limit is accepted");
+        let deep =
+            format!("{}0{}", "[".repeat(limits.max_depth + 1), "]".repeat(limits.max_depth + 1));
+        let err = parse_limited(&deep, &limits).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::TooDeep { limit: limits.max_depth });
+        // Unclosed-open bombs (the classic stack-overflow shape) are
+        // caught by the same check.
+        let bomb = "[".repeat(1 << 20);
+        let err = parse_limited(&bomb, &limits).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::TooDeep { limit: limits.max_depth });
+        // Mixed object/array nesting counts against the same budget.
+        let mixed = format!("{}0{}", "[{\"k\":".repeat(200), "}]".repeat(200));
+        assert!(matches!(
+            parse_limited(&mixed, &limits).unwrap_err().kind,
+            ParseErrorKind::TooDeep { .. }
+        ));
+    }
+
+    #[test]
+    fn size_limit_is_a_typed_error() {
+        let limits = JsonLimits { max_depth: 256, max_bytes: 16 };
+        assert!(parse_limited("[1,2,3]", &limits).is_ok());
+        let err = parse_limited("[1,2,3,4,5,6,7,8]", &limits).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::TooLarge { size: 17, limit: 16 });
+        // The size check runs before any parsing work.
+        assert!(parse_limited(&"x".repeat(17), &limits).is_err());
+    }
+
+    #[test]
+    fn typed_errors_render_with_position() {
+        let e = parse_limited("[1,", &JsonLimits::default()).unwrap_err();
+        assert!(e.to_string().starts_with("json parse error at byte"), "{e}");
     }
 }

@@ -34,7 +34,7 @@ pub mod trace;
 
 pub use env::{env_u64, env_usize, env_usize_opt};
 pub use hist::Hist;
-pub use json::Json;
+pub use json::{Json, JsonLimits, ParseError, ParseErrorKind};
 pub use report::{
     CoverageStats, Degradation, ExecStats, FuncQuality, GuardEvent, HealingReport, IrSize,
     LiftCounts, MemStats, PipelineReport, QualityStats, StageStats, WorkerStat,

@@ -52,6 +52,15 @@ pub const STORE_ENV: &str = "WYT_STORE";
 /// `evict_to_env_cap` callers.
 pub const CAP_ENV: &str = "WYT_STORE_CAP";
 
+/// Environment variable capping how many files `<root>/quarantine/`
+/// retains. Oldest quarantined files (FIFO by quarantine order) are
+/// deleted past the cap, so a stream of hostile artifacts cannot grow
+/// the quarantine without bound. Default [`DEFAULT_QUARANTINE_CAP`].
+pub const QUARANTINE_CAP_ENV: &str = "WYT_STORE_QUARANTINE_CAP";
+
+/// Default ceiling on retained quarantine files.
+pub const DEFAULT_QUARANTINE_CAP: usize = 256;
+
 /// Entry kind whose members are exempt from eviction: accumulated
 /// cross-run knowledge (union input sets, refinement facts) is tiny and
 /// monotonically valuable, unlike cached result images.
@@ -196,6 +205,11 @@ pub struct Store {
     root: PathBuf,
     fs: Box<dyn StoreFs>,
     fsck: FsckReport,
+    /// Next FIFO sequence number for quarantine filenames
+    /// (`<seq:08>-<name>`); resumes past the largest prefix on disk.
+    quarantine_seq: AtomicU64,
+    /// Retained-quarantine-file ceiling ([`QUARANTINE_CAP_ENV`]).
+    quarantine_cap: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     corrupt: AtomicU64,
@@ -228,6 +242,8 @@ impl Store {
             root,
             fs,
             fsck: FsckReport::default(),
+            quarantine_seq: AtomicU64::new(0),
+            quarantine_cap: wyt_obs::env::env_usize(QUARANTINE_CAP_ENV, DEFAULT_QUARANTINE_CAP),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
@@ -237,6 +253,7 @@ impl Store {
             io_transient: AtomicU64::new(0),
             io_fatal: AtomicU64::new(0),
         };
+        store.quarantine_seq = AtomicU64::new(store.scan_quarantine_seq());
         store.fsck = store.fsck_sweep();
         Ok(store)
     }
@@ -482,13 +499,59 @@ impl Store {
         rep
     }
 
-    /// Move `from` into `<root>/quarantine/` (best effort).
+    /// Move `from` into `<root>/quarantine/` as `<seq:08>-<name>` (best
+    /// effort), then drop the oldest quarantined files past the cap so
+    /// a stream of hostile artifacts cannot grow the directory without
+    /// bound.
     fn quarantine_file(&self, from: &Path, name: &str) -> bool {
         let qdir = self.root.join("quarantine");
         if self.fs.create_dir_all(&qdir).is_err() {
             return false;
         }
-        self.fs.rename(from, &qdir.join(name)).is_ok()
+        let seq = self.quarantine_seq.fetch_add(1, Ordering::Relaxed);
+        if self.fs.rename(from, &qdir.join(format!("{seq:08}-{name}"))).is_err() {
+            return false;
+        }
+        self.enforce_quarantine_cap(&qdir);
+        true
+    }
+
+    /// Largest quarantine filename sequence prefix on disk, plus one
+    /// (0 for a fresh or legacy quarantine directory).
+    fn scan_quarantine_seq(&self) -> u64 {
+        let Ok(files) = self.fs.read_dir(&self.root.join("quarantine")) else {
+            return 0;
+        };
+        files
+            .iter()
+            .filter_map(|f| f.file_name())
+            .filter_map(|n| n.to_string_lossy().split('-').next()?.parse::<u64>().ok())
+            .map(|seq| seq + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Delete the lexicographically smallest (oldest-sequence) files in
+    /// `qdir` until at most [`Self::quarantine_cap`] remain. Counted as
+    /// `store.fsck.quarantine_evicted`.
+    fn enforce_quarantine_cap(&self, qdir: &Path) {
+        let Ok(mut files) = self.fs.read_dir(qdir) else {
+            return;
+        };
+        if files.len() <= self.quarantine_cap {
+            return;
+        }
+        files.sort();
+        let excess = files.len() - self.quarantine_cap;
+        let mut evicted = 0u64;
+        for f in files.iter().take(excess) {
+            if self.fs.remove_file(f).is_ok() {
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            wyt_obs::counter("store.fsck.quarantine_evicted", evicted);
+        }
     }
 
     /// Every entry on disk, sorted by `(stamp, kind, key)` — the eviction
@@ -565,6 +628,17 @@ impl Store {
         }
         Ok(removed)
     }
+}
+
+/// Validate one entry's raw text end to end — parse, format version,
+/// kind/key identity, payload checksum — returning the payload. Public
+/// so ingestion hardening can drive arbitrary bytes through the exact
+/// validation [`Store::get`] uses.
+///
+/// # Errors
+/// A human-readable description of the first failed check.
+pub fn validate_entry_text(kind: &str, key: &str, text: &str) -> Result<Json, String> {
+    check_entry_text(kind, key, text)
 }
 
 /// Validate one entry's raw text end to end — parse, format version,
@@ -775,10 +849,65 @@ mod tests {
         assert!(matches!(s.get("artifact", &key), Lookup::Miss));
         assert!(matches!(s.get("artifact", &other), Lookup::Hit(_)));
         assert_eq!(s.counters().corrupt, 0);
-        assert!(root.join("quarantine").join(format!("{key}.artifact.json")).exists());
+        // Quarantine filenames carry a FIFO sequence prefix.
+        let qnames: Vec<String> = std::fs::read_dir(root.join("quarantine"))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(qnames.iter().any(|n| n.ends_with(&format!("{key}.artifact.json"))), "{qnames:?}");
         // Quarantined files are invisible to scans and eviction.
         assert_eq!(s.entries().unwrap().len(), 1);
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn quarantine_cap_evicts_oldest_first() {
+        let s = tmp_store("qcap");
+        let keys: Vec<String> =
+            (0..5u64).map(|n| Store::derive_key("artifact", vec![("n", Json::from(n))])).collect();
+        for (n, key) in keys.iter().enumerate() {
+            s.put("artifact", key, n as u64, payload(n as u64)).unwrap();
+            // Truncate: fails validation at the next open.
+            let path = s.path_for("artifact", key);
+            let good = std::fs::read_to_string(&path).unwrap();
+            std::fs::write(&path, &good[..good.len() / 3]).unwrap();
+        }
+        let root = s.root().to_path_buf();
+        drop(s);
+
+        std::env::set_var(QUARANTINE_CAP_ENV, "2");
+        let s = Store::open(&root).unwrap();
+        std::env::remove_var(QUARANTINE_CAP_ENV);
+        assert_eq!(s.fsck_report().quarantined, 5);
+        drop(s);
+
+        // Only the two newest-sequence files survive.
+        let mut qnames: Vec<String> = std::fs::read_dir(root.join("quarantine"))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        qnames.sort();
+        assert_eq!(qnames.len(), 2, "{qnames:?}");
+        assert!(qnames[0].starts_with("00000003-"), "{qnames:?}");
+        assert!(qnames[1].starts_with("00000004-"), "{qnames:?}");
+
+        // The sequence resumes past what is on disk at the next open.
+        let s = Store::open(&root).unwrap();
+        let key = Store::derive_key("artifact", vec![("n", Json::from(9u64))]);
+        s.put("artifact", &key, 9, payload(9)).unwrap();
+        let path = s.path_for("artifact", &key);
+        let good = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &good[..good.len() / 3]).unwrap();
+        let root2 = s.root().to_path_buf();
+        drop(s);
+        let s = Store::open(&root2).unwrap();
+        assert_eq!(s.fsck_report().quarantined, 1);
+        let qnames: Vec<String> = std::fs::read_dir(root2.join("quarantine"))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(qnames.iter().any(|n| n.starts_with("00000005-")), "{qnames:?}");
+        let _ = std::fs::remove_dir_all(&root2);
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Deterministic mutation-fuzzing CLI over the suite's total
+//! ingestion frontends (`wyt_testkit::fuzz`).
+//!
+//! ```sh
+//! cargo run --release -p wyt-testkit --bin wyt-fuzz -- \
+//!     --surface isa --iters 10000 --seed 0xf0cc5eed00000001
+//! cargo run ... --bin wyt-fuzz -- --surface all --iters 1000
+//! cargo run ... --bin wyt-fuzz -- --replay tests/crashes
+//! ```
+//!
+//! Exit code is nonzero iff any finding (frontend panic) was observed.
+//! A campaign's findings are fully determined by `(surface, iters,
+//! seed)` — serial and `WYT_PAR=n` runs report identical results, and
+//! `WYT_FUZZ=<seed>` overrides the seed for replays. With `--out DIR`
+//! each minimized finding is written to `DIR/<surface>-<seed>-<index>.bin`
+//! in the format the crash-corpus regression gate replays.
+//!
+//! `--replay DIR` drives every `*.bin` file in `DIR` (surface taken
+//! from the filename prefix) back through its frontend and fails on
+//! any panic — the standing regression gate over `tests/crashes/`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use wyt_testkit::fuzz::{self, Surface};
+
+fn parse_seed(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => raw.parse().ok(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: wyt-fuzz [--surface isa|image|trace|envelope|json|emu|all] \
+         [--iters N] [--seed S] [--out DIR] | --replay DIR"
+    );
+    ExitCode::FAILURE
+}
+
+/// Fuzz one surface; returns the number of findings.
+fn run_surface(surface: Surface, iters: usize, seed: u64, out: Option<&Path>) -> usize {
+    let findings = fuzz::campaign(surface, iters, seed);
+    if findings.is_empty() {
+        println!("wyt-fuzz: {}: {} cases, 0 findings", surface.name(), iters);
+        return 0;
+    }
+    for f in &findings {
+        eprintln!(
+            "wyt-fuzz: FINDING {} case {} (seed {:#x}, WYT_FUZZ={:#x}): {} bytes minimized",
+            surface.name(),
+            f.index,
+            f.case_seed,
+            seed,
+            f.bytes.len()
+        );
+        if let Some(dir) = out {
+            let name = format!("{}-{:016x}-{}.bin", surface.name(), seed, f.index);
+            if std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(dir.join(&name), &f.bytes))
+                .is_err()
+            {
+                eprintln!("wyt-fuzz: failed to write {}", dir.join(&name).display());
+            } else {
+                eprintln!("wyt-fuzz: wrote {}", dir.join(name).display());
+            }
+        }
+    }
+    findings.len()
+}
+
+/// Replay every `*.bin` crash file in `dir`; returns the failure count.
+fn replay_dir(dir: &Path) -> Result<usize, String> {
+    let mut names: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "bin"))
+        .collect();
+    names.sort();
+    let mut failed = 0usize;
+    for path in &names {
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+        let prefix = stem.split('-').next().unwrap_or("");
+        let Some(surface) = Surface::parse(prefix) else {
+            eprintln!("wyt-fuzz: {}: unknown surface prefix `{prefix}`", path.display());
+            failed += 1;
+            continue;
+        };
+        let bytes = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        match fuzz::replay(surface, &bytes) {
+            Ok(()) => println!("wyt-fuzz: replay ok: {}", path.display()),
+            Err(e) => {
+                eprintln!("wyt-fuzz: replay FAILED: {}: {e}", path.display());
+                failed += 1;
+            }
+        }
+    }
+    println!("wyt-fuzz: replayed {} crash files, {} failures", names.len(), failed);
+    Ok(failed)
+}
+
+fn main() -> ExitCode {
+    wyt_obs::set_enabled(true);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut surface = String::from("all");
+    let mut iters = 1000usize;
+    let mut seed = fuzz::env_seed().unwrap_or(fuzz::DEFAULT_SEED);
+    let mut out: Option<PathBuf> = None;
+    let mut replay: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--surface" => {
+                let Some(v) = args.get(i + 1) else { return usage() };
+                surface = v.clone();
+                i += 2;
+            }
+            "--iters" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                iters = v;
+                i += 2;
+            }
+            "--seed" => {
+                let Some(v) = args.get(i + 1).and_then(|v| parse_seed(v)) else {
+                    return usage();
+                };
+                seed = v;
+                i += 2;
+            }
+            "--out" => {
+                let Some(v) = args.get(i + 1) else { return usage() };
+                out = Some(PathBuf::from(v));
+                i += 2;
+            }
+            "--replay" => {
+                let Some(v) = args.get(i + 1) else { return usage() };
+                replay = Some(PathBuf::from(v));
+                i += 2;
+            }
+            other => {
+                eprintln!("wyt-fuzz: unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    if let Some(dir) = replay {
+        return match replay_dir(&dir) {
+            Ok(0) => ExitCode::SUCCESS,
+            Ok(_) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("wyt-fuzz: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let surfaces: Vec<Surface> = if surface == "all" {
+        Surface::ALL.to_vec()
+    } else {
+        match Surface::parse(&surface) {
+            Some(s) => vec![s],
+            None => {
+                eprintln!("wyt-fuzz: unknown surface `{surface}`");
+                return usage();
+            }
+        }
+    };
+
+    let mut findings = 0usize;
+    for s in surfaces {
+        findings += run_surface(s, iters, seed, out.as_deref());
+    }
+    if findings > 0 {
+        eprintln!("wyt-fuzz: {findings} finding(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

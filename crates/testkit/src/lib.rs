@@ -31,12 +31,14 @@
 //! ```
 
 pub mod fault;
+pub mod fuzz;
 pub mod oracle;
 pub mod progen;
 pub mod prop;
 pub mod rng;
 
 pub use fault::{check_prog_under_fault, check_source_under_fault, FaultPlan, FAULT_ENV};
+pub use fuzz::{Finding, Surface, FUZZ_ENV};
 pub use oracle::{check_prog, check_source, Obs, OracleConfig, TrapClass};
 pub use progen::{gen_prog, render, shrink_prog, Prog};
 pub use prop::{check, shrink_vec, vec_of, Config};

@@ -76,6 +76,25 @@ if cargo run --release --offline -q -p wyt-bench --bin report -- \
     exit 1
 fi
 
+echo "==> ingestion fuzz gate (pinned seed, every surface, crash-corpus replay)"
+WYT_FUZZ=0xf0cc5eed00000001 cargo run --release --offline -q -p wyt-testkit --bin wyt-fuzz -- \
+    --surface all --iters 500
+cargo run --release --offline -q -p wyt-testkit --bin wyt-fuzz -- --replay tests/crashes
+WYT_PAR=4 cargo test -q --offline --test fuzz
+
+echo "==> panic-site budget (isa/emu/lifter non-test code; each allowed site"
+echo "    carries an INVARIANT comment — see DESIGN.md §16)"
+PANIC_BUDGET=11
+PANICS=$(for f in crates/isa/src/*.rs crates/emu/src/*.rs crates/lifter/src/*.rs; do
+    awk '/#\[cfg\(test\)\]/{exit} !/^[[:space:]]*\/\//{print}' "$f"
+done | grep -cE '\.unwrap\(|\.expect\(|panic!\(|unreachable!\(')
+if [ "$PANICS" -ne "$PANIC_BUDGET" ]; then
+    echo "FAIL: $PANICS panic sites in isa/emu/lifter non-test code (budget: $PANIC_BUDGET)." >&2
+    echo "New input-reachable sites must become typed errors; true invariants need an" >&2
+    echo "INVARIANT comment and a budget bump reviewed in DESIGN.md §16." >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
